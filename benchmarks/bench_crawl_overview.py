@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the Section 4 crawl overview (success/failure taxonomy) from the measurement crawl."""
+
+from repro.experiments.tables import crawl_overview as experiment
+
+
+def test_crawl_overview(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

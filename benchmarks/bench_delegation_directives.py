@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the Section 4.2.2 delegation-directive distribution from the measurement crawl."""
+
+from repro.experiments.tables import delegation_directives as experiment
+
+
+def test_delegation_directives(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

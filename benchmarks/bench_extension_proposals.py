@@ -1,0 +1,45 @@
+"""Extension bench: quantify the Section 6.2 specification proposals.
+
+Not a paper table — the paper *discusses* these proposals; here we measure
+them against the same crawl:
+
+* deny-all default (W3C issue #483): migration cost for header-deploying
+  sites that rely on default allowlists for permissions they use;
+* local-scheme inheritance fix (issue #552): how many sites are exposed to
+  the Table 11 bypass today (self-restricted powerful permission + no
+  frame-constraining CSP).
+"""
+
+from repro.analysis.proposals import (
+    evaluate_default_disallow_all,
+    local_scheme_attack_surface,
+)
+
+
+def test_extension_deny_all_breakage(benchmark, ctx):
+    visits = ctx.dataset.successful()
+    report = benchmark(evaluate_default_disallow_all, visits)
+
+    assert report.header_sites > 0
+    # A meaningful minority of header sites relies on defaults they use —
+    # the omission risk the paper calls out; but far from everyone breaks.
+    assert 0.02 < report.breaking_share < 0.6
+    # Ads APIs dominate the breakage: they default to * and are never
+    # declared in the copy-paste disable templates.
+    top_broken = [name for name, _ in report.broken_permissions.most_common(3)]
+    assert "attribution-reporting" in top_broken
+
+
+def test_extension_attack_surface(benchmark, ctx):
+    visits = ctx.dataset.successful()
+    report = benchmark(local_scheme_attack_surface, visits)
+
+    assert report.sites_with_self_only_powerful > 0
+    # Most careful deployers are still exposed: CSP frame directives are
+    # rare, which is exactly why the paper rates the bug as serious.
+    assert report.exposure_share > 0.5
+    assert (report.exposed_sites + report.protected_by_csp
+            == report.sites_with_self_only_powerful)
+    # The exposed permissions are the self-restricted powerful ones.
+    assert set(report.exposed_permissions) & {"camera", "microphone",
+                                              "geolocation"}

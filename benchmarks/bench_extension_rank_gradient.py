@@ -1,0 +1,28 @@
+"""Extension bench: header adoption by site popularity.
+
+The paper treats the top 1M as one population; header-measurement
+literature consistently finds adoption skewed to popular sites (and the
+synthetic web models that skew).  This bench slices the crawl by rank
+bucket and asserts the gradient: top sites adopt the Permissions-Policy
+header markedly more than the tail, while the global marginal stays at the
+paper's 4.5 %.
+"""
+
+from repro.analysis.ranks import RankBucketAnalysis
+
+
+def test_extension_rank_gradient(benchmark, ctx):
+    visits = ctx.dataset.successful()
+    analysis = benchmark.pedantic(
+        RankBucketAnalysis, args=(visits, ctx.web.site_count),
+        rounds=1, iterations=1)
+
+    gradient = dict(analysis.adoption_gradient())
+    assert analysis.is_adoption_monotone()
+    assert gradient["top 2%"] > gradient["tail"] * 1.5
+
+    # Widgets spread across buckets (LiveChat's paper datum: present even
+    # in the CrUX top 5,000).
+    penetration = dict(analysis.widget_penetration("livechatinc.com"))
+    assert penetration["top 2%"] > 0
+    assert penetration["tail"] > 0

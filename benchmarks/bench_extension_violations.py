@@ -1,0 +1,30 @@
+"""Extension bench: policy violations (blocked calls) across the crawl.
+
+Denied invocations are recorded like successful ones (the wrapper sees
+every call); this bench classifies them: self-inflicted breakage — a
+site's own copy-pasted disable template blocking its own functionality —
+versus embedded documents calling APIs nobody delegated to them.
+"""
+
+from repro.analysis.violations import ViolationAnalysis
+
+
+def test_extension_violations(benchmark, ctx):
+    visits = ctx.dataset.successful()
+    analysis = benchmark.pedantic(ViolationAnalysis, args=(visits,),
+                                  rounds=1, iterations=1)
+    report = analysis.report
+
+    # Blocked calls exist (undelegated embedded frames, disable templates).
+    assert report.sites_with_blocked_calls > 0
+    assert report.blocked_permissions
+
+    # Blocked-call sites are a small minority — the ecosystem mostly runs
+    # on default allowlists that permit what actually executes.
+    blocked_share = (report.sites_with_blocked_calls
+                     / max(1, len(visits)))
+    assert blocked_share < 0.25
+
+    # Self-inflicted breakage is rarer still, but present: the disable
+    # templates do occasionally bite their deployers.
+    assert report.sites_with_self_inflicted <= report.sites_with_blocked_calls

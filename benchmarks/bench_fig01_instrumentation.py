@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 1 (dynamic instrumentation) from the measurement crawl."""
+
+from repro.experiments.tables import fig01_instrumentation as experiment
+
+
+def test_fig01_instrumentation(benchmark, record_result):
+    result = benchmark.pedantic(experiment, args=(None,),
+                                rounds=5, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 2 (header adoption) from the measurement crawl."""
+
+from repro.experiments.tables import fig02_header_adoption as experiment
+
+
+def test_fig02_header_adoption(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 3 (permission support matrix) from the measurement crawl."""
+
+from repro.experiments.tables import fig03_support_matrix as experiment
+
+
+def test_fig03_support_matrix(benchmark, record_result):
+    result = benchmark.pedantic(experiment, args=(None,),
+                                rounds=5, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

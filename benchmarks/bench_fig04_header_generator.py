@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 4 (header generator) from the measurement crawl."""
+
+from repro.experiments.tables import fig04_header_generator as experiment
+
+
+def test_fig04_header_generator(benchmark, record_result):
+    result = benchmark.pedantic(experiment, args=(None,),
+                                rounds=5, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the Section 4.3.3 header misconfiguration counts from the measurement crawl."""
+
+from repro.experiments.tables import header_misconfigurations as experiment
+
+
+def test_header_misconfig(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the Section 5.2 LiveChat case study from the measurement crawl."""
+
+from repro.experiments.tables import livechat_case_study as experiment
+
+
+def test_livechat_case_study(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

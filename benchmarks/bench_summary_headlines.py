@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the Section 4 headline percentages from the measurement crawl."""
+
+from repro.experiments.tables import summary_experiment as experiment
+
+
+def test_summary_headlines(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

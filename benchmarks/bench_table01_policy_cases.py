@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 1 (camera prompt/delegation cases) from the measurement crawl."""
+
+from repro.experiments.tables import table01_policy_cases as experiment
+
+
+def test_table01_policy_cases(benchmark, record_result):
+    result = benchmark.pedantic(experiment, args=(None,),
+                                rounds=5, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 2 (permission characteristics) from the measurement crawl."""
+
+from repro.experiments.tables import table02_registry as experiment
+
+
+def test_table02_registry(benchmark, record_result):
+    result = benchmark.pedantic(experiment, args=(None,),
+                                rounds=5, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 4 (top invoked permissions) from the measurement crawl."""
+
+from repro.experiments.tables import table04_invocations as experiment
+
+
+def test_table04_invocations(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

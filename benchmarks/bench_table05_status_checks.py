@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 5 (top status-checked permissions) from the measurement crawl."""
+
+from repro.experiments.tables import table05_status_checks as experiment
+
+
+def test_table05_status_checks(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 6 (top static detections) from the measurement crawl."""
+
+from repro.experiments.tables import table06_static as experiment
+
+
+def test_table06_static(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

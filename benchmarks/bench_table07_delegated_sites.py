@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 7 (top delegated embedded sites) from the measurement crawl."""
+
+from repro.experiments.tables import table07_delegated_sites as experiment
+
+
+def test_table07_delegated_sites(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

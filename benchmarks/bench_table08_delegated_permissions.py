@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 8 (top delegated permissions) from the measurement crawl."""
+
+from repro.experiments.tables import table08_delegated_permissions as experiment
+
+
+def test_table08_delegated_permissions(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 9 (least-restrictive header directives) from the measurement crawl."""
+
+from repro.experiments.tables import table09_header_directives as experiment
+
+
+def test_table09_header_directives(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Tables 10/13 (unused delegated permissions) from the measurement crawl."""
+
+from repro.experiments.tables import table10_overpermission as experiment
+
+
+def test_table10_overpermission(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=2, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

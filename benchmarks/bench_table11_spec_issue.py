@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 11 (local-scheme spec issue PoC) from the measurement crawl."""
+
+from repro.experiments.tables import table11_spec_issue as experiment
+
+
+def test_table11_spec_issue(benchmark, record_result):
+    result = benchmark.pedantic(experiment, args=(None,),
+                                rounds=5, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 12 (interaction experiment) from the measurement crawl."""
+
+from repro.experiments.tables import table12_interaction as experiment
+
+
+def test_table12_interaction(benchmark, ctx, record_result):
+    result = benchmark.pedantic(experiment, args=(ctx,),
+                                rounds=1, iterations=1)
+    record_result(result)
+    assert result.shape_ok, result.rendered

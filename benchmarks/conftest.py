@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavy work — the calibrated measurement crawl — runs once per session
+(at the scale given by ``REPRO_SITES``, default 20,000 sites) and is shared
+by every table/figure bench.  Each bench regenerates its paper table from
+the crawl, asserts the *shape* matches the paper (winners, orderings,
+magnitudes), and records the rendered output under
+``benchmarks/results/`` so EXPERIMENTS.md can be regenerated from the same
+run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext, run_measurement
+from repro.experiments.tables import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """The session-wide measurement run."""
+    return run_measurement()
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist a rendered experiment table for the docs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        status = "shape OK" if result.shape_ok else "SHAPE MISMATCH"
+        path.write_text(
+            f"{result.title}\n[{status}] {result.notes}\n\n{result.rendered}\n")
+        return result
+
+    return _record

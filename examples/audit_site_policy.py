@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Developer workflow: audit and fix one site's permission configuration.
+
+Combines the paper's Section 6.3 tooling the way a site owner would:
+
+1. lint the currently deployed ``Permissions-Policy`` header (would the
+   browser even apply it?),
+2. crawl the site — with interaction — and observe which permissions its
+   pages and widgets actually use,
+3. get a least-privilege header and per-iframe ``allow`` suggestions,
+4. see where the deployed configuration is broader than needed.
+
+Run with:  python examples/audit_site_policy.py [rank]
+"""
+
+import sys
+
+from repro import HeaderLinter, PolicyRecommender, SyntheticFetcher, SyntheticWeb
+from repro.synthweb.generator import FailureMode
+
+
+def pick_interesting_rank(web: SyntheticWeb, preferred: int | None) -> int:
+    """Prefer a site that both deploys a header and embeds a delegating
+    widget — the most instructive audit."""
+    if preferred is not None:
+        return preferred
+    fallback = None
+    for rank in range(web.site_count):
+        spec = web.site(rank)
+        if spec.failure is not FailureMode.NONE:
+            continue
+        if fallback is None:
+            fallback = rank
+        has_header = "permissions-policy" in spec.headers
+        has_delegation = any(p.delegated for p in spec.widget_placements)
+        if has_header and has_delegation:
+            return rank
+    return fallback if fallback is not None else 0
+
+
+def main() -> None:
+    preferred = int(sys.argv[1]) if len(sys.argv) > 1 else None
+    web = SyntheticWeb(6_000, seed=2024)
+    rank = pick_interesting_rank(web, preferred)
+    url = web.origin_for_rank(rank)
+    spec = web.site(rank)
+    print(f"Auditing {url} (rank {rank})")
+
+    # ---- step 1: lint what is deployed --------------------------------------
+    deployed = spec.headers.get("permissions-policy")
+    print("\n[1] deployed Permissions-Policy header")
+    if deployed is None:
+        print("    (none deployed — the 95.5% majority case in the paper)")
+    else:
+        print(f"    {deployed[:100]}{'...' if len(deployed) > 100 else ''}")
+        report = HeaderLinter().lint(deployed)
+        if report.header_dropped:
+            print("    FATAL: syntactically invalid — the browser drops the "
+                  "whole header\n    (2% of header-deploying frames in the "
+                  "paper hit this)")
+        elif not report.findings:
+            print("    lint: clean")
+        for finding in report.findings:
+            print(f"    lint [{finding.severity.value}] "
+                  f"{finding.rule.value}: {finding.message}")
+
+    # ---- step 2+3: crawl with interaction, derive recommendations -----------
+    print("\n[2] crawling with interaction to observe real usage ...")
+    recommender = PolicyRecommender(SyntheticFetcher(web), interact=True)
+    recommendation = recommender.recommend(url)
+    print(f"    top-level usage:  "
+          f"{', '.join(recommendation.observed_top_level) or '(none)'}")
+    for origin, permissions in recommendation.observed_embedded.items():
+        print(f"    {origin}: {', '.join(permissions)}")
+
+    print("\n[3] suggested least-privilege header")
+    header = recommendation.suggested_header
+    print(f"    {header[:110]}...")
+    print(f"    ({header.count('=')} directives — covering every supported "
+          "permission,\n     which no website in the paper's data achieved)")
+
+    # ---- step 4: over-grant report ------------------------------------------
+    print("\n[4] over-grant report")
+    if recommendation.header_over_grants:
+        print(f"    header grants without observed usage: "
+              f"{', '.join(recommendation.header_over_grants)}")
+    flagged = [s for s in recommendation.delegation_suggestions
+               if s.over_granted]
+    if not flagged and not recommendation.header_over_grants:
+        print("    configuration already matches observed usage")
+    for suggestion in flagged:
+        print(f"    iframe {suggestion.iframe_src}")
+        print(f"      delegated but unused: "
+              f"{', '.join(suggestion.over_granted)}")
+        print(f"      suggested allow:      "
+              f"\"{suggestion.suggested_allow or '(nothing)'}\"")
+
+
+if __name__ == "__main__":
+    main()

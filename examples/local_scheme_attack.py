@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Walkthrough of the local-scheme specification issue (paper Section 6.2).
+
+The paper discovered that local-scheme documents (``data:``,
+``about:srcdoc``, ``blob:``) do not inherit their parent's *declared*
+Permissions-Policy — only the per-feature boolean outcome.  A site that
+carefully deploys ``Permissions-Policy: camera=(self)`` can therefore be
+bypassed: an injected ``data:`` iframe may re-delegate the camera to an
+arbitrary third party (Table 11).  The attack needs one precondition — the
+site's CSP must not constrain frame loads.
+
+This example walks through the scenario step by step with the policy
+engine, in both the shipped (buggy) and the expected behaviour, and then
+shows which CSP configurations stop it.
+
+Run with:  python examples/local_scheme_attack.py
+"""
+
+from repro import PermissionsPolicyEngine, PolicyFrame
+from repro.policy.csp import ContentSecurityPolicy, local_scheme_attack_possible
+from repro.policy.origin import Origin
+from repro.tools.poc import LocalSchemePoC
+
+
+def step(number: int, text: str) -> None:
+    print(f"\n[{number}] {text}")
+
+
+def main() -> None:
+    print("Local-scheme document attack (W3C webappsec-permissions-policy "
+          "issue #552)")
+
+    step(1, "victim.example deploys the second most common configuration:")
+    victim = PolicyFrame.top("https://victim.example",
+                             header="camera=(self)")
+    shipped = PermissionsPolicyEngine(local_scheme_bug=True)
+    fixed = PermissionsPolicyEngine(local_scheme_bug=False)
+    print("    Permissions-Policy: camera=(self)")
+    print(f"    top-level camera: {shipped.is_enabled('camera', victim)}")
+
+    step(2, "a direct cross-origin delegation is correctly blocked:")
+    direct = victim.child("https://attacker.example", allow="camera")
+    print('    <iframe src="https://attacker.example" allow="camera">')
+    print(f"    attacker camera: {shipped.is_enabled('camera', direct)} "
+          "(header holds)")
+
+    step(3, "but an injected data: iframe still receives the camera:")
+    local = victim.local_child(scheme="data")
+    print('    <iframe src="data:text/html,...">')
+    print(f"    data: document camera: {shipped.is_enabled('camera', local)} "
+          "(both behaviours agree here)")
+
+    step(4, "the data: document re-delegates — and the header is gone:")
+    attacker = local.child("https://attacker.example", allow="camera")
+    print('    data: document contains '
+          '<iframe src="https://attacker.example" allow="camera">')
+    print(f"    shipped specification:  attacker camera = "
+          f"{shipped.is_enabled('camera', attacker)}   <-- the bug")
+    print(f"    expected behaviour:     attacker camera = "
+          f"{fixed.is_enabled('camera', attacker)}")
+    decision = shipped.explain("camera", attacker)
+    print(f"    engine reasoning: {decision.reason}")
+
+    step(5, "the CSP precondition decides whether injection is possible:")
+    origin = Origin.parse("https://victim.example")
+    for csp_text in (None,
+                     "script-src 'self'; object-src 'none'",
+                     "default-src 'self'",
+                     "frame-src 'self'",
+                     "frame-src 'self' data:"):
+        policy = (ContentSecurityPolicy.parse(csp_text)
+                  if csp_text is not None else None)
+        possible = local_scheme_attack_possible(policy, self_origin=origin)
+        label = csp_text or "(no CSP)"
+        print(f"    {label:45s} -> "
+              f"{'INJECTABLE' if possible else 'blocked'}")
+
+    step(6, "the packaged PoC reproduces Table 11 in one call:")
+    poc = LocalSchemePoC(csp="script-src 'self'; object-src 'none'")
+    print("    " + poc.report().replace("\n", "\n    "))
+    print(f"\n    demonstrates the reported issue: "
+          f"{poc.demonstrates_issue()}")
+
+    print("\nMitigation for developers: always deploy a frame-constraining "
+          "CSP directive\n(frame-src / child-src / default-src) next to a "
+          "restrictive Permissions-Policy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The Figure 3/4 tools: permission support matrix and header generation.
+
+Shows the caniuse-style views the paper's companion website provides —
+per-browser support, historical changes, Chromium-only features — and the
+header generator presets built on top of the same data.
+
+Run with:  python examples/permission_compat.py
+"""
+
+from repro import HeaderGenerator, HeaderPreset, SupportSiteReport
+from repro.registry.browsers import CHROMIUM, FIREFOX, SAFARI
+
+
+def main() -> None:
+    report = SupportSiteReport()
+
+    # ---- the main matrix ------------------------------------------------------
+    print(report.render())
+
+    counts = report.summary_counts()
+    print(f"\n{counts['permissions']} permissions tracked; "
+          f"{counts['policy_controlled']} policy-controlled, "
+          f"{counts['powerful']} powerful, "
+          f"{counts['chromium_only']} Chromium-only, "
+          f"{counts['universally_supported']} supported everywhere")
+
+    # ---- historical changes (the "across versions" view) ----------------------
+    print("\nSupport history examples:")
+    for permission, browser in (("storage-access", FIREFOX),
+                                ("interest-cohort", CHROMIUM),
+                                ("push", SAFARI)):
+        print()
+        print(report.history_report(permission, browser))
+
+    # ---- header generation -----------------------------------------------------
+    generator = HeaderGenerator(matrix=report.matrix)
+    print("\nGenerated headers (always in sync with the support data):")
+    disable_powerful = generator.generate_preset(HeaderPreset.DISABLE_POWERFUL)
+    print(f"\n  preset disable-powerful "
+          f"({disable_powerful.count('=')} directives):")
+    print(f"    Permissions-Policy: {disable_powerful}")
+
+    custom = generator.generate_custom(
+        self_only=("geolocation", "clipboard-read"),
+        allow_origins={"camera": ("https://meet.example",),
+                       "microphone": ("https://meet.example",)},
+    )
+    print("\n  custom (video-conferencing site embedding meet.example):")
+    print(f"    Permissions-Policy: {custom[:130]}...")
+    print(f"\n  complete coverage of supported permissions: "
+          f"{generator.is_complete(custom)}")
+
+
+if __name__ == "__main__":
+    main()

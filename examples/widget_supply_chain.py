@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Supply-chain risk audit: find over-permissioned embedded widgets.
+
+Reproduces the paper's Section 5 workflow end to end:
+
+1. crawl the synthetic web,
+2. for every embedded origin, collect the permissions it is delegated in
+   at least 5 % of its iframe occurrences,
+3. subtract everything the widget's documents actually exhibit activity
+   for (dynamic invocations, status checks, static functionality),
+4. rank widgets by the number of affected websites (Tables 10/13),
+5. drill into the LiveChat case study (Section 5.2).
+
+Run with:  python examples/widget_supply_chain.py [site_count]
+"""
+
+import sys
+
+from repro import CrawlerPool, OverPermissionAnalysis, SyntheticWeb
+from repro.analysis.report import render_table
+
+
+def main() -> None:
+    site_count = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    web = SyntheticWeb(site_count, seed=2024)
+    print(f"Crawling {site_count:,} sites ...")
+    dataset = CrawlerPool(web, workers=4).run()
+
+    analysis = OverPermissionAnalysis(dataset.successful())
+
+    rows = [(row.site, ", ".join(row.unused_permissions),
+             row.affected_websites)
+            for row in analysis.unused_delegations()[:15]]
+    print()
+    print(render_table(
+        ("embedded widget", "potentially unused permissions", "# websites"),
+        rows, title="Widgets delegated permissions they never use"))
+    print(f"\ntotal affected websites: "
+          f"{analysis.total_affected_websites():,}")
+
+    # ---- the LiveChat case study -------------------------------------------
+    study = analysis.case_study("livechatinc.com")
+    print("\nLiveChat case study (paper Section 5.2)")
+    print(f"  embedded on (occurrences):   {study['occurrences']}")
+    print(f"  delegation rate:             {study['delegation_rate']:.2%} "
+          f"(paper: 99.70%)")
+    print(f"  template delegations:        "
+          f"{', '.join(study['prevalent_delegations'])}")
+    print(f"  observed widget activity:    "
+          f"{', '.join(study['observed_activity']) or '(none)'}")
+    print(f"  UNUSED powerful delegations: "
+          f"{', '.join(study['unused_delegations'])}")
+    print(f"  over-permissioned websites:  "
+          f"{study['overpermissioned_websites']} "
+          f"(paper: 13,734 of 1M)")
+    print("\nIf this widget's infrastructure were compromised, every one of "
+          "those\nwebsites would hand the attacker camera and microphone "
+          "access —\nsilently wherever the user already granted them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Reproduction of "A Permissions Odyssey: A Systematic Study of Browser
+Permissions on Modern Websites" (IMC '25).
+
+The package reimplements, offline and from scratch, every system the paper
+describes: the Permissions Policy specification engine, the permission
+registry with browser-support data, a simulated browser with dynamic API
+instrumentation, a Playwright-style crawling framework over a calibrated
+synthetic web, the full measurement analysis pipeline (Tables 3-13,
+Figures 1-4), and the developer tools of Section 6.3.
+
+Quickstart::
+
+    from repro import SyntheticWeb, CrawlerPool, summarize
+
+    web = SyntheticWeb(5_000, seed=2024)      # the "top-5k" synthetic web
+    dataset = CrawlerPool(web, workers=4).run()
+    summary = summarize(dataset)
+    for metric, paper, measured in summary.compare_to_paper():
+        print(f"{metric}: paper {paper:.2%} vs measured {measured:.2%}")
+
+See DESIGN.md for the module map and EXPERIMENTS.md for paper-vs-measured
+results on every table and figure.
+"""
+
+from repro.analysis.delegation import DelegationAnalysis
+from repro.analysis.headers import HeaderAnalysis
+from repro.analysis.overpermission import OverPermissionAnalysis
+from repro.analysis.summary import MeasurementSummary, summarize
+from repro.analysis.usage import UsageAnalysis
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.crawler.fetcher import SyntheticFetcher
+from repro.crawler.pool import CrawlDataset, CrawlerPool
+from repro.crawler.storage import CrawlStore
+from repro.policy.engine import PermissionsPolicyEngine, PolicyFrame
+from repro.policy.header import parse_permissions_policy_header
+from repro.policy.linter import HeaderLinter
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+from repro.registry.support import default_support_matrix
+from repro.synthweb.generator import SyntheticWeb
+from repro.tools.header_generator import HeaderGenerator, HeaderPreset
+from repro.tools.poc import LocalSchemePoC
+from repro.tools.recommender import PolicyRecommender
+from repro.tools.support_site import SupportSiteReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrawlConfig",
+    "CrawlDataset",
+    "CrawlStore",
+    "Crawler",
+    "CrawlerPool",
+    "DEFAULT_REGISTRY",
+    "DelegationAnalysis",
+    "HeaderAnalysis",
+    "HeaderGenerator",
+    "HeaderLinter",
+    "HeaderPreset",
+    "LocalSchemePoC",
+    "MeasurementSummary",
+    "OverPermissionAnalysis",
+    "PermissionRegistry",
+    "PermissionsPolicyEngine",
+    "PolicyFrame",
+    "PolicyRecommender",
+    "SupportSiteReport",
+    "SyntheticFetcher",
+    "SyntheticWeb",
+    "UsageAnalysis",
+    "default_support_matrix",
+    "parse_permissions_policy_header",
+    "summarize",
+]

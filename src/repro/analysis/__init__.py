@@ -1,0 +1,65 @@
+"""Measurement analysis pipeline.
+
+Consumes :class:`~repro.crawler.pool.CrawlDataset` records and reproduces
+every aggregate of the paper's Section 4 and 5:
+
+* :mod:`repro.analysis.parties` — first-/third-party classification;
+* :mod:`repro.analysis.usage` — dynamic invocations, status checks and
+  static detections (Tables 4, 5, 6);
+* :mod:`repro.analysis.delegation` — embedded sites and ``allow``
+  delegation (Tables 3, 7, 8 and the directive distribution);
+* :mod:`repro.analysis.headers` — header adoption, directive strictness
+  and misconfigurations (Figure 2, Table 9);
+* :mod:`repro.analysis.overpermission` — unused delegated permissions
+  (Tables 10/13, the LiveChat case study);
+* :mod:`repro.analysis.summary` — the Section 4 headline numbers;
+* :mod:`repro.analysis.categories` — purpose clustering of delegations
+  (Section 4.2.1);
+* :mod:`repro.analysis.proposals` — quantifying the Section 6.2 spec
+  proposals (deny-all default, local-scheme fix exposure);
+* :mod:`repro.analysis.fingerprinting` — the permission-list
+  fingerprinting surface hypothesised in Section 4.1.1;
+* :mod:`repro.analysis.report` — text rendering and paper-vs-measured
+  comparison helpers.
+"""
+
+from repro.analysis.categories import DelegationPurpose, purpose_clusters
+from repro.analysis.chains import NestedDelegationAnalysis, rebuild_policy_frames
+from repro.analysis.delegation import DelegationAnalysis
+from repro.analysis.fingerprinting import fingerprint_surface
+from repro.analysis.landing_bias import LandingBiasReport, measure_landing_bias
+from repro.analysis.headers import HeaderAnalysis
+from repro.analysis.overpermission import OverPermissionAnalysis
+from repro.analysis.parties import Party, classify_call_party
+from repro.analysis.proposals import (
+    evaluate_default_disallow_all,
+    local_scheme_attack_surface,
+)
+from repro.analysis.prompts_analysis import PromptAnalysis
+from repro.analysis.ranks import RankBucketAnalysis
+from repro.analysis.summary import MeasurementSummary, summarize
+from repro.analysis.usage import UsageAnalysis
+from repro.analysis.violations import ViolationAnalysis
+
+__all__ = [
+    "DelegationAnalysis",
+    "DelegationPurpose",
+    "HeaderAnalysis",
+    "MeasurementSummary",
+    "LandingBiasReport",
+    "NestedDelegationAnalysis",
+    "PromptAnalysis",
+    "RankBucketAnalysis",
+    "OverPermissionAnalysis",
+    "Party",
+    "UsageAnalysis",
+    "ViolationAnalysis",
+    "classify_call_party",
+    "evaluate_default_disallow_all",
+    "fingerprint_surface",
+    "local_scheme_attack_surface",
+    "measure_landing_bias",
+    "purpose_clusters",
+    "rebuild_policy_frames",
+    "summarize",
+]

@@ -1,0 +1,150 @@
+"""Purpose clustering of permission delegations (paper Section 4.2.1).
+
+The paper observes "clear grouping patterns" in what embedded documents get
+delegated and names six purposes:
+
+* **Ads-Related** — attribution-reporting, join-ad-interest-group,
+  run-ad-auction (Google Syndication, DoubleClick);
+* **Social Media and Multimedia** — autoplay, clipboard-write, fullscreen,
+  encrypted-media, picture-in-picture, sensors (YouTube, Facebook);
+* **Customer Support** — camera, microphone, display-capture (LiveChat,
+  LaDesk);
+* **Payment-Related** — payment (Stripe, RazorPay);
+* **Session-Related** — identity-credentials-get, otp-credentials;
+* **Others** — cross-origin-isolated, private-state-token-issuance, ….
+
+This module reconstructs those clusters from observed delegations alone:
+each embedded site's *delegation signature* (the multiset of features it is
+delegated across the crawl) is scored against the purpose definitions and
+assigned to the best match — including the paper's "multi-purpose"
+catch-all for template widgets (WixApps-style) whose signature spans
+several purposes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.analysis.delegation import DelegationAnalysis
+from repro.crawler.records import SiteVisit
+
+
+class DelegationPurpose(str, Enum):
+    ADS = "ads-related"
+    MULTIMEDIA = "social-media-and-multimedia"
+    CUSTOMER_SUPPORT = "customer-support"
+    PAYMENT = "payment-related"
+    SESSION = "session-related"
+    MULTI_PURPOSE = "multi-purpose"
+    OTHER = "others"
+
+
+#: Feature signatures per purpose (from the paper's own grouping).
+_PURPOSE_FEATURES: dict[DelegationPurpose, frozenset[str]] = {
+    DelegationPurpose.ADS: frozenset({
+        "attribution-reporting", "join-ad-interest-group", "run-ad-auction",
+        "browsing-topics", "interest-cohort"}),
+    DelegationPurpose.MULTIMEDIA: frozenset({
+        "autoplay", "clipboard-write", "fullscreen", "encrypted-media",
+        "picture-in-picture", "accelerometer", "gyroscope", "magnetometer",
+        "web-share"}),
+    DelegationPurpose.CUSTOMER_SUPPORT: frozenset({
+        "camera", "microphone", "display-capture", "clipboard-read"}),
+    DelegationPurpose.PAYMENT: frozenset({"payment"}),
+    DelegationPurpose.SESSION: frozenset({
+        "identity-credentials-get", "otp-credentials",
+        "publickey-credentials-get"}),
+}
+
+
+def classify_delegation_signature(features: Iterable[str]
+                                  ) -> DelegationPurpose:
+    """Assign one delegation signature to a purpose.
+
+    A signature matching several purposes substantially (≥ 2 features in
+    ≥ 2 purposes, or purposes from disjoint worlds like geolocation+camera
+    +autoplay) is the paper's template-widget case: ``MULTI_PURPOSE``.
+    """
+    feature_set = set(features)
+    if not feature_set:
+        return DelegationPurpose.OTHER
+    scores: dict[DelegationPurpose, int] = {}
+    for purpose, signature in _PURPOSE_FEATURES.items():
+        overlap = len(feature_set & signature)
+        if overlap:
+            scores[purpose] = overlap
+    if not scores:
+        return DelegationPurpose.OTHER
+    covered = set().union(*(sig for p, sig in _PURPOSE_FEATURES.items()
+                            if p in scores))
+    uncategorized = feature_set - covered
+    strong = [purpose for purpose, score in scores.items()
+              if score >= min(2, len(_PURPOSE_FEATURES[purpose]))]
+    if len(strong) >= 2 or (len(scores) >= 2 and uncategorized):
+        # Exception: customer-support widgets routinely add an autoplay /
+        # fullscreen chrome to their camera+microphone core — keep them in
+        # their home category like the paper does for LiveChat.
+        support = _PURPOSE_FEATURES[DelegationPurpose.CUSTOMER_SUPPORT]
+        if (scores.get(DelegationPurpose.CUSTOMER_SUPPORT, 0) >= 2
+                and feature_set - support
+                <= _PURPOSE_FEATURES[DelegationPurpose.MULTIMEDIA]):
+            return DelegationPurpose.CUSTOMER_SUPPORT
+        return DelegationPurpose.MULTI_PURPOSE
+    return max(scores, key=lambda purpose: scores[purpose])
+
+
+@dataclass
+class PurposeCluster:
+    """One purpose bucket with its member embedded sites."""
+
+    purpose: DelegationPurpose
+    sites: list[tuple[str, int]]            # (embedded site, # websites)
+
+    @property
+    def total_websites(self) -> int:
+        return sum(count for _, count in self.sites)
+
+
+def purpose_clusters(visits: Iterable[SiteVisit],
+                     *, min_websites: int = 2) -> list[PurposeCluster]:
+    """Cluster every delegated embedded site by purpose.
+
+    Args:
+        visits: Crawl records.
+        min_websites: Ignore embedded sites delegated on fewer websites
+            (one-off noise).
+    """
+    delegation = DelegationAnalysis(visits)
+    signatures: dict[str, Counter] = {}
+    for visit in visits:
+        if not visit.success:
+            continue
+        top_site = visit.top_frame.site
+        for frame in visit.frames:
+            if frame.depth != 1 or frame.is_local or not frame.site:
+                continue
+            if frame.site == top_site:
+                continue
+            allow = frame.allow_attribute
+            if not allow:
+                continue
+            from repro.policy.allow_attr import parse_allow_attribute
+            delegated = parse_allow_attribute(allow).delegated_features
+            if delegated:
+                signatures.setdefault(frame.site, Counter()).update(delegated)
+
+    buckets: dict[DelegationPurpose, list[tuple[str, int]]] = {}
+    for site, signature in signatures.items():
+        websites = delegation.delegated_site_websites.get(site, 0)
+        if websites < min_websites:
+            continue
+        purpose = classify_delegation_signature(signature)
+        buckets.setdefault(purpose, []).append((site, websites))
+
+    clusters = [PurposeCluster(purpose, sorted(sites, key=lambda sc: -sc[1]))
+                for purpose, sites in buckets.items()]
+    clusters.sort(key=lambda cluster: -cluster.total_websites)
+    return clusters

@@ -1,0 +1,184 @@
+"""Nested delegation chains (extension of paper Sections 2.2.5 and 4.2).
+
+The paper restricts its delegation analysis to directly inserted iframes
+"for simplicity", while warning (Section 2.2.5) that once a permission is
+delegated, "the developer of the top-level website can no longer prevent
+nested delegations".  This module analyses the part the paper leaves out:
+
+* which permissions get *re-delegated* deeper than depth 1,
+* whether the nested frame actually receives the permission (re-evaluating
+  the policy over the recorded frame tree),
+* and the paper's no-control observation quantified: chains where the
+  top-level header names specific origins for a permission, yet a
+  different origin at depth ≥ 2 ends up with it anyway.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crawler.records import FrameRecord, SiteVisit
+from repro.policy.allow_attr import parse_allow_attribute
+from repro.policy.engine import PermissionsPolicyEngine, PolicyFrame
+from repro.policy.header import HeaderParseError, parse_permissions_policy_header
+from repro.policy.origin import Origin, OriginParseError
+
+
+@dataclass(frozen=True)
+class DelegationChain:
+    """One redelegation path: top-level → … → nested frame."""
+
+    rank: int
+    permission: str
+    frame_sites: tuple[str, ...]         # per hop, top-level first
+    depth: int
+    nested_frame_enabled: bool
+    escapes_top_level_policy: bool
+
+    @property
+    def crosses_sites(self) -> bool:
+        return len(set(self.frame_sites)) > 2
+
+
+def rebuild_policy_frames(visit: SiteVisit) -> dict[int, PolicyFrame]:
+    """Reconstruct the policy frame tree from stored crawl records, so
+    policies can be re-evaluated offline (no re-crawl needed)."""
+    frames: dict[int, PolicyFrame] = {}
+    ordered = sorted(visit.frames, key=lambda frame: frame.depth)
+    for record in ordered:
+        header = record.header("permissions-policy")
+        fp_header = record.header("feature-policy")
+        attrs = record.iframe_attributes or {}
+        if record.parent_id is None:
+            frames[record.frame_id] = PolicyFrame.top(
+                record.url, header=header, fp_header=fp_header)
+            continue
+        parent = frames[record.parent_id]
+        if record.is_local:
+            scheme = record.url.split(":", 1)[0]
+            if scheme not in ("data", "blob", "javascript"):
+                scheme = "about"
+            frames[record.frame_id] = parent.local_child(
+                scheme=scheme, allow=attrs.get("allow"))
+        else:
+            frames[record.frame_id] = parent.child(
+                record.url, allow=attrs.get("allow"), header=header,
+                fp_header=fp_header, sandbox=attrs.get("sandbox"))
+    return frames
+
+
+class NestedDelegationAnalysis:
+    """Finds and evaluates depth ≥ 2 delegation chains."""
+
+    def __init__(self, visits: Iterable[SiteVisit], *,
+                 engine: PermissionsPolicyEngine | None = None) -> None:
+        self._engine = engine if engine is not None \
+            else PermissionsPolicyEngine()
+        self.chains: list[DelegationChain] = []
+        self.sites_with_nested_delegation = 0
+        self.redelegated_permissions: Counter = Counter()
+        self.max_depth = 0
+        for visit in visits:
+            if visit.success:
+                self._analyse_visit(visit)
+
+    def _analyse_visit(self, visit: SiteVisit) -> None:
+        by_id = {frame.frame_id: frame for frame in visit.frames}
+        deep_frames = [frame for frame in visit.frames if frame.depth >= 2]
+        if not deep_frames:
+            return
+        policy_frames = rebuild_policy_frames(visit)
+        top = visit.top_frame
+        found_nested = False
+        for frame in deep_frames:
+            attrs = frame.iframe_attributes or {}
+            allow = attrs.get("allow")
+            if not allow:
+                continue
+            delegated = parse_allow_attribute(allow).delegated_features
+            if not delegated:
+                continue
+            path = self._path_sites(frame, by_id)
+            for permission in delegated:
+                if not self._ancestor_delegates(frame, by_id, permission):
+                    continue  # not a *re*-delegation
+                found_nested = True
+                enabled = self._engine.is_enabled(
+                    permission, policy_frames[frame.frame_id])
+                escapes = enabled and self._top_level_names_origins(
+                    top, permission, frame)
+                self.redelegated_permissions[permission] += 1
+                self.max_depth = max(self.max_depth, frame.depth)
+                self.chains.append(DelegationChain(
+                    rank=visit.rank, permission=permission,
+                    frame_sites=path, depth=frame.depth,
+                    nested_frame_enabled=enabled,
+                    escapes_top_level_policy=escapes))
+        if found_nested:
+            self.sites_with_nested_delegation += 1
+
+    @staticmethod
+    def _path_sites(frame: FrameRecord,
+                    by_id: dict[int, FrameRecord]) -> tuple[str, ...]:
+        path = []
+        node: FrameRecord | None = frame
+        while node is not None:
+            path.append(node.site or "(local)")
+            node = by_id.get(node.parent_id) if node.parent_id is not None \
+                else None
+        return tuple(reversed(path))
+
+    @staticmethod
+    def _ancestor_delegates(frame: FrameRecord,
+                            by_id: dict[int, FrameRecord],
+                            permission: str) -> bool:
+        """Whether any ancestor iframe already delegated the permission —
+        the precondition for calling the deep entry a re-delegation."""
+        node = by_id.get(frame.parent_id) if frame.parent_id is not None \
+            else None
+        while node is not None and node.parent_id is not None:
+            allow = (node.iframe_attributes or {}).get("allow")
+            if allow and permission in \
+                    parse_allow_attribute(allow).delegated_features:
+                return True
+            node = by_id.get(node.parent_id)
+        return False
+
+    def _top_level_names_origins(self, top: FrameRecord, permission: str,
+                                 frame: FrameRecord) -> bool:
+        """Whether the top-level header names explicit origins for this
+        permission yet the deep frame's origin is not among them — the
+        nested frame escaped the top level's intent."""
+        raw = top.header("permissions-policy")
+        if raw is None:
+            return False
+        try:
+            parsed = parse_permissions_policy_header(raw)
+        except HeaderParseError:
+            return False
+        allowlist = parsed.directives.get(permission)
+        if allowlist is None or allowlist.star or not allowlist.origins:
+            return False
+        try:
+            top_origin = Origin.parse(top.url)
+            frame_origin = Origin.parse(frame.url)
+        except OriginParseError:
+            return False
+        return not allowlist.allows(frame_origin, self_origin=top_origin)
+
+    # -- summaries ------------------------------------------------------------------
+
+    def escaped_chains(self) -> list[DelegationChain]:
+        return [chain for chain in self.chains
+                if chain.escapes_top_level_policy]
+
+    def enabled_share(self) -> float:
+        """Share of re-delegation chains whose nested frame actually holds
+        the permission."""
+        if not self.chains:
+            return 0.0
+        enabled = sum(1 for chain in self.chains
+                      if chain.nested_frame_enabled)
+        return enabled / len(self.chains)

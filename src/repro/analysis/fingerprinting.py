@@ -1,0 +1,117 @@
+"""Permission-list fingerprinting surface (paper Section 4.1.1).
+
+The paper observes massive third-party retrieval of the full
+allowed-permission list and notes — as a first, to its knowledge — that
+such lists "enable fingerprinting by revealing differences in permission
+support across browsers and even across versions of the same browser".
+
+This module quantifies that hypothesis against the support matrix: for
+every browser release, the set of policy-controlled permissions a default
+document would report via ``document.featurePolicy.features()`` follows
+from the release's supported feature set.  We compute
+
+* the distinct feature-set classes across releases (how many "looks" the
+  permission list has),
+* which release pairs the list distinguishes,
+* the entropy of the signal under a release-popularity prior.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.registry.browsers import BrowserRelease
+from repro.registry.support import SupportMatrix, default_support_matrix
+
+
+@dataclass(frozen=True)
+class FingerprintClass:
+    """One equivalence class of releases sharing a permission list."""
+
+    features: frozenset[str]
+    releases: tuple[BrowserRelease, ...]
+
+
+@dataclass
+class FingerprintReport:
+    """The fingerprinting-surface summary."""
+
+    classes: list[FingerprintClass]
+    total_releases: int
+    entropy_bits: float
+    max_entropy_bits: float
+
+    @property
+    def distinct_lists(self) -> int:
+        """How many different permission lists exist across releases."""
+        return len(self.classes)
+
+    def distinguishable_pairs(self) -> int:
+        """Release pairs the permission list tells apart."""
+        sizes = [len(cls.releases) for cls in self.classes]
+        total_pairs = self.total_releases * (self.total_releases - 1) // 2
+        same_pairs = sum(size * (size - 1) // 2 for size in sizes)
+        return total_pairs - same_pairs
+
+    def distinguishability(self) -> float:
+        """Share of release pairs the list distinguishes."""
+        total_pairs = self.total_releases * (self.total_releases - 1) // 2
+        if not total_pairs:
+            return 0.0
+        return self.distinguishable_pairs() / total_pairs
+
+
+def feature_list_for(matrix: SupportMatrix,
+                     release: BrowserRelease) -> frozenset[str]:
+    """The policy-controlled permission list a default top-level document
+    on this release would expose."""
+    return frozenset(
+        perm.name for perm in matrix.registry.policy_controlled()
+        if matrix.supported(perm.name, release.browser, release.major_version)
+    )
+
+
+def fingerprint_surface(matrix: SupportMatrix | None = None,
+                        weights: dict[BrowserRelease, float] | None = None
+                        ) -> FingerprintReport:
+    """Compute the fingerprinting surface over all known releases.
+
+    Args:
+        matrix: Support matrix; the default registry/timeline if omitted.
+        weights: Optional release-popularity prior for the entropy; uniform
+            when omitted.
+    """
+    matrix = matrix if matrix is not None else default_support_matrix()
+    releases = matrix.releases
+    by_features: dict[frozenset[str], list[BrowserRelease]] = defaultdict(list)
+    for release in releases:
+        by_features[feature_list_for(matrix, release)].append(release)
+
+    classes = [FingerprintClass(features, tuple(members))
+               for features, members in by_features.items()]
+    classes.sort(key=lambda cls: -len(cls.releases))
+
+    if weights is None:
+        weights = {release: 1.0 for release in releases}
+    total_weight = sum(weights.get(release, 0.0) for release in releases)
+    entropy = 0.0
+    for cls in classes:
+        mass = sum(weights.get(release, 0.0) for release in cls.releases)
+        if mass <= 0 or total_weight <= 0:
+            continue
+        probability = mass / total_weight
+        entropy -= probability * math.log2(probability)
+    max_entropy = math.log2(len(releases)) if releases else 0.0
+    return FingerprintReport(classes=classes, total_releases=len(releases),
+                             entropy_bits=entropy,
+                             max_entropy_bits=max_entropy)
+
+
+def distinguishing_features(matrix: SupportMatrix,
+                            a: BrowserRelease, b: BrowserRelease
+                            ) -> frozenset[str]:
+    """The permissions whose presence differs between two releases — what a
+    fingerprinting script would actually probe."""
+    return feature_list_for(matrix, a) ^ feature_list_for(matrix, b)

@@ -1,0 +1,243 @@
+"""Header adoption and directive analysis (Section 4.3, Figure 2, Table 9).
+
+Local-scheme documents carry no headers and are excluded from adoption
+denominators, exactly as the paper does ("we excluded local document
+iframes (e.g., data:) due to the lack of headers").
+
+For Table 9 the paper reports, per permission, the **least restrictive**
+directive class a website declares (Disable, Self, Same Origin, Same Site,
+Third-party, ``*``) — see
+:func:`repro.policy.allowlist.classify_directive`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crawler.records import FrameRecord, SiteVisit
+from repro.policy.allowlist import DirectiveClass, classify_directive
+from repro.policy.linter import HeaderLinter, LintReport, LintSeverity
+from repro.policy.origin import Origin, OriginParseError
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+
+
+@dataclass
+class DirectiveClassCounts:
+    """Per-permission Table 9 row."""
+
+    permission: str
+    counts: Counter = field(default_factory=Counter)
+
+    @property
+    def websites(self) -> int:
+        return sum(self.counts.values())
+
+    def share(self, cls: DirectiveClass) -> float:
+        total = self.websites
+        return self.counts[cls] / total if total else 0.0
+
+
+@dataclass
+class AdoptionFigures:
+    """Figure 2 plus the top-level/embedded split."""
+
+    pp_all_docs_share: float
+    fp_all_docs_share: float
+    both_sites: int
+    pp_docs: int
+    pp_top_level_docs: int
+    pp_top_level_share: float
+    pp_embedded_docs: int
+    pp_embedded_share: float
+
+
+class HeaderAnalysis:
+    """Aggregates Permissions-Policy / Feature-Policy headers of a crawl."""
+
+    def __init__(self, visits: Iterable[SiteVisit],
+                 registry: PermissionRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._linter = HeaderLinter(self._registry)
+        self._visits = [v for v in visits if v.success]
+        self.top_level_documents = sum(v.top_level_document_count
+                                       for v in self._visits)
+        self.website_count = len(self._visits)
+
+        self.non_local_docs = 0
+        self.non_local_embedded_docs = 0
+        self.pp_top_level_docs = 0
+        self.pp_embedded_docs = 0
+        self.fp_docs = 0
+        self.sites_with_both_headers = 0
+
+        self.syntax_error_frames = 0
+        self.syntax_error_top_level_sites = 0
+        self.syntax_error_embedded_sites = 0
+        self.semantic_issue_top_level_sites = 0
+        self.semantic_issue_embedded_sites = 0
+
+        #: permission -> least-restrictive class counts over top-level sites
+        self.top_level_directives: dict[str, DirectiveClassCounts] = {}
+        self._embedded_class_counts: Counter = Counter()
+        self._top_level_class_counts: Counter = Counter()
+        self._powerful_top_level_class_counts: Counter = Counter()
+        self._header_sizes: list[int] = []
+        self.valid_top_level_headers = 0
+
+        self._run()
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def _run(self) -> None:
+        for visit in self._visits:
+            self._aggregate_visit(visit)
+
+    def _aggregate_visit(self, visit: SiteVisit) -> None:
+        top_syntax_error = False
+        embedded_syntax_error = False
+        top_semantic = False
+        embedded_semantic = False
+        has_pp = False
+        has_fp = False
+        for frame in visit.frames:
+            if frame.is_local:
+                continue
+            # Redirect hops are additional top-level documents sharing the
+            # final document's headers; weight the top frame accordingly so
+            # document-level adoption shares match the paper's accounting.
+            weight = (visit.top_level_document_count
+                      if frame.is_top_level else 1)
+            self.non_local_docs += weight
+            if not frame.is_top_level:
+                self.non_local_embedded_docs += 1
+            pp_raw = frame.header("permissions-policy")
+            fp_raw = frame.header("feature-policy")
+            if fp_raw is not None:
+                self.fp_docs += weight
+                has_fp = True
+            if pp_raw is None:
+                continue
+            has_pp = True
+            if frame.is_top_level:
+                self.pp_top_level_docs += weight
+            else:
+                self.pp_embedded_docs += 1
+            report = self._linter.lint(pp_raw)
+            if report.header_dropped:
+                self.syntax_error_frames += 1
+                if frame.is_top_level:
+                    top_syntax_error = True
+                else:
+                    embedded_syntax_error = True
+                continue
+            if any(f.severity is LintSeverity.ERROR for f in report.findings):
+                if frame.is_top_level:
+                    top_semantic = True
+                else:
+                    embedded_semantic = True
+            self._aggregate_directives(frame, report)
+        if top_syntax_error:
+            self.syntax_error_top_level_sites += 1
+        if embedded_syntax_error:
+            self.syntax_error_embedded_sites += 1
+        if top_semantic:
+            self.semantic_issue_top_level_sites += 1
+        if embedded_semantic:
+            self.semantic_issue_embedded_sites += 1
+        if has_pp and has_fp:
+            self.sites_with_both_headers += 1
+
+    def _aggregate_directives(self, frame: FrameRecord,
+                              report: LintReport) -> None:
+        assert report.parsed is not None
+        try:
+            origin = Origin.parse(frame.url)
+        except OriginParseError:
+            return
+        if frame.is_top_level:
+            self.valid_top_level_headers += 1
+            self._header_sizes.append(report.parsed.feature_count)
+        for feature, allowlist in report.parsed.directives.items():
+            cls = classify_directive(allowlist, origin)
+            if frame.is_top_level:
+                row = self.top_level_directives.setdefault(
+                    feature, DirectiveClassCounts(feature))
+                row.counts[cls] += 1
+                self._top_level_class_counts[cls] += 1
+                perm = self._registry.maybe(feature)
+                if perm is not None and perm.powerful:
+                    self._powerful_top_level_class_counts[cls] += 1
+            else:
+                self._embedded_class_counts[cls] += 1
+
+    # -- adoption (Figure 2) -------------------------------------------------------------
+
+    def adoption(self) -> AdoptionFigures:
+        pp_docs = self.pp_top_level_docs + self.pp_embedded_docs
+        return AdoptionFigures(
+            pp_all_docs_share=(pp_docs / self.non_local_docs
+                               if self.non_local_docs else 0.0),
+            fp_all_docs_share=(self.fp_docs / self.non_local_docs
+                               if self.non_local_docs else 0.0),
+            both_sites=self.sites_with_both_headers,
+            pp_docs=pp_docs,
+            pp_top_level_docs=self.pp_top_level_docs,
+            pp_top_level_share=(self.pp_top_level_docs
+                                / self.top_level_documents
+                                if self.top_level_documents else 0.0),
+            pp_embedded_docs=self.pp_embedded_docs,
+            pp_embedded_share=(self.pp_embedded_docs
+                               / self.non_local_embedded_docs
+                               if self.non_local_embedded_docs else 0.0),
+        )
+
+    # -- Table 9 -----------------------------------------------------------------------------
+
+    def directive_table(self, top_n: int = 10) -> list[DirectiveClassCounts]:
+        rows = sorted(self.top_level_directives.values(),
+                      key=lambda row: row.websites, reverse=True)
+        return rows[:top_n]
+
+    def top_level_class_shares(self) -> dict[DirectiveClass, float]:
+        """Global directive-class shares (83.5 % disable, 9.68 % self, …)."""
+        total = sum(self._top_level_class_counts.values())
+        if not total:
+            return {}
+        return {cls: count / total
+                for cls, count in self._top_level_class_counts.items()}
+
+    def powerful_disable_or_self_share(self) -> float:
+        """For powerful permissions only: disable+self share (97.08 %)."""
+        total = sum(self._powerful_top_level_class_counts.values())
+        if not total:
+            return 0.0
+        strict = (self._powerful_top_level_class_counts[DirectiveClass.DISABLE]
+                  + self._powerful_top_level_class_counts[DirectiveClass.SELF])
+        return strict / total
+
+    def embedded_class_shares(self) -> dict[DirectiveClass, float]:
+        """Embedded documents' directive-class shares (Section 4.3.2)."""
+        total = sum(self._embedded_class_counts.values())
+        if not total:
+            return {}
+        return {cls: count / total
+                for cls, count in self._embedded_class_counts.items()}
+
+    # -- header-size clusters --------------------------------------------------------------------
+
+    def average_permissions_per_header(self) -> float:
+        if not self._header_sizes:
+            return 0.0
+        return sum(self._header_sizes) / len(self._header_sizes)
+
+    def header_size_distribution(self) -> dict[int, float]:
+        """Share of valid top-level headers per declared-permission count —
+        the paper's 18/1/9 template clusters show up as the three modes."""
+        counts = Counter(self._header_sizes)
+        total = len(self._header_sizes)
+        return {size: count / total for size, count in counts.items()}
+
+    def max_permissions_per_header(self) -> int:
+        return max(self._header_sizes, default=0)

@@ -1,0 +1,206 @@
+"""Over-permissioned iframe detection (paper Section 5, Tables 10 and 13).
+
+Threat model: a widely embedded widget that is routinely delegated
+permissions it never uses.  If the widget's infrastructure is compromised
+(a supply-chain attack), those standing delegations let the attacker use
+the permissions across every embedding website — silently where a grant
+already exists.
+
+Detection, exactly as the paper describes:
+
+1. For each embedded origin, collect every delegated permission that
+   appears in **at least 5 %** of that origin's iframe occurrences — the
+   prevalence threshold filters one-off delegations.
+2. Independently collect all permission-related *activity* of that origin's
+   documents: dynamic invocations, status checks, and static functionality
+   in any of its loaded scripts (including dynamically created ones).
+3. A delegated permission with no recorded activity anywhere is flagged
+   **potentially unused**; every website delegating it to the widget is
+   affected.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.usage import static_matches
+from repro.crawler.records import SiteVisit
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+from repro.policy.allow_attr import parse_allow_attribute
+
+
+@dataclass(frozen=True)
+class OverPermissionRow:
+    """One row of Table 10 / 13."""
+
+    site: str
+    unused_permissions: tuple[str, ...]
+    affected_websites: int
+
+
+@dataclass(frozen=True)
+class WidgetDelegationProfile:
+    """Observed delegation behaviour of one embedded site."""
+
+    site: str
+    occurrences: int
+    occurrences_with_delegation: int
+    #: permission -> number of occurrences delegating it
+    delegation_counts: dict[str, int]
+    observed_activity: frozenset[str]
+
+    @property
+    def delegation_rate(self) -> float:
+        if not self.occurrences:
+            return 0.0
+        return self.occurrences_with_delegation / self.occurrences
+
+    def prevalent_delegations(self, threshold: float) -> tuple[str, ...]:
+        floor = threshold * self.occurrences
+        return tuple(sorted(
+            permission for permission, count in self.delegation_counts.items()
+            if count >= floor and count > 0))
+
+
+class OverPermissionAnalysis:
+    """Runs the Section 5 detector over a crawl."""
+
+    def __init__(self, visits: Iterable[SiteVisit], *,
+                 prevalence_threshold: float = 0.05,
+                 registry: PermissionRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.prevalence_threshold = prevalence_threshold
+        self._visits = [v for v in visits if v.success]
+
+        self._occurrences: Counter[str] = Counter()
+        self._delegated_occurrences: Counter[str] = Counter()
+        self._delegation_counts: dict[str, Counter[str]] = defaultdict(Counter)
+        self._activity: dict[str, set[str]] = defaultdict(set)
+        #: (embedded site, permission) -> set of website ranks delegating it
+        self._delegating_websites: dict[tuple[str, str], set[int]] = \
+            defaultdict(set)
+
+        self._run()
+
+    # -- aggregation --------------------------------------------------------------
+
+    def _run(self) -> None:
+        for visit in self._visits:
+            self._aggregate_visit(visit)
+
+    def _aggregate_visit(self, visit: SiteVisit) -> None:
+        top_site = visit.top_frame.site
+        frames = {frame.frame_id: frame for frame in visit.frames}
+
+        for frame in visit.frames:
+            if frame.is_top_level or frame.is_local:
+                continue
+            if not frame.site or frame.site == top_site:
+                continue
+            self._occurrences[frame.site] += 1
+            allow_raw = frame.allow_attribute
+            delegated: tuple[str, ...] = ()
+            if allow_raw:
+                delegated = parse_allow_attribute(allow_raw).delegated_features
+            if delegated:
+                self._delegated_occurrences[frame.site] += 1
+            for permission in delegated:
+                self._delegation_counts[frame.site][permission] += 1
+                self._delegating_websites[(frame.site, permission)].add(
+                    visit.rank)
+
+        # Activity: dynamic calls and static functionality inside each
+        # embedded document, attributed to the document's site.
+        for call in visit.calls:
+            frame = frames[call.frame_id]
+            if frame.is_top_level or not frame.site or frame.site == top_site:
+                continue
+            for permission in call.permissions:
+                self._activity[frame.site].add(permission)
+        for script in visit.scripts:
+            frame = frames[script.frame_id]
+            if frame.is_top_level or not frame.site or frame.site == top_site:
+                continue
+            permissions, _general = static_matches(script.source,
+                                                   self._registry)
+            self._activity[frame.site] |= permissions
+
+    # -- results ---------------------------------------------------------------------
+
+    def profile_for(self, site: str) -> WidgetDelegationProfile:
+        return WidgetDelegationProfile(
+            site=site,
+            occurrences=self._occurrences.get(site, 0),
+            occurrences_with_delegation=self._delegated_occurrences.get(site, 0),
+            delegation_counts=dict(self._delegation_counts.get(site, {})),
+            observed_activity=frozenset(self._activity.get(site, set())),
+        )
+
+    def _observable(self, permission: str) -> bool:
+        """Only instrumented permissions can be declared unused — absence
+        of evidence requires the instrumentation to be able to see usage."""
+        perm = self._registry.maybe(permission)
+        return perm is not None and perm.instrumented
+
+    def unused_delegations(self) -> list[OverPermissionRow]:
+        """All embedded sites with prevalent-but-unused delegations, ranked
+        by affected websites (Tables 10 and 13)."""
+        rows: list[OverPermissionRow] = []
+        for site in self._delegation_counts:
+            profile = self.profile_for(site)
+            prevalent = profile.prevalent_delegations(
+                self.prevalence_threshold)
+            unused = tuple(permission for permission in prevalent
+                           if self._observable(permission)
+                           and permission not in profile.observed_activity)
+            if not unused:
+                continue
+            affected: set[int] = set()
+            for permission in unused:
+                affected |= self._delegating_websites[(site, permission)]
+            rows.append(OverPermissionRow(
+                site=site, unused_permissions=unused,
+                affected_websites=len(affected)))
+        rows.sort(key=lambda row: row.affected_websites, reverse=True)
+        return rows
+
+    def table(self, top_n: int = 10) -> list[OverPermissionRow]:
+        return self.unused_delegations()[:top_n]
+
+    def total_affected_websites(self) -> int:
+        """Websites embedding at least one over-permissioned document
+        (36,307 in the paper)."""
+        affected: set[int] = set()
+        for row in self.unused_delegations():
+            for permission in row.unused_permissions:
+                affected |= self._delegating_websites[(row.site, permission)]
+        return len(affected)
+
+    # -- the Section 5.2 case study -------------------------------------------------------
+
+    def case_study(self, site: str = "livechatinc.com") -> dict:
+        """The LiveChat-style case-study numbers for one embedded site."""
+        profile = self.profile_for(site)
+        prevalent = profile.prevalent_delegations(self.prevalence_threshold)
+        unused = tuple(p for p in prevalent
+                       if self._observable(p)
+                       and p not in profile.observed_activity)
+        embedding_websites: set[int] = set()
+        overpermissioned: set[int] = set()
+        for (candidate, permission), ranks in self._delegating_websites.items():
+            if candidate == site:
+                embedding_websites |= ranks
+                if permission in unused:
+                    overpermissioned |= ranks
+        return {
+            "site": site,
+            "occurrences": profile.occurrences,
+            "delegation_rate": profile.delegation_rate,
+            "prevalent_delegations": prevalent,
+            "observed_activity": tuple(sorted(profile.observed_activity)),
+            "unused_delegations": unused,
+            "websites_with_delegation": len(embedding_websites),
+            "overpermissioned_websites": len(overpermissioned),
+        }

@@ -1,0 +1,44 @@
+"""First-/third-party classification.
+
+Paper Section 4.1: "we define first-party scripts as those originating from
+the same site as the context/document under analysis, and third-party
+scripts as those from any other site.  In cases where the origin of a call
+is absent from the stack trace or is an inline script, we classify the call
+as first-party."  Note the frame-relative definition: a script inside an
+embedded document is first-party when it shares the *embedded document's*
+site, not the top-level site.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.crawler.records import CallRecord, FrameRecord
+from repro.policy.origin import Origin, OriginParseError, site_of
+
+
+class Party(str, Enum):
+    FIRST = "first-party"
+    THIRD = "third-party"
+
+
+def script_party(script_url: "str | None", frame_site: str) -> Party:
+    """Classify a script URL relative to the frame it runs in."""
+    if script_url is None or not script_url:
+        return Party.FIRST
+    try:
+        script_site = site_of(script_url)
+    except OriginParseError:
+        return Party.FIRST
+    if not script_site:
+        return Party.FIRST
+    if not frame_site:
+        # Local-scheme documents have no site; any URL-bearing script is
+        # from elsewhere by definition.
+        return Party.THIRD
+    return Party.FIRST if script_site == frame_site else Party.THIRD
+
+
+def classify_call_party(call: CallRecord, frame: FrameRecord) -> Party:
+    """Classify one recorded call via its stack trace's script URL."""
+    return script_party(call.script_url, frame.site)

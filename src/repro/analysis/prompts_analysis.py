@@ -1,0 +1,77 @@
+"""Prompt pressure: which sites interrupt users on load.
+
+The paper's Section 7 cites a line of prompt-UX work (unwanted
+notification interruptions, prompt quieting); its own pipeline records
+every prompt a visit would trigger but does not analyse them.  This module
+does: prompts fired *without any user gesture* — the page had barely
+loaded and already asked for a powerful permission — per permission, per
+requesting context, and whether the prompt text names the embedded
+document (only ``storage-access`` does, Section 2.2.5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crawler.records import SiteVisit
+
+
+@dataclass
+class PromptPressureReport:
+    """On-load prompt statistics for one crawl."""
+
+    sites_prompting_on_load: int = 0
+    total_prompts: int = 0
+    prompts_by_permission: Counter = field(default_factory=Counter)
+    prompts_from_embedded: int = 0
+    prompts_naming_embedded_site: int = 0
+
+    def share_of(self, site_count: int) -> float:
+        return (self.sites_prompting_on_load / site_count
+                if site_count else 0.0)
+
+    @property
+    def embedded_share(self) -> float:
+        if not self.total_prompts:
+            return 0.0
+        return self.prompts_from_embedded / self.total_prompts
+
+
+class PromptAnalysis:
+    """Aggregates recorded prompts across visits."""
+
+    def __init__(self, visits: Iterable[SiteVisit]) -> None:
+        self.report = PromptPressureReport()
+        self._site_count = 0
+        for visit in visits:
+            if visit.success:
+                self._site_count += 1
+                self._aggregate(visit)
+
+    def _aggregate(self, visit: SiteVisit) -> None:
+        if not visit.prompts:
+            return
+        report = self.report
+        report.sites_prompting_on_load += 1
+        top_site = visit.top_frame.site
+        frames = {frame.frame_id: frame for frame in visit.frames}
+        for prompt in visit.prompts:
+            report.total_prompts += 1
+            report.prompts_by_permission[prompt.permission] += 1
+            frame = frames.get(prompt.requesting_frame_id)
+            if frame is not None and not frame.is_top_level:
+                report.prompts_from_embedded += 1
+            if prompt.display_site and prompt.display_site != top_site:
+                # Only storage-access prompts name the embedded document.
+                report.prompts_naming_embedded_site += 1
+
+    @property
+    def prompting_share(self) -> float:
+        """Share of successful sites that would interrupt a fresh visitor
+        before any interaction."""
+        return self.report.share_of(self._site_count)
+
+    def top_offenders(self, top_n: int = 5) -> list[tuple[str, int]]:
+        return self.report.prompts_by_permission.most_common(top_n)

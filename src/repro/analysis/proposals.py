@@ -1,0 +1,159 @@
+"""Evaluating the specification changes the paper discusses (Section 6.2).
+
+Two open W3C proposals get quantified against the crawl:
+
+* **Deny-all default** (issue #483): today a header must disable every
+  permission explicitly; the paper criticises the "lack of a default
+  disallow all directive" as an omission risk.  Under the proposal, a site
+  deploying a header would get every *undeclared* permission disabled.
+  :func:`evaluate_default_disallow_all` measures the migration cost: how
+  many header-deploying sites actually rely on defaults for permissions
+  they observably use — i.e. would break if the proposal shipped and they
+  changed nothing.
+
+* **Local-scheme inheritance fix** (issue #552): the Table 11 bug.
+  :func:`local_scheme_attack_surface` measures who is exposed today: sites
+  whose header restricts a powerful permission to ``self`` (the config the
+  bypass defeats) while their CSP does not constrain frame loads (the
+  injection precondition).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crawler.records import SiteVisit
+from repro.policy.allowlist import DirectiveClass, classify_directive
+from repro.policy.csp import ContentSecurityPolicy, local_scheme_attack_possible
+from repro.policy.header import HeaderParseError, parse_permissions_policy_header
+from repro.policy.origin import Origin, OriginParseError
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+
+
+@dataclass
+class DenyAllBreakageReport:
+    """Migration cost of the deny-all-default proposal."""
+
+    header_sites: int = 0
+    sites_breaking: int = 0
+    broken_permissions: Counter = field(default_factory=Counter)
+
+    @property
+    def breaking_share(self) -> float:
+        if not self.header_sites:
+            return 0.0
+        return self.sites_breaking / self.header_sites
+
+
+def evaluate_default_disallow_all(
+        visits: Iterable[SiteVisit],
+        registry: PermissionRegistry | None = None) -> DenyAllBreakageReport:
+    """Which header-deploying sites would break under deny-all defaults.
+
+    A site breaks when its top-level document observably invokes a
+    policy-controlled permission that its header does not declare with a
+    non-empty allowlist — under the proposal that permission would be off.
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    report = DenyAllBreakageReport()
+    for visit in visits:
+        if not visit.success:
+            continue
+        top = visit.top_frame
+        raw = top.header("permissions-policy")
+        if raw is None:
+            continue
+        try:
+            parsed = parse_permissions_policy_header(raw)
+        except HeaderParseError:
+            continue  # dropped headers are a separate failure class
+        report.header_sites += 1
+        used = set()
+        for call in visit.calls_in_frame(top.frame_id):
+            for permission in call.permissions:
+                perm = registry.maybe(permission)
+                if perm is not None and perm.policy_controlled:
+                    used.add(permission)
+        broken = {
+            permission for permission in used
+            if permission not in parsed.directives
+            or parsed.directives[permission].is_empty
+        }
+        # Permissions declared with an empty allowlist are broken today
+        # already; only count *newly* broken ones (undeclared).
+        newly_broken = {p for p in broken if p not in parsed.directives}
+        if newly_broken:
+            report.sites_breaking += 1
+            report.broken_permissions.update(newly_broken)
+    return report
+
+
+@dataclass
+class AttackSurfaceReport:
+    """Exposure to the local-scheme bypass (Section 6.2)."""
+
+    sites_with_self_only_powerful: int = 0
+    exposed_sites: int = 0          # …of those, CSP does not constrain frames
+    protected_by_csp: int = 0
+    exposed_permissions: Counter = field(default_factory=Counter)
+
+    @property
+    def exposure_share(self) -> float:
+        if not self.sites_with_self_only_powerful:
+            return 0.0
+        return self.exposed_sites / self.sites_with_self_only_powerful
+
+
+def local_scheme_attack_surface(
+        visits: Iterable[SiteVisit],
+        registry: PermissionRegistry | None = None) -> AttackSurfaceReport:
+    """Measure who the Table 11 bug can actually hurt.
+
+    Preconditions per site: (a) the header restricts at least one powerful
+    permission to a non-empty, ``self``-style allowlist — a wildcard grant
+    has nothing to bypass and a disabled feature stays disabled even for
+    the local-scheme document; (b) the CSP (if any) leaves frame loads
+    unconstrained, so HTML injection can plant the ``data:`` iframe.
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    report = AttackSurfaceReport()
+    for visit in visits:
+        if not visit.success:
+            continue
+        top = visit.top_frame
+        raw = top.header("permissions-policy")
+        if raw is None:
+            continue
+        try:
+            parsed = parse_permissions_policy_header(raw)
+        except HeaderParseError:
+            continue
+        try:
+            origin = Origin.parse(top.url)
+        except OriginParseError:
+            continue
+        vulnerable_permissions = []
+        for feature, allowlist in parsed.directives.items():
+            perm = registry.maybe(feature)
+            if perm is None or not perm.powerful:
+                continue
+            if allowlist.is_empty:
+                continue  # disabled features stay disabled — no bypass
+            cls = classify_directive(allowlist, origin)
+            if cls in (DirectiveClass.SELF, DirectiveClass.SAME_ORIGIN,
+                       DirectiveClass.SAME_SITE, DirectiveClass.THIRD_PARTY):
+                vulnerable_permissions.append(feature)
+        if not vulnerable_permissions:
+            continue
+        report.sites_with_self_only_powerful += 1
+        csp_raw = top.header("content-security-policy")
+        policy = (ContentSecurityPolicy.parse(csp_raw)
+                  if csp_raw is not None else None)
+        if local_scheme_attack_possible(policy, self_origin=origin):
+            report.exposed_sites += 1
+            report.exposed_permissions.update(vulnerable_permissions)
+        else:
+            report.protected_by_csp += 1
+    return report

@@ -1,0 +1,119 @@
+"""Rank-stratified views of the measurement (popularity extension).
+
+The paper measures the top 1M as one population (noting only that 27 of
+LiveChat's embedders are in the CrUX top 5,000).  Security-header studies
+consistently find adoption skewed toward popular sites; this module slices
+every headline metric by rank bucket so that skew becomes visible:
+
+* ``Permissions-Policy`` adoption per bucket,
+* delegation and invocation shares per bucket,
+* widget penetration per bucket (who embeds LiveChat at the top vs the
+  tail).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crawler.records import SiteVisit
+from repro.policy.allow_attr import parse_allow_attribute
+
+#: Default rank buckets as (label, inclusive upper percentile).
+DEFAULT_BUCKETS: tuple[tuple[str, float], ...] = (
+    ("top 2%", 0.02),
+    ("2-10%", 0.10),
+    ("10-40%", 0.40),
+    ("tail", 1.0),
+)
+
+
+@dataclass
+class RankBucket:
+    """Aggregates for one popularity slice."""
+
+    label: str
+    sites: int = 0
+    with_pp_header: int = 0
+    with_invocation: int = 0
+    delegating: int = 0
+    embedding: Counter = field(default_factory=Counter)
+
+    def share(self, count: int) -> float:
+        return count / self.sites if self.sites else 0.0
+
+    @property
+    def pp_header_share(self) -> float:
+        return self.share(self.with_pp_header)
+
+    @property
+    def invocation_share(self) -> float:
+        return self.share(self.with_invocation)
+
+    @property
+    def delegation_share(self) -> float:
+        return self.share(self.delegating)
+
+
+class RankBucketAnalysis:
+    """Slices a crawl by site-rank percentile."""
+
+    def __init__(self, visits: Iterable[SiteVisit], total_sites: int, *,
+                 buckets: tuple[tuple[str, float], ...] = DEFAULT_BUCKETS
+                 ) -> None:
+        if total_sites <= 0:
+            raise ValueError("total_sites must be positive")
+        self.total_sites = total_sites
+        self.buckets = [RankBucket(label) for label, _ in buckets]
+        self._bounds = [bound for _, bound in buckets]
+        for visit in visits:
+            if visit.success:
+                self._aggregate(visit)
+
+    def _bucket_for(self, rank: int) -> RankBucket:
+        percentile = rank / self.total_sites
+        for bucket, bound in zip(self.buckets, self._bounds):
+            if percentile < bound or bound >= 1.0:
+                return bucket
+        return self.buckets[-1]
+
+    def _aggregate(self, visit: SiteVisit) -> None:
+        bucket = self._bucket_for(max(0, visit.rank))
+        bucket.sites += 1
+        top = visit.top_frame
+        if top.header("permissions-policy") is not None:
+            bucket.with_pp_header += 1
+        if visit.calls:
+            bucket.with_invocation += 1
+        top_site = top.site
+        delegating = False
+        for frame in visit.frames:
+            if frame.depth != 1 or frame.is_local or not frame.site:
+                continue
+            if frame.site != top_site:
+                bucket.embedding[frame.site] += 1
+            allow = frame.allow_attribute
+            if allow and parse_allow_attribute(allow).delegated_features:
+                delegating = True
+        if delegating:
+            bucket.delegating += 1
+
+    # -- views ---------------------------------------------------------------------
+
+    def adoption_gradient(self) -> list[tuple[str, float]]:
+        """(bucket, PP adoption share) from most to least popular."""
+        return [(bucket.label, bucket.pp_header_share)
+                for bucket in self.buckets]
+
+    def is_adoption_monotone(self) -> bool:
+        """Whether adoption falls (weakly) with decreasing popularity."""
+        shares = [bucket.pp_header_share for bucket in self.buckets
+                  if bucket.sites >= 50]
+        return all(a >= b * 0.95 for a, b in zip(shares, shares[1:]))
+
+    def widget_penetration(self, site: str) -> list[tuple[str, float]]:
+        """Share of each bucket's sites embedding ``site`` — e.g. LiveChat
+        at the top vs the tail."""
+        return [(bucket.label, bucket.share(bucket.embedding.get(site, 0)))
+                for bucket in self.buckets]

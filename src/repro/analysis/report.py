@@ -1,0 +1,83 @@
+"""Text rendering for tables and paper-vs-measured comparisons.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Monospace table with left-aligned first column and right-aligned
+    numeric columns."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts)
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append("  ".join("-" * width for width in widths))
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2%}" if 0.0 <= value <= 1.0 else f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_comparison(rows: Iterable[tuple[str, float, float]],
+                      title: str = "paper vs measured") -> str:
+    """Render (metric, paper, measured) rows with the relative deviation."""
+    table_rows = []
+    for metric, paper, measured in rows:
+        deviation = (measured - paper) / paper if paper else float("nan")
+        table_rows.append((metric, f"{paper:.2%}", f"{measured:.2%}",
+                           f"{deviation:+.1%}"))
+    return render_table(("metric", "paper", "measured", "dev"),
+                        table_rows, title=title)
+
+
+def render_ranking(title: str, paper_ranking: Sequence[str],
+                   measured_ranking: Sequence[str]) -> str:
+    """Side-by-side ranking comparison for the top-N tables."""
+    length = max(len(paper_ranking), len(measured_ranking))
+    rows = []
+    for index in range(length):
+        paper = paper_ranking[index] if index < len(paper_ranking) else ""
+        measured = (measured_ranking[index]
+                    if index < len(measured_ranking) else "")
+        marker = "=" if paper == measured else " "
+        rows.append((str(index + 1), paper, measured, marker))
+    return render_table(("#", "paper", "measured", ""), rows, title=title)
+
+
+def ranking_overlap(paper_ranking: Sequence[str],
+                    measured_ranking: Sequence[str]) -> float:
+    """Jaccard overlap of two top-N sets — the shape metric for ranked
+    tables."""
+    paper_set = set(paper_ranking)
+    measured_set = set(measured_ranking)
+    union = paper_set | measured_set
+    if not union:
+        return 1.0
+    return len(paper_set & measured_set) / len(union)

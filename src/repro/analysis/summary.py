@@ -1,0 +1,155 @@
+"""Headline measurement summary (the Section 4 numbers).
+
+:func:`summarize` runs all analyses over one crawl dataset and collects the
+headline aggregates into a :class:`MeasurementSummary`, with a
+``compare_to_paper`` helper that renders paper-vs-measured rows for
+EXPERIMENTS.md and the benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.delegation import DelegationAnalysis
+from repro.analysis.headers import HeaderAnalysis
+from repro.analysis.overpermission import OverPermissionAnalysis
+from repro.analysis.usage import UsageAnalysis
+from repro.crawler.pool import CrawlDataset
+from repro.policy.allow_attr import DelegationDirectiveKind
+from repro.policy.allowlist import DirectiveClass
+from repro.synthweb.distributions import PAPER
+
+
+@dataclass
+class MeasurementSummary:
+    """Every headline number of the paper's Section 4, measured."""
+
+    attempted_sites: int
+    successful_sites: int
+    failure_summary: dict[str, int]
+    top_level_documents: int
+    embedded_documents: int
+    sites_with_iframes: int
+    local_embedded_share: float
+    average_seconds_per_site: float
+
+    share_any_invocation: float
+    share_invocation_top: float
+    share_invocation_embedded: float
+    share_any_functionality: float
+    share_any_static: float
+    top_third_party_share: float
+    embedded_first_party_share: float
+
+    share_sites_delegating: float
+    share_sites_delegating_external: float
+    directive_share_default_src: float
+    directive_share_star: float
+
+    pp_header_top_level_share: float
+    pp_header_all_docs_share: float
+    fp_header_all_docs_share: float
+    pp_header_embedded_share: float
+    header_class_disable_share: float
+    header_class_self_share: float
+    header_class_star_share: float
+    syntax_error_top_level_sites: int
+    semantic_issue_top_level_sites: int
+
+    overpermission_affected_websites: int
+
+    def compare_to_paper(self) -> list[tuple[str, float, float]]:
+        """(metric name, paper value, measured value) rows for the shape
+        comparison — each pair should agree in magnitude, not digit-for-
+        digit (our substrate is a calibrated simulation)."""
+        return [
+            ("any permission functionality (share of top docs)",
+             PAPER.share_any_functionality, self.share_any_functionality),
+            ("any invocation", PAPER.share_any_invocation,
+             self.share_any_invocation),
+            ("invocation in top-level", PAPER.share_invocation_top_level,
+             self.share_invocation_top),
+            ("invocation in embedded", PAPER.share_invocation_embedded,
+             self.share_invocation_embedded),
+            ("static functionality", PAPER.share_static_any,
+             self.share_any_static),
+            ("top-level invocations third-party",
+             PAPER.top_level_third_party_share, self.top_third_party_share),
+            ("embedded invocations first-party",
+             PAPER.embedded_first_party_share,
+             self.embedded_first_party_share),
+            ("sites delegating permissions", PAPER.share_sites_delegating,
+             self.share_sites_delegating),
+            ("sites delegating to external iframes",
+             PAPER.share_sites_delegating_external,
+             self.share_sites_delegating_external),
+            ("delegation directives defaulting to src",
+             PAPER.directive_share_default_src,
+             self.directive_share_default_src),
+            ("delegation directives using *", PAPER.directive_share_star,
+             self.directive_share_star),
+            ("Permissions-Policy header on top-level documents",
+             PAPER.pp_header_top_level_share, self.pp_header_top_level_share),
+            ("Permissions-Policy adoption over all documents",
+             PAPER.pp_header_adoption_all_docs, self.pp_header_all_docs_share),
+            ("Feature-Policy adoption over all documents",
+             PAPER.fp_header_adoption_all_docs, self.fp_header_all_docs_share),
+            ("header directives disabling features",
+             PAPER.directive_class_disable_share,
+             self.header_class_disable_share),
+            ("header directives restricted to self",
+             PAPER.directive_class_self_share, self.header_class_self_share),
+            ("header directives using *", PAPER.directive_class_star_share,
+             self.header_class_star_share),
+            ("local share of embedded documents",
+             PAPER.local_embedded_share, self.local_embedded_share),
+        ]
+
+
+def summarize(dataset: CrawlDataset) -> MeasurementSummary:
+    """Run every analysis over ``dataset`` and collect the headline
+    aggregates."""
+    visits = dataset.successful()
+    usage = UsageAnalysis(visits)
+    delegation = DelegationAnalysis(visits)
+    headers = HeaderAnalysis(visits)
+    overpermission = OverPermissionAnalysis(visits)
+    adoption = headers.adoption()
+    class_shares = headers.top_level_class_shares()
+    directive_dist = delegation.directive_distribution()
+    return MeasurementSummary(
+        attempted_sites=dataset.attempted,
+        successful_sites=dataset.successful_count,
+        failure_summary=dataset.failure_summary(),
+        top_level_documents=dataset.top_level_document_count,
+        embedded_documents=dataset.embedded_document_count,
+        sites_with_iframes=dataset.sites_with_iframes(),
+        local_embedded_share=dataset.local_embedded_share(),
+        average_seconds_per_site=dataset.average_duration_seconds(),
+        share_any_invocation=usage.share_any_invocation,
+        share_invocation_top=usage.share_invocation_top,
+        share_invocation_embedded=usage.share_invocation_embedded,
+        share_any_functionality=usage.share_any_functionality,
+        share_any_static=usage.share_any_static,
+        top_third_party_share=usage.top_third_party_share,
+        embedded_first_party_share=usage.embedded_first_party_share,
+        share_sites_delegating=delegation.share_sites_delegating,
+        share_sites_delegating_external=(
+            delegation.share_sites_delegating_external),
+        directive_share_default_src=directive_dist.get(
+            DelegationDirectiveKind.DEFAULT_SRC, 0.0),
+        directive_share_star=directive_dist.get(
+            DelegationDirectiveKind.STAR, 0.0),
+        pp_header_top_level_share=adoption.pp_top_level_share,
+        pp_header_all_docs_share=adoption.pp_all_docs_share,
+        fp_header_all_docs_share=adoption.fp_all_docs_share,
+        pp_header_embedded_share=adoption.pp_embedded_share,
+        header_class_disable_share=class_shares.get(
+            DirectiveClass.DISABLE, 0.0),
+        header_class_self_share=class_shares.get(DirectiveClass.SELF, 0.0),
+        header_class_star_share=class_shares.get(DirectiveClass.STAR, 0.0),
+        syntax_error_top_level_sites=headers.syntax_error_top_level_sites,
+        semantic_issue_top_level_sites=headers.semantic_issue_top_level_sites,
+        overpermission_affected_websites=(
+            overpermission.total_affected_websites()),
+    )

@@ -1,0 +1,395 @@
+"""Permission usage analysis (paper Section 4.1, Tables 4–6).
+
+Three views over the crawl records:
+
+* **Invocations (dynamic)** — which permissions were invoked per execution
+  context, split by first/third party (Table 4).  The "General Permission
+  APIs" pseudo-row aggregates calls to the Permissions / Permissions
+  Policy / Feature Policy specification APIs.
+* **Status checks (dynamic)** — which permissions had their state checked,
+  and the "All Permissions" row for wholesale allowed-feature retrievals
+  (Table 5).
+* **Static detections** — string matching of permission API patterns in
+  collected script sources (Table 6).
+
+Counting follows the paper exactly: only the first occurrence of each
+permission per frame counts ("this ensures that outliers … do not
+artificially inflate the results"), context counts are frames, website
+counts are site visits, and percentages are relative to top-level
+documents.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.parties import Party, classify_call_party
+from repro.crawler.records import CallRecord, FrameRecord, SiteVisit
+from repro.registry.features import (
+    DEFAULT_REGISTRY,
+    GENERAL_PERMISSION_APIS,
+    PermissionRegistry,
+)
+
+#: Pseudo-permission rows the paper's tables use.
+GENERAL_ROW = "General Permission APIs"
+ALL_PERMISSIONS_ROW = "All Permissions"
+
+
+@dataclass
+class ContextStats:
+    """Per-permission context counts for Table 4."""
+
+    permission: str
+    top_contexts: int = 0
+    top_first_party: int = 0
+    top_third_party: int = 0
+    embedded_contexts: int = 0
+    embedded_first_party: int = 0
+    embedded_third_party: int = 0
+
+    @property
+    def total_contexts(self) -> int:
+        return self.top_contexts + self.embedded_contexts
+
+    def top_party_shares(self) -> tuple[float, float]:
+        if not self.top_contexts:
+            return 0.0, 0.0
+        return (self.top_first_party / self.top_contexts,
+                self.top_third_party / self.top_contexts)
+
+    def embedded_party_shares(self) -> tuple[float, float]:
+        if not self.embedded_contexts:
+            return 0.0, 0.0
+        return (self.embedded_first_party / self.embedded_contexts,
+                self.embedded_third_party / self.embedded_contexts)
+
+
+@dataclass
+class CheckStats:
+    """Per-permission website counts for Table 5."""
+
+    permission: str
+    websites: int = 0
+    top_contexts: int = 0
+    embedded_contexts: int = 0
+
+    @property
+    def embedded_share(self) -> float:
+        total = self.top_contexts + self.embedded_contexts
+        return self.embedded_contexts / total if total else 0.0
+
+
+@dataclass
+class StaticStats:
+    """Per-permission website counts for Table 6."""
+
+    permission: str
+    websites: int = 0
+    top_contexts: int = 0
+    embedded_contexts: int = 0
+
+    @property
+    def embedded_share(self) -> float:
+        total = self.top_contexts + self.embedded_contexts
+        return self.embedded_contexts / total if total else 0.0
+
+
+def static_matches(source: str, registry: PermissionRegistry
+                   ) -> tuple[frozenset[str], bool]:
+    """Permissions whose API patterns occur in ``source``, plus whether any
+    general permission API occurs.  This is the paper's plain
+    string-matching static analysis — deliberately blind to obfuscation."""
+    permissions = frozenset(p.name for p in registry.match_api(source))
+    general = any(api in source for api in GENERAL_PERMISSION_APIS)
+    return permissions, general
+
+
+class UsageAnalysis:
+    """Aggregates usage across a crawl (see module docstring)."""
+
+    def __init__(self, visits: Iterable[SiteVisit],
+                 registry: PermissionRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._visits = [v for v in visits if v.success]
+        self.top_level_documents = sum(v.top_level_document_count
+                                       for v in self._visits)
+        #: Denominator for "website" shares.  The paper reports percentages
+        #: relative to top-level documents; redirect hops of one visit share
+        #: identical behaviour, so per-visit counting over visits yields the
+        #: same ratios without double-counting machinery.
+        self.website_count = len(self._visits)
+        self.invocation_stats: dict[str, ContextStats] = {}
+        self.check_stats: dict[str, CheckStats] = {}
+        self.static_stats: dict[str, StaticStats] = {}
+
+        self.sites_any_invocation = 0
+        self.sites_invocation_top = 0
+        self.sites_invocation_embedded = 0
+        self.sites_any_static = 0
+        self.sites_static_top_only = 0
+        self.sites_static_embedded_only = 0
+        self.sites_any_functionality = 0
+        self.sites_any_status_check = 0
+        self.sites_check_top = 0
+        self.sites_check_embedded = 0
+        self.sites_feature_policy_api = 0
+        self.total_top_invoking_contexts = 0
+        self.total_embedded_invoking_contexts = 0
+        self._top_invoking_first = 0
+        self._top_invoking_third = 0
+        self._embedded_invoking_first = 0
+        self._embedded_invoking_third = 0
+        self._permissions_checked_per_top_doc: list[int] = []
+
+        self._run()
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def _stats_for(self, table: dict, cls, permission: str):
+        if permission not in table:
+            table[permission] = cls(permission)
+        return table[permission]
+
+    def _run(self) -> None:
+        for visit in self._visits:
+            self._aggregate_visit(visit)
+
+    def _aggregate_visit(self, visit: SiteVisit) -> None:
+        frames = {frame.frame_id: frame for frame in visit.frames}
+
+        # --- dynamic: first occurrence of each permission per frame ----------
+        # key: (frame, row-permission) -> set of parties observed
+        invoked: dict[tuple[int, str], set[Party]] = defaultdict(set)
+        checked: dict[tuple[int, str], set[Party]] = defaultdict(set)
+        any_general_deprecated = False
+        for call in visit.calls:
+            frame = frames[call.frame_id]
+            party = classify_call_party(call, frame)
+            if call.uses_deprecated_feature_policy_api:
+                any_general_deprecated = True
+            if call.is_general:
+                invoked[(call.frame_id, GENERAL_ROW)].add(party)
+                checked[(call.frame_id, ALL_PERMISSIONS_ROW)].add(party)
+            elif call.is_status_check:
+                invoked[(call.frame_id, GENERAL_ROW)].add(party)
+                for permission in call.permissions:
+                    checked[(call.frame_id, permission)].add(party)
+            else:
+                for permission in call.permissions:
+                    invoked[(call.frame_id, permission)].add(party)
+
+        top_invoked = False
+        embedded_invoked = False
+        seen_frames_top: dict[int, set[Party]] = defaultdict(set)
+        seen_frames_embedded: dict[int, set[Party]] = defaultdict(set)
+        for (frame_id, permission), parties in invoked.items():
+            frame = frames[frame_id]
+            stats = self._stats_for(self.invocation_stats, ContextStats,
+                                    permission)
+            if frame.is_top_level:
+                top_invoked = True
+                stats.top_contexts += 1
+                if Party.FIRST in parties:
+                    stats.top_first_party += 1
+                if Party.THIRD in parties:
+                    stats.top_third_party += 1
+                seen_frames_top[frame_id] |= parties
+            else:
+                embedded_invoked = True
+                stats.embedded_contexts += 1
+                if Party.FIRST in parties:
+                    stats.embedded_first_party += 1
+                if Party.THIRD in parties:
+                    stats.embedded_third_party += 1
+                seen_frames_embedded[frame_id] |= parties
+        self.total_top_invoking_contexts += len(seen_frames_top)
+        self.total_embedded_invoking_contexts += len(seen_frames_embedded)
+        self._top_invoking_first += sum(
+            1 for parties in seen_frames_top.values() if Party.FIRST in parties)
+        self._top_invoking_third += sum(
+            1 for parties in seen_frames_top.values() if Party.THIRD in parties)
+        self._embedded_invoking_first += sum(
+            1 for parties in seen_frames_embedded.values()
+            if Party.FIRST in parties)
+        self._embedded_invoking_third += sum(
+            1 for parties in seen_frames_embedded.values()
+            if Party.THIRD in parties)
+
+        if top_invoked or embedded_invoked:
+            self.sites_any_invocation += 1
+        if top_invoked:
+            self.sites_invocation_top += 1
+        if embedded_invoked:
+            self.sites_invocation_embedded += 1
+        if any_general_deprecated:
+            self.sites_feature_policy_api += 1
+
+        # --- status checks (Table 5) ------------------------------------------
+        site_checked: set[str] = set()
+        check_top = False
+        check_embedded = False
+        specific_checked_top: set[str] = set()
+        for (frame_id, permission), _parties in checked.items():
+            frame = frames[frame_id]
+            stats = self._stats_for(self.check_stats, CheckStats, permission)
+            if frame.is_top_level:
+                stats.top_contexts += 1
+                check_top = True
+                if permission != ALL_PERMISSIONS_ROW:
+                    specific_checked_top.add(permission)
+            else:
+                stats.embedded_contexts += 1
+                check_embedded = True
+            site_checked.add(permission)
+        for permission in site_checked:
+            self.check_stats[permission].websites += 1
+        if site_checked:
+            self.sites_any_status_check += 1
+        if check_top:
+            self.sites_check_top += 1
+        if check_embedded:
+            self.sites_check_embedded += 1
+        if specific_checked_top:
+            self._permissions_checked_per_top_doc.append(
+                len(specific_checked_top))
+
+        # --- static (Table 6) ----------------------------------------------------
+        static_by_frame: dict[int, frozenset[str]] = {}
+        general_by_frame: dict[int, bool] = {}
+        for script in visit.scripts:
+            permissions, general = static_matches(script.source,
+                                                  self._registry)
+            previous = static_by_frame.get(script.frame_id, frozenset())
+            static_by_frame[script.frame_id] = previous | permissions
+            general_by_frame[script.frame_id] = (
+                general_by_frame.get(script.frame_id, False) or general)
+
+        site_static: set[str] = set()
+        static_top = False
+        static_embedded = False
+        for frame_id, permissions in static_by_frame.items():
+            frame = frames[frame_id]
+            names = set(permissions)
+            if general_by_frame.get(frame_id):
+                names.add(GENERAL_ROW)
+            for permission in names:
+                stats = self._stats_for(self.static_stats, StaticStats,
+                                        permission)
+                if frame.is_top_level:
+                    stats.top_contexts += 1
+                    static_top = True
+                else:
+                    stats.embedded_contexts += 1
+                    static_embedded = True
+            if frame.is_top_level and permissions:
+                static_top = True
+            site_static |= names
+        for permission in site_static:
+            self.static_stats[permission].websites += 1
+        if site_static:
+            self.sites_any_static += 1
+            if static_top and not static_embedded:
+                self.sites_static_top_only += 1
+            if static_embedded and not static_top:
+                self.sites_static_embedded_only += 1
+        if site_static or top_invoked or embedded_invoked:
+            self.sites_any_functionality += 1
+
+    # -- shares (percentages relative to top-level documents) ----------------------
+
+    def _share(self, count: int) -> float:
+        # Paper convention (Section 4): website counts divided by the
+        # top-level *document* total, redirect hops included.
+        return (count / self.top_level_documents
+                if self.top_level_documents else 0.0)
+
+    @property
+    def share_any_invocation(self) -> float:
+        return self._share(self.sites_any_invocation)
+
+    @property
+    def share_invocation_top(self) -> float:
+        return self._share(self.sites_invocation_top)
+
+    @property
+    def share_invocation_embedded(self) -> float:
+        return self._share(self.sites_invocation_embedded)
+
+    @property
+    def share_any_functionality(self) -> float:
+        return self._share(self.sites_any_functionality)
+
+    @property
+    def share_any_static(self) -> float:
+        return self._share(self.sites_any_static)
+
+    @property
+    def top_third_party_share(self) -> float:
+        """Share of top-level invoking contexts with third-party calls
+        (the paper's 98.32 %)."""
+        if not self.total_top_invoking_contexts:
+            return 0.0
+        return self._top_invoking_third / self.total_top_invoking_contexts
+
+    @property
+    def embedded_first_party_share(self) -> float:
+        """Share of embedded invoking contexts with first-party calls
+        (the paper's 74.86 %)."""
+        if not self.total_embedded_invoking_contexts:
+            return 0.0
+        return (self._embedded_invoking_first
+                / self.total_embedded_invoking_contexts)
+
+    @property
+    def mean_permissions_checked(self) -> float:
+        if not self._permissions_checked_per_top_doc:
+            return 0.0
+        return (sum(self._permissions_checked_per_top_doc)
+                / len(self._permissions_checked_per_top_doc))
+
+    @property
+    def max_permissions_checked(self) -> int:
+        return max(self._permissions_checked_per_top_doc, default=0)
+
+    # -- tables ----------------------------------------------------------------------
+
+    def invocation_table(self, top_n: int = 10) -> list[ContextStats]:
+        """Table 4: permissions ranked by total invoking contexts."""
+        rows = sorted(self.invocation_stats.values(),
+                      key=lambda s: s.total_contexts, reverse=True)
+        return rows[:top_n]
+
+    def status_check_table(self, top_n: int = 10) -> list[CheckStats]:
+        """Table 5: checked permissions ranked by websites."""
+        rows = sorted(self.check_stats.values(),
+                      key=lambda s: s.websites, reverse=True)
+        return rows[:top_n]
+
+    def static_table(self, top_n: int = 10) -> list[StaticStats]:
+        """Table 6: statically detected permissions ranked by websites,
+        excluding the general-API pseudo-row (the paper ranks concrete
+        permissions here)."""
+        rows = sorted(
+            (s for s in self.static_stats.values()
+             if s.permission != GENERAL_ROW),
+            key=lambda s: s.websites, reverse=True)
+        return rows[:top_n]
+
+    # -- per-site views used by the over-permission detector ------------------------
+
+    def frame_activity(self, visit: SiteVisit) -> dict[int, frozenset[str]]:
+        """All permission-related activity per frame of one visit: invoked,
+        checked, or statically present (the Section 5 activity notion)."""
+        activity: dict[int, set[str]] = defaultdict(set)
+        for call in visit.calls:
+            for permission in call.permissions:
+                activity[call.frame_id].add(permission)
+        for script in visit.scripts:
+            permissions, _general = static_matches(script.source,
+                                                   self._registry)
+            activity[script.frame_id] |= permissions
+        return {frame_id: frozenset(perms)
+                for frame_id, perms in activity.items()}

@@ -1,0 +1,96 @@
+"""Policy-violation analysis: who gets blocked, and by whom.
+
+Every recorded call carries the policy verdict (the instrumentation wraps
+the real function, so denials are observed like successes).  Blocked calls
+split into two stories:
+
+* **Self-inflicted breakage** — a top-level document's own functionality
+  calls a permission API that the site's *own header* disables.  The paper
+  shows headers are mostly copy-pasted disable templates (Section 4.3.1);
+  this measures how often the template bites the deployer.
+* **Missing delegation** — an embedded document calls an API the embedder
+  never delegated (the default-`self` wall).  The flip side of the
+  over-permission analysis: under-permissioned widgets that silently lose
+  functionality.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crawler.records import SiteVisit
+from repro.policy.header import HeaderParseError, parse_permissions_policy_header
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+
+
+@dataclass
+class ViolationReport:
+    """Aggregated blocked-call statistics for one crawl."""
+
+    sites_with_blocked_calls: int = 0
+    sites_with_self_inflicted: int = 0
+    sites_with_missing_delegation: int = 0
+    blocked_permissions: Counter = field(default_factory=Counter)
+    self_inflicted_permissions: Counter = field(default_factory=Counter)
+    missing_delegation_sites: Counter = field(default_factory=Counter)
+
+    def top_blocked(self, top_n: int = 10) -> list[tuple[str, int]]:
+        return self.blocked_permissions.most_common(top_n)
+
+
+class ViolationAnalysis:
+    """Classifies every ``allowed=False`` call in a crawl."""
+
+    def __init__(self, visits: Iterable[SiteVisit],
+                 registry: PermissionRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.report = ViolationReport()
+        for visit in visits:
+            if visit.success:
+                self._aggregate(visit)
+
+    def _aggregate(self, visit: SiteVisit) -> None:
+        top = visit.top_frame
+        own_disabled = self._own_disabled_features(visit)
+        frames = {frame.frame_id: frame for frame in visit.frames}
+        any_blocked = False
+        self_inflicted = False
+        missing_delegation = False
+        for call in visit.calls:
+            if call.allowed:
+                continue
+            permissions = [p for p in call.permissions
+                           if p in self._registry]
+            if not permissions:
+                continue
+            any_blocked = True
+            frame = frames[call.frame_id]
+            for permission in permissions:
+                self.report.blocked_permissions[permission] += 1
+                if frame.is_top_level and permission in own_disabled:
+                    self_inflicted = True
+                    self.report.self_inflicted_permissions[permission] += 1
+                elif not frame.is_top_level and frame.site \
+                        and frame.site != top.site:
+                    missing_delegation = True
+                    self.report.missing_delegation_sites[frame.site] += 1
+        if any_blocked:
+            self.report.sites_with_blocked_calls += 1
+        if self_inflicted:
+            self.report.sites_with_self_inflicted += 1
+        if missing_delegation:
+            self.report.sites_with_missing_delegation += 1
+
+    def _own_disabled_features(self, visit: SiteVisit) -> frozenset[str]:
+        raw = visit.top_frame.header("permissions-policy")
+        if raw is None:
+            return frozenset()
+        try:
+            parsed = parse_permissions_policy_header(raw)
+        except HeaderParseError:
+            return frozenset()
+        return frozenset(feature
+                         for feature, allowlist in parsed.directives.items()
+                         if allowlist.is_empty)

@@ -1,0 +1,62 @@
+"""Browser substrate.
+
+A simulated browser sufficient for the paper's measurement pipeline: frame
+trees with response headers and iframe attributes, a script execution model
+with call stacks, the permission-related Web API surface of Appendix A.4,
+dynamic API instrumentation (Figure 1), and the permission prompt model.
+
+* :mod:`repro.browser.scripts` — scripts: source text plus an operation
+  list, with obfuscation / interaction-gating / dead-code variants;
+* :mod:`repro.browser.api` — the instrumented API surface and helpers to
+  build API calls;
+* :mod:`repro.browser.instrumentation` — function wrapping that records
+  invocations with stack traces before delegating to the original;
+* :mod:`repro.browser.dom` — documents, iframe elements, frame trees;
+* :mod:`repro.browser.page` — page loading: headers → policy → frames →
+  script execution;
+* :mod:`repro.browser.prompts` — the permission prompt decision model.
+"""
+
+from repro.browser.api import (
+    ApiKind,
+    ApiSpec,
+    APISurface,
+    DEFAULT_API_SURFACE,
+    allowed_features_call,
+    feature_policy_allows_call,
+    invoke_call,
+    query_call,
+)
+from repro.browser.dom import Document, FrameTree, IframeElement
+from repro.browser.instrumentation import (
+    InstrumentedRuntime,
+    InvocationRecord,
+    WebAPIRuntime,
+)
+from repro.browser.page import Page, PageLoader
+from repro.browser.prompts import PermissionPrompt, PromptModel, PromptOutcome
+from repro.browser.scripts import ApiCall, Script
+
+__all__ = [
+    "ApiCall",
+    "ApiKind",
+    "ApiSpec",
+    "APISurface",
+    "DEFAULT_API_SURFACE",
+    "Document",
+    "FrameTree",
+    "IframeElement",
+    "InstrumentedRuntime",
+    "InvocationRecord",
+    "Page",
+    "PageLoader",
+    "PermissionPrompt",
+    "PromptModel",
+    "PromptOutcome",
+    "Script",
+    "WebAPIRuntime",
+    "allowed_features_call",
+    "feature_policy_allows_call",
+    "invoke_call",
+    "query_call",
+]

@@ -1,0 +1,256 @@
+"""The permission-related Web API surface.
+
+Appendix A.4 of the paper lists the instrumented permissions ("many of which
+contain several instrumented APIs") plus the general-purpose APIs of the
+Permissions, Permissions Policy and deprecated Feature Policy
+specifications.  This module declares that surface: every instrumentable
+API endpoint with the permissions it involves and how the analysis
+categorises a call to it —
+
+* ``INVOKE``: using a feature (e.g. ``getUserMedia``);
+* ``STATUS_CHECK``: querying a specific permission's state
+  (``navigator.permissions.query({name: 'camera'})``);
+* ``GENERAL``: retrieving the overall permission machinery
+  (``document.featurePolicy.allowedFeatures()`` …), counted by the paper as
+  "General Permission APIs" — its single most observed category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Mapping
+
+from repro.browser.scripts import ApiCall
+from repro.registry.features import (
+    DEFAULT_REGISTRY,
+    FEATURE_POLICY_APIS,
+    GENERAL_PERMISSION_APIS,
+    PermissionRegistry,
+)
+
+
+class ApiKind(str, Enum):
+    """How the analysis categorises a call (paper Section 4.1)."""
+
+    INVOKE = "invoke"
+    STATUS_CHECK = "status-check"
+    GENERAL = "general"
+
+
+@dataclass(frozen=True)
+class ApiSpec:
+    """One instrumentable API endpoint."""
+
+    name: str
+    kind: ApiKind
+    permissions: tuple[str, ...] = ()
+    #: Whether the checked permission is named by the call's first argument
+    #: rather than fixed by the endpoint (``navigator.permissions.query``).
+    permission_from_args: bool = False
+    deprecated: bool = False
+
+    def permissions_for(self, args: tuple[str, ...]) -> tuple[str, ...]:
+        """Permissions a concrete call touches."""
+        if self.permission_from_args and args:
+            return (args[0],)
+        return self.permissions
+
+
+#: Mapping from each permission name to its primary invoke API, mirroring
+#: Appendix A.4.  Permissions sharing an endpoint (camera/microphone via
+#: getUserMedia) are modelled with argument-carrying calls instead.
+_INVOKE_APIS: tuple[ApiSpec, ...] = (
+    ApiSpec("navigator.mediaDevices.getUserMedia", ApiKind.INVOKE,
+            permission_from_args=True),
+    ApiSpec("navigator.mediaDevices.getDisplayMedia", ApiKind.INVOKE,
+            ("display-capture",)),
+    ApiSpec("navigator.geolocation.getCurrentPosition", ApiKind.INVOKE,
+            ("geolocation",)),
+    ApiSpec("navigator.geolocation.watchPosition", ApiKind.INVOKE,
+            ("geolocation",)),
+    ApiSpec("Notification.requestPermission", ApiKind.INVOKE,
+            ("notifications",)),
+    ApiSpec("pushManager.subscribe", ApiKind.INVOKE, ("push",)),
+    ApiSpec("navigator.getBattery", ApiKind.INVOKE, ("battery",)),
+    ApiSpec("document.browsingTopics", ApiKind.INVOKE, ("browsing-topics",)),
+    ApiSpec("document.requestStorageAccess", ApiKind.INVOKE,
+            ("storage-access",)),
+    ApiSpec("document.requestStorageAccessFor", ApiKind.INVOKE,
+            ("top-level-storage-access",)),
+    ApiSpec("navigator.clipboard.readText", ApiKind.INVOKE,
+            ("clipboard-read",)),
+    ApiSpec("navigator.clipboard.writeText", ApiKind.INVOKE,
+            ("clipboard-write",)),
+    ApiSpec("navigator.credentials.get", ApiKind.INVOKE,
+            permission_from_args=True),
+    ApiSpec("navigator.credentials.create", ApiKind.INVOKE,
+            ("publickey-credentials-create",)),
+    ApiSpec("PaymentRequest.show", ApiKind.INVOKE, ("payment",)),
+    ApiSpec("navigator.runAdAuction", ApiKind.INVOKE, ("run-ad-auction",)),
+    ApiSpec("navigator.joinAdInterestGroup", ApiKind.INVOKE,
+            ("join-ad-interest-group",)),
+    ApiSpec("attributionReporting.register", ApiKind.INVOKE,
+            ("attribution-reporting",)),
+    ApiSpec("keyboard.getLayoutMap", ApiKind.INVOKE, ("keyboard-map",)),
+    ApiSpec("keyboard.lock", ApiKind.INVOKE, ("keyboard-lock",)),
+    ApiSpec("requestMediaKeySystemAccess", ApiKind.INVOKE,
+            ("encrypted-media",)),
+    ApiSpec("navigator.requestMIDIAccess", ApiKind.INVOKE, ("midi",)),
+    ApiSpec("navigator.share", ApiKind.INVOKE, ("web-share",)),
+    ApiSpec("navigator.wakeLock.request", ApiKind.INVOKE,
+            ("screen-wake-lock",)),
+    ApiSpec("navigator.usb.requestDevice", ApiKind.INVOKE, ("usb",)),
+    ApiSpec("navigator.serial.requestPort", ApiKind.INVOKE, ("serial",)),
+    ApiSpec("navigator.hid.requestDevice", ApiKind.INVOKE, ("hid",)),
+    ApiSpec("navigator.bluetooth.requestDevice", ApiKind.INVOKE,
+            ("bluetooth",)),
+    ApiSpec("navigator.xr.requestSession", ApiKind.INVOKE,
+            ("xr-spatial-tracking",)),
+    ApiSpec("IdleDetector.start", ApiKind.INVOKE, ("idle-detection",)),
+    ApiSpec("queryLocalFonts", ApiKind.INVOKE, ("local-fonts",)),
+    ApiSpec("getScreenDetails", ApiKind.INVOKE, ("window-management",)),
+    ApiSpec("navigator.getGamepads", ApiKind.INVOKE, ("gamepad",)),
+    ApiSpec("Accelerometer.start", ApiKind.INVOKE, ("accelerometer",)),
+    ApiSpec("Gyroscope.start", ApiKind.INVOKE, ("gyroscope",)),
+    ApiSpec("Magnetometer.start", ApiKind.INVOKE, ("magnetometer",)),
+    ApiSpec("AmbientLightSensor.start", ApiKind.INVOKE,
+            ("ambient-light-sensor",)),
+    ApiSpec("PressureObserver.observe", ApiKind.INVOKE, ("compute-pressure",)),
+    ApiSpec("requestFullscreen", ApiKind.INVOKE, ("fullscreen",)),
+    ApiSpec("requestPictureInPicture", ApiKind.INVOKE,
+            ("picture-in-picture",)),
+    ApiSpec("requestPointerLock", ApiKind.INVOKE, ("pointer-lock",)),
+    ApiSpec("HTMLMediaElement.play", ApiKind.INVOKE, ("autoplay",)),
+    ApiSpec("selectAudioOutput", ApiKind.INVOKE, ("speaker-selection",)),
+    ApiSpec("document.hasStorageAccess", ApiKind.STATUS_CHECK,
+            ("storage-access",)),
+    ApiSpec("navigator.wakeLock.requestSystem", ApiKind.INVOKE,
+            ("system-wake-lock",)),
+    ApiSpec("TCPSocket.open", ApiKind.INVOKE, ("direct-sockets",)),
+    ApiSpec("navigator.getVRDisplays", ApiKind.INVOKE, ("vr",)),
+    ApiSpec("crossOriginIsolated", ApiKind.INVOKE, ("cross-origin-isolated",)),
+    ApiSpec("hasPrivateToken", ApiKind.INVOKE,
+            ("private-state-token-issuance",)),
+    ApiSpec("hasRedemptionRecord", ApiKind.INVOKE,
+            ("private-state-token-redemption",)),
+    ApiSpec("document.interestCohort", ApiKind.INVOKE, ("interest-cohort",)),
+)
+
+_GENERAL_APIS: tuple[ApiSpec, ...] = tuple(
+    ApiSpec(
+        name,
+        # `query` with arguments is a per-permission status check; the
+        # policy-introspection calls are GENERAL.
+        (ApiKind.STATUS_CHECK if name == "navigator.permissions.query"
+         else ApiKind.GENERAL),
+        permission_from_args=(name in (
+            "navigator.permissions.query",
+            "document.permissionsPolicy.allowsFeature",
+            "document.featurePolicy.allowsFeature",
+        )),
+        deprecated="featurePolicy" in name,
+    )
+    for name in GENERAL_PERMISSION_APIS
+)
+
+
+class APISurface:
+    """Name-indexed collection of instrumentable API endpoints."""
+
+    def __init__(self, specs: tuple[ApiSpec, ...] | None = None,
+                 registry: PermissionRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        all_specs = specs if specs is not None else _INVOKE_APIS + _GENERAL_APIS
+        self._by_name: dict[str, ApiSpec] = {}
+        for spec in all_specs:
+            if spec.name in self._by_name:
+                raise ValueError(f"duplicate API {spec.name!r}")
+            self._by_name[spec.name] = spec
+
+    def get(self, name: str) -> ApiSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown API endpoint: {name!r}") from None
+
+    def maybe(self, name: str) -> ApiSpec | None:
+        return self._by_name.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[ApiSpec]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def registry(self) -> PermissionRegistry:
+        return self._registry
+
+    def general_apis(self) -> tuple[ApiSpec, ...]:
+        return tuple(s for s in self if s.kind is ApiKind.GENERAL
+                     or s.name in GENERAL_PERMISSION_APIS)
+
+    def deprecated_apis(self) -> tuple[ApiSpec, ...]:
+        """The Feature Policy era APIs still relied on by 429,259 websites
+        in the paper's data (Section 4.1.1)."""
+        return tuple(s for s in self if s.deprecated)
+
+    def invoke_api_for(self, permission: str) -> ApiSpec:
+        """The primary invoke endpoint for a permission (e.g. camera →
+        ``getUserMedia``)."""
+        for spec in self._by_name.values():
+            if spec.kind is ApiKind.INVOKE and permission in spec.permissions:
+                return spec
+        if permission in ("camera", "microphone"):
+            return self.get("navigator.mediaDevices.getUserMedia")
+        if permission == "publickey-credentials-get":
+            return self.get("navigator.credentials.get")
+        if permission == "identity-credentials-get":
+            return self.get("navigator.credentials.get")
+        if permission == "otp-credentials":
+            return self.get("navigator.credentials.get")
+        raise KeyError(f"no invoke API for permission {permission!r}")
+
+
+#: Default surface covering the full Appendix A.4 list.
+DEFAULT_API_SURFACE = APISurface()
+
+
+# -- call builders (convenience for the generator and tests) -----------------
+
+def invoke_call(permission: str, *, requires_interaction: bool = False,
+                interaction_gate: str = "click",
+                surface: APISurface = DEFAULT_API_SURFACE) -> ApiCall:
+    """An ApiCall invoking ``permission`` through its primary endpoint."""
+    spec = surface.invoke_api_for(permission)
+    args = (permission,) if spec.permission_from_args else ()
+    return ApiCall(api=spec.name, args=args,
+                   requires_interaction=requires_interaction,
+                   interaction_gate=interaction_gate)
+
+
+def query_call(permission: str, *, requires_interaction: bool = False
+               ) -> ApiCall:
+    """``navigator.permissions.query({name: permission})``."""
+    return ApiCall(api="navigator.permissions.query", args=(permission,),
+                   requires_interaction=requires_interaction)
+
+
+def allowed_features_call(*, deprecated: bool = True) -> ApiCall:
+    """Retrieving the full allowed-permission list; most scripts still use
+    the deprecated Feature Policy spelling (paper Section 4.1.1)."""
+    api = ("document.featurePolicy.allowedFeatures" if deprecated
+           else "document.permissionsPolicy.allowedFeatures")
+    return ApiCall(api=api)
+
+
+def feature_policy_allows_call(permission: str, *, deprecated: bool = True
+                               ) -> ApiCall:
+    """Checking one feature through the policy introspection API."""
+    api = ("document.featurePolicy.allowsFeature" if deprecated
+           else "document.permissionsPolicy.allowsFeature")
+    return ApiCall(api=api, args=(permission,))

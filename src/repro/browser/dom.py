@@ -1,0 +1,160 @@
+"""Documents, iframe elements and frame trees.
+
+The crawler collects, for every frame it encounters, the response headers
+and — for embedded documents — the common attributes of the ``<iframe>``
+element carrying them: ``id``, ``name``, ``class``, ``src``, ``allow``,
+``sandbox``, ``srcdoc`` and ``loading`` (paper Section 3.1.2).  This module
+models exactly those structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.browser.scripts import Script
+from repro.policy.engine import PolicyFrame
+from repro.policy.origin import LOCAL_SCHEMES, Origin
+
+
+@dataclass
+class IframeElement:
+    """An ``<iframe>`` element with the attributes the paper collects."""
+
+    src: str | None = None
+    allow: str | None = None
+    sandbox: str | None = None
+    srcdoc: str | None = None
+    element_id: str = ""
+    name: str = ""
+    css_class: str = ""
+    loading: str = ""
+    #: Content of local documents (srcdoc / data: iframes), which never hit
+    #: the network; ``None`` for network-loaded iframes.
+    local_content: "DocumentContent | None" = None
+
+    @property
+    def lazy(self) -> bool:
+        """Lazy-loaded iframes only load once scrolled into view; the
+        crawler scrolls to them deliberately (paper Section 3.2)."""
+        return self.loading.lower() == "lazy"
+
+    @property
+    def is_local_document(self) -> bool:
+        """Local documents issue no network request and carry no headers:
+        ``srcdoc`` iframes and local-scheme ``src`` values (paper
+        Section 4)."""
+        if self.srcdoc is not None:
+            return True
+        if self.src is None:
+            return True
+        scheme = self.src.split(":", 1)[0].lower()
+        return scheme in LOCAL_SCHEMES
+
+    @property
+    def local_scheme(self) -> str:
+        """The local scheme of a local document ('about' for srcdoc)."""
+        if self.srcdoc is not None or self.src is None:
+            return "about"
+        return self.src.split(":", 1)[0].lower()
+
+    def attribute_dict(self) -> dict[str, str]:
+        """The attribute record the crawler stores (Section 3.1.2 list)."""
+        out: dict[str, str] = {}
+        for key, value in (("id", self.element_id), ("name", self.name),
+                           ("class", self.css_class), ("src", self.src),
+                           ("allow", self.allow), ("sandbox", self.sandbox),
+                           ("srcdoc", self.srcdoc), ("loading", self.loading)):
+            if value:
+                out[key] = value
+        return out
+
+
+@dataclass
+class DocumentContent:
+    """What a fetch delivers for one document: its scripts and iframes.
+    The synthetic web generator produces these; the page loader turns them
+    into :class:`Document` frames."""
+
+    scripts: list[Script] = field(default_factory=list)
+    iframes: list[IframeElement] = field(default_factory=list)
+
+
+@dataclass
+class Document:
+    """A loaded document: one frame of a page."""
+
+    url: str
+    origin: Origin
+    headers: dict[str, str]
+    content: DocumentContent
+    policy_frame: PolicyFrame
+    frame_id: int
+    parent: "Document | None" = None
+    container: IframeElement | None = None
+    depth: int = 0
+
+    @property
+    def is_top_level(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_local_scheme(self) -> bool:
+        return self.policy_frame.is_local_scheme
+
+    @property
+    def scripts(self) -> list[Script]:
+        return self.content.scripts
+
+    @property
+    def iframes(self) -> list[IframeElement]:
+        return self.content.iframes
+
+    def header(self, name: str) -> str | None:
+        """Case-insensitive response-header lookup."""
+        return self.headers.get(name.lower())
+
+    @property
+    def site(self) -> str:
+        return self.origin.site
+
+
+@dataclass
+class FrameTree:
+    """All frames of one page visit, in load order (top-level first)."""
+
+    frames: list[Document] = field(default_factory=list)
+
+    def add(self, document: Document) -> None:
+        self.frames.append(document)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def top(self) -> Document:
+        if not self.frames:
+            raise ValueError("empty frame tree")
+        return self.frames[0]
+
+    def by_id(self, frame_id: int) -> Document:
+        for frame in self.frames:
+            if frame.frame_id == frame_id:
+                return frame
+        raise KeyError(f"no frame with id {frame_id}")
+
+    def embedded(self) -> list[Document]:
+        return [frame for frame in self.frames if not frame.is_top_level]
+
+    def local_documents(self) -> list[Document]:
+        return [frame for frame in self.embedded() if frame.is_local_scheme]
+
+    def external_documents(self) -> list[Document]:
+        """Embedded documents loaded over the network from another site
+        than the top level."""
+        top_site = self.top.site
+        return [frame for frame in self.embedded()
+                if not frame.is_local_scheme and frame.site != top_site]

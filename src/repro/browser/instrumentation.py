@@ -1,0 +1,214 @@
+"""Dynamic API instrumentation (paper Figure 1).
+
+The paper's crawler overwrites each permission-related function before any
+page content executes::
+
+    var origFunc = navigator.permissions.query;
+    navigator.permissions.query = function (...params) {
+        let stacktrace = new Error().stack;
+        save(params, stacktrace);
+        return origFunc.apply(this, [...params]);
+    }
+
+We reproduce the same mechanism: a :class:`WebAPIRuntime` exposes one
+callable per API endpoint (the "original functions", simulating browser
+behaviour), and :class:`InstrumentedRuntime` wraps every one of them with a
+recording closure that captures the call, its arguments and the current
+script stack trace, then delegates to the original — so instrumented
+functions keep working, exactly as the paper stresses.
+
+The stack trace is the list of script URLs on the execution stack; its
+deepest entry identifies the calling script, which is how the analysis
+attributes calls to first or third parties (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.browser.api import APISurface, ApiKind, ApiSpec, DEFAULT_API_SURFACE
+from repro.browser.permission_store import PermissionState, PermissionStore
+from repro.browser.scripts import Script
+from repro.policy.engine import PermissionsPolicyEngine, PolicyFrame
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One recorded API call — what ``save(params, stacktrace)`` persists."""
+
+    api: str
+    kind: ApiKind
+    permissions: tuple[str, ...]
+    args: tuple[str, ...]
+    stacktrace: tuple[str, ...]
+    frame_id: int
+    #: Whether the policy allowed the call to do anything; blocked calls are
+    #: still *recorded* (the invocation happened) but return a denial.
+    allowed: bool
+
+    @property
+    def calling_script_url(self) -> str | None:
+        """URL of the script that made the call: the deepest stack entry
+        carrying a URL.  ``None`` means inline/dynamic code (classified as
+        first-party by the paper)."""
+        for entry in reversed(self.stacktrace):
+            if entry:
+                return entry
+        return None
+
+
+class WebAPIRuntime:
+    """The uninstrumented API surface of one document.
+
+    Each endpoint is a Python callable mimicking the browser's behaviour at
+    the granularity the measurement needs: policy evaluation (is the feature
+    enabled in this frame?), and a structured return value.
+    """
+
+    def __init__(self, frame: PolicyFrame, *,
+                 surface: APISurface = DEFAULT_API_SURFACE,
+                 engine: PermissionsPolicyEngine | None = None,
+                 store: "PermissionStore | None" = None) -> None:
+        self.frame = frame
+        self.surface = surface
+        self.engine = engine if engine is not None else PermissionsPolicyEngine()
+        self.store = store if store is not None else PermissionStore(
+            registry=surface.registry)
+        self._top_site = frame.root.effective_policy_origin().site
+        self._allowed_features_cache: tuple[str, ...] | None = None
+        self._functions: dict[str, Callable[..., Any]] = {
+            spec.name: self._make_original(spec) for spec in surface
+        }
+
+    def _allowed_features(self) -> tuple[str, ...]:
+        if self._allowed_features_cache is None:
+            self._allowed_features_cache = self.engine.allowed_features(
+                self.frame)
+        return self._allowed_features_cache
+
+    def _make_original(self, spec: ApiSpec) -> Callable[..., Any]:
+        def original(*args: str) -> dict[str, Any]:
+            permissions = spec.permissions_for(tuple(args))
+            if spec.kind is ApiKind.GENERAL:
+                allowed = True
+                result: Any = self._allowed_features()
+            else:
+                allowed = all(self.engine.is_enabled(p, self.frame)
+                              for p in permissions) if permissions else True
+                if not allowed:
+                    result = PermissionState.DENIED.value
+                elif spec.kind is ApiKind.STATUS_CHECK and permissions:
+                    # navigator.permissions.query resolves with the
+                    # remembered state (granted/denied/prompt).
+                    result = self.store.state(self._top_site,
+                                              permissions[0]).value
+                else:
+                    result = "granted-path"
+            return {"api": spec.name, "allowed": allowed, "result": result}
+        return original
+
+    def get(self, name: str) -> Callable[..., Any]:
+        return self._functions[name]
+
+    def set(self, name: str, func: Callable[..., Any]) -> None:
+        """Overwrite an endpoint — the instrumentation hook point."""
+        if name not in self._functions:
+            raise KeyError(f"unknown API endpoint: {name!r}")
+        self._functions[name] = func
+
+    def call(self, name: str, *args: str) -> Any:
+        return self._functions[name](*args)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._functions)
+
+
+class InstrumentedRuntime:
+    """Wraps every endpoint of a :class:`WebAPIRuntime` with recording.
+
+    Mirrors Figure 1: the wrapper saves (params, stacktrace) and then calls
+    the saved original so behaviour is unchanged.  Records accumulate in
+    :attr:`records`.
+    """
+
+    def __init__(self, runtime: WebAPIRuntime, *, frame_id: int = 0) -> None:
+        self.runtime = runtime
+        self.frame_id = frame_id
+        self.records: list[InvocationRecord] = []
+        self._script_stack: list[Script] = []
+        self._install()
+
+    def _install(self) -> None:
+        """Overwrite each endpoint before any content executes (the paper
+        injects instrumentation via Playwright init scripts).  Only the
+        Appendix A.4 surface is wrapped: endpoints whose permissions are
+        not instrumented keep working but leave no record — exactly the
+        paper's blind spot for autoplay, fullscreen, the ads APIs, etc."""
+        registry = self.runtime.surface.registry
+        for name in self.runtime.names():
+            spec = self.runtime.surface.get(name)
+            observable = (
+                spec.kind is not ApiKind.INVOKE
+                or spec.permission_from_args
+                or any((perm := registry.maybe(p)) is not None
+                       and perm.instrumented for p in spec.permissions)
+            )
+            if not observable:
+                continue
+            original = self.runtime.get(name)
+            self.runtime.set(name, self._make_wrapper(spec, original))
+
+    def _make_wrapper(self, spec: ApiSpec,
+                      original: Callable[..., Any]) -> Callable[..., Any]:
+        def wrapper(*args: str) -> Any:
+            outcome = original(*args)
+            self.records.append(InvocationRecord(
+                api=spec.name,
+                kind=spec.kind,
+                permissions=spec.permissions_for(tuple(args)),
+                args=tuple(args),
+                stacktrace=self._capture_stack(),
+                frame_id=self.frame_id,
+                allowed=bool(outcome.get("allowed", True)),
+            ))
+            return outcome
+        return wrapper
+
+    def _capture_stack(self) -> tuple[str, ...]:
+        """``new Error().stack`` equivalent: script URLs innermost-last;
+        inline/dynamic scripts contribute an empty entry."""
+        return tuple((script.url or "") for script in self._script_stack)
+
+    # -- script execution --------------------------------------------------------
+
+    def execute(self, script: Script, *, interact: bool = False,
+                unlocked_gates: frozenset[str] = frozenset({"click"})) -> int:
+        """Run a script through the instrumented surface.
+
+        Args:
+            script: The script to run.
+            interact: Whether user interaction is simulated; gated
+                operations fire only if their gate is in ``unlocked_gates``.
+            unlocked_gates: Which interaction gates the simulated user can
+                open (a crawler click opens ``click``; ``login`` or
+                ``subscription`` stay shut unless explicitly granted —
+                Appendix A.3's inaccessible functionality).
+
+        Returns:
+            Number of operations executed.
+        """
+        executed = 0
+        self._script_stack.append(script)
+        try:
+            for op in script.operations:
+                if op.requires_interaction:
+                    if not interact or op.interaction_gate not in unlocked_gates:
+                        continue
+                if op.api not in self.runtime.names():
+                    continue
+                self.runtime.call(op.api, *op.args)
+                executed += 1
+        finally:
+            self._script_stack.pop()
+        return executed

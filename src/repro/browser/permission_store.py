@@ -1,0 +1,86 @@
+"""Permission states: granted / denied / prompt.
+
+Powerful features carry a third state besides granted and denied —
+*prompt* — meaning the user must actively decide on first use (paper
+Section 2.1).  Browsers remember decisions per (top-level site, permission)
+pair; ``navigator.permissions.query`` exposes the current state, and the
+paper's Section 5.3 warns that an *already granted* permission can be used
+by a delegated document silently, without any new prompt.
+
+:class:`PermissionStore` models that persistence layer.  The crawler runs
+with an empty store (a stateless browser, Appendix A.2 C11); the PoC and
+the supply-chain analyses seed stores to model returning visitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+
+
+class PermissionState(str, Enum):
+    """The three states of the Permissions specification."""
+
+    GRANTED = "granted"
+    DENIED = "denied"
+    PROMPT = "prompt"
+
+
+@dataclass
+class PermissionStore:
+    """Remembered permission decisions, keyed by (top-level site, name).
+
+    Non-powerful permissions never prompt: their state is ``GRANTED``
+    whenever the policy allows the call, so queries for them return
+    ``granted`` unconditionally here (the policy check happens elsewhere).
+    """
+
+    registry: PermissionRegistry = field(default_factory=lambda: DEFAULT_REGISTRY)
+    _states: dict[tuple[str, str], PermissionState] = field(
+        default_factory=dict)
+
+    def state(self, top_site: str, permission: str) -> PermissionState:
+        """Current state for a permission on a site."""
+        perm = self.registry.maybe(permission)
+        if perm is None or not perm.powerful:
+            return PermissionState.GRANTED
+        return self._states.get((top_site, permission),
+                                PermissionState.PROMPT)
+
+    def grant(self, top_site: str, permission: str) -> None:
+        self._set(top_site, permission, PermissionState.GRANTED)
+
+    def deny(self, top_site: str, permission: str) -> None:
+        self._set(top_site, permission, PermissionState.DENIED)
+
+    def reset(self, top_site: str, permission: str) -> None:
+        """Back to ``prompt`` — the user cleared the site setting."""
+        self._states.pop((top_site, permission), None)
+
+    def _set(self, top_site: str, permission: str,
+             state: PermissionState) -> None:
+        perm = self.registry.get(permission)
+        if not perm.powerful:
+            raise ValueError(
+                f"{permission!r} is not a powerful feature; it has no "
+                "remembered state")
+        self._states[(top_site, permission)] = state
+
+    def requires_prompt(self, top_site: str, permission: str) -> bool:
+        """Whether first use would show a prompt right now."""
+        return self.state(top_site, permission) is PermissionState.PROMPT
+
+    def granted_permissions(self, top_site: str) -> tuple[str, ...]:
+        """Permissions already granted to a site — the silent-hijack surface
+        of paper Section 5.3."""
+        return tuple(sorted(
+            permission for (site, permission), state in self._states.items()
+            if site == top_site and state is PermissionState.GRANTED))
+
+    def snapshot(self) -> dict[tuple[str, str], str]:
+        return {key: state.value for key, state in self._states.items()}
+
+    def __len__(self) -> int:
+        return len(self._states)

@@ -1,0 +1,111 @@
+"""Permission prompt model.
+
+Powerful features require explicit user consent, usually through a prompt
+(paper Section 2.1).  Two paper observations matter for the simulation:
+
+* The prompt names the **top-level site** even when an embedded document
+  requests the permission — "example.org is asking to use your camera"
+  rather than the iframe's site (Section 2.2.4).  The only exception is
+  ``storage-access``, whose prompt names the embedded document
+  (Section 2.2.5).
+* A crawler never answers prompts, so every prompt is *dismissed*; the
+  measurement still records the triggering invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.browser.dom import Document
+from repro.browser.instrumentation import InvocationRecord
+from repro.browser.permission_store import PermissionState, PermissionStore
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+
+
+class PromptOutcome(str, Enum):
+    GRANTED = "granted"
+    DENIED = "denied"
+    DISMISSED = "dismissed"
+
+
+@dataclass(frozen=True)
+class PermissionPrompt:
+    """A prompt the browser would show for an invocation."""
+
+    permission: str
+    requesting_frame_id: int
+    display_site: str
+    outcome: PromptOutcome
+    text: str
+
+
+class PromptModel:
+    """Decides whether an invocation triggers a prompt and how it reads.
+
+    Args:
+        registry: Source of the *powerful* classification.
+        decider: Outcome assigned to every prompt; the crawler default is
+            ``DISMISSED`` (nobody clicks).
+        store: Remembered permission states (returning-visitor model); a
+            fresh, empty store by default — the paper's stateless browser.
+    """
+
+    def __init__(self, registry: PermissionRegistry | None = None,
+                 decider: PromptOutcome = PromptOutcome.DISMISSED,
+                 store: PermissionStore | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._decider = decider
+        self.store = store if store is not None else PermissionStore(
+            registry=self._registry)
+        self.prompts: list[PermissionPrompt] = []
+
+    def consider(self, record: InvocationRecord, frame: Document,
+                 top: Document) -> PermissionPrompt | None:
+        """Evaluate one invocation; returns the prompt it triggers, if any.
+
+        Prompts appear only for *powerful* permissions whose policy check
+        passed and whose state is not already remembered.
+        """
+        if not record.allowed:
+            return None
+        for permission in record.permissions:
+            perm = self._registry.maybe(permission)
+            if perm is None or not perm.powerful:
+                continue
+            display_site = (frame.site if permission == "storage-access"
+                            else top.site)
+            if not self.store.requires_prompt(top.site, permission):
+                # Already granted or denied: the call proceeds (or fails)
+                # silently — the Section 5.3 silent-hijack condition.
+                continue
+            prompt = PermissionPrompt(
+                permission=permission,
+                requesting_frame_id=frame.frame_id,
+                display_site=display_site,
+                outcome=self._decider,
+                text=self._render(display_site, permission),
+            )
+            self.prompts.append(prompt)
+            if self._decider is PromptOutcome.GRANTED:
+                self.store.grant(top.site, permission)
+            elif self._decider is PromptOutcome.DENIED:
+                self.store.deny(top.site, permission)
+            return prompt
+        return None
+
+    @staticmethod
+    def _render(display_site: str, permission: str) -> str:
+        verbs = {
+            "camera": "Use your camera",
+            "microphone": "Use your microphone",
+            "geolocation": "Know your location",
+            "notifications": "Show notifications",
+            "storage-access": "Use cookies and site data",
+        }
+        action = verbs.get(permission, f"Use {permission.replace('-', ' ')}")
+        return f"{display_site} is asking to: {action}"
+
+    def remembered_state(self, top_site: str, permission: str
+                         ) -> PermissionState:
+        return self.store.state(top_site, permission)

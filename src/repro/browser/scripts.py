@@ -1,0 +1,132 @@
+"""Script model: source text plus executable operations.
+
+A real crawl sees two faces of every script: the *source text* that static
+analysis string-matches (paper Section 3.1.1), and the *behaviour* when the
+JavaScript engine runs it, which dynamic instrumentation records.  Our
+script model keeps the two faces explicitly separate so the paper's
+static/dynamic asymmetries are reproducible:
+
+* **Obfuscated scripts** have source text without matchable API strings but
+  still perform their operations — dynamic analysis catches them, static
+  misses them (paper Section 4.1.3 and [53]).
+* **Interaction-gated operations** only run when the crawler interacts
+  (clicks) — static sees the source strings, a no-interaction dynamic crawl
+  does not observe the call (Appendix A.3).
+* **Dead code** contains API strings that never execute under any
+  interaction — static over-reports them (Table 12 discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.policy.origin import Origin, site_of
+
+
+@dataclass(frozen=True)
+class ApiCall:
+    """One operation a script performs against the Web API surface.
+
+    Attributes:
+        api: Fully qualified API name (e.g.
+            ``"navigator.permissions.query"`` or ``"getUserMedia"``).
+        args: Call arguments; for status-check APIs the first argument names
+            the permission being checked (paper Section 3.1.1: "analyzing
+            these arguments enables us to identify which specific
+            permissions are being checked").
+        requires_interaction: The call only happens after a user gesture
+            (click, form fill); a no-interaction crawl never observes it.
+        interaction_gate: What unlocks the call when interaction is
+            simulated — ``"click"`` (any interaction), ``"navigation"``
+            (visiting another path), ``"login"`` / ``"subscription"``
+            (never unlocked by the Appendix A.3 experiments).
+    """
+
+    api: str
+    args: tuple[str, ...] = ()
+    requires_interaction: bool = False
+    interaction_gate: str = "click"
+
+
+@dataclass(frozen=True)
+class Script:
+    """A script as delivered to a document.
+
+    Attributes:
+        url: Source URL for external scripts, ``None`` for inline or
+            dynamically created scripts (which the paper classifies as
+            first-party).
+        source: The text static analysis scans.
+        operations: The calls executed when the script runs.
+        dead_code_apis: API name strings present in ``source`` but never
+            executed (the static-analysis over-report).
+        obfuscated: Whether matchable API strings were stripped from
+            ``source`` while operations remain intact.
+        dynamic: Whether the script was created at runtime
+            (``document.createElement('script')`` …); such scripts are still
+            captured by both analyses (paper Section 3.1.1).
+    """
+
+    url: str | None
+    source: str
+    operations: tuple[ApiCall, ...] = ()
+    dead_code_apis: tuple[str, ...] = ()
+    obfuscated: bool = False
+    dynamic: bool = False
+
+    @property
+    def inline(self) -> bool:
+        return self.url is None
+
+    def script_site(self) -> str:
+        """The site the script was loaded from; ``""`` for inline scripts."""
+        if self.url is None:
+            return ""
+        return site_of(self.url)
+
+    def is_first_party_for(self, document_origin: Origin) -> bool:
+        """First-party classification per the paper: a script is first-party
+        when its site equals the site of the frame it runs in; inline and
+        dynamically created scripts (no URL in the stack trace) count as
+        first-party."""
+        if self.url is None:
+            return True
+        return self.script_site() == document_origin.site
+
+    def immediate_operations(self) -> tuple[ApiCall, ...]:
+        """Operations that run on load, without any interaction."""
+        return tuple(op for op in self.operations
+                     if not op.requires_interaction)
+
+    def gated_operations(self) -> tuple[ApiCall, ...]:
+        return tuple(op for op in self.operations if op.requires_interaction)
+
+    def with_obfuscation(self) -> "Script":
+        """A copy whose source no longer contains matchable API strings."""
+        return replace(self, source=_obfuscate(self.source), obfuscated=True)
+
+
+def _obfuscate(source: str) -> str:
+    """Strip identifier characters the way string-splitting obfuscators do
+    (``window['navi'+'gator']``): the behaviour is intact but substring
+    matching finds nothing."""
+    out: list[str] = []
+    for chunk in source.split():
+        if len(chunk) > 3:
+            mid = len(chunk) // 2
+            out.append(f"{chunk[:mid]}'+'{chunk[mid:]}")
+        else:
+            out.append(chunk)
+    return "_0x" + hex(abs(hash(source)) % (1 << 32))[2:] + "/*" + " ".join(out) + "*/"
+
+
+def render_source(api_names: Iterable[str], *, padding: str = "") -> str:
+    """Produce plausible script source text containing the given API names,
+    for the synthetic web generator.  The exact text only matters to the
+    string-matching static analysis."""
+    lines = [f"(function() {{ {padding}"]
+    for index, api in enumerate(api_names):
+        lines.append(f"  var r{index} = {api}; if (r{index}) {{ use(r{index}); }}")
+    lines.append("})();")
+    return "\n".join(lines)

@@ -1,0 +1,250 @@
+"""Command-line interface.
+
+``permissions-odyssey`` exposes the pipeline end to end:
+
+* ``crawl`` — run the measurement crawl over the synthetic web and persist
+  it to SQLite;
+* ``analyze`` — print the Section 4 headline comparison for a stored or
+  fresh crawl;
+* ``experiment`` — regenerate one paper table/figure (or all of them);
+* ``support`` — print the permission-support matrix (Figure 3);
+* ``generate-header`` — build a Permissions-Policy header (Figure 4);
+* ``lint-header`` — lint a header value like the browser would;
+* ``recommend`` — crawl one site and suggest a least-privilege policy;
+* ``poc`` — run the local-scheme specification-issue proof of concept.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import render_comparison
+from repro.analysis.summary import summarize
+from repro.crawler.fetcher import SyntheticFetcher
+from repro.crawler.pool import CrawlerPool
+from repro.crawler.storage import CrawlStore
+from repro.experiments.runner import run_measurement
+from repro.experiments.tables import ALL_EXPERIMENTS
+from repro.policy.linter import HeaderLinter
+from repro.synthweb.generator import SyntheticWeb
+from repro.tools.header_generator import HeaderGenerator, HeaderPreset
+from repro.tools.poc import LocalSchemePoC
+from repro.tools.recommender import PolicyRecommender
+from repro.tools.support_site import SupportSiteReport
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="permissions-odyssey",
+        description="Reproduction of 'A Permissions Odyssey' (IMC '25)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    crawl = sub.add_parser("crawl", help="run the measurement crawl")
+    crawl.add_argument("--sites", type=int, default=5000)
+    crawl.add_argument("--seed", type=int, default=2024)
+    crawl.add_argument("--workers", type=int, default=4)
+    crawl.add_argument("--database", default="crawl.sqlite")
+
+    analyze = sub.add_parser("analyze", help="headline paper-vs-measured")
+    analyze.add_argument("--database", default=None,
+                         help="stored crawl to analyse (default: fresh run)")
+    analyze.add_argument("--sites", type=int, default=5000)
+    analyze.add_argument("--seed", type=int, default=2024)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper table/figure")
+    experiment.add_argument("name", choices=[*ALL_EXPERIMENTS, "all"])
+    experiment.add_argument("--sites", type=int, default=None)
+
+    sub.add_parser("support", help="permission-support matrix (Figure 3)")
+
+    gen = sub.add_parser("generate-header",
+                         help="build a Permissions-Policy header (Figure 4)")
+    gen.add_argument("--preset", choices=[p.value for p in HeaderPreset],
+                     default=HeaderPreset.DISABLE_POWERFUL.value)
+
+    lint = sub.add_parser("lint-header", help="lint a header value")
+    lint.add_argument("value")
+
+    recommend = sub.add_parser("recommend",
+                               help="least-privilege policy for one site")
+    recommend.add_argument("--rank", type=int, default=0,
+                           help="rank of the synthetic site to analyse")
+    recommend.add_argument("--sites", type=int, default=5000)
+    recommend.add_argument("--seed", type=int, default=2024)
+
+    poc = sub.add_parser("poc", help="local-scheme spec-issue PoC (Table 11)")
+    poc.add_argument("--csp", default=None)
+    poc.add_argument("--scheme", default="data",
+                     choices=["data", "about", "blob"])
+
+    export = sub.add_parser(
+        "export-list",
+        help="export the ranked origin list (the CrUX-list equivalent)")
+    export.add_argument("--sites", type=int, default=5000)
+    export.add_argument("--seed", type=int, default=2024)
+    export.add_argument("--output", default="origins.csv")
+
+    poc_html = sub.add_parser(
+        "poc-html", help="write the local-scheme PoC as HTML files")
+    poc_html.add_argument("--output-dir", default="poc")
+
+    site = sub.add_parser(
+        "build-site",
+        help="build the companion website (Figures 3 and 4) as static HTML")
+    site.add_argument("--output-dir", default="site")
+
+    widgets = sub.add_parser(
+        "widget-report",
+        help="supply-chain dossiers for the riskiest embedded widgets")
+    widgets.add_argument("--sites", type=int, default=5000)
+    widgets.add_argument("--seed", type=int, default=2024)
+    widgets.add_argument("--top", type=int, default=5)
+    widgets.add_argument("--site", default=None,
+                         help="dossier for one specific embedded site")
+
+    export_registry = sub.add_parser(
+        "export-registry",
+        help="dump the permission registry + support data as JSON "
+             "(the paper's features.md, machine-readable)")
+    export_registry.add_argument("--output", default="features.json")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "crawl":
+        web = SyntheticWeb(args.sites, seed=args.seed)
+        dataset = CrawlerPool(web, workers=args.workers).run()
+        with CrawlStore(args.database) as store:
+            store.save_dataset(dataset)
+        failures = ", ".join(f"{k}={v}" for k, v
+                             in sorted(dataset.failure_summary().items()))
+        print(f"crawled {dataset.attempted} sites "
+              f"({dataset.successful_count} ok; {failures}) "
+              f"-> {args.database}")
+        return 0
+
+    if command == "analyze":
+        if args.database:
+            with CrawlStore(args.database) as store:
+                dataset = store.load_dataset()
+        else:
+            web = SyntheticWeb(args.sites, seed=args.seed)
+            dataset = CrawlerPool(web, workers=4).run()
+        summary = summarize(dataset)
+        print(render_comparison(summary.compare_to_paper()))
+        return 0
+
+    if command == "experiment":
+        ctx = run_measurement(args.sites)
+        names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+        failed = 0
+        for name in names:
+            result = ALL_EXPERIMENTS[name](ctx)
+            print(result.rendered)
+            status = "shape OK" if result.shape_ok else "SHAPE MISMATCH"
+            print(f"[{result.experiment_id}] {status} {result.notes}\n")
+            failed += 0 if result.shape_ok else 1
+        return 1 if failed else 0
+
+    if command == "support":
+        print(SupportSiteReport().render())
+        return 0
+
+    if command == "generate-header":
+        generator = HeaderGenerator()
+        print(generator.generate_preset(HeaderPreset(args.preset)))
+        return 0
+
+    if command == "lint-header":
+        report = HeaderLinter().lint(args.value)
+        if report.header_dropped:
+            print("FATAL: the browser drops this header entirely")
+        elif not report.findings:
+            print("OK: no findings")
+        for finding in report.findings:
+            print(f"  [{finding.severity.value}] {finding.rule.value}: "
+                  f"{finding.message}")
+        return 1 if report.findings else 0
+
+    if command == "recommend":
+        web = SyntheticWeb(args.sites, seed=args.seed)
+        recommender = PolicyRecommender(SyntheticFetcher(web))
+        recommendation = recommender.recommend(web.origin_for_rank(args.rank))
+        print(f"site: {recommendation.url}")
+        print(f"observed top-level usage: "
+              f"{', '.join(recommendation.observed_top_level) or '(none)'}")
+        print(f"suggested header:\n  {recommendation.suggested_header}")
+        if recommendation.header_over_grants:
+            print(f"deployed header over-grants: "
+                  f"{', '.join(recommendation.header_over_grants)}")
+        for suggestion in recommendation.delegation_suggestions:
+            if suggestion.over_granted:
+                print(f"iframe {suggestion.iframe_src} over-granted: "
+                      f"{', '.join(suggestion.over_granted)} "
+                      f"(suggest allow=\"{suggestion.suggested_allow}\")")
+        return 0
+
+    if command == "poc":
+        poc = LocalSchemePoC(csp=args.csp, scheme=args.scheme)
+        print(poc.report())
+        return 0 if poc.demonstrates_issue() else 1
+
+    if command == "export-list":
+        web = SyntheticWeb(args.sites, seed=args.seed)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("rank,origin\n")
+            for rank, origin in enumerate(web.origins()):
+                handle.write(f"{rank},{origin}\n")
+        print(f"wrote {args.sites} origins to {args.output}")
+        return 0
+
+    if command == "poc-html":
+        import os
+        from repro.browser.html import render_poc_html
+        os.makedirs(args.output_dir, exist_ok=True)
+        for scheme in ("data", "srcdoc"):
+            path = os.path.join(args.output_dir, f"poc-{scheme}.html")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(render_poc_html(scheme=scheme))
+            print(f"wrote {path}")
+        print("Serve with header: Permissions-Policy: camera=(self)")
+        return 0
+
+    if command == "build-site":
+        from repro.tools.site_generator import SiteGenerator
+        paths = SiteGenerator().build(args.output_dir)
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+
+    if command == "widget-report":
+        from repro.tools.widget_report import WidgetReporter
+        web = SyntheticWeb(args.sites, seed=args.seed)
+        dataset = CrawlerPool(web, workers=4).run()
+        reporter = WidgetReporter(dataset.successful())
+        if args.site:
+            print(reporter.dossier(args.site).render())
+            return 0
+        for dossier in reporter.riskiest(args.top):
+            print(dossier.render())
+            print()
+        return 0
+
+    if command == "export-registry":
+        import json
+        rows = SupportSiteReport().rows()
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump({"permissions": rows}, handle, indent=2)
+        print(f"wrote {len(rows)} permissions to {args.output}")
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

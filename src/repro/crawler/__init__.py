@@ -1,0 +1,56 @@
+"""Crawling framework (the Playwright-pipeline equivalent).
+
+* :mod:`repro.crawler.errors` — the paper's crawl-failure taxonomy;
+* :mod:`repro.crawler.fetcher` — resolves URLs against a
+  :class:`~repro.synthweb.generator.SyntheticWeb`;
+* :mod:`repro.crawler.records` — the persisted measurement records;
+* :mod:`repro.crawler.crawler` — one-site visit protocol (load wait,
+  settle, lazy-iframe scrolling, final collection);
+* :mod:`repro.crawler.interaction` — the interactive crawl used by the
+  Appendix A.3 experiments;
+* :mod:`repro.crawler.pool` — parallel crawl orchestration;
+* :mod:`repro.crawler.storage` — SQLite persistence and JSONL export.
+"""
+
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.crawler.errors import (
+    CrawlError,
+    EphemeralContentError,
+    FinalUpdateTimeoutError,
+    IncompleteCollectionError,
+    LoadTimeoutError,
+    MinorCrawlerError,
+    UnreachableError,
+)
+from repro.crawler.fetcher import SyntheticFetcher
+from repro.crawler.interaction import InteractionConfig, InteractiveCrawler
+from repro.crawler.pool import CrawlDataset, CrawlerPool
+from repro.crawler.records import (
+    CallRecord,
+    FrameRecord,
+    ScriptSourceRecord,
+    SiteVisit,
+)
+from repro.crawler.storage import CrawlStore
+
+__all__ = [
+    "CallRecord",
+    "CrawlConfig",
+    "CrawlDataset",
+    "CrawlError",
+    "CrawlStore",
+    "Crawler",
+    "CrawlerPool",
+    "EphemeralContentError",
+    "FinalUpdateTimeoutError",
+    "FrameRecord",
+    "IncompleteCollectionError",
+    "InteractionConfig",
+    "InteractiveCrawler",
+    "LoadTimeoutError",
+    "MinorCrawlerError",
+    "ScriptSourceRecord",
+    "SiteVisit",
+    "SyntheticFetcher",
+    "UnreachableError",
+]

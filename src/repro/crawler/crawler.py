@@ -1,0 +1,94 @@
+"""Single-site crawl protocol.
+
+Section 3.2 of the paper: up to 60 s for the load event, 20 s settling
+without interaction, scrolling only to trigger lazy-loaded iframes, a 90 s
+hard timeout per visit, one visit per site.  :class:`Crawler` mirrors that
+protocol over the simulated browser — wall-clock waits become a simulated
+duration model so the pool can report the paper's ~35 s/site average
+without actually sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.browser.page import Fetcher, PageLoadConfig, PageLoader
+from repro.crawler.errors import CrawlError
+from repro.crawler.records import SiteVisit, failed_visit, visit_from_page
+from repro.policy.engine import PermissionsPolicyEngine
+
+
+@dataclass
+class CrawlConfig:
+    """Crawl options mirroring the paper's measurement instantiation."""
+
+    load_timeout_seconds: float = 60.0
+    settle_seconds: float = 20.0
+    hard_timeout_seconds: float = 90.0
+    scroll_to_lazy_iframes: bool = True
+    max_depth: int = 4
+    execute_scripts: bool = True
+    interact: bool = False
+    unlocked_gates: frozenset[str] = frozenset({"click"})
+    #: Disable navigator.webdriver to reduce bot detection (C6/C8); kept as
+    #: a flag for completeness — the synthetic web serves identical content
+    #: either way, modelling the best case the paper aims for.
+    disable_automation_controlled: bool = True
+
+    def page_load_config(self) -> PageLoadConfig:
+        return PageLoadConfig(
+            max_depth=self.max_depth,
+            scroll_to_lazy_iframes=self.scroll_to_lazy_iframes,
+            execute_scripts=self.execute_scripts,
+            interact=self.interact,
+            unlocked_gates=self.unlocked_gates,
+        )
+
+
+class Crawler:
+    """Visits one site at a time and produces :class:`SiteVisit` records."""
+
+    def __init__(self, fetcher: Fetcher, *,
+                 config: CrawlConfig | None = None,
+                 engine: PermissionsPolicyEngine | None = None) -> None:
+        self.config = config if config is not None else CrawlConfig()
+        self._loader = PageLoader(
+            fetcher,
+            engine=engine,
+            config=self.config.page_load_config(),
+        )
+
+    @property
+    def engine(self) -> PermissionsPolicyEngine:
+        return self._loader.engine
+
+    def visit(self, url: str, *, rank: int = -1) -> SiteVisit:
+        """Visit one site; never raises — failures become failed visits."""
+        try:
+            page = self._loader.load(url)
+        except CrawlError as exc:
+            return failed_visit(rank, url, exc.taxonomy,
+                                duration_seconds=self._failure_duration(exc))
+        duration = self._visit_duration(url, frame_count=len(page.frames))
+        return visit_from_page(rank, url, page, duration_seconds=duration)
+
+    # -- simulated timing ---------------------------------------------------------
+
+    def _visit_duration(self, url: str, frame_count: int) -> float:
+        """Simulated seconds for a successful visit: load + settle + a per-
+        frame collection cost, jittered deterministically per URL.  The
+        constants land near the paper's 35 s/site average."""
+        rng = random.Random(f"duration:{url}")
+        load = min(self.config.load_timeout_seconds,
+                   rng.uniform(1.0, 18.0))
+        collection = 0.8 * frame_count
+        return load + self.config.settle_seconds * 0.6 + collection \
+            + rng.uniform(0.0, 4.0)
+
+    def _failure_duration(self, exc: CrawlError) -> float:
+        if exc.taxonomy == "load-timeout":
+            return self.config.load_timeout_seconds
+        if exc.taxonomy in ("final-update-timeout", "excluded-incomplete"):
+            return self.config.hard_timeout_seconds
+        return 2.0

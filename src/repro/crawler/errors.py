@@ -1,0 +1,59 @@
+"""Crawl-failure taxonomy.
+
+Section 4 of the paper breaks the 182,200 unsuccessful visits down into:
+ephemeral-content errors ("Execution context was destroyed"), page-load
+timeouts, unreachable sites (DNS errors such as ERR_NAME_NOT_RESOLVED),
+minor crawler errors, final-update timeouts, and post-hoc exclusions of
+sites with incomplete iframe collection.  Each class has an exception type
+here so the pool can reproduce the taxonomy table.
+"""
+
+from __future__ import annotations
+
+from repro.browser.page import FetchFailure
+
+
+class CrawlError(FetchFailure):
+    """Base class; ``taxonomy`` keys the failure-summary table."""
+
+    taxonomy = "unknown"
+
+
+class EphemeralContentError(CrawlError):
+    """Errors collecting ephemeral content, e.g. the execution context was
+    destroyed mid-collection (60,183 sites in the paper)."""
+
+    taxonomy = "ephemeral-content-error"
+
+
+class LoadTimeoutError(CrawlError):
+    """The load event did not fire within the 60 s budget (28,700 sites)."""
+
+    taxonomy = "load-timeout"
+
+
+class UnreachableError(CrawlError):
+    """Major errors such as ERR_NAME_NOT_RESOLVED (27,733 sites)."""
+
+    taxonomy = "unreachable"
+
+
+class MinorCrawlerError(CrawlError):
+    """Unexpected values from the automation library or crawler crashes
+    (315 sites)."""
+
+    taxonomy = "minor-crawler-error"
+
+
+class FinalUpdateTimeoutError(CrawlError):
+    """Timeout on the last data-collection update after the waiting time
+    (90 sites)."""
+
+    taxonomy = "final-update-timeout"
+
+
+class IncompleteCollectionError(CrawlError):
+    """Visit succeeded but iframe data was incomplete — the paper excludes
+    these 65,169 sites to keep the analyzed data complete."""
+
+    taxonomy = "excluded-incomplete"

@@ -1,0 +1,119 @@
+"""URL resolution against the synthetic web.
+
+:class:`SyntheticFetcher` implements the :class:`~repro.browser.page.Fetcher`
+protocol over a :class:`~repro.synthweb.generator.SyntheticWeb`: top-level
+site URLs resolve to the generated site (raising the site's assigned
+failure), widget URLs resolve to the widget profile's document, partner and
+generic embed hosts to their respective content, and anything else raises
+:class:`~repro.crawler.errors.UnreachableError` — exactly what a crawler
+sees when an iframe points at a dead host.
+"""
+
+from __future__ import annotations
+
+import random
+from urllib.parse import urlsplit
+
+from repro.browser.dom import DocumentContent
+from repro.browser.page import FetchResponse
+from repro.crawler.errors import (
+    CrawlError,
+    EphemeralContentError,
+    FinalUpdateTimeoutError,
+    IncompleteCollectionError,
+    LoadTimeoutError,
+    MinorCrawlerError,
+    UnreachableError,
+)
+from repro.synthweb.generator import FailureMode, SiteSpec, SyntheticWeb
+
+_FAILURE_EXCEPTIONS: dict[FailureMode, type[CrawlError]] = {
+    FailureMode.EPHEMERAL: EphemeralContentError,
+    FailureMode.TIMEOUT: LoadTimeoutError,
+    FailureMode.UNREACHABLE: UnreachableError,
+    FailureMode.MINOR: MinorCrawlerError,
+    FailureMode.LATE_TIMEOUT: FinalUpdateTimeoutError,
+    FailureMode.EXCLUDED: IncompleteCollectionError,
+}
+
+
+class SyntheticFetcher:
+    """Fetches documents from a :class:`SyntheticWeb`."""
+
+    def __init__(self, web: SyntheticWeb) -> None:
+        self.web = web
+        self.fetch_count = 0
+
+    def fetch(self, url: str) -> FetchResponse:
+        """Resolve ``url`` into a response.
+
+        Raises:
+            CrawlError: per the generated failure mode, or
+                :class:`UnreachableError` for unknown hosts.
+        """
+        self.fetch_count += 1
+        split = urlsplit(url)
+        host = (split.hostname or "").lower()
+        if not host:
+            raise UnreachableError(f"unparsable URL: {url}")
+
+        bare_host = host[4:] if host.startswith("www.") else host
+        rank = self.web.rank_for_host(bare_host)
+        if rank is not None and 0 <= rank < self.web.site_count:
+            spec = self.web.site(rank)
+            path = split.path or "/"
+            if path.startswith("/p") and path[2:].isdigit():
+                if spec.failure is not FailureMode.NONE:
+                    raise _FAILURE_EXCEPTIONS[spec.failure](
+                        f"{spec.failure.value}: {url}")
+                index = int(path[2:])
+                if index >= spec.subpage_count:
+                    raise UnreachableError(f"404: {url}")
+                return FetchResponse(
+                    url=url, status=200, headers=dict(spec.headers),
+                    content=self.web.subpage_content(rank, index))
+            return self._fetch_site(url, spec,
+                                    already_redirected=host.startswith("www."))
+
+        profile = self.web.profile_for_host(host)
+        if profile is not None:
+            rng = random.Random(f"{self.web.seed}:widget:{url}")
+            return FetchResponse(
+                url=url, status=200, headers=profile.headers(),
+                content=profile.build_content(rng))
+
+        if host == "sub-syndication.example":
+            rng = random.Random(f"{self.web.seed}:subsyn:{url}")
+            return FetchResponse(
+                url=url, status=200, headers={},
+                content=self.web.sub_syndication_content(rng))
+
+        if host.startswith("partner-") and host.endswith(".example"):
+            return FetchResponse(
+                url=url, status=200, headers={},
+                content=self.web.partner_content(host, split.path))
+
+        if host.startswith("cdn-widgets-") and host.endswith(".example"):
+            return FetchResponse(
+                url=url, status=200, headers={},
+                content=self.web.generic_embed_content(host))
+
+        raise UnreachableError(f"ERR_NAME_NOT_RESOLVED: {host}")
+
+    def _fetch_site(self, url: str, spec: SiteSpec,
+                    *, already_redirected: bool) -> FetchResponse:
+        if spec.failure is not FailureMode.NONE:
+            raise _FAILURE_EXCEPTIONS[spec.failure](
+                f"{spec.failure.value}: {spec.url}")
+        redirect_chain: tuple[str, ...] = ()
+        final_url = url
+        if spec.redirect_to is not None and not already_redirected:
+            redirect_chain = (url,)
+            final_url = spec.redirect_to
+        return FetchResponse(
+            url=final_url,
+            status=200,
+            headers=dict(spec.headers),
+            content=spec.content(),
+            redirect_chain=redirect_chain,
+        )

@@ -1,0 +1,89 @@
+"""Interactive crawling (the Appendix A.3 experiments).
+
+The paper's main crawl never interacts with pages; a manual follow-up study
+re-visits sites while a researcher clicks through them, navigates multiple
+paths of the same origin and sometimes creates accounts — and compares the
+permissions *activated* with interaction against those the automated static
+and dynamic analyses reported without it (Table 12).
+
+:class:`InteractiveCrawler` reproduces that second run: it crawls with
+interaction enabled and a configurable set of unlocked interaction gates.
+A crawl that clicks and navigates unlocks ``click`` and ``navigation``
+gates; ``login`` and ``subscription`` gates stay shut unless granted
+(mirroring "some accounts could not be created, and some functionality
+remained inaccessible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.page import Fetcher
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.crawler.records import SiteVisit
+
+
+@dataclass
+class InteractionConfig:
+    """What the simulated researcher manages to unlock."""
+
+    click: bool = True
+    navigation: bool = True
+    login: bool = False
+    subscription: bool = False
+
+    def unlocked_gates(self) -> frozenset[str]:
+        gates = set()
+        if self.click:
+            gates.add("click")
+        if self.navigation:
+            gates.add("navigation")
+        if self.login:
+            gates.add("login")
+        if self.subscription:
+            gates.add("subscription")
+        return frozenset(gates)
+
+
+class InteractiveCrawler:
+    """A crawler that interacts with pages while the tool keeps recording."""
+
+    def __init__(self, fetcher: Fetcher, *,
+                 interaction: InteractionConfig | None = None,
+                 base_config: CrawlConfig | None = None) -> None:
+        self.interaction = (interaction if interaction is not None
+                            else InteractionConfig())
+        base = base_config if base_config is not None else CrawlConfig()
+        config = CrawlConfig(
+            load_timeout_seconds=base.load_timeout_seconds,
+            settle_seconds=base.settle_seconds,
+            hard_timeout_seconds=base.hard_timeout_seconds,
+            scroll_to_lazy_iframes=base.scroll_to_lazy_iframes,
+            max_depth=base.max_depth,
+            execute_scripts=base.execute_scripts,
+            interact=True,
+            unlocked_gates=self.interaction.unlocked_gates(),
+        )
+        self._crawler = Crawler(fetcher, config=config)
+
+    def visit(self, url: str, *, rank: int = -1) -> SiteVisit:
+        return self._crawler.visit(url, rank=rank)
+
+
+@dataclass
+class InteractionComparison:
+    """Per-site comparison between the automated and interactive runs."""
+
+    rank: int
+    static_permissions: frozenset[str]
+    dynamic_permissions: frozenset[str]
+    activated_permissions: frozenset[str]
+
+    @property
+    def activated_covered_by_static(self) -> frozenset[str]:
+        return self.activated_permissions & self.static_permissions
+
+    @property
+    def activated_covered_by_union(self) -> frozenset[str]:
+        return self.activated_permissions & (
+            self.static_permissions | self.dynamic_permissions)

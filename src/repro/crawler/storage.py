@@ -1,0 +1,267 @@
+"""Crawl persistence: SQLite database plus JSONL export.
+
+The paper's wrapper stores all collected data in a database immediately
+after each site completes (Appendix A.2, C14).  :class:`CrawlStore`
+reproduces that: one SQLite file with ``visits``, ``frames``, ``calls`` and
+``scripts`` tables, savable incrementally and loadable back into
+:class:`~repro.crawler.pool.CrawlDataset` form so analyses can run without
+re-crawling.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Iterable
+
+from repro.crawler.pool import CrawlDataset
+from repro.crawler.records import (
+    CallRecord,
+    FrameRecord,
+    PromptRecord,
+    ScriptSourceRecord,
+    SiteVisit,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS visits (
+    rank INTEGER PRIMARY KEY,
+    requested_url TEXT NOT NULL,
+    final_url TEXT NOT NULL,
+    success INTEGER NOT NULL,
+    failure TEXT,
+    top_level_document_count INTEGER NOT NULL,
+    skipped_lazy_iframes INTEGER NOT NULL,
+    iframe_load_failures INTEGER NOT NULL,
+    duration_seconds REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS frames (
+    rank INTEGER NOT NULL,
+    frame_id INTEGER NOT NULL,
+    url TEXT NOT NULL,
+    origin TEXT NOT NULL,
+    site TEXT NOT NULL,
+    parent_id INTEGER,
+    depth INTEGER NOT NULL,
+    is_local INTEGER NOT NULL,
+    headers TEXT NOT NULL,
+    iframe_attributes TEXT,
+    PRIMARY KEY (rank, frame_id)
+);
+CREATE TABLE IF NOT EXISTS calls (
+    rank INTEGER NOT NULL,
+    frame_id INTEGER NOT NULL,
+    api TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    permissions TEXT NOT NULL,
+    args TEXT NOT NULL,
+    script_url TEXT,
+    allowed INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS scripts (
+    rank INTEGER NOT NULL,
+    frame_id INTEGER NOT NULL,
+    url TEXT,
+    source TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS prompts (
+    rank INTEGER NOT NULL,
+    frame_id INTEGER NOT NULL,
+    permission TEXT NOT NULL,
+    display_site TEXT NOT NULL,
+    text TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_calls_rank ON calls(rank);
+CREATE INDEX IF NOT EXISTS idx_frames_rank ON frames(rank);
+CREATE INDEX IF NOT EXISTS idx_scripts_rank ON scripts(rank);
+"""
+
+
+class CrawlStore:
+    """SQLite-backed persistence for crawl datasets."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CrawlStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writing ---------------------------------------------------------------
+
+    def save_visit(self, visit: SiteVisit) -> None:
+        """Persist one visit (incremental, mirroring C14)."""
+        conn = self._conn
+        conn.execute(
+            "INSERT OR REPLACE INTO visits VALUES (?,?,?,?,?,?,?,?,?)",
+            (visit.rank, visit.requested_url, visit.final_url,
+             int(visit.success), visit.failure,
+             visit.top_level_document_count, visit.skipped_lazy_iframes,
+             visit.iframe_load_failures, visit.duration_seconds))
+        conn.execute("DELETE FROM frames WHERE rank = ?", (visit.rank,))
+        conn.execute("DELETE FROM calls WHERE rank = ?", (visit.rank,))
+        conn.execute("DELETE FROM scripts WHERE rank = ?", (visit.rank,))
+        conn.execute("DELETE FROM prompts WHERE rank = ?", (visit.rank,))
+        conn.executemany(
+            "INSERT INTO frames VALUES (?,?,?,?,?,?,?,?,?,?)",
+            [(visit.rank, f.frame_id, f.url, f.origin, f.site, f.parent_id,
+              f.depth, int(f.is_local), json.dumps(f.headers),
+              json.dumps(f.iframe_attributes)
+              if f.iframe_attributes is not None else None)
+             for f in visit.frames])
+        conn.executemany(
+            "INSERT INTO calls VALUES (?,?,?,?,?,?,?,?)",
+            [(visit.rank, c.frame_id, c.api, c.kind,
+              json.dumps(list(c.permissions)), json.dumps(list(c.args)),
+              c.script_url, int(c.allowed))
+             for c in visit.calls])
+        conn.executemany(
+            "INSERT INTO scripts VALUES (?,?,?,?)",
+            [(visit.rank, s.frame_id, s.url, s.source)
+             for s in visit.scripts])
+        conn.executemany(
+            "INSERT INTO prompts VALUES (?,?,?,?,?)",
+            [(visit.rank, p.requesting_frame_id, p.permission,
+              p.display_site, p.text)
+             for p in visit.prompts])
+        conn.commit()
+
+    def save_dataset(self, dataset: CrawlDataset) -> None:
+        for visit in dataset.visits:
+            self.save_visit(visit)
+
+    # -- reading ----------------------------------------------------------------
+
+    def load_dataset(self) -> CrawlDataset:
+        dataset = CrawlDataset()
+        conn = self._conn
+        for row in conn.execute(
+                "SELECT rank, requested_url, final_url, success, failure, "
+                "top_level_document_count, skipped_lazy_iframes, "
+                "iframe_load_failures, duration_seconds "
+                "FROM visits ORDER BY rank"):
+            visit = SiteVisit(
+                rank=row[0], requested_url=row[1], final_url=row[2],
+                success=bool(row[3]), failure=row[4],
+                top_level_document_count=row[5], skipped_lazy_iframes=row[6],
+                iframe_load_failures=row[7], duration_seconds=row[8])
+            dataset.visits.append(visit)
+        by_rank = {visit.rank: visit for visit in dataset.visits}
+        for row in conn.execute(
+                "SELECT rank, frame_id, url, origin, site, parent_id, depth, "
+                "is_local, headers, iframe_attributes FROM frames"):
+            by_rank[row[0]].frames.append(FrameRecord(
+                frame_id=row[1], url=row[2], origin=row[3], site=row[4],
+                parent_id=row[5], depth=row[6], is_local=bool(row[7]),
+                headers=json.loads(row[8]),
+                iframe_attributes=(json.loads(row[9])
+                                   if row[9] is not None else None)))
+        for row in conn.execute(
+                "SELECT rank, frame_id, api, kind, permissions, args, "
+                "script_url, allowed FROM calls"):
+            by_rank[row[0]].calls.append(CallRecord(
+                frame_id=row[1], api=row[2], kind=row[3],
+                permissions=tuple(json.loads(row[4])),
+                args=tuple(json.loads(row[5])),
+                script_url=row[6], allowed=bool(row[7])))
+        for row in conn.execute(
+                "SELECT rank, frame_id, url, source FROM scripts"):
+            by_rank[row[0]].scripts.append(ScriptSourceRecord(
+                frame_id=row[1], url=row[2], source=row[3]))
+        for row in conn.execute(
+                "SELECT rank, frame_id, permission, display_site, text "
+                "FROM prompts"):
+            by_rank[row[0]].prompts.append(PromptRecord(
+                permission=row[2], requesting_frame_id=row[1],
+                display_site=row[3], text=row[4]))
+        return dataset
+
+
+    # -- SQL-side aggregates ------------------------------------------------------
+    #
+    # For very large stored crawls it is wasteful to load every record back
+    # into Python just to compute adoption counts; these run the headline
+    # aggregations inside SQLite and must agree with the in-memory analyses
+    # (tested in tests/test_crawler.py).
+
+    def count_successful(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM visits WHERE success = 1").fetchone()
+        return int(row[0])
+
+    def count_header_sites(self, header: str = "permissions-policy") -> int:
+        """Websites whose top-level document sends ``header``."""
+        pattern = f'%"{header}"%'
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM frames "
+            "WHERE parent_id IS NULL AND headers LIKE ?", (pattern,)
+        ).fetchone()
+        return int(row[0])
+
+    def count_delegating_sites(self) -> int:
+        """Websites with at least one direct iframe carrying an allow
+        attribute (a superset of true delegation: 'none' opt-outs are
+        resolved by the Python analysis, not in SQL)."""
+        row = self._conn.execute(
+            "SELECT COUNT(DISTINCT rank) FROM frames "
+            'WHERE depth = 1 AND iframe_attributes LIKE \'%"allow"%\''
+        ).fetchone()
+        return int(row[0])
+
+    def top_embedded_sites(self, limit: int = 10) -> list[tuple[str, int]]:
+        """Table 3 in SQL: external embedded sites by distinct websites."""
+        rows = self._conn.execute(
+            "SELECT f.site, COUNT(DISTINCT f.rank) AS websites "
+            "FROM frames f "
+            "JOIN frames top ON top.rank = f.rank AND top.parent_id IS NULL "
+            "WHERE f.depth = 1 AND f.is_local = 0 AND f.site != '' "
+            "AND f.site != top.site "
+            "GROUP BY f.site ORDER BY websites DESC LIMIT ?", (limit,)
+        ).fetchall()
+        return [(site, int(count)) for site, count in rows]
+
+    def failure_counts(self) -> dict[str, int]:
+        rows = self._conn.execute(
+            "SELECT failure, COUNT(*) FROM visits "
+            "WHERE success = 0 GROUP BY failure").fetchall()
+        return {failure: int(count) for failure, count in rows}
+
+
+def export_jsonl(visits: Iterable[SiteVisit], path: "str | Path") -> int:
+    """Export visits as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for visit in visits:
+            handle.write(json.dumps(_visit_to_dict(visit)) + "\n")
+            count += 1
+    return count
+
+
+def _visit_to_dict(visit: SiteVisit) -> dict:
+    return {
+        "rank": visit.rank,
+        "requested_url": visit.requested_url,
+        "final_url": visit.final_url,
+        "success": visit.success,
+        "failure": visit.failure,
+        "frames": [
+            {"frame_id": f.frame_id, "url": f.url, "origin": f.origin,
+             "site": f.site, "parent_id": f.parent_id, "depth": f.depth,
+             "is_local": f.is_local, "headers": f.headers,
+             "iframe_attributes": f.iframe_attributes}
+            for f in visit.frames],
+        "calls": [
+            {"frame_id": c.frame_id, "api": c.api, "kind": c.kind,
+             "permissions": list(c.permissions), "args": list(c.args),
+             "script_url": c.script_url, "allowed": c.allowed}
+            for c in visit.calls],
+        "script_count": len(visit.scripts),
+    }

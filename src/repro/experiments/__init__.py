@@ -1,0 +1,20 @@
+"""Experiment drivers.
+
+One function per paper table/figure (:mod:`repro.experiments.tables`), all
+sharing a cached measurement run (:mod:`repro.experiments.runner`).  The
+benchmark harness and the EXPERIMENTS.md generator both consume these, so
+the numbers in the docs and in ``pytest benchmarks/`` always agree.
+"""
+
+from repro.experiments.robustness import expected_noise_floor, seed_sweep
+from repro.experiments.runner import ExperimentContext, run_measurement
+from repro.experiments.tables import ALL_EXPERIMENTS, ExperimentResult
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentContext",
+    "ExperimentResult",
+    "expected_noise_floor",
+    "run_measurement",
+    "seed_sweep",
+]

@@ -1,0 +1,164 @@
+"""Experiment drivers for the beyond-paper extension studies.
+
+Mirrors :mod:`repro.experiments.tables` for the extensions DESIGN.md
+Section 4b describes; EXPERIMENTS.md records their output alongside the
+paper tables so the whole evidence base regenerates from one run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.categories import DelegationPurpose, purpose_clusters
+from repro.analysis.chains import NestedDelegationAnalysis
+from repro.analysis.fingerprinting import fingerprint_surface
+from repro.analysis.proposals import (
+    evaluate_default_disallow_all,
+    local_scheme_attack_surface,
+)
+from repro.analysis.prompts_analysis import PromptAnalysis
+from repro.analysis.ranks import RankBucketAnalysis
+from repro.analysis.report import render_table
+from repro.analysis.violations import ViolationAnalysis
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.tables import ExperimentResult
+
+
+def ext_nested_chains(ctx: ExperimentContext) -> ExperimentResult:
+    """Nested re-delegation chains (Section 2.2.5 quantified)."""
+    analysis = NestedDelegationAnalysis(ctx.dataset.successful())
+    rows = [(permission, count)
+            for permission, count
+            in analysis.redelegated_permissions.most_common(8)]
+    rendered = render_table(("re-delegated permission", "chains"), rows,
+                            title="Nested delegation chains (depth >= 2)")
+    rendered += (f"\nsites with nested delegation: "
+                 f"{analysis.sites_with_nested_delegation}; "
+                 f"max depth {analysis.max_depth}; nested frame holds the "
+                 f"permission in {analysis.enabled_share():.1%} of chains")
+    ok = (analysis.sites_with_nested_delegation > 0
+          and analysis.enabled_share() > 0.9)
+    return ExperimentResult("ext_nested_chains",
+                            "Nested delegation chains", rendered, ok)
+
+
+def ext_proposals(ctx: ExperimentContext) -> ExperimentResult:
+    """The Section 6.2 spec proposals, quantified."""
+    visits = ctx.dataset.successful()
+    breakage = evaluate_default_disallow_all(visits)
+    surface = local_scheme_attack_surface(visits)
+    rendered = "\n".join([
+        "Spec proposal studies (Section 6.2)",
+        f"  deny-all default: {breakage.sites_breaking} of "
+        f"{breakage.header_sites} header sites would break "
+        f"({breakage.breaking_share:.1%}); most-broken: "
+        + ", ".join(name for name, _
+                    in breakage.broken_permissions.most_common(3)),
+        f"  local-scheme exposure: {surface.exposed_sites} of "
+        f"{surface.sites_with_self_only_powerful} self-restricting sites "
+        f"({surface.exposure_share:.0%}) lack a frame-constraining CSP",
+    ])
+    ok = (breakage.header_sites > 0
+          and 0.0 < breakage.breaking_share < 0.6
+          and surface.exposure_share > 0.5)
+    return ExperimentResult("ext_proposals", "Spec proposal studies",
+                            rendered, ok)
+
+
+def ext_fingerprinting(ctx: ExperimentContext) -> ExperimentResult:
+    """The Section 4.1.1 fingerprinting hypothesis, quantified."""
+    report = fingerprint_surface()
+    rendered = "\n".join([
+        "Permission-list fingerprinting surface",
+        f"  releases modelled:        {report.total_releases}",
+        f"  distinct permission lists: {report.distinct_lists}",
+        f"  distinguishable pairs:    {report.distinguishable_pairs()} "
+        f"({report.distinguishability():.0%})",
+        f"  entropy:                  {report.entropy_bits:.2f} of "
+        f"{report.max_entropy_bits:.2f} bits",
+    ])
+    ok = report.distinct_lists >= 8 and report.distinguishability() > 0.7
+    return ExperimentResult("ext_fingerprinting",
+                            "Fingerprinting surface", rendered, ok)
+
+
+def ext_purpose_clusters(ctx: ExperimentContext) -> ExperimentResult:
+    """The Section 4.2.1 purpose grouping, reconstructed from data."""
+    clusters = purpose_clusters(ctx.dataset.successful())
+    rows = [(cluster.purpose.value,
+             ", ".join(site for site, _ in cluster.sites[:3]),
+             cluster.total_websites)
+            for cluster in clusters]
+    rendered = render_table(("purpose", "exemplars", "# websites"), rows,
+                            title="Delegation purpose clusters")
+    by_purpose = {cluster.purpose for cluster in clusters}
+    ok = {DelegationPurpose.ADS, DelegationPurpose.MULTIMEDIA,
+          DelegationPurpose.CUSTOMER_SUPPORT,
+          DelegationPurpose.PAYMENT} <= by_purpose
+    return ExperimentResult("ext_clusters", "Purpose clusters", rendered, ok)
+
+
+def ext_rank_gradient(ctx: ExperimentContext) -> ExperimentResult:
+    """Header adoption by popularity bucket."""
+    analysis = RankBucketAnalysis(ctx.dataset.successful(),
+                                  ctx.web.site_count)
+    rows = [(bucket.label, f"{bucket.pp_header_share:.2%}",
+             f"{bucket.delegation_share:.2%}", bucket.sites)
+            for bucket in analysis.buckets]
+    rendered = render_table(("bucket", "PP adoption", "delegating", "sites"),
+                            rows, title="Adoption by popularity")
+    gradient = dict(analysis.adoption_gradient())
+    ok = (analysis.is_adoption_monotone()
+          and gradient["top 2%"] > gradient["tail"])
+    return ExperimentResult("ext_rank_gradient", "Rank gradient",
+                            rendered, ok)
+
+
+def ext_violations(ctx: ExperimentContext) -> ExperimentResult:
+    """Blocked-call classification (self-inflicted vs missing delegation)."""
+    report = ViolationAnalysis(ctx.dataset.successful()).report
+    rendered = "\n".join([
+        "Policy violations (blocked calls)",
+        f"  sites with blocked calls:       "
+        f"{report.sites_with_blocked_calls}",
+        f"  self-inflicted (own header):    "
+        f"{report.sites_with_self_inflicted}",
+        f"  embedded, missing delegation:   "
+        f"{report.sites_with_missing_delegation}",
+        "  most blocked: " + ", ".join(
+            f"{name} ({count})"
+            for name, count in report.top_blocked(5)),
+    ])
+    ok = report.sites_with_blocked_calls > 0
+    return ExperimentResult("ext_violations", "Policy violations",
+                            rendered, ok)
+
+
+def ext_prompt_pressure(ctx: ExperimentContext) -> ExperimentResult:
+    """On-load permission prompts (the Section 7 prompt-UX connection)."""
+    analysis = PromptAnalysis(ctx.dataset.successful())
+    report = analysis.report
+    rendered = "\n".join([
+        "Prompt pressure (prompts fired without any user gesture)",
+        f"  sites prompting on load: {report.sites_prompting_on_load} "
+        f"({analysis.prompting_share:.2%})",
+        "  top offenders: " + ", ".join(
+            f"{name} ({count})" for name, count in analysis.top_offenders()),
+        f"  prompts from embedded documents: {report.embedded_share:.1%}",
+        f"  prompts naming the embedded site (storage-access): "
+        f"{report.prompts_naming_embedded_site}",
+    ])
+    offenders = dict(analysis.top_offenders(1))
+    ok = (report.sites_prompting_on_load > 0
+          and "notifications" in offenders)
+    return ExperimentResult("ext_prompts", "Prompt pressure", rendered, ok)
+
+
+#: Extension drivers, keyed like ALL_EXPERIMENTS.
+ALL_EXTENSIONS = {
+    "ext_nested_chains": ext_nested_chains,
+    "ext_proposals": ext_proposals,
+    "ext_fingerprinting": ext_fingerprinting,
+    "ext_clusters": ext_purpose_clusters,
+    "ext_rank_gradient": ext_rank_gradient,
+    "ext_violations": ext_violations,
+    "ext_prompts": ext_prompt_pressure,
+}

@@ -1,0 +1,82 @@
+"""Shared measurement run for the experiment suite.
+
+The paper runs one nine-day crawl and derives every table from it; we run
+one calibrated synthetic crawl (default 20,000 sites — laptop-scale) and
+cache the analyses so each bench target regenerates its table without
+re-crawling.  The scale is configurable through the environment variable
+``REPRO_SITES`` for quicker smoke runs or bigger, tighter reproductions.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.analysis.delegation import DelegationAnalysis
+from repro.analysis.headers import HeaderAnalysis
+from repro.analysis.overpermission import OverPermissionAnalysis
+from repro.analysis.summary import MeasurementSummary, summarize
+from repro.analysis.usage import UsageAnalysis
+from repro.crawler.pool import CrawlDataset, CrawlerPool
+from repro.synthweb.generator import SyntheticWeb
+
+#: Default measurement scale; ~1/50 of the paper's 1M with identical rates.
+DEFAULT_SITE_COUNT = 20_000
+DEFAULT_SEED = 2024
+
+
+@dataclass
+class ExperimentContext:
+    """One measurement run plus lazily computed analyses."""
+
+    web: SyntheticWeb
+    dataset: CrawlDataset
+
+    @cached_property
+    def usage(self) -> UsageAnalysis:
+        return UsageAnalysis(self.dataset.successful())
+
+    @cached_property
+    def delegation(self) -> DelegationAnalysis:
+        return DelegationAnalysis(self.dataset.successful())
+
+    @cached_property
+    def headers(self) -> HeaderAnalysis:
+        return HeaderAnalysis(self.dataset.successful())
+
+    @cached_property
+    def overpermission(self) -> OverPermissionAnalysis:
+        return OverPermissionAnalysis(self.dataset.successful())
+
+    @cached_property
+    def summary(self) -> MeasurementSummary:
+        return summarize(self.dataset)
+
+    @property
+    def scale_factor(self) -> float:
+        """Multiplier mapping our counts onto the paper's 1M-site scale."""
+        return 1_000_000 / self.web.site_count
+
+
+_CACHE: dict[tuple[int, int], ExperimentContext] = {}
+
+
+def configured_site_count() -> int:
+    value = os.environ.get("REPRO_SITES")
+    if value:
+        return max(200, int(value))
+    return DEFAULT_SITE_COUNT
+
+
+def run_measurement(site_count: int | None = None, *,
+                    seed: int = DEFAULT_SEED,
+                    workers: int = 4) -> ExperimentContext:
+    """Run (or reuse) the measurement crawl at the given scale."""
+    count = site_count if site_count is not None else configured_site_count()
+    key = (count, seed)
+    if key not in _CACHE:
+        web = SyntheticWeb(count, seed=seed)
+        dataset = CrawlerPool(web, workers=workers).run()
+        _CACHE[key] = ExperimentContext(web=web, dataset=dataset)
+    return _CACHE[key]

@@ -1,0 +1,727 @@
+"""One driver per paper table/figure.
+
+Every function takes an :class:`~repro.experiments.runner.ExperimentContext`
+(crawl-independent experiments ignore it), regenerates the table, renders
+paper-vs-measured output, and performs a *shape check*: the winners,
+orderings and magnitudes the reproduction must preserve.  The benchmark
+harness runs these; EXPERIMENTS.md records their output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.report import (
+    ranking_overlap,
+    render_comparison,
+    render_ranking,
+    render_table,
+)
+from repro.analysis.usage import ALL_PERMISSIONS_ROW, GENERAL_ROW
+from repro.browser.instrumentation import InstrumentedRuntime, WebAPIRuntime
+from repro.browser.scripts import ApiCall, Script
+from repro.crawler.crawler import Crawler
+from repro.crawler.fetcher import SyntheticFetcher
+from repro.crawler.interaction import InteractiveCrawler
+from repro.experiments.runner import ExperimentContext
+from repro.policy.allow_attr import DelegationDirectiveKind
+from repro.policy.allowlist import DirectiveClass
+from repro.policy.engine import PermissionsPolicyEngine, PolicyFrame
+from repro.registry.features import DEFAULT_REGISTRY
+from repro.synthweb.distributions import PAPER
+from repro.synthweb.generator import FailureMode
+from repro.tools.header_generator import HeaderGenerator, HeaderPreset
+from repro.tools.poc import LocalSchemePoC
+from repro.tools.support_site import SupportSiteReport
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of regenerating one paper table/figure."""
+
+    experiment_id: str
+    title: str
+    rendered: str
+    shape_ok: bool
+    notes: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Crawl-independent experiments
+# ---------------------------------------------------------------------------
+
+def table01_policy_cases(_: ExperimentContext | None = None) -> ExperimentResult:
+    """Table 1: the eight camera prompt/delegation cases."""
+    engine = PermissionsPolicyEngine()
+    cases = [
+        ("1 no header", None, None, True, False),
+        ("2 no header + allow", None, "camera", True, True),
+        ("3 deny", "camera=()", "camera", False, False),
+        ("4 allow self", "camera=(self)", "camera", True, False),
+        ("5 allow all", "camera=(*)", None, True, False),
+        ("6 allow all + allow", "camera=(*)", "camera", True, True),
+        ("7 allow necessary", 'camera=(self "https://iframe.com")',
+         "camera", True, True),
+        ("8 allow iframe only", 'camera=("https://iframe.com")',
+         "camera", False, False),
+    ]
+    rows = []
+    all_match = True
+    for label, header, allow, top_expected, child_expected in cases:
+        top = PolicyFrame.top("https://example.org", header=header)
+        child = top.child("https://iframe.com", allow=allow)
+        top_got = engine.is_enabled("camera", top)
+        child_got = engine.is_enabled("camera", child)
+        match = (top_got, child_got) == (top_expected, child_expected)
+        all_match &= match
+        rows.append((label, _mark(top_expected), _mark(top_got),
+                     _mark(child_expected), _mark(child_got),
+                     "ok" if match else "MISMATCH"))
+    rendered = render_table(
+        ("case", "top paper", "top ours", "iframe paper", "iframe ours", ""),
+        rows, title="Table 1: camera prompt and delegation cases")
+    return ExperimentResult("table01", "Policy engine vs Table 1 cases",
+                            rendered, all_match)
+
+
+def table02_registry(_: ExperimentContext | None = None) -> ExperimentResult:
+    """Table 2: permission characteristics."""
+    expected = {
+        "camera": (True, True, "self"),
+        "geolocation": (True, True, "self"),
+        "gamepad": (False, True, "*"),
+        "notifications": (True, False, None),
+        "push": (True, False, None),
+    }
+    rows = []
+    ok = True
+    for name, (powerful, policy, default) in expected.items():
+        perm = DEFAULT_REGISTRY.get(name)
+        got = (perm.powerful, perm.policy_controlled,
+               perm.default_allowlist.value if perm.default_allowlist else None)
+        match = got == (powerful, policy, default)
+        ok &= match
+        rows.append((name, _mark(got[0]), _mark(got[1]), got[2] or "N/A",
+                     "ok" if match else "MISMATCH"))
+    rendered = render_table(("permission", "powerful", "policy", "default", ""),
+                            rows, title="Table 2: permission characteristics")
+    return ExperimentResult("table02", "Registry vs Table 2", rendered, ok)
+
+
+def table11_spec_issue(_: ExperimentContext | None = None) -> ExperimentResult:
+    """Table 11: the local-scheme specification issue."""
+    poc = LocalSchemePoC(csp="script-src 'self'; object-src 'none'")
+    rows = poc.table11()
+    ok = (rows["expected"].local_document_has_camera
+          and not rows["expected"].attacker_has_camera
+          and rows["actual-specification"].local_document_has_camera
+          and rows["actual-specification"].attacker_has_camera
+          and poc.injection_possible())
+    blocked = LocalSchemePoC(csp="frame-src 'self'")
+    ok &= not blocked.injection_possible()
+    return ExperimentResult("table11", "Local-scheme spec issue (Table 11)",
+                            poc.report(), ok,
+                            notes="frame-src CSP correctly blocks the PoC")
+
+
+def fig01_instrumentation(_: ExperimentContext | None = None
+                          ) -> ExperimentResult:
+    """Figure 1: the dynamic instrumentation mechanism."""
+    frame = PolicyFrame.top("https://example.org")
+    runtime = WebAPIRuntime(frame)
+    before = runtime.call("navigator.permissions.query", "camera")
+    instrumented = InstrumentedRuntime(runtime)
+    script = Script(url="https://tracker.example/t.js", source="",
+                    operations=(ApiCall("navigator.permissions.query",
+                                        ("camera",)),))
+    instrumented.execute(script)
+    after = runtime.call("navigator.permissions.query", "camera")
+    record = instrumented.records[0]
+    ok = (before["result"] == after["result"]
+          and record.args == ("camera",)
+          and record.stacktrace == ("https://tracker.example/t.js",))
+    rendered = "\n".join([
+        "Figure 1: function instrumentation",
+        f"  original result preserved: {before['result'] == after['result']}",
+        f"  recorded params:           {record.args}",
+        f"  recorded stacktrace:       {record.stacktrace}",
+    ])
+    return ExperimentResult("fig01", "Instrumentation demo (Figure 1)",
+                            rendered, ok)
+
+
+def fig03_support_matrix(_: ExperimentContext | None = None
+                         ) -> ExperimentResult:
+    """Figure 3: the permission-support site."""
+    report = SupportSiteReport()
+    counts = report.summary_counts()
+    ok = (counts["permissions"] >= 60
+          and counts["policy_controlled"] > counts["powerful"]
+          and counts["chromium_only"] > 10)
+    rendered = (report.render() + "\n\n"
+                + render_table(("metric", "count"),
+                               sorted(counts.items()),
+                               title="summary"))
+    return ExperimentResult("fig03", "Support matrix (Figure 3)", rendered, ok)
+
+
+def fig04_header_generator(_: ExperimentContext | None = None
+                           ) -> ExperimentResult:
+    """Figure 4: the header generator presets."""
+    generator = HeaderGenerator()
+    disable_all = generator.generate_preset(HeaderPreset.DISABLE_ALL)
+    disable_powerful = generator.generate_preset(HeaderPreset.DISABLE_POWERFUL)
+    custom = generator.generate_custom(
+        self_only=("geolocation",),
+        allow_origins={"camera": ("https://meet.example",)})
+    ok = (generator.is_complete(disable_all)
+          and not generator.is_complete(disable_powerful)
+          and "geolocation=(self)" in custom
+          and 'camera=(self "https://meet.example")' in custom)
+    rendered = "\n".join([
+        "Figure 4: header generator",
+        f"  disable-all ({disable_all.count('=')} directives, complete="
+        f"{generator.is_complete(disable_all)}):",
+        f"    {disable_all[:120]}...",
+        f"  disable-powerful ({disable_powerful.count('=')} directives):",
+        f"    {disable_powerful[:120]}...",
+        "  custom:",
+        f"    {custom[:160]}...",
+    ])
+    return ExperimentResult("fig04", "Header generator (Figure 4)",
+                            rendered, ok)
+
+
+# ---------------------------------------------------------------------------
+# Crawl-based experiments
+# ---------------------------------------------------------------------------
+
+def crawl_overview(ctx: ExperimentContext) -> ExperimentResult:
+    """Section 4 prelude: success rate, failure taxonomy, frame counts."""
+    dataset = ctx.dataset
+    ok_share = dataset.successful_count / dataset.attempted
+    paper_ok = PAPER.successful_sites / PAPER.attempted_sites
+    failures = dataset.failure_summary()
+    paper_failures = {
+        FailureMode.EPHEMERAL.value: PAPER.ephemeral_errors,
+        FailureMode.TIMEOUT.value: PAPER.load_timeouts,
+        FailureMode.UNREACHABLE.value: PAPER.unreachable,
+        FailureMode.MINOR.value: PAPER.minor_crawler_errors,
+        FailureMode.LATE_TIMEOUT.value: PAPER.final_update_timeouts,
+        FailureMode.EXCLUDED.value: PAPER.excluded_incomplete,
+    }
+    rows = [("successful share", f"{paper_ok:.2%}", f"{ok_share:.2%}")]
+    for mode, paper_count in paper_failures.items():
+        measured = failures.get(mode, 0) / dataset.attempted
+        rows.append((mode, f"{paper_count / PAPER.attempted_sites:.2%}",
+                     f"{measured:.2%}"))
+    redirect = (dataset.top_level_document_count
+                / max(1, dataset.successful_count))
+    rows.append(("top-level docs per site", f"{PAPER.redirect_factor:.3f}",
+                 f"{redirect:.3f}"))
+    rows.append(("sites with iframes",
+                 f"{PAPER.sites_with_iframes / PAPER.successful_sites:.2%}",
+                 f"{dataset.sites_with_iframes() / dataset.successful_count:.2%}"))
+    rows.append(("local embedded share", f"{PAPER.local_embedded_share:.2%}",
+                 f"{dataset.local_embedded_share():.2%}"))
+    rows.append(("avg seconds per site", f"{PAPER.avg_seconds_per_site:.1f}",
+                 f"{dataset.average_duration_seconds():.1f}"))
+    ok = (abs(ok_share - paper_ok) < 0.03
+          and abs(redirect - PAPER.redirect_factor) < 0.08
+          and abs(dataset.local_embedded_share()
+                  - PAPER.local_embedded_share) < 0.06)
+    rendered = render_table(("metric", "paper", "measured"), rows,
+                            title="Crawl overview (Section 4)")
+    return ExperimentResult("crawl_overview", "Crawl overview", rendered, ok)
+
+
+_PAPER_TABLE3 = ["google.com", "youtube.com", "doubleclick.net",
+                 "googlesyndication.com", "facebook.com", "yandex.com",
+                 "twitter.com", "livechatinc.com", "criteo.com",
+                 "cloudflare.com"]
+
+
+def table03_embedded_sites(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 3: top external embedded document sites."""
+    measured = [row.site for row in ctx.delegation.embedded_site_ranking(10)]
+    overlap = ranking_overlap(_PAPER_TABLE3, measured)
+    ok = (overlap >= 0.6 and measured
+          and measured[0] == "google.com"
+          and measured[1] == "youtube.com")
+    rendered = render_ranking("Table 3: top embedded sites",
+                              _PAPER_TABLE3, measured)
+    return ExperimentResult("table03", "Embedded site ranking", rendered, ok,
+                            notes=f"top-10 overlap {overlap:.0%}")
+
+
+_PAPER_TABLE4 = [GENERAL_ROW, "battery", "notifications", "browsing-topics",
+                 "storage-access", "publickey-credentials-get", "geolocation",
+                 "encrypted-media", "payment", "keyboard-map"]
+
+
+def table04_invocations(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 4: top invoked permissions with party splits."""
+    table = ctx.usage.invocation_table(10)
+    measured = [row.permission for row in table]
+    general = ctx.usage.invocation_stats.get(GENERAL_ROW)
+    rows = []
+    for stats in table:
+        first, third = stats.top_party_shares()
+        efirst, ethird = stats.embedded_party_shares()
+        rows.append((stats.permission, stats.top_contexts,
+                     f"{first:.0%}/{third:.0%}", stats.embedded_contexts,
+                     f"{efirst:.0%}/{ethird:.0%}", stats.total_contexts))
+    ok = (measured and measured[0] == GENERAL_ROW
+          and general is not None
+          and general.top_party_shares()[1] > 0.9
+          and ranking_overlap(_PAPER_TABLE4[:5], measured[:5]) >= 0.4
+          and abs(ctx.usage.top_third_party_share
+                  - PAPER.top_level_third_party_share) < 0.05
+          and abs(ctx.usage.embedded_first_party_share
+                  - PAPER.embedded_first_party_share) < 0.10)
+    rendered = render_table(
+        ("permission", "top ctx", "top 1p/3p", "emb ctx", "emb 1p/3p",
+         "total"), rows, title="Table 4: top invoked permissions")
+    rendered += "\n" + render_ranking("ranking vs paper", _PAPER_TABLE4,
+                                      measured)
+    return ExperimentResult("table04", "Invoked permissions", rendered, ok)
+
+
+_PAPER_TABLE5 = [ALL_PERMISSIONS_ROW, "attribution-reporting",
+                 "browsing-topics", "notifications", "geolocation",
+                 "microphone", "run-ad-auction", "camera", "midi", "push"]
+
+
+def table05_status_checks(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 5: top status-checked permissions."""
+    table = ctx.usage.status_check_table(10)
+    measured = [row.permission for row in table]
+    rows = [(row.permission, f"{row.embedded_share:.2%}", row.websites)
+            for row in table]
+    ok = (measured and measured[0] == ALL_PERMISSIONS_ROW
+          and measured[1] == "attribution-reporting"
+          and ranking_overlap(_PAPER_TABLE5, measured) >= 0.6
+          and 1.0 <= ctx.usage.mean_permissions_checked <= 3.0)
+    rendered = render_table(("permission", "% from embedded", "# websites"),
+                            rows, title="Table 5: top checked permissions")
+    rendered += "\n" + render_ranking("ranking vs paper", _PAPER_TABLE5,
+                                      measured)
+    rendered += (f"\nmean permissions checked per site: "
+                 f"{ctx.usage.mean_permissions_checked:.2f} "
+                 f"(paper {PAPER.mean_permissions_checked})")
+    return ExperimentResult("table05", "Status-checked permissions",
+                            rendered, ok)
+
+
+_PAPER_TABLE6 = ["clipboard-write", "storage-access", "geolocation",
+                 "notifications", "battery", "web-share", "browsing-topics",
+                 "encrypted-media", "camera", "microphone"]
+
+
+def table06_static(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 6: top statically detected permissions."""
+    table = ctx.usage.static_table(10)
+    measured = [row.permission for row in table]
+    rows = [(row.permission, f"{row.embedded_share:.2%}", row.websites)
+            for row in table]
+    camera = ctx.usage.static_stats.get("camera")
+    microphone = ctx.usage.static_stats.get("microphone")
+    ok = (ranking_overlap(_PAPER_TABLE6, measured) >= 0.7
+          and measured[0] in ("clipboard-write", "storage-access")
+          and camera is not None and microphone is not None
+          and camera.websites == microphone.websites)
+    rendered = render_table(("permission", "% in embedded", "# websites"),
+                            rows, title="Table 6: top static detections")
+    rendered += "\n" + render_ranking("ranking vs paper", _PAPER_TABLE6,
+                                      measured)
+    return ExperimentResult(
+        "table06", "Static detections", rendered, ok,
+        notes="camera == microphone (shared getUserMedia pattern)")
+
+
+_PAPER_TABLE7 = ["googlesyndication.com", "youtube.com", "facebook.com",
+                 "doubleclick.net", "livechatinc.com", "cloudflare.com",
+                 "criteo.com", "stripe.com", "google.com", "vimeo.com"]
+
+
+def table07_delegated_sites(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 7: top embedded documents with delegated permissions."""
+    measured = [row.site for row in ctx.delegation.delegated_site_ranking(10)]
+    overlap = ranking_overlap(_PAPER_TABLE7, measured)
+    livechat_rate = ctx.delegation.delegation_rate_for_site("livechatinc.com")
+    google_rate = ctx.delegation.delegation_rate_for_site("google.com")
+    ok = (overlap >= 0.5
+          and set(measured[:6]) >= {"googlesyndication.com", "youtube.com",
+                                    "facebook.com", "doubleclick.net",
+                                    "livechatinc.com"}
+          and livechat_rate > 0.95
+          and google_rate < 0.15)
+    rendered = render_ranking("Table 7: delegated embedded sites",
+                              _PAPER_TABLE7, measured)
+    rendered += (f"\nlivechat delegation rate {livechat_rate:.2%} "
+                 f"(paper 99.69%), google {google_rate:.2%} (paper 4.95%)")
+    # Paper 4.2: 34 distinct sites on ≥100 websites, 13 on ≥1,000.
+    scale = ctx.scale_factor
+    at_100 = ctx.delegation.sites_present_on_at_least(max(1, round(100 / scale)))
+    at_1000 = ctx.delegation.sites_present_on_at_least(
+        max(2, round(1000 / scale)))
+    rendered += (f"\ndelegated sites on >=100 websites (scaled): {at_100} "
+                 f"(paper 34); on >=1,000: {at_1000} (paper 13)")
+    return ExperimentResult("table07", "Delegated site ranking", rendered, ok,
+                            notes=f"top-10 overlap {overlap:.0%}")
+
+
+_PAPER_TABLE8 = ["autoplay", "encrypted-media", "picture-in-picture",
+                 "clipboard-write", "fullscreen", "attribution-reporting",
+                 "microphone", "run-ad-auction", "join-ad-interest-group",
+                 "gyroscope"]
+
+
+def table08_delegated_permissions(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 8: top delegated permissions."""
+    table = ctx.delegation.delegated_permission_table(10)
+    measured = [row.permission for row in table]
+    rows = [(row.permission, row.delegations, row.websites) for row in table]
+    ok = (measured and measured[0] == "autoplay"
+          and ranking_overlap(_PAPER_TABLE8, measured) >= 0.6)
+    rendered = render_table(("permission", "delegations", "# websites"),
+                            rows, title="Table 8: top delegated permissions")
+    rendered += "\n" + render_ranking("ranking vs paper", _PAPER_TABLE8,
+                                      measured)
+    return ExperimentResult("table08", "Delegated permissions", rendered, ok)
+
+
+def delegation_directives(ctx: ExperimentContext) -> ExperimentResult:
+    """Section 4.2.2: delegation directive distribution."""
+    distribution = ctx.delegation.directive_distribution()
+    pairs = [
+        ("default (src)", PAPER.directive_share_default_src,
+         distribution.get(DelegationDirectiveKind.DEFAULT_SRC, 0.0)),
+        ("* wildcard", PAPER.directive_share_star,
+         distribution.get(DelegationDirectiveKind.STAR, 0.0)),
+        ("explicit 'src'", PAPER.directive_share_explicit_src,
+         distribution.get(DelegationDirectiveKind.EXPLICIT_SRC, 0.0)),
+        ("'none' opt-out", PAPER.directive_share_none,
+         distribution.get(DelegationDirectiveKind.NONE, 0.0)),
+    ]
+    ok = (abs(pairs[0][1] - pairs[0][2]) < 0.06
+          and abs(pairs[1][1] - pairs[1][2]) < 0.05)
+    rendered = render_comparison(pairs,
+                                 title="Delegation directives (Section 4.2.2)")
+    return ExperimentResult("delegation_directives",
+                            "Delegation directive distribution", rendered, ok)
+
+
+def fig02_header_adoption(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 2: Permissions-/Feature-Policy adoption."""
+    adoption = ctx.headers.adoption()
+    pairs = [
+        ("Permissions-Policy (all documents)",
+         PAPER.pp_header_adoption_all_docs, adoption.pp_all_docs_share),
+        ("Feature-Policy (all documents)",
+         PAPER.fp_header_adoption_all_docs, adoption.fp_all_docs_share),
+        ("Permissions-Policy (top-level)",
+         PAPER.pp_header_top_level_share, adoption.pp_top_level_share),
+        ("Permissions-Policy (embedded)",
+         PAPER.pp_header_embedded_share, adoption.pp_embedded_share),
+    ]
+    ok = (abs(pairs[0][1] - pairs[0][2]) < 0.02
+          and abs(pairs[2][1] - pairs[2][2]) < 0.015
+          and adoption.pp_embedded_share > adoption.pp_top_level_share * 2
+          and adoption.fp_all_docs_share < adoption.pp_all_docs_share)
+    rendered = render_comparison(pairs, title="Figure 2: header adoption")
+    rendered += f"\nsites declaring both headers: {adoption.both_sites}"
+    return ExperimentResult("fig02", "Header adoption", rendered, ok)
+
+
+_PAPER_TABLE9 = ["geolocation", "microphone", "camera", "gyroscope",
+                 "payment", "magnetometer", "accelerometer", "usb",
+                 "sync-xhr", "interest-cohort"]
+
+
+def table09_header_directives(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 9: least-restrictive header directives for top permissions."""
+    table = ctx.headers.directive_table(10)
+    measured = [row.permission for row in table]
+    rows = [(row.permission,
+             f"{row.share(DirectiveClass.DISABLE):.1%}",
+             f"{row.share(DirectiveClass.SELF):.1%}",
+             f"{row.share(DirectiveClass.STAR):.1%}",
+             row.websites)
+            for row in table]
+    shares = ctx.headers.top_level_class_shares()
+    powerful = ctx.headers.powerful_disable_or_self_share()
+    sizes = ctx.headers.header_size_distribution()
+    top_sizes = sorted(sizes.items(), key=lambda kv: -kv[1])[:3]
+    ok = (ranking_overlap(_PAPER_TABLE9, measured) >= 0.6
+          and abs(shares.get(DirectiveClass.DISABLE, 0)
+                  - PAPER.directive_class_disable_share) < 0.05
+          and powerful > 0.9
+          and {size for size, _ in top_sizes} >= {18, 1})
+    rendered = render_table(
+        ("permission", "disable", "self", "*", "# websites"), rows,
+        title="Table 9: least-restrictive header directives")
+    rendered += "\n" + render_comparison([
+        ("disable share", PAPER.directive_class_disable_share,
+         shares.get(DirectiveClass.DISABLE, 0.0)),
+        ("self share", PAPER.directive_class_self_share,
+         shares.get(DirectiveClass.SELF, 0.0)),
+        ("* share", PAPER.directive_class_star_share,
+         shares.get(DirectiveClass.STAR, 0.0)),
+        ("powerful disable-or-self", PAPER.powerful_disable_or_self_share,
+         powerful),
+    ])
+    rendered += (f"\navg permissions/header "
+                 f"{ctx.headers.average_permissions_per_header():.2f} "
+                 f"(paper {PAPER.avg_permissions_per_header}); "
+                 f"size modes {[s for s, _ in top_sizes]} (paper [18, 1, 9])")
+    return ExperimentResult("table09", "Header directive strictness",
+                            rendered, ok)
+
+
+def header_misconfigurations(ctx: ExperimentContext) -> ExperimentResult:
+    """Section 4.3.3: syntax errors and semantic misconfigurations."""
+    headers = ctx.headers
+    scale = ctx.scale_factor
+    rows = [
+        ("header frames with syntax errors (dropped)",
+         PAPER.syntax_error_frames,
+         round(headers.syntax_error_frames * scale)),
+        ("top-level sites losing their whole header",
+         PAPER.syntax_error_top_level_sites,
+         round(headers.syntax_error_top_level_sites * scale)),
+        ("top-level sites with semantic misconfigurations",
+         PAPER.semantic_misconfig_sites,
+         round(headers.semantic_issue_top_level_sites * scale)),
+    ]
+    ok = (headers.syntax_error_top_level_sites > 0
+          and headers.semantic_issue_top_level_sites
+          > headers.syntax_error_top_level_sites)
+    rendered = render_table(("metric", "paper", "measured (scaled to 1M)"),
+                            rows,
+                            title="Header misconfigurations (Section 4.3.3)")
+    return ExperimentResult("header_misconfig", "Header misconfigurations",
+                            rendered, ok)
+
+
+_PAPER_TABLE10 = ["youtube.com", "livechatinc.com", "facebook.com",
+                  "youtube-nocookie.com", "razorpay.com", "ladesk.com",
+                  "driftt.com", "wixapps.net", "qualified.com",
+                  "dailymotion.com"]
+
+_PAPER_UNUSED = {
+    "youtube.com": {"accelerometer", "gyroscope"},
+    "livechatinc.com": {"camera", "microphone", "clipboard-read"},
+    "facebook.com": {"clipboard-write", "web-share", "encrypted-media"},
+}
+
+
+def table10_overpermission(ctx: ExperimentContext) -> ExperimentResult:
+    """Tables 10/13: embedded documents with unused delegated permissions."""
+    rows_data = ctx.overpermission.unused_delegations()
+    measured = [row.site for row in rows_data[:10]]
+    rows = [(row.site, ", ".join(row.unused_permissions),
+             row.affected_websites) for row in rows_data[:15]]
+    by_site = {row.site: set(row.unused_permissions) for row in rows_data}
+    # YouTube and LiveChat must always reproduce exactly; Facebook's rare
+    # extended template needs a larger crawl to clear the 5 % prevalence
+    # threshold reliably, so it is enforced only at >=10k sites.
+    required = dict(_PAPER_UNUSED)
+    if ctx.web.site_count < 10_000 and "facebook.com" not in by_site:
+        required.pop("facebook.com")
+    unused_match = all(by_site.get(site) == expected
+                       for site, expected in required.items())
+    total = ctx.overpermission.total_affected_websites()
+    total_share = total / max(1, ctx.dataset.top_level_document_count)
+    paper_share = (PAPER.overpermissioned_affected_sites
+                   / PAPER.top_level_documents)
+    ok = (measured[:2] == ["youtube.com", "livechatinc.com"]
+          and unused_match
+          and abs(total_share - paper_share) < 0.02)
+    rendered = render_table(("embedded site", "unused permissions",
+                             "# affected"), rows,
+                            title="Table 10/13: unused delegated permissions")
+    rendered += "\n" + render_ranking("ranking vs paper", _PAPER_TABLE10,
+                                      measured)
+    rendered += (f"\ntotal affected websites: {total} "
+                 f"({total_share:.2%} of top docs; paper "
+                 f"{PAPER.overpermissioned_affected_sites} = {paper_share:.2%})")
+    return ExperimentResult("table10", "Over-permissioned iframes",
+                            rendered, ok)
+
+
+def livechat_case_study(ctx: ExperimentContext) -> ExperimentResult:
+    """Section 5.2: the LiveChat widget."""
+    study = ctx.overpermission.case_study("livechatinc.com")
+    ok = (study["delegation_rate"] > 0.95
+          and set(study["unused_delegations"]) == {"camera", "microphone",
+                                                   "clipboard-read"}
+          and study["overpermissioned_websites"] > 0
+          and study["overpermissioned_websites"]
+          <= study["websites_with_delegation"])
+    rendered = "\n".join([
+        "LiveChat case study (Section 5.2)",
+        f"  occurrences:               {study['occurrences']}",
+        f"  delegation rate:           {study['delegation_rate']:.2%} "
+        f"(paper 99.70%)",
+        f"  prevalent delegations:     {', '.join(study['prevalent_delegations'])}",
+        f"  observed activity:         {', '.join(study['observed_activity'])}",
+        f"  unused delegations:        {', '.join(study['unused_delegations'])} "
+        f"(paper: camera, microphone, clipboard-read)",
+        f"  over-permissioned sites:   {study['overpermissioned_websites']} "
+        f"of {study['websites_with_delegation']} delegating",
+    ])
+    return ExperimentResult("livechat", "LiveChat case study", rendered, ok)
+
+
+def table12_interaction(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 12 / Appendix A.3: static vs dynamic vs interaction."""
+    cohorts = {
+        "static-only": _static_only_cohort(ctx, 25),
+        "ecommerce": _archetype_cohort(ctx, 25, ("share-clip", "share-full",
+                                                 "storage-cmp")),
+        "video-players": _archetype_cohort(ctx, 25, ("video-player",)),
+    }
+    rows = []
+    ok = True
+    for name, ranks in cohorts.items():
+        if not ranks:
+            ok = False
+            continue
+        stats = _run_interaction_cohort(ctx, ranks)
+        rows.append((name, len(ranks), f"{stats['static']:.2f}",
+                     f"{stats['dynamic']:.2f}", f"{stats['activated']:.2f}",
+                     f"{stats['by_static']:.1%}", f"{stats['by_union']:.1%}"))
+        if name == "static-only":
+            # By construction these sites have static but ~no dynamic, and
+            # static must recover a meaningful share of activated behaviour.
+            ok &= stats["static"] > 0.5 and stats["dynamic"] < 0.5
+            ok &= stats["by_static"] > 0.3
+    rendered = render_table(
+        ("cohort", "n", "static avg", "dynamic avg", "activated avg",
+         "by static", "by S∪D"),
+        rows, title="Table 12: manual-interaction experiment")
+    rendered += ("\npaper averages: static 2.08, dynamic 0.25, activated "
+                 "1.53, by static 40.5%, by S∪D 51.7%")
+    return ExperimentResult("table12", "Interaction experiment", rendered, ok)
+
+
+def _static_only_cohort(ctx: ExperimentContext, size: int) -> list[int]:
+    """Sites with static functionality but no dynamic activity (the first
+    Table 12 cohort)."""
+    out = []
+    usage = ctx.usage
+    for visit in ctx.dataset.successful():
+        if len(out) >= size:
+            break
+        has_calls = bool(visit.calls)
+        if has_calls:
+            continue
+        activity = usage.frame_activity(visit)
+        if any(activity.values()):
+            out.append(visit.rank)
+    return out
+
+
+def _archetype_cohort(ctx: ExperimentContext, size: int,
+                      archetypes: tuple[str, ...]) -> list[int]:
+    """Sites carrying specific script archetypes — the HTTP-Archive category
+    substitution (ecommerce / video players)."""
+    out = []
+    markers = tuple(f"/js/{name}.js" for name in archetypes)
+    for visit in ctx.dataset.successful():
+        if len(out) >= size:
+            break
+        urls = [script.url or "" for script in visit.scripts]
+        if any(any(marker in url for marker in markers) for url in urls):
+            out.append(visit.rank)
+    return out
+
+
+def _run_interaction_cohort(ctx: ExperimentContext,
+                            ranks: list[int]) -> dict[str, float]:
+    plain = Crawler(SyntheticFetcher(ctx.web))
+    interactive = InteractiveCrawler(SyntheticFetcher(ctx.web))
+    usage = ctx.usage
+    static_counts: list[int] = []
+    dynamic_counts: list[int] = []
+    activated_counts: list[int] = []
+    covered_static = 0
+    covered_union = 0
+    activated_total = 0
+    for rank in ranks:
+        url = ctx.web.origin_for_rank(rank)
+        baseline = plain.visit(url, rank=rank)
+        with_interaction = interactive.visit(url, rank=rank)
+        static: set[str] = set()
+        for script in baseline.scripts:
+            from repro.analysis.usage import static_matches
+            permissions, _ = static_matches(script.source, DEFAULT_REGISTRY)
+            static |= permissions
+        dynamic = {p for call in baseline.calls for p in call.permissions
+                   if p in DEFAULT_REGISTRY
+                   and DEFAULT_REGISTRY.get(p).instrumented}
+        activated = {p for call in with_interaction.calls
+                     for p in call.permissions
+                     if p in DEFAULT_REGISTRY
+                     and DEFAULT_REGISTRY.get(p).instrumented}
+        static_counts.append(len(static))
+        dynamic_counts.append(len(dynamic))
+        activated_counts.append(len(activated))
+        activated_total += len(activated)
+        covered_static += len(activated & static)
+        covered_union += len(activated & (static | dynamic))
+    count = max(1, len(ranks))
+    return {
+        "static": sum(static_counts) / count,
+        "dynamic": sum(dynamic_counts) / count,
+        "activated": sum(activated_counts) / count,
+        "by_static": covered_static / max(1, activated_total),
+        "by_union": covered_union / max(1, activated_total),
+    }
+
+
+def summary_experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """The Section 4 headline percentages, all at once."""
+    comparison = ctx.summary.compare_to_paper()
+    worst = max(abs(measured - paper) / paper
+                for _, paper, measured in comparison if paper)
+    # Sub-percent metrics (Feature-Policy adoption, 0.51 %) are dominated
+    # by sampling noise at small crawl scales; give them a wider band.
+    ok = all(abs(measured - paper) / paper < (0.25 if paper >= 0.02 else 0.6)
+             for _, paper, measured in comparison if paper)
+    rendered = render_comparison(comparison,
+                                 title="Section 4 headline numbers")
+    return ExperimentResult("summary", "Headline numbers", rendered, ok,
+                            notes=f"worst relative deviation {worst:.1%}")
+
+
+def _mark(flag: bool) -> str:
+    return "✓" if flag else "✗"
+
+
+#: All experiments, keyed by id; crawl-independent ones accept None.
+ALL_EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
+    "table01": table01_policy_cases,
+    "table02": table02_registry,
+    "crawl_overview": crawl_overview,
+    "table03": table03_embedded_sites,
+    "table04": table04_invocations,
+    "table05": table05_status_checks,
+    "table06": table06_static,
+    "table07": table07_delegated_sites,
+    "table08": table08_delegated_permissions,
+    "delegation_directives": delegation_directives,
+    "fig02": fig02_header_adoption,
+    "table09": table09_header_directives,
+    "header_misconfig": header_misconfigurations,
+    "table10": table10_overpermission,
+    "livechat": livechat_case_study,
+    "table11": table11_spec_issue,
+    "table12": table12_interaction,
+    "fig01": fig01_instrumentation,
+    "fig03": fig03_support_matrix,
+    "fig04": fig04_header_generator,
+    "summary": summary_experiment,
+}

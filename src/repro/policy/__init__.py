@@ -1,0 +1,51 @@
+"""Permissions Policy engine.
+
+A from-scratch implementation of the mechanisms the paper measures
+(Sections 2 and 3):
+
+* :mod:`repro.policy.origin` — origins, sites (eTLD+1) and local schemes;
+* :mod:`repro.policy.structured` — the RFC 8941 structured-field parser the
+  ``Permissions-Policy`` header syntax is built on;
+* :mod:`repro.policy.allowlist` — allowlist values and matching;
+* :mod:`repro.policy.header` — ``Permissions-Policy`` header parsing with
+  the error taxonomy behind the paper's misconfiguration analysis (4.3.3);
+* :mod:`repro.policy.feature_policy` — the legacy ``Feature-Policy`` syntax;
+* :mod:`repro.policy.allow_attr` — the iframe ``allow`` attribute;
+* :mod:`repro.policy.engine` — policy inheritance and
+  ``is_feature_enabled``, including the local-scheme spec bug (Table 11);
+* :mod:`repro.policy.csp` — the minimal CSP ``frame-src`` model that gates
+  the local-scheme attack (Section 6.2);
+* :mod:`repro.policy.linter` — syntax and semantic misconfiguration
+  detection for deployed headers.
+"""
+
+from repro.policy.allow_attr import AllowAttribute, parse_allow_attribute
+from repro.policy.allowlist import Allowlist, AllowlistKeyword
+from repro.policy.engine import PermissionsPolicyEngine, PolicyDecision
+from repro.policy.feature_policy import parse_feature_policy_header
+from repro.policy.header import (
+    HeaderParseError,
+    ParsedPolicyHeader,
+    parse_permissions_policy_header,
+)
+from repro.policy.linter import HeaderLinter, LintFinding, LintSeverity
+from repro.policy.origin import LOCAL_SCHEMES, Origin, site_of
+
+__all__ = [
+    "AllowAttribute",
+    "Allowlist",
+    "AllowlistKeyword",
+    "HeaderLinter",
+    "HeaderParseError",
+    "LintFinding",
+    "LintSeverity",
+    "LOCAL_SCHEMES",
+    "Origin",
+    "ParsedPolicyHeader",
+    "PermissionsPolicyEngine",
+    "PolicyDecision",
+    "parse_allow_attribute",
+    "parse_feature_policy_header",
+    "parse_permissions_policy_header",
+    "site_of",
+]

@@ -1,0 +1,177 @@
+"""Allowlist values and matching.
+
+Every policy directive — in a ``Permissions-Policy`` header, a legacy
+``Feature-Policy`` header, or an iframe ``allow`` attribute — maps a feature
+to an *allowlist*: the set of origins the feature is available to.  The
+specification defines the keywords ``*`` (everyone), ``self`` (the declaring
+document's origin), ``src`` (the origin of the iframe ``src`` attribute;
+only meaningful inside ``allow``) and ``none`` (nobody), plus explicit
+origins.
+
+This module also provides the *strictness classification* the paper's
+Table 9 uses: for each declared permission, what is the least restrictive
+directive a website deploys (Disable, Self, Same Origin, Same Site,
+Third-party, or ``*``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.policy.origin import Origin
+
+
+class AllowlistKeyword(str, Enum):
+    """Special allowlist keywords defined by the specification."""
+
+    STAR = "*"
+    SELF = "self"
+    SRC = "src"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Allowlist:
+    """A parsed allowlist.
+
+    ``invalid_tokens`` retains tokens the specification does not recognise
+    (e.g. ``none`` inside a header inner list, ``0``, or unquoted URLs);
+    browsers ignore them, the linter reports them (paper Section 4.3.3).
+    """
+
+    star: bool = False
+    self_: bool = False
+    src: bool = False
+    origins: tuple[Origin, ...] = ()
+    invalid_tokens: tuple[str, ...] = ()
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def all_origins(cls) -> "Allowlist":
+        return cls(star=True)
+
+    @classmethod
+    def self_only(cls) -> "Allowlist":
+        return cls(self_=True)
+
+    @classmethod
+    def nobody(cls) -> "Allowlist":
+        return cls()
+
+    @classmethod
+    def src_only(cls) -> "Allowlist":
+        return cls(src=True)
+
+    @classmethod
+    def of(cls, *origins: Origin, self_: bool = False, star: bool = False,
+           src: bool = False) -> "Allowlist":
+        return cls(star=star, self_=self_, src=src, origins=tuple(origins))
+
+    # -- predicates -----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the allowlist matches nobody (the ``()`` / ``none`` case),
+        ignoring invalid tokens the browser drops."""
+        return not (self.star or self.self_ or self.src or self.origins)
+
+    def allows(self, origin: Origin, *, self_origin: Origin,
+               src_origin: Origin | None = None) -> bool:
+        """Whether ``origin`` is in this allowlist.
+
+        Args:
+            origin: The origin asking for the feature.
+            self_origin: The origin of the document declaring the allowlist
+                (gives meaning to ``self``).
+            src_origin: The origin of the iframe ``src`` attribute (gives
+                meaning to ``src``; ``None`` outside ``allow`` attributes).
+        """
+        if self.star:
+            return True
+        if self.self_ and origin.same_origin(self_origin):
+            return True
+        if self.src and src_origin is not None and origin.same_origin(src_origin):
+            return True
+        return any(origin.same_origin(entry) for entry in self.origins)
+
+    def merged(self, other: "Allowlist") -> "Allowlist":
+        """Union of two allowlists (used when a directive appears twice)."""
+        return Allowlist(
+            star=self.star or other.star,
+            self_=self.self_ or other.self_,
+            src=self.src or other.src,
+            origins=tuple(dict.fromkeys(self.origins + other.origins)),
+            invalid_tokens=tuple(dict.fromkeys(
+                self.invalid_tokens + other.invalid_tokens)),
+        )
+
+    def serialize_header(self) -> str:
+        """Structured-field serialization for a Permissions-Policy header."""
+        if self.star:
+            return "*"
+        if self.is_empty:
+            return "()"
+        parts: list[str] = []
+        if self.self_:
+            parts.append("self")
+        parts.extend(f'"{origin.serialize()}"' for origin in self.origins)
+        if len(parts) == 1 and parts[0] == "self":
+            return "(self)"
+        return "(" + " ".join(parts) + ")"
+
+
+class DirectiveClass(str, Enum):
+    """Least-restrictive classification of a directive (paper Table 9)."""
+
+    DISABLE = "disable"
+    SELF = "self"
+    SAME_ORIGIN = "same-origin"
+    SAME_SITE = "same-site"
+    THIRD_PARTY = "third-party"
+    STAR = "all"
+
+
+#: Order from most to least restrictive; ``classify_directive`` returns the
+#: least restrictive class that applies, mirroring how the paper counts a
+#: website once in its loosest column.
+_CLASS_ORDER: tuple[DirectiveClass, ...] = (
+    DirectiveClass.DISABLE,
+    DirectiveClass.SELF,
+    DirectiveClass.SAME_ORIGIN,
+    DirectiveClass.SAME_SITE,
+    DirectiveClass.THIRD_PARTY,
+    DirectiveClass.STAR,
+)
+
+
+def strictness_rank(cls: DirectiveClass) -> int:
+    """Index in the restrictive→permissive order (0 = most restrictive)."""
+    return _CLASS_ORDER.index(cls)
+
+
+def classify_directive(allowlist: Allowlist, declaring_origin: Origin
+                       ) -> DirectiveClass:
+    """Classify an allowlist by its least restrictive grant.
+
+    ``Disable`` for the empty list, ``Self`` when only the ``self`` keyword
+    appears, ``Same Origin`` / ``Same Site`` / ``Third-party`` when explicit
+    origins are present (judged against the declaring origin), and ``All``
+    when ``*`` appears anywhere.
+    """
+    if allowlist.star:
+        return DirectiveClass.STAR
+    loosest = DirectiveClass.DISABLE
+    if allowlist.self_:
+        loosest = DirectiveClass.SELF
+    for origin in allowlist.origins:
+        if origin.same_origin(declaring_origin):
+            candidate = DirectiveClass.SAME_ORIGIN
+        elif origin.same_site(declaring_origin):
+            candidate = DirectiveClass.SAME_SITE
+        else:
+            candidate = DirectiveClass.THIRD_PARTY
+        if strictness_rank(candidate) > strictness_rank(loosest):
+            loosest = candidate
+    return loosest

@@ -1,0 +1,151 @@
+"""Per-browser policy enforcement profiles (paper Section 2.2.6).
+
+"The specification is inconsistently supported across browsers.  All major
+browsers partly support the allow attribute, but only Chromium-based
+browsers support the Permissions-Policy header."  A site that deploys
+``Permissions-Policy: camera=()`` therefore protects its Chromium visitors
+while Firefox and Safari users keep the default allowlists — an
+enforcement gap this module makes computable:
+
+* :class:`BrowserPolicyProfile` describes what one browser enforces;
+* :func:`engine_for_browser` builds a policy engine behaving like that
+  browser (headers stripped where unenforced);
+* :class:`CrossBrowserDivergence` evaluates a frame across all profiles
+  and reports where outcomes differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.policy.engine import PermissionsPolicyEngine, PolicyFrame
+from repro.registry.browsers import ALL_BROWSERS, Browser, CHROMIUM
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+from repro.registry.support import SupportMatrix, default_support_matrix
+
+
+@dataclass(frozen=True)
+class BrowserPolicyProfile:
+    """What one browser actually enforces of the permission system."""
+
+    browser: Browser
+    enforces_pp_header: bool
+    enforces_fp_header: bool
+    enforces_allow_attribute: bool
+
+    @classmethod
+    def for_browser(cls, browser: Browser) -> "BrowserPolicyProfile":
+        return cls(
+            browser=browser,
+            enforces_pp_header=browser.supports_permissions_policy_header,
+            enforces_fp_header=browser.supports_feature_policy_header,
+            enforces_allow_attribute=browser.supports_allow_attribute,
+        )
+
+
+def strip_unenforced(frame: PolicyFrame,
+                     profile: BrowserPolicyProfile) -> PolicyFrame:
+    """A copy of the frame tree as ``profile``'s browser sees it: headers
+    and ``allow`` attributes the browser does not enforce are dropped."""
+    parent = (strip_unenforced(frame.parent, profile)
+              if frame.parent is not None else None)
+    return replace(
+        frame,
+        parent=parent,
+        header=frame.header if profile.enforces_pp_header else None,
+        fp_header=frame.fp_header if profile.enforces_fp_header else None,
+        allow=frame.allow if profile.enforces_allow_attribute else None,
+    )
+
+
+def engine_for_browser(browser: Browser, *,
+                       registry: PermissionRegistry | None = None,
+                       local_scheme_bug: bool = True
+                       ) -> "BrowserPolicyEngine":
+    """A policy engine behaving like ``browser``."""
+    return BrowserPolicyEngine(
+        BrowserPolicyProfile.for_browser(browser),
+        registry=registry, local_scheme_bug=local_scheme_bug)
+
+
+class BrowserPolicyEngine:
+    """A :class:`PermissionsPolicyEngine` filtered through a browser's
+    actual enforcement behaviour."""
+
+    def __init__(self, profile: BrowserPolicyProfile, *,
+                 registry: PermissionRegistry | None = None,
+                 local_scheme_bug: bool = True) -> None:
+        self.profile = profile
+        self._engine = PermissionsPolicyEngine(
+            registry, local_scheme_bug=local_scheme_bug)
+
+    def is_enabled(self, feature: str, frame: PolicyFrame) -> bool:
+        return self._engine.is_enabled(
+            feature, strip_unenforced(frame, self.profile))
+
+    def allowed_features(self, frame: PolicyFrame) -> tuple[str, ...]:
+        return self._engine.allowed_features(
+            strip_unenforced(frame, self.profile))
+
+
+@dataclass(frozen=True)
+class DivergenceFinding:
+    """One feature whose outcome differs across browsers for a frame."""
+
+    feature: str
+    outcomes: dict[str, bool]          # browser name -> enabled
+
+    @property
+    def browsers_enabled(self) -> tuple[str, ...]:
+        return tuple(sorted(name for name, enabled in self.outcomes.items()
+                            if enabled))
+
+    @property
+    def protects_only_chromium(self) -> bool:
+        """The header disables the feature in Chromium but non-enforcing
+        browsers still expose it — the enforcement gap of Section 2.2.6."""
+        return (not self.outcomes.get(CHROMIUM.name, True)
+                and any(enabled for name, enabled in self.outcomes.items()
+                        if name != CHROMIUM.name))
+
+
+class CrossBrowserDivergence:
+    """Evaluates frames across all browser profiles."""
+
+    def __init__(self, *, browsers: Iterable[Browser] = ALL_BROWSERS,
+                 registry: PermissionRegistry | None = None,
+                 matrix: SupportMatrix | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._matrix = matrix if matrix is not None else default_support_matrix()
+        self._engines = {browser.name: engine_for_browser(browser,
+                                                          registry=registry)
+                         for browser in browsers}
+        self._browsers = {browser.name: browser for browser in browsers}
+
+    def divergences(self, frame: PolicyFrame,
+                    features: Iterable[str] | None = None
+                    ) -> list[DivergenceFinding]:
+        """Features whose availability in ``frame`` differs by browser.
+
+        Only features a browser actually supports count for it — an
+        unsupported feature is unusable everywhere regardless of policy.
+        """
+        names = (tuple(features) if features is not None
+                 else tuple(p.name for p in self._registry.policy_controlled()))
+        findings = []
+        for feature in names:
+            outcomes: dict[str, bool] = {}
+            for browser_name, engine in self._engines.items():
+                browser = self._browsers[browser_name]
+                supported = self._matrix.currently_supported(feature, browser)
+                outcomes[browser_name] = (supported
+                                          and engine.is_enabled(feature, frame))
+            if len(set(outcomes.values())) > 1:
+                findings.append(DivergenceFinding(feature, outcomes))
+        return findings
+
+    def enforcement_gaps(self, frame: PolicyFrame) -> list[DivergenceFinding]:
+        """Features the deployed policy turns off for Chromium users only."""
+        return [finding for finding in self.divergences(frame)
+                if finding.protects_only_chromium]

@@ -1,0 +1,140 @@
+"""Minimal Content-Security-Policy model: the ``frame-src`` gate.
+
+The local-scheme attack of paper Section 6.2 needs the attacker to inject an
+iframe into the victim page.  A strict CSP normally blocks this — *unless*
+the policy does not constrain frames: the paper notes the bypass "is the
+case when the Content-Security-Policy header of a website does not specify a
+frame-src directive" (and no ``child-src``/``default-src`` fallback covers
+it).
+
+Only the directives participating in that fallback chain are modelled:
+``frame-src`` → ``child-src`` → ``default-src``.  Source expressions are
+restricted to the forms relevant for frame loading: ``*``, ``'none'``,
+``'self'``, scheme sources (``data:`` …) and host sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.policy.origin import LOCAL_SCHEMES, Origin, OriginParseError
+
+#: Fallback chain for frame loads, most specific first.
+_FRAME_FALLBACK: tuple[str, ...] = ("frame-src", "child-src", "default-src")
+
+
+@dataclass(frozen=True)
+class SourceExpression:
+    """One CSP source expression, pre-classified for matching."""
+
+    raw: str
+    star: bool = False
+    none: bool = False
+    self_: bool = False
+    scheme: str | None = None
+    host_origin: Origin | None = None
+    host_wildcard: str | None = None  # e.g. "*.example.org" → "example.org"
+
+    @classmethod
+    def parse(cls, token: str) -> "SourceExpression":
+        lowered = token.lower()
+        if lowered == "*":
+            return cls(token, star=True)
+        if lowered == "'none'":
+            return cls(token, none=True)
+        if lowered == "'self'":
+            return cls(token, self_=True)
+        if lowered.endswith(":") and "/" not in lowered:
+            return cls(token, scheme=lowered[:-1])
+        if lowered.startswith("*."):
+            return cls(token, host_wildcard=lowered[2:])
+        try:
+            url = lowered if "://" in lowered else f"https://{lowered}"
+            return cls(token, host_origin=Origin.parse(url))
+        except OriginParseError:
+            return cls(token)  # matches nothing
+
+    def matches(self, target_url: str, *, self_origin: Origin) -> bool:
+        if self.none:
+            return False
+        scheme = target_url.split(":", 1)[0].lower()
+        if self.star:
+            # `*` matches any non-local scheme; data:/blob: need an explicit
+            # scheme source per CSP3.
+            return scheme not in LOCAL_SCHEMES
+        if self.scheme is not None:
+            return scheme == self.scheme
+        if scheme in LOCAL_SCHEMES:
+            return False
+        try:
+            target = Origin.parse(target_url)
+        except OriginParseError:
+            return False
+        if self.self_:
+            return target.same_origin(self_origin)
+        if self.host_wildcard is not None:
+            return (target.host == self.host_wildcard
+                    or target.host.endswith("." + self.host_wildcard))
+        if self.host_origin is not None:
+            return target.host == self.host_origin.host
+        return False
+
+
+@dataclass
+class ContentSecurityPolicy:
+    """A parsed CSP, restricted to the frame-loading fallback chain."""
+
+    raw: str
+    directives: dict[str, tuple[SourceExpression, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, raw: str) -> "ContentSecurityPolicy":
+        policy = cls(raw=raw)
+        for chunk in raw.split(";"):
+            parts = chunk.split()
+            if not parts:
+                continue
+            name = parts[0].lower()
+            policy.directives[name] = tuple(
+                SourceExpression.parse(token) for token in parts[1:])
+        return policy
+
+    def governing_directive(self) -> str | None:
+        """The directive that governs frame loads, following the
+        frame-src → child-src → default-src fallback."""
+        for name in _FRAME_FALLBACK:
+            if name in self.directives:
+                return name
+        return None
+
+    @property
+    def constrains_frames(self) -> bool:
+        """Whether this policy restricts frame loads at all — the
+        precondition check for the local-scheme attack."""
+        return self.governing_directive() is not None
+
+    def allows_frame(self, target_url: str, *, self_origin: Origin) -> bool:
+        """Whether an iframe loading ``target_url`` may be embedded."""
+        name = self.governing_directive()
+        if name is None:
+            return True
+        sources = self.directives[name]
+        if not sources:
+            return False  # bare directive == 'none'
+        return any(source.matches(target_url, self_origin=self_origin)
+                   for source in sources)
+
+
+def local_scheme_attack_possible(csp: ContentSecurityPolicy | None,
+                                 *, self_origin: Origin,
+                                 scheme: str = "data") -> bool:
+    """Whether the Section 6.2 HTML-injection attack can plant a
+    local-scheme iframe on a page with this CSP.
+
+    ``None`` (no CSP at all) and CSPs without a frame-governing directive
+    leave the door open; otherwise the local scheme must be admitted
+    explicitly.
+    """
+    if csp is None or not csp.constrains_frames:
+        return True
+    return csp.allows_frame(f"{scheme}:text/html,", self_origin=self_origin)

@@ -1,0 +1,408 @@
+"""Policy computation: inheritance and ``is_feature_enabled``.
+
+This module evaluates, for any frame in a frame tree, whether a permission
+is available — combining the feature's *default allowlist*, the
+``Permissions-Policy`` (or legacy ``Feature-Policy``) header of every
+ancestor, and the ``allow`` attribute of the embedding iframe.  The rules
+reproduce the eight canonical cases of the paper's Table 1:
+
+====  ===========================  ==============  ===========  ============
+case  top-level header             top-level gets  allow attr   iframe gets
+====  ===========================  ==============  ===========  ============
+1     (none)                       yes             (none)       no
+2     (none)                       yes             camera       yes
+3     ``camera=()``                no              camera       no
+4     ``camera=(self)``            yes             camera       no
+5     ``camera=(*)``               yes             (none)       no
+6     ``camera=(*)``               yes             camera       yes
+7     ``camera=(self "iframe")``   yes             camera       yes
+8     ``camera=("iframe")``        no              camera       no
+====  ===========================  ==============  ===========  ============
+
+The evaluation for a child frame is:
+
+a. the parent must have the feature for its own origin (case 8 fails here);
+b. if the parent *declares* the feature in a header, the declared allowlist
+   must match the child's origin (case 4 fails, cases 6/7 pass here);
+c. if the container iframe declares the feature in ``allow``, that allowlist
+   decides (case 2 passes here);
+d. otherwise the feature's default allowlist decides: ``*`` passes, ``self``
+   requires a same-origin child (cases 1 and 5 fail here).
+
+**Local-scheme spec bug (paper Section 6.2, Table 11).**  Local-scheme
+documents (``data:``, ``about:srcdoc``, ``blob:``) carry no headers of their
+own.  Under the published specification — and hence in Chromium — they do
+*not* inherit the parent's declared policy either, only the per-feature
+boolean outcome.  A ``data:`` iframe inside a page with
+``Permissions-Policy: camera=(self)`` can therefore re-delegate ``camera``
+to an arbitrary third party, bypassing the header.  The engine reproduces
+both behaviours via ``local_scheme_bug``: ``True`` models the shipped
+(buggy) behaviour, ``False`` the expected/fixed behaviour where local-scheme
+documents inherit their parent's declared policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.policy.allow_attr import AllowAttribute, parse_allow_attribute
+from repro.policy.allowlist import Allowlist
+from repro.policy.feature_policy import (
+    ParsedFeaturePolicyHeader,
+    parse_feature_policy_header,
+)
+from repro.policy.header import (
+    HeaderParseError,
+    ParsedPolicyHeader,
+    parse_permissions_policy_header,
+)
+from repro.policy.origin import LOCAL_SCHEMES, Origin
+from repro.registry.features import (
+    DEFAULT_REGISTRY,
+    DefaultAllowlist,
+    PermissionRegistry,
+)
+
+
+@dataclass
+class PolicyFrame:
+    """A frame in a frame tree, as the policy engine sees it.
+
+    Only policy-relevant state lives here; the full browser substrate
+    (:mod:`repro.browser.dom`) builds these for its documents.
+
+    Attributes:
+        origin: The document's origin (opaque for local schemes).
+        scheme: URL scheme the document was loaded from.
+        parent: The embedding frame, ``None`` for top-level documents.
+        allow: Parsed ``allow`` attribute of the container iframe.
+        src_origin: Origin of the container iframe's ``src`` attribute
+            (gives meaning to the ``src`` keyword).
+        header: Parsed ``Permissions-Policy`` header of this document.
+        fp_header: Parsed legacy ``Feature-Policy`` header; enforced only
+            when no ``Permissions-Policy`` header exists (Chromium rule).
+        sandboxed: The container iframe carried a ``sandbox`` attribute
+            *without* ``allow-same-origin``: the document runs with an
+            opaque origin, so every ``self``-keyed allowlist (including the
+            defaults) fails to match it — only ``*`` grants survive.
+    """
+
+    origin: Origin
+    scheme: str = "https"
+    parent: Optional["PolicyFrame"] = None
+    allow: AllowAttribute | None = None
+    src_origin: Origin | None = None
+    header: ParsedPolicyHeader | None = None
+    fp_header: ParsedFeaturePolicyHeader | None = None
+    sandboxed: bool = False
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def top(cls, url: str, *, header: str | None = None,
+            fp_header: str | None = None) -> "PolicyFrame":
+        """A top-level document at ``url`` with optional header values.
+
+        A syntactically invalid ``Permissions-Policy`` header is dropped
+        entirely, exactly like the browser does.
+        """
+        origin = Origin.parse(url)
+        return cls(origin=origin, scheme=origin.scheme,
+                   header=_parse_header_or_none(header),
+                   fp_header=(parse_feature_policy_header(fp_header)
+                              if fp_header is not None else None))
+
+    def child(self, url: str, *, allow: str | None = None,
+              header: str | None = None,
+              fp_header: str | None = None,
+              sandbox: str | None = None) -> "PolicyFrame":
+        """An iframe of this frame loading ``url``.
+
+        Args:
+            sandbox: The ``sandbox`` attribute value, ``None`` when absent.
+                An empty string means "fully sandboxed"; sandboxing without
+                the ``allow-same-origin`` token gives the document an
+                opaque origin.
+        """
+        origin = Origin.parse(url)
+        sandboxed = sandbox_isolates(sandbox)
+        return PolicyFrame(
+            origin=(Origin.opaque_origin(origin.scheme) if sandboxed
+                    else origin),
+            scheme=origin.scheme,
+            parent=self,
+            allow=parse_allow_attribute(allow) if allow is not None else None,
+            src_origin=origin if not origin.opaque else None,
+            header=_parse_header_or_none(header),
+            fp_header=(parse_feature_policy_header(fp_header)
+                       if fp_header is not None else None),
+            sandboxed=sandboxed,
+        )
+
+    def local_child(self, *, scheme: str = "data",
+                    allow: str | None = None) -> "PolicyFrame":
+        """A local-scheme iframe (``data:`` / ``about:srcdoc`` / ``blob:``)."""
+        if scheme not in LOCAL_SCHEMES:
+            raise ValueError(f"{scheme!r} is not a local scheme")
+        return PolicyFrame(
+            origin=Origin.opaque_origin(scheme),
+            scheme=scheme,
+            parent=self,
+            allow=parse_allow_attribute(allow) if allow is not None else None,
+            src_origin=None,
+        )
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def is_top_level(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_local_scheme(self) -> bool:
+        return self.scheme in LOCAL_SCHEMES
+
+    @property
+    def root(self) -> "PolicyFrame":
+        """The top-level frame of this frame's tree."""
+        frame = self
+        while frame.parent is not None:
+            frame = frame.parent
+        return frame
+
+    def effective_policy_origin(self) -> Origin:
+        """The origin policy matching uses for this document.
+
+        Local-scheme documents have opaque origins, but for policy purposes
+        browsers treat them like their creator: ``self`` checks resolve
+        against the nearest non-local ancestor's origin.
+        """
+        frame = self
+        while frame.is_local_scheme and frame.parent is not None:
+            frame = frame.parent
+        return frame.origin
+
+
+def sandbox_isolates(sandbox: str | None) -> bool:
+    """Whether a ``sandbox`` attribute value forces an opaque origin.
+
+    Any ``sandbox`` attribute isolates the document unless the
+    ``allow-same-origin`` token is present; absence of the attribute
+    (``None``) never isolates.
+    """
+    if sandbox is None:
+        return False
+    tokens = {token.lower() for token in sandbox.split()}
+    return "allow-same-origin" not in tokens
+
+
+def _parse_header_or_none(raw: str | None) -> ParsedPolicyHeader | None:
+    if raw is None:
+        return None
+    try:
+        return parse_permissions_policy_header(raw)
+    except HeaderParseError:
+        return None
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Outcome of a policy evaluation with a human-readable reason chain."""
+
+    feature: str
+    enabled: bool
+    reason: str
+    frame_origin: str = ""
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+
+class PermissionsPolicyEngine:
+    """Evaluates Permissions Policy for frames.
+
+    Args:
+        registry: Permission catalogue providing default allowlists.
+        local_scheme_bug: ``True`` reproduces the shipped Chromium/spec
+            behaviour in which local-scheme documents do not inherit their
+            parent's declared policy (the Table 11 "Actual Specification"
+            row); ``False`` models the expected behaviour.
+    """
+
+    def __init__(self, registry: PermissionRegistry | None = None,
+                 *, local_scheme_bug: bool = True) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._local_scheme_bug = local_scheme_bug
+
+    @property
+    def registry(self) -> PermissionRegistry:
+        return self._registry
+
+    @property
+    def local_scheme_bug(self) -> bool:
+        return self._local_scheme_bug
+
+    # -- public API -------------------------------------------------------------
+
+    def is_enabled(self, feature: str, frame: PolicyFrame,
+                   origin: Origin | None = None) -> bool:
+        """Whether ``feature`` is enabled in ``frame`` for ``origin``
+        (defaulting to the frame's own effective origin)."""
+        return self.explain(feature, frame, origin).enabled
+
+    def explain(self, feature: str, frame: PolicyFrame,
+                origin: Origin | None = None) -> PolicyDecision:
+        """Like :meth:`is_enabled` but returns the decision with a reason."""
+        frame_origin = frame.effective_policy_origin()
+        if origin is None:
+            origin = frame_origin
+        perm = self._registry.maybe(feature)
+        if perm is None:
+            return PolicyDecision(feature, True,
+                                  "unknown feature: not policy-controlled",
+                                  frame_origin.serialize())
+        if not perm.policy_controlled:
+            return self._non_policy_controlled(feature, frame, frame_origin)
+        return self._enabled_in_document(feature, frame, origin)
+
+    def can_delegate(self, feature: str, frame: PolicyFrame) -> bool:
+        """Whether ``frame`` can delegate ``feature`` further via ``allow``
+        (requires the feature to be both policy-controlled and enabled in
+        the frame itself — paper Section 2.2.2)."""
+        perm = self._registry.maybe(feature)
+        if perm is None or not perm.policy_controlled:
+            return False
+        return self.is_enabled(feature, frame)
+
+    def allowed_features(self, frame: PolicyFrame) -> tuple[str, ...]:
+        """All policy-controlled features enabled in ``frame`` — the list
+        ``document.permissionsPolicy.allowedFeatures()`` returns, which the
+        paper observes many scripts retrieving wholesale (Section 4.1.2)."""
+        return tuple(perm.name for perm in self._registry.policy_controlled()
+                     if self.is_enabled(perm.name, frame))
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _non_policy_controlled(self, feature: str, frame: PolicyFrame,
+                               frame_origin: Origin) -> PolicyDecision:
+        """Features outside the policy system (e.g. notifications, push)
+        are usable from the top-level document and same-origin descendants
+        only, and can never be delegated cross-origin."""
+        node = frame
+        while node.parent is not None:
+            parent_origin = node.parent.effective_policy_origin()
+            if not frame_origin.same_origin(parent_origin):
+                return PolicyDecision(
+                    feature, False,
+                    "not policy-controlled: unavailable to cross-origin frames",
+                    frame_origin.serialize())
+            node = node.parent
+        return PolicyDecision(feature, True,
+                              "not policy-controlled: top-level/same-origin",
+                              frame_origin.serialize())
+
+    def _declared_policy(self, frame: PolicyFrame
+                         ) -> tuple[dict[str, Allowlist], Origin] | None:
+        """The declared policy governing ``frame``: its own headers, or — in
+        fixed (non-bug) mode — the nearest ancestor's headers for header-less
+        local-scheme documents.  Returns ``(directives, self-origin)``."""
+        if frame.header is not None:
+            return frame.header.directives, frame.effective_policy_origin()
+        if frame.fp_header is not None:
+            return frame.fp_header.directives, frame.effective_policy_origin()
+        if (frame.is_local_scheme and frame.parent is not None
+                and not self._local_scheme_bug):
+            return self._declared_policy(frame.parent)
+        return None
+
+    def _enabled_in_document(self, feature: str, frame: PolicyFrame,
+                             origin: Origin) -> PolicyDecision:
+        inherited = self._inherited(feature, frame)
+        if not inherited.enabled:
+            return inherited
+        declared = self._declared_policy(frame)
+        frame_origin = frame.effective_policy_origin()
+        if declared is not None:
+            directives, self_origin = declared
+            if feature in directives:
+                allowlist = directives[feature]
+                if allowlist.allows(origin, self_origin=self_origin):
+                    return PolicyDecision(feature, True,
+                                          "declared allowlist matches",
+                                          frame_origin.serialize())
+                return PolicyDecision(feature, False,
+                                      "declared allowlist does not match",
+                                      frame_origin.serialize())
+        default = self._registry.get(feature).default_allowlist
+        if default is DefaultAllowlist.STAR:
+            return PolicyDecision(feature, True, "default allowlist *",
+                                  frame_origin.serialize())
+        if origin.same_origin(frame_origin):
+            return PolicyDecision(feature, True,
+                                  "default allowlist self: same-origin",
+                                  frame_origin.serialize())
+        return PolicyDecision(feature, False,
+                              "default allowlist self: cross-origin",
+                              frame_origin.serialize())
+
+    def _inherited(self, feature: str, frame: PolicyFrame) -> PolicyDecision:
+        """Inherited policy of ``feature`` for ``frame`` (steps a–d of the
+        module docstring)."""
+        if frame.parent is None:
+            return PolicyDecision(feature, True, "top-level",
+                                  frame.effective_policy_origin().serialize())
+        parent = frame.parent
+        frame_origin = frame.effective_policy_origin()
+
+        # (a) the parent itself must have the feature
+        parent_enabled = self._enabled_in_document(
+            feature, parent, parent.effective_policy_origin())
+        if not parent_enabled.enabled:
+            return PolicyDecision(feature, False,
+                                  f"parent lacks feature ({parent_enabled.reason})",
+                                  frame_origin.serialize())
+
+        # (b) the parent's declared allowlist must admit the child origin
+        declared = self._declared_policy(parent)
+        if declared is not None:
+            directives, self_origin = declared
+            if feature in directives:
+                allowlist = directives[feature]
+                if not allowlist.allows(frame_origin, self_origin=self_origin):
+                    return PolicyDecision(
+                        feature, False,
+                        "parent's declared allowlist excludes this origin",
+                        frame_origin.serialize())
+
+        # (c) an explicit `allow` entry decides
+        if frame.allow is not None:
+            entry = frame.allow.entry(feature)
+            if entry is not None:
+                allowed = entry.allowlist.allows(
+                    frame_origin,
+                    self_origin=parent.effective_policy_origin(),
+                    src_origin=frame.src_origin,
+                )
+                if frame.is_local_scheme and entry.allowlist.src:
+                    # `src` has no meaning without a src URL; Chromium treats
+                    # a srcdoc/data child as matching its parent.
+                    allowed = True
+                reason = ("allow attribute delegates" if allowed
+                          else "allow attribute excludes this origin")
+                return PolicyDecision(feature, allowed, reason,
+                                      frame_origin.serialize())
+
+        # (d) no allow entry: the feature's default allowlist decides
+        default = self._registry.get(feature).default_allowlist
+        if default is DefaultAllowlist.STAR:
+            return PolicyDecision(feature, True, "default allowlist *",
+                                  frame_origin.serialize())
+        if frame_origin.same_origin(parent.effective_policy_origin()):
+            return PolicyDecision(feature, True,
+                                  "default allowlist self: same-origin child",
+                                  frame_origin.serialize())
+        return PolicyDecision(feature, False,
+                              "default allowlist self: cross-origin child "
+                              "without delegation",
+                              frame_origin.serialize())

@@ -1,0 +1,174 @@
+"""Misconfiguration detection for deployed ``Permissions-Policy`` headers.
+
+Reproduces the paper's Section 4.3.3 taxonomy:
+
+* **Syntax errors** that make the browser drop the whole header — 3,244
+  frames (2 %) in the measurement.  The most common shape is using the old
+  ``Feature-Policy`` grammar; misplaced/trailing commas come second.
+* **Semantic misconfigurations** inside headers that parse — 6,408 websites:
+  unrecognised tokens (``none``, ``0``), missing double quotes around URLs,
+  contradictory directives (``self`` together with ``*``), and URL
+  allowlists lacking ``self`` (not allowed per W3C issue #480).
+
+The linter wraps the strict parser and turns both classes into uniform
+:class:`LintFinding` records, which the analysis pipeline aggregates and the
+developer tools print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.policy.header import (
+    DirectiveIssue,
+    HeaderParseError,
+    ParsedPolicyHeader,
+    parse_permissions_policy_header,
+)
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+
+
+class LintSeverity(str, Enum):
+    """How bad a finding is for the deployed policy."""
+
+    FATAL = "fatal"        # whole header dropped by the browser
+    ERROR = "error"        # directive ignored / meaningless
+    WARNING = "warning"    # suspicious but functional
+
+
+class LintRule(str, Enum):
+    """Stable identifiers for every check the linter performs."""
+
+    SYNTAX_ERROR = "syntax-error"
+    FEATURE_POLICY_SYNTAX = "feature-policy-syntax"
+    TRAILING_COMMA = "trailing-comma"
+    UNRECOGNIZED_TOKEN = "unrecognized-token"
+    UNQUOTED_URL = "unquoted-url"
+    CONTRADICTORY_DIRECTIVE = "contradictory-directive"
+    URL_WITHOUT_SELF = "url-without-self"
+    UNKNOWN_FEATURE = "unknown-feature"
+    INVALID_ORIGIN = "invalid-origin"
+    DUPLICATE_FEATURE = "duplicate-feature"
+    STAR_NO_EFFECT = "star-has-no-effect"
+
+_ISSUE_TO_RULE: dict[DirectiveIssue, LintRule] = {
+    DirectiveIssue.UNRECOGNIZED_TOKEN: LintRule.UNRECOGNIZED_TOKEN,
+    DirectiveIssue.UNQUOTED_URL: LintRule.UNQUOTED_URL,
+    DirectiveIssue.CONTRADICTORY: LintRule.CONTRADICTORY_DIRECTIVE,
+    DirectiveIssue.URL_WITHOUT_SELF: LintRule.URL_WITHOUT_SELF,
+    DirectiveIssue.UNKNOWN_FEATURE: LintRule.UNKNOWN_FEATURE,
+    DirectiveIssue.INVALID_ORIGIN: LintRule.INVALID_ORIGIN,
+    DirectiveIssue.DUPLICATE_FEATURE: LintRule.DUPLICATE_FEATURE,
+}
+
+_ISSUE_SEVERITY: dict[LintRule, LintSeverity] = {
+    LintRule.SYNTAX_ERROR: LintSeverity.FATAL,
+    LintRule.FEATURE_POLICY_SYNTAX: LintSeverity.FATAL,
+    LintRule.TRAILING_COMMA: LintSeverity.FATAL,
+    LintRule.UNRECOGNIZED_TOKEN: LintSeverity.ERROR,
+    LintRule.UNQUOTED_URL: LintSeverity.ERROR,
+    LintRule.CONTRADICTORY_DIRECTIVE: LintSeverity.ERROR,
+    LintRule.URL_WITHOUT_SELF: LintSeverity.ERROR,
+    LintRule.UNKNOWN_FEATURE: LintSeverity.WARNING,
+    LintRule.INVALID_ORIGIN: LintSeverity.ERROR,
+    LintRule.DUPLICATE_FEATURE: LintSeverity.WARNING,
+    LintRule.STAR_NO_EFFECT: LintSeverity.WARNING,
+}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One misconfiguration found in a header value."""
+
+    rule: LintRule
+    severity: LintSeverity
+    message: str
+    feature: str = ""
+
+    @property
+    def is_fatal(self) -> bool:
+        return self.severity is LintSeverity.FATAL
+
+
+@dataclass
+class LintReport:
+    """All findings for one header, plus the parse if it survived."""
+
+    raw: str
+    findings: list[LintFinding]
+    parsed: ParsedPolicyHeader | None
+
+    @property
+    def header_dropped(self) -> bool:
+        """Whether the browser discards the entire header."""
+        return self.parsed is None
+
+    @property
+    def has_semantic_issues(self) -> bool:
+        return any(not finding.is_fatal for finding in self.findings)
+
+    def findings_by_rule(self, rule: LintRule) -> list[LintFinding]:
+        return [finding for finding in self.findings if finding.rule is rule]
+
+
+class HeaderLinter:
+    """Lints ``Permissions-Policy`` header values.
+
+    Args:
+        registry: Used to flag unknown feature names; pass ``None`` to skip
+            that check (e.g. when auditing bleeding-edge features).
+    """
+
+    def __init__(self, registry: PermissionRegistry | None = DEFAULT_REGISTRY
+                 ) -> None:
+        self._known = (frozenset(p.name for p in registry)
+                       if registry is not None else None)
+
+    def lint(self, raw: str) -> LintReport:
+        """Lint one header value, never raising."""
+        try:
+            parsed = parse_permissions_policy_header(raw, self._known)
+        except HeaderParseError as exc:
+            return LintReport(raw=raw, parsed=None,
+                              findings=[self._fatal_finding(raw, exc)])
+        findings = [
+            LintFinding(
+                rule=_ISSUE_TO_RULE[diag.issue],
+                severity=_ISSUE_SEVERITY[_ISSUE_TO_RULE[diag.issue]],
+                message=(f"{diag.issue.value} in directive "
+                         f"{diag.feature!r}: {diag.detail}".rstrip(": ")),
+                feature=diag.feature,
+            )
+            for diag in parsed.diagnostics
+        ]
+        findings.extend(self._star_no_effect(parsed))
+        return LintReport(raw=raw, parsed=parsed, findings=findings)
+
+    def _fatal_finding(self, raw: str, exc: HeaderParseError) -> LintFinding:
+        message = str(exc)
+        if "Feature-Policy syntax" in message:
+            rule = LintRule.FEATURE_POLICY_SYNTAX
+        elif raw.rstrip().endswith(",") or "trailing comma" in message:
+            rule = LintRule.TRAILING_COMMA
+        else:
+            rule = LintRule.SYNTAX_ERROR
+        return LintFinding(rule=rule, severity=LintSeverity.FATAL,
+                           message=f"header dropped by browser: {message}")
+
+    @staticmethod
+    def _star_no_effect(parsed: ParsedPolicyHeader) -> list[LintFinding]:
+        """``feature=*`` in a header cannot grant anything beyond the default
+        allowlist — the header only restricts (paper Section 4.3.1 finds
+        6.02 % of deploying sites doing this)."""
+        out = []
+        for feature, allowlist in parsed.directives.items():
+            if allowlist.star:
+                out.append(LintFinding(
+                    rule=LintRule.STAR_NO_EFFECT,
+                    severity=LintSeverity.WARNING,
+                    message=(f"directive {feature}=* has no effect: the header "
+                             "can only restrict, never broaden, access"),
+                    feature=feature,
+                ))
+        return out

@@ -1,0 +1,292 @@
+"""RFC 8941 structured-field parsing (the subset Permissions-Policy needs).
+
+The ``Permissions-Policy`` header is defined as a *Structured Field
+Dictionary*: members are keys mapping either to an item (e.g. ``*``) or to an
+inner list of items (e.g. ``(self "https://a.com")``).  RFC 8941 mandates
+that any parse failure makes the entire field fail — which is exactly why
+the paper observes that a single syntax error removes the whole header and
+leaves a website with no policy at all (Section 4.3.3).
+
+Implemented here: dictionaries, inner lists, items (tokens, strings,
+integers, decimals, booleans) and parameters.  Byte sequences and dates are
+not used by the Permissions-Policy grammar and are rejected.
+
+The parser is intentionally strict: it mirrors the "fail the whole field"
+behaviour so the linter can reproduce the browser's error taxonomy.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+from typing import Union
+
+
+class StructuredFieldError(ValueError):
+    """A structured field failed to parse; the whole field must be ignored."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.message = message
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    """An sf-token, e.g. ``self`` or ``*``."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+
+BareItem = Union[Token, str, int, float, bool]
+Parameters = dict[str, BareItem]
+
+
+@dataclass(frozen=True)
+class Item:
+    """An sf-item: a bare item plus parameters."""
+
+    value: BareItem
+    params: Parameters = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class InnerList:
+    """An sf-inner-list: parenthesised items plus parameters."""
+
+    items: tuple[Item, ...]
+    params: Parameters = field(default_factory=dict)
+
+
+DictMember = Union[Item, InnerList]
+
+_KEY_START = set(string.ascii_lowercase + "*")
+_KEY_CHARS = set(string.ascii_lowercase + string.digits + "_-.*")
+_TOKEN_START = set(string.ascii_letters + "*")
+_TOKEN_CHARS = set(string.ascii_letters + string.digits + "!#$%&'*+-.^_`|~:/")
+_DIGITS = set(string.digits)
+
+
+class _Parser:
+    """Single-pass recursive-descent parser over one header value."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def fail(self, message: str) -> StructuredFieldError:
+        return StructuredFieldError(message, self.pos)
+
+    @property
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return "" if self.eof else self.text[self.pos]
+
+    def skip_sp(self) -> None:
+        while not self.eof and self.text[self.pos] == " ":
+            self.pos += 1
+
+    def skip_ows(self) -> None:
+        while not self.eof and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_dictionary(self) -> list[tuple[str, DictMember]]:
+        members: list[tuple[str, DictMember]] = []
+        self.skip_sp()
+        if self.eof:
+            return members
+        while True:
+            key = self.parse_key()
+            if self.peek() == "=":
+                self.pos += 1
+                members.append((key, self.parse_member()))
+            else:
+                # bare key == boolean true item, with optional parameters
+                members.append((key, Item(True, self.parse_parameters())))
+            self.skip_ows()
+            if self.eof:
+                return members
+            if self.peek() != ",":
+                raise self.fail("expected ',' between dictionary members")
+            self.pos += 1
+            self.skip_ows()
+            if self.eof:
+                raise self.fail("trailing comma in dictionary")
+
+    def parse_member(self) -> DictMember:
+        if self.peek() == "(":
+            return self.parse_inner_list()
+        return self.parse_item()
+
+    def parse_inner_list(self) -> InnerList:
+        if self.peek() != "(":
+            raise self.fail("expected '(' to open inner list")
+        self.pos += 1
+        items: list[Item] = []
+        while True:
+            self.skip_sp()
+            if self.eof:
+                raise self.fail("unterminated inner list")
+            if self.peek() == ")":
+                self.pos += 1
+                return InnerList(tuple(items), self.parse_parameters())
+            items.append(self.parse_item())
+            if not self.eof and self.peek() not in " )":
+                raise self.fail("inner list items must be space-separated")
+
+    def parse_item(self) -> Item:
+        bare = self.parse_bare_item()
+        return Item(bare, self.parse_parameters())
+
+    def parse_parameters(self) -> Parameters:
+        params: Parameters = {}
+        while self.peek() == ";":
+            self.pos += 1
+            self.skip_sp()
+            key = self.parse_key()
+            value: BareItem = True
+            if self.peek() == "=":
+                self.pos += 1
+                value = self.parse_bare_item()
+            params[key] = value
+        return params
+
+    def parse_key(self) -> str:
+        if self.peek() not in _KEY_START:
+            raise self.fail(f"invalid key start {self.peek()!r}")
+        start = self.pos
+        while not self.eof and self.text[self.pos] in _KEY_CHARS:
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def parse_bare_item(self) -> BareItem:
+        ch = self.peek()
+        if ch == '"':
+            return self.parse_string()
+        if ch == "?":
+            return self.parse_boolean()
+        if ch == ":":
+            raise self.fail("byte sequences are not valid in Permissions-Policy")
+        if ch == "@":
+            raise self.fail("dates are not valid in Permissions-Policy")
+        if ch in _DIGITS or ch == "-":
+            return self.parse_number()
+        if ch in _TOKEN_START:
+            return self.parse_token()
+        raise self.fail(f"cannot parse bare item starting with {ch!r}")
+
+    def parse_string(self) -> str:
+        assert self.peek() == '"'
+        self.pos += 1
+        out: list[str] = []
+        while True:
+            if self.eof:
+                raise self.fail("unterminated string")
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == '"':
+                return "".join(out)
+            if ch == "\\":
+                if self.eof:
+                    raise self.fail("dangling escape in string")
+                nxt = self.text[self.pos]
+                self.pos += 1
+                if nxt not in '"\\':
+                    raise self.fail(f"invalid escape '\\{nxt}' in string")
+                out.append(nxt)
+            elif 0x20 <= ord(ch) <= 0x7E:
+                out.append(ch)
+            else:
+                raise self.fail(f"invalid character {ch!r} in string")
+
+    def parse_token(self) -> Token:
+        start = self.pos
+        self.pos += 1
+        while not self.eof and self.text[self.pos] in _TOKEN_CHARS:
+            self.pos += 1
+        return Token(self.text[start:self.pos])
+
+    def parse_boolean(self) -> bool:
+        assert self.peek() == "?"
+        self.pos += 1
+        ch = self.peek()
+        self.pos += 1
+        if ch == "1":
+            return True
+        if ch == "0":
+            return False
+        raise self.fail("boolean must be ?0 or ?1")
+
+    def parse_number(self) -> int | float:
+        start = self.pos
+        if self.peek() == "-":
+            self.pos += 1
+        digits = 0
+        while not self.eof and self.text[self.pos] in _DIGITS:
+            self.pos += 1
+            digits += 1
+        if digits == 0:
+            raise self.fail("number without digits")
+        if digits > 15:
+            raise self.fail("integer too long")
+        if not self.eof and self.text[self.pos] == ".":
+            self.pos += 1
+            frac = 0
+            while not self.eof and self.text[self.pos] in _DIGITS:
+                self.pos += 1
+                frac += 1
+            if frac == 0 or frac > 3 or digits > 12:
+                raise self.fail("invalid decimal")
+            return float(self.text[start:self.pos])
+        return int(self.text[start:self.pos])
+
+
+def parse_dictionary_items(text: str) -> list[tuple[str, DictMember]]:
+    """Parse a structured-field dictionary, preserving duplicate keys in
+    order of appearance (callers that need RFC semantics — last occurrence
+    wins — use :func:`parse_dictionary`).
+
+    Raises:
+        StructuredFieldError: on any syntax error; per RFC 8941 the whole
+            field must then be ignored.
+    """
+    parser = _Parser(text)
+    members = parser.parse_dictionary()
+    parser.skip_sp()
+    if not parser.eof:
+        raise parser.fail("trailing characters after dictionary")
+    return members
+
+
+def parse_dictionary(text: str) -> dict[str, DictMember]:
+    """Parse a structured-field dictionary into a mapping (RFC 8941
+    semantics: a repeated key keeps its last value).
+
+    Raises:
+        StructuredFieldError: on any syntax error; per RFC 8941 the whole
+            field must then be ignored.
+    """
+    return dict(parse_dictionary_items(text))
+
+
+def serialize_bare_item(item: BareItem) -> str:
+    """Serialize a bare item back to header text."""
+    if isinstance(item, bool):
+        return "?1" if item else "?0"
+    if isinstance(item, Token):
+        return item.value
+    if isinstance(item, str):
+        escaped = item.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(item, float):
+        return f"{item:.3f}".rstrip("0").rstrip(".")
+    return str(item)

@@ -1,0 +1,62 @@
+"""Permission registry substrate.
+
+The paper (Section 6.3, Figure 3) maintains a curated list of browser
+permissions together with their characteristics: whether a permission is
+*policy-controlled* (governed by the Permissions Policy specification and
+hence carrying a default allowlist), whether it is *powerful* (requiring
+explicit user consent via a prompt), and which browsers support it.
+
+This subpackage is the in-repo equivalent of that curated list:
+
+* :mod:`repro.registry.features` — the permission catalogue (Appendix A.4 of
+  the paper plus the additional permissions appearing in its result tables),
+  modelled as immutable :class:`~repro.registry.features.Permission` records
+  collected in a :class:`~repro.registry.features.PermissionRegistry`.
+* :mod:`repro.registry.browsers` — a model of browser engines and releases.
+* :mod:`repro.registry.support` — the per-browser/per-version support matrix
+  with history queries (the backing data of the paper's Figure 3 site).
+"""
+
+from repro.registry.browsers import (
+    Browser,
+    BrowserEngine,
+    BrowserRelease,
+    CHROMIUM,
+    FIREFOX,
+    SAFARI,
+    default_releases,
+)
+from repro.registry.features import (
+    DEFAULT_REGISTRY,
+    DefaultAllowlist,
+    Permission,
+    PermissionCategory,
+    PermissionRegistry,
+    UnknownPermissionError,
+)
+from repro.registry.support import (
+    SupportEntry,
+    SupportMatrix,
+    SupportStatus,
+    default_support_matrix,
+)
+
+__all__ = [
+    "Browser",
+    "BrowserEngine",
+    "BrowserRelease",
+    "CHROMIUM",
+    "FIREFOX",
+    "SAFARI",
+    "DEFAULT_REGISTRY",
+    "DefaultAllowlist",
+    "Permission",
+    "PermissionCategory",
+    "PermissionRegistry",
+    "UnknownPermissionError",
+    "SupportEntry",
+    "SupportMatrix",
+    "SupportStatus",
+    "default_releases",
+    "default_support_matrix",
+]

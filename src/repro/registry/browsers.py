@@ -1,0 +1,110 @@
+"""Browser engine and release model.
+
+The paper's Figure 3 site tracks which permissions each browser supports and
+how support changed across versions.  The automated tool behind it launches
+major releases of Chromium, Firefox and Safari and probes each permission.
+We cannot launch real browsers offline, so this module models the release
+timeline; :mod:`repro.registry.support` encodes the probed support data.
+
+The model is deliberately simple: a browser is identified by name and engine,
+and a release is a ``(browser, major-version, date)`` triple.  Versions are
+compared numerically by major version, which is how the support matrix keys
+its ranges.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from enum import Enum
+
+
+class BrowserEngine(str, Enum):
+    """Rendering engine families relevant to Permissions Policy support."""
+
+    BLINK = "blink"
+    GECKO = "gecko"
+    WEBKIT = "webkit"
+
+
+@dataclass(frozen=True)
+class Browser:
+    """A browser product (e.g. Chromium) built on an engine."""
+
+    name: str
+    engine: BrowserEngine
+
+    #: Whether the browser enforces the ``Permissions-Policy`` header.  Per
+    #: paper Section 2.2.6, only Chromium-based browsers do at measurement
+    #: time; all major browsers partly support the ``allow`` attribute.
+    @property
+    def supports_permissions_policy_header(self) -> bool:
+        return self.engine is BrowserEngine.BLINK
+
+    @property
+    def supports_allow_attribute(self) -> bool:
+        return True
+
+    @property
+    def supports_feature_policy_header(self) -> bool:
+        """Legacy ``Feature-Policy`` header support (Blink keeps enforcing it
+        when no ``Permissions-Policy`` header is present)."""
+        return self.engine is BrowserEngine.BLINK
+
+
+@dataclass(frozen=True, order=True)
+class BrowserRelease:
+    """A dated major release of a browser."""
+
+    browser: Browser
+    major_version: int
+    release_date: _dt.date
+
+    def __str__(self) -> str:
+        return f"{self.browser.name} {self.major_version}"
+
+
+CHROMIUM = Browser("Chromium", BrowserEngine.BLINK)
+FIREFOX = Browser("Firefox", BrowserEngine.GECKO)
+SAFARI = Browser("Safari", BrowserEngine.WEBKIT)
+
+ALL_BROWSERS: tuple[Browser, ...] = (CHROMIUM, FIREFOX, SAFARI)
+
+
+def _releases(browser: Browser, entries: list[tuple[int, str]]) -> list[BrowserRelease]:
+    return [
+        BrowserRelease(browser, version, _dt.date.fromisoformat(date))
+        for version, date in entries
+    ]
+
+
+def default_releases() -> tuple[BrowserRelease, ...]:
+    """Release timeline used by the default support matrix.
+
+    Covers the window the paper's tool tracks, ending at Chromium 127 —
+    the version used for the measurement crawl (Appendix A.2, C13).
+    """
+    releases: list[BrowserRelease] = []
+    releases += _releases(CHROMIUM, [
+        (80, "2020-02-04"), (88, "2021-01-19"), (90, "2021-04-14"),
+        (96, "2021-11-15"), (100, "2022-03-29"), (108, "2022-11-29"),
+        (115, "2023-07-12"), (120, "2023-12-06"), (124, "2024-04-16"),
+        (127, "2024-07-23"),
+    ])
+    releases += _releases(FIREFOX, [
+        (74, "2020-03-10"), (84, "2020-12-15"), (95, "2021-12-07"),
+        (102, "2022-06-28"), (115, "2023-07-04"), (121, "2023-12-19"),
+        (128, "2024-07-09"),
+    ])
+    releases += _releases(SAFARI, [
+        (13, "2019-09-19"), (14, "2020-09-16"), (15, "2021-09-20"),
+        (16, "2022-09-12"), (17, "2023-09-18"),
+    ])
+    return tuple(sorted(releases, key=lambda r: (r.browser.name, r.major_version)))
+
+
+def releases_for(browser: Browser, releases: tuple[BrowserRelease, ...] | None = None
+                 ) -> tuple[BrowserRelease, ...]:
+    """All known releases of ``browser``, ascending by version."""
+    pool = default_releases() if releases is None else releases
+    return tuple(r for r in pool if r.browser == browser)

@@ -1,0 +1,428 @@
+"""The permission catalogue.
+
+The Permissions Policy specification requires every policy-controlled feature
+to define a *default allowlist* deciding in which browsing contexts the
+feature is available when neither a ``Permissions-Policy`` header nor an
+iframe ``allow`` attribute says otherwise (paper Section 2.2.1).  Two values
+exist in the specification:
+
+* ``self`` — the feature is available in the top-level document and
+  same-origin child frames only;
+* ``*`` — the feature is available in every context, including arbitrarily
+  nested cross-origin iframes.
+
+Independently of policy control, the W3C Permissions specification classifies
+some features as *powerful*: using them requires explicit user consent,
+usually through a prompt (paper Section 2.1).  The two taxonomies do not
+coincide — the paper's Table 2 stresses, for example, that ``gamepad`` is
+policy-controlled but not powerful while ``notifications`` is powerful but
+not policy-controlled.
+
+This module encodes the full list of permissions instrumented by the paper
+(Appendix A.4) plus every permission that appears in its result tables
+(e.g. ``attribution-reporting``, ``run-ad-auction``, ``autoplay``), each with
+its characteristics and the Web API identifiers used by the static and
+dynamic analyses to recognise it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+
+class UnknownPermissionError(KeyError):
+    """Raised when a permission name is not present in a registry."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"unknown permission: {self.name!r}"
+
+
+class DefaultAllowlist(str, Enum):
+    """Default allowlist of a policy-controlled feature (spec Section 9.1)."""
+
+    SELF = "self"
+    STAR = "*"
+
+
+class PermissionCategory(str, Enum):
+    """Functional grouping used by the delegation analysis (paper 4.2.1)."""
+
+    MEDIA = "media"
+    SENSOR = "sensor"
+    ADS = "ads"
+    PAYMENT = "payment"
+    IDENTITY = "identity"
+    STORAGE = "storage"
+    DEVICE = "device"
+    UI = "ui"
+    CLIENT_HINT = "client-hint"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Permission:
+    """A single browser permission / policy-controlled feature.
+
+    Attributes:
+        name: Canonical feature token as used in headers and ``allow``
+            attributes (e.g. ``"camera"``).
+        policy_controlled: Whether the Permissions Policy governs the feature.
+            Only policy-controlled features have a default allowlist and can
+            be delegated to iframes.
+        powerful: Whether the feature is a *powerful feature* in the sense of
+            the Permissions specification (i.e. gated on user consent).
+        default_allowlist: ``SELF`` or ``STAR`` for policy-controlled
+            features, ``None`` otherwise.
+        category: Functional grouping used when clustering delegations.
+        api_patterns: JavaScript identifiers whose presence in script source
+            indicates functionality for this permission.  These drive both
+            the static string-matching analysis and the names under which the
+            dynamic instrumentation registers its wrappers.
+        spec: Short name of the defining specification.
+        deprecated: Whether the feature is deprecated (e.g. Topics API
+            competitors or ``interest-cohort``).
+        aliases: Alternative feature tokens accepted in headers.
+        instrumented: Whether the paper's crawler instruments this
+            permission's APIs (the Appendix A.4 list).  Non-instrumented
+            permissions (autoplay, fullscreen, picture-in-picture, the ads
+            APIs, client hints, …) appear in delegation and header analyses
+            but can never show usage — which is also why the over-permission
+            detector must not declare them "unused".
+    """
+
+    name: str
+    policy_controlled: bool
+    powerful: bool
+    default_allowlist: DefaultAllowlist | None
+    category: PermissionCategory
+    api_patterns: tuple[str, ...] = ()
+    spec: str = ""
+    deprecated: bool = False
+    aliases: tuple[str, ...] = ()
+    instrumented: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy_controlled and self.default_allowlist is None:
+            raise ValueError(
+                f"policy-controlled permission {self.name!r} needs a default allowlist"
+            )
+        if not self.policy_controlled and self.default_allowlist is not None:
+            raise ValueError(
+                f"permission {self.name!r} is not policy-controlled and must not "
+                "declare a default allowlist"
+            )
+
+    @property
+    def delegatable(self) -> bool:
+        """Whether the permission can be delegated via the ``allow`` attribute."""
+        return self.policy_controlled
+
+
+def _p(
+    name: str,
+    *,
+    policy: bool = True,
+    powerful: bool = False,
+    default: str | None = "self",
+    category: PermissionCategory = PermissionCategory.OTHER,
+    apis: Iterable[str] = (),
+    spec: str = "",
+    deprecated: bool = False,
+    aliases: Iterable[str] = (),
+    instrumented: bool = True,
+) -> Permission:
+    allowlist: DefaultAllowlist | None
+    if not policy:
+        allowlist = None
+    elif default == "*":
+        allowlist = DefaultAllowlist.STAR
+    else:
+        allowlist = DefaultAllowlist.SELF
+    return Permission(
+        name=name,
+        policy_controlled=policy,
+        powerful=powerful,
+        default_allowlist=allowlist,
+        category=category,
+        api_patterns=tuple(apis),
+        spec=spec,
+        deprecated=deprecated,
+        aliases=tuple(aliases),
+        instrumented=instrumented,
+    )
+
+
+#: The catalogue.  Appendix A.4 of the paper lists the instrumented
+#: permissions; the extra entries below it appear in the paper's result
+#: tables (ads APIs, client hints, legacy tokens) and are needed to
+#: reproduce them.
+_CATALOGUE: tuple[Permission, ...] = (
+    # --- Sensors -----------------------------------------------------------
+    _p("accelerometer", category=PermissionCategory.SENSOR,
+       apis=("Accelerometer", "LinearAccelerationSensor"), spec="Generic Sensor"),
+    _p("ambient-light-sensor", category=PermissionCategory.SENSOR,
+       apis=("AmbientLightSensor",), spec="Ambient Light Sensor"),
+    _p("gyroscope", category=PermissionCategory.SENSOR,
+       apis=("Gyroscope",), spec="Generic Sensor"),
+    _p("magnetometer", category=PermissionCategory.SENSOR,
+       apis=("Magnetometer",), spec="Generic Sensor"),
+    _p("compute-pressure", category=PermissionCategory.SENSOR,
+       apis=("PressureObserver",), spec="Compute Pressure"),
+    # --- Media -------------------------------------------------------------
+    _p("camera", powerful=True, category=PermissionCategory.MEDIA,
+       apis=("getUserMedia", "navigator.mediaDevices"), spec="Media Capture and Streams"),
+    _p("microphone", powerful=True, category=PermissionCategory.MEDIA,
+       apis=("getUserMedia", "navigator.mediaDevices"), spec="Media Capture and Streams"),
+    _p("display-capture", powerful=True, category=PermissionCategory.MEDIA,
+       apis=("getDisplayMedia",), spec="Screen Capture"),
+    _p("speaker-selection", category=PermissionCategory.MEDIA,
+       apis=("selectAudioOutput",), spec="Audio Output Devices"),
+    _p("encrypted-media", category=PermissionCategory.MEDIA,
+       apis=("requestMediaKeySystemAccess",), spec="Encrypted Media Extensions"),
+    _p("autoplay", instrumented=False, category=PermissionCategory.MEDIA,
+       apis=("HTMLMediaElement.play",), spec="HTML"),
+    _p("picture-in-picture", instrumented=False, default="*", category=PermissionCategory.MEDIA,
+       apis=("requestPictureInPicture",), spec="Picture-in-Picture"),
+    _p("fullscreen", instrumented=False, category=PermissionCategory.UI,
+       apis=("requestFullscreen",), spec="Fullscreen API"),
+    # --- Location / identity -----------------------------------------------
+    _p("geolocation", powerful=True, category=PermissionCategory.DEVICE,
+       apis=("navigator.geolocation", "getCurrentPosition", "watchPosition"),
+       spec="Geolocation API"),
+    _p("identity-credentials-get", instrumented=False, category=PermissionCategory.IDENTITY,
+       apis=("navigator.credentials.get",), spec="FedCM"),
+    _p("otp-credentials", instrumented=False, category=PermissionCategory.IDENTITY,
+       apis=("OTPCredential",), spec="WebOTP"),
+    _p("publickey-credentials-create", category=PermissionCategory.IDENTITY,
+       apis=("navigator.credentials.create", "PublicKeyCredential"), spec="WebAuthn"),
+    _p("publickey-credentials-get", category=PermissionCategory.IDENTITY,
+       apis=("navigator.credentials.get", "PublicKeyCredential"), spec="WebAuthn"),
+    # --- Devices -----------------------------------------------------------
+    _p("bluetooth", powerful=True, category=PermissionCategory.DEVICE,
+       apis=("navigator.bluetooth", "requestDevice"), spec="Web Bluetooth"),
+    _p("hid", powerful=True, category=PermissionCategory.DEVICE,
+       apis=("navigator.hid",), spec="WebHID"),
+    _p("serial", powerful=True, category=PermissionCategory.DEVICE,
+       apis=("navigator.serial",), spec="Web Serial"),
+    _p("usb", powerful=True, category=PermissionCategory.DEVICE,
+       apis=("navigator.usb",), spec="WebUSB"),
+    _p("gamepad", default="*", category=PermissionCategory.DEVICE,
+       apis=("navigator.getGamepads",), spec="Gamepad"),
+    _p("midi", powerful=True, category=PermissionCategory.DEVICE,
+       apis=("requestMIDIAccess",), spec="Web MIDI"),
+    _p("battery", default="*", category=PermissionCategory.DEVICE,
+       apis=("navigator.getBattery", "BatteryManager"), spec="Battery Status"),
+    _p("keyboard-lock", category=PermissionCategory.DEVICE,
+       apis=("keyboard.lock",), spec="Keyboard Lock"),
+    _p("keyboard-map", category=PermissionCategory.DEVICE,
+       apis=("keyboard.getLayoutMap",), spec="Keyboard Map"),
+    _p("pointer-lock", category=PermissionCategory.UI,
+       apis=("requestPointerLock",), spec="Pointer Lock"),
+    _p("local-fonts", powerful=True, category=PermissionCategory.DEVICE,
+       apis=("queryLocalFonts",), spec="Local Font Access"),
+    _p("window-management", powerful=True, category=PermissionCategory.UI,
+       apis=("getScreenDetails",), spec="Window Management"),
+    _p("xr-spatial-tracking", powerful=True, category=PermissionCategory.DEVICE,
+       apis=("navigator.xr", "requestSession"), spec="WebXR"),
+    _p("vr", instrumented=False, category=PermissionCategory.DEVICE, deprecated=True,
+       apis=("navigator.getVRDisplays",), spec="WebVR (legacy)"),
+    _p("screen-wake-lock", category=PermissionCategory.DEVICE,
+       apis=("navigator.wakeLock",), spec="Screen Wake Lock"),
+    _p("system-wake-lock", category=PermissionCategory.DEVICE,
+       apis=("navigator.wakeLock.request",), spec="System Wake Lock"),
+    _p("idle-detection", powerful=True, category=PermissionCategory.DEVICE,
+       apis=("IdleDetector",), spec="Idle Detection"),
+    _p("direct-sockets", category=PermissionCategory.DEVICE,
+       apis=("TCPSocket", "UDPSocket"), spec="Direct Sockets"),
+    # --- Storage / clipboard -----------------------------------------------
+    _p("storage-access", powerful=True, default="*", category=PermissionCategory.STORAGE,
+       apis=("document.requestStorageAccess", "document.hasStorageAccess"),
+       spec="Storage Access API"),
+    _p("top-level-storage-access", powerful=True, category=PermissionCategory.STORAGE,
+       apis=("document.requestStorageAccessFor",), spec="Storage Access API"),
+    _p("clipboard-read", powerful=True, category=PermissionCategory.STORAGE,
+       apis=("navigator.clipboard.read", "navigator.clipboard.readText"),
+       spec="Clipboard API"),
+    _p("clipboard-write", category=PermissionCategory.STORAGE,
+       apis=("navigator.clipboard.write", "navigator.clipboard.writeText"),
+       spec="Clipboard API"),
+    _p("web-share", category=PermissionCategory.UI,
+       apis=("navigator.share", "navigator.canShare"), spec="Web Share"),
+    # --- Notifications / push (powerful but NOT policy-controlled) ---------
+    _p("notifications", policy=False, powerful=True, default=None,
+       category=PermissionCategory.UI,
+       apis=("Notification.requestPermission", "Notification.permission"),
+       spec="Notifications API"),
+    _p("push", policy=False, powerful=True, default=None,
+       category=PermissionCategory.UI,
+       apis=("pushManager.subscribe", "PushManager"), spec="Push API"),
+    # --- Advertising / tracking --------------------------------------------
+    _p("browsing-topics", default="*", category=PermissionCategory.ADS,
+       apis=("document.browsingTopics",), spec="Topics API"),
+    _p("attribution-reporting", instrumented=False, default="*", category=PermissionCategory.ADS,
+       apis=("attributionReporting",), spec="Attribution Reporting"),
+    _p("run-ad-auction", instrumented=False, default="*", category=PermissionCategory.ADS,
+       apis=("navigator.runAdAuction",), spec="Protected Audience"),
+    _p("join-ad-interest-group", instrumented=False, default="*", category=PermissionCategory.ADS,
+       apis=("navigator.joinAdInterestGroup",), spec="Protected Audience"),
+    _p("interest-cohort", instrumented=False, default="*", category=PermissionCategory.ADS,
+       deprecated=True, apis=("document.interestCohort",), spec="FLoC (removed)"),
+    _p("private-state-token-issuance", instrumented=False, default="*", category=PermissionCategory.ADS,
+       apis=("hasPrivateToken",), spec="Private State Tokens"),
+    _p("private-state-token-redemption", instrumented=False, default="*", category=PermissionCategory.ADS,
+       apis=("hasRedemptionRecord",), spec="Private State Tokens"),
+    # --- Payments ------------------------------------------------------------
+    _p("payment", powerful=True, category=PermissionCategory.PAYMENT,
+       apis=("PaymentRequest",), spec="Payment Request"),
+    # --- Misc policy-only features -------------------------------------------
+    _p("sync-xhr", instrumented=False, default="*", category=PermissionCategory.OTHER,
+       apis=("XMLHttpRequest",), spec="XMLHttpRequest"),
+    _p("cross-origin-isolated", instrumented=False, category=PermissionCategory.OTHER,
+       apis=("crossOriginIsolated",), spec="HTML"),
+    _p("document-domain", instrumented=False, default="*", category=PermissionCategory.OTHER,
+       deprecated=True, apis=("document.domain",), spec="HTML"),
+    # --- User-Agent Client Hints (paper 4.3.2) -------------------------------
+    _p("ch-ua", instrumented=False, default="*", category=PermissionCategory.CLIENT_HINT,
+       apis=("userAgentData",), spec="UA Client Hints"),
+    _p("ch-ua-arch", instrumented=False, default="*", category=PermissionCategory.CLIENT_HINT,
+       apis=("userAgentData.getHighEntropyValues",), spec="UA Client Hints"),
+    _p("ch-ua-bitness", instrumented=False, default="*", category=PermissionCategory.CLIENT_HINT,
+       apis=("userAgentData.getHighEntropyValues",), spec="UA Client Hints"),
+    _p("ch-ua-full-version", instrumented=False, default="*", category=PermissionCategory.CLIENT_HINT,
+       apis=("userAgentData.getHighEntropyValues",), spec="UA Client Hints"),
+    _p("ch-ua-full-version-list", instrumented=False, default="*", category=PermissionCategory.CLIENT_HINT,
+       apis=("userAgentData.getHighEntropyValues",), spec="UA Client Hints"),
+    _p("ch-ua-mobile", instrumented=False, default="*", category=PermissionCategory.CLIENT_HINT,
+       apis=("userAgentData.mobile",), spec="UA Client Hints"),
+    _p("ch-ua-model", instrumented=False, default="*", category=PermissionCategory.CLIENT_HINT,
+       apis=("userAgentData.getHighEntropyValues",), spec="UA Client Hints"),
+    _p("ch-ua-platform", instrumented=False, default="*", category=PermissionCategory.CLIENT_HINT,
+       apis=("userAgentData.platform",), spec="UA Client Hints"),
+    _p("ch-ua-platform-version", instrumented=False, default="*", category=PermissionCategory.CLIENT_HINT,
+       apis=("userAgentData.getHighEntropyValues",), spec="UA Client Hints"),
+    _p("ch-ua-wow64", instrumented=False, default="*", category=PermissionCategory.CLIENT_HINT,
+       apis=("userAgentData.getHighEntropyValues",), spec="UA Client Hints"),
+)
+
+
+class PermissionRegistry:
+    """An immutable, name-indexed collection of :class:`Permission` records.
+
+    The default instance (:data:`DEFAULT_REGISTRY`) holds the full paper
+    catalogue; tests and tools may build smaller registries.
+    """
+
+    def __init__(self, permissions: Iterable[Permission] | None = None) -> None:
+        entries = tuple(_CATALOGUE if permissions is None else permissions)
+        self._by_name: dict[str, Permission] = {}
+        for perm in entries:
+            if perm.name in self._by_name:
+                raise ValueError(f"duplicate permission {perm.name!r}")
+            self._by_name[perm.name] = perm
+        for perm in entries:
+            for alias in perm.aliases:
+                if alias in self._by_name:
+                    raise ValueError(f"alias {alias!r} collides with an existing name")
+                self._by_name[alias] = perm
+        self._permissions = entries
+
+    def get(self, name: str) -> Permission:
+        """Return the permission registered under ``name`` (or an alias).
+
+        Raises:
+            UnknownPermissionError: if no such permission exists.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownPermissionError(name) from None
+
+    def maybe(self, name: str) -> Permission | None:
+        """Like :meth:`get` but returns ``None`` for unknown names."""
+        return self._by_name.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Permission]:
+        return iter(self._permissions)
+
+    def __len__(self) -> int:
+        return len(self._permissions)
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical names of all registered permissions, in catalogue order."""
+        return tuple(p.name for p in self._permissions)
+
+    def policy_controlled(self) -> tuple[Permission, ...]:
+        """All policy-controlled permissions (the ones headers can govern)."""
+        return tuple(p for p in self._permissions if p.policy_controlled)
+
+    def powerful(self) -> tuple[Permission, ...]:
+        """All powerful permissions (the ones gated on user consent)."""
+        return tuple(p for p in self._permissions if p.powerful)
+
+    def by_category(self, category: PermissionCategory) -> tuple[Permission, ...]:
+        """All permissions in a functional category."""
+        return tuple(p for p in self._permissions if p.category is category)
+
+    def default_allowlist(self, name: str) -> DefaultAllowlist:
+        """Default allowlist of a policy-controlled permission.
+
+        Raises:
+            UnknownPermissionError: for unknown names.
+            ValueError: if the permission is not policy-controlled.
+        """
+        perm = self.get(name)
+        if perm.default_allowlist is None:
+            raise ValueError(f"{name!r} is not policy-controlled")
+        return perm.default_allowlist
+
+    def instrumented(self) -> tuple[Permission, ...]:
+        """Permissions the measurement pipeline instruments (Appendix A.4)."""
+        return tuple(p for p in self._permissions if p.instrumented)
+
+    def match_api(self, source_fragment: str) -> tuple[Permission, ...]:
+        """Permissions whose API patterns occur in ``source_fragment``.
+
+        This is the string-matching primitive behind the paper's static
+        analysis (Section 3.1.1): plain substring search, deliberately blind
+        to aliasing and obfuscation.
+        """
+        found = []
+        for perm in self._permissions:
+            if not perm.instrumented:
+                continue
+            if any(pattern in source_fragment for pattern in perm.api_patterns):
+                found.append(perm)
+        return tuple(found)
+
+
+#: Registry holding the full paper catalogue.
+DEFAULT_REGISTRY = PermissionRegistry()
+
+#: Names of the General Permission APIs (paper Section 4.1): functions from
+#: the Permissions and Permissions/Feature Policy specifications rather than
+#: from an individual feature specification.
+GENERAL_PERMISSION_APIS: tuple[str, ...] = (
+    "navigator.permissions.query",
+    "document.permissionsPolicy.features",
+    "document.permissionsPolicy.allowedFeatures",
+    "document.permissionsPolicy.allowsFeature",
+    "document.featurePolicy.features",
+    "document.featurePolicy.allowedFeatures",
+    "document.featurePolicy.allowsFeature",
+)
+
+#: Subset of :data:`GENERAL_PERMISSION_APIS` that belongs to the deprecated
+#: Feature Policy interface; the paper reports 429,259 websites still using
+#: these (Section 4.1.1).
+FEATURE_POLICY_APIS: tuple[str, ...] = tuple(
+    api for api in GENERAL_PERMISSION_APIS if "featurePolicy" in api
+)

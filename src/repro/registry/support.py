@@ -1,0 +1,236 @@
+"""Per-browser permission support matrix.
+
+This is the data model behind the paper's Figure 3 website: for every
+permission and every browser release, whether the permission is supported,
+whether it is policy-controlled there, and what its default allowlist is.
+The paper generates this automatically by probing real browsers; we encode a
+support table with "supported since major version" ranges per engine, which
+yields the same query surface:
+
+* current support of a permission per browser,
+* historical changes across versions (when support appeared/disappeared),
+* the caniuse-style matrix rendered by :mod:`repro.tools.support_site`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, Mapping
+
+from repro.registry.browsers import (
+    ALL_BROWSERS,
+    Browser,
+    BrowserEngine,
+    BrowserRelease,
+    CHROMIUM,
+    default_releases,
+)
+from repro.registry.features import (
+    DEFAULT_REGISTRY,
+    Permission,
+    PermissionRegistry,
+)
+
+
+class SupportStatus(str, Enum):
+    """Support verdict for (permission, browser release)."""
+
+    SUPPORTED = "supported"
+    UNSUPPORTED = "unsupported"
+    REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class SupportEntry:
+    """Support range of a permission on one engine.
+
+    ``since`` is the first major version supporting the permission;
+    ``until`` (exclusive) marks removal for features that were pulled again
+    (e.g. ``interest-cohort``).  ``None`` for ``since`` means never
+    supported on that engine.
+    """
+
+    engine: BrowserEngine
+    since: int | None
+    until: int | None = None
+
+    def status_at(self, major_version: int) -> SupportStatus:
+        if self.since is None or major_version < self.since:
+            return SupportStatus.UNSUPPORTED
+        if self.until is not None and major_version >= self.until:
+            return SupportStatus.REMOVED
+        return SupportStatus.SUPPORTED
+
+
+def _ranges(blink: int | None, gecko: int | None, webkit: int | None,
+            *, blink_until: int | None = None) -> tuple[SupportEntry, ...]:
+    return (
+        SupportEntry(BrowserEngine.BLINK, blink, blink_until),
+        SupportEntry(BrowserEngine.GECKO, gecko),
+        SupportEntry(BrowserEngine.WEBKIT, webkit),
+    )
+
+
+#: Support ranges per permission.  Values mirror the broad strokes of real
+#: browser history (Blink ships Permissions-Policy-era features early and
+#: broadly; Gecko and WebKit support the classic powerful features but few
+#: of the newer ads/device APIs).  Permissions missing from this table get a
+#: Blink-only default starting at version 88 (when Permissions-Policy
+#: shipped).
+_SUPPORT_TABLE: Mapping[str, tuple[SupportEntry, ...]] = {
+    "camera": _ranges(80, 74, 13),
+    "microphone": _ranges(80, 74, 13),
+    "geolocation": _ranges(80, 74, 13),
+    "notifications": _ranges(80, 74, 13),
+    "push": _ranges(80, 74, 16),
+    "fullscreen": _ranges(80, 74, 13),
+    "autoplay": _ranges(80, 74, 13),
+    "picture-in-picture": _ranges(80, None, 13),
+    "encrypted-media": _ranges(80, 74, 13),
+    "gamepad": _ranges(80, 74, 13),
+    "midi": _ranges(80, None, None),
+    "battery": _ranges(80, None, None),
+    "usb": _ranges(80, None, None),
+    "serial": _ranges(90, None, None),
+    "hid": _ranges(90, None, None),
+    "bluetooth": _ranges(80, None, None),
+    "accelerometer": _ranges(80, None, None),
+    "gyroscope": _ranges(80, None, None),
+    "magnetometer": _ranges(80, None, None),
+    "ambient-light-sensor": _ranges(80, None, None),
+    "clipboard-read": _ranges(80, 127, 13),
+    "clipboard-write": _ranges(80, 74, 13),
+    "web-share": _ranges(88, 102, 13),
+    "payment": _ranges(80, None, 15),
+    "storage-access": _ranges(115, 102, 15),
+    "top-level-storage-access": _ranges(115, None, None),
+    "screen-wake-lock": _ranges(88, None, 16),
+    "system-wake-lock": _ranges(96, None, None),
+    "idle-detection": _ranges(96, None, None),
+    "keyboard-lock": _ranges(80, None, None),
+    "keyboard-map": _ranges(80, None, None),
+    "pointer-lock": _ranges(80, 74, 13),
+    "local-fonts": _ranges(108, None, None),
+    "window-management": _ranges(100, None, None),
+    "xr-spatial-tracking": _ranges(80, None, None),
+    "vr": (SupportEntry(BrowserEngine.BLINK, 80, 90),) + _ranges(None, None, None)[1:],
+    "compute-pressure": _ranges(124, None, None),
+    "direct-sockets": _ranges(124, None, None),
+    "speaker-selection": _ranges(None, 115, None),
+    "browsing-topics": _ranges(115, None, None),
+    "attribution-reporting": _ranges(115, None, None),
+    "run-ad-auction": _ranges(115, None, None),
+    "join-ad-interest-group": _ranges(115, None, None),
+    "interest-cohort": _ranges(88, None, None, blink_until=96),
+    "private-state-token-issuance": _ranges(115, None, None),
+    "private-state-token-redemption": _ranges(115, None, None),
+    "sync-xhr": _ranges(80, None, None),
+    "cross-origin-isolated": _ranges(88, None, None),
+    "document-domain": _ranges(80, None, None),
+    "publickey-credentials-create": _ranges(108, None, None),
+    "publickey-credentials-get": _ranges(88, None, 15),
+    "identity-credentials-get": _ranges(108, None, None),
+    "otp-credentials": _ranges(96, None, None),
+}
+
+_DEFAULT_BLINK_SINCE = 88
+
+
+class SupportMatrix:
+    """Queryable permission-support matrix across browser releases."""
+
+    def __init__(
+        self,
+        registry: PermissionRegistry | None = None,
+        releases: Iterable[BrowserRelease] | None = None,
+        table: Mapping[str, tuple[SupportEntry, ...]] | None = None,
+    ) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._releases = tuple(releases) if releases is not None else default_releases()
+        self._table = dict(table) if table is not None else dict(_SUPPORT_TABLE)
+
+    @property
+    def registry(self) -> PermissionRegistry:
+        return self._registry
+
+    @property
+    def releases(self) -> tuple[BrowserRelease, ...]:
+        return self._releases
+
+    def _entries_for(self, permission: str) -> tuple[SupportEntry, ...]:
+        self._registry.get(permission)  # raise for unknown names
+        default = (
+            SupportEntry(BrowserEngine.BLINK, _DEFAULT_BLINK_SINCE),
+            SupportEntry(BrowserEngine.GECKO, None),
+            SupportEntry(BrowserEngine.WEBKIT, None),
+        )
+        return self._table.get(permission, default)
+
+    def status(self, permission: str, browser: Browser, major_version: int
+               ) -> SupportStatus:
+        """Support status of ``permission`` on ``browser`` at a version."""
+        for entry in self._entries_for(permission):
+            if entry.engine is browser.engine:
+                return entry.status_at(major_version)
+        return SupportStatus.UNSUPPORTED
+
+    def supported(self, permission: str, browser: Browser, major_version: int) -> bool:
+        return self.status(permission, browser, major_version) is SupportStatus.SUPPORTED
+
+    def latest_release(self, browser: Browser) -> BrowserRelease:
+        candidates = [r for r in self._releases if r.browser == browser]
+        if not candidates:
+            raise ValueError(f"no releases known for {browser.name}")
+        return max(candidates, key=lambda r: r.major_version)
+
+    def currently_supported(self, permission: str, browser: Browser) -> bool:
+        """Support in the browser's most recent known release."""
+        return self.supported(permission, browser,
+                              self.latest_release(browser).major_version)
+
+    def supported_anywhere(self, permission: str) -> bool:
+        """Whether any browser's latest release supports the permission."""
+        return any(self.currently_supported(permission, b) for b in ALL_BROWSERS)
+
+    def history(self, permission: str, browser: Browser
+                ) -> list[tuple[BrowserRelease, SupportStatus]]:
+        """Per-release support statuses, ascending by version (Figure 3's
+        "changes across browser versions" view)."""
+        return [
+            (release, self.status(permission, browser, release.major_version))
+            for release in self._releases
+            if release.browser == browser
+        ]
+
+    def changes(self, permission: str, browser: Browser
+                ) -> list[tuple[BrowserRelease, SupportStatus]]:
+        """Releases where the support status changed versus the previous one."""
+        out: list[tuple[BrowserRelease, SupportStatus]] = []
+        previous: SupportStatus | None = None
+        for release, status in self.history(permission, browser):
+            if status is not previous:
+                out.append((release, status))
+                previous = status
+        return out
+
+    def chromium_supported_permissions(self) -> tuple[Permission, ...]:
+        """Policy-controlled permissions supported by current Chromium — the
+        set the paper's header generator (Figure 4) builds headers from."""
+        return tuple(
+            perm for perm in self._registry.policy_controlled()
+            if self.currently_supported(perm.name, CHROMIUM)
+        )
+
+    def matrix(self) -> Iterator[tuple[Permission, dict[str, bool]]]:
+        """Yield (permission, {browser name: currently supported}) rows."""
+        for perm in self._registry:
+            yield perm, {
+                browser.name: self.currently_supported(perm.name, browser)
+                for browser in ALL_BROWSERS
+            }
+
+
+def default_support_matrix() -> SupportMatrix:
+    """The support matrix over the default registry and release timeline."""
+    return SupportMatrix()

@@ -1,0 +1,35 @@
+"""Synthetic web ecosystem.
+
+The paper measures the live top-1M websites; offline we substitute a
+deterministic generator calibrated to the paper's published marginals
+(DESIGN.md Section 2).  The subpackage is organised as:
+
+* :mod:`repro.synthweb.distributions` — every number the paper reports, as
+  constants, plus the generator rates derived from them;
+* :mod:`repro.synthweb.profiles` — embedded-widget profiles (YouTube,
+  LiveChat, DoubleClick, Stripe, … — Tables 3, 7, 10, 13);
+* :mod:`repro.synthweb.scripts_gen` — script archetypes: the third-party
+  tag managers, ads, push and fingerprinting scripts plus the static-only
+  share/geolocation/video functionality (Tables 4–6);
+* :mod:`repro.synthweb.generator` — assembles per-site specifications,
+  deterministic in ``(seed, rank)``.
+"""
+
+from repro.synthweb.distributions import GeneratorRates, PAPER, PaperMarginals
+from repro.synthweb.eras import Era, measure_era, rates_for_era, transition_curve
+from repro.synthweb.generator import SiteSpec, SyntheticWeb
+from repro.synthweb.profiles import WidgetProfile, default_widget_profiles
+
+__all__ = [
+    "Era",
+    "GeneratorRates",
+    "PAPER",
+    "PaperMarginals",
+    "SiteSpec",
+    "SyntheticWeb",
+    "WidgetProfile",
+    "default_widget_profiles",
+    "measure_era",
+    "rates_for_era",
+    "transition_curve",
+]

@@ -1,0 +1,205 @@
+"""The paper's published marginals and the generator rates derived from them.
+
+:data:`PAPER` collects, as plain constants, every aggregate number the paper
+reports; the benchmark harness prints our measured value next to each.
+:class:`GeneratorRates` converts the relevant counts into per-site
+probabilities used by :mod:`repro.synthweb.generator`.
+
+The paper's percentages are expressed **relative to top-level documents**
+(1,121,018), not the 817,800 successfully crawled sites — Section 4: "From
+this point onward, all comparisons are made with respect to the documents".
+The same convention applies throughout our analysis pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperMarginals:
+    """Aggregates from the paper (Sections 4–5)."""
+
+    # -- crawl scale (Section 4 prelude) -----------------------------------
+    attempted_sites: int = 1_000_000
+    successful_sites: int = 817_800
+    ephemeral_errors: int = 60_183       # "Execution context was destroyed"
+    load_timeouts: int = 28_700
+    unreachable: int = 27_733            # DNS errors etc.
+    minor_crawler_errors: int = 315
+    final_update_timeouts: int = 90
+    excluded_incomplete: int = 65_169    # incomplete iframes / late timeouts
+
+    total_frames: int = 2_718_437
+    top_level_documents: int = 1_121_018
+    embedded_documents: int = 1_597_419
+    distinct_top_level_origins: int = 1_062_824
+    sites_with_iframes: int = 545_858
+    avg_direct_iframes: float = 3.2
+    local_embedded_share: float = 0.541
+    external_embedded_share: float = 0.459
+    avg_seconds_per_site: float = 35.0
+
+    # -- permission usage (Section 4.1) --------------------------------------
+    sites_with_any_invocation: int = 455_676          # 40.65 %
+    share_any_invocation: float = 0.4065
+    share_invocation_top_level: float = 0.3941
+    share_invocation_embedded: float = 0.0798
+    share_any_functionality: float = 0.4852           # dynamic ∪ static
+    share_static_any: float = 0.305
+    top_level_invoking_contexts: int = 441_831
+    embedded_invoking_contexts: int = 143_863
+    total_invoking_contexts: int = 585_694
+    top_level_third_party_share: float = 0.9832
+    embedded_first_party_share: float = 0.7486
+    feature_policy_api_sites: int = 429_259
+
+    # -- Table 4: invoked permissions (contexts) ------------------------------
+    general_api_top_contexts: int = 432_795
+    general_api_embedded_contexts: int = 49_514
+    battery_top_contexts: int = 38_217
+    battery_embedded_contexts: int = 68_815
+    notifications_top_contexts: int = 55_594
+    notifications_embedded_contexts: int = 1_654
+    browsing_topics_top_contexts: int = 16_033
+    browsing_topics_embedded_contexts: int = 26_072
+    storage_access_top_contexts: int = 106
+    storage_access_embedded_contexts: int = 16_438
+    pkc_get_top_contexts: int = 5_774
+    geolocation_top_contexts: int = 4_501
+    encrypted_media_top_contexts: int = 1_274
+    payment_top_contexts: int = 571
+    keyboard_map_top_contexts: int = 862
+
+    # -- Table 5: status checks (top-level websites) --------------------------
+    all_permissions_checked_sites: int = 405_302
+    attribution_reporting_checked_sites: int = 126_565
+    browsing_topics_checked_sites: int = 40_732
+    notifications_checked_sites: int = 20_548
+    geolocation_checked_sites: int = 8_826
+    microphone_checked_sites: int = 6_905
+    run_ad_auction_checked_sites: int = 6_512
+    camera_checked_sites: int = 6_199
+    midi_checked_sites: int = 6_066
+    push_checked_sites: int = 6_064
+    any_status_check_sites: int = 435_185
+    mean_permissions_checked: float = 1.74
+
+    # -- Table 6: static detections (top-level websites) ----------------------
+    clipboard_write_static_sites: int = 135_694
+    storage_access_static_sites: int = 106_495
+    geolocation_static_sites: int = 96_429
+    notifications_static_sites: int = 88_953
+    battery_static_sites: int = 63_243
+    web_share_static_sites: int = 54_995
+    browsing_topics_static_sites: int = 50_346
+    encrypted_media_static_sites: int = 44_867
+    camera_static_sites: int = 26_456
+    microphone_static_sites: int = 26_456
+
+    # -- delegation (Section 4.2) ---------------------------------------------
+    share_sites_delegating: float = 0.1207
+    share_sites_delegating_external: float = 0.108
+    sites_delegating: int = 135_341
+    sites_delegating_external: int = 121_043
+    sites_delegating_third_party: int = 119_778
+    total_delegations_external: int = 682_883
+    directive_share_default_src: float = 0.8212
+    directive_share_star: float = 0.1717
+    directive_share_explicit_src: float = 0.0040
+    directive_share_none: float = 0.0015
+    directive_share_single_origin: float = 0.0016
+
+    # -- headers (Section 4.3) --------------------------------------------------
+    pp_header_adoption_all_docs: float = 0.0790     # Figure 2
+    fp_header_adoption_all_docs: float = 0.0051     # Figure 2
+    both_headers_sites: int = 2_302
+    pp_header_docs: int = 157_048
+    pp_header_top_level_docs: int = 50_469
+    pp_header_top_level_share: float = 0.045
+    pp_header_embedded_docs: int = 106_579
+    pp_header_embedded_share: float = 0.123
+    pp_header_top_level_valid: int = 47_681
+    avg_permissions_per_header: float = 10.01
+    share_headers_with_18_permissions: float = 0.2662
+    share_headers_with_1_permission: float = 0.2433
+    share_headers_with_9_permissions: float = 0.0847
+    max_permissions_per_header: int = 64
+    directive_class_disable_share: float = 0.835
+    directive_class_self_share: float = 0.0968
+    directive_class_star_share: float = 0.0602
+    powerful_disable_or_self_share: float = 0.9708
+    syntax_error_frames: int = 3_244
+    syntax_error_share: float = 0.02
+    syntax_error_top_level_sites: int = 2_788
+    semantic_misconfig_sites: int = 6_408
+    semantic_misconfig_embedded_sites: int = 653
+    embedded_directive_disable_share: float = 0.5105
+    embedded_directive_self_share: float = 0.1689
+    embedded_directive_star_share: float = 0.3073
+
+    # -- over-permission (Section 5) ---------------------------------------------
+    overpermissioned_affected_sites: int = 36_307
+    overpermission_prevalence_threshold: float = 0.05
+    livechat_total_sites: int = 13_753
+    livechat_overpermissioned_sites: int = 13_734
+    livechat_delegation_rate: float = 0.9969
+
+    # -- derived helpers -----------------------------------------------------------
+
+    @property
+    def redirect_factor(self) -> float:
+        """Top-level documents per successful site (redirect hops)."""
+        return self.top_level_documents / self.successful_sites
+
+    def rate_of_top_docs(self, count: int) -> float:
+        """A paper count as a fraction of top-level documents."""
+        return count / self.top_level_documents
+
+    def rate_of_sites(self, count: int) -> float:
+        """A paper count as a fraction of successful sites."""
+        return count / self.successful_sites
+
+
+PAPER = PaperMarginals()
+
+
+@dataclass(frozen=True)
+class GeneratorRates:
+    """Per-site probabilities for the synthetic web generator.
+
+    Most values derive mechanically from :data:`PAPER` counts; a few are
+    free parameters tuned so the *emergent* aggregates (which combine many
+    overlapping draws) land on the paper's numbers.  Tuned values carry a
+    ``# tuned`` note.
+    """
+
+    # -- failures (fractions of attempted sites) ------------------------------
+    fail_ephemeral: float = PAPER.ephemeral_errors / PAPER.attempted_sites
+    fail_timeout: float = PAPER.load_timeouts / PAPER.attempted_sites
+    fail_unreachable: float = PAPER.unreachable / PAPER.attempted_sites
+    fail_minor: float = PAPER.minor_crawler_errors / PAPER.attempted_sites
+    fail_late_timeout: float = PAPER.final_update_timeouts / PAPER.attempted_sites
+    fail_excluded: float = PAPER.excluded_incomplete / PAPER.attempted_sites
+
+    # -- structure ---------------------------------------------------------------
+    redirect_rate: float = PAPER.redirect_factor - 1.0
+    iframe_any_rate: float = PAPER.sites_with_iframes / PAPER.successful_sites
+    #: Mean count of generic/local iframes beyond the widget placements,
+    #: for sites that have iframes at all.
+    extra_local_iframes_mean: float = 1.6   # tuned → 54.1 % local share
+    extra_generic_iframes_mean: float = 0.7  # tuned
+
+    # -- top-level headers ----------------------------------------------------------
+    #: Top-level header probability per site (the paper's 4.5 % of
+    #: top-level documents; hops share the site's headers).
+    pp_header_rate: float = PAPER.pp_header_top_level_share
+    fp_header_rate: float = 0.010            # tuned → Fig 2's 0.51 % overall
+    #: Top-level rate: 2,788 of 50,469 header sites (Section 4.3.3).
+    header_syntax_error_rate: float = 0.065
+    header_semantic_issue_rate: float = 0.15
+    csp_rate: float = 0.12                   # share of sites with any CSP
+    csp_frame_src_rate: float = 0.35         # of those, share constraining frames
+
+    # -- lazy iframes ------------------------------------------------------------------
+    lazy_iframe_rate: float = 0.18

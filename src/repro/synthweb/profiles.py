@@ -1,0 +1,490 @@
+"""Embedded-widget profiles.
+
+Each profile describes one widely embedded third-party document the paper's
+tables rank: how often it is embedded (Table 3), how often with permission
+delegation and with which ``allow`` template (Tables 7, 8), its own response
+headers (Section 4.3.2), and — crucially for the over-permission analysis —
+which of the delegated permissions its scripts actually exhibit activity
+for, dynamically or statically (Tables 10, 13).
+
+Counts are the paper's; the generator scales them by its site count.  The
+``used``/``static`` tuples are chosen so the *unused delegated permissions*
+per widget reproduce Table 13 exactly (e.g. LiveChat's camera, microphone
+and clipboard-read delegations show no activity anywhere, while its
+clipboard-write and fullscreen delegations are backed by script source).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.browser.api import (
+    allowed_features_call,
+    feature_policy_allows_call,
+    invoke_call,
+    query_call,
+)
+from repro.browser.dom import DocumentContent
+from repro.browser.scripts import ApiCall, Script, render_source
+from repro.registry.features import DEFAULT_REGISTRY
+
+#: Header template widely seen on ads/video iframes: User-Agent Client Hint
+#: features declared with ``*`` — the paper's Section 4.3.2 finds exactly
+#: these to be the nine most prevalent embedded directives.
+CLIENT_HINTS_HEADER = (
+    "ch-ua=*, ch-ua-arch=*, ch-ua-bitness=*, ch-ua-full-version=*, "
+    "ch-ua-full-version-list=*, ch-ua-mobile=*, ch-ua-model=*, "
+    "ch-ua-platform=*, ch-ua-platform-version=*"
+)
+
+
+def _static_source(permissions: tuple[str, ...], extra_apis: tuple[str, ...] = ()
+                   ) -> str:
+    """Script source containing matchable API strings for ``permissions``."""
+    apis = [DEFAULT_REGISTRY.get(perm).api_patterns[0] for perm in permissions]
+    apis.extend(extra_apis)
+    return render_source(apis)
+
+
+def build_widget_script(url: str, *,
+                        dynamic: tuple[str, ...] = (),
+                        static: tuple[str, ...] = (),
+                        status_checks: tuple[str, ...] = (),
+                        general_api: bool = False,
+                        obfuscated: bool = False) -> Script:
+    """A widget-internal script with the given behaviour.
+
+    ``dynamic`` permissions are invoked on load; ``static`` permissions only
+    appear in the source (interaction-gated); ``status_checks`` issue
+    ``navigator.permissions.query`` calls; ``general_api`` adds a
+    (deprecated-spelling) allowed-features retrieval.
+    """
+    operations: list[ApiCall] = []
+    for perm in dynamic:
+        operations.append(invoke_call(perm))
+    for perm in status_checks:
+        operations.append(query_call(perm))
+    if general_api:
+        operations.append(allowed_features_call(deprecated=True))
+    source_perms = tuple(dict.fromkeys(dynamic + static + status_checks))
+    extra = ("document.featurePolicy.allowedFeatures",) if general_api else ()
+    for perm in static:
+        operations.append(invoke_call(perm, requires_interaction=True))
+    script = Script(url=url, source=_static_source(source_perms, extra),
+                    operations=tuple(operations))
+    if obfuscated:
+        script = script.with_obfuscation()
+    return script
+
+
+@dataclass(frozen=True)
+class WidgetProfile:
+    """One embeddable third-party widget."""
+
+    name: str
+    site: str
+    embed_path: str
+    embed_count: int
+    delegation_count: int
+    allow_template: str | None
+    category: str
+    used_dynamic: tuple[str, ...] = ()
+    used_static: tuple[str, ...] = ()
+    status_checks: tuple[str, ...] = ()
+    general_api: bool = False
+    own_header: str | None = None
+    third_party_script: str | None = None
+    third_party_dynamic: tuple[str, ...] = ()
+    #: Probability (per placement) that the 3p script is present.
+    third_party_rate: float = 1.0
+    #: Occasional extended delegation template (e.g. Facebook video embeds
+    #: adding clipboard-write/web-share/encrypted-media) and its rate.
+    allow_template_rare: str | None = None
+    rare_template_rate: float = 0.0
+    #: Nested re-delegation: probability that the widget document itself
+    #: embeds a sub-frame and re-delegates (ads sub-syndication) — the
+    #: uncontrollable nested delegation of paper Section 2.2.5.
+    nested_embed_rate: float = 0.0
+    nested_embed_src: str = "https://sub-syndication.example/frame"
+    nested_embed_allow: str = "attribution-reporting; run-ad-auction"
+    obfuscated: bool = False
+    lazy_rate: float = 0.2
+
+    @property
+    def embed_url(self) -> str:
+        return f"https://{self.site}{self.embed_path}"
+
+    @property
+    def delegation_rate(self) -> float:
+        """P(allow attribute present | widget embedded)."""
+        if self.embed_count <= 0:
+            return 0.0
+        return min(1.0, self.delegation_count / self.embed_count)
+
+    def delegated_features(self) -> tuple[str, ...]:
+        if not self.allow_template:
+            return ()
+        return tuple(part.split()[0] for part in self.allow_template.split(";")
+                     if part.strip())
+
+    def active_permissions(self) -> frozenset[str]:
+        """Permissions the widget exhibits any activity for."""
+        return frozenset(self.used_dynamic) | frozenset(self.used_static) \
+            | frozenset(self.status_checks)
+
+    def expected_unused_delegations(self) -> tuple[str, ...]:
+        """The Table 13 prediction: delegated features without activity."""
+        active = self.active_permissions()
+        return tuple(f for f in self.delegated_features() if f not in active)
+
+    def build_content(self, rng: random.Random) -> DocumentContent:
+        """The widget document's scripts (its 1p script plus an optional 3p
+        script), fresh per placement."""
+        scripts = [build_widget_script(
+            f"https://{self.site}/static/widget.js",
+            dynamic=self.used_dynamic,
+            static=() if self.obfuscated else self.used_static,
+            status_checks=self.status_checks,
+            general_api=self.general_api,
+            obfuscated=self.obfuscated,
+        )]
+        if self.obfuscated and self.used_static:
+            # Static functionality must stay string-matchable even when the
+            # main bundle is minified; ship it as a plain helper script.
+            scripts.append(build_widget_script(
+                f"https://{self.site}/static/helper.js",
+                static=self.used_static))
+        if (self.third_party_script is not None
+                and rng.random() < self.third_party_rate):
+            scripts.append(build_widget_script(
+                self.third_party_script, dynamic=self.third_party_dynamic))
+        iframes = []
+        if self.nested_embed_rate and rng.random() < self.nested_embed_rate:
+            from repro.browser.dom import IframeElement
+            slot = rng.randint(0, 999_999)
+            iframes.append(IframeElement(
+                src=f"{self.nested_embed_src}?slot={slot}",
+                allow=self.nested_embed_allow))
+        return DocumentContent(scripts=scripts, iframes=iframes)
+
+    def headers(self) -> dict[str, str]:
+        if self.own_header is None:
+            return {}
+        return {"Permissions-Policy": self.own_header}
+
+
+_ADS_TEMPLATE = "attribution-reporting; run-ad-auction; join-ad-interest-group"
+
+
+def default_widget_profiles() -> tuple[WidgetProfile, ...]:
+    """The widget catalogue reproducing Tables 3, 7, 10 and 13."""
+    return (
+        WidgetProfile(
+            name="Google", site="google.com", embed_path="/embed/",
+            embed_count=53_227, delegation_count=2_634,
+            allow_template="identity-credentials-get",
+            category="session",
+        ),
+        WidgetProfile(
+            name="YouTube", site="youtube.com", embed_path="/embed/v",
+            embed_count=28_024, delegation_count=18_044,
+            allow_template=("accelerometer; autoplay; clipboard-write; "
+                            "encrypted-media; gyroscope; picture-in-picture"),
+            category="multimedia",
+            used_static=("autoplay", "clipboard-write", "encrypted-media",
+                         "picture-in-picture", "fullscreen"),
+            own_header=CLIENT_HINTS_HEADER,
+        ),
+        WidgetProfile(
+            name="DoubleClick", site="doubleclick.net", embed_path="/ads/frame",
+            embed_count=25_968, delegation_count=17_634,
+            allow_template="attribution-reporting; run-ad-auction",
+            category="ads",
+            used_dynamic=("attribution-reporting", "run-ad-auction", "battery"),
+            general_api=True,
+            own_header=CLIENT_HINTS_HEADER,
+            obfuscated=True,
+            nested_embed_rate=0.30,
+        ),
+        WidgetProfile(
+            name="GoogleSyndication", site="googlesyndication.com",
+            embed_path="/safeframe/1",
+            embed_count=25_299, delegation_count=20_279,
+            allow_template=_ADS_TEMPLATE,
+            category="ads",
+            used_dynamic=("attribution-reporting", "run-ad-auction",
+                          "join-ad-interest-group", "browsing-topics",
+                          "battery"),
+            status_checks=("browsing-topics",),
+            general_api=True,
+            own_header=CLIENT_HINTS_HEADER,
+            obfuscated=True,
+            nested_embed_rate=0.35,
+        ),
+        WidgetProfile(
+            name="Facebook", site="facebook.com", embed_path="/plugins/page",
+            embed_count=20_919, delegation_count=17_720,
+            allow_template="autoplay",
+            allow_template_rare=("autoplay; clipboard-write; "
+                                 "encrypted-media; web-share"),
+            rare_template_rate=0.12,
+            category="social",
+            used_static=("autoplay",),
+            third_party_script="https://connect.facebook.net/sdk.js",
+            third_party_dynamic=("storage-access",),
+            third_party_rate=1.0,
+        ),
+        WidgetProfile(
+            name="Yandex", site="yandex.com", embed_path="/metrica/frame",
+            embed_count=18_868, delegation_count=310,
+            allow_template="clipboard-write",
+            category="analytics",
+        ),
+        WidgetProfile(
+            name="Twitter", site="twitter.com", embed_path="/widgets/tweet",
+            embed_count=17_844, delegation_count=600,
+            allow_template="autoplay; picture-in-picture; fullscreen",
+            category="social",
+            used_static=("autoplay", "picture-in-picture", "fullscreen"),
+            third_party_script="https://abs.twimg.com/widgets.js",
+            third_party_dynamic=("storage-access",),
+            third_party_rate=0.85,
+        ),
+        WidgetProfile(
+            name="LiveChat", site="livechatinc.com", embed_path="/widget/chat",
+            embed_count=13_776, delegation_count=13_734,
+            allow_template=("clipboard-read; clipboard-write; autoplay; "
+                            "microphone *; camera *; display-capture *; "
+                            "picture-in-picture *; fullscreen *"),
+            category="customer-support",
+            used_static=("clipboard-write", "autoplay", "display-capture",
+                         "picture-in-picture", "fullscreen"),
+        ),
+        WidgetProfile(
+            name="Criteo", site="criteo.com", embed_path="/delivery/frame",
+            embed_count=13_491, delegation_count=4_834,
+            allow_template="attribution-reporting; join-ad-interest-group",
+            category="ads",
+            used_dynamic=("attribution-reporting", "join-ad-interest-group"),
+            general_api=True,
+            obfuscated=True,
+            third_party_script="https://static.adsrvr.example/probe.js",
+            third_party_dynamic=("battery",),
+        ),
+        WidgetProfile(
+            name="Cloudflare", site="cloudflare.com",
+            embed_path="/turnstile/frame",
+            embed_count=13_395, delegation_count=13_244,
+            allow_template=("cross-origin-isolated; "
+                            "private-state-token-issuance"),
+            category="other",
+            used_dynamic=("private-state-token-issuance",),
+            used_static=("cross-origin-isolated",),
+            general_api=True,
+        ),
+        WidgetProfile(
+            name="Stripe", site="stripe.com", embed_path="/elements/frame",
+            embed_count=3_700, delegation_count=3_582,
+            allow_template="payment",
+            category="payment",
+            used_dynamic=("payment",),
+            status_checks=("payment",),
+        ),
+        WidgetProfile(
+            name="Vimeo", site="vimeo.com", embed_path="/video/frame",
+            embed_count=2_300, delegation_count=2_028,
+            allow_template="autoplay; fullscreen; picture-in-picture; "
+                           "encrypted-media",
+            category="multimedia",
+            used_static=("autoplay", "encrypted-media", "fullscreen",
+                         "picture-in-picture"),
+        ),
+        # ---- long tail (Table 13) ------------------------------------------------
+        WidgetProfile(
+            name="YouTubeNoCookie", site="youtube-nocookie.com",
+            embed_path="/embed/v",
+            embed_count=1_100, delegation_count=982,
+            allow_template=("accelerometer; autoplay; encrypted-media; "
+                            "gyroscope; picture-in-picture"),
+            category="multimedia",
+            used_static=("autoplay", "encrypted-media",
+                         "picture-in-picture"),
+        ),
+        WidgetProfile(
+            name="Razorpay", site="razorpay.com", embed_path="/checkout/frame",
+            embed_count=420, delegation_count=389,
+            allow_template="payment; clipboard-write; camera; otp-credentials",
+            category="payment",
+            used_dynamic=("otp-credentials",),
+        ),
+        WidgetProfile(
+            name="LaDesk", site="ladesk.com", embed_path="/chat/frame",
+            embed_count=330, delegation_count=303,
+            allow_template="microphone; camera; autoplay",
+            category="customer-support",
+            used_static=("autoplay",),
+        ),
+        WidgetProfile(
+            name="Drift", site="driftt.com", embed_path="/chat/frame",
+            embed_count=310, delegation_count=285,
+            allow_template="encrypted-media; autoplay",
+            category="customer-support",
+            used_static=("autoplay",),
+        ),
+        WidgetProfile(
+            name="WixApps", site="wixapps.net", embed_path="/app/frame",
+            embed_count=250, delegation_count=246,
+            allow_template="autoplay; camera; microphone; geolocation; vr",
+            category="multi-purpose",
+            used_static=("autoplay", "vr"),
+        ),
+        WidgetProfile(
+            name="Qualified", site="qualified.com", embed_path="/chat/frame",
+            embed_count=120, delegation_count=109,
+            allow_template="microphone; camera; autoplay",
+            category="customer-support",
+            used_static=("autoplay",),
+        ),
+        WidgetProfile(
+            name="Dailymotion", site="dailymotion.com", embed_path="/video/f",
+            embed_count=115, delegation_count=101,
+            allow_template=("accelerometer; gyroscope; clipboard-write; "
+                            "web-share; encrypted-media; autoplay; "
+                            "picture-in-picture; fullscreen"),
+            category="multimedia",
+            used_dynamic=("autoplay",),
+            used_static=("picture-in-picture", "fullscreen"),
+        ),
+        WidgetProfile(
+            name="TinyPass", site="tinypass.com", embed_path="/paywall/frame",
+            embed_count=110, delegation_count=99,
+            allow_template="payment", category="payment",
+        ),
+        WidgetProfile(
+            name="Imbox", site="imbox.io", embed_path="/chat/frame",
+            embed_count=100, delegation_count=93,
+            allow_template="camera; microphone", category="customer-support",
+        ),
+        WidgetProfile(
+            name="Piano", site="piano.io", embed_path="/paywall/frame",
+            embed_count=100, delegation_count=92,
+            allow_template="payment", category="payment",
+        ),
+        WidgetProfile(
+            name="Appspot", site="appspot.com", embed_path="/app/frame",
+            embed_count=98, delegation_count=91,
+            allow_template="camera; microphone; geolocation",
+            category="multi-purpose",
+        ),
+        WidgetProfile(
+            name="FacebookNet", site="facebook.net", embed_path="/plugin/f",
+            embed_count=88, delegation_count=81,
+            allow_template="encrypted-media", category="social",
+        ),
+        WidgetProfile(
+            name="VisitorAnalytics", site="visitor-analytics.io",
+            embed_path="/widget/f",
+            embed_count=84, delegation_count=78,
+            allow_template="camera; microphone; geolocation",
+            category="analytics",
+        ),
+        WidgetProfile(
+            name="Glassix", site="glassix.com", embed_path="/chat/frame",
+            embed_count=82, delegation_count=76,
+            allow_template="camera; microphone; display-capture",
+            category="customer-support",
+        ),
+        WidgetProfile(
+            name="Giosg", site="giosg.com", embed_path="/chat/frame",
+            embed_count=60, delegation_count=56,
+            allow_template="camera; microphone; screen-wake-lock; "
+                           "display-capture",
+            category="customer-support",
+        ),
+        WidgetProfile(
+            name="CloudflareStream", site="cloudflarestream.com",
+            embed_path="/video/f",
+            embed_count=60, delegation_count=55,
+            allow_template="accelerometer; gyroscope; autoplay; "
+                           "encrypted-media",
+            category="multimedia",
+            used_dynamic=("autoplay", "encrypted-media"),
+        ),
+        WidgetProfile(
+            name="MediaDelivery", site="mediadelivery.net",
+            embed_path="/video/f",
+            embed_count=60, delegation_count=55,
+            allow_template="accelerometer; gyroscope; autoplay; "
+                           "encrypted-media",
+            category="multimedia",
+            used_dynamic=("autoplay", "encrypted-media"),
+        ),
+        WidgetProfile(
+            name="SocialMiner", site="socialminer.com", embed_path="/chat/f",
+            embed_count=58, delegation_count=54,
+            allow_template="clipboard-read", category="customer-support",
+        ),
+        WidgetProfile(
+            name="Infobip", site="infobip.com", embed_path="/chat/f",
+            embed_count=50, delegation_count=46,
+            allow_template="camera; microphone", category="customer-support",
+        ),
+        WidgetProfile(
+            name="Kenyt", site="kenyt.ai", embed_path="/chat/f",
+            embed_count=49, delegation_count=45,
+            allow_template="camera; microphone", category="customer-support",
+        ),
+        WidgetProfile(
+            name="Vidyard", site="vidyard.com", embed_path="/video/f",
+            embed_count=48, delegation_count=44,
+            allow_template="camera; microphone; clipboard-write; "
+                           "display-capture; autoplay",
+            category="multimedia",
+            used_dynamic=("autoplay",),
+        ),
+        WidgetProfile(
+            name="JotForm", site="jotform.com", embed_path="/form/f",
+            embed_count=36, delegation_count=33,
+            allow_template="camera; geolocation; microphone",
+            category="multi-purpose",
+        ),
+        WidgetProfile(
+            name="Wolkvox", site="wolkvox.com", embed_path="/chat/f",
+            embed_count=36, delegation_count=33,
+            allow_template="encrypted-media; camera; microphone; "
+                           "geolocation; display-capture; midi",
+            category="customer-support",
+        ),
+        WidgetProfile(
+            name="Typeform", site="typeform.com", embed_path="/form/f",
+            embed_count=34, delegation_count=31,
+            allow_template="camera; microphone", category="multi-purpose",
+        ),
+        WidgetProfile(
+            name="Mitel", site="mitel.io", embed_path="/chat/f",
+            embed_count=33, delegation_count=30,
+            allow_template="camera; geolocation; microphone",
+            category="customer-support",
+        ),
+        WidgetProfile(
+            name="VideoDelivery", site="videodelivery.net",
+            embed_path="/video/f",
+            embed_count=33, delegation_count=30,
+            allow_template="accelerometer; gyroscope; autoplay",
+            category="multimedia",
+            used_dynamic=("autoplay",),
+        ),
+        WidgetProfile(
+            name="Channels", site="channels.app", embed_path="/chat/f",
+            embed_count=33, delegation_count=30,
+            allow_template="encrypted-media; midi",
+            category="customer-support",
+        ),
+    )
+
+
+def profiles_by_site(profiles: tuple[WidgetProfile, ...] | None = None
+                     ) -> dict[str, WidgetProfile]:
+    pool = profiles if profiles is not None else default_widget_profiles()
+    return {profile.site: profile for profile in pool}

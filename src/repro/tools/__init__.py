@@ -1,0 +1,32 @@
+"""Developer-facing tools (paper Section 6.3).
+
+* :mod:`repro.tools.support_site` — the caniuse-style permission-support
+  matrix report (Figure 3);
+* :mod:`repro.tools.header_generator` — the ``Permissions-Policy`` header
+  generator with disable-all / disable-powerful presets (Figure 4);
+* :mod:`repro.tools.recommender` — the crawl-based least-privilege
+  recommender that suggests a header and ``allow`` delegations from
+  observed usage;
+* :mod:`repro.tools.poc` — the local-scheme specification-issue proof of
+  concept (Table 11).
+"""
+
+from repro.tools.header_generator import HeaderGenerator, HeaderPreset
+from repro.tools.poc import LocalSchemePoC, PoCOutcome
+from repro.tools.recommender import PolicyRecommendation, PolicyRecommender
+from repro.tools.site_generator import SiteGenerator
+from repro.tools.support_site import SupportSiteReport
+from repro.tools.widget_report import WidgetDossier, WidgetReporter
+
+__all__ = [
+    "HeaderGenerator",
+    "HeaderPreset",
+    "LocalSchemePoC",
+    "PoCOutcome",
+    "PolicyRecommendation",
+    "PolicyRecommender",
+    "SiteGenerator",
+    "SupportSiteReport",
+    "WidgetDossier",
+    "WidgetReporter",
+]

@@ -1,0 +1,108 @@
+"""Local-scheme specification-issue proof of concept (paper Table 11).
+
+Reconstructs the attack the paper reported to the W3C and a major browser
+vendor (W3C webappsec-permissions-policy issue #552):
+
+1. *victim.example* deploys ``Permissions-Policy: camera=(self)`` — the
+   second most common configuration in the measurement.
+2. Its CSP (if any) does not constrain frame loads, so an HTML injection
+   can plant a ``data:`` iframe.
+3. The ``data:`` document does not inherit the parent's declared policy —
+   only the boolean outcome — so it may re-delegate ``camera`` via
+   ``allow`` to *attacker.example*.
+4. The attacker document can now call ``getUserMedia``; if the user granted
+   camera to the victim site earlier, no prompt appears at all.
+
+:class:`LocalSchemePoC` runs the scenario against the policy engine in both
+modes (shipped behaviour vs expected behaviour) and reports the Table 11
+rows, plus the CSP precondition check of Section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.policy.csp import ContentSecurityPolicy, local_scheme_attack_possible
+from repro.policy.engine import PermissionsPolicyEngine, PolicyFrame
+from repro.policy.origin import Origin
+
+
+@dataclass(frozen=True)
+class PoCOutcome:
+    """Result of one PoC evaluation (one Table 11 row)."""
+
+    mode: str                       # "actual-specification" / "expected"
+    local_document_has_camera: bool
+    attacker_has_camera: bool
+
+    @property
+    def bypass_succeeded(self) -> bool:
+        return self.attacker_has_camera
+
+
+@dataclass
+class LocalSchemePoC:
+    """Parameterised local-scheme attack scenario."""
+
+    victim_url: str = "https://victim.example"
+    attacker_url: str = "https://attacker.example"
+    header: str = "camera=(self)"
+    feature: str = "camera"
+    scheme: str = "data"
+    csp: str | None = None
+
+    def _frames(self) -> tuple[PolicyFrame, PolicyFrame, PolicyFrame]:
+        victim = PolicyFrame.top(self.victim_url, header=self.header)
+        local = victim.local_child(scheme=self.scheme)
+        attacker = local.child(self.attacker_url, allow=self.feature)
+        return victim, local, attacker
+
+    def injection_possible(self) -> bool:
+        """The Section 6.2 precondition: can an HTML injection plant the
+        local-scheme iframe under the victim's CSP?"""
+        policy = (ContentSecurityPolicy.parse(self.csp)
+                  if self.csp is not None else None)
+        return local_scheme_attack_possible(
+            policy, self_origin=Origin.parse(self.victim_url),
+            scheme=self.scheme)
+
+    def run(self, *, buggy: bool) -> PoCOutcome:
+        """Evaluate one behaviour mode."""
+        engine = PermissionsPolicyEngine(local_scheme_bug=buggy)
+        _victim, local, attacker = self._frames()
+        return PoCOutcome(
+            mode="actual-specification" if buggy else "expected",
+            local_document_has_camera=engine.is_enabled(self.feature, local),
+            attacker_has_camera=engine.is_enabled(self.feature, attacker),
+        )
+
+    def table11(self) -> dict[str, PoCOutcome]:
+        """Both Table 11 rows."""
+        return {
+            "expected": self.run(buggy=False),
+            "actual-specification": self.run(buggy=True),
+        }
+
+    def demonstrates_issue(self) -> bool:
+        """True when the shipped behaviour leaks the permission while the
+        expected behaviour does not — the reported specification bug."""
+        rows = self.table11()
+        return (rows["actual-specification"].bypass_succeeded
+                and not rows["expected"].bypass_succeeded
+                and self.injection_possible())
+
+    def report(self) -> str:
+        rows = self.table11()
+        lines = [
+            f"Local-scheme PoC ({self.scheme}: document inside "
+            f"{self.victim_url} with '{self.header}')",
+            f"  CSP precondition ({self.csp or 'no CSP'}): "
+            f"{'injectable' if self.injection_possible() else 'blocked'}",
+        ]
+        for name, outcome in rows.items():
+            lines.append(
+                f"  {name:22s} local doc camera: "
+                f"{'allowed' if outcome.local_document_has_camera else 'blocked'}"
+                f" | {self.attacker_url} camera: "
+                f"{'ALLOWED (bypass!)' if outcome.attacker_has_camera else 'blocked'}")
+        return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Crawl-based least-privilege policy recommender (paper Section 6.3).
+
+The paper's second tool crawls a developer's own site — optionally with
+manual interaction — and suggests the tightest ``Permissions-Policy``
+header and iframe ``allow`` delegations consistent with the functionality
+it observed.  It also "highlights instances where the actual configuration
+is broader than the ideal configuration".
+
+This implementation drives the same crawler the measurement uses:
+
+1. visit the site (optionally with interaction gates unlocked),
+2. collect per-frame permission activity (dynamic + static),
+3. derive the ideal header: ``self`` for permissions the top-level document
+   uses, explicit origins for permissions embedded documents use, ``()``
+   for every other supported permission,
+4. derive per-iframe ``allow`` suggestions covering exactly the observed
+   usage,
+5. diff against the deployed configuration and report over-grants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.usage import UsageAnalysis, static_matches
+from repro.browser.page import Fetcher
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.crawler.records import SiteVisit
+from repro.policy.allow_attr import parse_allow_attribute
+from repro.policy.allowlist import Allowlist
+from repro.policy.header import (
+    HeaderParseError,
+    parse_permissions_policy_header,
+    serialize_permissions_policy,
+)
+from repro.policy.origin import Origin, OriginParseError
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+from repro.registry.support import SupportMatrix, default_support_matrix
+
+
+@dataclass
+class DelegationSuggestion:
+    """Suggested ``allow`` attribute for one embedded document."""
+
+    iframe_src: str
+    observed_permissions: tuple[str, ...]
+    suggested_allow: str
+    current_allow: str | None
+    over_granted: tuple[str, ...]
+
+
+@dataclass
+class PolicyRecommendation:
+    """The recommender's full output for one site."""
+
+    url: str
+    observed_top_level: tuple[str, ...]
+    observed_embedded: dict[str, tuple[str, ...]]
+    suggested_header: str
+    current_header: str | None
+    header_over_grants: tuple[str, ...]
+    delegation_suggestions: list[DelegationSuggestion] = field(
+        default_factory=list)
+
+    @property
+    def is_over_permissioned(self) -> bool:
+        return bool(self.header_over_grants) or any(
+            s.over_granted for s in self.delegation_suggestions)
+
+
+class PolicyRecommender:
+    """Suggests least-privilege policies from observed behaviour."""
+
+    def __init__(self, fetcher: Fetcher, *,
+                 interact: bool = True,
+                 matrix: SupportMatrix | None = None,
+                 registry: PermissionRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._matrix = matrix if matrix is not None else default_support_matrix()
+        gates = frozenset({"click", "navigation"}) if interact else frozenset()
+        self._crawler = Crawler(fetcher, config=CrawlConfig(
+            interact=interact, unlocked_gates=gates))
+
+    def recommend(self, url: str) -> PolicyRecommendation:
+        """Crawl ``url`` and derive the recommendation.
+
+        Raises:
+            ValueError: when the site cannot be visited at all.
+        """
+        visit = self._crawler.visit(url)
+        if not visit.success:
+            raise ValueError(f"could not visit {url}: {visit.failure}")
+        return self.recommend_from_visit(visit)
+
+    def recommend_from_visit(self, visit: SiteVisit) -> PolicyRecommendation:
+        """Derive the recommendation from an existing crawl record."""
+        activity = self._frame_activity(visit)
+        top = visit.top_frame
+        top_permissions = tuple(sorted(activity.get(top.frame_id, frozenset())))
+
+        embedded: dict[str, tuple[str, ...]] = {}
+        origin_by_frame: dict[int, str] = {}
+        for frame in visit.embedded_frames():
+            used = activity.get(frame.frame_id, frozenset())
+            delegatable = tuple(sorted(
+                p for p in used
+                if (perm := self._registry.maybe(p)) is not None
+                and perm.policy_controlled))
+            if delegatable:
+                embedded.setdefault(frame.origin, ())
+                embedded[frame.origin] = tuple(sorted(
+                    set(embedded[frame.origin]) | set(delegatable)))
+            origin_by_frame[frame.frame_id] = frame.origin
+
+        suggested_header = self._build_header(top.url, top_permissions,
+                                               embedded)
+        current_header = top.header("permissions-policy")
+        over_grants = self._header_over_grants(
+            current_header, top_permissions, embedded)
+
+        recommendation = PolicyRecommendation(
+            url=visit.final_url,
+            observed_top_level=top_permissions,
+            observed_embedded=embedded,
+            suggested_header=suggested_header,
+            current_header=current_header,
+            header_over_grants=over_grants,
+        )
+        for frame in visit.embedded_frames():
+            if frame.depth != 1 or frame.iframe_attributes is None:
+                continue
+            recommendation.delegation_suggestions.append(
+                self._suggest_delegation(frame, activity))
+        return recommendation
+
+    # -- internals -----------------------------------------------------------------
+
+    def _frame_activity(self, visit: SiteVisit) -> dict[int, frozenset[str]]:
+        usage = UsageAnalysis([visit], registry=self._registry)
+        return usage.frame_activity(visit)
+
+    def _build_header(self, top_url: str, top_permissions: tuple[str, ...],
+                      embedded: dict[str, tuple[str, ...]]) -> str:
+        directives: dict[str, Allowlist] = {}
+        origins_per_permission: dict[str, list[Origin]] = {}
+        for origin_text, permissions in embedded.items():
+            try:
+                origin = Origin.parse(origin_text)
+            except OriginParseError:
+                continue
+            if origin.opaque:
+                continue
+            for permission in permissions:
+                origins_per_permission.setdefault(permission, []).append(origin)
+        for permission, origins in origins_per_permission.items():
+            # `self` must accompany origins (W3C issue #480).
+            directives[permission] = Allowlist.of(*origins, self_=True)
+        for permission in top_permissions:
+            perm = self._registry.maybe(permission)
+            if perm is None or not perm.policy_controlled:
+                continue
+            if permission not in directives:
+                directives[permission] = Allowlist.self_only()
+        for perm in self._matrix.chromium_supported_permissions():
+            directives.setdefault(perm.name, Allowlist.nobody())
+        header = serialize_permissions_policy(directives)
+        parse_permissions_policy_header(header)
+        return header
+
+    def _header_over_grants(self, current: str | None,
+                            top_permissions: tuple[str, ...],
+                            embedded: dict[str, tuple[str, ...]]
+                            ) -> tuple[str, ...]:
+        """Permissions the deployed header leaves broader than needed."""
+        if current is None:
+            return ()
+        try:
+            parsed = parse_permissions_policy_header(current)
+        except HeaderParseError:
+            return ()
+        needed = set(top_permissions)
+        for permissions in embedded.values():
+            needed.update(permissions)
+        over = [feature for feature, allowlist in parsed.directives.items()
+                if feature not in needed and not allowlist.is_empty]
+        return tuple(sorted(over))
+
+    def _suggest_delegation(self, frame, activity) -> DelegationSuggestion:
+        used = tuple(sorted(
+            p for p in activity.get(frame.frame_id, frozenset())
+            if (perm := self._registry.maybe(p)) is not None
+            and perm.policy_controlled))
+        current = (frame.iframe_attributes or {}).get("allow")
+        # Suggest the default src directive per used permission: tightest
+        # form that survives widget redirects only to the declared origin.
+        suggested = "; ".join(used)
+        over: tuple[str, ...] = ()
+        if current:
+            delegated = parse_allow_attribute(current).delegated_features
+            over = tuple(sorted(
+                f for f in delegated
+                if f not in used
+                and (perm := self._registry.maybe(f)) is not None
+                and perm.instrumented))
+        return DelegationSuggestion(
+            iframe_src=(frame.iframe_attributes or {}).get("src", frame.url),
+            observed_permissions=used,
+            suggested_allow=suggested,
+            current_allow=current,
+            over_granted=over,
+        )

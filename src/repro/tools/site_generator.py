@@ -1,0 +1,185 @@
+"""Static-site generator for the companion website (Figures 3 and 4).
+
+The paper's tooling is published as a website: a caniuse-style permission
+compatibility table with historical changes, and a ``Permissions-Policy``
+header generator.  This module renders both pages as self-contained static
+HTML from the same registry and support-matrix data the analyses use, so
+the site can never drift from the measurement.
+
+Pages:
+
+* ``index.html`` — the support matrix (Figure 3): per-permission rows with
+  policy-controlled / powerful flags, default allowlists and per-browser
+  support, plus the version-history changelog.
+* ``generator.html`` — the header generator (Figure 4): the two presets
+  rendered ready to copy, plus a vanilla-JS checkbox form that assembles a
+  custom header client-side from the embedded permission list.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from html import escape
+from pathlib import Path
+
+from repro.registry.browsers import ALL_BROWSERS
+from repro.registry.support import SupportMatrix, default_support_matrix
+from repro.tools.header_generator import HeaderGenerator, HeaderPreset
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto;
+       max-width: 72rem; color: #1a1a2e; }
+table { border-collapse: collapse; width: 100%; font-size: 0.9rem; }
+th, td { border: 1px solid #d8d8e8; padding: 0.3rem 0.6rem;
+         text-align: left; }
+th { background: #f0f0fa; position: sticky; top: 0; }
+.yes { color: #0a7a2f; font-weight: 600; }
+.no { color: #b02a2a; }
+.deprecated { color: #888; text-decoration: line-through; }
+code, pre { background: #f5f5fb; border-radius: 4px; padding: 0.15rem 0.4rem; }
+pre { padding: 0.8rem; overflow-x: auto; }
+nav a { margin-right: 1.2rem; }
+.changelog { font-size: 0.85rem; color: #444; }
+"""
+
+
+def _mark(flag: bool) -> str:
+    return '<span class="yes">yes</span>' if flag \
+        else '<span class="no">no</span>'
+
+
+@dataclass
+class SiteGenerator:
+    """Renders the two companion pages."""
+
+    matrix: SupportMatrix = field(default_factory=default_support_matrix)
+
+    # -- Figure 3: the support matrix page ---------------------------------------
+
+    def render_index(self) -> str:
+        browser_headers = "".join(f"<th>{escape(browser.name)}</th>"
+                                  for browser in ALL_BROWSERS)
+        rows = []
+        for permission, support in self.matrix.matrix():
+            name = escape(permission.name)
+            name_cell = (f'<span class="deprecated">{name}</span>'
+                         if permission.deprecated else name)
+            cells = "".join(f"<td>{_mark(support[browser.name])}</td>"
+                            for browser in ALL_BROWSERS)
+            default = (permission.default_allowlist.value
+                       if permission.default_allowlist else "—")
+            rows.append(
+                f"<tr><td>{name_cell}</td>"
+                f"<td>{_mark(permission.policy_controlled)}</td>"
+                f"<td>{_mark(permission.powerful)}</td>"
+                f"<td><code>{escape(default)}</code></td>"
+                f"<td>{escape(permission.spec)}</td>{cells}</tr>")
+        changelog = self._render_changelog()
+        return f"""<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Browser permission support</title><style>{_STYLE}</style></head>
+<body>
+<nav><a href="index.html">Support matrix</a>
+<a href="generator.html">Header generator</a></nav>
+<h1>Browser permission support</h1>
+<p>Which permissions each browser supports, whether they are
+policy-controlled (governable via <code>Permissions-Policy</code> and the
+iframe <code>allow</code> attribute) and powerful (gated on a user prompt),
+and their default allowlists.</p>
+<table>
+<tr><th>permission</th><th>policy</th><th>powerful</th><th>default</th>
+<th>spec</th>{browser_headers}</tr>
+{''.join(rows)}
+</table>
+<h2>Support changes across versions</h2>
+<div class="changelog">{changelog}</div>
+</body></html>
+"""
+
+    def _render_changelog(self) -> str:
+        entries = []
+        for permission in self.matrix.registry:
+            for browser in ALL_BROWSERS:
+                changes = self.matrix.changes(permission.name, browser)
+                for release, status in changes[1:]:  # skip the initial state
+                    entries.append(
+                        (release.release_date, release, permission.name,
+                         status.value))
+        entries.sort(key=lambda entry: entry[0], reverse=True)
+        items = [
+            f"<li><strong>{escape(str(release))}</strong>: "
+            f"<code>{escape(name)}</code> → {escape(status)}</li>"
+            for _date, release, name, status in entries[:60]
+        ]
+        return f"<ul>{''.join(items)}</ul>"
+
+    # -- Figure 4: the generator page --------------------------------------------
+
+    def render_generator(self) -> str:
+        generator = HeaderGenerator(matrix=self.matrix)
+        disable_all = generator.generate_preset(HeaderPreset.DISABLE_ALL)
+        disable_powerful = generator.generate_preset(
+            HeaderPreset.DISABLE_POWERFUL)
+        permissions = [
+            {"name": perm.name, "powerful": perm.powerful}
+            for perm in self.matrix.chromium_supported_permissions()
+        ]
+        permission_json = json.dumps(permissions)
+        return f"""<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Permissions-Policy header generator</title>
+<style>{_STYLE}</style></head>
+<body>
+<nav><a href="index.html">Support matrix</a>
+<a href="generator.html">Header generator</a></nav>
+<h1>Permissions-Policy header generator</h1>
+<p>Generated from the live support data, so the headers below always cover
+every currently supported permission.</p>
+<h2>Preset: disable all permissions</h2>
+<pre id="preset-all">Permissions-Policy: {escape(disable_all)}</pre>
+<h2>Preset: disable powerful permissions</h2>
+<pre id="preset-powerful">Permissions-Policy: {escape(disable_powerful)}</pre>
+<h2>Custom</h2>
+<p>Tick the permissions your site needs in its own context; everything
+else is disabled.</p>
+<div id="picker"></div>
+<pre id="custom"></pre>
+<script>
+const PERMISSIONS = {permission_json};
+const picker = document.getElementById("picker");
+const output = document.getElementById("custom");
+function rebuild() {{
+  const directives = PERMISSIONS.map(p => {{
+    const box = document.getElementById("perm-" + p.name);
+    return p.name + "=" + (box && box.checked ? "(self)" : "()");
+  }});
+  output.textContent = "Permissions-Policy: " + directives.join(", ");
+}}
+for (const p of PERMISSIONS) {{
+  const label = document.createElement("label");
+  label.style.marginRight = "1rem";
+  const box = document.createElement("input");
+  box.type = "checkbox"; box.id = "perm-" + p.name;
+  box.addEventListener("change", rebuild);
+  label.appendChild(box);
+  label.appendChild(document.createTextNode(
+    " " + p.name + (p.powerful ? " ⚠" : "")));
+  picker.appendChild(label);
+}}
+rebuild();
+</script>
+</body></html>
+"""
+
+    # -- writing -----------------------------------------------------------------------
+
+    def build(self, output_dir: "str | Path") -> list[Path]:
+        """Write both pages; returns the created paths."""
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        index = directory / "index.html"
+        generator = directory / "generator.html"
+        index.write_text(self.render_index(), encoding="utf-8")
+        generator.write_text(self.render_generator(), encoding="utf-8")
+        return [index, generator]

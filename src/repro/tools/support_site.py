@@ -1,0 +1,91 @@
+"""Permission-support matrix report (the Figure 3 site).
+
+The paper's site lists, for every known permission: which browsers support
+it, whether it is policy-controlled and powerful, its default allowlist,
+and how support changed across versions.  This module renders the same
+views from :class:`~repro.registry.support.SupportMatrix` as plain text and
+JSON-serialisable structures, suitable for the CLI and for regenerating the
+figure's content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.registry.browsers import ALL_BROWSERS, Browser
+from repro.registry.features import Permission
+from repro.registry.support import SupportMatrix, default_support_matrix
+
+
+@dataclass
+class SupportSiteReport:
+    """Builds the Figure 3 views."""
+
+    matrix: SupportMatrix = field(default_factory=default_support_matrix)
+
+    def rows(self) -> list[dict]:
+        """One record per permission — the site's main table."""
+        out = []
+        for permission, support in self.matrix.matrix():
+            out.append({
+                "permission": permission.name,
+                "policy_controlled": permission.policy_controlled,
+                "powerful": permission.powerful,
+                "default_allowlist": (permission.default_allowlist.value
+                                      if permission.default_allowlist
+                                      else None),
+                "spec": permission.spec,
+                "deprecated": permission.deprecated,
+                "support": support,
+            })
+        return out
+
+    def render(self) -> str:
+        """Monospace rendering of the support matrix."""
+        def mark(flag: bool) -> str:
+            return "yes" if flag else "no"
+
+        rows = []
+        for record in self.rows():
+            rows.append((
+                record["permission"],
+                mark(record["policy_controlled"]),
+                mark(record["powerful"]),
+                record["default_allowlist"] or "-",
+                *(mark(record["support"][browser.name])
+                  for browser in ALL_BROWSERS),
+            ))
+        headers = ("permission", "policy", "powerful", "default",
+                   *(browser.name for browser in ALL_BROWSERS))
+        return render_table(headers, rows,
+                            title="Permission support across browsers")
+
+    def history_report(self, permission: str, browser: Browser) -> str:
+        """The per-version change view for one permission and browser."""
+        changes = self.matrix.changes(permission, browser)
+        rows = [(str(release), status.value) for release, status in changes]
+        return render_table(("release", "status"), rows,
+                            title=f"{permission} on {browser.name}")
+
+    def chromium_only_permissions(self) -> list[Permission]:
+        """Permissions only today's Chromium supports — the compatibility
+        caveat the site surfaces prominently."""
+        out = []
+        for permission, support in self.matrix.matrix():
+            if support["Chromium"] and not support["Firefox"] \
+                    and not support["Safari"]:
+                out.append(permission)
+        return out
+
+    def summary_counts(self) -> dict[str, int]:
+        records = self.rows()
+        return {
+            "permissions": len(records),
+            "policy_controlled": sum(1 for r in records
+                                     if r["policy_controlled"]),
+            "powerful": sum(1 for r in records if r["powerful"]),
+            "chromium_only": len(self.chromium_only_permissions()),
+            "universally_supported": sum(
+                1 for r in records if all(r["support"].values())),
+        }

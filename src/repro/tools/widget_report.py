@@ -1,0 +1,144 @@
+"""Widget dossier: the Section 5.2 case study, for any embedded site.
+
+The paper's LiveChat case study combines every analysis angle on one
+widget: how often it is embedded, how consistently it is delegated, which
+template it uses, what it actually does, what it never uses, and what an
+attacker who compromised it would gain.  :class:`WidgetReporter` produces
+the same dossier for any embedded site observed in a crawl.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.categories import (
+    DelegationPurpose,
+    classify_delegation_signature,
+)
+from repro.analysis.overpermission import OverPermissionAnalysis
+from repro.crawler.records import SiteVisit
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+
+
+@dataclass
+class WidgetDossier:
+    """Everything one crawl knows about one embedded widget."""
+
+    site: str
+    occurrences: int
+    embedding_websites: int
+    delegation_rate: float
+    #: Distinct allow templates seen, with occurrence counts.
+    templates: list[tuple[str, int]]
+    purpose: DelegationPurpose
+    observed_activity: tuple[str, ...]
+    unused_delegations: tuple[str, ...]
+    #: Of the unused delegations, the consent-gated ones — what a
+    #: compromise would actually hand an attacker silently wherever the
+    #: user already granted them.
+    hijackable_powerful: tuple[str, ...]
+    overpermissioned_websites: int
+
+    @property
+    def is_over_permissioned(self) -> bool:
+        return bool(self.unused_delegations)
+
+    def render(self) -> str:
+        lines = [
+            f"Widget dossier: {self.site}",
+            f"  embedded as an iframe:      {self.occurrences} occurrences "
+            f"on {self.embedding_websites} websites",
+            f"  delegation rate:            {self.delegation_rate:.2%}",
+            f"  inferred purpose:           {self.purpose.value}",
+        ]
+        for template, count in self.templates[:3]:
+            lines.append(f"  template ({count}x): allow=\"{template}\"")
+        lines.append("  observed activity:          "
+                     + (", ".join(self.observed_activity) or "(none)"))
+        lines.append("  unused delegations:         "
+                     + (", ".join(self.unused_delegations) or "(none)"))
+        if self.hijackable_powerful:
+            lines.append(
+                f"  SUPPLY-CHAIN RISK: a compromise gains "
+                f"{', '.join(self.hijackable_powerful)} on "
+                f"{self.overpermissioned_websites} websites — silently "
+                "wherever users already granted them")
+        return "\n".join(lines)
+
+
+class WidgetReporter:
+    """Builds widget dossiers from crawl records."""
+
+    def __init__(self, visits: Iterable[SiteVisit], *,
+                 registry: PermissionRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._visits = [visit for visit in visits if visit.success]
+        self._overpermission = OverPermissionAnalysis(
+            self._visits, registry=self._registry)
+
+    def known_widgets(self, min_websites: int = 2) -> list[str]:
+        """Embedded sites with delegation on at least ``min_websites``."""
+        counts = self._overpermission._delegating_websites  # noqa: SLF001
+        websites: Counter[str] = Counter()
+        for (site, _permission), ranks in counts.items():
+            websites[site] = max(websites[site], len(ranks))
+        return [site for site, count in websites.most_common()
+                if count >= min_websites]
+
+    def dossier(self, site: str) -> WidgetDossier:
+        """The full dossier for one embedded site."""
+        profile = self._overpermission.profile_for(site)
+        study = self._overpermission.case_study(site)
+        templates = self._collect_templates(site)
+        signature = [permission for template, count in templates
+                     for permission in self._template_features(template)]
+        unused = tuple(study["unused_delegations"])
+        hijackable = tuple(
+            permission for permission in unused
+            if (perm := self._registry.maybe(permission)) is not None
+            and perm.powerful)
+        return WidgetDossier(
+            site=site,
+            occurrences=profile.occurrences,
+            embedding_websites=study["websites_with_delegation"],
+            delegation_rate=profile.delegation_rate,
+            templates=templates,
+            purpose=classify_delegation_signature(signature),
+            observed_activity=tuple(study["observed_activity"]),
+            unused_delegations=unused,
+            hijackable_powerful=hijackable,
+            overpermissioned_websites=study["overpermissioned_websites"],
+        )
+
+    def riskiest(self, top_n: int = 5) -> list[WidgetDossier]:
+        """Dossiers for the widgets with the largest hijackable footprint."""
+        dossiers = []
+        for row in self._overpermission.unused_delegations():
+            dossier = self.dossier(row.site)
+            if dossier.hijackable_powerful:
+                dossiers.append(dossier)
+        dossiers.sort(key=lambda d: -d.overpermissioned_websites)
+        return dossiers[:top_n]
+
+    # -- internals -----------------------------------------------------------------
+
+    def _collect_templates(self, site: str) -> list[tuple[str, int]]:
+        counts: Counter[str] = Counter()
+        for visit in self._visits:
+            top_site = visit.top_frame.site
+            for frame in visit.frames:
+                if frame.is_top_level or frame.is_local:
+                    continue
+                if frame.site != site or frame.site == top_site:
+                    continue
+                allow = frame.allow_attribute
+                if allow:
+                    counts[allow] += 1
+        return counts.most_common()
+
+    @staticmethod
+    def _template_features(template: str) -> list[str]:
+        return [part.split()[0] for part in template.split(";")
+                if part.strip()]

@@ -1,0 +1,348 @@
+"""Tests for the analysis pipeline on hand-built visit records.
+
+These tests verify counting semantics precisely on small synthetic inputs;
+the calibration benches verify the aggregate shapes on full crawls.
+"""
+
+import pytest
+
+from repro.analysis.delegation import DelegationAnalysis
+from repro.analysis.headers import HeaderAnalysis
+from repro.analysis.overpermission import OverPermissionAnalysis
+from repro.analysis.parties import Party, script_party
+from repro.analysis.usage import (
+    ALL_PERMISSIONS_ROW,
+    GENERAL_ROW,
+    UsageAnalysis,
+    static_matches,
+)
+from repro.crawler.records import (
+    CallRecord,
+    FrameRecord,
+    ScriptSourceRecord,
+    SiteVisit,
+)
+from repro.policy.allow_attr import DelegationDirectiveKind
+from repro.policy.allowlist import DirectiveClass
+from repro.registry.features import DEFAULT_REGISTRY
+
+
+def make_frame(frame_id, url, *, parent=None, depth=0, is_local=False,
+               headers=None, allow=None):
+    from repro.policy.origin import Origin
+    origin = Origin.parse(url) if not is_local else Origin.opaque_origin()
+    attrs = None
+    if parent is not None:
+        attrs = {"src": url}
+        if allow:
+            attrs["allow"] = allow
+    return FrameRecord(
+        frame_id=frame_id, url=url, origin=origin.serialize(),
+        site=origin.site, parent_id=parent, depth=depth, is_local=is_local,
+        headers={k.lower(): v for k, v in (headers or {}).items()},
+        iframe_attributes=attrs)
+
+
+def make_call(frame_id, api, kind, permissions=(), args=(), script=None):
+    return CallRecord(frame_id=frame_id, api=api, kind=kind,
+                      permissions=tuple(permissions), args=tuple(args),
+                      script_url=script, allowed=True)
+
+
+def make_visit(rank, frames, calls=(), scripts=()):
+    return SiteVisit(rank=rank, requested_url=frames[0].url,
+                     final_url=frames[0].url, success=True,
+                     frames=list(frames), calls=list(calls),
+                     scripts=list(scripts))
+
+
+class TestParties:
+    def test_none_is_first_party(self):
+        assert script_party(None, "a.com") is Party.FIRST
+
+    def test_same_site_first_party(self):
+        assert script_party("https://cdn.a.com/x.js", "a.com") is Party.FIRST
+
+    def test_cross_site_third_party(self):
+        assert script_party("https://t.example/x.js", "a.com") is Party.THIRD
+
+    def test_local_frame_url_scripts_are_third_party(self):
+        assert script_party("https://t.example/x.js", "") is Party.THIRD
+
+    def test_local_frame_inline_first_party(self):
+        assert script_party(None, "") is Party.FIRST
+
+
+class TestUsageCounting:
+    def test_first_occurrence_per_frame_dedup(self):
+        """Repeated invocations of the same permission in one frame count
+        once (Section 4.1: outliers must not inflate results)."""
+        frames = [make_frame(0, "https://a.com")]
+        calls = [make_call(0, "navigator.getBattery", "invoke", ["battery"])
+                 for _ in range(10)]
+        usage = UsageAnalysis([make_visit(0, frames, calls)])
+        assert usage.invocation_stats["battery"].top_contexts == 1
+
+    def test_same_permission_in_two_frames_counts_twice(self):
+        frames = [make_frame(0, "https://a.com"),
+                  make_frame(1, "https://b.com/w", parent=0, depth=1)]
+        calls = [make_call(0, "navigator.getBattery", "invoke", ["battery"]),
+                 make_call(1, "navigator.getBattery", "invoke", ["battery"])]
+        usage = UsageAnalysis([make_visit(0, frames, calls)])
+        stats = usage.invocation_stats["battery"]
+        assert stats.top_contexts == 1
+        assert stats.embedded_contexts == 1
+        assert stats.total_contexts == 2
+
+    def test_both_parties_counted_once_overall(self):
+        """Paper Table 4: if 1p and 3p invoke in the same context, it counts
+        once overall but contributes to both party columns."""
+        frames = [make_frame(0, "https://a.com")]
+        calls = [
+            make_call(0, "navigator.getBattery", "invoke", ["battery"],
+                      script="https://a.com/own.js"),
+            make_call(0, "navigator.getBattery", "invoke", ["battery"],
+                      script="https://t.example/3p.js"),
+        ]
+        usage = UsageAnalysis([make_visit(0, frames, calls)])
+        stats = usage.invocation_stats["battery"]
+        assert stats.top_contexts == 1
+        assert stats.top_first_party == 1
+        assert stats.top_third_party == 1
+
+    def test_general_api_row_and_all_permissions_check(self):
+        frames = [make_frame(0, "https://a.com")]
+        calls = [make_call(0, "document.featurePolicy.allowedFeatures",
+                           "general")]
+        usage = UsageAnalysis([make_visit(0, frames, calls)])
+        assert usage.invocation_stats[GENERAL_ROW].top_contexts == 1
+        assert usage.check_stats[ALL_PERMISSIONS_ROW].websites == 1
+        assert usage.sites_feature_policy_api == 1
+
+    def test_query_counts_as_specific_check(self):
+        frames = [make_frame(0, "https://a.com")]
+        calls = [make_call(0, "navigator.permissions.query", "status-check",
+                           ["camera"], args=["camera"])]
+        usage = UsageAnalysis([make_visit(0, frames, calls)])
+        assert usage.check_stats["camera"].websites == 1
+        assert usage.invocation_stats[GENERAL_ROW].top_contexts == 1
+        assert usage.mean_permissions_checked == 1.0
+
+    def test_static_matches_camera_and_microphone_together(self):
+        permissions, general = static_matches(
+            "navigator.mediaDevices.getUserMedia({})", DEFAULT_REGISTRY)
+        assert {"camera", "microphone"} <= permissions
+        assert not general
+
+    def test_static_not_matching_uninstrumented(self):
+        """autoplay is not in the instrumented A.4 list: its API string must
+        not produce a static detection."""
+        permissions, _ = static_matches("HTMLMediaElement.play()",
+                                        DEFAULT_REGISTRY)
+        assert "autoplay" not in permissions
+
+    def test_static_site_counting(self):
+        frames = [make_frame(0, "https://a.com")]
+        scripts = [ScriptSourceRecord(0, "https://a.com/x.js",
+                                      "navigator.geolocation.getCurrentPosition")]
+        usage = UsageAnalysis([make_visit(0, frames, scripts=scripts)])
+        assert usage.static_stats["geolocation"].websites == 1
+        assert usage.sites_any_static == 1
+        assert usage.sites_any_functionality == 1
+        assert usage.sites_any_invocation == 0
+
+    def test_share_denominator_includes_redirect_hops(self):
+        frames = [make_frame(0, "https://a.com")]
+        calls = [make_call(0, "navigator.getBattery", "invoke", ["battery"])]
+        visit = make_visit(0, frames, calls)
+        visit.top_level_document_count = 2
+        usage = UsageAnalysis([visit])
+        assert usage.share_any_invocation == 0.5
+
+
+class TestDelegationCounting:
+    def _visit(self, allow="camera", url="https://widget.example/w"):
+        frames = [make_frame(0, "https://a.com"),
+                  make_frame(1, url, parent=0, depth=1, allow=allow)]
+        return make_visit(0, frames)
+
+    def test_external_delegation_counted(self):
+        analysis = DelegationAnalysis([self._visit()])
+        assert analysis.sites_delegating == 1
+        assert analysis.sites_delegating_external == 1
+        table = analysis.delegated_permission_table()
+        assert table[0].permission == "camera"
+        assert table[0].websites == 1
+
+    def test_same_site_delegation_not_external(self):
+        analysis = DelegationAnalysis(
+            [self._visit(url="https://sub.a.com/w")])
+        assert analysis.sites_delegating == 1
+        assert analysis.sites_delegating_external == 0
+
+    def test_none_opt_out_not_a_delegation(self):
+        analysis = DelegationAnalysis([self._visit(allow="camera 'none'")])
+        assert analysis.sites_delegating == 0
+        assert analysis.directive_kinds[DelegationDirectiveKind.NONE] == 1
+
+    def test_nested_iframes_ignored(self):
+        """Paper 4.2: only directly inserted embedded documents count."""
+        frames = [make_frame(0, "https://a.com"),
+                  make_frame(1, "https://b.com/w", parent=0, depth=1),
+                  make_frame(2, "https://c.com/n", parent=1, depth=2,
+                             allow="camera")]
+        analysis = DelegationAnalysis([make_visit(0, frames)])
+        assert analysis.sites_delegating == 0
+
+    def test_directive_distribution(self):
+        analysis = DelegationAnalysis(
+            [self._visit(allow="camera; microphone *")])
+        distribution = analysis.directive_distribution()
+        assert distribution[DelegationDirectiveKind.DEFAULT_SRC] == 0.5
+        assert distribution[DelegationDirectiveKind.STAR] == 0.5
+
+    def test_embedded_ranking(self):
+        visits = [self._visit() for _ in range(3)]
+        for index, visit in enumerate(visits):
+            visit.rank = index
+        analysis = DelegationAnalysis(visits)
+        ranking = analysis.embedded_site_ranking()
+        assert ranking[0].site == "widget.example"
+        assert ranking[0].websites == 3
+        assert analysis.delegation_rate_for_site("widget.example") == 1.0
+
+
+class TestHeaderAnalysis:
+    def test_adoption_counts(self):
+        visits = [
+            make_visit(0, [make_frame(0, "https://a.com",
+                                      headers={"Permissions-Policy":
+                                               "camera=()"})]),
+            make_visit(1, [make_frame(0, "https://b.com")]),
+        ]
+        analysis = HeaderAnalysis(visits)
+        adoption = analysis.adoption()
+        assert adoption.pp_top_level_docs == 1
+        assert adoption.pp_top_level_share == 0.5
+
+    def test_local_frames_excluded_from_denominator(self):
+        frames = [make_frame(0, "https://a.com"),
+                  make_frame(1, "data:x", parent=0, depth=1, is_local=True)]
+        analysis = HeaderAnalysis([make_visit(0, frames)])
+        assert analysis.non_local_docs == 1
+
+    def test_syntax_error_header_counted_and_skipped(self):
+        visit = make_visit(0, [make_frame(
+            0, "https://a.com",
+            headers={"Permissions-Policy": "camera=(),"})])
+        analysis = HeaderAnalysis([visit])
+        assert analysis.syntax_error_top_level_sites == 1
+        assert analysis.valid_top_level_headers == 0
+
+    def test_directive_classification(self):
+        visit = make_visit(0, [make_frame(
+            0, "https://a.com",
+            headers={"Permissions-Policy":
+                     'camera=(), geolocation=(self), usb=*'})])
+        analysis = HeaderAnalysis([visit])
+        shares = analysis.top_level_class_shares()
+        assert shares[DirectiveClass.DISABLE] == pytest.approx(1 / 3)
+        assert shares[DirectiveClass.SELF] == pytest.approx(1 / 3)
+        assert shares[DirectiveClass.STAR] == pytest.approx(1 / 3)
+        assert analysis.average_permissions_per_header() == 3
+
+    def test_powerful_share(self):
+        visit = make_visit(0, [make_frame(
+            0, "https://a.com",
+            headers={"Permissions-Policy": "camera=(), gamepad=*"})])
+        analysis = HeaderAnalysis([visit])
+        assert analysis.powerful_disable_or_self_share() == 1.0
+
+    def test_semantic_issue_requires_error_severity(self):
+        """A star directive alone is a warning, not a misconfiguration."""
+        ok = make_visit(0, [make_frame(
+            0, "https://a.com", headers={"Permissions-Policy": "usb=*"})])
+        bad = make_visit(1, [make_frame(
+            0, "https://b.com",
+            headers={"Permissions-Policy": "camera=(none)"})])
+        analysis = HeaderAnalysis([ok, bad])
+        assert analysis.semantic_issue_top_level_sites == 1
+
+
+class TestOverPermission:
+    def _widget_visits(self, count, *, allow, activity_calls=(),
+                       activity_sources=()):
+        visits = []
+        for rank in range(count):
+            frames = [make_frame(0, f"https://site{rank}.com"),
+                      make_frame(1, "https://widget.example/w", parent=0,
+                                 depth=1, allow=allow)]
+            calls = [make_call(1, api, "invoke", perms)
+                     for api, perms in activity_calls]
+            scripts = [ScriptSourceRecord(1, "https://widget.example/w.js",
+                                          source)
+                       for source in activity_sources]
+            visits.append(make_visit(rank, frames, calls, scripts))
+        return visits
+
+    def test_unused_delegation_flagged(self):
+        visits = self._widget_visits(20, allow="camera; microphone")
+        analysis = OverPermissionAnalysis(visits)
+        rows = analysis.unused_delegations()
+        assert rows
+        assert rows[0].site == "widget.example"
+        assert set(rows[0].unused_permissions) == {"camera", "microphone"}
+        assert rows[0].affected_websites == 20
+
+    def test_dynamic_activity_clears_flag(self):
+        visits = self._widget_visits(
+            20, allow="camera",
+            activity_calls=[("navigator.mediaDevices.getUserMedia",
+                             ("camera",))])
+        assert OverPermissionAnalysis(visits).unused_delegations() == []
+
+    def test_static_activity_clears_flag(self):
+        visits = self._widget_visits(
+            20, allow="camera",
+            activity_sources=["navigator.mediaDevices.getUserMedia"])
+        assert OverPermissionAnalysis(visits).unused_delegations() == []
+
+    def test_prevalence_threshold_filters_one_offs(self):
+        """A permission delegated on < 5 % of occurrences is noise."""
+        visits = self._widget_visits(1, allow="camera")
+        visits += self._widget_visits(30, allow=None)[0:0]  # no-op clarity
+        for rank in range(1, 31):
+            frames = [make_frame(0, f"https://other{rank}.com"),
+                      make_frame(1, "https://widget.example/w", parent=0,
+                                 depth=1)]
+            visits.append(make_visit(rank, frames))
+        analysis = OverPermissionAnalysis(visits)
+        assert analysis.unused_delegations() == []
+
+    def test_uninstrumented_permission_never_flagged(self):
+        """autoplay usage is unobservable — absence of evidence must not
+        flag it."""
+        visits = self._widget_visits(20, allow="autoplay")
+        assert OverPermissionAnalysis(visits).unused_delegations() == []
+
+    def test_case_study_output(self):
+        visits = self._widget_visits(
+            20, allow="clipboard-read; camera *; microphone *")
+        analysis = OverPermissionAnalysis(visits)
+        study = analysis.case_study("widget.example")
+        assert study["delegation_rate"] == 1.0
+        assert set(study["unused_delegations"]) == {
+            "camera", "clipboard-read", "microphone"}
+        assert study["overpermissioned_websites"] == 20
+
+    def test_threshold_parameter(self):
+        visits = self._widget_visits(2, allow="camera")
+        for rank in range(2, 30):
+            frames = [make_frame(0, f"https://o{rank}.com"),
+                      make_frame(1, "https://widget.example/w", parent=0,
+                                 depth=1)]
+            visits.append(make_visit(rank, frames))
+        strict = OverPermissionAnalysis(visits, prevalence_threshold=0.01)
+        lax = OverPermissionAnalysis(visits, prevalence_threshold=0.2)
+        assert strict.unused_delegations()
+        assert lax.unused_delegations() == []

@@ -1,0 +1,114 @@
+"""Tests for nested delegation chains and policy-frame reconstruction."""
+
+import pytest
+
+from repro.analysis.chains import (
+    DelegationChain,
+    NestedDelegationAnalysis,
+    rebuild_policy_frames,
+)
+from repro.policy.engine import PermissionsPolicyEngine
+from tests.test_analysis import make_frame, make_visit
+
+ENGINE = PermissionsPolicyEngine()
+
+
+def chain_visit(*, top_header=None, mid_allow="camera",
+                deep_allow="camera", deep_url="https://deep.example/n"):
+    headers = {"Permissions-Policy": top_header} if top_header else {}
+    frames = [
+        make_frame(0, "https://a.com", headers=headers),
+        make_frame(1, "https://widget.example/w", parent=0, depth=1,
+                   allow=mid_allow),
+        make_frame(2, deep_url, parent=1, depth=2, allow=deep_allow),
+    ]
+    return make_visit(0, frames)
+
+
+class TestRebuildPolicyFrames:
+    def test_rebuilt_tree_matches_policy_semantics(self):
+        """Reconstructed frames must give the same Table-1 answers as
+        frames built live."""
+        visit = chain_visit(top_header="camera=(self)")
+        frames = rebuild_policy_frames(visit)
+        assert ENGINE.is_enabled("camera", frames[0])
+        assert not ENGINE.is_enabled("camera", frames[1])  # Table 1 case 4
+
+    def test_rebuild_handles_local_frames(self):
+        frames_in = [
+            make_frame(0, "https://a.com",
+                       headers={"Permissions-Policy": "camera=(self)"}),
+            make_frame(1, "data:text/html,x", parent=0, depth=1,
+                       is_local=True),
+        ]
+        frames = rebuild_policy_frames(make_visit(0, frames_in))
+        assert frames[1].is_local_scheme
+        assert ENGINE.is_enabled("camera", frames[1])
+
+    def test_rebuild_respects_sandbox(self):
+        frames_in = [
+            make_frame(0, "https://a.com"),
+            make_frame(1, "https://b.com/w", parent=0, depth=1,
+                       allow="camera"),
+        ]
+        frames_in[1].iframe_attributes["sandbox"] = "allow-scripts"
+        frames = rebuild_policy_frames(make_visit(0, frames_in))
+        assert frames[1].sandboxed
+        assert not ENGINE.is_enabled("camera", frames[1])
+
+
+class TestNestedDelegation:
+    def test_redelegation_chain_detected(self):
+        analysis = NestedDelegationAnalysis([chain_visit()])
+        assert analysis.sites_with_nested_delegation == 1
+        assert len(analysis.chains) == 1
+        chain = analysis.chains[0]
+        assert chain.permission == "camera"
+        assert chain.depth == 2
+        assert chain.frame_sites == ("a.com", "widget.example",
+                                     "deep.example")
+        assert chain.nested_frame_enabled
+        assert chain.crosses_sites
+
+    def test_deep_allow_without_ancestor_delegation_is_not_a_chain(self):
+        """A depth-2 allow for a permission nobody delegated above is a
+        fresh delegation, not a re-delegation."""
+        analysis = NestedDelegationAnalysis(
+            [chain_visit(mid_allow="microphone")])
+        assert analysis.chains == []
+
+    def test_top_level_header_cannot_stop_redelegation(self):
+        """The Section 2.2.5 observation: the top-level header names only
+        widget.example, yet deep.example ends up with the camera."""
+        analysis = NestedDelegationAnalysis([chain_visit(
+            top_header='camera=(self "https://widget.example")')])
+        assert len(analysis.chains) == 1
+        chain = analysis.chains[0]
+        assert chain.nested_frame_enabled
+        assert chain.escapes_top_level_policy
+        assert analysis.escaped_chains() == [chain]
+
+    def test_disabled_feature_chain_not_enabled(self):
+        analysis = NestedDelegationAnalysis(
+            [chain_visit(top_header="camera=()")])
+        assert len(analysis.chains) == 1
+        assert not analysis.chains[0].nested_frame_enabled
+        assert not analysis.chains[0].escapes_top_level_policy
+
+    def test_enabled_share(self):
+        ok = chain_visit()
+        blocked = chain_visit(top_header="camera=()")
+        blocked.rank = 1
+        analysis = NestedDelegationAnalysis([ok, blocked])
+        assert analysis.enabled_share() == pytest.approx(0.5)
+
+    def test_counter_and_depth(self):
+        analysis = NestedDelegationAnalysis([chain_visit()])
+        assert analysis.redelegated_permissions["camera"] == 1
+        assert analysis.max_depth == 2
+
+    def test_no_deep_frames_no_chains(self):
+        frames = [make_frame(0, "https://a.com")]
+        analysis = NestedDelegationAnalysis([make_visit(0, frames)])
+        assert analysis.chains == []
+        assert analysis.enabled_share() == 0.0

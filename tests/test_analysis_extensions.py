@@ -1,0 +1,196 @@
+"""Tests for the extension analyses: proposals, fingerprinting, clusters."""
+
+import pytest
+
+from repro.analysis.categories import (
+    DelegationPurpose,
+    classify_delegation_signature,
+    purpose_clusters,
+)
+from repro.analysis.fingerprinting import (
+    distinguishing_features,
+    feature_list_for,
+    fingerprint_surface,
+)
+from repro.analysis.proposals import (
+    evaluate_default_disallow_all,
+    local_scheme_attack_surface,
+)
+from repro.registry.browsers import CHROMIUM, FIREFOX
+from repro.registry.support import default_support_matrix
+from tests.test_analysis import make_call, make_frame, make_visit
+
+
+class TestPurposeClassification:
+    @pytest.mark.parametrize("features,expected", [
+        (("attribution-reporting", "run-ad-auction"), DelegationPurpose.ADS),
+        (("autoplay", "encrypted-media", "picture-in-picture"),
+         DelegationPurpose.MULTIMEDIA),
+        (("camera", "microphone", "display-capture"),
+         DelegationPurpose.CUSTOMER_SUPPORT),
+        (("payment",), DelegationPurpose.PAYMENT),
+        (("identity-credentials-get",), DelegationPurpose.SESSION),
+        (("cross-origin-isolated",), DelegationPurpose.OTHER),
+        ((), DelegationPurpose.OTHER),
+    ])
+    def test_clean_signatures(self, features, expected):
+        assert classify_delegation_signature(features) is expected
+
+    def test_wixapps_style_template_is_multi_purpose(self):
+        """The paper's WixApps example: autoplay + camera + microphone +
+        geolocation + vr spans categories → template widget."""
+        purpose = classify_delegation_signature(
+            ("autoplay", "camera", "microphone", "geolocation", "vr"))
+        assert purpose is DelegationPurpose.MULTI_PURPOSE
+
+    def test_livechat_template_stays_customer_support(self):
+        """Camera/microphone core plus multimedia chrome — the paper files
+        LiveChat under customer support, not multi-purpose."""
+        purpose = classify_delegation_signature(
+            ("clipboard-read", "clipboard-write", "autoplay", "microphone",
+             "camera", "display-capture", "picture-in-picture",
+             "fullscreen"))
+        assert purpose is DelegationPurpose.CUSTOMER_SUPPORT
+
+    def test_clusters_on_synthetic_visits(self):
+        visits = []
+        for rank, (site, allow) in enumerate([
+                ("ads-a.example", "attribution-reporting; run-ad-auction"),
+                ("ads-a.example", "attribution-reporting; run-ad-auction"),
+                ("chat-b.example", "camera; microphone"),
+                ("chat-b.example", "camera; microphone"),
+                ("pay-c.example", "payment"),
+                ("pay-c.example", "payment")]):
+            frames = [make_frame(0, f"https://top{rank}.com"),
+                      make_frame(1, f"https://{site}/w", parent=0, depth=1,
+                                 allow=allow)]
+            visits.append(make_visit(rank, frames))
+        clusters = {cluster.purpose: cluster
+                    for cluster in purpose_clusters(visits)}
+        assert clusters[DelegationPurpose.ADS].sites[0][0] == "ads-a.example"
+        assert clusters[DelegationPurpose.CUSTOMER_SUPPORT].sites[0][0] \
+            == "chat-b.example"
+        assert clusters[DelegationPurpose.PAYMENT].sites[0][0] \
+            == "pay-c.example"
+
+    def test_min_websites_filters_noise(self):
+        frames = [make_frame(0, "https://top.com"),
+                  make_frame(1, "https://oneoff.example/w", parent=0, depth=1,
+                             allow="camera")]
+        clusters = purpose_clusters([make_visit(0, frames)], min_websites=2)
+        assert clusters == []
+
+
+class TestDenyAllProposal:
+    def _visit(self, header, used_permission=None):
+        frames = [make_frame(0, "https://a.com",
+                             headers={"Permissions-Policy": header})]
+        calls = []
+        if used_permission:
+            calls.append(make_call(0, "x", "invoke", [used_permission]))
+        return make_visit(0, frames, calls)
+
+    def test_site_relying_on_defaults_breaks(self):
+        report = evaluate_default_disallow_all(
+            [self._visit("camera=()", used_permission="geolocation")])
+        assert report.header_sites == 1
+        assert report.sites_breaking == 1
+        assert report.broken_permissions["geolocation"] == 1
+
+    def test_declared_usage_does_not_break(self):
+        report = evaluate_default_disallow_all(
+            [self._visit("geolocation=(self)",
+                         used_permission="geolocation")])
+        assert report.sites_breaking == 0
+
+    def test_non_policy_controlled_usage_ignored(self):
+        report = evaluate_default_disallow_all(
+            [self._visit("camera=()", used_permission="notifications")])
+        assert report.sites_breaking == 0
+
+    def test_sites_without_header_ignored(self):
+        frames = [make_frame(0, "https://a.com")]
+        report = evaluate_default_disallow_all([make_visit(0, frames)])
+        assert report.header_sites == 0
+        assert report.breaking_share == 0.0
+
+
+class TestAttackSurface:
+    def _visit(self, header, csp=None):
+        headers = {"Permissions-Policy": header}
+        if csp:
+            headers["Content-Security-Policy"] = csp
+        return make_visit(0, [make_frame(0, "https://a.com",
+                                         headers=headers)])
+
+    def test_self_only_powerful_without_csp_is_exposed(self):
+        report = local_scheme_attack_surface([self._visit("camera=(self)")])
+        assert report.sites_with_self_only_powerful == 1
+        assert report.exposed_sites == 1
+        assert report.exposed_permissions["camera"] == 1
+
+    def test_frame_src_csp_protects(self):
+        report = local_scheme_attack_surface(
+            [self._visit("camera=(self)", csp="frame-src 'self'")])
+        assert report.sites_with_self_only_powerful == 1
+        assert report.exposed_sites == 0
+        assert report.protected_by_csp == 1
+
+    def test_script_src_only_csp_does_not_protect(self):
+        """The paper's exact precondition."""
+        report = local_scheme_attack_surface(
+            [self._visit("camera=(self)", csp="script-src 'self'")])
+        assert report.exposed_sites == 1
+
+    def test_disabled_feature_is_not_exposed(self):
+        report = local_scheme_attack_surface([self._visit("camera=()")])
+        assert report.sites_with_self_only_powerful == 0
+
+    def test_wildcard_grant_has_nothing_to_bypass(self):
+        report = local_scheme_attack_surface([self._visit("camera=*")])
+        assert report.sites_with_self_only_powerful == 0
+
+    def test_non_powerful_self_directive_not_counted(self):
+        report = local_scheme_attack_surface([self._visit("gamepad=(self)")])
+        assert report.sites_with_self_only_powerful == 0
+
+
+class TestFingerprinting:
+    def test_surface_distinguishes_engines(self):
+        report = fingerprint_surface()
+        assert report.distinct_lists > 5
+        assert 0.5 < report.distinguishability() <= 1.0
+        assert 0 < report.entropy_bits <= report.max_entropy_bits
+
+    def test_feature_lists_differ_between_browsers(self):
+        matrix = default_support_matrix()
+        chromium = matrix.latest_release(CHROMIUM)
+        firefox = matrix.latest_release(FIREFOX)
+        assert feature_list_for(matrix, chromium) \
+            != feature_list_for(matrix, firefox)
+
+    def test_distinguishing_features_identifies_topics(self):
+        """Topics ships on Chromium only — a perfect engine discriminator."""
+        matrix = default_support_matrix()
+        diff = distinguishing_features(matrix,
+                                       matrix.latest_release(CHROMIUM),
+                                       matrix.latest_release(FIREFOX))
+        assert "browsing-topics" in diff
+
+    def test_version_level_distinguishability_within_chromium(self):
+        """Even two Chromium versions differ once a feature shipped between
+        them — the paper's 'even across versions' claim."""
+        matrix = default_support_matrix()
+        releases = [r for r in matrix.releases if r.browser == CHROMIUM]
+        old = min(releases, key=lambda r: r.major_version)
+        new = max(releases, key=lambda r: r.major_version)
+        assert distinguishing_features(matrix, old, new)
+
+    def test_entropy_respects_weights(self):
+        matrix = default_support_matrix()
+        heavy = {release: (1000.0 if release.browser == CHROMIUM
+                           and release.major_version == 127 else 0.001)
+                 for release in matrix.releases}
+        skewed = fingerprint_surface(matrix, weights=heavy)
+        uniform = fingerprint_surface(matrix)
+        assert skewed.entropy_bits < uniform.entropy_bits

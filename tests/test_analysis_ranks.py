@@ -1,0 +1,58 @@
+"""Tests for rank-stratified analysis."""
+
+import pytest
+
+from repro.analysis.ranks import DEFAULT_BUCKETS, RankBucketAnalysis
+from tests.test_analysis import make_frame, make_visit
+
+
+def visit_at(rank, *, header=None, embed=None, allow=None):
+    headers = {"Permissions-Policy": header} if header else {}
+    frames = [make_frame(0, f"https://site{rank}.com", headers=headers)]
+    if embed:
+        frames.append(make_frame(1, f"https://{embed}/w", parent=0, depth=1,
+                                 allow=allow))
+    visit = make_visit(rank, frames)
+    return visit
+
+
+class TestRankBuckets:
+    def test_bucket_assignment(self):
+        visits = [visit_at(0, header="camera=()"),      # top 2% of 1000
+                  visit_at(500),                        # tail
+                  visit_at(999)]                        # tail
+        analysis = RankBucketAnalysis(visits, 1000)
+        top = analysis.buckets[0]
+        tail = analysis.buckets[-1]
+        assert top.sites == 1 and top.with_pp_header == 1
+        assert tail.sites == 2 and tail.with_pp_header == 0
+        assert top.pp_header_share == 1.0
+
+    def test_delegation_counted_per_bucket(self):
+        visits = [visit_at(0, embed="widget.example", allow="camera"),
+                  visit_at(900, embed="widget.example")]
+        analysis = RankBucketAnalysis(visits, 1000)
+        assert analysis.buckets[0].delegation_share == 1.0
+        assert analysis.buckets[-1].delegation_share == 0.0
+
+    def test_widget_penetration(self):
+        visits = [visit_at(0, embed="livechatinc.com"),
+                  visit_at(999)]
+        analysis = RankBucketAnalysis(visits, 1000)
+        penetration = dict(analysis.widget_penetration("livechatinc.com"))
+        assert penetration["top 2%"] == 1.0
+        assert penetration["tail"] == 0.0
+
+    def test_total_sites_validation(self):
+        with pytest.raises(ValueError):
+            RankBucketAnalysis([], 0)
+
+    def test_monotone_check_ignores_tiny_buckets(self):
+        analysis = RankBucketAnalysis([visit_at(0)], 1000)
+        assert analysis.is_adoption_monotone()
+
+    def test_default_buckets_cover_everything(self):
+        labels = [label for label, _ in DEFAULT_BUCKETS]
+        analysis = RankBucketAnalysis([visit_at(999_999)], 1_000_000)
+        assert sum(bucket.sites for bucket in analysis.buckets) == 1
+        assert [b.label for b in analysis.buckets] == labels

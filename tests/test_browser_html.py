@@ -1,0 +1,137 @@
+"""Tests for the HTML front-end."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.browser.html import (
+    document_content_from_html,
+    iframe_from_attributes,
+    parse_html,
+    render_poc_html,
+)
+from repro.browser.page import FetchResponse, PageLoader
+from repro.browser.scripts import ApiCall, Script
+from repro.policy.engine import PermissionsPolicyEngine
+
+
+class TestParseHtml:
+    def test_iframe_attributes_extracted(self):
+        markup = ('<iframe id="w" class="chat" src="https://a.com/w" '
+                  'allow="camera; microphone *" sandbox="allow-scripts" '
+                  'loading="lazy"></iframe>')
+        parsed = parse_html(markup)
+        assert len(parsed.iframes) == 1
+        attrs = parsed.iframes[0]
+        assert attrs["src"] == "https://a.com/w"
+        assert attrs["allow"] == "camera; microphone *"
+        assert attrs["sandbox"] == "allow-scripts"
+        assert attrs["loading"] == "lazy"
+        assert attrs["id"] == "w"
+
+    def test_external_and_inline_scripts_separated(self):
+        markup = ('<script src="https://cdn.example/a.js"></script>'
+                  "<script>navigator.getBattery();</script>")
+        parsed = parse_html(markup)
+        assert parsed.external_scripts == ["https://cdn.example/a.js"]
+        assert parsed.inline_scripts == ["navigator.getBattery();"]
+
+    def test_malformed_html_never_raises(self):
+        parsed = parse_html("<iframe src='x' <script> oops <<>>")
+        assert isinstance(parsed.iframes, list)
+
+    @given(st.text(max_size=200))
+    def test_arbitrary_input_never_raises(self, markup):
+        parse_html(markup)
+
+    def test_unknown_iframe_attributes_ignored(self):
+        parsed = parse_html('<iframe src="x" onload="evil()"></iframe>')
+        assert "onload" not in parsed.iframes[0]
+
+
+class TestDocumentContent:
+    def test_inline_script_source_feeds_static_analysis(self):
+        content = document_content_from_html(
+            "<script>navigator.geolocation.getCurrentPosition(cb)</script>")
+        from repro.analysis.usage import static_matches
+        from repro.registry.features import DEFAULT_REGISTRY
+        permissions, _ = static_matches(content.scripts[0].source,
+                                        DEFAULT_REGISTRY)
+        assert "geolocation" in permissions
+
+    def test_script_resolver_attaches_operations(self):
+        def resolver(url):
+            if url == "https://cdn.example/t.js":
+                return Script(url=url, source="",
+                              operations=(ApiCall("navigator.getBattery"),))
+            return None
+
+        content = document_content_from_html(
+            '<script src="https://cdn.example/t.js"></script>',
+            script_resolver=resolver)
+        assert content.scripts[0].operations
+
+    def test_unresolved_external_becomes_stub(self):
+        content = document_content_from_html(
+            '<script src="https://gone.example/x.js"></script>')
+        assert content.scripts[0].url == "https://gone.example/x.js"
+        assert content.scripts[0].operations == ()
+
+    def test_srcdoc_parsed_recursively(self):
+        markup = ('<iframe srcdoc="&lt;iframe src=&quot;https://n.example&quot; '
+                  'allow=&quot;camera&quot;&gt;&lt;/iframe&gt;"></iframe>')
+        content = document_content_from_html(markup)
+        nested = content.iframes[0].local_content
+        assert nested is not None
+        assert nested.iframes[0].src == "https://n.example"
+        assert nested.iframes[0].allow == "camera"
+
+    def test_iframe_from_attributes_defaults(self):
+        element = iframe_from_attributes({})
+        assert element.src is None
+        assert element.is_local_document  # srcdoc-less, src-less
+
+
+class TestPocHtmlEndToEnd:
+    """The paper's PoC repository, as HTML, driven through the real
+    loader: parse → frame tree → policy evaluation."""
+
+    def _load(self, engine):
+        markup = render_poc_html()
+
+        class OnePageFetcher:
+            def fetch(self, url):
+                from repro.browser.page import FetchFailure
+                if url == "https://victim.example":
+                    return FetchResponse(
+                        url=url, status=200,
+                        headers={"Permissions-Policy": "camera=(self)"},
+                        content=document_content_from_html(markup))
+                if url.startswith("https://attacker.example"):
+                    return FetchResponse(url=url, status=200, headers={},
+                                         content=document_content_from_html(
+                                             "<script>grab()</script>"))
+                raise FetchFailure(url)
+
+        loader = PageLoader(OnePageFetcher(), engine=engine)
+        return loader.load("https://victim.example")
+
+    def test_bypass_reproduces_from_real_markup(self):
+        engine = PermissionsPolicyEngine(local_scheme_bug=True)
+        page = self._load(engine)
+        attacker = next(f for f in page.frames
+                        if f.url.startswith("https://attacker.example"))
+        assert attacker.depth == 2
+        assert engine.is_enabled("camera", attacker.policy_frame)
+
+    def test_fixed_engine_blocks_from_real_markup(self):
+        engine = PermissionsPolicyEngine(local_scheme_bug=False)
+        page = self._load(engine)
+        attacker = next(f for f in page.frames
+                        if f.url.startswith("https://attacker.example"))
+        assert not engine.is_enabled("camera", attacker.policy_frame)
+
+    def test_srcdoc_variant(self):
+        markup = render_poc_html(scheme="srcdoc")
+        content = document_content_from_html(markup)
+        assert content.iframes[0].srcdoc is not None

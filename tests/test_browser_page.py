@@ -1,0 +1,177 @@
+"""Tests for page loading, frame trees, and prompts."""
+
+import pytest
+
+from repro.browser.dom import DocumentContent, IframeElement
+from repro.browser.page import FetchResponse, PageLoadConfig, PageLoader
+from repro.browser.prompts import PromptOutcome
+from repro.browser.scripts import ApiCall, Script
+
+
+class DictFetcher:
+    """Minimal fetcher serving canned responses."""
+
+    def __init__(self, responses):
+        self.responses = responses
+
+    def fetch(self, url):
+        from repro.browser.page import FetchFailure
+        if url not in self.responses:
+            raise FetchFailure(f"no such url: {url}")
+        return self.responses[url]
+
+
+def _response(url, *, headers=None, scripts=(), iframes=(), redirect_chain=()):
+    return FetchResponse(url=url, status=200, headers=dict(headers or {}),
+                         content=DocumentContent(scripts=list(scripts),
+                                                 iframes=list(iframes)),
+                         redirect_chain=tuple(redirect_chain))
+
+
+class TestBasicLoading:
+    def test_single_document(self):
+        loader = PageLoader(DictFetcher({
+            "https://a.com": _response("https://a.com")}))
+        page = loader.load("https://a.com")
+        assert len(page.frames) == 1
+        assert page.top.is_top_level
+
+    def test_iframe_loaded_with_policy_chain(self):
+        responses = {
+            "https://a.com": _response(
+                "https://a.com",
+                headers={"Permissions-Policy": "camera=(self)"},
+                iframes=[IframeElement(src="https://b.com/w",
+                                       allow="camera")]),
+            "https://b.com/w": _response("https://b.com/w"),
+        }
+        page = PageLoader(DictFetcher(responses)).load("https://a.com")
+        assert len(page.frames) == 2
+        child = page.frames.embedded()[0]
+        # case 4 of Table 1: header self + allow camera → child blocked
+        engine = PageLoader(DictFetcher(responses)).engine
+        assert not engine.is_enabled("camera", child.policy_frame)
+
+    def test_iframe_failure_recorded_not_fatal(self):
+        responses = {"https://a.com": _response(
+            "https://a.com",
+            iframes=[IframeElement(src="https://dead.example/x")])}
+        page = PageLoader(DictFetcher(responses)).load("https://a.com")
+        assert len(page.frames) == 1
+        assert page.iframe_load_failures
+
+    def test_local_iframe_needs_no_fetch(self):
+        responses = {"https://a.com": _response(
+            "https://a.com",
+            iframes=[IframeElement(srcdoc="<p>hi</p>")])}
+        page = PageLoader(DictFetcher(responses)).load("https://a.com")
+        local = page.frames.local_documents()
+        assert len(local) == 1
+        assert local[0].is_local_scheme
+        assert local[0].headers == {}
+
+    def test_redirect_chain_counts_top_level_documents(self):
+        responses = {"https://a.com": _response(
+            "https://www.a.com/", redirect_chain=("https://a.com",))}
+        page = PageLoader(DictFetcher(responses)).load("https://a.com")
+        assert page.top_level_document_count == 2
+
+    def test_max_depth_limits_nesting(self):
+        responses = {
+            "https://a.com": _response("https://a.com", iframes=[
+                IframeElement(src="https://b.com/1")]),
+            "https://b.com/1": _response("https://b.com/1", iframes=[
+                IframeElement(src="https://c.com/2")]),
+            "https://c.com/2": _response("https://c.com/2"),
+        }
+        config = PageLoadConfig(max_depth=1)
+        page = PageLoader(DictFetcher(responses), config=config).load(
+            "https://a.com")
+        assert len(page.frames) == 2  # top + first level only
+
+
+class TestLazyIframes:
+    def _responses(self):
+        return {
+            "https://a.com": _response("https://a.com", iframes=[
+                IframeElement(src="https://b.com/w", loading="lazy")]),
+            "https://b.com/w": _response("https://b.com/w"),
+        }
+
+    def test_scrolling_loads_lazy_iframes(self):
+        """The paper's crawler scrolls to lazy iframes deliberately."""
+        page = PageLoader(DictFetcher(self._responses())).load("https://a.com")
+        assert len(page.frames) == 2
+        assert page.skipped_lazy_iframes == 0
+
+    def test_without_scrolling_lazy_iframes_skipped(self):
+        config = PageLoadConfig(scroll_to_lazy_iframes=False)
+        page = PageLoader(DictFetcher(self._responses()),
+                          config=config).load("https://a.com")
+        assert len(page.frames) == 1
+        assert page.skipped_lazy_iframes == 1
+
+
+class TestScriptsAndPrompts:
+    def test_invocations_collected_per_frame(self):
+        script = Script(url="https://cdn.t.example/t.js", source="",
+                        operations=(ApiCall("navigator.getBattery"),))
+        responses = {
+            "https://a.com": _response("https://a.com", scripts=[script],
+                                       iframes=[IframeElement(
+                                           src="https://b.com/w")]),
+            "https://b.com/w": _response("https://b.com/w", scripts=[script]),
+        }
+        page = PageLoader(DictFetcher(responses)).load("https://a.com")
+        assert len(page.invocations) == 2
+        frame_ids = {record.frame_id for record in page.invocations}
+        assert frame_ids == {0, 1}
+
+    def test_powerful_invocation_triggers_prompt_with_top_site(self):
+        """Section 2.2.4: the prompt names the top-level site even for
+        embedded requests."""
+        script = Script(url=None, source="", operations=(
+            ApiCall("navigator.mediaDevices.getUserMedia", ("camera",)),))
+        responses = {
+            "https://a.com": _response("https://a.com", iframes=[
+                IframeElement(src="https://b.com/w", allow="camera")]),
+            "https://b.com/w": _response("https://b.com/w", scripts=[script]),
+        }
+        page = PageLoader(DictFetcher(responses)).load("https://a.com")
+        assert len(page.prompts) == 1
+        prompt = page.prompts[0]
+        assert prompt.permission == "camera"
+        assert prompt.display_site == "a.com"
+        assert "a.com is asking to" in prompt.text
+        assert prompt.outcome is PromptOutcome.DISMISSED
+
+    def test_storage_access_prompt_names_embedded_site(self):
+        script = Script(url=None, source="", operations=(
+            ApiCall("document.requestStorageAccess"),))
+        responses = {
+            "https://a.com": _response("https://a.com", iframes=[
+                IframeElement(src="https://b.com/w")]),
+            "https://b.com/w": _response("https://b.com/w", scripts=[script]),
+        }
+        page = PageLoader(DictFetcher(responses)).load("https://a.com")
+        assert page.prompts
+        assert page.prompts[0].display_site == "b.com"
+
+    def test_blocked_invocation_does_not_prompt(self):
+        script = Script(url=None, source="", operations=(
+            ApiCall("navigator.mediaDevices.getUserMedia", ("camera",)),))
+        responses = {
+            "https://a.com": _response(
+                "https://a.com", headers={"Permissions-Policy": "camera=()"},
+                scripts=[script]),
+        }
+        page = PageLoader(DictFetcher(responses)).load("https://a.com")
+        assert page.prompts == []
+
+    def test_non_powerful_invocation_does_not_prompt(self):
+        script = Script(url=None, source="", operations=(
+            ApiCall("navigator.getBattery"),))
+        responses = {"https://a.com": _response("https://a.com",
+                                                scripts=[script])}
+        page = PageLoader(DictFetcher(responses)).load("https://a.com")
+        assert page.prompts == []

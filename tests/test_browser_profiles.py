@@ -1,0 +1,91 @@
+"""Tests for per-browser policy enforcement (paper Section 2.2.6)."""
+
+import pytest
+
+from repro.policy.browser_profiles import (
+    BrowserPolicyProfile,
+    CrossBrowserDivergence,
+    engine_for_browser,
+    strip_unenforced,
+)
+from repro.policy.engine import PolicyFrame
+from repro.registry.browsers import CHROMIUM, FIREFOX, SAFARI
+
+
+class TestProfiles:
+    def test_chromium_enforces_everything(self):
+        profile = BrowserPolicyProfile.for_browser(CHROMIUM)
+        assert profile.enforces_pp_header
+        assert profile.enforces_fp_header
+        assert profile.enforces_allow_attribute
+
+    def test_firefox_ignores_headers(self):
+        profile = BrowserPolicyProfile.for_browser(FIREFOX)
+        assert not profile.enforces_pp_header
+        assert not profile.enforces_fp_header
+        assert profile.enforces_allow_attribute
+
+    def test_strip_removes_header_recursively(self):
+        top = PolicyFrame.top("https://a.com", header="camera=()")
+        child = top.child("https://b.com/w", allow="camera")
+        stripped = strip_unenforced(
+            child, BrowserPolicyProfile.for_browser(FIREFOX))
+        assert stripped.header is None
+        assert stripped.parent.header is None
+        assert stripped.allow is not None  # allow attr still enforced
+
+
+class TestPerBrowserOutcomes:
+    def test_header_disable_only_protects_chromium(self):
+        """Permissions-Policy: camera=() — enforced by Chromium, ignored by
+        Firefox and Safari (the paper's Section 2.2.6 gap)."""
+        top = PolicyFrame.top("https://a.com", header="camera=()")
+        assert not engine_for_browser(CHROMIUM).is_enabled("camera", top)
+        assert engine_for_browser(FIREFOX).is_enabled("camera", top)
+        assert engine_for_browser(SAFARI).is_enabled("camera", top)
+
+    def test_allow_attribute_enforced_everywhere(self):
+        top = PolicyFrame.top("https://a.com")
+        child = top.child("https://b.com/w")
+        for browser in (CHROMIUM, FIREFOX, SAFARI):
+            assert not engine_for_browser(browser).is_enabled("camera", child)
+
+    def test_feature_policy_fallback_chromium_only(self):
+        top = PolicyFrame.top("https://a.com", fp_header="camera 'none'")
+        assert not engine_for_browser(CHROMIUM).is_enabled("camera", top)
+        assert engine_for_browser(FIREFOX).is_enabled("camera", top)
+
+
+class TestDivergence:
+    def test_divergence_found_for_header_site(self):
+        top = PolicyFrame.top("https://a.com", header="camera=()")
+        divergence = CrossBrowserDivergence()
+        findings = {f.feature: f for f in divergence.divergences(
+            top, features=["camera"])}
+        assert "camera" in findings
+        finding = findings["camera"]
+        assert not finding.outcomes["Chromium"]
+        assert finding.outcomes["Firefox"]
+        assert finding.protects_only_chromium
+
+    def test_enforcement_gaps(self):
+        top = PolicyFrame.top("https://a.com",
+                              header="camera=(), geolocation=()")
+        gaps = CrossBrowserDivergence().enforcement_gaps(top)
+        assert {gap.feature for gap in gaps} >= {"camera", "geolocation"}
+
+    def test_no_header_no_powerful_divergence(self):
+        top = PolicyFrame.top("https://a.com")
+        findings = CrossBrowserDivergence().divergences(
+            top, features=["camera"])
+        assert findings == []  # camera supported + allowed everywhere
+
+    def test_unsupported_feature_diverges_by_support_not_policy(self):
+        """browsing-topics diverges because only Chromium ships it."""
+        top = PolicyFrame.top("https://a.com")
+        findings = {f.feature: f for f in CrossBrowserDivergence().divergences(
+            top, features=["browsing-topics"])}
+        finding = findings["browsing-topics"]
+        assert finding.outcomes["Chromium"]
+        assert not finding.outcomes["Firefox"]
+        assert not finding.protects_only_chromium

@@ -1,0 +1,115 @@
+"""Tests for the script model and the instrumented API surface."""
+
+import pytest
+
+from repro.browser.api import (
+    ApiKind,
+    APISurface,
+    DEFAULT_API_SURFACE,
+    allowed_features_call,
+    feature_policy_allows_call,
+    invoke_call,
+    query_call,
+)
+from repro.browser.scripts import ApiCall, Script, render_source
+from repro.policy.origin import Origin
+from repro.registry.features import DEFAULT_REGISTRY
+
+
+class TestScriptModel:
+    def test_inline_script_is_first_party(self):
+        script = Script(url=None, source="x")
+        assert script.inline
+        assert script.is_first_party_for(Origin.parse("https://a.com"))
+
+    def test_same_site_script_is_first_party(self):
+        script = Script(url="https://cdn.a.com/x.js", source="x")
+        assert script.is_first_party_for(Origin.parse("https://www.a.com"))
+
+    def test_cross_site_script_is_third_party(self):
+        script = Script(url="https://tracker.example/x.js", source="x")
+        assert not script.is_first_party_for(Origin.parse("https://a.com"))
+
+    def test_immediate_vs_gated_operations(self):
+        ops = (ApiCall("navigator.getBattery"),
+               ApiCall("navigator.share", requires_interaction=True))
+        script = Script(url=None, source="x", operations=ops)
+        assert len(script.immediate_operations()) == 1
+        assert len(script.gated_operations()) == 1
+
+    def test_obfuscation_hides_api_strings_keeps_operations(self):
+        """The paper's static/dynamic asymmetry: obfuscated calls remain
+        observable dynamically but not via string matching."""
+        source = render_source(["navigator.getBattery"])
+        script = Script(url=None, source=source,
+                        operations=(ApiCall("navigator.getBattery"),))
+        assert "navigator.getBattery" in script.source
+        obfuscated = script.with_obfuscation()
+        assert "navigator.getBattery" not in obfuscated.source
+        assert obfuscated.operations == script.operations
+        assert obfuscated.obfuscated
+
+    def test_obfuscated_source_not_matched_by_registry(self):
+        source = render_source(["navigator.getBattery", "getUserMedia"])
+        script = Script(url=None, source=source).with_obfuscation()
+        assert DEFAULT_REGISTRY.match_api(script.source) == ()
+
+    def test_render_source_contains_all_apis(self):
+        source = render_source(["a.b.c", "d.e"])
+        assert "a.b.c" in source and "d.e" in source
+
+
+class TestApiSurface:
+    def test_surface_covers_instrumented_permissions(self):
+        """Every Appendix A.4 permission has an invoke endpoint."""
+        for perm in DEFAULT_REGISTRY.instrumented():
+            spec = DEFAULT_API_SURFACE.invoke_api_for(perm.name)
+            assert spec.name
+
+    def test_invoke_call_for_camera_uses_getusermedia(self):
+        call = invoke_call("camera")
+        assert call.api == "navigator.mediaDevices.getUserMedia"
+        assert call.args == ("camera",)
+
+    def test_invoke_call_for_geolocation(self):
+        call = invoke_call("geolocation")
+        assert "geolocation" in call.api
+
+    def test_query_call_is_status_check(self):
+        call = query_call("camera")
+        spec = DEFAULT_API_SURFACE.get(call.api)
+        assert spec.kind is ApiKind.STATUS_CHECK
+        assert spec.permissions_for(call.args) == ("camera",)
+
+    def test_allowed_features_defaults_to_deprecated_spelling(self):
+        """Paper 4.1.1: most scripts still use the Feature Policy API."""
+        call = allowed_features_call()
+        assert "featurePolicy" in call.api
+        assert DEFAULT_API_SURFACE.get(call.api).deprecated
+
+    def test_modern_spelling_available(self):
+        call = allowed_features_call(deprecated=False)
+        assert "permissionsPolicy" in call.api
+
+    def test_allows_feature_carries_permission_argument(self):
+        call = feature_policy_allows_call("camera")
+        spec = DEFAULT_API_SURFACE.get(call.api)
+        assert spec.permissions_for(call.args) == ("camera",)
+
+    def test_unknown_api_raises(self):
+        with pytest.raises(KeyError):
+            DEFAULT_API_SURFACE.get("navigator.warpDrive")
+
+    def test_unknown_permission_invoke_raises(self):
+        with pytest.raises(KeyError):
+            DEFAULT_API_SURFACE.invoke_api_for("warp-drive")
+
+    def test_deprecated_apis_subset(self):
+        deprecated = DEFAULT_API_SURFACE.deprecated_apis()
+        assert deprecated
+        assert all("featurePolicy" in spec.name for spec in deprecated)
+
+    def test_duplicate_spec_rejected(self):
+        spec = DEFAULT_API_SURFACE.get("navigator.getBattery")
+        with pytest.raises(ValueError):
+            APISurface(specs=(spec, spec))

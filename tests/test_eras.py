@@ -1,0 +1,63 @@
+"""Tests for the ecosystem-era model (Feature-Policy → Permissions-Policy)."""
+
+import pytest
+
+from repro.synthweb.eras import (
+    Era,
+    EraComparison,
+    measure_era,
+    rates_for_era,
+    transition_curve,
+)
+
+
+class TestEraProfiles:
+    def test_2020_has_no_permissions_policy(self):
+        profile = rates_for_era(Era.Y2020)
+        assert profile.rates.pp_header_rate == 0.0
+        assert profile.rates.fp_header_rate > 0.0
+        assert not profile.ads_apis_available
+
+    def test_2022_is_the_transition(self):
+        profile = rates_for_era(Era.Y2022)
+        base = rates_for_era(Era.Y2024).rates
+        assert 0 < profile.rates.pp_header_rate < base.pp_header_rate
+        assert profile.rates.fp_header_rate > base.fp_header_rate
+        assert profile.floc_optout_wave
+
+    def test_2024_is_the_calibrated_default(self):
+        profile = rates_for_era(Era.Y2024)
+        assert profile.rates.pp_header_rate == pytest.approx(0.045)
+        assert profile.ads_apis_available
+
+    def test_unknown_era_rejected(self):
+        with pytest.raises(ValueError):
+            rates_for_era("1999")  # type: ignore[arg-type]
+
+
+class TestTransitionCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return transition_curve(1200, seed=5, workers=2)
+
+    def test_pp_adoption_monotone_rising(self, curve):
+        shares = [point.pp_top_level_share for point in curve]
+        assert shares[0] == 0.0
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_fp_adoption_rises_then_collapses(self, curve):
+        """Feature-Policy peaks mid-transition and decays to the paper's
+        0.51 % residual."""
+        shares = [point.fp_top_level_share for point in curve]
+        assert shares[1] > shares[0] or shares[1] > shares[2]
+        assert shares[2] < shares[1]
+
+    def test_delegation_present_throughout(self, curve):
+        """The allow attribute predates the header rename; delegation is
+        not an era artefact."""
+        for point in curve:
+            assert point.sites_delegating_share > 0.05
+
+    def test_any_header_share(self):
+        point = EraComparison(Era.Y2024, 0.04, 0.005, 0.12)
+        assert point.any_header_share == pytest.approx(0.045)

@@ -1,0 +1,29 @@
+"""Every extension experiment driver must run and keep shape at the same
+small scale the paper-table drivers are tested at."""
+
+import pytest
+
+from repro.experiments.extensions import ALL_EXTENSIONS
+from repro.experiments.runner import run_measurement
+
+SCALE = 2500
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return run_measurement(SCALE, workers=2)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXTENSIONS))
+def test_extension_driver_runs(ctx, name):
+    result = ALL_EXTENSIONS[name](ctx)
+    assert result.rendered
+    assert result.experiment_id.startswith("ext_")
+
+
+@pytest.mark.parametrize("name", [
+    "ext_nested_chains", "ext_fingerprinting", "ext_clusters",
+    "ext_rank_gradient", "ext_violations", "ext_prompts",
+])
+def test_scale_robust_extensions_keep_shape(ctx, name):
+    assert ALL_EXTENSIONS[name](ctx).shape_ok, name

@@ -1,0 +1,136 @@
+"""Tests for permission states and the returning-visitor prompt flow."""
+
+import pytest
+
+from repro.browser.api import DEFAULT_API_SURFACE
+from repro.browser.instrumentation import InstrumentedRuntime, WebAPIRuntime
+from repro.browser.permission_store import PermissionState, PermissionStore
+from repro.browser.scripts import ApiCall, Script
+from repro.policy.engine import PolicyFrame
+
+
+class TestPermissionStore:
+    def test_powerful_defaults_to_prompt(self):
+        store = PermissionStore()
+        assert store.state("a.com", "camera") is PermissionState.PROMPT
+        assert store.requires_prompt("a.com", "camera")
+
+    def test_non_powerful_is_always_granted(self):
+        store = PermissionStore()
+        assert store.state("a.com", "gamepad") is PermissionState.GRANTED
+        assert not store.requires_prompt("a.com", "gamepad")
+
+    def test_grant_and_deny_remembered_per_site(self):
+        store = PermissionStore()
+        store.grant("a.com", "camera")
+        store.deny("b.com", "camera")
+        assert store.state("a.com", "camera") is PermissionState.GRANTED
+        assert store.state("b.com", "camera") is PermissionState.DENIED
+        assert store.state("c.com", "camera") is PermissionState.PROMPT
+
+    def test_reset_returns_to_prompt(self):
+        store = PermissionStore()
+        store.grant("a.com", "camera")
+        store.reset("a.com", "camera")
+        assert store.state("a.com", "camera") is PermissionState.PROMPT
+
+    def test_cannot_set_state_for_non_powerful(self):
+        store = PermissionStore()
+        with pytest.raises(ValueError):
+            store.grant("a.com", "gamepad")
+
+    def test_granted_permissions_lists_hijack_surface(self):
+        store = PermissionStore()
+        store.grant("a.com", "camera")
+        store.grant("a.com", "microphone")
+        store.deny("a.com", "geolocation")
+        assert store.granted_permissions("a.com") == ("camera", "microphone")
+
+    def test_unknown_permission_state_is_granted_like(self):
+        assert PermissionStore().state("a.com", "warp-drive") \
+            is PermissionState.GRANTED
+
+    def test_snapshot_and_len(self):
+        store = PermissionStore()
+        store.grant("a.com", "camera")
+        assert len(store) == 1
+        assert store.snapshot() == {("a.com", "camera"): "granted"}
+
+
+class TestQueryReturnsStates:
+    def _runtime(self, store=None):
+        frame = PolicyFrame.top("https://example.org")
+        return WebAPIRuntime(frame, store=store)
+
+    def test_query_prompt_by_default(self):
+        runtime = self._runtime()
+        outcome = runtime.call("navigator.permissions.query", "camera")
+        assert outcome["result"] == "prompt"
+
+    def test_query_reflects_granted_state(self):
+        store = PermissionStore()
+        store.grant("example.org", "camera")
+        runtime = self._runtime(store)
+        outcome = runtime.call("navigator.permissions.query", "camera")
+        assert outcome["result"] == "granted"
+
+    def test_query_denied_when_policy_blocks(self):
+        frame = PolicyFrame.top("https://example.org", header="camera=()")
+        runtime = WebAPIRuntime(frame)
+        outcome = runtime.call("navigator.permissions.query", "camera")
+        assert outcome["result"] == "denied"
+        assert not outcome["allowed"]
+
+    def test_non_powerful_query_granted(self):
+        runtime = self._runtime()
+        outcome = runtime.call("navigator.permissions.query", "gamepad")
+        assert outcome["result"] == "granted"
+
+
+class TestSilentHijackScenario:
+    """Paper Section 5.3: 'the external URL could use the permission, even
+    if the delegation occurred after the permission was granted'."""
+
+    def test_prompt_skipped_when_already_granted(self):
+        from repro.browser.dom import Document, DocumentContent
+        from repro.browser.prompts import PromptModel, PromptOutcome
+        from repro.browser.instrumentation import InvocationRecord
+        from repro.browser.api import ApiKind
+
+        store = PermissionStore()
+        store.grant("example.org", "camera")
+        model = PromptModel(store=store)
+        frame = PolicyFrame.top("https://example.org")
+        document = Document(url="https://example.org",
+                            origin=frame.origin, headers={},
+                            content=DocumentContent(),
+                            policy_frame=frame, frame_id=0)
+        record = InvocationRecord(
+            api="navigator.mediaDevices.getUserMedia",
+            kind=ApiKind.INVOKE, permissions=("camera",), args=("camera",),
+            stacktrace=(), frame_id=0, allowed=True)
+        prompt = model.consider(record, document, document)
+        assert prompt is None, "granted permission must be used silently"
+
+    def test_granting_decider_persists_to_store(self):
+        from repro.browser.dom import Document, DocumentContent
+        from repro.browser.prompts import PromptModel, PromptOutcome
+        from repro.browser.instrumentation import InvocationRecord
+        from repro.browser.api import ApiKind
+
+        model = PromptModel(decider=PromptOutcome.GRANTED)
+        frame = PolicyFrame.top("https://example.org")
+        document = Document(url="https://example.org",
+                            origin=frame.origin, headers={},
+                            content=DocumentContent(),
+                            policy_frame=frame, frame_id=0)
+        record = InvocationRecord(
+            api="navigator.mediaDevices.getUserMedia",
+            kind=ApiKind.INVOKE, permissions=("camera",), args=("camera",),
+            stacktrace=(), frame_id=0, allowed=True)
+        first = model.consider(record, document, document)
+        second = model.consider(record, document, document)
+        assert first is not None
+        assert second is None  # the grant is remembered
+        assert model.store.state("example.org", "camera") \
+            is PermissionState.GRANTED

@@ -1,0 +1,130 @@
+"""Tests for the iframe allow attribute (paper Sections 2.2.2, 4.2)."""
+
+import pytest
+
+from repro.policy.allow_attr import (
+    DelegationDirectiveKind,
+    parse_allow_attribute,
+    serialize_allow_attribute,
+)
+from repro.policy.allowlist import Allowlist
+from repro.policy.origin import Origin
+
+SELF = Origin.parse("https://example.org")
+SRC = Origin.parse("https://widget.net")
+OTHER = Origin.parse("https://evil.example")
+
+
+class TestParsing:
+    def test_single_feature_defaults_to_src(self):
+        attr = parse_allow_attribute("camera")
+        entry = attr.entry("camera")
+        assert entry.kind is DelegationDirectiveKind.DEFAULT_SRC
+        assert not entry.explicit
+        assert entry.allowlist.src
+
+    def test_star_directive(self):
+        attr = parse_allow_attribute("microphone *")
+        entry = attr.entry("microphone")
+        assert entry.kind is DelegationDirectiveKind.STAR
+        assert entry.allowlist.allows(OTHER, self_origin=SELF)
+
+    def test_none_opt_out(self):
+        """Paper 2.2.2: allow=\"gamepad 'none'\" restricts the iframe."""
+        attr = parse_allow_attribute("gamepad 'none'")
+        entry = attr.entry("gamepad")
+        assert entry.kind is DelegationDirectiveKind.NONE
+        assert entry.is_opt_out
+        assert "gamepad" not in attr.delegated_features
+
+    def test_explicit_src(self):
+        attr = parse_allow_attribute("camera 'src'")
+        assert attr.entry("camera").kind is DelegationDirectiveKind.EXPLICIT_SRC
+
+    def test_self_keyword(self):
+        attr = parse_allow_attribute("camera 'self'")
+        entry = attr.entry("camera")
+        assert entry.kind is DelegationDirectiveKind.SELF
+        assert entry.allowlist.allows(SELF, self_origin=SELF)
+
+    def test_explicit_origin(self):
+        attr = parse_allow_attribute("geolocation https://widget.net")
+        entry = attr.entry("geolocation")
+        assert entry.kind is DelegationDirectiveKind.ORIGIN
+        assert entry.allowlist.allows(SRC, self_origin=SELF)
+
+    def test_mixed_members(self):
+        attr = parse_allow_attribute("camera 'self' https://widget.net")
+        assert attr.entry("camera").kind is DelegationDirectiveKind.MIXED
+
+    def test_livechat_template(self):
+        """The exact LiveChat delegation template from Section 5.2."""
+        attr = parse_allow_attribute(
+            "clipboard-read; clipboard-write; autoplay; microphone *; "
+            "camera *; display-capture *; picture-in-picture *; fullscreen *")
+        assert set(attr.features) == {
+            "clipboard-read", "clipboard-write", "autoplay", "microphone",
+            "camera", "display-capture", "picture-in-picture", "fullscreen"}
+        assert attr.entry("camera").kind is DelegationDirectiveKind.STAR
+        assert attr.entry("clipboard-read").kind is DelegationDirectiveKind.DEFAULT_SRC
+
+    def test_empty_attribute(self):
+        attr = parse_allow_attribute("")
+        assert not attr
+        assert attr.features == ()
+
+    def test_trailing_semicolons_tolerated(self):
+        attr = parse_allow_attribute("camera; microphone;")
+        assert set(attr.features) == {"camera", "microphone"}
+
+    def test_invalid_tokens_dropped(self):
+        attr = parse_allow_attribute("camera @@garbage@@")
+        entry = attr.entry("camera")
+        assert entry is not None
+        assert not entry.allowlist.allows(OTHER, self_origin=SELF)
+
+    def test_repeated_feature_merges(self):
+        attr = parse_allow_attribute("camera 'self'; camera https://widget.net")
+        entry = attr.entry("camera")
+        assert entry.kind is DelegationDirectiveKind.MIXED
+        assert entry.allowlist.self_
+        assert entry.allowlist.origins
+
+
+class TestSrcSemantics:
+    def test_default_src_matches_only_src_origin(self):
+        """82.12% of paper delegations use this default (Section 4.2.2):
+        only the iframe's src origin receives the permission — a redirect
+        to another origin loses it."""
+        entry = parse_allow_attribute("camera").entry("camera")
+        assert entry.allowlist.allows(SRC, self_origin=SELF, src_origin=SRC)
+        assert not entry.allowlist.allows(OTHER, self_origin=SELF, src_origin=SRC)
+
+    def test_star_survives_redirects(self):
+        """The wildcard keeps delegating after redirection — the risk the
+        LiveChat case study calls out."""
+        entry = parse_allow_attribute("camera *").entry("camera")
+        assert entry.allowlist.allows(OTHER, self_origin=SELF, src_origin=SRC)
+
+
+class TestSerialization:
+    def test_default_src_serializes_bare(self):
+        text = serialize_allow_attribute({"camera": Allowlist.src_only()})
+        assert text == "camera"
+
+    def test_none_serializes_quoted(self):
+        text = serialize_allow_attribute({"gamepad": Allowlist.nobody()})
+        assert text == "gamepad 'none'"
+
+    def test_roundtrip(self):
+        original = "camera; microphone *; geolocation 'self'"
+        attr = parse_allow_attribute(original)
+        text = serialize_allow_attribute(
+            {name: entry.allowlist for name, entry in attr.entries.items()})
+        reparsed = parse_allow_attribute(text)
+        assert set(reparsed.features) == set(attr.features)
+        for feature in attr.features:
+            a = attr.entry(feature).allowlist
+            b = reparsed.entry(feature).allowlist
+            assert (a.star, a.self_, a.src, a.origins) == (
+                b.star, b.self_, b.src, b.origins)

@@ -1,0 +1,118 @@
+"""Tests for allowlist matching and Table 9 strictness classification."""
+
+import pytest
+
+from repro.policy.allowlist import (
+    Allowlist,
+    DirectiveClass,
+    classify_directive,
+    strictness_rank,
+)
+from repro.policy.origin import Origin
+
+SELF = Origin.parse("https://example.org")
+SAME_SITE = Origin.parse("https://cdn.example.org")
+OTHER = Origin.parse("https://iframe.com")
+SRC = Origin.parse("https://widget.net")
+
+
+class TestAllowlistMatching:
+    def test_star_allows_everyone(self):
+        allowlist = Allowlist.all_origins()
+        assert allowlist.allows(OTHER, self_origin=SELF)
+        assert allowlist.allows(SELF, self_origin=SELF)
+
+    def test_self_allows_only_declaring_origin(self):
+        allowlist = Allowlist.self_only()
+        assert allowlist.allows(SELF, self_origin=SELF)
+        assert not allowlist.allows(SAME_SITE, self_origin=SELF)
+        assert not allowlist.allows(OTHER, self_origin=SELF)
+
+    def test_nobody_allows_nothing(self):
+        allowlist = Allowlist.nobody()
+        assert allowlist.is_empty
+        assert not allowlist.allows(SELF, self_origin=SELF)
+
+    def test_src_matches_src_origin_only(self):
+        allowlist = Allowlist.src_only()
+        assert allowlist.allows(SRC, self_origin=SELF, src_origin=SRC)
+        assert not allowlist.allows(OTHER, self_origin=SELF, src_origin=SRC)
+        assert not allowlist.allows(SRC, self_origin=SELF)  # no src context
+
+    def test_explicit_origin(self):
+        allowlist = Allowlist.of(OTHER)
+        assert allowlist.allows(OTHER, self_origin=SELF)
+        assert not allowlist.allows(SELF, self_origin=SELF)
+
+    def test_explicit_origin_plus_self(self):
+        allowlist = Allowlist.of(OTHER, self_=True)
+        assert allowlist.allows(OTHER, self_origin=SELF)
+        assert allowlist.allows(SELF, self_origin=SELF)
+
+    def test_invalid_tokens_do_not_grant(self):
+        allowlist = Allowlist(invalid_tokens=("none", "0"))
+        assert allowlist.is_empty
+        assert not allowlist.allows(SELF, self_origin=SELF)
+
+
+class TestMerge:
+    def test_merged_unions_flags(self):
+        merged = Allowlist.self_only().merged(Allowlist.of(OTHER))
+        assert merged.self_ and merged.origins == (OTHER,)
+
+    def test_merged_dedupes_origins(self):
+        merged = Allowlist.of(OTHER).merged(Allowlist.of(OTHER))
+        assert merged.origins == (OTHER,)
+
+
+class TestSerialization:
+    def test_serialize_disable(self):
+        assert Allowlist.nobody().serialize_header() == "()"
+
+    def test_serialize_star(self):
+        assert Allowlist.all_origins().serialize_header() == "*"
+
+    def test_serialize_self(self):
+        assert Allowlist.self_only().serialize_header() == "(self)"
+
+    def test_serialize_self_plus_origin(self):
+        text = Allowlist.of(OTHER, self_=True).serialize_header()
+        assert text == '(self "https://iframe.com")'
+
+
+class TestDirectiveClassification:
+    """Table 9 columns: Disable / Self / Same Origin / Same Site /
+    Third-party / All."""
+
+    def test_disable(self):
+        assert classify_directive(Allowlist.nobody(), SELF) is DirectiveClass.DISABLE
+
+    def test_self(self):
+        assert classify_directive(Allowlist.self_only(), SELF) is DirectiveClass.SELF
+
+    def test_same_origin_explicit(self):
+        assert classify_directive(Allowlist.of(SELF), SELF) is DirectiveClass.SAME_ORIGIN
+
+    def test_same_site(self):
+        assert classify_directive(Allowlist.of(SAME_SITE), SELF) is DirectiveClass.SAME_SITE
+
+    def test_third_party(self):
+        assert classify_directive(Allowlist.of(OTHER), SELF) is DirectiveClass.THIRD_PARTY
+
+    def test_star_wins_over_everything(self):
+        allowlist = Allowlist.of(OTHER, self_=True, star=True)
+        assert classify_directive(allowlist, SELF) is DirectiveClass.STAR
+
+    def test_least_restrictive_wins(self):
+        """Paper: `display-capture=(self "https://ads.com")` counts as
+        third-party (the least restrictive grant)."""
+        allowlist = Allowlist.of(OTHER, self_=True)
+        assert classify_directive(allowlist, SELF) is DirectiveClass.THIRD_PARTY
+
+    def test_strictness_order(self):
+        assert (strictness_rank(DirectiveClass.DISABLE)
+                < strictness_rank(DirectiveClass.SELF)
+                < strictness_rank(DirectiveClass.SAME_ORIGIN)
+                < strictness_rank(DirectiveClass.SAME_SITE)
+                < strictness_rank(DirectiveClass.THIRD_PARTY)
+                < strictness_rank(DirectiveClass.STAR))

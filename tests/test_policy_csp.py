@@ -1,0 +1,106 @@
+"""Tests for the CSP frame-src model (attack precondition, paper 6.2)."""
+
+import pytest
+
+from repro.policy.csp import (
+    ContentSecurityPolicy,
+    SourceExpression,
+    local_scheme_attack_possible,
+)
+from repro.policy.origin import Origin
+
+SELF = Origin.parse("https://example.org")
+
+
+class TestSourceExpressions:
+    def test_star_matches_network_not_data(self):
+        star = SourceExpression.parse("*")
+        assert star.matches("https://anything.example", self_origin=SELF)
+        assert not star.matches("data:text/html,x", self_origin=SELF)
+
+    def test_none_matches_nothing(self):
+        none = SourceExpression.parse("'none'")
+        assert not none.matches("https://example.org", self_origin=SELF)
+
+    def test_self_matches_own_origin(self):
+        self_src = SourceExpression.parse("'self'")
+        assert self_src.matches("https://example.org/page", self_origin=SELF)
+        assert not self_src.matches("https://other.com", self_origin=SELF)
+
+    def test_scheme_source_matches_data(self):
+        data_src = SourceExpression.parse("data:")
+        assert data_src.matches("data:text/html,x", self_origin=SELF)
+        assert not data_src.matches("https://a.com", self_origin=SELF)
+
+    def test_host_source(self):
+        host = SourceExpression.parse("https://widget.net")
+        assert host.matches("https://widget.net/embed", self_origin=SELF)
+        assert not host.matches("https://evil.net", self_origin=SELF)
+
+    def test_wildcard_host(self):
+        wild = SourceExpression.parse("*.example.org")
+        assert wild.matches("https://cdn.example.org", self_origin=SELF)
+        assert wild.matches("https://example.org", self_origin=SELF)
+        assert not wild.matches("https://example.com", self_origin=SELF)
+
+    def test_garbage_matches_nothing(self):
+        garbage = SourceExpression.parse("%%%")
+        assert not garbage.matches("https://a.com", self_origin=SELF)
+
+
+class TestFallbackChain:
+    def test_frame_src_preferred(self):
+        csp = ContentSecurityPolicy.parse(
+            "default-src 'none'; frame-src https://a.com")
+        assert csp.governing_directive() == "frame-src"
+        assert csp.allows_frame("https://a.com", self_origin=SELF)
+
+    def test_child_src_fallback(self):
+        csp = ContentSecurityPolicy.parse(
+            "default-src 'none'; child-src 'self'")
+        assert csp.governing_directive() == "child-src"
+
+    def test_default_src_fallback(self):
+        csp = ContentSecurityPolicy.parse("default-src 'self'")
+        assert csp.governing_directive() == "default-src"
+        assert csp.allows_frame("https://example.org/x", self_origin=SELF)
+        assert not csp.allows_frame("https://other.com", self_origin=SELF)
+
+    def test_script_only_policy_does_not_constrain_frames(self):
+        csp = ContentSecurityPolicy.parse("script-src 'self'")
+        assert not csp.constrains_frames
+
+    def test_bare_directive_means_none(self):
+        csp = ContentSecurityPolicy.parse("frame-src")
+        assert not csp.allows_frame("https://a.com", self_origin=SELF)
+
+
+class TestAttackPrecondition:
+    """Paper 6.2: the local-scheme bypass needs a CSP that does not
+    constrain frames."""
+
+    def test_no_csp_leaves_attack_open(self):
+        assert local_scheme_attack_possible(None, self_origin=SELF)
+
+    def test_script_src_only_csp_leaves_attack_open(self):
+        """The paper's exact scenario: strict XSS mitigation without a
+        frame-src directive."""
+        csp = ContentSecurityPolicy.parse("script-src 'self'; object-src 'none'")
+        assert local_scheme_attack_possible(csp, self_origin=SELF)
+
+    def test_frame_src_none_blocks_attack(self):
+        csp = ContentSecurityPolicy.parse("frame-src 'none'")
+        assert not local_scheme_attack_possible(csp, self_origin=SELF)
+
+    def test_frame_src_self_blocks_data_iframes(self):
+        csp = ContentSecurityPolicy.parse("frame-src 'self'")
+        assert not local_scheme_attack_possible(csp, self_origin=SELF)
+
+    def test_explicit_data_scheme_allows_attack(self):
+        csp = ContentSecurityPolicy.parse("frame-src 'self' data:")
+        assert local_scheme_attack_possible(csp, self_origin=SELF)
+
+    def test_star_frame_src_blocks_data(self):
+        """CSP3: `*` does not match data: — an explicit scheme is needed."""
+        csp = ContentSecurityPolicy.parse("frame-src *")
+        assert not local_scheme_attack_possible(csp, self_origin=SELF)

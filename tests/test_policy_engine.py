@@ -1,0 +1,332 @@
+"""Tests for policy inheritance and is_feature_enabled.
+
+Covers every row of the paper's Table 1, the nested-delegation rule of
+Section 2.2.5, non-policy-controlled features, the legacy Feature-Policy
+fallback, and the local-scheme specification issue of Table 11.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.policy.engine import PermissionsPolicyEngine, PolicyFrame
+from repro.policy.origin import Origin
+
+ENGINE = PermissionsPolicyEngine()
+FIXED = PermissionsPolicyEngine(local_scheme_bug=False)
+
+
+def _scenario(header, allow):
+    top = PolicyFrame.top("https://example.org", header=header)
+    child = top.child("https://iframe.com", allow=allow)
+    return top, child
+
+
+class TestTable1:
+    """The eight camera cases, verbatim from the paper."""
+
+    @pytest.mark.parametrize("case,header,allow,top_expected,child_expected", [
+        (1, None, None, True, False),
+        (2, None, "camera", True, True),
+        (3, "camera=()", "camera", False, False),
+        (4, "camera=(self)", "camera", True, False),
+        (5, "camera=(*)", None, True, False),
+        (6, "camera=(*)", "camera", True, True),
+        (7, 'camera=(self "https://iframe.com")', "camera", True, True),
+        (8, 'camera=("https://iframe.com")', "camera", False, False),
+    ])
+    def test_case(self, case, header, allow, top_expected, child_expected):
+        top, child = _scenario(header, allow)
+        assert ENGINE.is_enabled("camera", top) is top_expected, f"case {case} top"
+        assert ENGINE.is_enabled("camera", child) is child_expected, f"case {case} child"
+
+    def test_case_8_blocks_because_self_missing(self):
+        """Case 8 shows the spec limitation: delegation without self is
+        impossible (W3C issue #480)."""
+        _, child = _scenario('camera=("https://iframe.com")', "camera")
+        decision = ENGINE.explain("camera", child)
+        assert not decision.enabled
+        assert "parent lacks feature" in decision.reason
+
+
+class TestDefaults:
+    def test_star_default_feature_reaches_cross_origin_iframes(self):
+        """picture-in-picture (default *) works in iframes without allow."""
+        _, child = _scenario(None, None)
+        assert ENGINE.is_enabled("picture-in-picture", child)
+
+    def test_self_default_feature_blocked_cross_origin(self):
+        _, child = _scenario(None, None)
+        assert not ENGINE.is_enabled("geolocation", child)
+
+    def test_same_origin_iframe_gets_self_default(self):
+        top = PolicyFrame.top("https://example.org")
+        child = top.child("https://example.org/frame")
+        assert ENGINE.is_enabled("camera", child)
+
+    def test_unknown_feature_is_allowed(self):
+        top = PolicyFrame.top("https://example.org")
+        assert ENGINE.is_enabled("made-up-feature", top)
+
+
+class TestNestedDelegation:
+    def test_delegated_iframe_can_redelegate(self):
+        """Section 2.2.5: once delegated, the top-level site cannot prevent
+        nested delegation — even with a restrictive header."""
+        top = PolicyFrame.top(
+            "https://example.org",
+            header='camera=(self "https://iframe.com")')
+        child = top.child("https://iframe.com", allow="camera")
+        grandchild = child.child("https://nested.example", allow="camera")
+        assert ENGINE.is_enabled("camera", grandchild)
+
+    def test_without_redelegation_nested_frame_blocked(self):
+        top = PolicyFrame.top("https://example.org")
+        child = top.child("https://iframe.com", allow="camera")
+        grandchild = child.child("https://nested.example")
+        assert not ENGINE.is_enabled("camera", grandchild)
+
+    def test_child_header_can_restrict_itself(self):
+        top = PolicyFrame.top("https://example.org")
+        child = top.child("https://iframe.com", allow="camera",
+                          header="camera=()")
+        assert not ENGINE.is_enabled("camera", child)
+
+    def test_can_delegate_requires_enabled(self):
+        top = PolicyFrame.top("https://example.org", header="camera=()")
+        assert not ENGINE.can_delegate("camera", top)
+        top_ok = PolicyFrame.top("https://example.org")
+        assert ENGINE.can_delegate("camera", top_ok)
+
+    def test_cannot_delegate_non_policy_controlled(self):
+        top = PolicyFrame.top("https://example.org")
+        assert not ENGINE.can_delegate("notifications", top)
+
+
+class TestNonPolicyControlled:
+    def test_notifications_top_level_allowed(self):
+        top = PolicyFrame.top("https://example.org")
+        assert ENGINE.is_enabled("notifications", top)
+
+    def test_notifications_cross_origin_iframe_blocked(self):
+        """Paper 4.1.1: notifications cannot be delegated; only top-level
+        contexts can request them."""
+        top = PolicyFrame.top("https://example.org")
+        child = top.child("https://iframe.com", allow="notifications")
+        assert not ENGINE.is_enabled("notifications", child)
+
+    def test_notifications_same_origin_iframe_allowed(self):
+        top = PolicyFrame.top("https://example.org")
+        child = top.child("https://example.org/inner")
+        assert ENGINE.is_enabled("notifications", child)
+
+
+class TestFeaturePolicyFallback:
+    def test_feature_policy_header_enforced_without_pp_header(self):
+        top = PolicyFrame.top("https://example.org",
+                              fp_header="camera 'none'")
+        assert not ENGINE.is_enabled("camera", top)
+
+    def test_pp_header_wins_over_fp_header(self):
+        """Chromium rule: Feature-Policy applies only when there is no
+        Permissions-Policy header."""
+        top = PolicyFrame.top("https://example.org",
+                              header="camera=(self)",
+                              fp_header="camera 'none'")
+        assert ENGINE.is_enabled("camera", top)
+
+    def test_invalid_pp_header_dropped_leaves_defaults(self):
+        """A syntax error removes the whole header: the site falls back to
+        default allowlists (paper 4.3.3)."""
+        top = PolicyFrame.top("https://example.org", header="camera=(),")
+        assert top.header is None
+        assert ENGINE.is_enabled("camera", top)
+
+
+class TestLocalSchemeSpecIssue:
+    """Table 11: the local-scheme document attack."""
+
+    def _attack_frames(self, scheme="data"):
+        victim = PolicyFrame.top("https://example.org",
+                                 header="camera=(self)")
+        local = victim.local_child(scheme=scheme)
+        attacker = local.child("https://attacker.com", allow="camera")
+        return victim, local, attacker
+
+    def test_local_document_gets_camera_in_both_modes(self):
+        """Expected AND actual behaviour agree: the local-scheme document
+        itself may use the camera (Table 11, column 2)."""
+        for engine in (ENGINE, FIXED):
+            _, local, _ = self._attack_frames()
+            assert engine.is_enabled("camera", local)
+
+    def test_actual_spec_leaks_camera_to_attacker(self):
+        """Actual specification (bug): delegation from the local-scheme
+        document reaches the third party despite camera=(self)."""
+        _, _, attacker = self._attack_frames()
+        assert ENGINE.is_enabled("camera", attacker)
+
+    def test_expected_behaviour_blocks_attacker(self):
+        _, _, attacker = self._attack_frames()
+        assert not FIXED.is_enabled("camera", attacker)
+
+    @pytest.mark.parametrize("scheme", ["data", "about", "blob"])
+    def test_attack_works_from_every_local_scheme(self, scheme):
+        _, _, attacker = self._attack_frames(scheme=scheme)
+        assert ENGINE.is_enabled("camera", attacker)
+
+    def test_direct_delegation_still_blocked_in_bug_mode(self):
+        """Sanity: without the local-scheme hop the header holds."""
+        victim = PolicyFrame.top("https://example.org",
+                                 header="camera=(self)")
+        attacker = victim.child("https://attacker.com", allow="camera")
+        assert not ENGINE.is_enabled("camera", attacker)
+
+    def test_local_child_rejects_network_scheme(self):
+        top = PolicyFrame.top("https://example.org")
+        with pytest.raises(ValueError):
+            top.local_child(scheme="https")
+
+    def test_effective_policy_origin_walks_up(self):
+        victim, local, _ = self._attack_frames()
+        assert local.effective_policy_origin().same_origin(
+            Origin.parse("https://example.org"))
+
+    def test_root_property(self):
+        victim, _, attacker = self._attack_frames()
+        assert attacker.root is victim
+
+
+class TestAllowedFeatures:
+    def test_allowed_features_lists_star_defaults_in_iframe(self):
+        top = PolicyFrame.top("https://example.org")
+        child = top.child("https://iframe.com")
+        allowed = ENGINE.allowed_features(child)
+        assert "picture-in-picture" in allowed
+        assert "camera" not in allowed
+
+    def test_allowed_features_honours_header(self):
+        top = PolicyFrame.top("https://example.org",
+                              header="picture-in-picture=()")
+        assert "picture-in-picture" not in ENGINE.allowed_features(top)
+
+    @given(st.sampled_from(["camera", "geolocation", "microphone", "usb",
+                            "payment", "fullscreen", "gamepad"]))
+    def test_disable_header_always_blocks(self, feature):
+        """Property: feature=() disables the feature in the top-level and
+        every descendant, with or without delegation."""
+        top = PolicyFrame.top("https://example.org", header=f"{feature}=()")
+        child = top.child("https://iframe.com", allow=feature)
+        grandchild = child.child("https://deep.example", allow=feature)
+        assert not ENGINE.is_enabled(feature, top)
+        assert not ENGINE.is_enabled(feature, child)
+        assert not ENGINE.is_enabled(feature, grandchild)
+
+    @given(st.sampled_from(["camera", "geolocation", "microphone", "usb"]))
+    def test_no_header_no_allow_never_grants_cross_origin(self, feature):
+        """Property: self-default features never leak to a cross-origin
+        iframe without explicit delegation."""
+        top = PolicyFrame.top("https://example.org")
+        child = top.child("https://iframe.com")
+        assert not ENGINE.is_enabled(feature, child)
+
+
+class TestSandboxedIframes:
+    """The sandbox attribute: opaque origins cut off self-keyed grants."""
+
+    def _child(self, sandbox, allow="camera"):
+        top = PolicyFrame.top("https://example.org")
+        return ENGINE, top.child("https://widget.example/w", allow=allow,
+                                 sandbox=sandbox)
+
+    def test_sandbox_without_same_origin_blocks_delegation(self):
+        engine, child = self._child("allow-scripts")
+        assert child.sandboxed
+        assert not engine.is_enabled("camera", child)
+
+    def test_allow_same_origin_token_restores_delegation(self):
+        engine, child = self._child("allow-scripts allow-same-origin")
+        assert not child.sandboxed
+        assert engine.is_enabled("camera", child)
+
+    def test_empty_sandbox_attribute_isolates(self):
+        engine, child = self._child("")
+        assert child.sandboxed
+        assert not engine.is_enabled("camera", child)
+
+    def test_star_delegation_reaches_sandboxed_document(self):
+        engine, child = self._child("allow-scripts", allow="camera *")
+        assert engine.is_enabled("camera", child)
+
+    def test_star_default_features_survive_sandbox(self):
+        engine, child = self._child("allow-scripts", allow=None)
+        assert engine.is_enabled("gamepad", child)
+
+    def test_no_sandbox_attribute_is_not_sandboxed(self):
+        engine, child = self._child(None)
+        assert not child.sandboxed
+
+    def test_sandboxed_same_origin_iframe_loses_self_defaults(self):
+        """Even a same-origin iframe becomes cross-origin when sandboxed."""
+        top = PolicyFrame.top("https://example.org")
+        child = top.child("https://example.org/inner",
+                          sandbox="allow-scripts")
+        assert not ENGINE.is_enabled("camera", child)
+
+
+class TestEngineMonotonicityProperties:
+    """Spec invariants, property-tested: the header can only restrict, and
+    a plain delegation can only add."""
+
+    HEADER_VALUES = ["()", "(self)", "*",
+                     '(self "https://iframe.com")',
+                     '("https://iframe.com")']
+    FEATURES = ["camera", "geolocation", "usb", "gamepad",
+                "picture-in-picture", "storage-access"]
+
+    @given(st.sampled_from(FEATURES), st.sampled_from(HEADER_VALUES),
+           st.sampled_from([None, "camera", "geolocation", "usb", "gamepad",
+                            "picture-in-picture", "storage-access"]))
+    def test_header_never_broadens(self, feature, value, allow):
+        """For every frame in the tree: enabled-with-header implies
+        enabled-without-header."""
+        with_header = PolicyFrame.top("https://example.org",
+                                      header=f"{feature}={value}")
+        without_header = PolicyFrame.top("https://example.org")
+        child_with = with_header.child("https://iframe.com", allow=allow)
+        child_without = without_header.child("https://iframe.com",
+                                             allow=allow)
+        if ENGINE.is_enabled(feature, with_header):
+            assert ENGINE.is_enabled(feature, without_header)
+        if ENGINE.is_enabled(feature, child_with):
+            assert ENGINE.is_enabled(feature, child_without)
+
+    @given(st.sampled_from(FEATURES), st.sampled_from(HEADER_VALUES))
+    def test_plain_delegation_never_restricts(self, feature, value):
+        """allow="feature" (default src) can only add access for the
+        iframe, never remove it."""
+        top = PolicyFrame.top("https://example.org",
+                              header=f"{feature}={value}")
+        plain = top.child("https://iframe.com")
+        delegated = top.child("https://iframe.com", allow=feature)
+        if ENGINE.is_enabled(feature, plain):
+            assert ENGINE.is_enabled(feature, delegated)
+
+    @given(st.sampled_from(FEATURES))
+    def test_none_opt_out_always_restricts(self, feature):
+        """allow="feature 'none'" must never grant more than no attribute."""
+        top = PolicyFrame.top("https://example.org")
+        opted_out = top.child("https://iframe.com", allow=f"{feature} 'none'")
+        assert not ENGINE.is_enabled(feature, opted_out)
+
+    @given(st.sampled_from(FEATURES), st.sampled_from(HEADER_VALUES),
+           st.booleans())
+    def test_explain_consistent_with_is_enabled(self, feature, value, deep):
+        top = PolicyFrame.top("https://example.org",
+                              header=f"{feature}={value}")
+        frame = top.child("https://iframe.com", allow=feature)
+        if deep:
+            frame = frame.child("https://nested.example", allow=feature)
+        decision = ENGINE.explain(feature, frame)
+        assert decision.enabled == ENGINE.is_enabled(feature, frame)
+        assert decision.reason

@@ -1,0 +1,74 @@
+"""Tests for the legacy Feature-Policy header grammar."""
+
+from repro.policy.feature_policy import (
+    parse_feature_policy_header,
+    parse_serialized_policy,
+)
+from repro.policy.origin import Origin
+
+SELF = Origin.parse("https://example.org")
+OTHER = Origin.parse("https://trusted.example")
+
+
+class TestFeaturePolicyHeader:
+    def test_self_keyword(self):
+        parsed = parse_feature_policy_header("camera 'self'")
+        assert parsed.directives["camera"].self_
+
+    def test_none_keyword(self):
+        parsed = parse_feature_policy_header("geolocation 'none'")
+        assert parsed.directives["geolocation"].is_empty
+
+    def test_star(self):
+        parsed = parse_feature_policy_header("fullscreen *")
+        assert parsed.directives["fullscreen"].star
+
+    def test_unquoted_origin(self):
+        """Feature-Policy origins are NOT quoted (unlike Permissions-Policy)."""
+        parsed = parse_feature_policy_header("camera 'self' https://trusted.example")
+        allowlist = parsed.directives["camera"]
+        assert allowlist.self_
+        assert allowlist.allows(OTHER, self_origin=SELF)
+
+    def test_multiple_directives(self):
+        parsed = parse_feature_policy_header(
+            "camera 'self'; geolocation 'none'; fullscreen *")
+        assert parsed.feature_count == 3
+
+    def test_directive_without_members_defaults_to_self(self):
+        parsed = parse_feature_policy_header("camera")
+        assert parsed.directives["camera"].self_
+
+    def test_never_raises_on_garbage(self):
+        parsed = parse_feature_policy_header(";;;@@@;;;")
+        assert parsed.raw == ";;;@@@;;;"
+
+    def test_invalid_tokens_collected(self):
+        parsed = parse_feature_policy_header("camera 'self' %%bad%%")
+        assert "%%bad%%" in parsed.invalid_tokens
+
+    def test_repeated_feature_merges(self):
+        parsed = parse_feature_policy_header("camera 'self'; camera *")
+        allowlist = parsed.directives["camera"]
+        assert allowlist.self_ and allowlist.star
+
+
+class TestSerializedGrammar:
+    def test_unquoted_keywords_accepted_leniently(self):
+        """`allow="camera self"` (missing quotes) appears in the wild; the
+        parser accepts it like browsers do."""
+        directives = parse_serialized_policy("camera self")
+        assert directives[0].allowlist.self_
+
+    def test_none_mixed_with_others_is_ignored(self):
+        directives = parse_serialized_policy("camera 'none' 'self'")
+        allowlist = directives[0].allowlist
+        assert allowlist.self_ and not allowlist.is_empty
+
+    def test_is_explicit_flag(self):
+        bare, explicit = parse_serialized_policy("camera; microphone *")
+        assert not bare.is_explicit
+        assert explicit.is_explicit
+
+    def test_empty_string(self):
+        assert parse_serialized_policy("") == []

@@ -1,0 +1,147 @@
+"""Tests for Permissions-Policy header parsing (paper Sections 2.2.3, 4.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.policy.header import (
+    DirectiveIssue,
+    HeaderParseError,
+    parse_permissions_policy_header,
+    serialize_permissions_policy,
+)
+from repro.policy.origin import Origin
+from repro.registry.features import DEFAULT_REGISTRY
+
+KNOWN = frozenset(p.name for p in DEFAULT_REGISTRY)
+SELF = Origin.parse("https://example.org")
+IFRAME = Origin.parse("https://iframe.com")
+
+
+class TestValidHeaders:
+    def test_disable_directive(self):
+        parsed = parse_permissions_policy_header("camera=()")
+        assert parsed.directives["camera"].is_empty
+
+    def test_self_directive(self):
+        parsed = parse_permissions_policy_header("camera=(self)")
+        allowlist = parsed.directives["camera"]
+        assert allowlist.self_ and not allowlist.star
+
+    def test_bare_self_item(self):
+        parsed = parse_permissions_policy_header("camera=self")
+        assert parsed.directives["camera"].self_
+
+    def test_star_item(self):
+        parsed = parse_permissions_policy_header("fullscreen=*")
+        assert parsed.directives["fullscreen"].star
+
+    def test_paper_example_header(self):
+        """The exact example of Section 2.2.3."""
+        parsed = parse_permissions_policy_header(
+            'camera=(), geolocation=(self "https://iframe.com")')
+        assert parsed.directives["camera"].is_empty
+        geo = parsed.directives["geolocation"]
+        assert geo.self_
+        assert geo.allows(IFRAME, self_origin=SELF)
+        assert not parsed.diagnostics
+
+    def test_feature_count(self):
+        parsed = parse_permissions_policy_header("camera=(), usb=(), midi=()")
+        assert parsed.feature_count == 3
+
+    def test_origin_with_port(self):
+        parsed = parse_permissions_policy_header('camera=("https://a.com:8443")')
+        origin = parsed.directives["camera"].origins[0]
+        assert origin.port == 8443
+
+    def test_duplicate_directive_merges_and_flags(self):
+        parsed = parse_permissions_policy_header("camera=(self), camera=(*)")
+        assert parsed.has_issue(DirectiveIssue.DUPLICATE_FEATURE)
+        merged = parsed.directives["camera"]
+        assert merged.self_ and merged.star
+
+
+class TestSyntaxErrors:
+    """These drop the whole header (paper: 3,244 frames, 2%)."""
+
+    def test_feature_policy_syntax_detected(self):
+        with pytest.raises(HeaderParseError) as excinfo:
+            parse_permissions_policy_header("camera 'self'; geolocation 'none'")
+        assert "Feature-Policy" in str(excinfo.value)
+
+    def test_trailing_comma(self):
+        with pytest.raises(HeaderParseError):
+            parse_permissions_policy_header("camera=(),")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(HeaderParseError):
+            parse_permissions_policy_header("camera=(self")
+
+    def test_error_retains_raw_value(self):
+        with pytest.raises(HeaderParseError) as excinfo:
+            parse_permissions_policy_header("camera=(),")
+        assert excinfo.value.raw == "camera=(),"
+
+
+class TestSemanticDiagnostics:
+    """Misconfigurations the browser tolerates (paper: 6,408 websites)."""
+
+    def test_none_token_flagged(self):
+        parsed = parse_permissions_policy_header("camera=(none)")
+        assert parsed.has_issue(DirectiveIssue.UNRECOGNIZED_TOKEN)
+        assert parsed.directives["camera"].is_empty  # token has no effect
+
+    def test_zero_token_flagged(self):
+        parsed = parse_permissions_policy_header("camera=(0)")
+        assert parsed.has_issue(DirectiveIssue.UNRECOGNIZED_TOKEN)
+
+    def test_unquoted_url_flagged(self):
+        parsed = parse_permissions_policy_header("camera=(https://a.com)")
+        assert parsed.has_issue(DirectiveIssue.UNQUOTED_URL)
+        assert not parsed.directives["camera"].origins  # not granted
+
+    def test_contradictory_self_and_star(self):
+        parsed = parse_permissions_policy_header("camera=(self *)")
+        assert parsed.has_issue(DirectiveIssue.CONTRADICTORY)
+
+    def test_url_without_self_flagged(self):
+        """W3C issue #480: origins without self are not allowed."""
+        parsed = parse_permissions_policy_header('camera=("https://iframe.com")')
+        assert parsed.has_issue(DirectiveIssue.URL_WITHOUT_SELF)
+
+    def test_url_with_self_not_flagged(self):
+        parsed = parse_permissions_policy_header(
+            'camera=(self "https://iframe.com")')
+        assert not parsed.has_issue(DirectiveIssue.URL_WITHOUT_SELF)
+
+    def test_unknown_feature_flagged_with_registry(self):
+        parsed = parse_permissions_policy_header("warp-drive=()", KNOWN)
+        assert parsed.has_issue(DirectiveIssue.UNKNOWN_FEATURE)
+        # Directive still applied for forward compatibility.
+        assert "warp-drive" in parsed.directives
+
+    def test_invalid_origin_string_flagged(self):
+        parsed = parse_permissions_policy_header('camera=("not a url")')
+        assert parsed.has_issue(DirectiveIssue.INVALID_ORIGIN)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        raw = 'camera=(), geolocation=(self "https://iframe.com"), usb=(self)'
+        parsed = parse_permissions_policy_header(raw)
+        serialized = serialize_permissions_policy(parsed.directives)
+        reparsed = parse_permissions_policy_header(serialized)
+        assert set(reparsed.directives) == set(parsed.directives)
+        for feature in parsed.directives:
+            a, b = parsed.directives[feature], reparsed.directives[feature]
+            assert (a.star, a.self_, a.origins) == (b.star, b.self_, b.origins)
+
+    @given(st.lists(st.sampled_from(
+        ["camera", "geolocation", "usb", "midi", "payment", "fullscreen"]),
+        min_size=1, max_size=6, unique=True),
+        st.sampled_from(["()", "(self)", "*", '(self "https://t.example")']))
+    def test_generated_headers_always_reparse(self, features, value):
+        raw = ", ".join(f"{f}={value}" for f in features)
+        parsed = parse_permissions_policy_header(raw)
+        assert set(parsed.directives) == set(features)

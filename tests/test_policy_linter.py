@@ -1,0 +1,90 @@
+"""Tests for the header linter (paper Section 4.3.3 misconfigurations)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.policy.linter import HeaderLinter, LintRule, LintSeverity
+
+
+@pytest.fixture(scope="module")
+def linter() -> HeaderLinter:
+    return HeaderLinter()
+
+
+class TestFatalFindings:
+    def test_feature_policy_syntax_is_fatal(self, linter):
+        """The most common fatal mistake in the paper's data."""
+        report = linter.lint("camera 'self'; geolocation 'none'")
+        assert report.header_dropped
+        assert report.findings[0].rule is LintRule.FEATURE_POLICY_SYNTAX
+
+    def test_trailing_comma_is_fatal(self, linter):
+        """The second most common: 'misplaced commas, such as ending the
+        header with a comma'."""
+        report = linter.lint("camera=(), geolocation=(),")
+        assert report.header_dropped
+        assert report.findings[0].rule is LintRule.TRAILING_COMMA
+
+    def test_generic_syntax_error(self, linter):
+        report = linter.lint("camera=(self")
+        assert report.header_dropped
+        assert report.findings[0].rule is LintRule.SYNTAX_ERROR
+        assert report.findings[0].is_fatal
+
+
+class TestSemanticFindings:
+    def test_none_token(self, linter):
+        report = linter.lint("camera=(none)")
+        assert not report.header_dropped
+        assert report.findings_by_rule(LintRule.UNRECOGNIZED_TOKEN)
+
+    def test_unquoted_url(self, linter):
+        report = linter.lint("camera=(self https://a.com)")
+        assert report.findings_by_rule(LintRule.UNQUOTED_URL)
+
+    def test_contradictory_self_star(self, linter):
+        report = linter.lint("camera=(self *)")
+        assert report.findings_by_rule(LintRule.CONTRADICTORY_DIRECTIVE)
+
+    def test_url_without_self(self, linter):
+        report = linter.lint('camera=("https://a.com")')
+        assert report.findings_by_rule(LintRule.URL_WITHOUT_SELF)
+
+    def test_unknown_feature(self, linter):
+        report = linter.lint("hyperdrive=()")
+        findings = report.findings_by_rule(LintRule.UNKNOWN_FEATURE)
+        assert findings and findings[0].severity is LintSeverity.WARNING
+
+    def test_star_no_effect_warning(self, linter):
+        """Paper 4.3.1: 6.02% declare '*', which has no real effect."""
+        report = linter.lint("camera=*")
+        findings = report.findings_by_rule(LintRule.STAR_NO_EFFECT)
+        assert findings and findings[0].feature == "camera"
+
+    def test_clean_header_has_no_findings(self, linter):
+        report = linter.lint('camera=(), geolocation=(self "https://m.example")')
+        assert not report.findings
+        assert not report.has_semantic_issues
+
+    def test_finding_carries_feature_name(self, linter):
+        report = linter.lint("camera=(none)")
+        assert report.findings[0].feature == "camera"
+
+
+class TestLinterWithoutRegistry:
+    def test_unknown_feature_not_flagged(self):
+        linter = HeaderLinter(registry=None)
+        report = linter.lint("hyperdrive=()")
+        assert not report.findings_by_rule(LintRule.UNKNOWN_FEATURE)
+
+
+class TestRobustness:
+    @given(st.text(max_size=80))
+    def test_lint_never_raises(self, raw):
+        report = HeaderLinter().lint(raw)
+        assert report.raw == raw
+        if report.header_dropped:
+            assert any(f.is_fatal for f in report.findings)
+        else:
+            assert report.parsed is not None

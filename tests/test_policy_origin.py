@@ -1,0 +1,160 @@
+"""Tests for the origin / site model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.policy.origin import (
+    LOCAL_SCHEMES,
+    Origin,
+    OriginParseError,
+    public_suffix,
+    registrable_domain,
+    site_of,
+)
+
+
+class TestOriginParsing:
+    def test_simple_https(self):
+        origin = Origin.parse("https://example.org/path?q=1")
+        assert origin.scheme == "https"
+        assert origin.host == "example.org"
+        assert origin.port is None
+
+    def test_default_port_normalized(self):
+        assert Origin.parse("https://example.org:443").port is None
+        assert Origin.parse("http://example.org:80").port is None
+
+    def test_non_default_port_kept(self):
+        assert Origin.parse("https://example.org:8443").port == 8443
+
+    def test_host_lowercased(self):
+        assert Origin.parse("https://EXAMPLE.ORG").host == "example.org"
+
+    @pytest.mark.parametrize("scheme", sorted(LOCAL_SCHEMES))
+    def test_local_schemes_are_opaque(self, scheme):
+        origin = Origin.parse(f"{scheme}:whatever")
+        assert origin.opaque
+        assert origin.is_local_scheme
+        assert origin.serialize() == "null"
+
+    @pytest.mark.parametrize("bad", ["", "no-scheme-here", "https://", "https://:80"])
+    def test_invalid_urls_rejected(self, bad):
+        with pytest.raises(OriginParseError):
+            Origin.parse(bad)
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(OriginParseError):
+            Origin.parse("https://example.org:99999999")
+
+
+class TestSameOriginSameSite:
+    def test_same_origin(self):
+        a = Origin.parse("https://example.org")
+        b = Origin.parse("https://example.org/other")
+        assert a.same_origin(b)
+
+    def test_different_scheme_not_same_origin(self):
+        assert not Origin.parse("http://a.com").same_origin(
+            Origin.parse("https://a.com"))
+
+    def test_different_port_not_same_origin(self):
+        assert not Origin.parse("https://a.com:8443").same_origin(
+            Origin.parse("https://a.com"))
+
+    def test_opaque_same_origin_by_identity_only(self):
+        """Opaque origins behave like browser-internal ones: same-origin
+        with themselves, never with another (even equal-looking) opaque
+        origin or any tuple origin."""
+        opaque = Origin.opaque_origin()
+        assert opaque.same_origin(opaque)
+        assert not opaque.same_origin(Origin.opaque_origin())
+        assert not opaque.same_origin(Origin.parse("https://a.com"))
+
+    def test_subdomain_same_site_not_same_origin(self):
+        a = Origin.parse("https://cdn.example.org")
+        b = Origin.parse("https://www.example.org")
+        assert not a.same_origin(b)
+        assert a.same_site(b)
+
+    def test_cross_site(self):
+        assert not Origin.parse("https://a.com").same_site(
+            Origin.parse("https://b.com"))
+
+    def test_multi_label_suffix_not_same_site(self):
+        """a.co.uk and b.co.uk are different sites — co.uk is a suffix."""
+        assert not Origin.parse("https://a.co.uk").same_site(
+            Origin.parse("https://b.co.uk"))
+
+    def test_platform_suffixes(self):
+        """user1.github.io and user2.github.io are different sites."""
+        assert not Origin.parse("https://user1.github.io").same_site(
+            Origin.parse("https://user2.github.io"))
+
+
+class TestRegistrableDomain:
+    @pytest.mark.parametrize("host,expected", [
+        ("example.org", "example.org"),
+        ("www.example.org", "example.org"),
+        ("a.b.c.example.org", "example.org"),
+        ("example.co.uk", "example.co.uk"),
+        ("shop.example.co.uk", "example.co.uk"),
+        ("user.github.io", "user.github.io"),
+        ("deep.user.github.io", "user.github.io"),
+        ("localhost", "localhost"),
+        ("192.168.1.1", "192.168.1.1"),
+    ])
+    def test_registrable_domain(self, host, expected):
+        assert registrable_domain(host) == expected
+
+    def test_public_suffix(self):
+        assert public_suffix("www.example.co.uk") == "co.uk"
+        assert public_suffix("www.example.org") == "org"
+
+    def test_site_of_url(self):
+        assert site_of("https://cdn.shop.example.com/x.js") == "example.com"
+
+    def test_site_of_opaque_is_empty(self):
+        assert site_of("data:text/html,hi") == ""
+
+    def test_trailing_dot_stripped(self):
+        assert registrable_domain("example.org.") == "example.org"
+
+
+class TestOriginProperties:
+    @given(st.sampled_from(["http", "https"]),
+           st.from_regex(r"[a-z]{1,10}(\.[a-z]{2,8}){1,3}", fullmatch=True),
+           st.integers(min_value=1, max_value=65535))
+    def test_parse_serialize_roundtrip(self, scheme, host, port):
+        url = f"{scheme}://{host}:{port}"
+        origin = Origin.parse(url)
+        again = Origin.parse(origin.serialize())
+        assert origin.same_origin(again)
+
+    @given(st.from_regex(r"[a-z]{1,8}(\.[a-z]{1,8}){0,4}\.[a-z]{2,6}",
+                         fullmatch=True))
+    def test_registrable_domain_is_suffix_of_host(self, host):
+        domain = registrable_domain(host)
+        assert host == domain or host.endswith("." + domain)
+
+    @given(st.from_regex(r"[a-z]{1,8}(\.[a-z]{1,8}){0,4}\.[a-z]{2,6}",
+                         fullmatch=True))
+    def test_registrable_domain_idempotent(self, host):
+        domain = registrable_domain(host)
+        assert registrable_domain(domain) == domain
+
+    def test_str_matches_serialize(self):
+        origin = Origin.parse("https://example.org:444")
+        assert str(origin) == origin.serialize() == "https://example.org:444"
+
+
+class TestMalformedUrls:
+    @pytest.mark.parametrize("bad", [
+        "https://0\r[",      # unbalanced IPv6 bracket (hypothesis find)
+        "https://[::1",      # unterminated bracket
+        "http://[",
+    ])
+    def test_bracket_garbage_raises_origin_error(self, bad):
+        """urlsplit's raw ValueError must not leak past Origin.parse."""
+        with pytest.raises(OriginParseError):
+            Origin.parse(bad)

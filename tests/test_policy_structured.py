@@ -1,0 +1,162 @@
+"""Tests for the RFC 8941 structured-field parser subset."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.policy.structured import (
+    InnerList,
+    Item,
+    StructuredFieldError,
+    Token,
+    parse_dictionary,
+    parse_dictionary_items,
+    serialize_bare_item,
+)
+
+
+class TestDictionaryParsing:
+    def test_empty_value(self):
+        assert parse_dictionary("") == {}
+        assert parse_dictionary("   ") == {}
+
+    def test_single_token_member(self):
+        members = parse_dictionary("camera=self")
+        assert members["camera"] == Item(Token("self"))
+
+    def test_star_token(self):
+        members = parse_dictionary("fullscreen=*")
+        assert members["fullscreen"].value == Token("*")
+
+    def test_empty_inner_list(self):
+        members = parse_dictionary("camera=()")
+        assert members["camera"] == InnerList(())
+
+    def test_inner_list_with_token_and_string(self):
+        members = parse_dictionary('camera=(self "https://a.com")')
+        inner = members["camera"]
+        assert isinstance(inner, InnerList)
+        assert inner.items[0].value == Token("self")
+        assert inner.items[1].value == "https://a.com"
+
+    def test_multiple_members(self):
+        members = parse_dictionary("camera=(), geolocation=(self), usb=*")
+        assert set(members) == {"camera", "geolocation", "usb"}
+
+    def test_bare_key_is_boolean_true(self):
+        members = parse_dictionary("camera")
+        assert members["camera"] == Item(True)
+
+    def test_duplicate_key_last_wins(self):
+        members = parse_dictionary("a=1, a=2")
+        assert members["a"].value == 2
+
+    def test_duplicate_keys_preserved_by_items_parser(self):
+        items = parse_dictionary_items("a=1, a=2")
+        assert [key for key, _ in items] == ["a", "a"]
+
+    def test_whitespace_tolerated_around_commas(self):
+        members = parse_dictionary("a=1 ,\tb=2")
+        assert set(members) == {"a", "b"}
+
+
+class TestItems:
+    def test_integer(self):
+        assert parse_dictionary("n=42")["n"].value == 42
+
+    def test_negative_integer(self):
+        assert parse_dictionary("n=-7")["n"].value == -7
+
+    def test_decimal(self):
+        assert parse_dictionary("n=1.25")["n"].value == pytest.approx(1.25)
+
+    def test_boolean(self):
+        assert parse_dictionary("t=?1")["t"].value is True
+        assert parse_dictionary("f=?0")["f"].value is False
+
+    def test_string_with_escapes(self):
+        members = parse_dictionary(r'a="he said \"hi\" \\ ok"')
+        assert members["a"].value == 'he said "hi" \\ ok'
+
+    def test_token_with_url_characters(self):
+        """Unquoted URLs parse as tokens — the linter flags them later."""
+        members = parse_dictionary("camera=(https://a.com)")
+        inner = members["camera"]
+        assert inner.items[0].value == Token("https://a.com")
+
+    def test_parameters_on_item(self):
+        members = parse_dictionary("a=1;q=0.5;x")
+        assert members["a"].params == {"q": pytest.approx(0.5), "x": True}
+
+    def test_parameters_on_inner_list(self):
+        members = parse_dictionary("a=(1 2);total=3")
+        assert members["a"].params == {"total": 3}
+
+
+class TestSyntaxErrors:
+    """Every one of these must fail the WHOLE field (RFC 8941 rule) —
+    the mechanism behind the paper's dropped-header misconfigurations."""
+
+    @pytest.mark.parametrize("bad", [
+        "camera=(),",            # trailing comma (common paper finding)
+        "camera=(self",          # unterminated inner list
+        'camera=("unterminated', # unterminated string
+        "camera=(self)x",        # trailing junk
+        "Camera=()",             # uppercase key start
+        "camera==()",            # double equals
+        "camera=() geolocation=()",  # missing comma
+        "camera=(self,self)",    # comma inside inner list
+        "=()",                   # missing key
+        "camera=?2",             # invalid boolean
+        "camera=:blob:",         # byte sequence not allowed here
+        'camera=("\\n")',        # invalid escape
+        "camera=1.2345",         # too many decimal digits
+        "n=1234567890123456",    # integer too long
+    ])
+    def test_invalid_field_raises(self, bad):
+        with pytest.raises(StructuredFieldError):
+            parse_dictionary(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(StructuredFieldError) as excinfo:
+            parse_dictionary("camera=(),")
+        assert excinfo.value.position >= 0
+
+
+class TestSerialization:
+    def test_serialize_token(self):
+        assert serialize_bare_item(Token("self")) == "self"
+
+    def test_serialize_string_escapes(self):
+        assert serialize_bare_item('a"b\\c') == '"a\\"b\\\\c"'
+
+    def test_serialize_booleans(self):
+        assert serialize_bare_item(True) == "?1"
+        assert serialize_bare_item(False) == "?0"
+
+    def test_serialize_numbers(self):
+        assert serialize_bare_item(42) == "42"
+        assert serialize_bare_item(1.5) == "1.5"
+
+
+class TestParserRobustness:
+    @given(st.text(max_size=64))
+    def test_parser_never_hangs_or_crashes_unexpectedly(self, text):
+        """On arbitrary input the parser either returns a dict or raises
+        StructuredFieldError — nothing else."""
+        try:
+            result = parse_dictionary(text)
+        except StructuredFieldError:
+            return
+        assert isinstance(result, dict)
+
+    @given(st.lists(
+        st.tuples(
+            st.from_regex(r"[a-z][a-z0-9_-]{0,10}", fullmatch=True),
+            st.sampled_from(["()", "(self)", "*", '(self "https://x.org")']),
+        ),
+        min_size=1, max_size=8, unique_by=lambda kv: kv[0]))
+    def test_wellformed_dictionaries_always_parse(self, pairs):
+        text = ", ".join(f"{k}={v}" for k, v in pairs)
+        members = parse_dictionary(text)
+        assert set(members) == {k for k, _ in pairs}

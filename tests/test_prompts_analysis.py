@@ -1,0 +1,75 @@
+"""Tests for prompt-pressure analysis and prompt record persistence."""
+
+import pytest
+
+from repro.analysis.prompts_analysis import PromptAnalysis
+from repro.crawler.pool import CrawlerPool
+from repro.crawler.records import PromptRecord
+from repro.crawler.storage import CrawlStore
+from repro.synthweb.generator import SyntheticWeb
+from tests.test_analysis import make_frame, make_visit
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CrawlerPool(SyntheticWeb(700, seed=2024), workers=2).run()
+
+
+class TestPromptRecords:
+    def test_crawl_records_prompts(self, dataset):
+        prompted = [v for v in dataset.successful() if v.prompts]
+        assert prompted, "some sites must prompt on load"
+        prompt = prompted[0].prompts[0]
+        assert prompt.permission
+        assert "asking to" in prompt.text
+
+    def test_prompts_roundtrip_through_sqlite(self, dataset, tmp_path):
+        path = tmp_path / "c.sqlite"
+        with CrawlStore(path) as store:
+            store.save_dataset(dataset)
+        with CrawlStore(path) as store:
+            loaded = store.load_dataset()
+        original = sum(len(v.prompts) for v in dataset.visits)
+        restored = sum(len(v.prompts) for v in loaded.visits)
+        assert original == restored > 0
+
+
+class TestPromptAnalysis:
+    def test_notifications_dominate_onload_prompts(self, dataset):
+        """Push providers request notifications on load — the classic
+        interruption the prompt-quieting literature targets."""
+        analysis = PromptAnalysis(dataset.successful())
+        offenders = dict(analysis.top_offenders())
+        assert offenders
+        assert max(offenders, key=offenders.get) == "notifications"
+
+    def test_prompting_share_is_minority(self, dataset):
+        analysis = PromptAnalysis(dataset.successful())
+        assert 0.02 < analysis.prompting_share < 0.35
+
+    def test_storage_access_prompts_name_embedded_site(self, dataset):
+        analysis = PromptAnalysis(dataset.successful())
+        report = analysis.report
+        assert report.prompts_naming_embedded_site > 0
+        assert report.prompts_naming_embedded_site \
+            <= report.prompts_from_embedded
+
+    def test_hand_built_visit(self):
+        frames = [make_frame(0, "https://a.com"),
+                  make_frame(1, "https://b.com/w", parent=0, depth=1)]
+        visit = make_visit(0, frames)
+        visit.prompts = [
+            PromptRecord("camera", 0, "a.com", "a.com is asking to: x"),
+            PromptRecord("storage-access", 1, "b.com",
+                         "b.com is asking to: y"),
+        ]
+        analysis = PromptAnalysis([visit])
+        assert analysis.report.total_prompts == 2
+        assert analysis.report.prompts_from_embedded == 1
+        assert analysis.report.prompts_naming_embedded_site == 1
+        assert analysis.prompting_share == 1.0
+
+    def test_empty(self):
+        analysis = PromptAnalysis([])
+        assert analysis.prompting_share == 0.0
+        assert analysis.report.embedded_share == 0.0

@@ -1,0 +1,163 @@
+"""Tests for the permission catalogue (paper Table 2 / Appendix A.4)."""
+
+import pytest
+
+from repro.registry.features import (
+    DEFAULT_REGISTRY,
+    FEATURE_POLICY_APIS,
+    GENERAL_PERMISSION_APIS,
+    DefaultAllowlist,
+    Permission,
+    PermissionCategory,
+    PermissionRegistry,
+    UnknownPermissionError,
+)
+
+
+class TestTable2Characteristics:
+    """The paper's Table 2 rows must hold exactly."""
+
+    def test_camera_is_powerful_policy_controlled_self(self):
+        camera = DEFAULT_REGISTRY.get("camera")
+        assert camera.powerful
+        assert camera.policy_controlled
+        assert camera.default_allowlist is DefaultAllowlist.SELF
+
+    def test_geolocation_is_powerful_policy_controlled_self(self):
+        geo = DEFAULT_REGISTRY.get("geolocation")
+        assert geo.powerful
+        assert geo.policy_controlled
+        assert geo.default_allowlist is DefaultAllowlist.SELF
+
+    def test_gamepad_is_policy_controlled_not_powerful_star(self):
+        gamepad = DEFAULT_REGISTRY.get("gamepad")
+        assert not gamepad.powerful
+        assert gamepad.policy_controlled
+        assert gamepad.default_allowlist is DefaultAllowlist.STAR
+
+    def test_notifications_is_powerful_not_policy_controlled(self):
+        notifications = DEFAULT_REGISTRY.get("notifications")
+        assert notifications.powerful
+        assert not notifications.policy_controlled
+        assert notifications.default_allowlist is None
+
+    def test_push_is_powerful_not_policy_controlled(self):
+        push = DEFAULT_REGISTRY.get("push")
+        assert push.powerful
+        assert not push.policy_controlled
+
+
+class TestCatalogueCoverage:
+    def test_appendix_a4_permissions_present(self):
+        """Every permission from Appendix A.4 is registered."""
+        appendix_a4 = [
+            "accelerometer", "ambient-light-sensor", "battery", "bluetooth",
+            "browsing-topics", "camera", "clipboard-read", "clipboard-write",
+            "compute-pressure", "direct-sockets", "display-capture",
+            "encrypted-media", "gamepad", "geolocation", "gyroscope", "hid",
+            "idle-detection", "keyboard-lock", "keyboard-map", "local-fonts",
+            "magnetometer", "microphone", "midi", "notifications", "payment",
+            "pointer-lock", "publickey-credentials-create",
+            "publickey-credentials-get", "push", "screen-wake-lock", "serial",
+            "speaker-selection", "storage-access", "system-wake-lock",
+            "top-level-storage-access", "usb", "web-share",
+            "window-management", "xr-spatial-tracking",
+        ]
+        for name in appendix_a4:
+            assert name in DEFAULT_REGISTRY, name
+
+    def test_result_table_permissions_present(self):
+        """Permissions named only in result tables are also registered."""
+        for name in ["attribution-reporting", "run-ad-auction",
+                     "join-ad-interest-group", "autoplay",
+                     "picture-in-picture", "fullscreen", "sync-xhr",
+                     "interest-cohort", "identity-credentials-get",
+                     "otp-credentials", "vr"]:
+            assert name in DEFAULT_REGISTRY, name
+
+    def test_picture_in_picture_defaults_to_star(self):
+        """Paper 4.2.1: delegating picture-in-picture is unnecessary because
+        its default allowlist is *."""
+        pip = DEFAULT_REGISTRY.get("picture-in-picture")
+        assert pip.default_allowlist is DefaultAllowlist.STAR
+
+    def test_every_policy_controlled_permission_has_allowlist(self):
+        for perm in DEFAULT_REGISTRY.policy_controlled():
+            assert perm.default_allowlist in (DefaultAllowlist.SELF,
+                                              DefaultAllowlist.STAR)
+
+    def test_every_permission_has_api_patterns(self):
+        for perm in DEFAULT_REGISTRY:
+            assert perm.api_patterns, f"{perm.name} lacks API patterns"
+
+
+class TestRegistryBehaviour:
+    def test_unknown_permission_raises(self):
+        with pytest.raises(UnknownPermissionError):
+            DEFAULT_REGISTRY.get("does-not-exist")
+
+    def test_maybe_returns_none_for_unknown(self):
+        assert DEFAULT_REGISTRY.maybe("does-not-exist") is None
+
+    def test_contains(self):
+        assert "camera" in DEFAULT_REGISTRY
+        assert "nope" not in DEFAULT_REGISTRY
+
+    def test_len_and_iteration_agree(self):
+        assert len(list(DEFAULT_REGISTRY)) == len(DEFAULT_REGISTRY)
+
+    def test_names_are_unique(self):
+        names = DEFAULT_REGISTRY.names()
+        assert len(names) == len(set(names))
+
+    def test_powerful_subset_of_catalogue(self):
+        powerful = set(p.name for p in DEFAULT_REGISTRY.powerful())
+        assert {"camera", "microphone", "geolocation",
+                "notifications"} <= powerful
+        assert "gamepad" not in powerful
+
+    def test_by_category(self):
+        ads = DEFAULT_REGISTRY.by_category(PermissionCategory.ADS)
+        assert any(p.name == "browsing-topics" for p in ads)
+
+    def test_default_allowlist_helper(self):
+        assert DEFAULT_REGISTRY.default_allowlist("camera") is DefaultAllowlist.SELF
+        with pytest.raises(ValueError):
+            DEFAULT_REGISTRY.default_allowlist("notifications")
+
+    def test_duplicate_names_rejected(self):
+        camera = DEFAULT_REGISTRY.get("camera")
+        with pytest.raises(ValueError):
+            PermissionRegistry([camera, camera])
+
+    def test_match_api_finds_camera_for_getusermedia(self):
+        matched = {p.name for p in
+                   DEFAULT_REGISTRY.match_api("navigator.mediaDevices.getUserMedia({video:1})")}
+        assert "camera" in matched and "microphone" in matched
+
+    def test_match_api_empty_for_plain_code(self):
+        assert DEFAULT_REGISTRY.match_api("console.log('hi')") == ()
+
+
+class TestPermissionValidation:
+    def test_policy_controlled_requires_allowlist(self):
+        with pytest.raises(ValueError):
+            Permission("x", True, False, None, PermissionCategory.OTHER)
+
+    def test_non_policy_controlled_rejects_allowlist(self):
+        with pytest.raises(ValueError):
+            Permission("x", False, False, DefaultAllowlist.SELF,
+                       PermissionCategory.OTHER)
+
+    def test_delegatable_mirrors_policy_controlled(self):
+        assert DEFAULT_REGISTRY.get("camera").delegatable
+        assert not DEFAULT_REGISTRY.get("notifications").delegatable
+
+
+class TestGeneralApis:
+    def test_general_apis_include_permissions_query(self):
+        assert "navigator.permissions.query" in GENERAL_PERMISSION_APIS
+
+    def test_feature_policy_apis_are_subset(self):
+        assert set(FEATURE_POLICY_APIS) <= set(GENERAL_PERMISSION_APIS)
+        assert all("featurePolicy" in api for api in FEATURE_POLICY_APIS)

@@ -1,0 +1,115 @@
+"""Tests for the browser support matrix (paper Figure 3 backing data)."""
+
+import pytest
+
+from repro.registry.browsers import (
+    CHROMIUM,
+    FIREFOX,
+    SAFARI,
+    BrowserEngine,
+    default_releases,
+    releases_for,
+)
+from repro.registry.features import UnknownPermissionError
+from repro.registry.support import (
+    SupportMatrix,
+    SupportStatus,
+    default_support_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix() -> SupportMatrix:
+    return default_support_matrix()
+
+
+class TestBrowsers:
+    def test_only_blink_enforces_permissions_policy_header(self):
+        """Paper 2.2.6: only Chromium-based browsers support the header."""
+        assert CHROMIUM.supports_permissions_policy_header
+        assert not FIREFOX.supports_permissions_policy_header
+        assert not SAFARI.supports_permissions_policy_header
+
+    def test_all_browsers_support_allow_attribute(self):
+        for browser in (CHROMIUM, FIREFOX, SAFARI):
+            assert browser.supports_allow_attribute
+
+    def test_blink_keeps_feature_policy_header(self):
+        assert CHROMIUM.supports_feature_policy_header
+        assert not FIREFOX.supports_feature_policy_header
+
+    def test_release_timeline_includes_chromium_127(self):
+        """Chromium 127 is the measurement browser (Appendix A.2 C13)."""
+        versions = [r.major_version for r in releases_for(CHROMIUM)]
+        assert 127 in versions
+
+    def test_releases_sorted_ascending(self):
+        versions = [r.major_version for r in releases_for(FIREFOX)]
+        assert versions == sorted(versions)
+
+
+class TestSupportMatrix:
+    def test_camera_supported_everywhere(self, matrix):
+        for browser in (CHROMIUM, FIREFOX, SAFARI):
+            assert matrix.currently_supported("camera", browser)
+
+    def test_browsing_topics_chromium_only(self, matrix):
+        """Paper 4.1.1: Topics proposed by Google, rejected by Mozilla and
+        Safari."""
+        assert matrix.currently_supported("browsing-topics", CHROMIUM)
+        assert not matrix.currently_supported("browsing-topics", FIREFOX)
+        assert not matrix.currently_supported("browsing-topics", SAFARI)
+
+    def test_interest_cohort_removed_from_chromium(self, matrix):
+        """FLoC shipped and was then pulled: status flips to REMOVED."""
+        assert matrix.status("interest-cohort", CHROMIUM, 90) is SupportStatus.SUPPORTED
+        assert matrix.status("interest-cohort", CHROMIUM, 120) is SupportStatus.REMOVED
+
+    def test_unknown_permission_raises(self, matrix):
+        with pytest.raises(UnknownPermissionError):
+            matrix.status("warp-drive", CHROMIUM, 127)
+
+    def test_unlisted_permission_gets_blink_default(self, matrix):
+        """Permissions without explicit table rows default to
+        Blink-since-88."""
+        assert matrix.supported("ch-ua", CHROMIUM, 127)
+        assert not matrix.supported("ch-ua", FIREFOX, 128)
+
+    def test_history_is_monotone_in_releases(self, matrix):
+        history = matrix.history("storage-access", CHROMIUM)
+        versions = [release.major_version for release, _ in history]
+        assert versions == sorted(versions)
+
+    def test_changes_compress_history(self, matrix):
+        changes = matrix.changes("storage-access", CHROMIUM)
+        statuses = [status for _, status in changes]
+        # No two consecutive identical statuses.
+        assert all(a is not b for a, b in zip(statuses, statuses[1:]))
+        # storage-access appears at some point on Chromium.
+        assert SupportStatus.SUPPORTED in statuses
+
+    def test_supported_anywhere(self, matrix):
+        assert matrix.supported_anywhere("camera")
+        assert matrix.supported_anywhere("browsing-topics")  # Chromium only
+
+    def test_chromium_supported_permissions_policy_controlled_only(self, matrix):
+        perms = matrix.chromium_supported_permissions()
+        names = {p.name for p in perms}
+        assert "camera" in names
+        assert "notifications" not in names  # not policy-controlled
+        assert all(p.policy_controlled for p in perms)
+
+    def test_matrix_rows_cover_registry(self, matrix):
+        rows = list(matrix.matrix())
+        assert len(rows) == len(matrix.registry)
+        for perm, support in rows:
+            assert set(support) == {"Chromium", "Firefox", "Safari"}
+
+    def test_latest_release_errors_without_releases(self):
+        bare = SupportMatrix(releases=())
+        with pytest.raises(ValueError):
+            bare.latest_release(CHROMIUM)
+
+    def test_engine_status_before_since_is_unsupported(self, matrix):
+        assert matrix.status("compute-pressure", CHROMIUM, 100) is SupportStatus.UNSUPPORTED
+        assert matrix.status("compute-pressure", CHROMIUM, 127) is SupportStatus.SUPPORTED

@@ -1,0 +1,166 @@
+"""Tests for reporting helpers, record utilities and DOM structures."""
+
+import pytest
+
+from repro.analysis.report import (
+    ranking_overlap,
+    render_comparison,
+    render_ranking,
+    render_table,
+)
+from repro.browser.dom import Document, DocumentContent, FrameTree, IframeElement
+from repro.crawler.records import SiteVisit, failed_visit, successful_visits
+from repro.policy.engine import PolicyFrame
+from tests.test_analysis import make_call, make_frame, make_visit
+
+
+class TestRenderTable:
+    def test_alignment_and_formatting(self):
+        text = render_table(("name", "count", "share"),
+                            [("alpha", 1234, 0.5), ("b", 7, 0.125)],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1,234" in text
+        assert "50.00%" in text
+        assert "12.50%" in text
+
+    def test_float_above_one_not_percent(self):
+        text = render_table(("x", "v"), [("row", 3.25)])
+        assert "3.25" in text and "%" not in text
+
+    def test_empty_rows(self):
+        text = render_table(("a", "b"), [])
+        assert "a" in text
+
+    def test_comparison_shows_deviation(self):
+        text = render_comparison([("metric", 0.5, 0.55)])
+        assert "+10.0%" in text
+
+    def test_ranking_marks_matches(self):
+        text = render_ranking("t", ["a", "b"], ["a", "c"])
+        lines = text.splitlines()
+        assert any(line.rstrip().endswith("=") for line in lines)
+
+    def test_ranking_uneven_lengths(self):
+        text = render_ranking("t", ["a", "b", "c"], ["a"])
+        assert "c" in text
+
+
+class TestRankingOverlap:
+    def test_identical(self):
+        assert ranking_overlap(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint(self):
+        assert ranking_overlap(["a"], ["b"]) == 0.0
+
+    def test_partial(self):
+        assert ranking_overlap(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert ranking_overlap([], []) == 1.0
+
+
+class TestRecordHelpers:
+    def test_top_frame_lookup(self):
+        visit = make_visit(0, [make_frame(0, "https://a.com")])
+        assert visit.top_frame.frame_id == 0
+
+    def test_top_frame_missing_raises(self):
+        visit = SiteVisit(rank=0, requested_url="x", final_url="x",
+                          success=True)
+        with pytest.raises(ValueError):
+            visit.top_frame
+
+    def test_frame_by_id(self):
+        frames = [make_frame(0, "https://a.com"),
+                  make_frame(7, "https://b.com/w", parent=0, depth=1)]
+        visit = make_visit(0, frames)
+        assert visit.frame_by_id(7).site == "b.com"
+        with pytest.raises(KeyError):
+            visit.frame_by_id(99)
+
+    def test_calls_in_frame(self):
+        frames = [make_frame(0, "https://a.com")]
+        calls = [make_call(0, "navigator.getBattery", "invoke", ["battery"]),
+                 make_call(1, "navigator.getBattery", "invoke", ["battery"])]
+        visit = make_visit(0, frames, calls)
+        assert len(visit.calls_in_frame(0)) == 1
+
+    def test_failed_visit_and_filter(self):
+        failed = failed_visit(3, "https://x.com", "load-timeout")
+        ok = make_visit(4, [make_frame(0, "https://a.com")])
+        assert successful_visits([failed, ok]) == [ok]
+        assert failed.failure == "load-timeout"
+
+    def test_call_kind_predicates(self):
+        general = make_call(0, "document.featurePolicy.features", "general")
+        check = make_call(0, "navigator.permissions.query", "status-check",
+                          ["camera"])
+        invoke = make_call(0, "navigator.getBattery", "invoke", ["battery"])
+        assert general.is_general and not general.is_invoke
+        assert check.is_status_check
+        assert invoke.is_invoke
+        assert general.uses_deprecated_feature_policy_api
+
+
+class TestIframeElement:
+    def test_attribute_dict_skips_empty(self):
+        element = IframeElement(src="https://a.com/w", allow="camera")
+        attrs = element.attribute_dict()
+        assert attrs == {"src": "https://a.com/w", "allow": "camera"}
+
+    def test_lazy_detection_case_insensitive(self):
+        assert IframeElement(src="x", loading="LAZY").lazy
+        assert not IframeElement(src="x", loading="eager").lazy
+
+    def test_local_document_variants(self):
+        assert IframeElement(srcdoc="<p/>").is_local_document
+        assert IframeElement(src="data:text/html,x").is_local_document
+        assert IframeElement(src="javascript:void(0)").is_local_document
+        assert not IframeElement(src="https://a.com").is_local_document
+
+    def test_local_scheme_values(self):
+        assert IframeElement(srcdoc="<p/>").local_scheme == "about"
+        assert IframeElement(src="blob:abc").local_scheme == "blob"
+
+
+class TestFrameTree:
+    def _tree(self):
+        top_pf = PolicyFrame.top("https://a.com")
+        tree = FrameTree()
+        top = Document(url="https://a.com", origin=top_pf.origin, headers={},
+                       content=DocumentContent(), policy_frame=top_pf,
+                       frame_id=0)
+        tree.add(top)
+        child_pf = top_pf.child("https://b.com/w")
+        tree.add(Document(url="https://b.com/w", origin=child_pf.origin,
+                          headers={}, content=DocumentContent(),
+                          policy_frame=child_pf, frame_id=1, parent=top,
+                          depth=1))
+        local_pf = top_pf.local_child()
+        tree.add(Document(url="data:x", origin=local_pf.origin, headers={},
+                          content=DocumentContent(), policy_frame=local_pf,
+                          frame_id=2, parent=top, depth=1))
+        return tree
+
+    def test_structure_queries(self):
+        tree = self._tree()
+        assert len(tree) == 3
+        assert tree.top.frame_id == 0
+        assert len(tree.embedded()) == 2
+        assert len(tree.local_documents()) == 1
+        assert [f.site for f in tree.external_documents()] == ["b.com"]
+
+    def test_by_id_raises_for_unknown(self):
+        with pytest.raises(KeyError):
+            self._tree().by_id(42)
+
+    def test_empty_tree_top_raises(self):
+        with pytest.raises(ValueError):
+            FrameTree().top
+
+    def test_header_lookup_case_insensitive(self):
+        tree = self._tree()
+        tree.top.headers["permissions-policy"] = "camera=()"
+        assert tree.top.header("Permissions-Policy") == "camera=()"

@@ -1,0 +1,57 @@
+"""Tests for the multi-seed robustness harness."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    expected_noise_floor,
+    seed_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return seed_sweep(1200, seeds=(11, 22, 33), workers=2)
+
+
+class TestSeedSweep:
+    def test_needs_two_seeds(self):
+        with pytest.raises(ValueError):
+            seed_sweep(100, seeds=(1,))
+
+    def test_covers_all_headline_metrics(self, sweep):
+        assert len(sweep.metrics) >= 15
+
+    def test_no_systematic_bias_on_major_metrics(self, sweep):
+        """Paper values sit inside the sweep band for metrics ≥ 2 %
+        (sub-percent ones are noise-dominated at this scale)."""
+        for metric in sweep.metrics:
+            if metric.paper_value >= 0.02:
+                assert metric.paper_within_band, (
+                    metric.metric, metric.mean, metric.paper_value)
+
+    def test_spread_is_bounded(self, sweep):
+        """Run-to-run variation stays small for the large shares (small
+        shares are binomial-noise dominated at 1,200 sites)."""
+        for metric in sweep.metrics:
+            if metric.paper_value >= 0.25:
+                assert metric.relative_spread < 0.15, metric.metric
+
+    def test_min_max_bracket_mean(self, sweep):
+        for metric in sweep.metrics:
+            assert metric.minimum <= metric.mean <= metric.maximum
+
+
+class TestNoiseFloor:
+    def test_binomial_floor(self):
+        assert expected_noise_floor(0.5, 10_000) == pytest.approx(0.005)
+
+    def test_degenerate_inputs(self):
+        assert expected_noise_floor(0.0, 100) == 0.0
+        assert expected_noise_floor(0.5, 0) == 0.0
+
+    def test_sweep_spread_near_floor(self, sweep):
+        """Observed spread should be the same order as binomial noise —
+        large excesses would mean hidden nondeterminism."""
+        inv = next(m for m in sweep.metrics if m.metric == "any invocation")
+        floor = expected_noise_floor(inv.mean, 1200)
+        assert inv.stdev < floor * 12

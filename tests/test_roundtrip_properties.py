@@ -1,0 +1,126 @@
+"""Property-based round-trip and invariant tests across the policy stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy.allow_attr import (
+    parse_allow_attribute,
+    serialize_allow_attribute,
+)
+from repro.policy.allowlist import Allowlist
+from repro.policy.csp import ContentSecurityPolicy
+from repro.policy.header import (
+    parse_permissions_policy_header,
+    serialize_permissions_policy,
+)
+from repro.policy.origin import Origin
+from repro.registry.browsers import ALL_BROWSERS
+from repro.registry.features import DEFAULT_REGISTRY
+from repro.registry.support import SupportStatus, default_support_matrix
+
+FEATURES = st.sampled_from([p.name for p in DEFAULT_REGISTRY.policy_controlled()])
+
+ORIGINS = st.from_regex(r"[a-z]{1,8}\.[a-z]{2,5}", fullmatch=True).map(
+    lambda host: Origin.parse(f"https://{host}"))
+
+ALLOWLISTS = st.one_of(
+    st.just(Allowlist.nobody()),
+    st.just(Allowlist.self_only()),
+    st.just(Allowlist.all_origins()),
+    st.lists(ORIGINS, min_size=1, max_size=3, unique_by=lambda o: o.host).map(
+        lambda origins: Allowlist.of(*origins, self_=True)),
+)
+
+
+def _allowlists_equal(a: Allowlist, b: Allowlist) -> bool:
+    return (a.star, a.self_, a.src,
+            tuple(o.serialize() for o in a.origins)) == (
+        b.star, b.self_, b.src, tuple(o.serialize() for o in b.origins))
+
+
+class TestHeaderRoundTrip:
+    @given(st.dictionaries(FEATURES, ALLOWLISTS, min_size=1, max_size=8))
+    def test_serialize_parse_identity(self, directives):
+        raw = serialize_permissions_policy(directives)
+        parsed = parse_permissions_policy_header(raw)
+        assert set(parsed.directives) == set(directives)
+        for feature, allowlist in directives.items():
+            assert _allowlists_equal(parsed.directives[feature], allowlist), \
+                feature
+
+    @given(st.dictionaries(FEATURES, ALLOWLISTS, min_size=1, max_size=8))
+    def test_serialization_is_stable(self, directives):
+        """Serializing a parse of a serialization is a fixed point."""
+        once = serialize_permissions_policy(directives)
+        twice = serialize_permissions_policy(
+            parse_permissions_policy_header(once).directives)
+        assert once == twice
+
+
+class TestAllowAttributeRoundTrip:
+    ALLOW_LISTS = st.one_of(
+        st.just(Allowlist.src_only()),
+        st.just(Allowlist.nobody()),
+        st.just(Allowlist.all_origins()),
+        st.just(Allowlist.self_only()),
+        st.lists(ORIGINS, min_size=1, max_size=2,
+                 unique_by=lambda o: o.host).map(
+            lambda origins: Allowlist.of(*origins)),
+    )
+
+    @given(st.dictionaries(FEATURES, ALLOW_LISTS, min_size=1, max_size=6))
+    def test_serialize_parse_identity(self, entries):
+        raw = serialize_allow_attribute(entries)
+        parsed = parse_allow_attribute(raw)
+        assert set(parsed.features) == set(entries)
+        for feature, allowlist in entries.items():
+            assert _allowlists_equal(parsed.entry(feature).allowlist,
+                                     allowlist), feature
+
+
+class TestCspRobustness:
+    @given(st.text(max_size=120))
+    def test_parse_never_raises(self, raw):
+        policy = ContentSecurityPolicy.parse(raw)
+        # allows_frame must be total on any parsed policy.
+        policy.allows_frame("https://x.example",
+                            self_origin=Origin.parse("https://a.com"))
+
+    @given(st.lists(st.sampled_from(
+        ["'self'", "'none'", "*", "data:", "https://a.com", "*.b.org"]),
+        min_size=0, max_size=4))
+    def test_frame_src_none_dominates(self, extra):
+        """A directive containing ONLY 'none' matches nothing; with other
+        sources present, 'none' is ignored per CSP semantics."""
+        policy = ContentSecurityPolicy.parse(
+            "frame-src 'none' " + " ".join(extra))
+        allowed = policy.allows_frame("https://a.com",
+                                      self_origin=Origin.parse("https://a.com"))
+        if not extra:
+            assert not allowed
+
+
+class TestSupportMatrixInvariants:
+    @settings(max_examples=40)
+    @given(st.sampled_from([p.name for p in DEFAULT_REGISTRY]),
+           st.sampled_from(ALL_BROWSERS))
+    def test_status_never_unsupported_after_supported_without_removal(
+            self, permission, browser):
+        """Once supported, a permission only leaves via REMOVED — support
+        history is a valid state machine."""
+        matrix = default_support_matrix()
+        seen_supported = False
+        for _release, status in matrix.history(permission, browser):
+            if status is SupportStatus.SUPPORTED:
+                seen_supported = True
+            elif seen_supported:
+                assert status is SupportStatus.REMOVED
+
+    @settings(max_examples=40)
+    @given(st.sampled_from([p.name for p in DEFAULT_REGISTRY]))
+    def test_chromium_supported_implies_anywhere(self, permission):
+        matrix = default_support_matrix()
+        from repro.registry.browsers import CHROMIUM
+        if matrix.currently_supported(permission, CHROMIUM):
+            assert matrix.supported_anywhere(permission)

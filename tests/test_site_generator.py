@@ -1,0 +1,71 @@
+"""Tests for the companion-website generator (Figures 3 and 4)."""
+
+import pytest
+
+from repro.cli import main
+from repro.policy.header import parse_permissions_policy_header
+from repro.tools.site_generator import SiteGenerator
+
+
+@pytest.fixture(scope="module")
+def site():
+    return SiteGenerator()
+
+
+class TestIndexPage:
+    def test_contains_every_permission(self, site):
+        html = site.render_index()
+        for name in ("camera", "browsing-topics", "storage-access",
+                     "gamepad"):
+            assert name in html
+
+    def test_browser_columns_present(self, site):
+        html = site.render_index()
+        for browser in ("Chromium", "Firefox", "Safari"):
+            assert f"<th>{browser}</th>" in html
+
+    def test_deprecated_permissions_marked(self, site):
+        html = site.render_index()
+        assert 'class="deprecated">interest-cohort' in html
+
+    def test_changelog_records_floc_removal(self, site):
+        """interest-cohort shipped and was pulled again — the changelog
+        view must show the transition."""
+        html = site.render_index()
+        assert "interest-cohort" in html
+        assert "removed" in html
+
+
+class TestGeneratorPage:
+    def test_presets_embedded_and_parse(self, site):
+        html = site.render_generator()
+        assert "Permissions-Policy: " in html
+        # Extract the disable-all preset and round-trip it.
+        marker = '<pre id="preset-all">Permissions-Policy: '
+        start = html.index(marker) + len(marker)
+        end = html.index("</pre>", start)
+        header = html[start:end]
+        parsed = parse_permissions_policy_header(header)
+        assert all(a.is_empty for a in parsed.directives.values())
+
+    def test_permission_list_embedded_as_json(self, site):
+        html = site.render_generator()
+        assert '"name": "camera"' in html
+        assert '"powerful": true' in html
+
+    def test_powerful_marker_in_picker(self, site):
+        assert "⚠" in site.render_generator()
+
+
+class TestBuild:
+    def test_build_writes_both_pages(self, site, tmp_path):
+        paths = site.build(tmp_path / "site")
+        assert [p.name for p in paths] == ["index.html", "generator.html"]
+        for path in paths:
+            assert path.exists()
+            assert path.read_text().startswith("<!doctype html>")
+
+    def test_cli_build_site(self, tmp_path, capsys):
+        out = str(tmp_path / "site")
+        assert main(["build-site", "--output-dir", out]) == 0
+        assert "index.html" in capsys.readouterr().out

@@ -1,0 +1,161 @@
+"""Tests for the synthetic web generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.registry.features import DEFAULT_REGISTRY
+from repro.synthweb.distributions import PAPER, GeneratorRates
+from repro.synthweb.generator import FailureMode, SyntheticWeb
+from repro.synthweb.profiles import (
+    default_widget_profiles,
+    profiles_by_site,
+)
+
+
+class TestPaperMarginals:
+    def test_failure_counts_sum_to_attempted(self):
+        total = (PAPER.successful_sites + PAPER.ephemeral_errors
+                 + PAPER.load_timeouts + PAPER.unreachable
+                 + PAPER.minor_crawler_errors + PAPER.final_update_timeouts
+                 + PAPER.excluded_incomplete)
+        assert abs(total - PAPER.attempted_sites) <= 20
+
+    def test_frame_counts_consistent(self):
+        assert (PAPER.top_level_documents + PAPER.embedded_documents
+                == PAPER.total_frames)
+
+    def test_redirect_factor(self):
+        assert 1.3 < PAPER.redirect_factor < 1.45
+
+    def test_rates_are_probabilities(self):
+        rates = GeneratorRates()
+        for name in ("fail_ephemeral", "fail_timeout", "fail_unreachable",
+                     "redirect_rate", "iframe_any_rate", "pp_header_rate",
+                     "fp_header_rate", "header_syntax_error_rate",
+                     "header_semantic_issue_rate", "csp_rate"):
+            value = getattr(rates, name)
+            assert 0.0 <= value <= 1.0, name
+
+
+class TestWidgetProfiles:
+    def test_profiles_unique_sites(self):
+        profiles = default_widget_profiles()
+        sites = [p.site for p in profiles]
+        assert len(sites) == len(set(sites))
+
+    def test_livechat_template_and_unused(self):
+        """The Section 5.2 case study widget: template with wildcards,
+        camera/microphone/clipboard-read expected unused."""
+        livechat = profiles_by_site()["livechatinc.com"]
+        assert livechat.delegation_rate > 0.99
+        assert set(livechat.expected_unused_delegations()) >= {
+            "camera", "microphone", "clipboard-read"}
+        assert "microphone *" in livechat.allow_template
+
+    def test_youtube_expected_unused_is_sensors(self):
+        youtube = profiles_by_site()["youtube.com"]
+        assert set(youtube.expected_unused_delegations()) == {
+            "accelerometer", "gyroscope"}
+
+    def test_delegated_features_parse_template(self):
+        stripe = profiles_by_site()["stripe.com"]
+        assert stripe.delegated_features() == ("payment",)
+
+    def test_all_template_features_known(self):
+        for profile in default_widget_profiles():
+            for feature in profile.delegated_features():
+                assert feature in DEFAULT_REGISTRY, (profile.site, feature)
+
+    def test_widget_content_deterministic(self):
+        import random
+        youtube = profiles_by_site()["youtube.com"]
+        a = youtube.build_content(random.Random(1))
+        b = youtube.build_content(random.Random(1))
+        assert [s.url for s in a.scripts] == [s.url for s in b.scripts]
+
+    def test_paper_table3_ordering_encoded(self):
+        """Embed counts must preserve the paper's Table 3 ordering for the
+        top entries."""
+        by_site = profiles_by_site()
+        order = ["google.com", "youtube.com", "doubleclick.net",
+                 "googlesyndication.com", "facebook.com", "yandex.com",
+                 "twitter.com", "livechatinc.com", "criteo.com",
+                 "cloudflare.com"]
+        counts = [by_site[site].embed_count for site in order]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = SyntheticWeb(50, seed=7)
+        b = SyntheticWeb(50, seed=7)
+        for rank in range(50):
+            sa, sb = a.site(rank), b.site(rank)
+            assert sa.url == sb.url
+            assert sa.failure == sb.failure
+            assert sa.headers == sb.headers
+            assert len(sa.scripts) == len(sb.scripts)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticWeb(200, seed=1)
+        b = SyntheticWeb(200, seed=2)
+        assert any(a.site(r).headers != b.site(r).headers for r in range(200))
+
+    def test_origin_list_length(self):
+        web = SyntheticWeb(10)
+        assert len(web.origins()) == 10
+
+    def test_rank_roundtrip(self):
+        web = SyntheticWeb(100)
+        host = web.host_for_rank(42)
+        assert web.rank_for_host(host) == 42
+
+    def test_rank_for_unknown_host(self):
+        assert SyntheticWeb(10).rank_for_host("example.com") is None
+
+    def test_rank_bounds_checked(self):
+        web = SyntheticWeb(10)
+        with pytest.raises(IndexError):
+            web.site(10)
+        with pytest.raises(ValueError):
+            SyntheticWeb(0)
+
+    def test_failure_rates_approximate_paper(self):
+        web = SyntheticWeb(5000, seed=3)
+        failures = [web.site(r).failure for r in range(5000)]
+        ok_share = sum(1 for f in failures if f is FailureMode.NONE) / 5000
+        assert abs(ok_share - PAPER.successful_sites / PAPER.attempted_sites) < 0.03
+
+    def test_header_rate_approximates_paper(self):
+        web = SyntheticWeb(5000, seed=4)
+        with_pp = sum(1 for r in range(5000)
+                      if "permissions-policy" in web.site(r).headers)
+        assert abs(with_pp / 5000 - GeneratorRates().pp_header_rate) < 0.012
+
+    def test_livechat_placements_almost_always_delegate(self):
+        web = SyntheticWeb(30000, seed=5)
+        placements = [
+            placement
+            for rank in range(0, 30000, 3)
+            for placement in web.site(rank).widget_placements
+            if placement.profile.site == "livechatinc.com"
+        ]
+        assert placements, "expected some LiveChat placements"
+        delegated = sum(1 for p in placements if p.delegated)
+        assert delegated / len(placements) > 0.95
+
+    def test_site_content_includes_iframes_and_scripts(self):
+        web = SyntheticWeb(300, seed=6)
+        any_iframe = any(web.site(r).iframe_elements() for r in range(300))
+        any_script = all(web.site(r).scripts for r in range(300))
+        assert any_iframe and any_script
+
+    @given(st.integers(min_value=0, max_value=499))
+    @settings(max_examples=25, deadline=None)
+    def test_every_site_spec_wellformed(self, rank):
+        web = SyntheticWeb(500, seed=11)
+        spec = web.site(rank)
+        assert spec.url.startswith("https://")
+        for iframe in spec.iframe_elements():
+            assert iframe.src is not None or iframe.srcdoc is not None

@@ -1,0 +1,191 @@
+"""Tests for the developer tools (Section 6.3)."""
+
+import pytest
+
+from repro.crawler.fetcher import SyntheticFetcher
+from repro.policy.header import parse_permissions_policy_header
+from repro.registry.browsers import CHROMIUM, FIREFOX
+from repro.registry.features import UnknownPermissionError
+from repro.synthweb.generator import FailureMode, SyntheticWeb
+from repro.tools.header_generator import HeaderGenerator, HeaderPreset
+from repro.tools.poc import LocalSchemePoC
+from repro.tools.recommender import PolicyRecommender
+from repro.tools.support_site import SupportSiteReport
+
+
+class TestSupportSite:
+    def test_rows_cover_registry(self):
+        report = SupportSiteReport()
+        rows = report.rows()
+        assert len(rows) == len(report.matrix.registry)
+        names = {row["permission"] for row in rows}
+        assert {"camera", "browsing-topics", "gamepad"} <= names
+
+    def test_render_contains_headers_and_rows(self):
+        text = SupportSiteReport().render()
+        assert "Chromium" in text and "camera" in text
+
+    def test_chromium_only_includes_topics(self):
+        report = SupportSiteReport()
+        names = {p.name for p in report.chromium_only_permissions()}
+        assert "browsing-topics" in names
+        assert "camera" not in names
+
+    def test_history_report(self):
+        text = SupportSiteReport().history_report("storage-access", FIREFOX)
+        assert "storage-access" in text and "Firefox" in text
+
+    def test_summary_counts(self):
+        counts = SupportSiteReport().summary_counts()
+        assert counts["permissions"] >= counts["policy_controlled"]
+        assert counts["powerful"] > 0
+
+
+class TestHeaderGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return HeaderGenerator()
+
+    def test_disable_all_parses_and_disables(self, generator):
+        header = generator.generate_preset(HeaderPreset.DISABLE_ALL)
+        parsed = parse_permissions_policy_header(header)
+        assert all(allowlist.is_empty
+                   for allowlist in parsed.directives.values())
+
+    def test_disable_all_is_complete(self, generator):
+        """Covers every supported permission — no website in the paper's
+        data achieved this."""
+        header = generator.generate_preset(HeaderPreset.DISABLE_ALL)
+        assert generator.is_complete(header)
+
+    def test_disable_powerful_only_targets_powerful(self, generator):
+        header = generator.generate_preset(HeaderPreset.DISABLE_POWERFUL)
+        parsed = parse_permissions_policy_header(header)
+        registry = generator.matrix.registry
+        assert parsed.directives
+        for feature in parsed.directives:
+            assert registry.get(feature).powerful
+
+    def test_custom_adds_self_to_origin_allowlists(self, generator):
+        """Issue #480: origins must be accompanied by self."""
+        header = generator.generate_custom(
+            allow_origins={"camera": ("https://meet.example",)},
+            disable_rest=False)
+        parsed = parse_permissions_policy_header(header)
+        camera = parsed.directives["camera"]
+        assert camera.self_
+        assert camera.origins
+
+    def test_custom_disable_rest(self, generator):
+        header = generator.generate_custom(self_only=("geolocation",))
+        parsed = parse_permissions_policy_header(header)
+        assert parsed.directives["geolocation"].self_
+        assert parsed.directives["camera"].is_empty
+
+    def test_unknown_permission_rejected(self, generator):
+        with pytest.raises(UnknownPermissionError):
+            generator.generate_custom(disable=("warp-drive",))
+
+    def test_coverage_reports_gaps(self, generator):
+        coverage = generator.coverage("camera=()")
+        assert coverage["camera"]
+        assert not coverage["geolocation"]
+
+
+class TestLocalSchemePoC:
+    def test_demonstrates_issue_without_csp(self):
+        assert LocalSchemePoC().demonstrates_issue()
+
+    def test_demonstrates_issue_with_scriptsrc_only_csp(self):
+        """The paper's scenario: strict XSS mitigation without frame-src."""
+        poc = LocalSchemePoC(csp="script-src 'self'; object-src 'none'")
+        assert poc.demonstrates_issue()
+
+    def test_frame_src_csp_blocks_injection(self):
+        poc = LocalSchemePoC(csp="frame-src 'self'")
+        assert not poc.injection_possible()
+        assert not poc.demonstrates_issue()
+
+    @pytest.mark.parametrize("scheme", ["data", "about", "blob"])
+    def test_every_local_scheme_works(self, scheme):
+        assert LocalSchemePoC(scheme=scheme).demonstrates_issue()
+
+    def test_table11_rows(self):
+        rows = LocalSchemePoC().table11()
+        assert rows["expected"].local_document_has_camera
+        assert not rows["expected"].attacker_has_camera
+        assert rows["actual-specification"].attacker_has_camera
+
+    def test_report_text(self):
+        text = LocalSchemePoC().report()
+        assert "bypass" in text.lower()
+
+    def test_star_header_leaks_even_without_bug(self):
+        """Sanity: with camera=(*) the 'leak' is by design, not the bug —
+        both modes allow it, so demonstrates_issue is False."""
+        poc = LocalSchemePoC(header="camera=(*)")
+        rows = poc.table11()
+        assert rows["expected"].attacker_has_camera
+        assert not poc.demonstrates_issue()
+
+
+class TestRecommender:
+    @pytest.fixture(scope="class")
+    def web(self):
+        return SyntheticWeb(3000, seed=2024)
+
+    def _overpermissioned_rank(self, web):
+        for rank in range(web.site_count):
+            spec = web.site(rank)
+            if spec.failure is not FailureMode.NONE:
+                continue
+            for placement in spec.widget_placements:
+                if (placement.profile.site == "livechatinc.com"
+                        and placement.delegated and not placement.lazy):
+                    return rank
+        pytest.skip("no LiveChat site in sample")
+
+    def test_flags_livechat_over_delegation(self, web):
+        rank = self._overpermissioned_rank(web)
+        recommender = PolicyRecommender(SyntheticFetcher(web))
+        recommendation = recommender.recommend(web.origin_for_rank(rank))
+        flagged = [s for s in recommendation.delegation_suggestions
+                   if "livechatinc.com" in s.iframe_src and s.over_granted]
+        assert flagged, "LiveChat delegation should be flagged as too broad"
+        over = set(flagged[0].over_granted)
+        assert {"camera", "microphone"} <= over
+
+    def test_suggested_header_always_parses(self, web):
+        recommender = PolicyRecommender(SyntheticFetcher(web))
+        checked = 0
+        for rank in range(60):
+            if web.site(rank).failure is not FailureMode.NONE:
+                continue
+            recommendation = recommender.recommend(web.origin_for_rank(rank))
+            parse_permissions_policy_header(recommendation.suggested_header)
+            checked += 1
+        assert checked > 20
+
+    def test_unreachable_site_raises(self, web):
+        failing = next(r for r in range(web.site_count)
+                       if web.site(r).failure is FailureMode.UNREACHABLE)
+        recommender = PolicyRecommender(SyntheticFetcher(web))
+        with pytest.raises(ValueError):
+            recommender.recommend(web.origin_for_rank(failing))
+
+    def test_header_covers_observed_top_level_usage(self, web):
+        recommender = PolicyRecommender(SyntheticFetcher(web))
+        for rank in range(120):
+            if web.site(rank).failure is not FailureMode.NONE:
+                continue
+            recommendation = recommender.recommend(web.origin_for_rank(rank))
+            parsed = parse_permissions_policy_header(
+                recommendation.suggested_header)
+            from repro.registry.features import DEFAULT_REGISTRY
+            for permission in recommendation.observed_top_level:
+                perm = DEFAULT_REGISTRY.maybe(permission)
+                if perm is None or not perm.policy_controlled:
+                    continue
+                allowlist = parsed.directives.get(permission)
+                assert allowlist is not None and not allowlist.is_empty, (
+                    rank, permission)

@@ -1,0 +1,61 @@
+"""Tests for the widget dossier tool (the Section 5.2 case-study generator)."""
+
+import pytest
+
+from repro.analysis.categories import DelegationPurpose
+from repro.crawler.pool import CrawlerPool
+from repro.synthweb.generator import SyntheticWeb
+from repro.tools.widget_report import WidgetReporter
+
+
+@pytest.fixture(scope="module")
+def reporter():
+    web = SyntheticWeb(3000, seed=2024)
+    dataset = CrawlerPool(web, workers=2).run()
+    return WidgetReporter(dataset.successful())
+
+
+class TestDossier:
+    def test_livechat_dossier_matches_case_study(self, reporter):
+        dossier = reporter.dossier("livechatinc.com")
+        assert dossier.delegation_rate > 0.95
+        assert dossier.purpose is DelegationPurpose.CUSTOMER_SUPPORT
+        assert set(dossier.unused_delegations) == {
+            "camera", "microphone", "clipboard-read"}
+        assert set(dossier.hijackable_powerful) == {
+            "camera", "microphone", "clipboard-read"}
+        assert dossier.is_over_permissioned
+        assert dossier.overpermissioned_websites > 0
+
+    def test_livechat_template_captured(self, reporter):
+        dossier = reporter.dossier("livechatinc.com")
+        assert dossier.templates
+        top_template = dossier.templates[0][0]
+        assert "microphone *" in top_template
+
+    def test_stripe_is_clean(self, reporter):
+        dossier = reporter.dossier("stripe.com")
+        assert dossier.purpose is DelegationPurpose.PAYMENT
+        assert not dossier.is_over_permissioned
+        assert "payment" in dossier.observed_activity
+
+    def test_render_flags_risk(self, reporter):
+        text = reporter.dossier("livechatinc.com").render()
+        assert "SUPPLY-CHAIN RISK" in text
+        assert "camera" in text
+
+    def test_render_clean_widget_has_no_risk_banner(self, reporter):
+        text = reporter.dossier("stripe.com").render()
+        assert "SUPPLY-CHAIN RISK" not in text
+
+    def test_riskiest_ranking(self, reporter):
+        riskiest = reporter.riskiest(3)
+        assert riskiest
+        sites = [dossier.site for dossier in riskiest]
+        assert "livechatinc.com" in sites
+        counts = [d.overpermissioned_websites for d in riskiest]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_known_widgets_include_the_big_ones(self, reporter):
+        widgets = reporter.known_widgets(min_websites=5)
+        assert {"youtube.com", "livechatinc.com"} <= set(widgets)
