@@ -1,17 +1,34 @@
-"""Extension bench: multi-seed robustness of the measurement.
+"""Extension bench: robustness of the measurement.
 
-The paper visits each origin once (Appendix A.2 C4) and cannot quantify
-run-to-run variance; the synthetic substrate can.  This bench sweeps
-independent seeds and asserts (a) no headline metric shows gross bias
-against the paper beyond sampling noise + calibration tolerance, and
-(b) the seed-to-seed spread of the big shares approaches the binomial
-noise floor — i.e. the pipeline contains no hidden nondeterminism.
+Two parts:
+
+* The paper visits each origin once (Appendix A.2 C4) and cannot quantify
+  run-to-run variance; the synthetic substrate can.  The sweep bench runs
+  independent seeds and asserts (a) no headline metric shows gross bias
+  against the paper beyond sampling noise + calibration tolerance, and
+  (b) the seed-to-seed spread of the big shares approaches the binomial
+  noise floor — i.e. the pipeline contains no hidden nondeterminism.
+* The fault-injection bench reproduces the Section 4 operational claim:
+  under heavy injected failure/crash rates the pool still completes, and
+  a retry policy shrinks exactly the transient taxonomy classes
+  (ephemeral-content-error, load-timeout, final-update-timeout) while
+  ``unreachable`` stays untouched.
 """
 
-from repro.experiments.robustness import expected_noise_floor, seed_sweep
+from repro.crawler.errors import TRANSIENT_TAXONOMIES
+from repro.crawler.resilience import RetryPolicy
+from repro.experiments.robustness import (
+    expected_noise_floor,
+    fault_injection_study,
+    seed_sweep,
+)
 
 SWEEP_SITES = 2000
 SEEDS = (7, 77, 777)
+
+FAULT_SITES = 600
+FAILURE_RATE = 0.25
+CRASH_RATE = 0.05
 
 
 def test_extension_robustness(benchmark):
@@ -28,3 +45,32 @@ def test_extension_robustness(benchmark):
         # Within an order of magnitude of pure binomial noise.
         assert metric.stdev < floor * 12, (metric.metric, metric.stdev,
                                            floor)
+
+
+def test_fault_injection_recovery(benchmark):
+    report = benchmark.pedantic(
+        fault_injection_study, args=(FAULT_SITES,),
+        kwargs={"failure_rate": FAILURE_RATE, "crash_rate": CRASH_RATE,
+                "retry_policy": RetryPolicy(max_retries=2)},
+        rounds=1, iterations=1)
+
+    # The injected run is genuinely hostile: >= 20 % of visits fail,
+    # including non-CrawlError crashes surfacing as minor-crawler-error.
+    assert report.injected_failure_share >= 0.20
+    assert report.injected_failures.get("minor-crawler-error", 0) \
+        > report.baseline_failures.get("minor-crawler-error", 0)
+
+    # The Section 4 shape with retries: every transient class shrinks
+    # (strictly in total) and unreachable is invariant.
+    assert report.transient_classes_shrunk
+    assert report.unreachable_unchanged
+    assert report.retries_spent > 0
+    for taxonomy in TRANSIENT_TAXONOMIES:
+        assert report.recovered_failures.get(taxonomy, 0) \
+            <= report.injected_failures.get(taxonomy, 0)
+
+    # Retries never take the taxonomy below the web's intrinsic failure
+    # floor: deterministic site failures are re-attempted but stay failed.
+    baseline_total = sum(report.baseline_failures.values())
+    recovered_total = sum(report.recovered_failures.values())
+    assert recovered_total >= baseline_total

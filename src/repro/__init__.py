@@ -30,7 +30,9 @@ from repro.analysis.usage import UsageAnalysis
 from repro.crawler.crawler import CrawlConfig, Crawler
 from repro.crawler.fetcher import SyntheticFetcher
 from repro.crawler.pool import CrawlDataset, CrawlerPool
+from repro.crawler.resilience import FaultInjectingFetcher, RetryPolicy
 from repro.crawler.storage import CrawlStore
+from repro.crawler.telemetry import CrawlTelemetry
 from repro.policy.engine import PermissionsPolicyEngine, PolicyFrame
 from repro.policy.header import parse_permissions_policy_header
 from repro.policy.linter import HeaderLinter
@@ -48,10 +50,12 @@ __all__ = [
     "CrawlConfig",
     "CrawlDataset",
     "CrawlStore",
+    "CrawlTelemetry",
     "Crawler",
     "CrawlerPool",
     "DEFAULT_REGISTRY",
     "DelegationAnalysis",
+    "FaultInjectingFetcher",
     "HeaderAnalysis",
     "HeaderGenerator",
     "HeaderLinter",
@@ -63,6 +67,7 @@ __all__ = [
     "PermissionsPolicyEngine",
     "PolicyFrame",
     "PolicyRecommender",
+    "RetryPolicy",
     "SupportSiteReport",
     "SyntheticFetcher",
     "SyntheticWeb",

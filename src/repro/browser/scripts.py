@@ -18,6 +18,7 @@ static/dynamic asymmetries are reproducible:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import Iterable
 
@@ -118,7 +119,10 @@ def _obfuscate(source: str) -> str:
             out.append(f"{chunk[:mid]}'+'{chunk[mid:]}")
         else:
             out.append(chunk)
-    return "_0x" + hex(abs(hash(source)) % (1 << 32))[2:] + "/*" + " ".join(out) + "*/"
+    # crc32, not hash(): the builtin is salted per process, which would
+    # break the byte-identical checkpoint/resume guarantee across runs.
+    token = zlib.crc32(source.encode("utf-8"))
+    return "_0x" + hex(token)[2:] + "/*" + " ".join(out) + "*/"
 
 
 def render_source(api_names: Iterable[str], *, padding: str = "") -> str:

@@ -2,8 +2,12 @@
 
 ``permissions-odyssey`` exposes the pipeline end to end:
 
-* ``crawl`` — run the measurement crawl over the synthetic web and persist
-  it to SQLite;
+* ``crawl`` — run the measurement crawl over the synthetic web, persisting
+  each visit to SQLite as it completes; ``--resume`` continues from the
+  checkpoint, ``--retries`` re-attempts transient failures, and
+  ``--progress`` streams crawl telemetry;
+* ``telemetry`` — run a (optionally fault-injected) crawl and print the
+  full telemetry report;
 * ``analyze`` — print the Section 4 headline comparison for a stored or
   fresh crawl;
 * ``experiment`` — regenerate one paper table/figure (or all of them);
@@ -23,7 +27,9 @@ from repro.analysis.report import render_comparison
 from repro.analysis.summary import summarize
 from repro.crawler.fetcher import SyntheticFetcher
 from repro.crawler.pool import CrawlerPool
+from repro.crawler.resilience import FaultInjectingFetcher, RetryPolicy
 from repro.crawler.storage import CrawlStore
+from repro.crawler.telemetry import CrawlTelemetry
 from repro.experiments.runner import run_measurement
 from repro.experiments.tables import ALL_EXPERIMENTS
 from repro.policy.linter import HeaderLinter
@@ -32,6 +38,13 @@ from repro.tools.header_generator import HeaderGenerator, HeaderPreset
 from repro.tools.poc import LocalSchemePoC
 from repro.tools.recommender import PolicyRecommender
 from repro.tools.support_site import SupportSiteReport
+
+
+def _rate(value: str) -> float:
+    rate = float(value)
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError(f"{value} is not in [0, 1]")
+    return rate
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,6 +58,28 @@ def _build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--seed", type=int, default=2024)
     crawl.add_argument("--workers", type=int, default=4)
     crawl.add_argument("--database", default="crawl.sqlite")
+    crawl.add_argument("--resume", action="store_true",
+                       help="skip ranks already in the database checkpoint")
+    crawl.add_argument("--retries", type=int, default=0,
+                       help="max retries for transient failures")
+    crawl.add_argument("--progress", action="store_true",
+                       help="stream crawl telemetry while running")
+
+    telem = sub.add_parser(
+        "telemetry",
+        help="run a crawl (optionally fault-injected) and print the "
+             "telemetry report")
+    telem.add_argument("--sites", type=int, default=1000)
+    telem.add_argument("--seed", type=int, default=2024)
+    telem.add_argument("--workers", type=int, default=4)
+    telem.add_argument("--retries", type=int, default=2)
+    telem.add_argument("--fault-rate", type=_rate, default=0.0,
+                       help="inject transient failures on this share of "
+                            "fetches")
+    telem.add_argument("--crash-rate", type=_rate, default=0.0,
+                       help="inject non-CrawlError crashes on this share "
+                            "of fetches")
+    telem.add_argument("--injection-seed", type=int, default=7)
 
     analyze = sub.add_parser("analyze", help="headline paper-vs-measured")
     analyze.add_argument("--database", default=None,
@@ -118,14 +153,48 @@ def main(argv: list[str] | None = None) -> int:
 
     if command == "crawl":
         web = SyntheticWeb(args.sites, seed=args.seed)
-        dataset = CrawlerPool(web, workers=args.workers).run()
+        retry_policy = (RetryPolicy(max_retries=args.retries)
+                        if args.retries > 0 else None)
+        pool = CrawlerPool(web, workers=args.workers,
+                           retry_policy=retry_policy)
+        telemetry = CrawlTelemetry()
+        progress = None
+        if args.progress:
+            def progress(done: int, total: int) -> None:
+                step = max(1, total // 20)
+                if done % step == 0 or done == total:
+                    print(telemetry.snapshot().progress_line())
         with CrawlStore(args.database) as store:
-            store.save_dataset(dataset)
+            dataset = pool.run(store=store, resume=args.resume,
+                               telemetry=telemetry, progress=progress)
+        if args.progress:
+            print(telemetry.render())
         failures = ", ".join(f"{k}={v}" for k, v
                              in sorted(dataset.failure_summary().items()))
+        resumed = telemetry.snapshot().resumed
+        resumed_note = f"; {resumed} resumed" if resumed else ""
         print(f"crawled {dataset.attempted} sites "
-              f"({dataset.successful_count} ok; {failures}) "
+              f"({dataset.successful_count} ok; {failures}{resumed_note}) "
               f"-> {args.database}")
+        return 0
+
+    if command == "telemetry":
+        web = SyntheticWeb(args.sites, seed=args.seed)
+        fetcher_factory = None
+        if args.fault_rate > 0 or args.crash_rate > 0:
+            def fetcher_factory():
+                return FaultInjectingFetcher(
+                    SyntheticFetcher(web), seed=args.injection_seed,
+                    failure_rate=args.fault_rate,
+                    crash_rate=args.crash_rate)
+        retry_policy = (RetryPolicy(max_retries=args.retries)
+                        if args.retries > 0 else None)
+        pool = CrawlerPool(web, workers=args.workers,
+                           retry_policy=retry_policy,
+                           fetcher_factory=fetcher_factory)
+        telemetry = CrawlTelemetry()
+        pool.run(telemetry=telemetry)
+        print(telemetry.render())
         return 0
 
     if command == "analyze":

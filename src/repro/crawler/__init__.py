@@ -8,8 +8,14 @@
   settle, lazy-iframe scrolling, final collection);
 * :mod:`repro.crawler.interaction` — the interactive crawl used by the
   Appendix A.3 experiments;
-* :mod:`repro.crawler.pool` — parallel crawl orchestration;
-* :mod:`repro.crawler.storage` — SQLite persistence and JSONL export.
+* :mod:`repro.crawler.pool` — parallel crawl orchestration with
+  checkpoint/resume;
+* :mod:`repro.crawler.resilience` — retry policy + deterministic fault
+  injection;
+* :mod:`repro.crawler.telemetry` — the thread-safe crawl telemetry
+  collector;
+* :mod:`repro.crawler.storage` — SQLite persistence and JSONL
+  export/import.
 """
 
 from repro.crawler.crawler import CrawlConfig, Crawler
@@ -31,7 +37,13 @@ from repro.crawler.records import (
     ScriptSourceRecord,
     SiteVisit,
 )
+from repro.crawler.resilience import (
+    FaultInjectingFetcher,
+    InjectedCrashError,
+    RetryPolicy,
+)
 from repro.crawler.storage import CrawlStore
+from repro.crawler.telemetry import CrawlTelemetry, TelemetrySnapshot
 
 __all__ = [
     "CallRecord",
@@ -39,18 +51,23 @@ __all__ = [
     "CrawlDataset",
     "CrawlError",
     "CrawlStore",
+    "CrawlTelemetry",
     "Crawler",
     "CrawlerPool",
     "EphemeralContentError",
+    "FaultInjectingFetcher",
     "FinalUpdateTimeoutError",
     "FrameRecord",
     "IncompleteCollectionError",
+    "InjectedCrashError",
     "InteractionConfig",
     "InteractiveCrawler",
     "LoadTimeoutError",
     "MinorCrawlerError",
+    "RetryPolicy",
     "ScriptSourceRecord",
     "SiteVisit",
     "SyntheticFetcher",
+    "TelemetrySnapshot",
     "UnreachableError",
 ]

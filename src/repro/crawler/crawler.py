@@ -11,11 +11,13 @@ without actually sleeping.
 from __future__ import annotations
 
 import random
+import traceback
 from dataclasses import dataclass
 
 from repro.browser.page import Fetcher, PageLoadConfig, PageLoader
-from repro.crawler.errors import CrawlError
+from repro.crawler.errors import CrawlError, MinorCrawlerError
 from repro.crawler.records import SiteVisit, failed_visit, visit_from_page
+from repro.crawler.resilience import RetryPolicy
 from repro.policy.engine import PermissionsPolicyEngine
 
 
@@ -51,8 +53,10 @@ class Crawler:
 
     def __init__(self, fetcher: Fetcher, *,
                  config: CrawlConfig | None = None,
-                 engine: PermissionsPolicyEngine | None = None) -> None:
+                 engine: PermissionsPolicyEngine | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.config = config if config is not None else CrawlConfig()
+        self.retry_policy = retry_policy
         self._loader = PageLoader(
             fetcher,
             engine=engine,
@@ -64,12 +68,44 @@ class Crawler:
         return self._loader.engine
 
     def visit(self, url: str, *, rank: int = -1) -> SiteVisit:
-        """Visit one site; never raises — failures become failed visits."""
+        """Visit one site; never raises — failures become failed visits.
+
+        With a :class:`RetryPolicy`, transient failures are re-attempted up
+        to the policy's bound; earlier attempts' durations and the backoff
+        waits accumulate into the final record's ``duration_seconds`` and
+        the retry count lands in ``retries``.
+        """
+        policy = self.retry_policy
+        spent_seconds = 0.0
+        retries = 0
+        while True:
+            visit = self._attempt(url, rank)
+            if (visit.success or policy is None
+                    or not policy.should_retry(visit.failure, retries)):
+                visit.retries = retries
+                visit.duration_seconds += spent_seconds
+                return visit
+            spent_seconds += (visit.duration_seconds
+                              + policy.backoff_seconds(retries))
+            retries += 1
+
+    def _attempt(self, url: str, rank: int) -> SiteVisit:
+        """One visit attempt.  Typed crawl failures map to their taxonomy
+        class; anything else — a crawler bug, an automation-library hiccup —
+        becomes the paper's ``minor-crawler-error`` with the traceback
+        preserved, instead of escaping and killing the whole pool."""
         try:
             page = self._loader.load(url)
         except CrawlError as exc:
-            return failed_visit(rank, url, exc.taxonomy,
-                                duration_seconds=self._failure_duration(exc))
+            return failed_visit(
+                rank, url, exc.taxonomy,
+                duration_seconds=self._failure_duration(exc.taxonomy))
+        except Exception:
+            return failed_visit(
+                rank, url, MinorCrawlerError.taxonomy,
+                duration_seconds=self._failure_duration(
+                    MinorCrawlerError.taxonomy),
+                error_detail=traceback.format_exc())
         duration = self._visit_duration(url, frame_count=len(page.frames))
         return visit_from_page(rank, url, page, duration_seconds=duration)
 
@@ -86,9 +122,9 @@ class Crawler:
         return load + self.config.settle_seconds * 0.6 + collection \
             + rng.uniform(0.0, 4.0)
 
-    def _failure_duration(self, exc: CrawlError) -> float:
-        if exc.taxonomy == "load-timeout":
+    def _failure_duration(self, taxonomy: str) -> float:
+        if taxonomy == "load-timeout":
             return self.config.load_timeout_seconds
-        if exc.taxonomy in ("final-update-timeout", "excluded-incomplete"):
+        if taxonomy in ("final-update-timeout", "excluded-incomplete"):
             return self.config.hard_timeout_seconds
         return 2.0

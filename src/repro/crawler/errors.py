@@ -57,3 +57,29 @@ class IncompleteCollectionError(CrawlError):
     these 65,169 sites to keep the analyzed data complete."""
 
     taxonomy = "excluded-incomplete"
+
+
+#: Taxonomy string → exception type, for code that needs to (re)raise a
+#: failure class by name: the fetcher's failure-mode mapping and the fault
+#: injector both key off this registry.
+EXCEPTION_BY_TAXONOMY: dict[str, type[CrawlError]] = {
+    cls.taxonomy: cls
+    for cls in (
+        EphemeralContentError,
+        LoadTimeoutError,
+        UnreachableError,
+        MinorCrawlerError,
+        FinalUpdateTimeoutError,
+        IncompleteCollectionError,
+    )
+}
+
+#: Failure classes that a second visit can plausibly clear: flaky content
+#: collection and timeouts.  ``unreachable`` (DNS-level death) and
+#: ``minor-crawler-error`` (our own bugs) are not retried — re-resolving a
+#: dead host or re-running crashed code wastes crawl budget.
+TRANSIENT_TAXONOMIES: frozenset[str] = frozenset({
+    EphemeralContentError.taxonomy,
+    LoadTimeoutError.taxonomy,
+    FinalUpdateTimeoutError.taxonomy,
+})

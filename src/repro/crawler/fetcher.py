@@ -18,22 +18,16 @@ from repro.browser.dom import DocumentContent
 from repro.browser.page import FetchResponse
 from repro.crawler.errors import (
     CrawlError,
-    EphemeralContentError,
-    FinalUpdateTimeoutError,
-    IncompleteCollectionError,
-    LoadTimeoutError,
-    MinorCrawlerError,
+    EXCEPTION_BY_TAXONOMY,
     UnreachableError,
 )
 from repro.synthweb.generator import FailureMode, SiteSpec, SyntheticWeb
 
+# FailureMode values are the taxonomy strings, so the shared registry in
+# repro.crawler.errors resolves the exception type for each mode.
 _FAILURE_EXCEPTIONS: dict[FailureMode, type[CrawlError]] = {
-    FailureMode.EPHEMERAL: EphemeralContentError,
-    FailureMode.TIMEOUT: LoadTimeoutError,
-    FailureMode.UNREACHABLE: UnreachableError,
-    FailureMode.MINOR: MinorCrawlerError,
-    FailureMode.LATE_TIMEOUT: FinalUpdateTimeoutError,
-    FailureMode.EXCLUDED: IncompleteCollectionError,
+    mode: EXCEPTION_BY_TAXONOMY[mode.value]
+    for mode in FailureMode if mode is not FailureMode.NONE
 }
 
 

@@ -5,6 +5,22 @@ N worker threads over the ranked origin list and aggregates the results
 into a :class:`CrawlDataset` with the Section 4 failure taxonomy.  Results
 are deterministic regardless of worker count because every site's content
 is a pure function of (seed, rank).
+
+Resilience (this mirrors the paper's operational setup, Appendix A.2):
+
+* ``run(store=CrawlStore(...))`` persists every visit the moment it
+  completes (C14), from whichever worker thread finished it, so a crash
+  loses at most the in-flight visits;
+* ``run(store=..., resume=True)`` queries the checkpoint for
+  already-stored ranks and crawls only the remainder — the merged dataset
+  is byte-identical to an uninterrupted run;
+* ``run(telemetry=CrawlTelemetry())`` streams per-worker visit counts,
+  retry counts, the failure taxonomy and rolling throughput to the
+  collector while the crawl is still going;
+* a :class:`~repro.crawler.resilience.RetryPolicy` re-attempts transient
+  failures inside each worker, and an unexpected exception in any single
+  visit is recorded as a ``minor-crawler-error`` instead of destroying
+  the pool.
 """
 
 from __future__ import annotations
@@ -12,13 +28,19 @@ from __future__ import annotations
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.browser.page import Fetcher
 from repro.crawler.crawler import CrawlConfig, Crawler
 from repro.crawler.fetcher import SyntheticFetcher
 from repro.crawler.records import SiteVisit
+from repro.crawler.resilience import RetryPolicy
+from repro.crawler.telemetry import CrawlTelemetry
 from repro.policy.engine import PermissionsPolicyEngine
 from repro.synthweb.generator import SyntheticWeb
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: storage imports pool
+    from repro.crawler.storage import CrawlStore
 
 
 @dataclass
@@ -42,6 +64,11 @@ class CrawlDataset:
         """Failure taxonomy counts (the Section 4 breakdown)."""
         return dict(Counter(visit.failure for visit in self.visits
                             if not visit.success))
+
+    @property
+    def retry_count(self) -> int:
+        """Total transient-failure retries spent across all visits."""
+        return sum(visit.retries for visit in self.visits)
 
     @property
     def top_level_document_count(self) -> int:
@@ -86,44 +113,85 @@ class CrawlerPool:
 
     def __init__(self, web: SyntheticWeb, *, workers: int = 4,
                  config: CrawlConfig | None = None,
-                 engine: PermissionsPolicyEngine | None = None) -> None:
+                 engine: PermissionsPolicyEngine | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 fetcher_factory: Callable[[], Fetcher] | None = None
+                 ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.web = web
         self.workers = workers
         self.config = config if config is not None else CrawlConfig()
+        self.retry_policy = retry_policy
         self._engine = engine
+        #: Builds the fetcher each per-visit crawler uses; override to wrap
+        #: the network stack, e.g. with a
+        #: :class:`~repro.crawler.resilience.FaultInjectingFetcher`.  Called
+        #: once per visit so wrapper state (fault-injection attempt
+        #: counters) stays per-visit and worker-count independent.
+        self.fetcher_factory = (fetcher_factory if fetcher_factory is not None
+                                else lambda: SyntheticFetcher(self.web))
 
     def _make_crawler(self) -> Crawler:
-        return Crawler(SyntheticFetcher(self.web), config=self.config,
-                       engine=self._engine)
+        return Crawler(self.fetcher_factory(), config=self.config,
+                       engine=self._engine, retry_policy=self.retry_policy)
 
     def run(self, ranks: Sequence[int] | None = None,
-            progress: Callable[[int, int], None] | None = None
-            ) -> CrawlDataset:
-        """Crawl the given ranks (default: the whole list) once each."""
+            progress: Callable[[int, int], None] | None = None,
+            *,
+            store: "CrawlStore | None" = None,
+            resume: bool = False,
+            telemetry: CrawlTelemetry | None = None) -> CrawlDataset:
+        """Crawl the given ranks (default: the whole list) once each.
+
+        With ``store``, every visit is persisted the moment it completes;
+        with ``resume=True`` as well, ranks already in the store are loaded
+        back instead of re-crawled and the merged dataset equals an
+        uninterrupted run.  ``telemetry`` receives per-visit updates from
+        the worker threads.
+        """
+        if resume and store is None:
+            raise ValueError("resume=True requires a store")
         targets = list(ranks if ranks is not None
                        else range(self.web.site_count))
-        dataset = CrawlDataset()
-        if self.workers == 1:
-            crawler = self._make_crawler()
-            for index, rank in enumerate(targets):
-                dataset.visits.append(
-                    crawler.visit(self.web.origin_for_rank(rank), rank=rank))
-                if progress is not None:
-                    progress(index + 1, len(targets))
-            return dataset
+        resumed: list[SiteVisit] = []
+        if resume:
+            done = store.stored_ranks()
+            if done:
+                wanted = set(targets) & done
+                resumed = [visit for visit in store.load_dataset().visits
+                           if visit.rank in wanted]
+                targets = [rank for rank in targets if rank not in done]
+        if telemetry is not None:
+            telemetry.start(len(targets))
+            telemetry.record_resumed(len(resumed))
 
         def visit_rank(rank: int) -> SiteVisit:
-            # One crawler per task keeps worker state independent, like the
-            # paper's per-site fresh (stateless) browser.
+            # One crawler (and one fetcher) per task keeps worker state
+            # independent, like the paper's per-site fresh (stateless)
+            # browser — and makes fault-injection state per-visit, so
+            # serial, parallel and resumed runs all see identical faults.
             crawler = self._make_crawler()
-            return crawler.visit(self.web.origin_for_rank(rank), rank=rank)
+            visit = crawler.visit(self.web.origin_for_rank(rank), rank=rank)
+            if store is not None:
+                store.save_visit(visit)
+            if telemetry is not None:
+                telemetry.record_visit(visit)
+            return visit
 
-        with ThreadPoolExecutor(max_workers=self.workers) as executor:
-            for index, visit in enumerate(executor.map(visit_rank, targets)):
-                dataset.visits.append(visit)
+        dataset = CrawlDataset()
+        dataset.visits.extend(resumed)
+        if self.workers == 1:
+            for index, rank in enumerate(targets):
+                dataset.visits.append(visit_rank(rank))
                 if progress is not None:
                     progress(index + 1, len(targets))
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as executor:
+                for index, visit in enumerate(
+                        executor.map(visit_rank, targets)):
+                    dataset.visits.append(visit)
+                    if progress is not None:
+                        progress(index + 1, len(targets))
         dataset.visits.sort(key=lambda visit: visit.rank)
         return dataset

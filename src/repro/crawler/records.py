@@ -118,6 +118,11 @@ class SiteVisit:
     skipped_lazy_iframes: int = 0
     iframe_load_failures: int = 0
     duration_seconds: float = 0.0
+    #: Transient-failure retries performed before this final outcome.
+    retries: int = 0
+    #: Traceback text for unexpected (non-CrawlError) crashes — the paper's
+    #: minor-crawler-error class; ``None`` for clean visits/failures.
+    error_detail: str | None = None
 
     @property
     def top_frame(self) -> FrameRecord:
@@ -192,10 +197,12 @@ def visit_from_page(rank: int, requested_url: str, page: Page,
 
 
 def failed_visit(rank: int, url: str, taxonomy: str,
-                 duration_seconds: float = 0.0) -> SiteVisit:
+                 duration_seconds: float = 0.0,
+                 error_detail: str | None = None) -> SiteVisit:
     return SiteVisit(rank=rank, requested_url=url, final_url=url,
                      success=False, failure=taxonomy,
-                     duration_seconds=duration_seconds)
+                     duration_seconds=duration_seconds,
+                     error_detail=error_detail)
 
 
 def successful_visits(visits: Iterable[SiteVisit]) -> list[SiteVisit]:

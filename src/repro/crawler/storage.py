@@ -1,19 +1,26 @@
-"""Crawl persistence: SQLite database plus JSONL export.
+"""Crawl persistence: SQLite database plus JSONL export/import.
 
 The paper's wrapper stores all collected data in a database immediately
 after each site completes (Appendix A.2, C14).  :class:`CrawlStore`
-reproduces that: one SQLite file with ``visits``, ``frames``, ``calls`` and
-``scripts`` tables, savable incrementally and loadable back into
-:class:`~repro.crawler.pool.CrawlDataset` form so analyses can run without
-re-crawling.
+reproduces that: one SQLite file with ``visits``, ``frames``, ``calls``,
+``scripts`` and ``prompts`` tables, savable incrementally — including from
+:class:`~repro.crawler.pool.CrawlerPool` worker threads, behind a
+serialized writer lock with WAL enabled for concurrent readers — and
+loadable back into :class:`~repro.crawler.pool.CrawlDataset` form so
+analyses can run without re-crawling.  Loading tolerates partially
+written databases (a crawl killed mid-save): orphan child rows are
+skipped with a counted warning so checkpoint/resume survives them.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import sqlite3
+import threading
+from collections import Counter
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.crawler.pool import CrawlDataset
 from repro.crawler.records import (
@@ -23,6 +30,8 @@ from repro.crawler.records import (
     ScriptSourceRecord,
     SiteVisit,
 )
+
+logger = logging.getLogger(__name__)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS visits (
@@ -34,7 +43,9 @@ CREATE TABLE IF NOT EXISTS visits (
     top_level_document_count INTEGER NOT NULL,
     skipped_lazy_iframes INTEGER NOT NULL,
     iframe_load_failures INTEGER NOT NULL,
-    duration_seconds REAL NOT NULL
+    duration_seconds REAL NOT NULL,
+    retries INTEGER NOT NULL DEFAULT 0,
+    error_detail TEXT
 );
 CREATE TABLE IF NOT EXISTS frames (
     rank INTEGER NOT NULL,
@@ -77,17 +88,47 @@ CREATE INDEX IF NOT EXISTS idx_frames_rank ON frames(rank);
 CREATE INDEX IF NOT EXISTS idx_scripts_rank ON scripts(rank);
 """
 
+#: Columns added after the original schema shipped; existing checkpoint
+#: databases are migrated in place on open.
+_VISITS_MIGRATIONS = (
+    ("retries", "INTEGER NOT NULL DEFAULT 0"),
+    ("error_detail", "TEXT"),
+)
+
 
 class CrawlStore:
-    """SQLite-backed persistence for crawl datasets."""
+    """SQLite-backed persistence for crawl datasets.
+
+    One store owns one connection, opened with
+    ``check_same_thread=False`` and guarded by a serialized writer lock,
+    so pool worker threads can call :meth:`save_visit` directly as each
+    site completes.  The journal runs in WAL mode so readers (another
+    process tailing the checkpoint) never block the writers.
+    """
 
     def __init__(self, path: "str | Path") -> None:
         self.path = Path(path)
-        self._conn = sqlite3.connect(str(self.path))
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.executescript(_SCHEMA)
+        self._migrate()
+        #: Orphan child rows skipped by the most recent
+        #: :meth:`load_dataset` call, per table.
+        self.last_orphan_counts: dict[str, int] = {}
+
+    def _migrate(self) -> None:
+        columns = {row[1] for row in
+                   self._conn.execute("PRAGMA table_info(visits)")}
+        for name, spec in _VISITS_MIGRATIONS:
+            if name not in columns:
+                self._conn.execute(
+                    f"ALTER TABLE visits ADD COLUMN {name} {spec}")
+        self._conn.commit()
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "CrawlStore":
         return self
@@ -98,41 +139,43 @@ class CrawlStore:
     # -- writing ---------------------------------------------------------------
 
     def save_visit(self, visit: SiteVisit) -> None:
-        """Persist one visit (incremental, mirroring C14)."""
-        conn = self._conn
-        conn.execute(
-            "INSERT OR REPLACE INTO visits VALUES (?,?,?,?,?,?,?,?,?)",
-            (visit.rank, visit.requested_url, visit.final_url,
-             int(visit.success), visit.failure,
-             visit.top_level_document_count, visit.skipped_lazy_iframes,
-             visit.iframe_load_failures, visit.duration_seconds))
-        conn.execute("DELETE FROM frames WHERE rank = ?", (visit.rank,))
-        conn.execute("DELETE FROM calls WHERE rank = ?", (visit.rank,))
-        conn.execute("DELETE FROM scripts WHERE rank = ?", (visit.rank,))
-        conn.execute("DELETE FROM prompts WHERE rank = ?", (visit.rank,))
-        conn.executemany(
-            "INSERT INTO frames VALUES (?,?,?,?,?,?,?,?,?,?)",
-            [(visit.rank, f.frame_id, f.url, f.origin, f.site, f.parent_id,
-              f.depth, int(f.is_local), json.dumps(f.headers),
-              json.dumps(f.iframe_attributes)
-              if f.iframe_attributes is not None else None)
-             for f in visit.frames])
-        conn.executemany(
-            "INSERT INTO calls VALUES (?,?,?,?,?,?,?,?)",
-            [(visit.rank, c.frame_id, c.api, c.kind,
-              json.dumps(list(c.permissions)), json.dumps(list(c.args)),
-              c.script_url, int(c.allowed))
-             for c in visit.calls])
-        conn.executemany(
-            "INSERT INTO scripts VALUES (?,?,?,?)",
-            [(visit.rank, s.frame_id, s.url, s.source)
-             for s in visit.scripts])
-        conn.executemany(
-            "INSERT INTO prompts VALUES (?,?,?,?,?)",
-            [(visit.rank, p.requesting_frame_id, p.permission,
-              p.display_site, p.text)
-             for p in visit.prompts])
-        conn.commit()
+        """Persist one visit (incremental, mirroring C14).  Thread-safe."""
+        with self._lock:
+            conn = self._conn
+            conn.execute(
+                "INSERT OR REPLACE INTO visits VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                (visit.rank, visit.requested_url, visit.final_url,
+                 int(visit.success), visit.failure,
+                 visit.top_level_document_count, visit.skipped_lazy_iframes,
+                 visit.iframe_load_failures, visit.duration_seconds,
+                 visit.retries, visit.error_detail))
+            conn.execute("DELETE FROM frames WHERE rank = ?", (visit.rank,))
+            conn.execute("DELETE FROM calls WHERE rank = ?", (visit.rank,))
+            conn.execute("DELETE FROM scripts WHERE rank = ?", (visit.rank,))
+            conn.execute("DELETE FROM prompts WHERE rank = ?", (visit.rank,))
+            conn.executemany(
+                "INSERT INTO frames VALUES (?,?,?,?,?,?,?,?,?,?)",
+                [(visit.rank, f.frame_id, f.url, f.origin, f.site, f.parent_id,
+                  f.depth, int(f.is_local), json.dumps(f.headers),
+                  json.dumps(f.iframe_attributes)
+                  if f.iframe_attributes is not None else None)
+                 for f in visit.frames])
+            conn.executemany(
+                "INSERT INTO calls VALUES (?,?,?,?,?,?,?,?)",
+                [(visit.rank, c.frame_id, c.api, c.kind,
+                  json.dumps(list(c.permissions)), json.dumps(list(c.args)),
+                  c.script_url, int(c.allowed))
+                 for c in visit.calls])
+            conn.executemany(
+                "INSERT INTO scripts VALUES (?,?,?,?)",
+                [(visit.rank, s.frame_id, s.url, s.source)
+                 for s in visit.scripts])
+            conn.executemany(
+                "INSERT INTO prompts VALUES (?,?,?,?,?)",
+                [(visit.rank, p.requesting_frame_id, p.permission,
+                  p.display_site, p.text)
+                 for p in visit.prompts])
+            conn.commit()
 
     def save_dataset(self, dataset: CrawlDataset) -> None:
         for visit in dataset.visits:
@@ -140,50 +183,91 @@ class CrawlStore:
 
     # -- reading ----------------------------------------------------------------
 
-    def load_dataset(self) -> CrawlDataset:
-        dataset = CrawlDataset()
-        conn = self._conn
-        for row in conn.execute(
-                "SELECT rank, requested_url, final_url, success, failure, "
-                "top_level_document_count, skipped_lazy_iframes, "
-                "iframe_load_failures, duration_seconds "
-                "FROM visits ORDER BY rank"):
-            visit = SiteVisit(
-                rank=row[0], requested_url=row[1], final_url=row[2],
-                success=bool(row[3]), failure=row[4],
-                top_level_document_count=row[5], skipped_lazy_iframes=row[6],
-                iframe_load_failures=row[7], duration_seconds=row[8])
-            dataset.visits.append(visit)
-        by_rank = {visit.rank: visit for visit in dataset.visits}
-        for row in conn.execute(
-                "SELECT rank, frame_id, url, origin, site, parent_id, depth, "
-                "is_local, headers, iframe_attributes FROM frames"):
-            by_rank[row[0]].frames.append(FrameRecord(
-                frame_id=row[1], url=row[2], origin=row[3], site=row[4],
-                parent_id=row[5], depth=row[6], is_local=bool(row[7]),
-                headers=json.loads(row[8]),
-                iframe_attributes=(json.loads(row[9])
-                                   if row[9] is not None else None)))
-        for row in conn.execute(
-                "SELECT rank, frame_id, api, kind, permissions, args, "
-                "script_url, allowed FROM calls"):
-            by_rank[row[0]].calls.append(CallRecord(
-                frame_id=row[1], api=row[2], kind=row[3],
-                permissions=tuple(json.loads(row[4])),
-                args=tuple(json.loads(row[5])),
-                script_url=row[6], allowed=bool(row[7])))
-        for row in conn.execute(
-                "SELECT rank, frame_id, url, source FROM scripts"):
-            by_rank[row[0]].scripts.append(ScriptSourceRecord(
-                frame_id=row[1], url=row[2], source=row[3]))
-        for row in conn.execute(
-                "SELECT rank, frame_id, permission, display_site, text "
-                "FROM prompts"):
-            by_rank[row[0]].prompts.append(PromptRecord(
-                permission=row[2], requesting_frame_id=row[1],
-                display_site=row[3], text=row[4]))
-        return dataset
+    def stored_ranks(self) -> set[int]:
+        """Ranks already persisted — the checkpoint/resume frontier."""
+        with self._lock:
+            return {row[0] for row in
+                    self._conn.execute("SELECT rank FROM visits")}
 
+    def load_dataset(self) -> CrawlDataset:
+        """Load everything back into dataset form.
+
+        Child rows whose rank has no ``visits`` row (a partially written or
+        corrupt checkpoint) are skipped and counted in
+        :attr:`last_orphan_counts` with a logged warning, so resuming from
+        an interrupted save never crashes.
+        """
+        dataset = CrawlDataset()
+        orphans: Counter = Counter()
+        with self._lock:
+            conn = self._conn
+            for row in conn.execute(
+                    "SELECT rank, requested_url, final_url, success, failure, "
+                    "top_level_document_count, skipped_lazy_iframes, "
+                    "iframe_load_failures, duration_seconds, retries, "
+                    "error_detail FROM visits ORDER BY rank"):
+                visit = SiteVisit(
+                    rank=row[0], requested_url=row[1], final_url=row[2],
+                    success=bool(row[3]), failure=row[4],
+                    top_level_document_count=row[5],
+                    skipped_lazy_iframes=row[6],
+                    iframe_load_failures=row[7], duration_seconds=row[8],
+                    retries=row[9], error_detail=row[10])
+                dataset.visits.append(visit)
+            by_rank = {visit.rank: visit for visit in dataset.visits}
+            for row in conn.execute(
+                    "SELECT rank, frame_id, url, origin, site, parent_id, "
+                    "depth, is_local, headers, iframe_attributes FROM frames "
+                    "ORDER BY rowid"):
+                visit = by_rank.get(row[0])
+                if visit is None:
+                    orphans["frames"] += 1
+                    continue
+                visit.frames.append(FrameRecord(
+                    frame_id=row[1], url=row[2], origin=row[3], site=row[4],
+                    parent_id=row[5], depth=row[6], is_local=bool(row[7]),
+                    headers=json.loads(row[8]),
+                    iframe_attributes=(json.loads(row[9])
+                                       if row[9] is not None else None)))
+            for row in conn.execute(
+                    "SELECT rank, frame_id, api, kind, permissions, args, "
+                    "script_url, allowed FROM calls ORDER BY rowid"):
+                visit = by_rank.get(row[0])
+                if visit is None:
+                    orphans["calls"] += 1
+                    continue
+                visit.calls.append(CallRecord(
+                    frame_id=row[1], api=row[2], kind=row[3],
+                    permissions=tuple(json.loads(row[4])),
+                    args=tuple(json.loads(row[5])),
+                    script_url=row[6], allowed=bool(row[7])))
+            for row in conn.execute(
+                    "SELECT rank, frame_id, url, source FROM scripts "
+                    "ORDER BY rowid"):
+                visit = by_rank.get(row[0])
+                if visit is None:
+                    orphans["scripts"] += 1
+                    continue
+                visit.scripts.append(ScriptSourceRecord(
+                    frame_id=row[1], url=row[2], source=row[3]))
+            for row in conn.execute(
+                    "SELECT rank, frame_id, permission, display_site, text "
+                    "FROM prompts ORDER BY rowid"):
+                visit = by_rank.get(row[0])
+                if visit is None:
+                    orphans["prompts"] += 1
+                    continue
+                visit.prompts.append(PromptRecord(
+                    permission=row[2], requesting_frame_id=row[1],
+                    display_site=row[3], text=row[4]))
+        self.last_orphan_counts = dict(orphans)
+        if orphans:
+            detail = ", ".join(f"{table}={count}" for table, count
+                               in sorted(orphans.items()))
+            logger.warning(
+                "skipped orphan rows without a visits entry (%s) in %s "
+                "— partially written checkpoint?", detail, self.path)
+        return dataset
 
     # -- SQL-side aggregates ------------------------------------------------------
     #
@@ -193,56 +277,86 @@ class CrawlStore:
     # (tested in tests/test_crawler.py).
 
     def count_successful(self) -> int:
-        row = self._conn.execute(
-            "SELECT COUNT(*) FROM visits WHERE success = 1").fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM visits WHERE success = 1").fetchone()
         return int(row[0])
 
     def count_header_sites(self, header: str = "permissions-policy") -> int:
         """Websites whose top-level document sends ``header``."""
         pattern = f'%"{header}"%'
-        row = self._conn.execute(
-            "SELECT COUNT(*) FROM frames "
-            "WHERE parent_id IS NULL AND headers LIKE ?", (pattern,)
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM frames "
+                "WHERE parent_id IS NULL AND headers LIKE ?", (pattern,)
+            ).fetchone()
         return int(row[0])
 
     def count_delegating_sites(self) -> int:
         """Websites with at least one direct iframe carrying an allow
         attribute (a superset of true delegation: 'none' opt-outs are
         resolved by the Python analysis, not in SQL)."""
-        row = self._conn.execute(
-            "SELECT COUNT(DISTINCT rank) FROM frames "
-            'WHERE depth = 1 AND iframe_attributes LIKE \'%"allow"%\''
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(DISTINCT rank) FROM frames "
+                'WHERE depth = 1 AND iframe_attributes LIKE \'%"allow"%\''
+            ).fetchone()
         return int(row[0])
 
     def top_embedded_sites(self, limit: int = 10) -> list[tuple[str, int]]:
         """Table 3 in SQL: external embedded sites by distinct websites."""
-        rows = self._conn.execute(
-            "SELECT f.site, COUNT(DISTINCT f.rank) AS websites "
-            "FROM frames f "
-            "JOIN frames top ON top.rank = f.rank AND top.parent_id IS NULL "
-            "WHERE f.depth = 1 AND f.is_local = 0 AND f.site != '' "
-            "AND f.site != top.site "
-            "GROUP BY f.site ORDER BY websites DESC LIMIT ?", (limit,)
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT f.site, COUNT(DISTINCT f.rank) AS websites "
+                "FROM frames f "
+                "JOIN frames top ON top.rank = f.rank AND top.parent_id IS NULL "
+                "WHERE f.depth = 1 AND f.is_local = 0 AND f.site != '' "
+                "AND f.site != top.site "
+                "GROUP BY f.site ORDER BY websites DESC LIMIT ?", (limit,)
+            ).fetchall()
         return [(site, int(count)) for site, count in rows]
 
     def failure_counts(self) -> dict[str, int]:
-        rows = self._conn.execute(
-            "SELECT failure, COUNT(*) FROM visits "
-            "WHERE success = 0 GROUP BY failure").fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT failure, COUNT(*) FROM visits "
+                "WHERE success = 0 GROUP BY failure").fetchall()
         return {failure: int(count) for failure, count in rows}
 
 
 def export_jsonl(visits: Iterable[SiteVisit], path: "str | Path") -> int:
-    """Export visits as JSON lines; returns the number written."""
+    """Export visits as JSON lines; returns the number written.
+
+    The export carries the *full* record — frames, calls, scripts with
+    sources, prompts, durations, retry and error metadata — so
+    :func:`import_jsonl` round-trips exactly what the SQLite store holds.
+    """
     count = 0
     with open(path, "w", encoding="utf-8") as handle:
         for visit in visits:
             handle.write(json.dumps(_visit_to_dict(visit)) + "\n")
             count += 1
     return count
+
+
+def import_jsonl(path: "str | Path") -> list[SiteVisit]:
+    """Inverse of :func:`export_jsonl`: rebuild the visit records."""
+    visits = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                visits.append(_visit_from_dict(json.loads(line)))
+    return visits
+
+
+def iter_jsonl(path: "str | Path") -> Iterator[SiteVisit]:
+    """Streaming variant of :func:`import_jsonl` for very large exports."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield _visit_from_dict(json.loads(line))
 
 
 def _visit_to_dict(visit: SiteVisit) -> dict:
@@ -252,6 +366,12 @@ def _visit_to_dict(visit: SiteVisit) -> dict:
         "final_url": visit.final_url,
         "success": visit.success,
         "failure": visit.failure,
+        "top_level_document_count": visit.top_level_document_count,
+        "skipped_lazy_iframes": visit.skipped_lazy_iframes,
+        "iframe_load_failures": visit.iframe_load_failures,
+        "duration_seconds": visit.duration_seconds,
+        "retries": visit.retries,
+        "error_detail": visit.error_detail,
         "frames": [
             {"frame_id": f.frame_id, "url": f.url, "origin": f.origin,
              "site": f.site, "parent_id": f.parent_id, "depth": f.depth,
@@ -263,5 +383,48 @@ def _visit_to_dict(visit: SiteVisit) -> dict:
              "permissions": list(c.permissions), "args": list(c.args),
              "script_url": c.script_url, "allowed": c.allowed}
             for c in visit.calls],
-        "script_count": len(visit.scripts),
+        "scripts": [
+            {"frame_id": s.frame_id, "url": s.url, "source": s.source}
+            for s in visit.scripts],
+        "prompts": [
+            {"permission": p.permission,
+             "requesting_frame_id": p.requesting_frame_id,
+             "display_site": p.display_site, "text": p.text}
+            for p in visit.prompts],
     }
+
+
+def _visit_from_dict(data: dict) -> SiteVisit:
+    visit = SiteVisit(
+        rank=data["rank"],
+        requested_url=data["requested_url"],
+        final_url=data["final_url"],
+        success=data["success"],
+        failure=data.get("failure"),
+        top_level_document_count=data.get("top_level_document_count", 1),
+        skipped_lazy_iframes=data.get("skipped_lazy_iframes", 0),
+        iframe_load_failures=data.get("iframe_load_failures", 0),
+        duration_seconds=data.get("duration_seconds", 0.0),
+        retries=data.get("retries", 0),
+        error_detail=data.get("error_detail"),
+    )
+    for f in data.get("frames", ()):
+        visit.frames.append(FrameRecord(
+            frame_id=f["frame_id"], url=f["url"], origin=f["origin"],
+            site=f["site"], parent_id=f["parent_id"], depth=f["depth"],
+            is_local=f["is_local"], headers=f["headers"],
+            iframe_attributes=f["iframe_attributes"]))
+    for c in data.get("calls", ()):
+        visit.calls.append(CallRecord(
+            frame_id=c["frame_id"], api=c["api"], kind=c["kind"],
+            permissions=tuple(c["permissions"]), args=tuple(c["args"]),
+            script_url=c["script_url"], allowed=c["allowed"]))
+    for s in data.get("scripts", ()):
+        visit.scripts.append(ScriptSourceRecord(
+            frame_id=s["frame_id"], url=s["url"], source=s["source"]))
+    for p in data.get("prompts", ()):
+        visit.prompts.append(PromptRecord(
+            permission=p["permission"],
+            requesting_frame_id=p["requesting_frame_id"],
+            display_site=p["display_site"], text=p["text"]))
+    return visit

@@ -1,11 +1,17 @@
-"""Multi-seed robustness of the measurement (reproducibility, Appendix A.2).
+"""Robustness of the measurement (reproducibility, Appendix A.2 + §4).
 
-The paper visits each origin once (criterion C4), so it cannot quantify
-run-to-run variance; our synthetic substrate can.  :func:`seed_sweep`
-repeats the full measurement across independent seeds and reports, per
-headline metric, the mean, the spread, and whether the paper's value lies
-inside the sweep's band — separating "calibration bias" (systematically
-off) from "sampling noise" (wide band).
+Two studies:
+
+* :func:`seed_sweep` — the paper visits each origin once (criterion C4),
+  so it cannot quantify run-to-run variance; our synthetic substrate can.
+  The sweep repeats the full measurement across independent seeds and
+  reports, per headline metric, the mean, the spread, and whether the
+  paper's value lies inside the sweep's band — separating "calibration
+  bias" (systematically off) from "sampling noise" (wide band).
+* :func:`fault_injection_study` — the operational claim behind Section 4:
+  the crawl survives large injected failure/crash rates, persists every
+  attempted visit, and a retry policy shrinks exactly the transient
+  taxonomy classes while leaving ``unreachable`` untouched.
 """
 
 from __future__ import annotations
@@ -15,7 +21,10 @@ import statistics
 from dataclasses import dataclass, field
 
 from repro.analysis.summary import summarize
+from repro.crawler.errors import TRANSIENT_TAXONOMIES, UnreachableError
+from repro.crawler.fetcher import SyntheticFetcher
 from repro.crawler.pool import CrawlerPool
+from repro.crawler.resilience import FaultInjectingFetcher, RetryPolicy
 from repro.synthweb.generator import SyntheticWeb
 
 
@@ -91,6 +100,107 @@ def seed_sweep(site_count: int = 4000, *, seeds: tuple[int, ...] = (1, 2, 3),
             maximum=max(values),
         ))
     return result
+
+
+@dataclass(frozen=True)
+class FaultInjectionReport:
+    """Failure taxonomies of one web crawled three ways: clean, with
+    injected faults, and with injected faults plus a retry policy."""
+
+    site_count: int
+    failure_rate: float
+    crash_rate: float
+    retry_policy: RetryPolicy
+    baseline_failures: dict[str, int]
+    injected_failures: dict[str, int]
+    recovered_failures: dict[str, int]
+    retries_spent: int
+
+    @property
+    def injected_failure_share(self) -> float:
+        """Share of visits that failed under injection (no retries)."""
+        return sum(self.injected_failures.values()) / self.site_count
+
+    @property
+    def transient_classes_shrunk(self) -> bool:
+        """Retries shrink every transient class, and strictly shrink their
+        total — the Section 4 shape with a resilient wrapper."""
+        injected = sum(self.injected_failures.get(taxonomy, 0)
+                       for taxonomy in TRANSIENT_TAXONOMIES)
+        recovered = sum(self.recovered_failures.get(taxonomy, 0)
+                        for taxonomy in TRANSIENT_TAXONOMIES)
+        per_class_ok = all(
+            self.recovered_failures.get(taxonomy, 0)
+            <= self.injected_failures.get(taxonomy, 0)
+            for taxonomy in TRANSIENT_TAXONOMIES)
+        return per_class_ok and (recovered < injected or injected == 0)
+
+    @property
+    def unreachable_unchanged(self) -> bool:
+        """Retrying never resurrects (or inflates) dead hosts."""
+        taxonomy = UnreachableError.taxonomy
+        return (self.recovered_failures.get(taxonomy, 0)
+                == self.injected_failures.get(taxonomy, 0))
+
+    def render(self) -> str:
+        taxonomies = sorted(set(self.baseline_failures)
+                            | set(self.injected_failures)
+                            | set(self.recovered_failures))
+        width = max((len(t) for t in taxonomies), default=10) + 2
+        lines = [
+            f"fault injection over {self.site_count} sites "
+            f"(failure_rate={self.failure_rate:.0%}, "
+            f"crash_rate={self.crash_rate:.0%}, "
+            f"retries<={self.retry_policy.max_retries})",
+            f"{'taxonomy':<{width}}{'baseline':>9}{'injected':>9}"
+            f"{'+retries':>9}",
+        ]
+        for taxonomy in taxonomies:
+            marker = " (transient)" if taxonomy in TRANSIENT_TAXONOMIES \
+                else ""
+            lines.append(
+                f"{taxonomy:<{width}}"
+                f"{self.baseline_failures.get(taxonomy, 0):>9}"
+                f"{self.injected_failures.get(taxonomy, 0):>9}"
+                f"{self.recovered_failures.get(taxonomy, 0):>9}{marker}")
+        lines.append(f"retries spent with policy: {self.retries_spent}")
+        return "\n".join(lines)
+
+
+def fault_injection_study(site_count: int = 600, *, seed: int = 2024,
+                          injection_seed: int = 7,
+                          failure_rate: float = 0.25,
+                          crash_rate: float = 0.05,
+                          retry_policy: RetryPolicy | None = None,
+                          workers: int = 4) -> FaultInjectionReport:
+    """Crawl one web clean, faulted, and faulted-with-retries.
+
+    All three runs are deterministic; the faulted runs share one injection
+    seed, so the only difference between them is the retry policy.
+    """
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
+    web = SyntheticWeb(site_count, seed=seed)
+
+    def injecting_factory():
+        return FaultInjectingFetcher(
+            SyntheticFetcher(web), seed=injection_seed,
+            failure_rate=failure_rate, crash_rate=crash_rate)
+
+    baseline = CrawlerPool(web, workers=workers).run()
+    injected = CrawlerPool(web, workers=workers,
+                           fetcher_factory=injecting_factory).run()
+    recovered = CrawlerPool(web, workers=workers, retry_policy=policy,
+                            fetcher_factory=injecting_factory).run()
+    return FaultInjectionReport(
+        site_count=site_count,
+        failure_rate=failure_rate,
+        crash_rate=crash_rate,
+        retry_policy=policy,
+        baseline_failures=baseline.failure_summary(),
+        injected_failures=injected.failure_summary(),
+        recovered_failures=recovered.failure_summary(),
+        retries_spent=recovered.retry_count,
+    )
 
 
 def expected_noise_floor(share: float, sites: int) -> float:

@@ -100,6 +100,26 @@ class TestCli:
         out = capsys.readouterr().out
         assert "paper" in out and "measured" in out
 
+    def test_crawl_resume_and_progress(self, tmp_path, capsys):
+        database = str(tmp_path / "resume.sqlite")
+        assert main(["crawl", "--sites", "120", "--workers", "2",
+                     "--retries", "2", "--progress",
+                     "--database", database]) == 0
+        first = capsys.readouterr().out
+        assert "queue depth" in first and "throughput" in first
+        assert main(["crawl", "--sites", "120", "--workers", "2",
+                     "--resume", "--database", database]) == 0
+        second = capsys.readouterr().out
+        assert "120 resumed" in second
+
+    def test_telemetry_subcommand(self, capsys):
+        assert main(["telemetry", "--sites", "100", "--workers", "2",
+                     "--fault-rate", "0.25", "--crash-rate", "0.05",
+                     "--retries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "visits      100/100" in out
+        assert "retries" in out and "throughput" in out
+
     def test_experiment_subcommand(self, capsys):
         assert main(["experiment", "table01", "--sites", "300"]) == 0
         assert "Table 1" in capsys.readouterr().out
