@@ -1,0 +1,47 @@
+"""Benchmark: the crawl pipeline's wall-clock profile across backends.
+
+Unlike the table/figure benches, this one times the *machinery*: site
+generation, the crawl under each backend, analysis, and the persistent
+measurement cache — and writes ``BENCH_crawl.json`` at the repository root
+so the perf trajectory is tracked in-repo (CI uploads it as an artifact).
+
+Scale comes from ``REPRO_PERF_SITES`` (default 2,000; CI smoke uses 500).
+Enforcement: the process backend must not be slower than serial — but only
+on multi-core hosts, since on a single core the process backend pays fork
+and pickling overhead with nothing to parallelise against.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.perf import collect, write_report
+
+REPORT_PATH = Path(__file__).parent.parent / "BENCH_crawl.json"
+PERF_SITES = int(os.environ.get("REPRO_PERF_SITES",
+                                os.environ.get("REPRO_SITES", "2000")))
+
+
+def test_perf_crawl_report(benchmark):
+    report = benchmark.pedantic(collect, args=(PERF_SITES,),
+                                kwargs={"workers": 4},
+                                rounds=1, iterations=1)
+    write_report(report, REPORT_PATH)
+
+    crawl = report["crawl"]
+    assert set(crawl) == {"serial", "thread", "process"}
+    for timing in crawl.values():
+        assert timing["seconds"] > 0
+
+    cache = report["cache"]
+    assert cache["warm_seconds"] < cache["cold_seconds"], \
+        "warm cache load must beat a cold crawl"
+    assert cache["warm_over_cold"] < 0.10, \
+        f"warm cache hit took {cache['warm_over_cold']:.1%} of cold"
+
+    if (os.cpu_count() or 1) >= 2:
+        assert crawl["process"]["seconds"] <= crawl["serial"]["seconds"], (
+            f"process backend ({crawl['process']['seconds']}s) slower than "
+            f"serial ({crawl['serial']['seconds']}s) on a "
+            f"{os.cpu_count()}-core host")

@@ -167,6 +167,8 @@ class APISurface:
             if spec.name in self._by_name:
                 raise ValueError(f"duplicate API {spec.name!r}")
             self._by_name[spec.name] = spec
+        self._names = tuple(self._by_name)
+        self._observable: frozenset[str] | None = None
 
     def get(self, name: str) -> ApiSpec:
         try:
@@ -189,6 +191,31 @@ class APISurface:
     @property
     def registry(self) -> PermissionRegistry:
         return self._registry
+
+    def names(self) -> tuple[str, ...]:
+        """All endpoint names, in declaration order."""
+        return self._names
+
+    def observable_endpoints(self) -> frozenset[str]:
+        """Endpoints the paper's instrumentation can observe.
+
+        Only the Appendix A.4 surface leaves records: non-INVOKE calls,
+        argument-addressed calls, and invoke endpoints touching at least
+        one *instrumented* permission.  The surface and its registry are
+        immutable, so this is computed once and shared by every document.
+        """
+        observable = self._observable
+        if observable is None:
+            registry = self._registry
+            observable = frozenset(
+                spec.name for spec in self._by_name.values()
+                if spec.kind is not ApiKind.INVOKE
+                or spec.permission_from_args
+                or any((perm := registry.maybe(p)) is not None
+                       and perm.instrumented for p in spec.permissions)
+            )
+            self._observable = observable
+        return observable
 
     def general_apis(self) -> tuple[ApiSpec, ...]:
         return tuple(s for s in self if s.kind is ApiKind.GENERAL

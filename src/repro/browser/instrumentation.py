@@ -77,9 +77,13 @@ class WebAPIRuntime:
             registry=surface.registry)
         self._top_site = frame.root.effective_policy_origin().site
         self._allowed_features_cache: tuple[str, ...] | None = None
-        self._functions: dict[str, Callable[..., Any]] = {
-            spec.name: self._make_original(spec) for spec in surface
-        }
+        # Endpoints are materialised lazily: a typical page calls a handful
+        # of the ~70 declared APIs, so building every closure up front
+        # dominated per-document setup time.  ``_functions`` holds only
+        # endpoints that were called or explicitly overwritten.
+        self._functions: dict[str, Callable[..., Any]] = {}
+        self._wrap: Callable[[ApiSpec, Callable[..., Any]],
+                             Callable[..., Any] | None] | None = None
 
     def _allowed_features(self) -> tuple[str, ...]:
         if self._allowed_features_cache is None:
@@ -109,19 +113,44 @@ class WebAPIRuntime:
         return original
 
     def get(self, name: str) -> Callable[..., Any]:
-        return self._functions[name]
+        func = self._functions.get(name)
+        if func is None:
+            spec = self.surface.get(name)  # raises KeyError for unknown APIs
+            func = self._make_original(spec)
+            if self._wrap is not None:
+                wrapped = self._wrap(spec, func)
+                if wrapped is not None:
+                    func = wrapped
+            self._functions[name] = func
+        return func
 
     def set(self, name: str, func: Callable[..., Any]) -> None:
         """Overwrite an endpoint — the instrumentation hook point."""
-        if name not in self._functions:
+        if name not in self.surface:
             raise KeyError(f"unknown API endpoint: {name!r}")
         self._functions[name] = func
 
+    def install_wrapper(self, wrap: Callable[[ApiSpec, Callable[..., Any]],
+                                             Callable[..., Any] | None]) -> None:
+        """Install a hook wrapping endpoints as they materialise.
+
+        ``wrap(spec, original)`` returns the replacement callable, or
+        ``None`` to leave the endpoint unwrapped.  Already-materialised
+        endpoints are rewrapped immediately; everything else is wrapped on
+        first use, preserving install-before-content semantics without
+        paying for ~70 closures per document.
+        """
+        self._wrap = wrap
+        for name, func in self._functions.items():
+            wrapped = wrap(self.surface.get(name), func)
+            if wrapped is not None:
+                self._functions[name] = wrapped
+
     def call(self, name: str, *args: str) -> Any:
-        return self._functions[name](*args)
+        return self.get(name)(*args)
 
     def names(self) -> tuple[str, ...]:
-        return tuple(self._functions)
+        return self.surface.names()
 
 
 class InstrumentedRuntime:
@@ -145,19 +174,15 @@ class InstrumentedRuntime:
         Appendix A.4 surface is wrapped: endpoints whose permissions are
         not instrumented keep working but leave no record — exactly the
         paper's blind spot for autoplay, fullscreen, the ads APIs, etc."""
-        registry = self.runtime.surface.registry
-        for name in self.runtime.names():
-            spec = self.runtime.surface.get(name)
-            observable = (
-                spec.kind is not ApiKind.INVOKE
-                or spec.permission_from_args
-                or any((perm := registry.maybe(p)) is not None
-                       and perm.instrumented for p in spec.permissions)
-            )
-            if not observable:
-                continue
-            original = self.runtime.get(name)
-            self.runtime.set(name, self._make_wrapper(spec, original))
+        observable = self.runtime.surface.observable_endpoints()
+
+        def wrap(spec: ApiSpec,
+                 original: Callable[..., Any]) -> Callable[..., Any] | None:
+            if spec.name not in observable:
+                return None
+            return self._make_wrapper(spec, original)
+
+        self.runtime.install_wrapper(wrap)
 
     def _make_wrapper(self, spec: ApiSpec,
                       original: Callable[..., Any]) -> Callable[..., Any]:
@@ -205,7 +230,7 @@ class InstrumentedRuntime:
                 if op.requires_interaction:
                     if not interact or op.interaction_gate not in unlocked_gates:
                         continue
-                if op.api not in self.runtime.names():
+                if self.runtime.surface.maybe(op.api) is None:
                     continue
                 self.runtime.call(op.api, *op.args)
                 executed += 1

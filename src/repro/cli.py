@@ -25,9 +25,10 @@ import sys
 
 from repro.analysis.report import render_comparison
 from repro.analysis.summary import summarize
+from repro.crawler.backends import FaultInjectionSpec
 from repro.crawler.fetcher import SyntheticFetcher
-from repro.crawler.pool import CrawlerPool
-from repro.crawler.resilience import FaultInjectingFetcher, RetryPolicy
+from repro.crawler.pool import BACKENDS, CrawlerPool
+from repro.crawler.resilience import RetryPolicy
 from repro.crawler.storage import CrawlStore
 from repro.crawler.telemetry import CrawlTelemetry
 from repro.experiments.runner import run_measurement
@@ -56,7 +57,11 @@ def _build_parser() -> argparse.ArgumentParser:
     crawl = sub.add_parser("crawl", help="run the measurement crawl")
     crawl.add_argument("--sites", type=int, default=5000)
     crawl.add_argument("--seed", type=int, default=2024)
-    crawl.add_argument("--workers", type=int, default=4)
+    crawl.add_argument("--workers", type=int, default=4,
+                       help="worker threads or processes")
+    crawl.add_argument("--backend", choices=list(BACKENDS), default="auto",
+                       help="crawl execution backend; 'process' uses "
+                            "multiple cores (results are identical)")
     crawl.add_argument("--database", default="crawl.sqlite")
     crawl.add_argument("--resume", action="store_true",
                        help="skip ranks already in the database checkpoint")
@@ -80,6 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="inject non-CrawlError crashes on this share "
                             "of fetches")
     telem.add_argument("--injection-seed", type=int, default=7)
+    telem.add_argument("--backend", choices=list(BACKENDS), default="auto")
 
     analyze = sub.add_parser("analyze", help="headline paper-vs-measured")
     analyze.add_argument("--database", default=None,
@@ -91,6 +97,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="regenerate a paper table/figure")
     experiment.add_argument("name", choices=[*ALL_EXPERIMENTS, "all"])
     experiment.add_argument("--sites", type=int, default=None)
+    experiment.add_argument("--no-cache", action="store_true",
+                            help="ignore the persistent measurement cache "
+                                 "(REPRO_CACHE_DIR) and re-crawl")
 
     sub.add_parser("support", help="permission-support matrix (Figure 3)")
 
@@ -156,6 +165,7 @@ def main(argv: list[str] | None = None) -> int:
         retry_policy = (RetryPolicy(max_retries=args.retries)
                         if args.retries > 0 else None)
         pool = CrawlerPool(web, workers=args.workers,
+                           backend=args.backend,
                            retry_policy=retry_policy)
         telemetry = CrawlTelemetry()
         progress = None
@@ -171,27 +181,31 @@ def main(argv: list[str] | None = None) -> int:
             print(telemetry.render())
         failures = ", ".join(f"{k}={v}" for k, v
                              in sorted(dataset.failure_summary().items()))
-        resumed = telemetry.snapshot().resumed
-        resumed_note = f"; {resumed} resumed" if resumed else ""
+        snapshot = telemetry.snapshot()
+        resumed_note = f"; {snapshot.resumed} resumed" if snapshot.resumed \
+            else ""
         print(f"crawled {dataset.attempted} sites "
               f"({dataset.successful_count} ok; {failures}{resumed_note}) "
+              f"via {pool.resolved_backend()} backend "
+              f"at {snapshot.sites_per_second:.1f} sites/s "
               f"-> {args.database}")
         return 0
 
     if command == "telemetry":
         web = SyntheticWeb(args.sites, seed=args.seed)
-        fetcher_factory = None
+        # A picklable spec instead of a closure so --backend process works.
+        fetcher_spec = None
         if args.fault_rate > 0 or args.crash_rate > 0:
-            def fetcher_factory():
-                return FaultInjectingFetcher(
-                    SyntheticFetcher(web), seed=args.injection_seed,
-                    failure_rate=args.fault_rate,
-                    crash_rate=args.crash_rate)
+            fetcher_spec = FaultInjectionSpec(
+                seed=args.injection_seed,
+                failure_rate=args.fault_rate,
+                crash_rate=args.crash_rate)
         retry_policy = (RetryPolicy(max_retries=args.retries)
                         if args.retries > 0 else None)
         pool = CrawlerPool(web, workers=args.workers,
+                           backend=args.backend,
                            retry_policy=retry_policy,
-                           fetcher_factory=fetcher_factory)
+                           fetcher_spec=fetcher_spec)
         telemetry = CrawlTelemetry()
         pool.run(telemetry=telemetry)
         print(telemetry.render())
@@ -209,7 +223,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if command == "experiment":
-        ctx = run_measurement(args.sites)
+        ctx = run_measurement(args.sites, use_cache=not args.no_cache)
         names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
         failed = 0
         for name in names:

@@ -10,6 +10,8 @@
   Appendix A.3 experiments;
 * :mod:`repro.crawler.pool` — parallel crawl orchestration with
   checkpoint/resume;
+* :mod:`repro.crawler.backends` — the process backend (contiguous rank
+  chunks in worker processes) and picklable fetcher specs;
 * :mod:`repro.crawler.resilience` — retry policy + deterministic fault
   injection;
 * :mod:`repro.crawler.telemetry` — the thread-safe crawl telemetry
@@ -18,6 +20,12 @@
   export/import.
 """
 
+from repro.crawler.backends import (
+    FaultInjectionSpec,
+    FetcherSpec,
+    SyntheticFetcherSpec,
+    chunk_ranks,
+)
 from repro.crawler.crawler import CrawlConfig, Crawler
 from repro.crawler.errors import (
     CrawlError,
@@ -56,6 +64,8 @@ __all__ = [
     "CrawlerPool",
     "EphemeralContentError",
     "FaultInjectingFetcher",
+    "FaultInjectionSpec",
+    "FetcherSpec",
     "FinalUpdateTimeoutError",
     "FrameRecord",
     "IncompleteCollectionError",
@@ -68,6 +78,8 @@ __all__ = [
     "ScriptSourceRecord",
     "SiteVisit",
     "SyntheticFetcher",
+    "SyntheticFetcherSpec",
     "TelemetrySnapshot",
     "UnreachableError",
+    "chunk_ranks",
 ]

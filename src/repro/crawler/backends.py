@@ -1,0 +1,215 @@
+"""Process-based crawl backend: contiguous rank chunks in worker processes.
+
+The paper ran 40 genuinely parallel crawlers; our crawl is pure-Python
+CPU-bound work, so the thread backend gains nothing from extra workers (the
+GIL serialises them).  This module delivers real parallelism: the rank list
+is sharded into contiguous chunks and each chunk is crawled by a worker
+*process* running an ordinary serial :class:`~repro.crawler.pool.CrawlerPool`.
+
+Sites are pure functions of ``(seed, rank)``, so a worker needs only the
+web's constructor parameters and its chunk of ranks — no dataset is pickled
+into workers, and chunk results merge deterministically: serial, thread and
+process runs produce byte-identical datasets.
+
+Because closures don't pickle, per-visit fetcher construction crosses the
+process boundary as a :class:`FetcherSpec` — a small picklable recipe the
+worker evaluates against its own :class:`~repro.synthweb.generator.SyntheticWeb`.
+Pools built with a custom ``fetcher_factory`` callable therefore cannot use
+the process backend and get a clear error instead of a pickling traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.browser.page import Fetcher
+from repro.crawler.crawler import CrawlConfig
+from repro.crawler.fetcher import SyntheticFetcher
+from repro.crawler.records import SiteVisit
+from repro.crawler.resilience import FaultInjectingFetcher, RetryPolicy
+from repro.policy.engine import PermissionsPolicyEngine
+from repro.synthweb.generator import GeneratorRates, SyntheticWeb
+from repro.synthweb.profiles import WidgetProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: pool imports backends
+    from repro.crawler.pool import CrawlerPool
+    from repro.crawler.storage import CrawlStore
+    from repro.crawler.telemetry import CrawlTelemetry
+
+#: Chunks per worker: more chunks than workers keeps all cores busy when
+#: chunk durations vary, while chunks stay large enough to amortise the
+#: per-chunk SyntheticWeb construction in the child.
+CHUNKS_PER_WORKER = 4
+
+
+class FetcherSpec:
+    """Picklable recipe for building a per-visit fetcher in any process.
+
+    Where :class:`~repro.crawler.pool.CrawlerPool` accepts an arbitrary
+    ``fetcher_factory`` closure for in-process backends, the process
+    backend needs something it can ship to workers; subclasses carry plain
+    data and materialise the fetcher against the worker's own web.
+    """
+
+    def build(self, web: SyntheticWeb) -> Fetcher:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SyntheticFetcherSpec(FetcherSpec):
+    """The default fetcher: straight synthetic network, no faults."""
+
+    def build(self, web: SyntheticWeb) -> Fetcher:
+        return SyntheticFetcher(web)
+
+
+@dataclass(frozen=True)
+class FaultInjectionSpec(FetcherSpec):
+    """Recipe for a :class:`~repro.crawler.resilience.FaultInjectingFetcher`
+    wrapped around the synthetic network.  Faults are deterministic in
+    (seed, url, attempt), so the same spec yields the same faults in any
+    backend."""
+
+    seed: int = 0
+    failure_rate: float = 0.0
+    crash_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_seconds: float = 5.0
+    timeout_budget_seconds: float = 60.0
+    failure_classes: tuple[str, ...] | None = None
+
+    def build(self, web: SyntheticWeb) -> Fetcher:
+        return FaultInjectingFetcher(
+            SyntheticFetcher(web),
+            seed=self.seed,
+            failure_rate=self.failure_rate,
+            crash_rate=self.crash_rate,
+            latency_rate=self.latency_rate,
+            latency_seconds=self.latency_seconds,
+            timeout_budget_seconds=self.timeout_budget_seconds,
+            failure_classes=self.failure_classes,
+        )
+
+
+def chunk_ranks(targets: Sequence[int], chunk_count: int) -> list[list[int]]:
+    """Split ``targets`` into at most ``chunk_count`` contiguous,
+    near-equal chunks, preserving order.  Contiguity keeps each worker's
+    site cache warm on neighbouring ranks and makes kill-and-resume land
+    on clean chunk boundaries."""
+    if chunk_count < 1:
+        raise ValueError("chunk_count must be >= 1")
+    total = len(targets)
+    count = min(chunk_count, total)
+    if count == 0:
+        return []
+    base, extra = divmod(total, count)
+    chunks: list[list[int]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(targets[start:start + size]))
+        start += size
+    return chunks
+
+
+@dataclass(frozen=True)
+class _ChunkJob:
+    """Everything a worker process needs to crawl one chunk."""
+
+    site_count: int
+    seed: int
+    rates: GeneratorRates
+    profiles: tuple[WidgetProfile, ...]
+    config: CrawlConfig
+    engine: PermissionsPolicyEngine | None
+    retry_policy: RetryPolicy | None
+    fetcher_spec: FetcherSpec
+    ranks: tuple[int, ...]
+
+
+def _crawl_chunk(job: _ChunkJob) -> list[SiteVisit]:
+    """Worker entry point: rebuild the web, crawl the chunk serially."""
+    from repro.crawler.pool import CrawlerPool
+
+    web = SyntheticWeb(job.site_count, seed=job.seed, rates=job.rates,
+                       profiles=job.profiles)
+    pool = CrawlerPool(web, workers=1, backend="serial", config=job.config,
+                       engine=job.engine, retry_policy=job.retry_policy,
+                       fetcher_spec=job.fetcher_spec)
+    return list(pool.run(job.ranks).visits)
+
+
+def _mp_context(name: str | None = None) -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, shares the warmed interpreter), spawn
+    otherwise (macOS/Windows)."""
+    if name is None:
+        name = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn")
+    return multiprocessing.get_context(name)
+
+
+def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
+                       progress: Callable[[int, int], None] | None = None,
+                       store: "CrawlStore | None" = None,
+                       telemetry: "CrawlTelemetry | None" = None,
+                       ) -> list[SiteVisit]:
+    """Crawl ``targets`` across worker processes; returns visits rank-sorted.
+
+    The parent does all persistence and telemetry: each finished chunk is
+    saved to ``store`` as a unit (checkpointing advances in chunk-sized
+    steps) and fed to ``telemetry`` visit by visit, so observability never
+    depends on worker scheduling and the dataset bytes match serial runs.
+    """
+    if pool._custom_factory:
+        raise ValueError(
+            "the process backend cannot ship a fetcher_factory closure to "
+            "worker processes; pass fetcher_spec= (a picklable FetcherSpec) "
+            "instead")
+    if not targets:
+        return []
+    web = pool.web
+    chunks = chunk_ranks(targets, pool.workers * CHUNKS_PER_WORKER)
+    jobs = [_ChunkJob(site_count=web.site_count, seed=web.seed,
+                      rates=web.rates, profiles=web.profiles,
+                      config=pool.config, engine=pool._engine,
+                      retry_policy=pool.retry_policy,
+                      fetcher_spec=pool.fetcher_spec
+                      if pool.fetcher_spec is not None
+                      else SyntheticFetcherSpec(),
+                      ranks=tuple(chunk))
+            for chunk in chunks]
+    try:
+        pickle.dumps(jobs[0])
+    except Exception as exc:
+        raise ValueError(
+            f"crawl parameters are not picklable for the process backend: "
+            f"{exc}") from exc
+
+    visits: list[SiteVisit] = []
+    completed = 0
+    total = len(targets)
+    workers = min(pool.workers, len(jobs))
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=_mp_context(pool.mp_context)
+                             ) as executor:
+        futures = {executor.submit(_crawl_chunk, job): index
+                   for index, job in enumerate(jobs)}
+        for future in as_completed(futures):
+            index = futures[future]
+            chunk_visits = future.result()
+            for visit in chunk_visits:
+                if store is not None:
+                    store.save_visit(visit)
+                if telemetry is not None:
+                    telemetry.record_visit(visit,
+                                           worker=f"chunk-{index:03d}")
+            visits.extend(chunk_visits)
+            completed += len(chunk_visits)
+            if progress is not None:
+                progress(completed, total)
+    visits.sort(key=lambda visit: visit.rank)
+    return visits

@@ -40,7 +40,77 @@ from repro.policy.engine import PermissionsPolicyEngine
 from repro.synthweb.generator import SyntheticWeb
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: storage imports pool
+    from repro.crawler.backends import FetcherSpec
     from repro.crawler.storage import CrawlStore
+
+
+class _VisitList(list):
+    """Visit list that tells its owning dataset when it mutates.
+
+    Every analysis filters down to successful visits; the dataset caches
+    that filter and this subclass invalidates the cache on any mutation.
+    The ``getattr`` guard matters for unpickling: protocol-2 list pickles
+    append items *before* instance state (the ``_dataset`` backref) is
+    restored.
+    """
+
+    _dataset: "CrawlDataset | None"
+
+    def _touch(self) -> None:
+        dataset = getattr(self, "_dataset", None)
+        if dataset is not None:
+            dataset._invalidate()
+
+    def append(self, item):  # noqa: D102 - list API
+        super().append(item)
+        self._touch()
+
+    def extend(self, items):
+        super().extend(items)
+        self._touch()
+
+    def insert(self, index, item):
+        super().insert(index, item)
+        self._touch()
+
+    def remove(self, item):
+        super().remove(item)
+        self._touch()
+
+    def pop(self, *args):
+        item = super().pop(*args)
+        self._touch()
+        return item
+
+    def clear(self):
+        super().clear()
+        self._touch()
+
+    def sort(self, **kwargs):
+        super().sort(**kwargs)
+        self._touch()
+
+    def reverse(self):
+        super().reverse()
+        self._touch()
+
+    def __setitem__(self, index, value):
+        super().__setitem__(index, value)
+        self._touch()
+
+    def __delitem__(self, index):
+        super().__delitem__(index)
+        self._touch()
+
+    def __iadd__(self, other):
+        result = super().__iadd__(other)
+        self._touch()
+        return result
+
+    def __imul__(self, count):
+        result = super().__imul__(count)
+        self._touch()
+        return result
 
 
 @dataclass
@@ -48,17 +118,40 @@ class CrawlDataset:
     """All visits of one measurement run."""
 
     visits: list[SiteVisit] = field(default_factory=list)
+    _successful_cache: "list[SiteVisit] | None" = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name == "visits":
+            if not isinstance(value, _VisitList):
+                value = _VisitList(value)  # type: ignore[arg-type]
+            value._dataset = self
+            object.__setattr__(self, name, value)
+            self._invalidate()
+        else:
+            object.__setattr__(self, name, value)
+
+    def _invalidate(self) -> None:
+        object.__setattr__(self, "_successful_cache", None)
 
     @property
     def attempted(self) -> int:
         return len(self.visits)
 
     def successful(self) -> list[SiteVisit]:
-        return [visit for visit in self.visits if visit.success]
+        """Successful visits, cached until :attr:`visits` next mutates.
+
+        Callers share the cached list; treat it as read-only.
+        """
+        cached = self._successful_cache
+        if cached is None:
+            cached = [visit for visit in self.visits if visit.success]
+            object.__setattr__(self, "_successful_cache", cached)
+        return cached
 
     @property
     def successful_count(self) -> int:
-        return sum(1 for visit in self.visits if visit.success)
+        return len(self.successful())
 
     def failure_summary(self) -> dict[str, int]:
         """Failure taxonomy counts (the Section 4 breakdown)."""
@@ -108,29 +201,73 @@ class CrawlDataset:
         return local / total if total else 0.0
 
 
+#: Valid values for ``CrawlerPool(backend=...)``.
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
 class CrawlerPool:
-    """Runs crawls over a ranked range of the synthetic web."""
+    """Runs crawls over a ranked range of the synthetic web.
+
+    Backends (results are byte-identical across all of them):
+
+    * ``"serial"`` — one visit after another in the calling thread;
+    * ``"thread"`` — a :class:`ThreadPoolExecutor`; useful for I/O-bound
+      fetchers, no speedup for the pure-Python synthetic crawl (GIL);
+    * ``"process"`` — contiguous rank chunks crawled in worker processes
+      (:mod:`repro.crawler.backends`), the only backend that uses multiple
+      cores;
+    * ``"auto"`` — ``serial`` for ``workers=1``, else ``thread``.
+    """
 
     def __init__(self, web: SyntheticWeb, *, workers: int = 4,
                  config: CrawlConfig | None = None,
                  engine: PermissionsPolicyEngine | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 fetcher_factory: Callable[[], Fetcher] | None = None
-                 ) -> None:
+                 fetcher_factory: Callable[[], Fetcher] | None = None,
+                 fetcher_spec: "FetcherSpec | None" = None,
+                 backend: str = "auto",
+                 mp_context: str | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {backend!r}")
+        if fetcher_factory is not None and fetcher_spec is not None:
+            raise ValueError("pass fetcher_factory or fetcher_spec, not both")
         self.web = web
         self.workers = workers
+        self.backend = backend
+        #: Start-method name for the process backend (``"fork"``/
+        #: ``"spawn"``); ``None`` picks the best available.
+        self.mp_context = mp_context
         self.config = config if config is not None else CrawlConfig()
         self.retry_policy = retry_policy
         self._engine = engine
+        #: Picklable fetcher recipe — the only fetcher customisation the
+        #: process backend supports (closures don't cross processes).
+        self.fetcher_spec = fetcher_spec
+        self._custom_factory = fetcher_factory is not None
         #: Builds the fetcher each per-visit crawler uses; override to wrap
         #: the network stack, e.g. with a
         #: :class:`~repro.crawler.resilience.FaultInjectingFetcher`.  Called
         #: once per visit so wrapper state (fault-injection attempt
         #: counters) stays per-visit and worker-count independent.
-        self.fetcher_factory = (fetcher_factory if fetcher_factory is not None
-                                else lambda: SyntheticFetcher(self.web))
+        if fetcher_factory is not None:
+            self.fetcher_factory = fetcher_factory
+        elif fetcher_spec is not None:
+            self.fetcher_factory = lambda: fetcher_spec.build(self.web)
+        else:
+            self.fetcher_factory = lambda: SyntheticFetcher(self.web)
+
+    def resolved_backend(self, backend: str | None = None) -> str:
+        """The concrete backend a run would use (never ``"auto"``)."""
+        choice = backend if backend is not None else self.backend
+        if choice not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {choice!r}")
+        if choice == "auto":
+            return "serial" if self.workers == 1 else "thread"
+        return choice
 
     def _make_crawler(self) -> Crawler:
         return Crawler(self.fetcher_factory(), config=self.config,
@@ -141,17 +278,20 @@ class CrawlerPool:
             *,
             store: "CrawlStore | None" = None,
             resume: bool = False,
-            telemetry: CrawlTelemetry | None = None) -> CrawlDataset:
+            telemetry: CrawlTelemetry | None = None,
+            backend: str | None = None) -> CrawlDataset:
         """Crawl the given ranks (default: the whole list) once each.
 
-        With ``store``, every visit is persisted the moment it completes;
-        with ``resume=True`` as well, ranks already in the store are loaded
+        With ``store``, every visit is persisted the moment it completes
+        (the process backend persists per finished chunk); with
+        ``resume=True`` as well, ranks already in the store are loaded
         back instead of re-crawled and the merged dataset equals an
-        uninterrupted run.  ``telemetry`` receives per-visit updates from
-        the worker threads.
+        uninterrupted run.  ``telemetry`` receives per-visit updates.
+        ``backend`` overrides the pool's configured backend for this run.
         """
         if resume and store is None:
             raise ValueError("resume=True requires a store")
+        chosen = self.resolved_backend(backend)
         targets = list(ranks if ranks is not None
                        else range(self.web.site_count))
         resumed: list[SiteVisit] = []
@@ -159,11 +299,10 @@ class CrawlerPool:
             done = store.stored_ranks()
             if done:
                 wanted = set(targets) & done
-                resumed = [visit for visit in store.load_dataset().visits
-                           if visit.rank in wanted]
+                resumed = store.load_visits(sorted(wanted))
                 targets = [rank for rank in targets if rank not in done]
         if telemetry is not None:
-            telemetry.start(len(targets))
+            telemetry.start(len(targets), backend=chosen)
             telemetry.record_resumed(len(resumed))
 
         def visit_rank(rank: int) -> SiteVisit:
@@ -181,7 +320,12 @@ class CrawlerPool:
 
         dataset = CrawlDataset()
         dataset.visits.extend(resumed)
-        if self.workers == 1:
+        if chosen == "process" and targets:
+            from repro.crawler.backends import crawl_in_processes
+            dataset.visits.extend(crawl_in_processes(
+                self, targets, progress=progress, store=store,
+                telemetry=telemetry))
+        elif chosen == "serial" or self.workers == 1:
             for index, rank in enumerate(targets):
                 dataset.visits.append(visit_rank(rank))
                 if progress is not None:

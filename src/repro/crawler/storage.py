@@ -33,6 +33,16 @@ from repro.crawler.records import (
 
 logger = logging.getLogger(__name__)
 
+#: Version of the on-disk layout below.  Bump on any change to tables,
+#: columns or row encoding; the measurement cache
+#: (:mod:`repro.experiments.runner`) keys its manifests on this value so
+#: stale checkpoints are re-crawled instead of misread.
+SCHEMA_VERSION = 2
+
+#: Maximum parameters per ``IN (...)`` clause; SQLite's default variable
+#: limit is 999, so stay comfortably below it.
+_SQL_IN_CHUNK = 500
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS visits (
     rank INTEGER PRIMARY KEY,
@@ -86,7 +96,50 @@ CREATE TABLE IF NOT EXISTS prompts (
 CREATE INDEX IF NOT EXISTS idx_calls_rank ON calls(rank);
 CREATE INDEX IF NOT EXISTS idx_frames_rank ON frames(rank);
 CREATE INDEX IF NOT EXISTS idx_scripts_rank ON scripts(rank);
+CREATE INDEX IF NOT EXISTS idx_prompts_rank ON prompts(rank);
 """
+
+_VISIT_COLUMNS = ("rank, requested_url, final_url, success, failure, "
+                  "top_level_document_count, skipped_lazy_iframes, "
+                  "iframe_load_failures, duration_seconds, retries, "
+                  "error_detail")
+
+
+def _visit_from_row(row: tuple) -> SiteVisit:
+    return SiteVisit(
+        rank=row[0], requested_url=row[1], final_url=row[2],
+        success=bool(row[3]), failure=row[4],
+        top_level_document_count=row[5],
+        skipped_lazy_iframes=row[6],
+        iframe_load_failures=row[7], duration_seconds=row[8],
+        retries=row[9], error_detail=row[10])
+
+
+def _frame_from_row(row: tuple) -> FrameRecord:
+    return FrameRecord(
+        frame_id=row[1], url=row[2], origin=row[3], site=row[4],
+        parent_id=row[5], depth=row[6], is_local=bool(row[7]),
+        headers=json.loads(row[8]),
+        iframe_attributes=(json.loads(row[9])
+                           if row[9] is not None else None))
+
+
+def _call_from_row(row: tuple) -> CallRecord:
+    return CallRecord(
+        frame_id=row[1], api=row[2], kind=row[3],
+        permissions=tuple(json.loads(row[4])),
+        args=tuple(json.loads(row[5])),
+        script_url=row[6], allowed=bool(row[7]))
+
+
+def _script_from_row(row: tuple) -> ScriptSourceRecord:
+    return ScriptSourceRecord(frame_id=row[1], url=row[2], source=row[3])
+
+
+def _prompt_from_row(row: tuple) -> PromptRecord:
+    return PromptRecord(
+        permission=row[2], requesting_frame_id=row[1],
+        display_site=row[3], text=row[4])
 
 #: Columns added after the original schema shipped; existing checkpoint
 #: databases are migrated in place on open.
@@ -202,64 +255,10 @@ class CrawlStore:
         with self._lock:
             conn = self._conn
             for row in conn.execute(
-                    "SELECT rank, requested_url, final_url, success, failure, "
-                    "top_level_document_count, skipped_lazy_iframes, "
-                    "iframe_load_failures, duration_seconds, retries, "
-                    "error_detail FROM visits ORDER BY rank"):
-                visit = SiteVisit(
-                    rank=row[0], requested_url=row[1], final_url=row[2],
-                    success=bool(row[3]), failure=row[4],
-                    top_level_document_count=row[5],
-                    skipped_lazy_iframes=row[6],
-                    iframe_load_failures=row[7], duration_seconds=row[8],
-                    retries=row[9], error_detail=row[10])
-                dataset.visits.append(visit)
+                    f"SELECT {_VISIT_COLUMNS} FROM visits ORDER BY rank"):
+                dataset.visits.append(_visit_from_row(row))
             by_rank = {visit.rank: visit for visit in dataset.visits}
-            for row in conn.execute(
-                    "SELECT rank, frame_id, url, origin, site, parent_id, "
-                    "depth, is_local, headers, iframe_attributes FROM frames "
-                    "ORDER BY rowid"):
-                visit = by_rank.get(row[0])
-                if visit is None:
-                    orphans["frames"] += 1
-                    continue
-                visit.frames.append(FrameRecord(
-                    frame_id=row[1], url=row[2], origin=row[3], site=row[4],
-                    parent_id=row[5], depth=row[6], is_local=bool(row[7]),
-                    headers=json.loads(row[8]),
-                    iframe_attributes=(json.loads(row[9])
-                                       if row[9] is not None else None)))
-            for row in conn.execute(
-                    "SELECT rank, frame_id, api, kind, permissions, args, "
-                    "script_url, allowed FROM calls ORDER BY rowid"):
-                visit = by_rank.get(row[0])
-                if visit is None:
-                    orphans["calls"] += 1
-                    continue
-                visit.calls.append(CallRecord(
-                    frame_id=row[1], api=row[2], kind=row[3],
-                    permissions=tuple(json.loads(row[4])),
-                    args=tuple(json.loads(row[5])),
-                    script_url=row[6], allowed=bool(row[7])))
-            for row in conn.execute(
-                    "SELECT rank, frame_id, url, source FROM scripts "
-                    "ORDER BY rowid"):
-                visit = by_rank.get(row[0])
-                if visit is None:
-                    orphans["scripts"] += 1
-                    continue
-                visit.scripts.append(ScriptSourceRecord(
-                    frame_id=row[1], url=row[2], source=row[3]))
-            for row in conn.execute(
-                    "SELECT rank, frame_id, permission, display_site, text "
-                    "FROM prompts ORDER BY rowid"):
-                visit = by_rank.get(row[0])
-                if visit is None:
-                    orphans["prompts"] += 1
-                    continue
-                visit.prompts.append(PromptRecord(
-                    permission=row[2], requesting_frame_id=row[1],
-                    display_site=row[3], text=row[4]))
+            self._attach_children(by_rank, orphans)
         self.last_orphan_counts = dict(orphans)
         if orphans:
             detail = ", ".join(f"{table}={count}" for table, count
@@ -268,6 +267,62 @@ class CrawlStore:
                 "skipped orphan rows without a visits entry (%s) in %s "
                 "— partially written checkpoint?", detail, self.path)
         return dataset
+
+    def _attach_children(self, by_rank: dict[int, SiteVisit],
+                         orphans: Counter,
+                         where: str = "", params: tuple = ()) -> None:
+        """Attach frame/call/script/prompt rows to their visits.
+
+        ``ORDER BY rowid`` restores per-visit record order: ``save_visit``
+        writes each visit's child rows contiguously, so rowid order within
+        one rank equals insertion order even when chunks were saved
+        out of rank order.
+        """
+        conn = self._conn
+        tables = (
+            ("frames", "SELECT rank, frame_id, url, origin, site, parent_id, "
+             "depth, is_local, headers, iframe_attributes FROM frames",
+             _frame_from_row, lambda visit: visit.frames),
+            ("calls", "SELECT rank, frame_id, api, kind, permissions, args, "
+             "script_url, allowed FROM calls",
+             _call_from_row, lambda visit: visit.calls),
+            ("scripts", "SELECT rank, frame_id, url, source FROM scripts",
+             _script_from_row, lambda visit: visit.scripts),
+            ("prompts", "SELECT rank, frame_id, permission, display_site, "
+             "text FROM prompts",
+             _prompt_from_row, lambda visit: visit.prompts),
+        )
+        for table, select, from_row, records_of in tables:
+            for row in conn.execute(f"{select}{where} ORDER BY rowid",
+                                    params):
+                visit = by_rank.get(row[0])
+                if visit is None:
+                    orphans[table] += 1
+                    continue
+                records_of(visit).append(from_row(row))
+
+    def load_visits(self, ranks: "Iterable[int]") -> list[SiteVisit]:
+        """Load only the given ranks — the targeted resume query.
+
+        Unlike :meth:`load_dataset` this never materialises the whole
+        checkpoint; ranks not present in the store are silently skipped.
+        Returns visits sorted by rank.
+        """
+        wanted = sorted(set(ranks))
+        by_rank: dict[int, SiteVisit] = {}
+        orphans: Counter = Counter()
+        with self._lock:
+            conn = self._conn
+            for start in range(0, len(wanted), _SQL_IN_CHUNK):
+                chunk = wanted[start:start + _SQL_IN_CHUNK]
+                marks = ",".join("?" * len(chunk))
+                where = f" WHERE rank IN ({marks})"
+                for row in conn.execute(
+                        f"SELECT {_VISIT_COLUMNS} FROM visits{where}",
+                        chunk):
+                    by_rank[row[0]] = _visit_from_row(row)
+                self._attach_children(by_rank, orphans, where, tuple(chunk))
+        return [by_rank[rank] for rank in wanted if rank in by_rank]
 
     # -- SQL-side aggregates ------------------------------------------------------
     #

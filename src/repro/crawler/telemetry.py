@@ -39,6 +39,9 @@ class TelemetrySnapshot:
     simulated_seconds: float
     failure_counts: dict[str, int]
     visits_by_worker: dict[str, int]
+    #: Execution backend of the run ("serial"/"thread"/"process"), empty
+    #: when the pool did not report one.
+    backend: str = ""
 
     @property
     def sites_per_second(self) -> float:
@@ -69,6 +72,8 @@ class TelemetrySnapshot:
             f"throughput  {self.sites_per_second:.1f} sites/s wall clock, "
             f"{self.simulated_seconds_per_site:.1f} simulated s/site",
         ]
+        if self.backend:
+            lines.append(f"backend     {self.backend}")
         if self.failure_counts:
             failures = ", ".join(
                 f"{taxonomy}={count}" for taxonomy, count
@@ -83,10 +88,13 @@ class TelemetrySnapshot:
 
     def progress_line(self) -> str:
         """One-line form for in-place progress output."""
-        return (f"[{self.completed}/{self.total}] "
+        line = (f"[{self.completed}/{self.total}] "
                 f"{self.succeeded} ok, {self.failed} failed, "
                 f"{self.retries} retries, queue {self.queue_depth}, "
                 f"{self.sites_per_second:.1f} sites/s")
+        if self.backend:
+            line += f" ({self.backend})"
+        return line
 
 
 @dataclass
@@ -109,13 +117,15 @@ class CrawlTelemetry:
     _retries: int = 0
     _simulated_seconds: float = 0.0
     _started_at: float | None = None
+    _backend: str = ""
     _failures: Counter = field(default_factory=Counter)
     _by_worker: Counter = field(default_factory=Counter)
 
-    def start(self, total: int) -> None:
+    def start(self, total: int, *, backend: str = "") -> None:
         """Begin (or restart) a run over ``total`` queued visits."""
         with self._lock:
             self._total = total
+            self._backend = backend
             self._completed = 0
             self._resumed = 0
             self._succeeded = 0
@@ -162,6 +172,7 @@ class CrawlTelemetry:
                 simulated_seconds=self._simulated_seconds,
                 failure_counts=dict(self._failures),
                 visits_by_worker=dict(self._by_worker),
+                backend=self._backend,
             )
 
     def render(self) -> str:

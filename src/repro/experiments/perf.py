@@ -1,0 +1,130 @@
+"""Performance harness behind ``benchmarks/bench_perf_crawl.py`` and
+``scripts/perf_report.py``.
+
+Times the three pipeline stages at a fixed scale — site generation, the
+crawl (per backend), and the analyses — plus the persistent measurement
+cache (cold write vs warm load), and assembles everything into the
+``BENCH_crawl.json`` document that seeds the perf trajectory.
+
+All timings are wall clock over deterministic work, so run-to-run noise is
+scheduling only; the report records the host's CPU count because the
+process backend's speedup is bounded by it (single-core runners can't show
+one, and the CI gate skips enforcement there).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis.summary import summarize
+from repro.crawler.pool import CrawlerPool
+from repro.experiments import runner
+from repro.synthweb.generator import SyntheticWeb
+
+DEFAULT_BACKENDS = ("serial", "thread", "process")
+
+
+def _timed(fn: Callable[[], object]) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def time_webgen(site_count: int, seed: int) -> dict:
+    """Generate every site spec once (cold caches)."""
+    web = SyntheticWeb(site_count, seed=seed)
+    seconds, _ = _timed(lambda: [web.site(rank) for rank in
+                                 range(site_count)])
+    return {"seconds": round(seconds, 4),
+            "sites_per_second": round(site_count / seconds, 1)}
+
+
+def time_crawl(site_count: int, seed: int, workers: int,
+               backends: Sequence[str] = DEFAULT_BACKENDS) -> dict:
+    """Crawl the same web once per backend; verifies identical results."""
+    web = SyntheticWeb(site_count, seed=seed)
+    timings: dict[str, dict] = {}
+    reference_counts: tuple[int, int] | None = None
+    for backend in backends:
+        pool = CrawlerPool(web, workers=workers, backend=backend)
+        seconds, dataset = _timed(pool.run)
+        counts = (dataset.attempted, dataset.successful_count)
+        if reference_counts is None:
+            reference_counts = counts
+        elif counts != reference_counts:
+            raise AssertionError(
+                f"backend {backend!r} diverged: {counts} != "
+                f"{reference_counts}")
+        timings[backend] = {
+            "seconds": round(seconds, 4),
+            "sites_per_second": round(site_count / seconds, 1),
+            "workers": 1 if backend == "serial" else workers,
+        }
+    return timings
+
+
+def time_analysis(site_count: int, seed: int) -> dict:
+    """Summarize a freshly crawled dataset (the Section 4 aggregate)."""
+    web = SyntheticWeb(site_count, seed=seed)
+    dataset = CrawlerPool(web, workers=1, backend="serial").run()
+    seconds, _ = _timed(lambda: summarize(dataset))
+    return {"seconds": round(seconds, 4)}
+
+
+def time_cache(site_count: int, seed: int, cache_dir: Path) -> dict:
+    """Cold crawl-and-store vs warm load of the measurement cache."""
+    previous_env = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    saved_cache = dict(runner._CACHE)
+    try:
+        runner._CACHE.clear()
+        cold_seconds, _ = _timed(
+            lambda: runner.run_measurement(site_count, seed=seed))
+        runner._CACHE.clear()
+        warm_seconds, _ = _timed(
+            lambda: runner.run_measurement(site_count, seed=seed))
+    finally:
+        runner._CACHE.clear()
+        runner._CACHE.update(saved_cache)
+        if previous_env is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = previous_env
+    return {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_over_cold": round(warm_seconds / cold_seconds, 4),
+    }
+
+
+def collect(site_count: int, *, seed: int = runner.DEFAULT_SEED,
+            workers: int = 4,
+            backends: Sequence[str] = DEFAULT_BACKENDS,
+            cache_dir: Path | None = None) -> dict:
+    """The full BENCH_crawl.json document for one scale."""
+    import tempfile
+
+    if cache_dir is None:
+        cache_dir = Path(tempfile.mkdtemp(prefix="perm-odyssey-bench-"))
+    return {
+        "site_count": site_count,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "code_fingerprint": runner.code_fingerprint(),
+        "webgen": time_webgen(site_count, seed),
+        "crawl": time_crawl(site_count, seed, workers, backends),
+        "analysis": time_analysis(site_count, seed),
+        "cache": time_cache(site_count, seed, cache_dir),
+    }
+
+
+def write_report(report: dict, path: "str | Path") -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

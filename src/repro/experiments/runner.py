@@ -2,16 +2,37 @@
 
 The paper runs one nine-day crawl and derives every table from it; we run
 one calibrated synthetic crawl (default 20,000 sites — laptop-scale) and
-cache the analyses so each bench target regenerates its table without
-re-crawling.  The scale is configurable through the environment variable
-``REPRO_SITES`` for quicker smoke runs or bigger, tighter reproductions.
+cache it at two levels so each bench target regenerates its table without
+re-crawling:
+
+* an in-process cache, so every analysis in one session shares the same
+  :class:`ExperimentContext` instance;
+* a persistent on-disk cache (a :class:`~repro.crawler.storage.CrawlStore`
+  SQLite file plus a JSON manifest), so *subsequent* pytest/bench sessions
+  load the crawl in seconds instead of recomputing it.
+
+The disk cache is keyed by ``(site_count, seed, schema_version,
+code_fingerprint)``: the fingerprint hashes the source of every package
+that influences crawl bytes, so editing the generator, crawler, policy
+engine, registry or browser invalidates stale caches automatically.
+
+Environment knobs:
+
+* ``REPRO_SITES`` — measurement scale (smoke runs vs tighter repros);
+* ``REPRO_CACHE_DIR`` — cache location (default
+  ``~/.cache/permissions-odyssey``);
+* ``REPRO_NO_CACHE`` — any non-empty value disables the disk cache;
+* ``REPRO_BACKEND`` — default crawl backend (serial/thread/process/auto).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 from dataclasses import dataclass
 from functools import cached_property
+from pathlib import Path
 
 from repro.analysis.delegation import DelegationAnalysis
 from repro.analysis.headers import HeaderAnalysis
@@ -19,11 +40,18 @@ from repro.analysis.overpermission import OverPermissionAnalysis
 from repro.analysis.summary import MeasurementSummary, summarize
 from repro.analysis.usage import UsageAnalysis
 from repro.crawler.pool import CrawlDataset, CrawlerPool
+from repro.crawler.storage import SCHEMA_VERSION, CrawlStore
 from repro.synthweb.generator import SyntheticWeb
 
 #: Default measurement scale; ~1/50 of the paper's 1M with identical rates.
 DEFAULT_SITE_COUNT = 20_000
 DEFAULT_SEED = 2024
+
+#: Packages whose source determines the crawl's dataset bytes.  Analyses
+#: are deliberately absent: they postprocess a dataset, so editing them
+#: must not invalidate cached crawls.
+_FINGERPRINTED_PACKAGES = ("browser", "crawler", "policy", "registry",
+                           "synthweb")
 
 
 @dataclass
@@ -60,6 +88,7 @@ class ExperimentContext:
 
 
 _CACHE: dict[tuple[int, int], ExperimentContext] = {}
+_FINGERPRINT: str | None = None
 
 
 def configured_site_count() -> int:
@@ -69,14 +98,106 @@ def configured_site_count() -> int:
     return DEFAULT_SITE_COUNT
 
 
+def configured_backend() -> str:
+    return os.environ.get("REPRO_BACKEND", "auto")
+
+
+def cache_enabled() -> bool:
+    return not os.environ.get("REPRO_NO_CACHE")
+
+
+def cache_directory() -> Path:
+    value = os.environ.get("REPRO_CACHE_DIR")
+    if value:
+        return Path(value)
+    return Path.home() / ".cache" / "permissions-odyssey"
+
+
+def code_fingerprint() -> str:
+    """Hash of every source file that shapes crawl bytes (memoized)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for package in _FINGERPRINTED_PACKAGES:
+            for source in sorted((package_root / package).glob("**/*.py")):
+                digest.update(source.relative_to(package_root)
+                              .as_posix().encode())
+                digest.update(source.read_bytes())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def _manifest(count: int, seed: int) -> dict:
+    return {"site_count": count, "seed": seed,
+            "schema_version": SCHEMA_VERSION,
+            "code_fingerprint": code_fingerprint()}
+
+
+def _cache_paths(count: int, seed: int) -> tuple[Path, Path]:
+    base = cache_directory() / f"measurement-{count}-{seed}"
+    return base.with_suffix(".json"), base.with_suffix(".sqlite")
+
+
+def _load_cached(count: int, seed: int) -> CrawlDataset | None:
+    """The cached dataset, or ``None`` on any miss or mismatch."""
+    manifest_path, db_path = _cache_paths(count, seed)
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError):
+        return None
+    if manifest != _manifest(count, seed) or not db_path.exists():
+        return None
+    try:
+        with CrawlStore(db_path) as store:
+            dataset = store.load_dataset()
+    except Exception:
+        return None
+    if len(dataset.visits) != count:
+        return None
+    return dataset
+
+
+def _store_cached(count: int, seed: int, dataset: CrawlDataset) -> None:
+    """Best-effort write; the manifest lands last as completeness marker."""
+    manifest_path, db_path = _cache_paths(count, seed)
+    try:
+        db_path.parent.mkdir(parents=True, exist_ok=True)
+        for stale in (manifest_path, db_path,
+                      db_path.with_name(db_path.name + "-wal"),
+                      db_path.with_name(db_path.name + "-shm")):
+            stale.unlink(missing_ok=True)
+        with CrawlStore(db_path) as store:
+            store.save_dataset(dataset)
+        tmp = manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(_manifest(count, seed)))
+        tmp.replace(manifest_path)
+    except OSError:
+        pass
+
+
 def run_measurement(site_count: int | None = None, *,
                     seed: int = DEFAULT_SEED,
-                    workers: int = 4) -> ExperimentContext:
-    """Run (or reuse) the measurement crawl at the given scale."""
+                    workers: int = 4,
+                    backend: str | None = None,
+                    use_cache: bool | None = None) -> ExperimentContext:
+    """Run (or reuse) the measurement crawl at the given scale.
+
+    Lookup order: in-process cache, then the disk cache (when enabled and
+    its manifest matches), then a fresh crawl whose result is written back
+    to disk for the next session.
+    """
     count = site_count if site_count is not None else configured_site_count()
+    cached = use_cache if use_cache is not None else cache_enabled()
     key = (count, seed)
     if key not in _CACHE:
         web = SyntheticWeb(count, seed=seed)
-        dataset = CrawlerPool(web, workers=workers).run()
+        dataset = _load_cached(count, seed) if cached else None
+        if dataset is None:
+            chosen = backend if backend is not None else configured_backend()
+            dataset = CrawlerPool(web, workers=workers,
+                                  backend=chosen).run()
+            if cached:
+                _store_cached(count, seed, dataset)
         _CACHE[key] = ExperimentContext(web=web, dataset=dataset)
     return _CACHE[key]

@@ -43,6 +43,7 @@ documents inherit their parent's declared policy.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -65,12 +66,18 @@ from repro.registry.features import (
 )
 
 
-@dataclass
+@dataclass(eq=False)
 class PolicyFrame:
     """A frame in a frame tree, as the policy engine sees it.
 
     Only policy-relevant state lives here; the full browser substrate
     (:mod:`repro.browser.dom`) builds these for its documents.
+
+    Frames are *policy snapshots*: build the tree (including the loader's
+    ``src_origin`` fix-up) first, evaluate afterwards.  The engine memoizes
+    per-frame decisions on that immutability, which is also why frames
+    compare and hash by identity (``eq=False``) — two structurally equal
+    frames are still two distinct documents.
 
     Attributes:
         origin: The document's origin (opaque for local schemes).
@@ -96,6 +103,8 @@ class PolicyFrame:
     header: ParsedPolicyHeader | None = None
     fp_header: ParsedFeaturePolicyHeader | None = None
     sandboxed: bool = False
+    _effective_origin: Origin | None = field(default=None, init=False,
+                                             repr=False)
 
     # -- constructors ---------------------------------------------------------
 
@@ -178,10 +187,14 @@ class PolicyFrame:
         browsers treat them like their creator: ``self`` checks resolve
         against the nearest non-local ancestor's origin.
         """
-        frame = self
-        while frame.is_local_scheme and frame.parent is not None:
-            frame = frame.parent
-        return frame.origin
+        cached = self._effective_origin
+        if cached is None:
+            frame = self
+            while frame.is_local_scheme and frame.parent is not None:
+                frame = frame.parent
+            cached = frame.origin
+            self._effective_origin = cached
+        return cached
 
 
 def sandbox_isolates(sandbox: str | None) -> bool:
@@ -204,6 +217,30 @@ def _parse_header_or_none(raw: str | None) -> ParsedPolicyHeader | None:
         return parse_permissions_policy_header(raw)
     except HeaderParseError:
         return None
+
+
+_MISSING = object()
+
+
+class _IdentityKey:
+    """Hash-by-identity cache key that keeps its target alive.
+
+    Opaque origins are same-origin only with *themselves* (identity, not
+    structural equality — see :meth:`Origin.same_origin`), so decisions
+    involving them must be keyed by identity.  Holding a strong reference
+    prevents ``id()`` reuse from aliasing two different origins.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: object) -> None:
+        self.obj = obj
+
+    def __hash__(self) -> int:
+        return id(self.obj)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _IdentityKey) and self.obj is other.obj
 
 
 @dataclass(frozen=True)
@@ -234,6 +271,35 @@ class PermissionsPolicyEngine:
                  *, local_scheme_bug: bool = True) -> None:
         self._registry = registry if registry is not None else DEFAULT_REGISTRY
         self._local_scheme_bug = local_scheme_bug
+        # Per-frame decision memo.  Frames are immutable policy snapshots
+        # (PolicyFrame docstring), so any (feature, origin) decision is
+        # stable for a frame's lifetime; weak keys let caches die with
+        # their documents instead of pinning every frame ever evaluated.
+        self._frame_caches: "weakref.WeakKeyDictionary[PolicyFrame, dict]" = \
+            weakref.WeakKeyDictionary()
+
+    def __getstate__(self) -> dict:
+        # WeakKeyDictionary cannot be pickled; the cache is pure memo state,
+        # so worker processes rebuild it empty.
+        return {"registry": self._registry,
+                "local_scheme_bug": self._local_scheme_bug}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["registry"],
+                      local_scheme_bug=state["local_scheme_bug"])
+
+    def _cache_for(self, frame: PolicyFrame) -> dict:
+        cache = self._frame_caches.get(frame)
+        if cache is None:
+            cache = {}
+            self._frame_caches[frame] = cache
+        return cache
+
+    @staticmethod
+    def _origin_key(origin: Origin) -> object:
+        # Opaque origins are same-origin by identity only, so structurally
+        # equal opaque origins must not share cache entries.
+        return _IdentityKey(origin) if origin.opaque else origin
 
     @property
     def registry(self) -> PermissionRegistry:
@@ -254,6 +320,17 @@ class PermissionsPolicyEngine:
     def explain(self, feature: str, frame: PolicyFrame,
                 origin: Origin | None = None) -> PolicyDecision:
         """Like :meth:`is_enabled` but returns the decision with a reason."""
+        cache = self._cache_for(frame)
+        key = ("explain", feature,
+               None if origin is None else self._origin_key(origin))
+        decision = cache.get(key)
+        if decision is None:
+            decision = self._explain(feature, frame, origin)
+            cache[key] = decision
+        return decision
+
+    def _explain(self, feature: str, frame: PolicyFrame,
+                 origin: Origin | None = None) -> PolicyDecision:
         frame_origin = frame.effective_policy_origin()
         if origin is None:
             origin = frame_origin
@@ -279,8 +356,14 @@ class PermissionsPolicyEngine:
         """All policy-controlled features enabled in ``frame`` — the list
         ``document.permissionsPolicy.allowedFeatures()`` returns, which the
         paper observes many scripts retrieving wholesale (Section 4.1.2)."""
-        return tuple(perm.name for perm in self._registry.policy_controlled()
-                     if self.is_enabled(perm.name, frame))
+        cache = self._cache_for(frame)
+        features = cache.get("allowed_features")
+        if features is None:
+            features = tuple(
+                perm.name for perm in self._registry.policy_controlled()
+                if self.is_enabled(perm.name, frame))
+            cache["allowed_features"] = features
+        return features
 
     # -- evaluation -------------------------------------------------------------
 
@@ -307,6 +390,15 @@ class PermissionsPolicyEngine:
         """The declared policy governing ``frame``: its own headers, or — in
         fixed (non-bug) mode — the nearest ancestor's headers for header-less
         local-scheme documents.  Returns ``(directives, self-origin)``."""
+        cache = self._cache_for(frame)
+        declared = cache.get("declared", _MISSING)
+        if declared is _MISSING:
+            declared = self._declared_policy_uncached(frame)
+            cache["declared"] = declared
+        return declared
+
+    def _declared_policy_uncached(self, frame: PolicyFrame
+                                  ) -> tuple[dict[str, Allowlist], Origin] | None:
         if frame.header is not None:
             return frame.header.directives, frame.effective_policy_origin()
         if frame.fp_header is not None:
@@ -318,6 +410,17 @@ class PermissionsPolicyEngine:
 
     def _enabled_in_document(self, feature: str, frame: PolicyFrame,
                              origin: Origin) -> PolicyDecision:
+        cache = self._cache_for(frame)
+        key = ("doc", feature, self._origin_key(origin))
+        decision = cache.get(key)
+        if decision is None:
+            decision = self._enabled_in_document_uncached(feature, frame,
+                                                          origin)
+            cache[key] = decision
+        return decision
+
+    def _enabled_in_document_uncached(self, feature: str, frame: PolicyFrame,
+                                      origin: Origin) -> PolicyDecision:
         inherited = self._inherited(feature, frame)
         if not inherited.enabled:
             return inherited
