@@ -24,6 +24,7 @@ results on every table and figure.
 
 from repro.analysis.delegation import DelegationAnalysis
 from repro.analysis.headers import HeaderAnalysis
+from repro.analysis.index import DatasetIndex
 from repro.analysis.overpermission import OverPermissionAnalysis
 from repro.analysis.summary import MeasurementSummary, summarize
 from repro.analysis.usage import UsageAnalysis
@@ -54,6 +55,7 @@ __all__ = [
     "Crawler",
     "CrawlerPool",
     "DEFAULT_REGISTRY",
+    "DatasetIndex",
     "DelegationAnalysis",
     "FaultInjectingFetcher",
     "HeaderAnalysis",

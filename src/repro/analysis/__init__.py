@@ -26,6 +26,7 @@ every aggregate of the paper's Section 4 and 5:
 from repro.analysis.categories import DelegationPurpose, purpose_clusters
 from repro.analysis.chains import NestedDelegationAnalysis, rebuild_policy_frames
 from repro.analysis.delegation import DelegationAnalysis
+from repro.analysis.index import DatasetIndex, VisitIndex, as_index
 from repro.analysis.fingerprinting import fingerprint_surface
 from repro.analysis.landing_bias import LandingBiasReport, measure_landing_bias
 from repro.analysis.headers import HeaderAnalysis
@@ -42,9 +43,11 @@ from repro.analysis.usage import UsageAnalysis
 from repro.analysis.violations import ViolationAnalysis
 
 __all__ = [
+    "DatasetIndex",
     "DelegationAnalysis",
     "DelegationPurpose",
     "HeaderAnalysis",
+    "VisitIndex",
     "MeasurementSummary",
     "LandingBiasReport",
     "NestedDelegationAnalysis",
@@ -54,6 +57,7 @@ __all__ = [
     "Party",
     "UsageAnalysis",
     "ViolationAnalysis",
+    "as_index",
     "classify_call_party",
     "evaluate_default_disallow_all",
     "fingerprint_surface",

@@ -26,9 +26,10 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable
+from typing import Iterable, Union
 
 from repro.analysis.delegation import DelegationAnalysis
+from repro.analysis.index import DatasetIndex, as_index
 from repro.crawler.records import SiteVisit
 
 
@@ -108,31 +109,30 @@ class PurposeCluster:
         return sum(count for _, count in self.sites)
 
 
-def purpose_clusters(visits: Iterable[SiteVisit],
+def purpose_clusters(visits: "Union[DatasetIndex, Iterable[SiteVisit]]",
                      *, min_websites: int = 2) -> list[PurposeCluster]:
     """Cluster every delegated embedded site by purpose.
 
     Args:
-        visits: Crawl records.
+        visits: Crawl records (or a prebuilt
+            :class:`~repro.analysis.index.DatasetIndex`).
         min_websites: Ignore embedded sites delegated on fewer websites
             (one-off noise).
     """
-    delegation = DelegationAnalysis(visits)
+    index = as_index(visits)
+    delegation = DelegationAnalysis(index)
     signatures: dict[str, Counter] = {}
-    for visit in visits:
-        if not visit.success:
-            continue
-        top_site = visit.top_frame.site
-        for frame in visit.frames:
-            if frame.depth != 1 or frame.is_local or not frame.site:
+    for vi in index.visit_indexes:
+        top_site = vi.top.site
+        for frame in vi.direct_embedded:
+            if frame.is_local or not frame.site:
                 continue
             if frame.site == top_site:
                 continue
-            allow = frame.allow_attribute
-            if not allow:
+            attribute = vi.allow_by_frame.get(frame.frame_id)
+            if attribute is None:
                 continue
-            from repro.policy.allow_attr import parse_allow_attribute
-            delegated = parse_allow_attribute(allow).delegated_features
+            delegated = attribute.delegated_features
             if delegated:
                 signatures.setdefault(frame.site, Counter()).update(delegated)
 

@@ -16,14 +16,13 @@ nested delegations".  This module analyses the part the paper leaves out:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Union
 
+from repro.analysis.index import DatasetIndex, VisitIndex, as_index
 from repro.crawler.records import FrameRecord, SiteVisit
 from repro.policy.allow_attr import parse_allow_attribute
 from repro.policy.engine import PermissionsPolicyEngine, PolicyFrame
-from repro.policy.header import HeaderParseError, parse_permissions_policy_header
-from repro.policy.origin import Origin, OriginParseError
 
 
 @dataclass(frozen=True)
@@ -72,32 +71,33 @@ def rebuild_policy_frames(visit: SiteVisit) -> dict[int, PolicyFrame]:
 class NestedDelegationAnalysis:
     """Finds and evaluates depth ≥ 2 delegation chains."""
 
-    def __init__(self, visits: Iterable[SiteVisit], *,
+    def __init__(self,
+                 visits: "Union[DatasetIndex, Iterable[SiteVisit]]", *,
                  engine: PermissionsPolicyEngine | None = None) -> None:
         self._engine = engine if engine is not None \
             else PermissionsPolicyEngine()
+        self._index = as_index(visits)
         self.chains: list[DelegationChain] = []
         self.sites_with_nested_delegation = 0
         self.redelegated_permissions: Counter = Counter()
         self.max_depth = 0
-        for visit in visits:
-            if visit.success:
-                self._analyse_visit(visit)
+        for vi in self._index.visit_indexes:
+            self._analyse_visit(vi)
 
-    def _analyse_visit(self, visit: SiteVisit) -> None:
-        by_id = {frame.frame_id: frame for frame in visit.frames}
+    def _analyse_visit(self, vi: VisitIndex) -> None:
+        visit = vi.visit
+        by_id = vi.frames_by_id
         deep_frames = [frame for frame in visit.frames if frame.depth >= 2]
         if not deep_frames:
             return
         policy_frames = rebuild_policy_frames(visit)
-        top = visit.top_frame
+        top = vi.top
         found_nested = False
         for frame in deep_frames:
-            attrs = frame.iframe_attributes or {}
-            allow = attrs.get("allow")
-            if not allow:
+            attribute = vi.allow_by_frame.get(frame.frame_id)
+            if attribute is None:
                 continue
-            delegated = parse_allow_attribute(allow).delegated_features
+            delegated = attribute.delegated_features
             if not delegated:
                 continue
             path = self._path_sites(frame, by_id)
@@ -154,17 +154,15 @@ class NestedDelegationAnalysis:
         raw = top.header("permissions-policy")
         if raw is None:
             return False
-        try:
-            parsed = parse_permissions_policy_header(raw)
-        except HeaderParseError:
+        report = self._index.lint(raw)
+        if report.header_dropped:
             return False
-        allowlist = parsed.directives.get(permission)
+        allowlist = report.parsed.directives.get(permission)
         if allowlist is None or allowlist.star or not allowlist.origins:
             return False
-        try:
-            top_origin = Origin.parse(top.url)
-            frame_origin = Origin.parse(frame.url)
-        except OriginParseError:
+        top_origin = self._index.origin(top.url)
+        frame_origin = self._index.origin(frame.url)
+        if top_origin is None or frame_origin is None:
             return False
         return not allowlist.allows(frame_origin, self_origin=top_origin)
 

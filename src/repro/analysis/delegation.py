@@ -14,13 +14,11 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Union
 
-from repro.crawler.records import FrameRecord, SiteVisit
-from repro.policy.allow_attr import (
-    DelegationDirectiveKind,
-    parse_allow_attribute,
-)
+from repro.analysis.index import DatasetIndex, VisitIndex, as_index
+from repro.crawler.records import SiteVisit
+from repro.policy.allow_attr import DelegationDirectiveKind
 
 
 @dataclass(frozen=True)
@@ -43,11 +41,12 @@ class DelegatedPermissionRow:
 class DelegationAnalysis:
     """Aggregates embedding and delegation across a crawl."""
 
-    def __init__(self, visits: Iterable[SiteVisit]) -> None:
-        self._visits = [v for v in visits if v.success]
-        self.top_level_documents = sum(v.top_level_document_count
-                                       for v in self._visits)
-        self.website_count = len(self._visits)
+    def __init__(self,
+                 visits: "Union[DatasetIndex, Iterable[SiteVisit]]") -> None:
+        self._index = as_index(visits)
+        self._visits = self._index.visits
+        self.top_level_documents = self._index.top_level_documents
+        self.website_count = self._index.website_count
 
         #: site -> number of websites embedding it at least once (Table 3)
         self.embedded_site_websites: Counter[str] = Counter()
@@ -69,16 +68,12 @@ class DelegationAnalysis:
 
     # -- aggregation -----------------------------------------------------------------
 
-    @staticmethod
-    def _direct_embedded(visit: SiteVisit) -> list[FrameRecord]:
-        return [frame for frame in visit.frames if frame.depth == 1]
-
     def _run(self) -> None:
-        for visit in self._visits:
-            self._aggregate_visit(visit)
+        for vi in self._index.visit_indexes:
+            self._aggregate_visit(vi)
 
-    def _aggregate_visit(self, visit: SiteVisit) -> None:
-        top_site = visit.top_frame.site
+    def _aggregate_visit(self, vi: VisitIndex) -> None:
+        top_site = vi.top.site
         seen_sites: set[str] = set()
         seen_delegated_sites: set[str] = set()
         seen_permissions: set[str] = set()
@@ -86,17 +81,16 @@ class DelegationAnalysis:
         delegates_external = False
         delegates_third_party = False
 
-        for frame in self._direct_embedded(visit):
+        for frame in vi.direct_embedded:
             is_external = not frame.is_local and bool(frame.site)
             is_cross_site = is_external and frame.site != top_site
             if is_cross_site:
                 seen_sites.add(frame.site)
                 self.site_occurrences[frame.site][0] += 1
 
-            allow_raw = frame.allow_attribute
-            if not allow_raw:
+            attribute = vi.allow_by_frame.get(frame.frame_id)
+            if attribute is None:
                 continue
-            attribute = parse_allow_attribute(allow_raw)
             delegated = attribute.delegated_features
             for entry in attribute.entries.values():
                 self.directive_kinds[entry.kind] += 1

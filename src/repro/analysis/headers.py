@@ -12,15 +12,15 @@ Third-party, ``*``) — see
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Union
 
+from repro.analysis.index import DatasetIndex, VisitIndex, as_index
 from repro.crawler.records import FrameRecord, SiteVisit
 from repro.policy.allowlist import DirectiveClass, classify_directive
-from repro.policy.linter import HeaderLinter, LintReport, LintSeverity
-from repro.policy.origin import Origin, OriginParseError
-from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+from repro.policy.linter import LintReport, LintSeverity
+from repro.registry.features import PermissionRegistry
 
 
 @dataclass
@@ -56,14 +56,14 @@ class AdoptionFigures:
 class HeaderAnalysis:
     """Aggregates Permissions-Policy / Feature-Policy headers of a crawl."""
 
-    def __init__(self, visits: Iterable[SiteVisit],
+    def __init__(self,
+                 visits: "Union[DatasetIndex, Iterable[SiteVisit]]",
                  registry: PermissionRegistry | None = None) -> None:
-        self._registry = registry if registry is not None else DEFAULT_REGISTRY
-        self._linter = HeaderLinter(self._registry)
-        self._visits = [v for v in visits if v.success]
-        self.top_level_documents = sum(v.top_level_document_count
-                                       for v in self._visits)
-        self.website_count = len(self._visits)
+        self._index = as_index(visits, registry)
+        self._registry = self._index.registry
+        self._visits = self._index.visits
+        self.top_level_documents = self._index.top_level_documents
+        self.website_count = self._index.website_count
 
         self.non_local_docs = 0
         self.non_local_embedded_docs = 0
@@ -91,10 +91,11 @@ class HeaderAnalysis:
     # -- aggregation ----------------------------------------------------------------
 
     def _run(self) -> None:
-        for visit in self._visits:
-            self._aggregate_visit(visit)
+        for vi in self._index.visit_indexes:
+            self._aggregate_visit(vi)
 
-    def _aggregate_visit(self, visit: SiteVisit) -> None:
+    def _aggregate_visit(self, vi: VisitIndex) -> None:
+        visit = vi.visit
         top_syntax_error = False
         embedded_syntax_error = False
         top_semantic = False
@@ -124,7 +125,7 @@ class HeaderAnalysis:
                 self.pp_top_level_docs += weight
             else:
                 self.pp_embedded_docs += 1
-            report = self._linter.lint(pp_raw)
+            report = self._index.lint(pp_raw)
             if report.header_dropped:
                 self.syntax_error_frames += 1
                 if frame.is_top_level:
@@ -152,9 +153,8 @@ class HeaderAnalysis:
     def _aggregate_directives(self, frame: FrameRecord,
                               report: LintReport) -> None:
         assert report.parsed is not None
-        try:
-            origin = Origin.parse(frame.url)
-        except OriginParseError:
+        origin = self._index.origin(frame.url)
+        if origin is None:
             return
         if frame.is_top_level:
             self.valid_top_level_headers += 1

@@ -1,0 +1,544 @@
+"""Pre-index reference implementations of the core analyses.
+
+This module preserves, verbatim, the multi-pass aggregation code the
+analysis pipeline used before :class:`repro.analysis.index.DatasetIndex`
+existed: every analysis makes its own full pass over the visits and
+re-parses each ``allow`` attribute, policy header and script source it
+encounters.  It exists for two reasons:
+
+* **Differential testing** — ``tests/test_analysis_index.py`` asserts that
+  :func:`repro.analysis.summary.summarize` (indexed, serial or parallel)
+  produces a field-identical :class:`MeasurementSummary` to
+  :func:`summarize_legacy` on multiple seeds.
+* **Benchmarking** — ``benchmarks/bench_perf_analysis.py`` times this path
+  (with parser interning disabled, see
+  :func:`repro.policy.memo.parser_caches_disabled`) against the indexed
+  path and fails CI if the index is ever slower.
+
+Do not use these classes in new code; they are intentionally frozen.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable
+
+from repro.analysis.index import (
+    ALL_PERMISSIONS_ROW,
+    GENERAL_ROW,
+    static_matches,
+)
+from repro.analysis.parties import Party, classify_call_party
+from repro.analysis.usage import CheckStats, ContextStats, StaticStats
+from repro.analysis.headers import AdoptionFigures, DirectiveClassCounts
+from repro.analysis.overpermission import (
+    OverPermissionRow,
+    WidgetDelegationProfile,
+)
+from repro.crawler.records import FrameRecord, SiteVisit
+from repro.crawler.pool import CrawlDataset
+from repro.policy.allow_attr import (
+    DelegationDirectiveKind,
+    parse_allow_attribute,
+)
+from repro.policy.allowlist import DirectiveClass, classify_directive
+from repro.policy.linter import HeaderLinter, LintReport, LintSeverity
+from repro.policy.origin import Origin, OriginParseError
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+
+
+class LegacyUsageAnalysis:
+    """The pre-index :class:`~repro.analysis.usage.UsageAnalysis`."""
+
+    def __init__(self, visits: Iterable[SiteVisit],
+                 registry: PermissionRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._visits = [v for v in visits if v.success]
+        self.top_level_documents = sum(v.top_level_document_count
+                                       for v in self._visits)
+        self.website_count = len(self._visits)
+        self.invocation_stats: dict[str, ContextStats] = {}
+        self.check_stats: dict[str, CheckStats] = {}
+        self.static_stats: dict[str, StaticStats] = {}
+
+        self.sites_any_invocation = 0
+        self.sites_invocation_top = 0
+        self.sites_invocation_embedded = 0
+        self.sites_any_static = 0
+        self.sites_any_functionality = 0
+        self.sites_feature_policy_api = 0
+        self.total_top_invoking_contexts = 0
+        self.total_embedded_invoking_contexts = 0
+        self._top_invoking_first = 0
+        self._top_invoking_third = 0
+        self._embedded_invoking_first = 0
+        self._embedded_invoking_third = 0
+
+        for visit in self._visits:
+            self._aggregate_visit(visit)
+
+    def _stats_for(self, table: dict, cls, permission: str):
+        if permission not in table:
+            table[permission] = cls(permission)
+        return table[permission]
+
+    def _aggregate_visit(self, visit: SiteVisit) -> None:
+        frames = {frame.frame_id: frame for frame in visit.frames}
+
+        invoked: dict[tuple[int, str], set[Party]] = defaultdict(set)
+        checked: dict[tuple[int, str], set[Party]] = defaultdict(set)
+        any_general_deprecated = False
+        for call in visit.calls:
+            frame = frames[call.frame_id]
+            party = classify_call_party(call, frame)
+            if call.uses_deprecated_feature_policy_api:
+                any_general_deprecated = True
+            if call.is_general:
+                invoked[(call.frame_id, GENERAL_ROW)].add(party)
+                checked[(call.frame_id, ALL_PERMISSIONS_ROW)].add(party)
+            elif call.is_status_check:
+                invoked[(call.frame_id, GENERAL_ROW)].add(party)
+                for permission in call.permissions:
+                    checked[(call.frame_id, permission)].add(party)
+            else:
+                for permission in call.permissions:
+                    invoked[(call.frame_id, permission)].add(party)
+
+        top_invoked = False
+        embedded_invoked = False
+        seen_frames_top: dict[int, set[Party]] = defaultdict(set)
+        seen_frames_embedded: dict[int, set[Party]] = defaultdict(set)
+        for (frame_id, permission), parties in invoked.items():
+            frame = frames[frame_id]
+            stats = self._stats_for(self.invocation_stats, ContextStats,
+                                    permission)
+            if frame.is_top_level:
+                top_invoked = True
+                stats.top_contexts += 1
+                if Party.FIRST in parties:
+                    stats.top_first_party += 1
+                if Party.THIRD in parties:
+                    stats.top_third_party += 1
+                seen_frames_top[frame_id] |= parties
+            else:
+                embedded_invoked = True
+                stats.embedded_contexts += 1
+                if Party.FIRST in parties:
+                    stats.embedded_first_party += 1
+                if Party.THIRD in parties:
+                    stats.embedded_third_party += 1
+                seen_frames_embedded[frame_id] |= parties
+        self.total_top_invoking_contexts += len(seen_frames_top)
+        self.total_embedded_invoking_contexts += len(seen_frames_embedded)
+        self._top_invoking_first += sum(
+            1 for parties in seen_frames_top.values() if Party.FIRST in parties)
+        self._top_invoking_third += sum(
+            1 for parties in seen_frames_top.values() if Party.THIRD in parties)
+        self._embedded_invoking_first += sum(
+            1 for parties in seen_frames_embedded.values()
+            if Party.FIRST in parties)
+        self._embedded_invoking_third += sum(
+            1 for parties in seen_frames_embedded.values()
+            if Party.THIRD in parties)
+
+        if top_invoked or embedded_invoked:
+            self.sites_any_invocation += 1
+        if top_invoked:
+            self.sites_invocation_top += 1
+        if embedded_invoked:
+            self.sites_invocation_embedded += 1
+        if any_general_deprecated:
+            self.sites_feature_policy_api += 1
+
+        site_checked: set[str] = set()
+        for (frame_id, permission), _parties in checked.items():
+            frame = frames[frame_id]
+            stats = self._stats_for(self.check_stats, CheckStats, permission)
+            if frame.is_top_level:
+                stats.top_contexts += 1
+            else:
+                stats.embedded_contexts += 1
+            site_checked.add(permission)
+        for permission in site_checked:
+            self.check_stats[permission].websites += 1
+
+        static_by_frame: dict[int, frozenset[str]] = {}
+        general_by_frame: dict[int, bool] = {}
+        for script in visit.scripts:
+            permissions, general = static_matches(script.source,
+                                                  self._registry)
+            previous = static_by_frame.get(script.frame_id, frozenset())
+            static_by_frame[script.frame_id] = previous | permissions
+            general_by_frame[script.frame_id] = (
+                general_by_frame.get(script.frame_id, False) or general)
+
+        site_static: set[str] = set()
+        for frame_id, permissions in static_by_frame.items():
+            names = set(permissions)
+            if general_by_frame.get(frame_id):
+                names.add(GENERAL_ROW)
+            for permission in names:
+                stats = self._stats_for(self.static_stats, StaticStats,
+                                        permission)
+                if frames[frame_id].is_top_level:
+                    stats.top_contexts += 1
+                else:
+                    stats.embedded_contexts += 1
+            site_static |= names
+        for permission in site_static:
+            self.static_stats[permission].websites += 1
+        if site_static:
+            self.sites_any_static += 1
+        if site_static or top_invoked or embedded_invoked:
+            self.sites_any_functionality += 1
+
+    def _share(self, count: int) -> float:
+        return (count / self.top_level_documents
+                if self.top_level_documents else 0.0)
+
+    @property
+    def share_any_invocation(self) -> float:
+        return self._share(self.sites_any_invocation)
+
+    @property
+    def share_invocation_top(self) -> float:
+        return self._share(self.sites_invocation_top)
+
+    @property
+    def share_invocation_embedded(self) -> float:
+        return self._share(self.sites_invocation_embedded)
+
+    @property
+    def share_any_functionality(self) -> float:
+        return self._share(self.sites_any_functionality)
+
+    @property
+    def share_any_static(self) -> float:
+        return self._share(self.sites_any_static)
+
+    @property
+    def top_third_party_share(self) -> float:
+        if not self.total_top_invoking_contexts:
+            return 0.0
+        return self._top_invoking_third / self.total_top_invoking_contexts
+
+    @property
+    def embedded_first_party_share(self) -> float:
+        if not self.total_embedded_invoking_contexts:
+            return 0.0
+        return (self._embedded_invoking_first
+                / self.total_embedded_invoking_contexts)
+
+
+class LegacyDelegationAnalysis:
+    """The pre-index :class:`~repro.analysis.delegation.DelegationAnalysis`."""
+
+    def __init__(self, visits: Iterable[SiteVisit]) -> None:
+        self._visits = [v for v in visits if v.success]
+        self.top_level_documents = sum(v.top_level_document_count
+                                       for v in self._visits)
+        self.directive_kinds: Counter = Counter()
+        self.sites_delegating = 0
+        self.sites_delegating_external = 0
+        for visit in self._visits:
+            self._aggregate_visit(visit)
+
+    def _aggregate_visit(self, visit: SiteVisit) -> None:
+        top_site = visit.top_frame.site
+        delegates_any = False
+        delegates_external = False
+        for frame in visit.frames:
+            if frame.depth != 1:
+                continue
+            is_external = not frame.is_local and bool(frame.site)
+            is_cross_site = is_external and frame.site != top_site
+            allow_raw = frame.allow_attribute
+            if not allow_raw:
+                continue
+            attribute = parse_allow_attribute(allow_raw)
+            delegated = attribute.delegated_features
+            for entry in attribute.entries.values():
+                self.directive_kinds[entry.kind] += 1
+            if not delegated:
+                continue
+            delegates_any = True
+            if is_cross_site:
+                delegates_external = True
+        if delegates_any:
+            self.sites_delegating += 1
+        if delegates_external:
+            self.sites_delegating_external += 1
+
+    def _share(self, count: int) -> float:
+        return (count / self.top_level_documents
+                if self.top_level_documents else 0.0)
+
+    @property
+    def share_sites_delegating(self) -> float:
+        return self._share(self.sites_delegating)
+
+    @property
+    def share_sites_delegating_external(self) -> float:
+        return self._share(self.sites_delegating_external)
+
+    def directive_distribution(self) -> dict[DelegationDirectiveKind, float]:
+        total = sum(self.directive_kinds.values())
+        if not total:
+            return {}
+        return {kind: count / total
+                for kind, count in self.directive_kinds.items()}
+
+
+class LegacyHeaderAnalysis:
+    """The pre-index :class:`~repro.analysis.headers.HeaderAnalysis`."""
+
+    def __init__(self, visits: Iterable[SiteVisit],
+                 registry: PermissionRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._linter = HeaderLinter(self._registry)
+        self._visits = [v for v in visits if v.success]
+        self.top_level_documents = sum(v.top_level_document_count
+                                       for v in self._visits)
+
+        self.non_local_docs = 0
+        self.non_local_embedded_docs = 0
+        self.pp_top_level_docs = 0
+        self.pp_embedded_docs = 0
+        self.fp_docs = 0
+        self.sites_with_both_headers = 0
+
+        self.syntax_error_top_level_sites = 0
+        self.semantic_issue_top_level_sites = 0
+
+        self._top_level_class_counts: Counter = Counter()
+
+        for visit in self._visits:
+            self._aggregate_visit(visit)
+
+    def _aggregate_visit(self, visit: SiteVisit) -> None:
+        top_syntax_error = False
+        top_semantic = False
+        has_pp = False
+        has_fp = False
+        for frame in visit.frames:
+            if frame.is_local:
+                continue
+            weight = (visit.top_level_document_count
+                      if frame.is_top_level else 1)
+            self.non_local_docs += weight
+            if not frame.is_top_level:
+                self.non_local_embedded_docs += 1
+            pp_raw = frame.header("permissions-policy")
+            fp_raw = frame.header("feature-policy")
+            if fp_raw is not None:
+                self.fp_docs += weight
+                has_fp = True
+            if pp_raw is None:
+                continue
+            has_pp = True
+            if frame.is_top_level:
+                self.pp_top_level_docs += weight
+            else:
+                self.pp_embedded_docs += 1
+            report = self._linter.lint(pp_raw)
+            if report.header_dropped:
+                if frame.is_top_level:
+                    top_syntax_error = True
+                continue
+            if any(f.severity is LintSeverity.ERROR for f in report.findings):
+                if frame.is_top_level:
+                    top_semantic = True
+            self._aggregate_directives(frame, report)
+        if top_syntax_error:
+            self.syntax_error_top_level_sites += 1
+        if top_semantic:
+            self.semantic_issue_top_level_sites += 1
+        if has_pp and has_fp:
+            self.sites_with_both_headers += 1
+
+    def _aggregate_directives(self, frame: FrameRecord,
+                              report: LintReport) -> None:
+        assert report.parsed is not None
+        try:
+            origin = Origin.parse(frame.url)
+        except OriginParseError:
+            return
+        if not frame.is_top_level:
+            return
+        for feature, allowlist in report.parsed.directives.items():
+            cls = classify_directive(allowlist, origin)
+            self._top_level_class_counts[cls] += 1
+
+    def adoption(self) -> AdoptionFigures:
+        pp_docs = self.pp_top_level_docs + self.pp_embedded_docs
+        return AdoptionFigures(
+            pp_all_docs_share=(pp_docs / self.non_local_docs
+                               if self.non_local_docs else 0.0),
+            fp_all_docs_share=(self.fp_docs / self.non_local_docs
+                               if self.non_local_docs else 0.0),
+            both_sites=self.sites_with_both_headers,
+            pp_docs=pp_docs,
+            pp_top_level_docs=self.pp_top_level_docs,
+            pp_top_level_share=(self.pp_top_level_docs
+                                / self.top_level_documents
+                                if self.top_level_documents else 0.0),
+            pp_embedded_docs=self.pp_embedded_docs,
+            pp_embedded_share=(self.pp_embedded_docs
+                               / self.non_local_embedded_docs
+                               if self.non_local_embedded_docs else 0.0),
+        )
+
+    def top_level_class_shares(self) -> dict[DirectiveClass, float]:
+        total = sum(self._top_level_class_counts.values())
+        if not total:
+            return {}
+        return {cls: count / total
+                for cls, count in self._top_level_class_counts.items()}
+
+
+class LegacyOverPermissionAnalysis:
+    """The pre-index
+    :class:`~repro.analysis.overpermission.OverPermissionAnalysis`."""
+
+    def __init__(self, visits: Iterable[SiteVisit], *,
+                 prevalence_threshold: float = 0.05,
+                 registry: PermissionRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.prevalence_threshold = prevalence_threshold
+        self._visits = [v for v in visits if v.success]
+
+        self._occurrences: Counter = Counter()
+        self._delegated_occurrences: Counter = Counter()
+        self._delegation_counts: dict[str, Counter] = defaultdict(Counter)
+        self._activity: dict[str, set[str]] = defaultdict(set)
+        self._delegating_websites: dict[tuple[str, str], set[int]] = \
+            defaultdict(set)
+
+        for visit in self._visits:
+            self._aggregate_visit(visit)
+
+    def _aggregate_visit(self, visit: SiteVisit) -> None:
+        top_site = visit.top_frame.site
+        frames = {frame.frame_id: frame for frame in visit.frames}
+
+        for frame in visit.frames:
+            if frame.is_top_level or frame.is_local:
+                continue
+            if not frame.site or frame.site == top_site:
+                continue
+            self._occurrences[frame.site] += 1
+            allow_raw = frame.allow_attribute
+            delegated: tuple[str, ...] = ()
+            if allow_raw:
+                delegated = parse_allow_attribute(allow_raw).delegated_features
+            if delegated:
+                self._delegated_occurrences[frame.site] += 1
+            for permission in delegated:
+                self._delegation_counts[frame.site][permission] += 1
+                self._delegating_websites[(frame.site, permission)].add(
+                    visit.rank)
+
+        for call in visit.calls:
+            frame = frames[call.frame_id]
+            if frame.is_top_level or not frame.site or frame.site == top_site:
+                continue
+            for permission in call.permissions:
+                self._activity[frame.site].add(permission)
+        for script in visit.scripts:
+            frame = frames[script.frame_id]
+            if frame.is_top_level or not frame.site or frame.site == top_site:
+                continue
+            permissions, _general = static_matches(script.source,
+                                                   self._registry)
+            self._activity[frame.site] |= permissions
+
+    def profile_for(self, site: str) -> WidgetDelegationProfile:
+        return WidgetDelegationProfile(
+            site=site,
+            occurrences=self._occurrences.get(site, 0),
+            occurrences_with_delegation=self._delegated_occurrences.get(site, 0),
+            delegation_counts=dict(self._delegation_counts.get(site, {})),
+            observed_activity=frozenset(self._activity.get(site, set())),
+        )
+
+    def _observable(self, permission: str) -> bool:
+        perm = self._registry.maybe(permission)
+        return perm is not None and perm.instrumented
+
+    def unused_delegations(self) -> list[OverPermissionRow]:
+        rows: list[OverPermissionRow] = []
+        for site in self._delegation_counts:
+            profile = self.profile_for(site)
+            prevalent = profile.prevalent_delegations(
+                self.prevalence_threshold)
+            unused = tuple(permission for permission in prevalent
+                           if self._observable(permission)
+                           and permission not in profile.observed_activity)
+            if not unused:
+                continue
+            affected: set[int] = set()
+            for permission in unused:
+                affected |= self._delegating_websites[(site, permission)]
+            rows.append(OverPermissionRow(
+                site=site, unused_permissions=unused,
+                affected_websites=len(affected)))
+        rows.sort(key=lambda row: row.affected_websites, reverse=True)
+        return rows
+
+    def total_affected_websites(self) -> int:
+        affected: set[int] = set()
+        for row in self.unused_delegations():
+            for permission in row.unused_permissions:
+                affected |= self._delegating_websites[(row.site, permission)]
+        return len(affected)
+
+
+def summarize_legacy(dataset: CrawlDataset):
+    """Assemble a :class:`~repro.analysis.summary.MeasurementSummary` the
+    pre-index way: one independent full pass per analysis."""
+    from repro.analysis.summary import MeasurementSummary
+
+    visits = dataset.successful()
+    usage = LegacyUsageAnalysis(visits)
+    delegation = LegacyDelegationAnalysis(visits)
+    headers = LegacyHeaderAnalysis(visits)
+    overpermission = LegacyOverPermissionAnalysis(visits)
+    adoption = headers.adoption()
+    class_shares = headers.top_level_class_shares()
+    directive_dist = delegation.directive_distribution()
+    return MeasurementSummary(
+        attempted_sites=dataset.attempted,
+        successful_sites=dataset.successful_count,
+        failure_summary=dataset.failure_summary(),
+        top_level_documents=dataset.top_level_document_count,
+        embedded_documents=dataset.embedded_document_count,
+        sites_with_iframes=dataset.sites_with_iframes(),
+        local_embedded_share=dataset.local_embedded_share(),
+        average_seconds_per_site=dataset.average_duration_seconds(),
+        share_any_invocation=usage.share_any_invocation,
+        share_invocation_top=usage.share_invocation_top,
+        share_invocation_embedded=usage.share_invocation_embedded,
+        share_any_functionality=usage.share_any_functionality,
+        share_any_static=usage.share_any_static,
+        top_third_party_share=usage.top_third_party_share,
+        embedded_first_party_share=usage.embedded_first_party_share,
+        share_sites_delegating=delegation.share_sites_delegating,
+        share_sites_delegating_external=(
+            delegation.share_sites_delegating_external),
+        directive_share_default_src=directive_dist.get(
+            DelegationDirectiveKind.DEFAULT_SRC, 0.0),
+        directive_share_star=directive_dist.get(
+            DelegationDirectiveKind.STAR, 0.0),
+        pp_header_top_level_share=adoption.pp_top_level_share,
+        pp_header_all_docs_share=adoption.pp_all_docs_share,
+        fp_header_all_docs_share=adoption.fp_all_docs_share,
+        pp_header_embedded_share=adoption.pp_embedded_share,
+        header_class_disable_share=class_shares.get(
+            DirectiveClass.DISABLE, 0.0),
+        header_class_self_share=class_shares.get(DirectiveClass.SELF, 0.0),
+        header_class_star_share=class_shares.get(DirectiveClass.STAR, 0.0),
+        syntax_error_top_level_sites=headers.syntax_error_top_level_sites,
+        semantic_issue_top_level_sites=headers.semantic_issue_top_level_sites,
+        overpermission_affected_websites=(
+            overpermission.total_affected_websites()),
+    )

@@ -23,12 +23,11 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Union
 
-from repro.analysis.usage import static_matches
+from repro.analysis.index import DatasetIndex, VisitIndex, as_index
 from repro.crawler.records import SiteVisit
-from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
-from repro.policy.allow_attr import parse_allow_attribute
+from repro.registry.features import PermissionRegistry
 
 
 @dataclass(frozen=True)
@@ -67,12 +66,14 @@ class WidgetDelegationProfile:
 class OverPermissionAnalysis:
     """Runs the Section 5 detector over a crawl."""
 
-    def __init__(self, visits: Iterable[SiteVisit], *,
+    def __init__(self,
+                 visits: "Union[DatasetIndex, Iterable[SiteVisit]]", *,
                  prevalence_threshold: float = 0.05,
                  registry: PermissionRegistry | None = None) -> None:
-        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._index = as_index(visits, registry)
+        self._registry = self._index.registry
         self.prevalence_threshold = prevalence_threshold
-        self._visits = [v for v in visits if v.success]
+        self._visits = self._index.visits
 
         self._occurrences: Counter[str] = Counter()
         self._delegated_occurrences: Counter[str] = Counter()
@@ -87,12 +88,13 @@ class OverPermissionAnalysis:
     # -- aggregation --------------------------------------------------------------
 
     def _run(self) -> None:
-        for visit in self._visits:
-            self._aggregate_visit(visit)
+        for vi in self._index.visit_indexes:
+            self._aggregate_visit(vi)
 
-    def _aggregate_visit(self, visit: SiteVisit) -> None:
-        top_site = visit.top_frame.site
-        frames = {frame.frame_id: frame for frame in visit.frames}
+    def _aggregate_visit(self, vi: VisitIndex) -> None:
+        visit = vi.visit
+        top_site = vi.top.site
+        frames = vi.frames_by_id
 
         for frame in visit.frames:
             if frame.is_top_level or frame.is_local:
@@ -100,10 +102,10 @@ class OverPermissionAnalysis:
             if not frame.site or frame.site == top_site:
                 continue
             self._occurrences[frame.site] += 1
-            allow_raw = frame.allow_attribute
+            attribute = vi.allow_by_frame.get(frame.frame_id)
             delegated: tuple[str, ...] = ()
-            if allow_raw:
-                delegated = parse_allow_attribute(allow_raw).delegated_features
+            if attribute is not None:
+                delegated = attribute.delegated_features
             if delegated:
                 self._delegated_occurrences[frame.site] += 1
             for permission in delegated:
@@ -123,8 +125,7 @@ class OverPermissionAnalysis:
             frame = frames[script.frame_id]
             if frame.is_top_level or not frame.site or frame.site == top_site:
                 continue
-            permissions, _general = static_matches(script.source,
-                                                   self._registry)
+            permissions, _general = self._index.static(script.source)
             self._activity[frame.site] |= permissions
 
     # -- results ---------------------------------------------------------------------

@@ -22,14 +22,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Union
 
+from repro.analysis.index import DatasetIndex, as_index
 from repro.crawler.records import SiteVisit
 from repro.policy.allowlist import DirectiveClass, classify_directive
 from repro.policy.csp import ContentSecurityPolicy, local_scheme_attack_possible
-from repro.policy.header import HeaderParseError, parse_permissions_policy_header
-from repro.policy.origin import Origin, OriginParseError
-from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+from repro.registry.features import PermissionRegistry
 
 
 @dataclass
@@ -48,7 +47,7 @@ class DenyAllBreakageReport:
 
 
 def evaluate_default_disallow_all(
-        visits: Iterable[SiteVisit],
+        visits: "Union[DatasetIndex, Iterable[SiteVisit]]",
         registry: PermissionRegistry | None = None) -> DenyAllBreakageReport:
     """Which header-deploying sites would break under deny-all defaults.
 
@@ -56,19 +55,19 @@ def evaluate_default_disallow_all(
     policy-controlled permission that its header does not declare with a
     non-empty allowlist — under the proposal that permission would be off.
     """
-    registry = registry if registry is not None else DEFAULT_REGISTRY
+    index = as_index(visits, registry)
+    registry = index.registry
     report = DenyAllBreakageReport()
-    for visit in visits:
-        if not visit.success:
-            continue
-        top = visit.top_frame
+    for vi in index.visit_indexes:
+        visit = vi.visit
+        top = vi.top
         raw = top.header("permissions-policy")
         if raw is None:
             continue
-        try:
-            parsed = parse_permissions_policy_header(raw)
-        except HeaderParseError:
+        lint = index.lint(raw)
+        if lint.header_dropped:
             continue  # dropped headers are a separate failure class
+        parsed = lint.parsed
         report.header_sites += 1
         used = set()
         for call in visit.calls_in_frame(top.frame_id):
@@ -107,7 +106,7 @@ class AttackSurfaceReport:
 
 
 def local_scheme_attack_surface(
-        visits: Iterable[SiteVisit],
+        visits: "Union[DatasetIndex, Iterable[SiteVisit]]",
         registry: PermissionRegistry | None = None) -> AttackSurfaceReport:
     """Measure who the Table 11 bug can actually hurt.
 
@@ -117,22 +116,20 @@ def local_scheme_attack_surface(
     the local-scheme document; (b) the CSP (if any) leaves frame loads
     unconstrained, so HTML injection can plant the ``data:`` iframe.
     """
-    registry = registry if registry is not None else DEFAULT_REGISTRY
+    index = as_index(visits, registry)
+    registry = index.registry
     report = AttackSurfaceReport()
-    for visit in visits:
-        if not visit.success:
-            continue
-        top = visit.top_frame
+    for vi in index.visit_indexes:
+        top = vi.top
         raw = top.header("permissions-policy")
         if raw is None:
             continue
-        try:
-            parsed = parse_permissions_policy_header(raw)
-        except HeaderParseError:
+        lint = index.lint(raw)
+        if lint.header_dropped:
             continue
-        try:
-            origin = Origin.parse(top.url)
-        except OriginParseError:
+        parsed = lint.parsed
+        origin = index.origin(top.url)
+        if origin is None:
             continue
         vulnerable_permissions = []
         for feature, allowlist in parsed.directives.items():

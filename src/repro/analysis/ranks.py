@@ -15,10 +15,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Union
 
+from repro.analysis.index import DatasetIndex, VisitIndex, as_index
 from repro.crawler.records import SiteVisit
-from repro.policy.allow_attr import parse_allow_attribute
 
 #: Default rank buckets as (label, inclusive upper percentile).
 DEFAULT_BUCKETS: tuple[tuple[str, float], ...] = (
@@ -59,42 +59,55 @@ class RankBucket:
 class RankBucketAnalysis:
     """Slices a crawl by site-rank percentile."""
 
-    def __init__(self, visits: Iterable[SiteVisit], total_sites: int, *,
+    def __init__(self,
+                 visits: "Union[DatasetIndex, Iterable[SiteVisit]]",
+                 total_sites: int, *,
                  buckets: tuple[tuple[str, float], ...] = DEFAULT_BUCKETS
                  ) -> None:
         if total_sites <= 0:
             raise ValueError("total_sites must be positive")
+        if not buckets:
+            raise ValueError("at least one bucket is required")
+        bounds = [bound for _, bound in buckets]
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly ascending, got {bounds}")
         self.total_sites = total_sites
         self.buckets = [RankBucket(label) for label, _ in buckets]
-        self._bounds = [bound for _, bound in buckets]
-        for visit in visits:
-            if visit.success:
-                self._aggregate(visit)
+        self._bounds = bounds
+        index = as_index(visits)
+        for vi in index.visit_indexes:
+            self._aggregate(vi)
 
     def _bucket_for(self, rank: int) -> RankBucket:
+        """Bucket for a rank percentile.  Every bucket except the last is
+        bounded by its (exclusive) upper percentile; the last bucket is an
+        explicit fallthrough catching everything beyond the previous bound,
+        including ranks at or past ``total_sites``."""
         percentile = rank / self.total_sites
-        for bucket, bound in zip(self.buckets, self._bounds):
-            if percentile < bound or bound >= 1.0:
+        for bucket, bound in zip(self.buckets[:-1], self._bounds[:-1]):
+            if percentile < bound:
                 return bucket
         return self.buckets[-1]
 
-    def _aggregate(self, visit: SiteVisit) -> None:
+    def _aggregate(self, vi: VisitIndex) -> None:
+        visit = vi.visit
         bucket = self._bucket_for(max(0, visit.rank))
         bucket.sites += 1
-        top = visit.top_frame
+        top = vi.top
         if top.header("permissions-policy") is not None:
             bucket.with_pp_header += 1
         if visit.calls:
             bucket.with_invocation += 1
         top_site = top.site
         delegating = False
-        for frame in visit.frames:
-            if frame.depth != 1 or frame.is_local or not frame.site:
+        for frame in vi.direct_embedded:
+            if frame.is_local or not frame.site:
                 continue
             if frame.site != top_site:
                 bucket.embedding[frame.site] += 1
-            allow = frame.allow_attribute
-            if allow and parse_allow_attribute(allow).delegated_features:
+            attribute = vi.allow_by_frame.get(frame.frame_id)
+            if attribute is not None and attribute.delegated_features:
                 delegating = True
         if delegating:
             bucket.delegating += 1

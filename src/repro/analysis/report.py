@@ -10,10 +10,19 @@ from typing import Iterable, Sequence
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
-                 title: str = "") -> str:
+                 title: str = "",
+                 percent_columns: Sequence[int] = ()) -> str:
     """Monospace table with left-aligned first column and right-aligned
-    numeric columns."""
-    materialized = [[_cell(value) for value in row] for row in rows]
+    numeric columns.
+
+    Floats render as plain numbers; list a column's index in
+    ``percent_columns`` to render its floats as percentages instead.
+    """
+    percent_set = set(percent_columns)
+    materialized = [
+        [_cell(value, percent=index in percent_set)
+         for index, value in enumerate(row)]
+        for row in rows]
     widths = [len(str(header)) for header in headers]
     for row in materialized:
         for index, cell in enumerate(row):
@@ -37,9 +46,13 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     return "\n".join(out)
 
 
-def _cell(value: object) -> str:
+def _cell(value: object, percent: bool = False) -> str:
+    """Format one table cell.  Floats are plain numbers unless the caller
+    explicitly asks for a percentage — a value like ``0.8`` is ambiguous
+    (80 % or 0.8 seconds?), so the column's meaning must come from the
+    caller, never be guessed from the value's magnitude."""
     if isinstance(value, float):
-        return f"{value:.2%}" if 0.0 <= value <= 1.0 else f"{value:,.2f}"
+        return f"{value:.2%}" if percent else f"{value:,.2f}"
     if isinstance(value, int):
         return f"{value:,}"
     return str(value)
@@ -47,12 +60,20 @@ def _cell(value: object) -> str:
 
 def render_comparison(rows: Iterable[tuple[str, float, float]],
                       title: str = "paper vs measured") -> str:
-    """Render (metric, paper, measured) rows with the relative deviation."""
+    """Render (metric, paper, measured) rows with the relative deviation.
+
+    A zero paper baseline has no meaningful relative deviation (the paper
+    simply did not observe the metric), so such rows render ``n/a`` in the
+    deviation column instead of a division-by-zero artifact.
+    """
     table_rows = []
     for metric, paper, measured in rows:
-        deviation = (measured - paper) / paper if paper else float("nan")
+        if paper:
+            deviation = f"{(measured - paper) / paper:+.1%}"
+        else:
+            deviation = "n/a"
         table_rows.append((metric, f"{paper:.2%}", f"{measured:.2%}",
-                           f"{deviation:+.1%}"))
+                           deviation))
     return render_table(("metric", "paper", "measured", "dev"),
                         table_rows, title=title)
 

@@ -8,10 +8,12 @@ EXPERIMENTS.md and the benchmark output.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.analysis.delegation import DelegationAnalysis
 from repro.analysis.headers import HeaderAnalysis
+from repro.analysis.index import DatasetIndex
 from repro.analysis.overpermission import OverPermissionAnalysis
 from repro.analysis.usage import UsageAnalysis
 from repro.crawler.pool import CrawlDataset
@@ -106,14 +108,36 @@ class MeasurementSummary:
         ]
 
 
-def summarize(dataset: CrawlDataset) -> MeasurementSummary:
+def summarize(dataset: CrawlDataset, *, parallel: bool = True,
+              index: DatasetIndex | None = None) -> MeasurementSummary:
     """Run every analysis over ``dataset`` and collect the headline
-    aggregates."""
-    visits = dataset.successful()
-    usage = UsageAnalysis(visits)
-    delegation = DelegationAnalysis(visits)
-    headers = HeaderAnalysis(visits)
-    overpermission = OverPermissionAnalysis(visits)
+    aggregates.
+
+    The visits are indexed once (:class:`~repro.analysis.index.DatasetIndex`)
+    and the four analyses share that index.  They are independent of each
+    other, so with ``parallel=True`` they run on a small thread pool — the
+    index is read-only at that point, making the fan-out race-free.  Pass a
+    prebuilt ``index`` to reuse one across calls (as
+    :class:`~repro.experiments.runner.ExperimentContext` does).  Serial and
+    parallel runs produce field-identical summaries.
+    """
+    if index is None:
+        index = DatasetIndex(dataset)
+    if parallel:
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            usage_future = pool.submit(UsageAnalysis, index)
+            delegation_future = pool.submit(DelegationAnalysis, index)
+            headers_future = pool.submit(HeaderAnalysis, index)
+            overpermission_future = pool.submit(OverPermissionAnalysis, index)
+            usage = usage_future.result()
+            delegation = delegation_future.result()
+            headers = headers_future.result()
+            overpermission = overpermission_future.result()
+    else:
+        usage = UsageAnalysis(index)
+        delegation = DelegationAnalysis(index)
+        headers = HeaderAnalysis(index)
+        overpermission = OverPermissionAnalysis(index)
     adoption = headers.adoption()
     class_shares = headers.top_level_class_shares()
     directive_dist = delegation.directive_distribution()

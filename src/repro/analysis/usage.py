@@ -17,25 +17,41 @@ permission per frame counts ("this ensures that outliers … do not
 artificially inflate the results"), context counts are frames, website
 counts are site visits, and percentages are relative to top-level
 documents.
+
+The per-frame dedup tables and static matches are precomputed by
+:class:`~repro.analysis.index.DatasetIndex`; this class only aggregates
+them.  ``GENERAL_ROW``, ``ALL_PERMISSIONS_ROW`` and
+:func:`~repro.analysis.index.static_matches` live in that module now and
+are re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Union
 
-from repro.analysis.parties import Party, classify_call_party
-from repro.crawler.records import CallRecord, FrameRecord, SiteVisit
-from repro.registry.features import (
-    DEFAULT_REGISTRY,
-    GENERAL_PERMISSION_APIS,
-    PermissionRegistry,
+from repro.analysis.index import (
+    ALL_PERMISSIONS_ROW,
+    GENERAL_ROW,
+    DatasetIndex,
+    VisitIndex,
+    as_index,
+    static_matches,
 )
+from repro.analysis.parties import Party
+from repro.crawler.records import SiteVisit
+from repro.registry.features import PermissionRegistry
 
-#: Pseudo-permission rows the paper's tables use.
-GENERAL_ROW = "General Permission APIs"
-ALL_PERMISSIONS_ROW = "All Permissions"
+__all__ = [
+    "ALL_PERMISSIONS_ROW",
+    "CheckStats",
+    "ContextStats",
+    "GENERAL_ROW",
+    "StaticStats",
+    "UsageAnalysis",
+    "static_matches",
+]
 
 
 @dataclass
@@ -97,30 +113,21 @@ class StaticStats:
         return self.embedded_contexts / total if total else 0.0
 
 
-def static_matches(source: str, registry: PermissionRegistry
-                   ) -> tuple[frozenset[str], bool]:
-    """Permissions whose API patterns occur in ``source``, plus whether any
-    general permission API occurs.  This is the paper's plain
-    string-matching static analysis — deliberately blind to obfuscation."""
-    permissions = frozenset(p.name for p in registry.match_api(source))
-    general = any(api in source for api in GENERAL_PERMISSION_APIS)
-    return permissions, general
-
-
 class UsageAnalysis:
     """Aggregates usage across a crawl (see module docstring)."""
 
-    def __init__(self, visits: Iterable[SiteVisit],
+    def __init__(self,
+                 visits: "Union[DatasetIndex, Iterable[SiteVisit]]",
                  registry: PermissionRegistry | None = None) -> None:
-        self._registry = registry if registry is not None else DEFAULT_REGISTRY
-        self._visits = [v for v in visits if v.success]
-        self.top_level_documents = sum(v.top_level_document_count
-                                       for v in self._visits)
+        self._index = as_index(visits, registry)
+        self._registry = self._index.registry
+        self._visits = self._index.visits
+        self.top_level_documents = self._index.top_level_documents
         #: Denominator for "website" shares.  The paper reports percentages
         #: relative to top-level documents; redirect hops of one visit share
         #: identical behaviour, so per-visit counting over visits yields the
         #: same ratios without double-counting machinery.
-        self.website_count = len(self._visits)
+        self.website_count = self._index.website_count
         self.invocation_stats: dict[str, ContextStats] = {}
         self.check_stats: dict[str, CheckStats] = {}
         self.static_stats: dict[str, StaticStats] = {}
@@ -154,32 +161,17 @@ class UsageAnalysis:
         return table[permission]
 
     def _run(self) -> None:
-        for visit in self._visits:
-            self._aggregate_visit(visit)
+        for vi in self._index.visit_indexes:
+            self._aggregate_visit(vi)
 
-    def _aggregate_visit(self, visit: SiteVisit) -> None:
-        frames = {frame.frame_id: frame for frame in visit.frames}
+    def _aggregate_visit(self, vi: VisitIndex) -> None:
+        frames = vi.frames_by_id
 
         # --- dynamic: first occurrence of each permission per frame ----------
-        # key: (frame, row-permission) -> set of parties observed
-        invoked: dict[tuple[int, str], set[Party]] = defaultdict(set)
-        checked: dict[tuple[int, str], set[Party]] = defaultdict(set)
-        any_general_deprecated = False
-        for call in visit.calls:
-            frame = frames[call.frame_id]
-            party = classify_call_party(call, frame)
-            if call.uses_deprecated_feature_policy_api:
-                any_general_deprecated = True
-            if call.is_general:
-                invoked[(call.frame_id, GENERAL_ROW)].add(party)
-                checked[(call.frame_id, ALL_PERMISSIONS_ROW)].add(party)
-            elif call.is_status_check:
-                invoked[(call.frame_id, GENERAL_ROW)].add(party)
-                for permission in call.permissions:
-                    checked[(call.frame_id, permission)].add(party)
-            else:
-                for permission in call.permissions:
-                    invoked[(call.frame_id, permission)].add(party)
+        # (frame, row-permission) -> parties, precomputed by the index.
+        invoked = vi.invoked
+        checked = vi.checked
+        any_general_deprecated = vi.any_general_deprecated
 
         top_invoked = False
         embedded_invoked = False
@@ -257,15 +249,8 @@ class UsageAnalysis:
                 len(specific_checked_top))
 
         # --- static (Table 6) ----------------------------------------------------
-        static_by_frame: dict[int, frozenset[str]] = {}
-        general_by_frame: dict[int, bool] = {}
-        for script in visit.scripts:
-            permissions, general = static_matches(script.source,
-                                                  self._registry)
-            previous = static_by_frame.get(script.frame_id, frozenset())
-            static_by_frame[script.frame_id] = previous | permissions
-            general_by_frame[script.frame_id] = (
-                general_by_frame.get(script.frame_id, False) or general)
+        static_by_frame = vi.static_by_frame
+        general_by_frame = vi.general_by_frame
 
         site_static: set[str] = set()
         static_top = False
@@ -388,8 +373,7 @@ class UsageAnalysis:
             for permission in call.permissions:
                 activity[call.frame_id].add(permission)
         for script in visit.scripts:
-            permissions, _general = static_matches(script.source,
-                                                   self._registry)
+            permissions, _general = self._index.static(script.source)
             activity[script.frame_id] |= permissions
         return {frame_id: frozenset(perms)
                 for frame_id, perms in activity.items()}

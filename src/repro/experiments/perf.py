@@ -1,10 +1,12 @@
-"""Performance harness behind ``benchmarks/bench_perf_crawl.py`` and
-``scripts/perf_report.py``.
+"""Performance harness behind ``benchmarks/bench_perf_crawl.py``,
+``benchmarks/bench_perf_analysis.py`` and ``scripts/perf_report.py``.
 
 Times the three pipeline stages at a fixed scale — site generation, the
 crawl (per backend), and the analyses — plus the persistent measurement
 cache (cold write vs warm load), and assembles everything into the
 ``BENCH_crawl.json`` document that seeds the perf trajectory.
+:func:`collect_analysis` produces the companion ``BENCH_analysis.json``:
+the legacy (pre-index) analysis pipeline against the shared-index one.
 
 All timings are wall clock over deterministic work, so run-to-run noise is
 scheduling only; the report records the host's CPU count because the
@@ -21,9 +23,11 @@ import time
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.analysis.legacy import summarize_legacy
 from repro.analysis.summary import summarize
 from repro.crawler.pool import CrawlerPool
 from repro.experiments import runner
+from repro.policy.memo import clear_parser_caches, parser_caches_disabled
 from repro.synthweb.generator import SyntheticWeb
 
 DEFAULT_BACKENDS = ("serial", "thread", "process")
@@ -74,6 +78,60 @@ def time_analysis(site_count: int, seed: int) -> dict:
     dataset = CrawlerPool(web, workers=1, backend="serial").run()
     seconds, _ = _timed(lambda: summarize(dataset))
     return {"seconds": round(seconds, 4)}
+
+
+def collect_analysis(site_count: int, *, seed: int = runner.DEFAULT_SEED,
+                     rounds: int = 3) -> dict:
+    """The BENCH_analysis.json document: legacy (pre-index) summarize vs
+    the indexed serial and parallel paths, over one crawl.
+
+    The legacy path is timed with parser interning disabled so it pays the
+    same re-parse cost the pre-index pipeline paid; the indexed paths start
+    from cleared caches every round so they are charged their own parse
+    work.  Each path is timed ``rounds`` times and the minimum wall clock
+    is reported (the least-noise estimate of the true cost — the work is
+    deterministic, so anything above the minimum is scheduling jitter).
+    The document also records whether all three summaries are
+    field-identical — the equivalence the differential tests enforce.
+    """
+    web = SyntheticWeb(site_count, seed=seed)
+    dataset = CrawlerPool(web, workers=1, backend="serial").run()
+
+    legacy_seconds = float("inf")
+    for _ in range(rounds):
+        with parser_caches_disabled():
+            seconds, legacy_summary = _timed(
+                lambda: summarize_legacy(dataset))
+        legacy_seconds = min(legacy_seconds, seconds)
+
+    serial_seconds = float("inf")
+    for _ in range(rounds):
+        clear_parser_caches()
+        seconds, serial_summary = _timed(
+            lambda: summarize(dataset, parallel=False))
+        serial_seconds = min(serial_seconds, seconds)
+
+    parallel_seconds = float("inf")
+    for _ in range(rounds):
+        clear_parser_caches()
+        seconds, parallel_summary = _timed(
+            lambda: summarize(dataset, parallel=True))
+        parallel_seconds = min(parallel_seconds, seconds)
+
+    return {
+        "site_count": site_count,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "legacy_seconds": round(legacy_seconds, 4),
+        "indexed_serial_seconds": round(serial_seconds, 4),
+        "indexed_parallel_seconds": round(parallel_seconds, 4),
+        "speedup_serial_vs_legacy": round(legacy_seconds / serial_seconds, 2),
+        "speedup_parallel_vs_legacy": round(
+            legacy_seconds / parallel_seconds, 2),
+        "summaries_identical": (legacy_summary == serial_summary
+                                == parallel_summary),
+    }
 
 
 def time_cache(site_count: int, seed: int, cache_dir: Path) -> dict:

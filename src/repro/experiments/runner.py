@@ -36,6 +36,7 @@ from pathlib import Path
 
 from repro.analysis.delegation import DelegationAnalysis
 from repro.analysis.headers import HeaderAnalysis
+from repro.analysis.index import DatasetIndex
 from repro.analysis.overpermission import OverPermissionAnalysis
 from repro.analysis.summary import MeasurementSummary, summarize
 from repro.analysis.usage import UsageAnalysis
@@ -62,24 +63,29 @@ class ExperimentContext:
     dataset: CrawlDataset
 
     @cached_property
+    def index(self) -> DatasetIndex:
+        """One shared index; every analysis below reads it, none re-parses."""
+        return DatasetIndex(self.dataset)
+
+    @cached_property
     def usage(self) -> UsageAnalysis:
-        return UsageAnalysis(self.dataset.successful())
+        return UsageAnalysis(self.index)
 
     @cached_property
     def delegation(self) -> DelegationAnalysis:
-        return DelegationAnalysis(self.dataset.successful())
+        return DelegationAnalysis(self.index)
 
     @cached_property
     def headers(self) -> HeaderAnalysis:
-        return HeaderAnalysis(self.dataset.successful())
+        return HeaderAnalysis(self.index)
 
     @cached_property
     def overpermission(self) -> OverPermissionAnalysis:
-        return OverPermissionAnalysis(self.dataset.successful())
+        return OverPermissionAnalysis(self.index)
 
     @cached_property
     def summary(self) -> MeasurementSummary:
-        return summarize(self.dataset)
+        return summarize(self.dataset, index=self.index)
 
     @property
     def scale_factor(self) -> float:

@@ -22,6 +22,7 @@ from enum import Enum
 
 from repro.policy.allowlist import Allowlist
 from repro.policy.feature_policy import SerializedDirective, parse_serialized_policy
+from repro.policy.memo import interned
 
 
 class DelegationDirectiveKind(str, Enum):
@@ -99,12 +100,16 @@ def _classify(directive: SerializedDirective, allowlist: Allowlist
     return DelegationDirectiveKind.NONE
 
 
+@interned
 def parse_allow_attribute(raw: str) -> AllowAttribute:
     """Parse an iframe ``allow`` attribute value.
 
     Directives without member tokens default to the ``src`` keyword.  Like
     browsers, the parser is lenient: malformed member tokens are dropped,
     repeated features merge their allowlists.
+
+    Results are interned by raw string (the parse is pure); treat the
+    returned :class:`AllowAttribute` as read-only.
     """
     attribute = AllowAttribute(raw=raw)
     for directive in parse_serialized_policy(raw):

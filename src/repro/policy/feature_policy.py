@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.policy.allowlist import Allowlist
+from repro.policy.memo import interned
 from repro.policy.origin import Origin, OriginParseError
 
 
@@ -126,11 +127,15 @@ class ParsedFeaturePolicyHeader:
         return len(self.directives)
 
 
+@interned
 def parse_feature_policy_header(raw: str) -> ParsedFeaturePolicyHeader:
     """Parse a legacy ``Feature-Policy`` header value.
 
     A directive without members defaults to ``'self'`` (unlike the ``allow``
     attribute where the default is ``'src'``).
+
+    Results are interned by raw string (the parse is pure); treat the
+    returned header as read-only.
     """
     parsed = parse_serialized_policy(raw)
     result = ParsedFeaturePolicyHeader(raw=raw)

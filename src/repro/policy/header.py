@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.policy.allowlist import Allowlist
+from repro.policy.memo import interned
 from repro.policy.origin import Origin, OriginParseError
 from repro.policy.structured import (
     InnerList,
@@ -176,12 +177,24 @@ def parse_permissions_policy_header(
 
     Returns:
         A :class:`ParsedPolicyHeader` with per-feature allowlists and
-        semantic diagnostics.
+        semantic diagnostics.  Successful parses are interned by raw string
+        (the parse is pure); treat the result as read-only.
 
     Raises:
         HeaderParseError: on structured-field syntax errors; the caller must
             treat the website as having **no** header (browser behaviour).
+            Errors are never cached — a bad header re-raises every call.
     """
+    if known_features is not None and not isinstance(known_features,
+                                                     frozenset):
+        known_features = frozenset(known_features)
+    return _parse_permissions_policy_cached(raw, known_features)
+
+
+@interned
+def _parse_permissions_policy_cached(
+        raw: str, known_features: "frozenset[str] | None"
+) -> ParsedPolicyHeader:
     try:
         members = parse_dictionary_items(raw)
     except StructuredFieldError as exc:

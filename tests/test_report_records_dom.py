@@ -18,16 +18,27 @@ class TestRenderTable:
     def test_alignment_and_formatting(self):
         text = render_table(("name", "count", "share"),
                             [("alpha", 1234, 0.5), ("b", 7, 0.125)],
-                            title="demo")
+                            title="demo", percent_columns=(2,))
         lines = text.splitlines()
         assert lines[0] == "demo"
         assert "1,234" in text
         assert "50.00%" in text
         assert "12.50%" in text
 
+    def test_float_not_percent_by_default(self):
+        # Regression: floats in [0, 1] used to auto-format as percentages,
+        # so e.g. average_seconds_per_site=0.8 rendered as "80.00%".
+        text = render_table(("x", "v"), [("row", 0.8)])
+        assert "0.80" in text and "%" not in text
+
     def test_float_above_one_not_percent(self):
         text = render_table(("x", "v"), [("row", 3.25)])
         assert "3.25" in text and "%" not in text
+
+    def test_percent_column_leaves_other_floats_plain(self):
+        text = render_table(("x", "seconds", "share"),
+                            [("row", 0.8, 0.8)], percent_columns=(2,))
+        assert "0.80" in text and "80.00%" in text
 
     def test_empty_rows(self):
         text = render_table(("a", "b"), [])
@@ -36,6 +47,12 @@ class TestRenderTable:
     def test_comparison_shows_deviation(self):
         text = render_comparison([("metric", 0.5, 0.55)])
         assert "+10.0%" in text
+
+    def test_comparison_zero_baseline_renders_na(self):
+        # Regression: a zero paper baseline used to render "+nan%".
+        text = render_comparison([("metric", 0.0, 0.55)])
+        assert "n/a" in text
+        assert "nan" not in text
 
     def test_ranking_marks_matches(self):
         text = render_ranking("t", ["a", "b"], ["a", "c"])
