@@ -33,6 +33,9 @@ def test_perf_analysis_report(benchmark):
     assert report["summaries_identical"], \
         "indexed summarize() diverged from the legacy implementation"
     assert report["legacy_seconds"] > 0
+    # Stage breakdown: index build plus each headline analysis.
+    assert {stage["name"] for stage in report["stages"]} == {
+        "index", "usage", "delegation", "headers", "overpermission"}
     assert report["indexed_serial_seconds"] > 0
     assert report["indexed_parallel_seconds"] > 0
 

@@ -8,7 +8,9 @@ so the perf trajectory is tracked in-repo (CI uploads it as an artifact).
 Scale comes from ``REPRO_PERF_SITES`` (default 2,000; CI smoke uses 500).
 Enforcement: the process backend must not be slower than serial — but only
 on multi-core hosts, since on a single core the process backend pays fork
-and pickling overhead with nothing to parallelise against.
+and pickling overhead with nothing to parallelise against.  The
+observability layer must stay under 2 % estimated overhead when disabled
+and must not change the dataset when enabled (DESIGN.md §4f).
 """
 
 from __future__ import annotations
@@ -45,3 +47,20 @@ def test_perf_crawl_report(benchmark):
             f"process backend ({crawl['process']['seconds']}s) slower than "
             f"serial ({crawl['serial']['seconds']}s) on a "
             f"{os.cpu_count()}-core host")
+
+    # Observability gates: disabled instrumentation must cost < 2 % of the
+    # crawl (estimated from recorded hook counts × micro-timed per-hook
+    # disabled cost), and enabling it must not change the dataset.
+    obs = report["observability"]
+    assert obs["datasets_identical"], \
+        "enabling tracing/metrics changed the crawl dataset"
+    assert obs["span_count"] > 0 and obs["metric_increments"] > 0, \
+        "instrumented run recorded no spans/metrics"
+    assert obs["disabled_overhead_estimate"] < 0.02, (
+        f"disabled observability overhead estimated at "
+        f"{obs['disabled_overhead_estimate']:.2%} of the crawl (gate: 2%)")
+
+    # The embedded stage breakdown must cover the whole pipeline.
+    stage_names = {stage["name"] for stage in report["stages"]["stages"]}
+    assert {"generate", "crawl", "store", "index"} <= stage_names
+    assert any(name.startswith("analysis.") for name in stage_names)

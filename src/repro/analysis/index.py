@@ -45,6 +45,8 @@ from typing import Iterable, Union
 from repro.analysis.parties import Party, script_party
 from repro.browser.api import ApiKind
 from repro.crawler.records import FrameRecord, SiteVisit
+from repro.obs import metrics as _metrics
+from repro.obs.tracing import TRACER
 from repro.policy.allow_attr import AllowAttribute, parse_allow_attribute
 from repro.policy.linter import HeaderLinter, LintReport
 from repro.policy.origin import Origin, OriginParseError
@@ -147,8 +149,16 @@ class DatasetIndex:
         self.top_level_documents = sum(v.top_level_document_count
                                        for v in visits)
         self.website_count = len(visits)
-        self.visit_indexes: list[VisitIndex] = [
-            self._index_visit(visit) for visit in visits]
+        with TRACER.span("analysis.index", visits=len(visits)):
+            self.visit_indexes: list[VisitIndex] = [
+                self._index_visit(visit) for visit in visits]
+        if _metrics.COUNTING:
+            registry = _metrics.REGISTRY
+            for table, memo in (("lint", self._lint_memo),
+                                ("origin", self._origin_memo),
+                                ("static", self._static_memo),
+                                ("party", self._party_memo)):
+                registry.gauge(f"index.memo_size.{table}").set(len(memo))
 
     # -- memoized helpers (warmed during construction; read-only after) ------------
 
@@ -161,19 +171,28 @@ class DatasetIndex:
         if report is None:
             report = self._linter.lint(raw)
             self._lint_memo[raw] = report
+            if _metrics.COUNTING:
+                _metrics.REGISTRY.counter("index.memo_misses.lint").inc()
+        elif _metrics.COUNTING:
+            _metrics.REGISTRY.counter("index.memo_hits.lint").inc()
         return report
 
     def origin(self, url: str) -> Origin | None:
         """Parse a URL's origin; ``None`` for unparseable URLs."""
         try:
-            return self._origin_memo[url]
+            origin = self._origin_memo[url]
         except KeyError:
             try:
-                origin: Origin | None = Origin.parse(url)
+                origin = Origin.parse(url)
             except OriginParseError:
                 origin = None
             self._origin_memo[url] = origin
+            if _metrics.COUNTING:
+                _metrics.REGISTRY.counter("index.memo_misses.origin").inc()
             return origin
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("index.memo_hits.origin").inc()
+        return origin
 
     def static(self, source: str) -> tuple[frozenset[str], bool]:
         """Memoized :func:`static_matches` against this index's registry."""
@@ -181,17 +200,26 @@ class DatasetIndex:
         if result is None:
             result = static_matches(source, self.registry)
             self._static_memo[source] = result
+            if _metrics.COUNTING:
+                _metrics.REGISTRY.counter("index.memo_misses.static").inc()
+        elif _metrics.COUNTING:
+            _metrics.REGISTRY.counter("index.memo_hits.static").inc()
         return result
 
     def party(self, script_url: str | None, frame_site: str) -> Party:
         """Memoized first-/third-party classification."""
         key = (script_url, frame_site)
         try:
-            return self._party_memo[key]
+            party = self._party_memo[key]
         except KeyError:
             party = script_party(script_url, frame_site)
             self._party_memo[key] = party
+            if _metrics.COUNTING:
+                _metrics.REGISTRY.counter("index.memo_misses.party").inc()
             return party
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("index.memo_hits.party").inc()
+        return party
 
     # -- the single pass ------------------------------------------------------------
 
@@ -239,6 +267,10 @@ class DatasetIndex:
         party_memo = self._party_memo
         general_kind = _GENERAL_KIND
         status_kind = _STATUS_CHECK_KIND
+        # Hoisted once per visit so the per-call cost when observability is
+        # off stays a local-variable branch.
+        counting = _metrics.COUNTING
+        party_hits = party_misses = 0
         for call in visit.calls:
             frame = frames_by_id[call.frame_id]
             key = (call.script_url, frame.site)
@@ -246,6 +278,10 @@ class DatasetIndex:
             if party is None:
                 party = script_party(call.script_url, frame.site)
                 party_memo[key] = party
+                if counting:
+                    party_misses += 1
+            elif counting:
+                party_hits += 1
             if "featurePolicy" in call.api:
                 vi.any_general_deprecated = True
             kind = call.kind
@@ -261,6 +297,10 @@ class DatasetIndex:
                     _add(invoked, (call.frame_id, permission), party)
         vi.invoked = invoked
         vi.checked = checked
+        if counting and (party_hits or party_misses):
+            registry = _metrics.REGISTRY
+            registry.counter("index.memo_hits.party").inc(party_hits)
+            registry.counter("index.memo_misses.party").inc(party_misses)
 
         static_by_frame: dict[int, frozenset[str]] = {}
         general_by_frame: dict[int, bool] = {}

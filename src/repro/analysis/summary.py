@@ -17,6 +17,7 @@ from repro.analysis.index import DatasetIndex
 from repro.analysis.overpermission import OverPermissionAnalysis
 from repro.analysis.usage import UsageAnalysis
 from repro.crawler.pool import CrawlDataset
+from repro.obs.tracing import TRACER
 from repro.policy.allow_attr import DelegationDirectiveKind
 from repro.policy.allowlist import DirectiveClass
 from repro.synthweb.distributions import PAPER
@@ -123,21 +124,32 @@ def summarize(dataset: CrawlDataset, *, parallel: bool = True,
     """
     if index is None:
         index = DatasetIndex(dataset)
-    if parallel:
-        with ThreadPoolExecutor(max_workers=4) as pool:
-            usage_future = pool.submit(UsageAnalysis, index)
-            delegation_future = pool.submit(DelegationAnalysis, index)
-            headers_future = pool.submit(HeaderAnalysis, index)
-            overpermission_future = pool.submit(OverPermissionAnalysis, index)
-            usage = usage_future.result()
-            delegation = delegation_future.result()
-            headers = headers_future.result()
-            overpermission = overpermission_future.result()
-    else:
-        usage = UsageAnalysis(index)
-        delegation = DelegationAnalysis(index)
-        headers = HeaderAnalysis(index)
-        overpermission = OverPermissionAnalysis(index)
+
+    def build(name: str, analysis_cls):
+        # Thread-pool futures run on worker threads, so each span becomes
+        # its own root labelled by the analysis it timed.
+        with TRACER.span(f"analysis.{name}"):
+            return analysis_cls(index)
+
+    with TRACER.span("analysis.summarize", parallel=parallel,
+                     visits=index.website_count):
+        if parallel:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                usage_future = pool.submit(build, "usage", UsageAnalysis)
+                delegation_future = pool.submit(build, "delegation",
+                                                DelegationAnalysis)
+                headers_future = pool.submit(build, "headers", HeaderAnalysis)
+                overpermission_future = pool.submit(build, "overpermission",
+                                                    OverPermissionAnalysis)
+                usage = usage_future.result()
+                delegation = delegation_future.result()
+                headers = headers_future.result()
+                overpermission = overpermission_future.result()
+        else:
+            usage = build("usage", UsageAnalysis)
+            delegation = build("delegation", DelegationAnalysis)
+            headers = build("headers", HeaderAnalysis)
+            overpermission = build("overpermission", OverPermissionAnalysis)
     adoption = headers.adoption()
     class_shares = headers.top_level_class_shares()
     directive_dist = delegation.directive_distribution()

@@ -15,13 +15,21 @@
 * ``generate-header`` — build a Permissions-Policy header (Figure 4);
 * ``lint-header`` — lint a header value like the browser would;
 * ``recommend`` — crawl one site and suggest a least-privilege policy;
-* ``poc`` — run the local-scheme specification-issue proof of concept.
+* ``poc`` — run the local-scheme specification-issue proof of concept;
+* ``profile`` — run the instrumented pipeline and print the per-stage
+  breakdown (DESIGN.md §4f).
+
+``--log-level`` (global) configures stdlib logging; ``--trace-out FILE``
+on ``crawl``, ``telemetry`` and ``profile`` enables tracing for the run
+and writes a Chrome-loadable ``trace_event`` JSON file.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+from contextlib import ExitStack
 
 from repro.analysis.report import render_comparison
 from repro.analysis.summary import summarize
@@ -52,6 +60,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="permissions-odyssey",
         description="Reproduction of 'A Permissions Odyssey' (IMC '25)")
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="configure stdlib logging (default: off)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     crawl = sub.add_parser("crawl", help="run the measurement crawl")
@@ -69,6 +80,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="max retries for transient failures")
     crawl.add_argument("--progress", action="store_true",
                        help="stream crawl telemetry while running")
+    crawl.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="enable tracing and write a Chrome trace_event "
+                            "JSON file for the run")
 
     telem = sub.add_parser(
         "telemetry",
@@ -86,6 +100,22 @@ def _build_parser() -> argparse.ArgumentParser:
                             "of fetches")
     telem.add_argument("--injection-seed", type=int, default=7)
     telem.add_argument("--backend", choices=list(BACKENDS), default="auto")
+    telem.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="enable tracing and write a Chrome trace_event "
+                            "JSON file for the run")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the instrumented pipeline (generate → crawl → store → "
+             "index → analyses) and print the per-stage breakdown")
+    profile.add_argument("--sites", type=int, default=500)
+    profile.add_argument("--seed", type=int, default=2024)
+    profile.add_argument("--workers", type=int, default=4)
+    profile.add_argument("--backend", choices=list(BACKENDS), default="auto")
+    profile.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="also write the Chrome trace_event JSON file")
+    profile.add_argument("--json", action="store_true",
+                         help="print the profile as JSON instead of a table")
 
     analyze = sub.add_parser("analyze", help="headline paper-vs-measured")
     analyze.add_argument("--database", default=None,
@@ -156,9 +186,19 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_trace(path: str) -> None:
+    from repro.obs.profile import write_trace
+    written = write_trace(path)
+    print(f"wrote Chrome trace to {written} (load in chrome://tracing)")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     command = args.command
+    if args.log_level:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            format="%(asctime)s %(levelname)s %(name)s: %(message)s")
 
     if command == "crawl":
         web = SyntheticWeb(args.sites, seed=args.seed)
@@ -174,9 +214,15 @@ def main(argv: list[str] | None = None) -> int:
                 step = max(1, total // 20)
                 if done % step == 0 or done == total:
                     print(telemetry.snapshot().progress_line())
-        with CrawlStore(args.database) as store:
-            dataset = pool.run(store=store, resume=args.resume,
-                               telemetry=telemetry, progress=progress)
+        with ExitStack() as stack:
+            if args.trace_out:
+                from repro.obs import observed
+                stack.enter_context(observed())
+            with CrawlStore(args.database) as store:
+                dataset = pool.run(store=store, resume=args.resume,
+                                   telemetry=telemetry, progress=progress)
+        if args.trace_out:
+            _write_trace(args.trace_out)
         if args.progress:
             print(telemetry.render())
         failures = ", ".join(f"{k}={v}" for k, v
@@ -207,8 +253,27 @@ def main(argv: list[str] | None = None) -> int:
                            retry_policy=retry_policy,
                            fetcher_spec=fetcher_spec)
         telemetry = CrawlTelemetry()
-        pool.run(telemetry=telemetry)
+        with ExitStack() as stack:
+            if args.trace_out:
+                from repro.obs import observed
+                stack.enter_context(observed())
+            pool.run(telemetry=telemetry)
+        if args.trace_out:
+            _write_trace(args.trace_out)
         print(telemetry.render())
+        return 0
+
+    if command == "profile":
+        import json as _json
+
+        from repro.obs.profile import profile_pipeline
+        result = profile_pipeline(args.sites, seed=args.seed,
+                                  workers=args.workers,
+                                  backend=args.backend)
+        print(_json.dumps(result.to_json(), indent=2) if args.json
+              else result.render())
+        if args.trace_out:
+            _write_trace(args.trace_out)
         return 0
 
     if command == "analyze":

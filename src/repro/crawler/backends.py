@@ -31,6 +31,8 @@ from repro.crawler.crawler import CrawlConfig
 from repro.crawler.fetcher import SyntheticFetcher
 from repro.crawler.records import SiteVisit
 from repro.crawler.resilience import FaultInjectingFetcher, RetryPolicy
+from repro.obs import metrics as _metrics
+from repro.obs.tracing import TRACER
 from repro.policy.engine import PermissionsPolicyEngine
 from repro.synthweb.generator import GeneratorRates, SyntheticWeb
 from repro.synthweb.profiles import WidgetProfile
@@ -129,18 +131,65 @@ class _ChunkJob:
     retry_policy: RetryPolicy | None
     fetcher_spec: FetcherSpec
     ranks: tuple[int, ...]
+    #: Position of this chunk in the run (names the worker "process" in
+    #: traces and telemetry).
+    chunk_index: int = 0
+    #: Whether the parent has tracing / metric collection on; the worker
+    #: mirrors that state and ships the deltas back.
+    trace: bool = False
+    count: bool = False
 
 
-def _crawl_chunk(job: _ChunkJob) -> list[SiteVisit]:
-    """Worker entry point: rebuild the web, crawl the chunk serially."""
+@dataclass(frozen=True)
+class _ChunkResult:
+    """A crawled chunk plus the worker's observability deltas."""
+
+    visits: list[SiteVisit]
+    #: Exported span dicts (:meth:`repro.obs.tracing.Tracer.export_spans`),
+    #: only when the job asked for tracing.
+    spans: tuple[dict, ...] = ()
+    #: Worker metrics snapshot (:meth:`~repro.obs.metrics.MetricsRegistry
+    #: .snapshot`), only when the job asked for counting.
+    metrics: dict | None = None
+
+
+def _crawl_chunk(job: _ChunkJob) -> _ChunkResult:
+    """Worker entry point: rebuild the web, crawl the chunk serially.
+
+    Observability state is process-global, and with the fork start method
+    (or a reused spawn worker) it carries over between chunks — so it is
+    set up per job and torn back down in ``finally``.
+    """
     from repro.crawler.pool import CrawlerPool
 
-    web = SyntheticWeb(job.site_count, seed=job.seed, rates=job.rates,
-                       profiles=job.profiles)
-    pool = CrawlerPool(web, workers=1, backend="serial", config=job.config,
-                       engine=job.engine, retry_policy=job.retry_policy,
-                       fetcher_spec=job.fetcher_spec)
-    return list(pool.run(job.ranks).visits)
+    if job.trace:
+        TRACER.clear()
+        TRACER.enabled = True
+    if job.count:
+        _metrics.REGISTRY.reset()
+        _metrics.enable_metrics()
+    try:
+        web = SyntheticWeb(job.site_count, seed=job.seed, rates=job.rates,
+                           profiles=job.profiles)
+        pool = CrawlerPool(web, workers=1, backend="serial",
+                           config=job.config, engine=job.engine,
+                           retry_policy=job.retry_policy,
+                           fetcher_spec=job.fetcher_spec)
+        with TRACER.span("crawl.chunk", chunk=job.chunk_index,
+                         ranks=len(job.ranks)):
+            visits = list(pool.run(job.ranks).visits)
+        return _ChunkResult(
+            visits=visits,
+            spans=tuple(TRACER.export_spans()) if job.trace else (),
+            metrics=_metrics.REGISTRY.snapshot() if job.count else None,
+        )
+    finally:
+        if job.trace:
+            TRACER.enabled = False
+            TRACER.clear()
+        if job.count:
+            _metrics.disable_metrics()
+            _metrics.REGISTRY.reset()
 
 
 def _mp_context(name: str | None = None) -> multiprocessing.context.BaseContext:
@@ -173,6 +222,8 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
         return []
     web = pool.web
     chunks = chunk_ranks(targets, pool.workers * CHUNKS_PER_WORKER)
+    trace = TRACER.enabled
+    count = _metrics.COUNTING
     jobs = [_ChunkJob(site_count=web.site_count, seed=web.seed,
                       rates=web.rates, profiles=web.profiles,
                       config=pool.config, engine=pool._engine,
@@ -180,8 +231,9 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
                       fetcher_spec=pool.fetcher_spec
                       if pool.fetcher_spec is not None
                       else SyntheticFetcherSpec(),
-                      ranks=tuple(chunk))
-            for chunk in chunks]
+                      ranks=tuple(chunk), chunk_index=index,
+                      trace=trace, count=count)
+            for index, chunk in enumerate(chunks)]
     try:
         pickle.dumps(jobs[0])
     except Exception as exc:
@@ -200,7 +252,12 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
                    for index, job in enumerate(jobs)}
         for future in as_completed(futures):
             index = futures[future]
-            chunk_visits = future.result()
+            result = future.result()
+            chunk_visits = result.visits
+            if result.spans:
+                TRACER.ingest(result.spans, pid=f"chunk-{index:03d}")
+            if result.metrics is not None:
+                _metrics.REGISTRY.merge(result.metrics)
             for visit in chunk_visits:
                 if store is not None:
                     store.save_visit(visit)

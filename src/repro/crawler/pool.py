@@ -25,12 +25,14 @@ Resilience (this mirrors the paper's operational setup, Appendix A.2):
 
 from __future__ import annotations
 
+import logging
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.browser.page import Fetcher
+from repro.obs.tracing import TRACER
 from repro.crawler.crawler import CrawlConfig, Crawler
 from repro.crawler.fetcher import SyntheticFetcher
 from repro.crawler.records import SiteVisit
@@ -42,6 +44,8 @@ from repro.synthweb.generator import SyntheticWeb
 if TYPE_CHECKING:  # pragma: no cover - import cycle: storage imports pool
     from repro.crawler.backends import FetcherSpec
     from repro.crawler.storage import CrawlStore
+
+logger = logging.getLogger(__name__)
 
 
 class _VisitList(list):
@@ -302,16 +306,24 @@ class CrawlerPool:
                 resumed = store.load_visits(sorted(wanted))
                 targets = [rank for rank in targets if rank not in done]
         if telemetry is not None:
-            telemetry.start(len(targets), backend=chosen)
+            # total covers the full run, so a resumed run still converges
+            # to done (completed + resumed == total) instead of reporting
+            # a non-empty queue forever.
+            telemetry.start(len(targets) + len(resumed), backend=chosen)
             telemetry.record_resumed(len(resumed))
+        logger.info("crawl starting: %d targets (%d resumed), backend=%s, "
+                    "workers=%d", len(targets), len(resumed), chosen,
+                    self.workers)
 
         def visit_rank(rank: int) -> SiteVisit:
             # One crawler (and one fetcher) per task keeps worker state
             # independent, like the paper's per-site fresh (stateless)
             # browser — and makes fault-injection state per-visit, so
             # serial, parallel and resumed runs all see identical faults.
-            crawler = self._make_crawler()
-            visit = crawler.visit(self.web.origin_for_rank(rank), rank=rank)
+            with TRACER.span("crawl.visit", rank=rank):
+                crawler = self._make_crawler()
+                visit = crawler.visit(self.web.origin_for_rank(rank),
+                                      rank=rank)
             if store is not None:
                 store.save_visit(visit)
             if telemetry is not None:
@@ -320,22 +332,26 @@ class CrawlerPool:
 
         dataset = CrawlDataset()
         dataset.visits.extend(resumed)
-        if chosen == "process" and targets:
-            from repro.crawler.backends import crawl_in_processes
-            dataset.visits.extend(crawl_in_processes(
-                self, targets, progress=progress, store=store,
-                telemetry=telemetry))
-        elif chosen == "serial" or self.workers == 1:
-            for index, rank in enumerate(targets):
-                dataset.visits.append(visit_rank(rank))
-                if progress is not None:
-                    progress(index + 1, len(targets))
-        else:
-            with ThreadPoolExecutor(max_workers=self.workers) as executor:
-                for index, visit in enumerate(
-                        executor.map(visit_rank, targets)):
-                    dataset.visits.append(visit)
+        with TRACER.span("crawl.run", backend=chosen, sites=len(targets),
+                         resumed=len(resumed), workers=self.workers):
+            if chosen == "process" and targets:
+                from repro.crawler.backends import crawl_in_processes
+                dataset.visits.extend(crawl_in_processes(
+                    self, targets, progress=progress, store=store,
+                    telemetry=telemetry))
+            elif chosen == "serial" or self.workers == 1:
+                for index, rank in enumerate(targets):
+                    dataset.visits.append(visit_rank(rank))
                     if progress is not None:
                         progress(index + 1, len(targets))
+            else:
+                with ThreadPoolExecutor(max_workers=self.workers) as executor:
+                    for index, visit in enumerate(
+                            executor.map(visit_rank, targets)):
+                        dataset.visits.append(visit)
+                        if progress is not None:
+                            progress(index + 1, len(targets))
         dataset.visits.sort(key=lambda visit: visit.rank)
+        logger.info("crawl finished: %d visits (%d ok)", dataset.attempted,
+                    dataset.successful_count)
         return dataset

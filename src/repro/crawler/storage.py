@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.crawler.pool import CrawlDataset
+from repro.obs import metrics as _metrics
 from repro.crawler.records import (
     CallRecord,
     FrameRecord,
@@ -229,6 +230,8 @@ class CrawlStore:
                   p.display_site, p.text)
                  for p in visit.prompts])
             conn.commit()
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("store.visits_saved").inc()
 
     def save_dataset(self, dataset: CrawlDataset) -> None:
         for visit in dataset.visits:
@@ -260,6 +263,10 @@ class CrawlStore:
             by_rank = {visit.rank: visit for visit in dataset.visits}
             self._attach_children(by_rank, orphans)
         self.last_orphan_counts = dict(orphans)
+        if _metrics.COUNTING:
+            registry = _metrics.REGISTRY
+            registry.counter("store.visits_loaded").inc(len(dataset.visits))
+            registry.gauge("store.orphan_rows").set(sum(orphans.values()))
         if orphans:
             detail = ", ".join(f"{table}={count}" for table, count
                                in sorted(orphans.items()))
@@ -322,6 +329,8 @@ class CrawlStore:
                         chunk):
                     by_rank[row[0]] = _visit_from_row(row)
                 self._attach_children(by_rank, orphans, where, tuple(chunk))
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("store.visits_loaded").inc(len(by_rank))
         return [by_rank[rank] for rank in wanted if rank in by_rank]
 
     # -- SQL-side aggregates ------------------------------------------------------

@@ -22,11 +22,18 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.crawler.records import SiteVisit
+from repro.obs import metrics as _metrics
 
 
 @dataclass(frozen=True)
 class TelemetrySnapshot:
-    """A consistent point-in-time view of a running (or finished) crawl."""
+    """A consistent point-in-time view of a running (or finished) crawl.
+
+    ``total`` counts every visit of the run, including visits restored
+    from a checkpoint: ``completed + resumed`` reaches ``total`` when the
+    run is :attr:`done`, and :attr:`queue_depth` is what is still to
+    crawl.
+    """
 
     total: int
     completed: int
@@ -59,12 +66,13 @@ class TelemetrySnapshot:
 
     @property
     def done(self) -> bool:
-        return self.completed >= self.total
+        """Whether crawled plus checkpoint-restored visits cover the run."""
+        return self.completed + self.resumed >= self.total
 
     def render(self) -> str:
         """Human-readable multi-line report."""
         lines = [
-            f"visits      {self.completed}/{self.total} "
+            f"visits      {self.completed + self.resumed}/{self.total} "
             f"({self.succeeded} ok, {self.failed} failed, "
             f"{self.resumed} resumed from checkpoint)",
             f"queue depth {self.queue_depth}",
@@ -88,7 +96,7 @@ class TelemetrySnapshot:
 
     def progress_line(self) -> str:
         """One-line form for in-place progress output."""
-        line = (f"[{self.completed}/{self.total}] "
+        line = (f"[{self.completed + self.resumed}/{self.total}] "
                 f"{self.succeeded} ok, {self.failed} failed, "
                 f"{self.retries} retries, queue {self.queue_depth}, "
                 f"{self.sites_per_second:.1f} sites/s")
@@ -122,7 +130,10 @@ class CrawlTelemetry:
     _by_worker: Counter = field(default_factory=Counter)
 
     def start(self, total: int, *, backend: str = "") -> None:
-        """Begin (or restart) a run over ``total`` queued visits."""
+        """Begin (or restart) a run of ``total`` visits — the full run
+        size, counting visits a resume will restore from the checkpoint
+        (:class:`~repro.crawler.pool.CrawlerPool` passes crawl targets
+        plus resumed visits)."""
         with self._lock:
             self._total = total
             self._backend = backend
@@ -139,6 +150,8 @@ class CrawlTelemetry:
         """Note visits restored from a checkpoint rather than crawled."""
         with self._lock:
             self._resumed += count
+        if _metrics.COUNTING and count:
+            _metrics.REGISTRY.counter("crawl.resumed").inc(count)
 
     def record_visit(self, visit: SiteVisit, *,
                      worker: str | None = None) -> None:
@@ -155,6 +168,15 @@ class CrawlTelemetry:
                 self._succeeded += 1
             else:
                 self._failures[visit.failure or "unknown"] += 1
+        if _metrics.COUNTING:
+            registry = _metrics.REGISTRY
+            registry.counter("crawl.visits").inc()
+            if visit.retries:
+                registry.counter("crawl.retries").inc(visit.retries)
+            if not visit.success:
+                registry.counter("crawl.failures").inc()
+            registry.histogram("crawl.simulated_seconds").observe(
+                visit.duration_seconds)
 
     def snapshot(self) -> TelemetrySnapshot:
         with self._lock:
@@ -167,7 +189,8 @@ class CrawlTelemetry:
                 succeeded=self._succeeded,
                 failed=self._completed - self._succeeded,
                 retries=self._retries,
-                queue_depth=max(0, self._total - self._completed),
+                queue_depth=max(0, self._total - self._completed
+                                - self._resumed),
                 elapsed_seconds=elapsed,
                 simulated_seconds=self._simulated_seconds,
                 failure_counts=dict(self._failures),

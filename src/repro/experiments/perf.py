@@ -27,6 +27,8 @@ from repro.analysis.legacy import summarize_legacy
 from repro.analysis.summary import summarize
 from repro.crawler.pool import CrawlerPool
 from repro.experiments import runner
+from repro.obs import REGISTRY, TRACER, observed
+from repro.obs import metrics as _metrics
 from repro.policy.memo import clear_parser_caches, parser_caches_disabled
 from repro.synthweb.generator import SyntheticWeb
 
@@ -118,7 +120,27 @@ def collect_analysis(site_count: int, *, seed: int = runner.DEFAULT_SEED,
             lambda: summarize(dataset, parallel=True))
         parallel_seconds = min(parallel_seconds, seconds)
 
+    # Per-stage breakdown of the indexed pipeline: index build, then each
+    # headline analysis over the shared index.
+    from repro.analysis.delegation import DelegationAnalysis
+    from repro.analysis.headers import HeaderAnalysis
+    from repro.analysis.index import DatasetIndex
+    from repro.analysis.overpermission import OverPermissionAnalysis
+    from repro.analysis.usage import UsageAnalysis
+
+    clear_parser_caches()
+    stages = []
+    index_seconds, index = _timed(lambda: DatasetIndex(dataset))
+    stages.append({"name": "index", "seconds": round(index_seconds, 4)})
+    for name, analysis_cls in (("usage", UsageAnalysis),
+                               ("delegation", DelegationAnalysis),
+                               ("headers", HeaderAnalysis),
+                               ("overpermission", OverPermissionAnalysis)):
+        seconds, _ = _timed(lambda cls=analysis_cls: cls(index))
+        stages.append({"name": name, "seconds": round(seconds, 4)})
+
     return {
+        "stages": stages,
         "site_count": site_count,
         "seed": seed,
         "cpu_count": os.cpu_count(),
@@ -131,6 +153,78 @@ def collect_analysis(site_count: int, *, seed: int = runner.DEFAULT_SEED,
             legacy_seconds / parallel_seconds, 2),
         "summaries_identical": (legacy_summary == serial_summary
                                 == parallel_summary),
+    }
+
+
+def _disabled_hook_costs(iterations: int = 200_000) -> tuple[float, float]:
+    """Per-call wall-clock cost of each kind of *disabled* hook.
+
+    Returns ``(span_cost, gate_cost)``: a disabled span site pays a
+    null-span enter/exit, while a disabled metric site pays only the
+    ``COUNTING`` attribute check — the two must be charged separately
+    because metric sites outnumber span sites by orders of magnitude.
+    Timed over many iterations so the estimate is stable."""
+    assert not TRACER.enabled and not _metrics.COUNTING
+    registry = _metrics.REGISTRY
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with TRACER.span("bench.noop"):
+            pass
+    span_cost = (time.perf_counter() - start) / iterations
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if _metrics.COUNTING:  # pragma: no cover - off by construction
+            registry.counter("bench.noop").inc()
+    gate_cost = (time.perf_counter() - start) / iterations
+    return span_cost, gate_cost
+
+
+def _metric_increments(snapshot: dict) -> int:
+    """How many metric-recording events produced ``snapshot``."""
+    return (sum(snapshot.get("counters", {}).values())
+            + len(snapshot.get("gauges", {}))
+            + sum(h["count"] for h in snapshot.get("histograms", {}).values()))
+
+
+def time_observability(site_count: int, seed: int, *,
+                       workers: int = 4) -> dict:
+    """Cost of the observability layer on the crawl, off and on.
+
+    Two runs of the same crawl: instrumentation off (the default) and on
+    (tracing + metrics).  The *enabled* overhead is measured directly; the
+    *disabled* overhead — the <2 % gate the benchmarks assert — cannot be
+    measured against a nonexistent uninstrumented build, so it is
+    estimated from the hook counts the enabled run recorded, charging
+    span sites and ``COUNTING``-gate sites their separately micro-timed
+    disabled costs, over the disabled runtime.  The
+    result also records that both runs produced equal datasets — the
+    never-changes-dataset-bytes invariant.
+    """
+    from repro.crawler.telemetry import CrawlTelemetry
+
+    web = SyntheticWeb(site_count, seed=seed)
+    pool = CrawlerPool(web, workers=workers, backend="auto")
+
+    off_seconds, dataset_off = _timed(
+        lambda: pool.run(telemetry=CrawlTelemetry()))
+    with observed():
+        on_seconds, dataset_on = _timed(
+            lambda: pool.run(telemetry=CrawlTelemetry()))
+        span_count = TRACER.span_count()
+        increments = _metric_increments(REGISTRY.snapshot())
+
+    span_cost, gate_cost = _disabled_hook_costs()
+    estimate = (span_count * span_cost + increments * gate_cost) / off_seconds
+    return {
+        "off_seconds": round(off_seconds, 4),
+        "on_seconds": round(on_seconds, 4),
+        "enabled_overhead": round(on_seconds / off_seconds - 1.0, 4),
+        "span_count": span_count,
+        "metric_increments": increments,
+        "disabled_span_seconds": span_cost,
+        "disabled_gate_seconds": gate_cost,
+        "disabled_overhead_estimate": round(estimate, 6),
+        "datasets_identical": dataset_on == dataset_off,
     }
 
 
@@ -179,7 +273,19 @@ def collect(site_count: int, *, seed: int = runner.DEFAULT_SEED,
         "crawl": time_crawl(site_count, seed, workers, backends),
         "analysis": time_analysis(site_count, seed),
         "cache": time_cache(site_count, seed, cache_dir),
+        "observability": time_observability(site_count, seed,
+                                            workers=workers),
+        "stages": collect_stages(site_count, seed=seed, workers=workers),
     }
+
+
+def collect_stages(site_count: int, *, seed: int = runner.DEFAULT_SEED,
+                   workers: int = 4, backend: str = "auto") -> dict:
+    """Per-stage pipeline breakdown (embedded in the BENCH documents)."""
+    from repro.obs.profile import profile_pipeline
+
+    return profile_pipeline(site_count, seed=seed, workers=workers,
+                            backend=backend).to_json()
 
 
 def write_report(report: dict, path: "str | Path") -> Path:

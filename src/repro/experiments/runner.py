@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import sqlite3
 from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
@@ -42,7 +44,11 @@ from repro.analysis.summary import MeasurementSummary, summarize
 from repro.analysis.usage import UsageAnalysis
 from repro.crawler.pool import CrawlDataset, CrawlerPool
 from repro.crawler.storage import SCHEMA_VERSION, CrawlStore
+from repro.obs import metrics as _metrics
+from repro.obs.tracing import TRACER
 from repro.synthweb.generator import SyntheticWeb
+
+logger = logging.getLogger(__name__)
 
 #: Default measurement scale; ~1/50 of the paper's 1M with identical rates.
 DEFAULT_SITE_COUNT = 20_000
@@ -100,7 +106,13 @@ _FINGERPRINT: str | None = None
 def configured_site_count() -> int:
     value = os.environ.get("REPRO_SITES")
     if value:
-        return max(200, int(value))
+        try:
+            count = int(value)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SITES must be an integer site count, got {value!r}"
+            ) from None
+        return max(200, count)
     return DEFAULT_SITE_COUNT
 
 
@@ -165,8 +177,15 @@ def _load_cached(count: int, seed: int) -> CrawlDataset | None:
 
 
 def _store_cached(count: int, seed: int, dataset: CrawlDataset) -> None:
-    """Best-effort write; the manifest lands last as completeness marker."""
+    """Best-effort write; the manifest lands last as completeness marker.
+
+    Any filesystem *or* SQLite failure is swallowed (the measurement run
+    must not die because the cache is unwritable — e.g. a full disk fails
+    inside sqlite3 with ``sqlite3.OperationalError``, not ``OSError``); a
+    half-written manifest tmp file is removed so nothing stale lingers.
+    """
     manifest_path, db_path = _cache_paths(count, seed)
+    tmp = manifest_path.with_suffix(".json.tmp")
     try:
         db_path.parent.mkdir(parents=True, exist_ok=True)
         for stale in (manifest_path, db_path,
@@ -175,11 +194,17 @@ def _store_cached(count: int, seed: int, dataset: CrawlDataset) -> None:
             stale.unlink(missing_ok=True)
         with CrawlStore(db_path) as store:
             store.save_dataset(dataset)
-        tmp = manifest_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(_manifest(count, seed)))
         tmp.replace(manifest_path)
-    except OSError:
-        pass
+    except (OSError, sqlite3.Error) as exc:
+        logger.warning("measurement cache write failed, continuing without "
+                       "cache: %s", exc)
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("measurement_cache.store_failures").inc()
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
 
 
 def run_measurement(site_count: int | None = None, *,
@@ -191,19 +216,39 @@ def run_measurement(site_count: int | None = None, *,
 
     Lookup order: in-process cache, then the disk cache (when enabled and
     its manifest matches), then a fresh crawl whose result is written back
-    to disk for the next session.
+    to disk for the next session.  ``use_cache=False`` bypasses *both*
+    cache levels and always crawls fresh (the result still lands in the
+    in-process cache for later cached callers).
+
+    Note: all backends produce byte-identical datasets, so ``backend``
+    only selects the execution strategy of a *fresh* crawl — it cannot
+    change an already-cached result, and a cache hit ignores it.
     """
     count = site_count if site_count is not None else configured_site_count()
     cached = use_cache if use_cache is not None else cache_enabled()
     key = (count, seed)
-    if key not in _CACHE:
+    if cached and key in _CACHE:
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("measurement_cache.memory_hits").inc()
+        return _CACHE[key]
+    with TRACER.span("experiment.run_measurement", sites=count, seed=seed):
         web = SyntheticWeb(count, seed=seed)
         dataset = _load_cached(count, seed) if cached else None
+        if _metrics.COUNTING and cached:
+            name = ("measurement_cache.disk_hits" if dataset is not None
+                    else "measurement_cache.disk_misses")
+            _metrics.REGISTRY.counter(name).inc()
         if dataset is None:
             chosen = backend if backend is not None else configured_backend()
+            logger.info("measurement crawl: %d sites, seed %d, backend %s",
+                        count, seed, chosen)
             dataset = CrawlerPool(web, workers=workers,
                                   backend=chosen).run()
             if cached:
                 _store_cached(count, seed, dataset)
-        _CACHE[key] = ExperimentContext(web=web, dataset=dataset)
-    return _CACHE[key]
+        else:
+            logger.info("measurement crawl: %d sites, seed %d — loaded "
+                        "from disk cache", count, seed)
+        ctx = ExperimentContext(web=web, dataset=dataset)
+    _CACHE[key] = ctx
+    return ctx

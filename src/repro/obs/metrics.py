@@ -1,0 +1,216 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+Every layer of the pipeline reports into one :data:`REGISTRY` —
+:class:`~repro.crawler.telemetry.CrawlTelemetry` (visit outcomes),
+:class:`~repro.crawler.storage.CrawlStore` (rows saved/loaded),
+:class:`~repro.analysis.index.DatasetIndex` (memo-table hit rates), the
+policy engine and interned parsers (:mod:`repro.policy.memo`) and the
+measurement disk cache (:mod:`repro.experiments.runner`).  The registry is
+thread-safe (each metric carries its own lock; creation is serialized) and
+mergeable: process-backend workers snapshot their local registry and ship
+the delta back with their chunk results, where the parent merges it.
+
+Collection is **off by default** and must stay near-free when off: hot
+call sites guard on the module-global :data:`COUNTING` boolean — one
+module-attribute load and a branch — so the instrumented pipeline stays
+within the <2 % overhead gate :mod:`benchmarks.bench_perf_crawl` asserts.
+Flip it only through :func:`enable_metrics` / :func:`disable_metrics` (or
+:func:`repro.obs.observed`), which keep :data:`REGISTRY.enabled
+<MetricsRegistry.enabled>` in sync.
+
+Metrics are observability only: nothing recorded here ever feeds back
+into crawl datasets or analysis results (tested by the identity suite in
+``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Fast-path gate mirrored from ``REGISTRY.enabled``.  Hot call sites do
+#: ``if metrics.COUNTING:`` before touching any metric; keep the two in
+#: sync via :func:`enable_metrics` / :func:`disable_metrics` only.
+COUNTING = False
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Streaming distribution summary: count, total, min, max."""
+
+    __slots__ = ("name", "_lock", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._reset()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {"count": self.count, "total": self.total,
+                    "min": self.min, "max": self.max, "mean": self.mean}
+
+    def _merge(self, other: dict) -> None:
+        with self._lock:
+            self.count += other["count"]
+            self.total += other["total"]
+            for bound, pick in (("min", min), ("max", max)):
+                theirs = other[bound]
+                if theirs is not None:
+                    ours = getattr(self, bound)
+                    setattr(self, bound,
+                            theirs if ours is None else pick(ours, theirs))
+
+    def _reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create registry of named metrics.
+
+    Metric objects are stable for the registry's lifetime: callers may
+    cache the handle returned by :meth:`counter` / :meth:`gauge` /
+    :meth:`histogram` (hot paths do).  :meth:`reset` therefore zeroes
+    values but never discards the objects.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        #: Whether collection is on.  Mirrored by :data:`COUNTING` for the
+        #: module-global fast path; flip via :func:`enable_metrics`.
+        self.enabled = False
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+            return metric
+
+    def snapshot(self) -> dict:
+        """A plain-dict view of every metric, sorted by name.
+
+        The result is picklable and JSON-serializable — the form workers
+        ship back across the process boundary and reports embed.
+        """
+        with self._lock:
+            return {
+                "counters": {name: c.value for name, c
+                             in sorted(self._counters.items()) if c.value},
+                "gauges": {name: g.value for name, g
+                           in sorted(self._gauges.items()) if g.value},
+                "histograms": {name: h.summary() for name, h
+                               in sorted(self._histograms.items()) if h.count},
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` delta (e.g. from a worker process) in."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name)._merge(summary)
+
+    def reset(self) -> None:
+        """Zero every metric, keeping the objects (cached handles stay
+        valid)."""
+        with self._lock:
+            for group in (self._counters, self._gauges, self._histograms):
+                for metric in group.values():
+                    metric._reset()
+
+
+#: The process-wide registry every instrumented component reports into.
+REGISTRY = MetricsRegistry()
+
+
+def enable_metrics() -> None:
+    """Turn metric collection on (registry + fast-path gate together)."""
+    global COUNTING
+    REGISTRY.enabled = True
+    COUNTING = True
+
+
+def disable_metrics() -> None:
+    """Turn metric collection off again (values are kept, not cleared)."""
+    global COUNTING
+    REGISTRY.enabled = False
+    COUNTING = False

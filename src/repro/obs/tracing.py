@@ -1,0 +1,256 @@
+"""Structured tracing: nestable spans with JSON and Chrome-trace export.
+
+A :class:`Span` covers one timed region of the pipeline —
+``span("crawl.visit", rank=17)`` — and spans nest per thread, producing a
+trace *tree* per root.  The schema is deterministic (stable field names,
+microsecond integers relative to the tracer's epoch); wall-clock readings
+live only in the trace, never in dataset bytes, so tracing cannot perturb
+crawl results (the identity tests in ``tests/test_obs.py`` enforce this).
+
+Tracing is **off by default** and near-free when off: a disabled tracer's
+:meth:`Tracer.span` returns one shared no-op context manager, so a hot
+call site pays a method call and a branch — the cost the <2 % overhead
+gate in :mod:`benchmarks.bench_perf_crawl` budgets for.
+
+Two export forms:
+
+* :meth:`Tracer.to_tree` — the nested JSON document ``--trace-out``
+  writes next to (and :class:`~repro.obs.profile.PipelineProfile` embeds);
+* :meth:`Tracer.to_chrome_trace` — Chrome ``trace_event`` format
+  (``chrome://tracing`` / Perfetto loadable): complete ``"X"`` events
+  plus process/thread-name metadata.
+
+Process-backend workers trace into their own (inherited or fresh) tracer,
+:meth:`export_spans` the finished roots as plain dicts, and ship them back
+with the chunk result; the parent :meth:`ingest`\\ s them under a
+``chunk-NNN`` process label.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable
+
+#: Process label for spans recorded in this process (workers override via
+#: ``ingest(pid=...)`` in the parent).
+MAIN_PID = "main"
+
+
+class Span:
+    """One timed region; also its own context manager.
+
+    Entering starts the clock and pushes the span on the current thread's
+    stack; exiting pops it and attaches it to the enclosing span (or the
+    tracer's roots).  ``set(**attrs)`` adds attributes mid-flight; an
+    exception escaping the block is recorded as an ``error`` attribute
+    and re-raised.
+    """
+
+    __slots__ = ("name", "attrs", "start_us", "duration_us", "thread",
+                 "pid", "children", "_tracer", "_t0")
+
+    def __init__(self, name: str, attrs: dict, tracer: "Tracer") -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_us = 0
+        self.duration_us = 0
+        self.thread = ""
+        self.pid = MAIN_PID
+        self.children: list[Span] = []
+        self._tracer = tracer
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.thread = threading.current_thread().name
+        tracer._push(self)
+        self._t0 = time.perf_counter()
+        self.start_us = int((self._t0 - tracer.epoch) * 1e6)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_us = int((time.perf_counter() - self._t0) * 1e6)
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self)
+        return False
+
+    def to_dict(self) -> dict:
+        """Deterministic-schema form (the JSON trace tree node)."""
+        return {
+            "name": self.name,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "thread": self.thread,
+            "pid": self.pid,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, tracer: "Tracer",
+                  pid: str | None = None) -> "Span":
+        span = cls(data["name"], dict(data["attrs"]), tracer)
+        span.start_us = data["start_us"]
+        span.duration_us = data["duration_us"]
+        span.thread = data["thread"]
+        span.pid = pid if pid is not None else data.get("pid", MAIN_PID)
+        span.children = [cls.from_dict(child, tracer, pid)
+                         for child in data["children"]]
+        return span
+
+
+class _NullSpan:
+    """The shared no-op span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span trees; thread-safe, off by default.
+
+    Each thread keeps its own span stack (spans opened on worker threads
+    become independent roots unless nested under a span opened on the
+    same thread); finished roots are appended under a lock.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.epoch = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> "Span | _NullSpan":
+        """A context manager timing ``name``; no-op while disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(name, attrs, self)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    def clear(self) -> None:
+        """Drop all finished spans and restart the epoch (between runs).
+
+        Also resets the per-thread stacks: a forked worker process
+        inherits the parent's open-span stack, and without the reset its
+        own spans would attach under a span that never closes there.
+        """
+        with self._lock:
+            self.roots = []
+            self._local = threading.local()
+            self.epoch = time.perf_counter()
+
+    # -- cross-process -----------------------------------------------------
+
+    def export_spans(self) -> list[dict]:
+        """Finished roots as plain dicts (picklable worker delta)."""
+        with self._lock:
+            return [span.to_dict() for span in self.roots]
+
+    def ingest(self, spans: Iterable[dict], *, pid: str | None = None) -> None:
+        """Append spans exported elsewhere, relabelled with ``pid``.
+
+        Worker timestamps are relative to the worker's own epoch; Chrome
+        trace viewers show each ``pid`` on its own timeline, so no clock
+        alignment is attempted.
+        """
+        rebuilt = [Span.from_dict(data, self, pid) for data in spans]
+        with self._lock:
+            self.roots.extend(rebuilt)
+
+    # -- export ------------------------------------------------------------
+
+    def span_count(self) -> int:
+        """Total finished spans across all trees (overhead accounting)."""
+        def count(span: Span) -> int:
+            return 1 + sum(count(child) for child in span.children)
+        with self._lock:
+            return sum(count(span) for span in self.roots)
+
+    def to_tree(self) -> dict:
+        """The deterministic-schema JSON trace document."""
+        with self._lock:
+            return {"schema": "repro.trace/1",
+                    "spans": [span.to_dict() for span in self.roots]}
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` format (load in chrome://tracing)."""
+        events: list[dict] = []
+        pid_ids: dict[str, int] = {}
+        tid_ids: dict[tuple[str, str], int] = {}
+
+        def ids_for(span: Span) -> tuple[int, int]:
+            pid = pid_ids.get(span.pid)
+            if pid is None:
+                pid = pid_ids[span.pid] = len(pid_ids) + 1
+                events.append({"ph": "M", "pid": pid, "tid": 0,
+                               "name": "process_name",
+                               "args": {"name": span.pid}})
+            tid_key = (span.pid, span.thread)
+            tid = tid_ids.get(tid_key)
+            if tid is None:
+                tid = tid_ids[tid_key] = len(tid_ids) + 1
+                events.append({"ph": "M", "pid": pid, "tid": tid,
+                               "name": "thread_name",
+                               "args": {"name": span.thread}})
+            return pid, tid
+
+        def emit(span: Span) -> None:
+            pid, tid = ids_for(span)
+            events.append({"name": span.name, "cat": "repro", "ph": "X",
+                           "ts": span.start_us, "dur": span.duration_us,
+                           "pid": pid, "tid": tid,
+                           "args": dict(span.attrs)})
+            for child in span.children:
+                emit(child)
+
+        with self._lock:
+            roots = list(self.roots)
+        for span in roots:
+            emit(span)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+#: The process-wide tracer every instrumented component records into.
+TRACER = Tracer()
+
+
+def span(name: str, **attrs):
+    """Shorthand for ``TRACER.span(name, **attrs)``."""
+    return TRACER.span(name, **attrs)

@@ -58,6 +58,7 @@ from repro.policy.header import (
     ParsedPolicyHeader,
     parse_permissions_policy_header,
 )
+from repro.obs import metrics as _metrics
 from repro.policy.origin import LOCAL_SCHEMES, Origin
 from repro.registry.features import (
     DEFAULT_REGISTRY,
@@ -221,6 +222,21 @@ def _parse_header_or_none(raw: str | None) -> ParsedPolicyHeader | None:
 
 _MISSING = object()
 
+_MEMO_COUNTERS: "tuple | None" = None
+
+
+def _memo_counters() -> tuple:
+    """``(hits, misses)`` counter handles for the explain memo, created on
+    first gated use (keeps the disabled hot path at one branch).  The
+    registry's :meth:`~repro.obs.metrics.MetricsRegistry.reset` keeps the
+    objects alive, so the cached handles never go stale."""
+    global _MEMO_COUNTERS
+    if _MEMO_COUNTERS is None:
+        _MEMO_COUNTERS = (
+            _metrics.REGISTRY.counter("policy.explain_memo_hits"),
+            _metrics.REGISTRY.counter("policy.explain_memo_misses"))
+    return _MEMO_COUNTERS
+
 
 class _IdentityKey:
     """Hash-by-identity cache key that keeps its target alive.
@@ -327,6 +343,10 @@ class PermissionsPolicyEngine:
         if decision is None:
             decision = self._explain(feature, frame, origin)
             cache[key] = decision
+            if _metrics.COUNTING:
+                _memo_counters()[1].inc()
+        elif _metrics.COUNTING:
+            _memo_counters()[0].inc()
         return decision
 
     def _explain(self, feature: str, frame: PolicyFrame,

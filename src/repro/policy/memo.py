@@ -39,6 +39,8 @@ import functools
 from contextlib import contextmanager
 from typing import Callable, Iterator, TypeVar
 
+from repro.obs import metrics as _metrics
+
 _F = TypeVar("_F", bound=Callable)
 
 #: All wrappers created by :func:`interned`, for global cache clearing.
@@ -51,17 +53,27 @@ _disabled = 0
 def interned(fn: _F) -> _F:
     """Memoize a pure parser by its (hashable) positional arguments."""
     cache: dict = {}
+    # Metric handles are created once here; MetricsRegistry.reset() keeps
+    # the objects alive, so these never go stale.  Recording is gated on
+    # the module-global COUNTING flag (off by default, near-free).
+    hits = _metrics.REGISTRY.counter(f"policy.parser_hits.{fn.__name__}")
+    misses = _metrics.REGISTRY.counter(f"policy.parser_misses.{fn.__name__}")
 
     @functools.wraps(fn)
     def wrapper(*args):
         if _disabled:
             return fn(*args)
         try:
-            return cache[args]
+            result = cache[args]
         except KeyError:
             result = fn(*args)
             cache[args] = result
+            if _metrics.COUNTING:
+                misses.inc()
             return result
+        if _metrics.COUNTING:
+            hits.inc()
+        return result
 
     wrapper.cache = cache
     wrapper.cache_clear = cache.clear

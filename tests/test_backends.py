@@ -112,6 +112,20 @@ class TestBackendDeterminism:
         assert dataset_bytes(dataset, tmp_path, "candidate") == \
             dataset_bytes(serial_dataset, tmp_path, "reference")
 
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", 1), ("thread", 4), ("process", 2),
+    ])
+    def test_byte_identical_with_observability_on(self, web, serial_dataset,
+                                                  tmp_path, backend, workers):
+        """Tracing + metrics on must not change a single dataset byte."""
+        from repro.obs import observed
+
+        with observed():
+            dataset = CrawlerPool(web, workers=workers,
+                                  backend=backend).run()
+        assert dataset_bytes(dataset, tmp_path, "traced") == \
+            dataset_bytes(serial_dataset, tmp_path, "reference")
+
 
 class TestBackendSelection:
     def test_auto_resolution(self, web):

@@ -280,6 +280,28 @@ class TestPoolResilience:
         assert again.visits == first.visits
         snap = counting.snapshot()
         assert snap.completed == 0 and snap.resumed == 20
+        # Regression: resumed visits count toward completion — a fully
+        # resumed run is done with an empty queue, not queued forever.
+        assert snap.total == 20
+        assert snap.done
+        assert snap.queue_depth == 0
+
+    def test_partially_resumed_run_converges(self, web, tmp_path):
+        """Regression: queue depth and done must account for resumed
+        visits (previously a resumed run reported a non-empty queue even
+        after every remaining rank was crawled)."""
+        with CrawlStore(tmp_path / "p.sqlite") as store:
+            CrawlerPool(web, workers=2).run(range(8), store=store)
+            telemetry = CrawlTelemetry()
+            CrawlerPool(web, workers=2).run(
+                range(20), store=store, resume=True, telemetry=telemetry)
+        snap = telemetry.snapshot()
+        assert snap.total == 20
+        assert snap.resumed == 8 and snap.completed == 12
+        assert snap.queue_depth == 0
+        assert snap.done
+        assert snap.progress_line().startswith("[20/20]")
+        assert "visits      20/20" in snap.render()
 
 
 class TestStoreThreadSafety:
