@@ -74,3 +74,25 @@ def test_fault_injection_recovery(benchmark):
     baseline_total = sum(report.baseline_failures.values())
     recovered_total = sum(report.recovered_failures.values())
     assert recovered_total >= baseline_total
+
+
+GUARD_SITES = 800
+
+
+def test_guard_overhead_gate(benchmark):
+    """DESIGN.md §4g: the guard layer, configured but never triggering,
+    must cost < 2 % of the crawl (component-cost estimate, the same
+    methodology as the observability gate) and must not change a single
+    dataset byte."""
+    from repro.experiments.perf import time_guards
+
+    report = benchmark.pedantic(
+        time_guards, args=(GUARD_SITES, 2024), kwargs={"workers": 2},
+        rounds=1, iterations=1)
+
+    assert report["datasets_identical"], \
+        "generous guards changed the crawl dataset"
+    assert report["fetches_per_site"] >= 1.0
+    assert report["guard_overhead_estimate"] < 0.02, (
+        f"guard overhead estimated at "
+        f"{report['guard_overhead_estimate']:.2%} of the crawl (gate: 2%)")

@@ -17,7 +17,16 @@
 * ``recommend`` — crawl one site and suggest a least-privilege policy;
 * ``poc`` — run the local-scheme specification-issue proof of concept;
 * ``profile`` — run the instrumented pipeline and print the per-stage
-  breakdown (DESIGN.md §4f).
+  breakdown (DESIGN.md §4f);
+* ``verify-store`` — checksum-verify a crawl database and (with
+  ``--repair``) quarantine corrupt rows (DESIGN.md §4g);
+* ``export-jsonl`` / ``import-jsonl`` — move crawl data through the
+  hardened JSONL format (atomic writes, count trailer, skip-with-warning
+  imports).
+
+``crawl`` installs SIGINT/SIGTERM handlers for the duration of the run:
+an interrupt finishes in-flight visits, flushes the checkpoint, and
+prints the ``--resume`` hint instead of corrupting the store.
 
 ``--log-level`` (global) configures stdlib logging; ``--trace-out FILE``
 on ``crawl``, ``telemetry`` and ``profile`` enables tracing for the run
@@ -153,6 +162,32 @@ def _build_parser() -> argparse.ArgumentParser:
     poc.add_argument("--scheme", default="data",
                      choices=["data", "about", "blob"])
 
+    verify = sub.add_parser(
+        "verify-store",
+        help="checksum-verify a crawl database; --repair quarantines "
+             "corrupt rows (DESIGN.md §4g)")
+    verify.add_argument("--database", default="crawl.sqlite")
+    verify.add_argument("--repair", action="store_true",
+                        help="move corrupt rows to the quarantine table so "
+                             "loads skip them cleanly")
+    verify.add_argument("--json", action="store_true",
+                        help="print the report as JSON (the CI artifact "
+                             "format)")
+
+    ejsonl = sub.add_parser(
+        "export-jsonl",
+        help="export a crawl database as JSON lines (atomic write with a "
+             "count trailer)")
+    ejsonl.add_argument("--database", default="crawl.sqlite")
+    ejsonl.add_argument("--output", default="visits.jsonl")
+
+    ijsonl = sub.add_parser(
+        "import-jsonl",
+        help="import a JSONL export into a crawl database, skipping "
+             "malformed lines with a counted warning")
+    ijsonl.add_argument("--input", default="visits.jsonl")
+    ijsonl.add_argument("--database", default="crawl.sqlite")
+
     export = sub.add_parser(
         "export-list",
         help="export the ranked origin list (the CrUX-list equivalent)")
@@ -219,8 +254,14 @@ def main(argv: list[str] | None = None) -> int:
                 from repro.obs import observed
                 stack.enter_context(observed())
             with CrawlStore(args.database) as store:
+                # handle_signals: Ctrl-C / SIGTERM checkpoint-and-stop
+                # instead of dying mid-write; --resume finishes the run.
                 dataset = pool.run(store=store, resume=args.resume,
-                                   telemetry=telemetry, progress=progress)
+                                   telemetry=telemetry, progress=progress,
+                                   handle_signals=True)
+        if pool.stop_requested:
+            print(f"crawl interrupted — checkpoint saved to "
+                  f"{args.database}; rerun with --resume to finish")
         if args.trace_out:
             _write_trace(args.trace_out)
         if args.progress:
@@ -274,6 +315,35 @@ def main(argv: list[str] | None = None) -> int:
               else result.render())
         if args.trace_out:
             _write_trace(args.trace_out)
+        return 0
+
+    if command == "verify-store":
+        import json as _json
+
+        with CrawlStore(args.database) as store:
+            report = store.verify(repair=args.repair)
+        print(_json.dumps(report.to_json(), indent=2) if args.json
+              else report.render())
+        return 0 if report.ok or args.repair else 1
+
+    if command == "export-jsonl":
+        from repro.crawler.storage import export_jsonl
+        with CrawlStore(args.database) as store:
+            count = export_jsonl(store.load_dataset().visits, args.output)
+        print(f"wrote {count} visits to {args.output}")
+        return 0
+
+    if command == "import-jsonl":
+        from repro.crawler.storage import JsonlStats, iter_jsonl
+        stats = JsonlStats()
+        with CrawlStore(args.database) as store:
+            for visit in iter_jsonl(args.input, on_error="skip",
+                                    stats=stats):
+                store.save_visit(visit)
+        skipped_note = (f" ({stats.skipped} malformed line(s) skipped)"
+                        if stats.skipped else "")
+        print(f"imported {stats.imported} visits into {args.database}"
+              f"{skipped_note}")
         return 0
 
     if command == "analyze":

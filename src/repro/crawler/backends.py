@@ -20,8 +20,10 @@ the process backend and get a clear error instead of a pickling traceback.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import pickle
+import signal
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -41,6 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle: pool imports backends
     from repro.crawler.pool import CrawlerPool
     from repro.crawler.storage import CrawlStore
     from repro.crawler.telemetry import CrawlTelemetry
+
+logger = logging.getLogger(__name__)
 
 #: Chunks per worker: more chunks than workers keeps all cores busy when
 #: chunk durations vary, while chunks stay large enough to amortise the
@@ -159,9 +163,19 @@ def _crawl_chunk(job: _ChunkJob) -> _ChunkResult:
     Observability state is process-global, and with the fork start method
     (or a reused spawn worker) it carries over between chunks — so it is
     set up per job and torn back down in ``finally``.
+
+    Workers shield themselves from SIGINT/SIGTERM: graceful shutdown is
+    the *parent's* job (it stops handing out chunks and checkpoints what
+    finished), and a signal delivered to the whole process group must not
+    kill a chunk mid-crawl when the parent is about to wind down cleanly.
     """
     from repro.crawler.pool import CrawlerPool
 
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_IGN)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
     if job.trace:
         TRACER.clear()
         TRACER.enabled = True
@@ -251,6 +265,16 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
         futures = {executor.submit(_crawl_chunk, job): index
                    for index, job in enumerate(jobs)}
         for future in as_completed(futures):
+            if pool.stop_requested:
+                # Queued chunks are abandoned (they resume from the
+                # checkpoint later); running ones finish but their
+                # results are not awaited.  Everything already saved
+                # stays saved.
+                cancelled = sum(1 for f in futures if f.cancel())
+                logger.warning(
+                    "crawl stop requested: cancelled %d queued chunks",
+                    cancelled)
+                break
             index = futures[future]
             result = future.result()
             chunk_visits = result.visits

@@ -15,9 +15,21 @@ import traceback
 from dataclasses import dataclass
 
 from repro.browser.page import Fetcher, PageLoadConfig, PageLoader
-from repro.crawler.errors import CrawlError, MinorCrawlerError
+from repro.crawler.errors import (
+    CrawlError,
+    FinalUpdateTimeoutError,
+    MinorCrawlerError,
+)
+from repro.crawler.guards import (
+    GUARD_FRAMES_CAPPED,
+    GUARD_WATCHDOG,
+    GuardedFetcher,
+    GuardEvent,
+    ResourceGuards,
+)
 from repro.crawler.records import SiteVisit, failed_visit, visit_from_page
 from repro.crawler.resilience import RetryPolicy
+from repro.obs import metrics as _metrics
 from repro.policy.engine import PermissionsPolicyEngine
 
 
@@ -37,6 +49,11 @@ class CrawlConfig:
     #: a flag for completeness — the synthetic web serves identical content
     #: either way, modelling the best case the paper aims for.
     disable_automation_controlled: bool = True
+    #: Hostile-input hardening (DESIGN.md §4g): input caps, per-visit
+    #: watchdog and per-origin circuit breaker.  ``None`` (the default)
+    #: disables all guards, keeping default crawls byte-identical with
+    #: earlier releases.
+    guards: ResourceGuards | None = None
 
     def page_load_config(self) -> PageLoadConfig:
         return PageLoadConfig(
@@ -57,6 +74,16 @@ class Crawler:
                  retry_policy: RetryPolicy | None = None) -> None:
         self.config = config if config is not None else CrawlConfig()
         self.retry_policy = retry_policy
+        #: Guard interventions during this crawler's visits (truncations,
+        #: watchdog conversions, breaker rejections); the pool forwards
+        #: them to telemetry after each visit.
+        self.guard_events: list[GuardEvent] = []
+        self._guarded: GuardedFetcher | None = None
+        guards = self.config.guards
+        if guards is not None and guards.caps_fetches:
+            self._guarded = GuardedFetcher(fetcher, guards,
+                                           events=self.guard_events)
+            fetcher = self._guarded
         self._loader = PageLoader(
             fetcher,
             engine=engine,
@@ -107,7 +134,49 @@ class Crawler:
                     MinorCrawlerError.taxonomy),
                 error_detail=traceback.format_exc())
         duration = self._visit_duration(url, frame_count=len(page.frames))
-        return visit_from_page(rank, url, page, duration_seconds=duration)
+        visit = visit_from_page(rank, url, page, duration_seconds=duration)
+        guards = self.config.guards
+        if guards is not None:
+            visit = self._apply_visit_guards(url, visit, guards)
+        return visit
+
+    def _apply_visit_guards(self, url: str, visit: SiteVisit,
+                            guards: ResourceGuards) -> SiteVisit:
+        """Post-visit guards: frame cap, then the watchdog deadline.
+
+        Both are pure functions of the visit record, so guarded crawls
+        stay deterministic across backends and resume boundaries.
+        """
+        cap = guards.max_frames_per_visit
+        if cap is not None and len(visit.frames) > cap:
+            dropped = len(visit.frames) - cap
+            keep = {frame.frame_id for frame in visit.frames[:cap]}
+            visit.frames[:] = visit.frames[:cap]
+            visit.calls[:] = [c for c in visit.calls if c.frame_id in keep]
+            visit.scripts[:] = [s for s in visit.scripts
+                                if s.frame_id in keep]
+            visit.prompts[:] = [p for p in visit.prompts
+                                if p.requesting_frame_id in keep]
+            self.guard_events.append(GuardEvent(
+                GUARD_FRAMES_CAPPED, url,
+                f"dropped {dropped} frames beyond cap {cap}"))
+            if _metrics.COUNTING:
+                _metrics.REGISTRY.counter("guard.truncations").inc()
+        deadline = guards.watchdog_deadline_seconds
+        if deadline is not None and visit.duration_seconds > deadline:
+            self.guard_events.append(GuardEvent(
+                GUARD_WATCHDOG, url,
+                f"simulated visit {visit.duration_seconds:.1f}s exceeded "
+                f"deadline {deadline:.1f}s"))
+            if _metrics.COUNTING:
+                _metrics.REGISTRY.counter("guard.watchdog").inc()
+            return failed_visit(
+                visit.rank, url, FinalUpdateTimeoutError.taxonomy,
+                duration_seconds=deadline,
+                error_detail=f"watchdog: simulated visit took "
+                             f"{visit.duration_seconds:.1f}s, deadline "
+                             f"{deadline:.1f}s")
+        return visit
 
     # -- simulated timing ---------------------------------------------------------
 

@@ -1,0 +1,341 @@
+"""Resource guards: input caps, a per-visit watchdog, per-origin breakers.
+
+The open web is hostile input (DESIGN.md §4g): a page can send megabyte
+headers, nest iframes a hundred deep, or inline scripts large enough to
+blow the store.  The paper's crawler survived nine days of that; this
+module gives the reproduction the same armour without giving up its
+determinism invariant:
+
+* :class:`ResourceGuards` — declarative caps carried on
+  :class:`~repro.crawler.crawler.CrawlConfig` (so the process backend
+  ships them to workers for free).  ``None`` caps are disabled; the
+  default config has no guards at all, so guarded-off crawls stay
+  byte-identical with every earlier release.
+* :class:`GuardedFetcher` — wraps any fetcher and *truncates* oversized
+  input instead of failing the visit: headers, ``allow`` attributes and
+  script sources are clipped deterministically, each clip recorded as a
+  taxonomy-tagged :class:`GuardEvent` that flows into
+  :class:`~repro.crawler.telemetry.CrawlTelemetry` and the
+  ``guard.truncations`` metric.  Fetched content is copied before
+  clipping — the synthetic web memoizes content objects, which must stay
+  pristine for other visits.
+* :class:`CircuitBreaker` — per-origin, opens after N consecutive
+  non-transient failures and half-opens on an *attempt-count* schedule
+  (never wall clock), so a visit stops hammering a dead origin but the
+  decision sequence is a pure function of the fetch sequence.  A rejected
+  fetch raises :class:`CircuitOpenError`, an ``unreachable`` subclass:
+  non-transient, so it composes with
+  :class:`~repro.crawler.resilience.RetryPolicy` by *stopping* retries
+  rather than feeding them.
+
+Everything here is per-visit scoped: the pool builds one crawler (and
+hence one guard layer and one breaker) per visit, which keeps results
+independent of worker count and resume boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from urllib.parse import urlsplit
+
+from repro.browser.page import Fetcher, FetchResponse
+from repro.crawler.errors import CrawlError, UnreachableError
+from repro.obs import metrics as _metrics
+
+#: Stable ``kind`` tags for guard events (telemetry and reports aggregate
+#: on these).
+GUARD_HEADER_TRUNCATED = "guard-header-truncated"
+GUARD_ALLOW_TRUNCATED = "guard-allow-truncated"
+GUARD_SCRIPT_TRUNCATED = "guard-script-truncated"
+GUARD_FRAMES_CAPPED = "guard-frames-capped"
+GUARD_WATCHDOG = "guard-watchdog-deadline"
+GUARD_BREAKER_OPEN = "guard-breaker-open"
+
+
+class CircuitOpenError(UnreachableError):
+    """Fetch rejected because the origin's circuit is open.
+
+    Subclasses ``unreachable`` deliberately: the breaker only opens on
+    non-transient failures, and ``unreachable`` is the non-retried class,
+    so an open circuit also stops :class:`RetryPolicy` retries.
+    """
+
+
+@dataclass(frozen=True)
+class GuardEvent:
+    """One guard intervention during a visit."""
+
+    kind: str
+    url: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ResourceGuards:
+    """Input caps and breaker thresholds; ``None`` disables a guard.
+
+    Attributes:
+        watchdog_deadline_seconds: Per-visit deadline over the *simulated*
+            duration; a successful visit exceeding it becomes a
+            ``final-update-timeout`` failure (the paper's 90 s hard
+            timeout, enforced deterministically).
+        max_header_bytes: Cap per header *value* (UTF-8 bytes); longer
+            values are clipped.
+        max_frames_per_visit: Cap on stored frames per visit; excess
+            frames (and their calls/scripts/prompts) are dropped in load
+            order.
+        max_allow_attr_length: Cap per iframe ``allow`` attribute
+            (characters).
+        max_script_bytes: Cap per script source (UTF-8 bytes); operations
+            are untouched, only the stored text is clipped.
+        breaker_failure_threshold: Consecutive non-transient failures per
+            origin before its circuit opens; ``None`` disables the
+            breaker.
+        breaker_cooldown_attempts: Rejected attempts between half-open
+            probes once a circuit is open.
+    """
+
+    watchdog_deadline_seconds: "float | None" = None
+    max_header_bytes: "int | None" = None
+    max_frames_per_visit: "int | None" = None
+    max_allow_attr_length: "int | None" = None
+    max_script_bytes: "int | None" = None
+    breaker_failure_threshold: "int | None" = None
+    breaker_cooldown_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("max_header_bytes", "max_frames_per_visit",
+                     "max_allow_attr_length", "max_script_bytes",
+                     "breaker_failure_threshold"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None")
+        if (self.watchdog_deadline_seconds is not None
+                and self.watchdog_deadline_seconds <= 0):
+            raise ValueError("watchdog_deadline_seconds must be > 0 or None")
+        if self.breaker_cooldown_attempts < 1:
+            raise ValueError("breaker_cooldown_attempts must be >= 1")
+
+    @property
+    def caps_fetches(self) -> bool:
+        """Whether any fetch-level guard is active (fetcher gets wrapped)."""
+        return any(value is not None for value in (
+            self.max_header_bytes, self.max_allow_attr_length,
+            self.max_script_bytes, self.breaker_failure_threshold))
+
+
+#: Breaker circuit states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class _Circuit:
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    #: Attempts rejected since the circuit opened (drives the half-open
+    #: probe schedule).
+    rejected_since_open: int = 0
+
+
+class CircuitBreaker:
+    """Per-origin circuit breaker with an attempt-count half-open schedule.
+
+    ``allow`` / ``record_failure`` / ``record_success`` are pure functions
+    of the call sequence — no clocks — so a crawl that replays the same
+    fetch sequence takes identical breaker decisions, regardless of
+    backend, worker count or resume boundary.
+    """
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 cooldown_attempts: int = 2) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_attempts < 1:
+            raise ValueError("cooldown_attempts must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_attempts = cooldown_attempts
+        self._circuits: dict[str, _Circuit] = {}
+        #: Open transitions over this breaker's lifetime.
+        self.opened_count = 0
+        #: Fetches rejected by an open circuit.
+        self.short_circuits = 0
+
+    def _circuit(self, origin: str) -> _Circuit:
+        circuit = self._circuits.get(origin)
+        if circuit is None:
+            circuit = self._circuits[origin] = _Circuit()
+        return circuit
+
+    def state(self, origin: str) -> str:
+        return self._circuit(origin).state
+
+    def allow(self, origin: str) -> bool:
+        """Whether a fetch to ``origin`` may proceed right now.
+
+        While open, every ``cooldown_attempts``-th rejected attempt is let
+        through as a half-open probe; its outcome closes or re-opens the
+        circuit.
+        """
+        circuit = self._circuit(origin)
+        if circuit.state == CLOSED or circuit.state == HALF_OPEN:
+            return True
+        circuit.rejected_since_open += 1
+        if circuit.rejected_since_open >= self.cooldown_attempts:
+            circuit.state = HALF_OPEN
+            return True
+        self.short_circuits += 1
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("breaker.short_circuits").inc()
+        return False
+
+    def record_success(self, origin: str) -> None:
+        circuit = self._circuit(origin)
+        circuit.state = CLOSED
+        circuit.consecutive_failures = 0
+        circuit.rejected_since_open = 0
+
+    def record_failure(self, origin: str, *, transient: bool) -> None:
+        """Count one failed fetch; transient failures never trip circuits
+        (they are the retry policy's business, not the breaker's)."""
+        circuit = self._circuit(origin)
+        if transient:
+            return
+        circuit.consecutive_failures += 1
+        if (circuit.state == HALF_OPEN
+                or circuit.consecutive_failures >= self.failure_threshold):
+            if circuit.state != OPEN:
+                self.opened_count += 1
+                if _metrics.COUNTING:
+                    _metrics.REGISTRY.counter("breaker.open").inc()
+            circuit.state = OPEN
+            circuit.rejected_since_open = 0
+
+    def open_origins(self) -> list[str]:
+        return sorted(origin for origin, circuit in self._circuits.items()
+                      if circuit.state == OPEN)
+
+
+def origin_key(url: str) -> str:
+    """The breaker's origin bucket for a URL: ``scheme://netloc``
+    lowercased (local schemes bucket by scheme alone)."""
+    parts = urlsplit(url)
+    if not parts.netloc:
+        return f"{parts.scheme.lower()}:"
+    return f"{parts.scheme.lower()}://{parts.netloc.lower()}"
+
+
+def _clip_bytes(text: str, limit: int) -> "str | None":
+    """Clip ``text`` to at most ``limit`` UTF-8 bytes (never splitting a
+    code point); returns ``None`` when no clipping was needed."""
+    encoded = text.encode("utf-8", "surrogatepass")
+    if len(encoded) <= limit:
+        return None
+    return encoded[:limit].decode("utf-8", "ignore")
+
+
+class GuardedFetcher:
+    """Applies :class:`ResourceGuards` fetch-level caps over any fetcher.
+
+    Truncations are recorded into ``events`` (a shared list the owning
+    crawler also appends watchdog events to) and counted in the
+    ``guard.truncations`` metric.  Content objects are copied before
+    clipping — the inner fetcher may serve shared, memoized content.
+    """
+
+    def __init__(self, inner: Fetcher, guards: ResourceGuards,
+                 events: "list[GuardEvent] | None" = None) -> None:
+        self.inner = inner
+        self.guards = guards
+        self.events: list[GuardEvent] = events if events is not None else []
+        self.breaker: "CircuitBreaker | None" = None
+        if guards.breaker_failure_threshold is not None:
+            self.breaker = CircuitBreaker(
+                failure_threshold=guards.breaker_failure_threshold,
+                cooldown_attempts=guards.breaker_cooldown_attempts)
+
+    def _event(self, kind: str, url: str, detail: str) -> None:
+        self.events.append(GuardEvent(kind, url, detail))
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("guard.truncations").inc()
+
+    def fetch(self, url: str) -> FetchResponse:
+        breaker = self.breaker
+        origin = origin_key(url) if breaker is not None else ""
+        if breaker is not None and not breaker.allow(origin):
+            self.events.append(GuardEvent(
+                GUARD_BREAKER_OPEN, url, f"circuit open for {origin}"))
+            raise CircuitOpenError(f"circuit open for {origin}: {url}")
+        try:
+            response = self.inner.fetch(url)
+        except CrawlError as exc:
+            if breaker is not None:
+                from repro.crawler.errors import TRANSIENT_TAXONOMIES
+                breaker.record_failure(
+                    origin, transient=exc.taxonomy in TRANSIENT_TAXONOMIES)
+            raise
+        except Exception:
+            if breaker is not None:
+                breaker.record_failure(origin, transient=False)
+            raise
+        if breaker is not None:
+            breaker.record_success(origin)
+        return self._apply_caps(url, response)
+
+    def _apply_caps(self, url: str,
+                    response: FetchResponse) -> FetchResponse:
+        guards = self.guards
+        headers = response.headers
+        if guards.max_header_bytes is not None:
+            clipped_headers: "dict[str, str] | None" = None
+            for name, value in headers.items():
+                clipped = _clip_bytes(value, guards.max_header_bytes)
+                if clipped is None:
+                    continue
+                if clipped_headers is None:
+                    clipped_headers = dict(headers)
+                clipped_headers[name] = clipped
+                self._event(GUARD_HEADER_TRUNCATED, url,
+                            f"{name}: {len(value)} chars -> "
+                            f"{guards.max_header_bytes} bytes")
+            if clipped_headers is not None:
+                headers = clipped_headers
+        content = response.content
+        new_scripts = None
+        if guards.max_script_bytes is not None:
+            for index, script in enumerate(content.scripts):
+                clipped = _clip_bytes(script.source, guards.max_script_bytes)
+                if clipped is None:
+                    continue
+                if new_scripts is None:
+                    new_scripts = list(content.scripts)
+                new_scripts[index] = replace(script, source=clipped)
+                self._event(GUARD_SCRIPT_TRUNCATED, url,
+                            f"script[{index}] ({script.url or 'inline'}): "
+                            f"{len(script.source)} chars -> "
+                            f"{guards.max_script_bytes} bytes")
+        new_iframes = None
+        if guards.max_allow_attr_length is not None:
+            for index, iframe in enumerate(content.iframes):
+                allow = iframe.allow
+                if allow is None or len(allow) <= guards.max_allow_attr_length:
+                    continue
+                if new_iframes is None:
+                    new_iframes = list(content.iframes)
+                new_iframes[index] = replace(
+                    iframe, allow=allow[:guards.max_allow_attr_length])
+                self._event(GUARD_ALLOW_TRUNCATED, url,
+                            f"iframe[{index}] allow: {len(allow)} chars -> "
+                            f"{guards.max_allow_attr_length}")
+        if new_scripts is None and new_iframes is None:
+            if headers is response.headers:
+                return response
+            return replace(response, headers=headers)
+        new_content = replace(
+            content,
+            scripts=new_scripts if new_scripts is not None
+            else list(content.scripts),
+            iframes=new_iframes if new_iframes is not None
+            else list(content.iframes))
+        return replace(response, headers=headers, content=new_content)

@@ -25,11 +25,14 @@ Resilience (this mirrors the paper's operational setup, Appendix A.2):
 
 from __future__ import annotations
 
+import contextlib
 import logging
+import signal
+import threading
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.browser.page import Fetcher
 from repro.obs.tracing import TRACER
@@ -209,6 +212,50 @@ class CrawlDataset:
 BACKENDS = ("auto", "serial", "thread", "process")
 
 
+class _CrawlInterrupted(Exception):
+    """Internal: a worker observed the pool's stop request.
+
+    Never escapes :meth:`CrawlerPool.run`; it only unwinds the backend
+    loops so an interrupted run returns the visits completed so far.
+    """
+
+
+@contextlib.contextmanager
+def _stop_on_signals(pool: "CrawlerPool") -> Iterator[None]:
+    """Install SIGINT/SIGTERM handlers that request a graceful stop.
+
+    Handlers are only installable from the main thread (and only on
+    platforms that have the signals); anywhere else this is a no-op, and
+    previous handlers are always restored on exit.  The handler merely
+    sets the pool's stop event — completed visits are already checkpointed
+    by the normal save path, so the run winds down to a cleanly resumable
+    store instead of dying mid-write.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous: dict[int, object] = {}
+
+    def handler(signum: int, frame: object) -> None:
+        logger.warning("received signal %d — finishing in-flight visits "
+                       "and checkpointing", signum)
+        pool.request_stop()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - platform quirk
+            continue
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):  # pragma: no cover
+                continue
+
+
 class CrawlerPool:
     """Runs crawls over a ranked range of the synthetic web.
 
@@ -262,6 +309,21 @@ class CrawlerPool:
             self.fetcher_factory = lambda: fetcher_spec.build(self.web)
         else:
             self.fetcher_factory = lambda: SyntheticFetcher(self.web)
+        self._stop = threading.Event()
+
+    def request_stop(self) -> None:
+        """Ask a running crawl to wind down gracefully.
+
+        Safe from any thread and from signal handlers: in-flight visits
+        finish (and are checkpointed), queued visits are abandoned, and
+        :meth:`run` returns what completed.  A store-backed run left this
+        way resumes to a byte-identical dataset.
+        """
+        self._stop.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
 
     def resolved_backend(self, backend: str | None = None) -> str:
         """The concrete backend a run would use (never ``"auto"``)."""
@@ -283,7 +345,8 @@ class CrawlerPool:
             store: "CrawlStore | None" = None,
             resume: bool = False,
             telemetry: CrawlTelemetry | None = None,
-            backend: str | None = None) -> CrawlDataset:
+            backend: str | None = None,
+            handle_signals: bool = False) -> CrawlDataset:
         """Crawl the given ranks (default: the whole list) once each.
 
         With ``store``, every visit is persisted the moment it completes
@@ -292,10 +355,18 @@ class CrawlerPool:
         back instead of re-crawled and the merged dataset equals an
         uninterrupted run.  ``telemetry`` receives per-visit updates.
         ``backend`` overrides the pool's configured backend for this run.
+
+        With ``handle_signals=True`` (the CLI's mode), SIGINT/SIGTERM
+        request a graceful stop for the duration of the run: in-flight
+        visits finish and are checkpointed, the store's WAL is flushed,
+        and the partial dataset is returned — ``resume=True`` on the same
+        store later completes it to a byte-identical dataset.
+        :meth:`request_stop` does the same programmatically.
         """
         if resume and store is None:
             raise ValueError("resume=True requires a store")
         chosen = self.resolved_backend(backend)
+        self._stop.clear()
         targets = list(ranks if ranks is not None
                        else range(self.web.site_count))
         resumed: list[SiteVisit] = []
@@ -320,6 +391,8 @@ class CrawlerPool:
             # independent, like the paper's per-site fresh (stateless)
             # browser — and makes fault-injection state per-visit, so
             # serial, parallel and resumed runs all see identical faults.
+            if self._stop.is_set():
+                raise _CrawlInterrupted(rank)
             with TRACER.span("crawl.visit", rank=rank):
                 crawler = self._make_crawler()
                 visit = crawler.visit(self.web.origin_for_rank(rank),
@@ -328,12 +401,17 @@ class CrawlerPool:
                 store.save_visit(visit)
             if telemetry is not None:
                 telemetry.record_visit(visit)
+                for event in crawler.guard_events:
+                    telemetry.record_guard_event(event.kind)
             return visit
 
         dataset = CrawlDataset()
         dataset.visits.extend(resumed)
-        with TRACER.span("crawl.run", backend=chosen, sites=len(targets),
-                         resumed=len(resumed), workers=self.workers):
+        guard = (_stop_on_signals(self) if handle_signals
+                 else contextlib.nullcontext())
+        with guard, TRACER.span("crawl.run", backend=chosen,
+                                sites=len(targets), resumed=len(resumed),
+                                workers=self.workers):
             if chosen == "process" and targets:
                 from repro.crawler.backends import crawl_in_processes
                 dataset.visits.extend(crawl_in_processes(
@@ -341,17 +419,37 @@ class CrawlerPool:
                     telemetry=telemetry))
             elif chosen == "serial" or self.workers == 1:
                 for index, rank in enumerate(targets):
-                    dataset.visits.append(visit_rank(rank))
+                    if self._stop.is_set():
+                        break
+                    try:
+                        dataset.visits.append(visit_rank(rank))
+                    except _CrawlInterrupted:
+                        break
                     if progress is not None:
                         progress(index + 1, len(targets))
             else:
                 with ThreadPoolExecutor(max_workers=self.workers) as executor:
-                    for index, visit in enumerate(
-                            executor.map(visit_rank, targets)):
-                        dataset.visits.append(visit)
-                        if progress is not None:
-                            progress(index + 1, len(targets))
+                    try:
+                        for index, visit in enumerate(
+                                executor.map(visit_rank, targets)):
+                            dataset.visits.append(visit)
+                            if progress is not None:
+                                progress(index + 1, len(targets))
+                    except _CrawlInterrupted:
+                        # Queued tasks unwind the same way as they are
+                        # scheduled; the executor exit just drains them.
+                        pass
         dataset.visits.sort(key=lambda visit: visit.rank)
-        logger.info("crawl finished: %d visits (%d ok)", dataset.attempted,
-                    dataset.successful_count)
+        if self._stop.is_set():
+            if store is not None:
+                store.flush()
+            if telemetry is not None:
+                telemetry.record_interrupted()
+            logger.warning(
+                "crawl interrupted after %d/%d visits — checkpoint "
+                "flushed; rerun with resume=True to finish",
+                dataset.attempted - len(resumed), len(targets))
+        else:
+            logger.info("crawl finished: %d visits (%d ok)",
+                        dataset.attempted, dataset.successful_count)
         return dataset

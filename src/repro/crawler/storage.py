@@ -7,21 +7,38 @@ reproduces that: one SQLite file with ``visits``, ``frames``, ``calls``,
 :class:`~repro.crawler.pool.CrawlerPool` worker threads, behind a
 serialized writer lock with WAL enabled for concurrent readers — and
 loadable back into :class:`~repro.crawler.pool.CrawlDataset` form so
-analyses can run without re-crawling.  Loading tolerates partially
-written databases (a crawl killed mid-save): orphan child rows are
-skipped with a counted warning so checkpoint/resume survives them.
+analyses can run without re-crawling.
+
+On-disk data is treated as untrusted (DESIGN.md §4g):
+
+* every visit row carries a CRC-32 over its canonical record encoding
+  (:mod:`repro.crawler.integrity`), written at save time;
+* :meth:`CrawlStore.verify` recomputes all checksums and, with
+  ``repair=True``, moves corrupt rows into a ``quarantine`` table;
+* loading tolerates partially written or corrupt databases: orphan child
+  rows *and* rows that fail to decode are skipped with counted warnings
+  so checkpoint/resume (and analysis of a damaged store) never crashes.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import os
 import sqlite3
 import threading
 from collections import Counter
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.crawler.integrity import (
+    CHECKSUM_MISMATCH,
+    DECODE_ERROR,
+    CorruptRow,
+    VerifyReport,
+    visit_checksum,
+)
 from repro.crawler.pool import CrawlDataset
 from repro.obs import metrics as _metrics
 from repro.crawler.records import (
@@ -38,7 +55,7 @@ logger = logging.getLogger(__name__)
 #: columns or row encoding; the measurement cache
 #: (:mod:`repro.experiments.runner`) keys its manifests on this value so
 #: stale checkpoints are re-crawled instead of misread.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Maximum parameters per ``IN (...)`` clause; SQLite's default variable
 #: limit is 999, so stay comfortably below it.
@@ -56,7 +73,8 @@ CREATE TABLE IF NOT EXISTS visits (
     iframe_load_failures INTEGER NOT NULL,
     duration_seconds REAL NOT NULL,
     retries INTEGER NOT NULL DEFAULT 0,
-    error_detail TEXT
+    error_detail TEXT,
+    checksum INTEGER
 );
 CREATE TABLE IF NOT EXISTS frames (
     rank INTEGER NOT NULL,
@@ -93,6 +111,12 @@ CREATE TABLE IF NOT EXISTS prompts (
     permission TEXT NOT NULL,
     display_site TEXT NOT NULL,
     text TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS quarantine (
+    rank INTEGER NOT NULL,
+    reason TEXT NOT NULL,
+    detail TEXT NOT NULL,
+    payload TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_calls_rank ON calls(rank);
 CREATE INDEX IF NOT EXISTS idx_frames_rank ON frames(rank);
@@ -147,7 +171,18 @@ def _prompt_from_row(row: tuple) -> PromptRecord:
 _VISITS_MIGRATIONS = (
     ("retries", "INTEGER NOT NULL DEFAULT 0"),
     ("error_detail", "TEXT"),
+    # Schema 3: rows written before this migration keep a NULL checksum
+    # and show up as "legacy" (not corrupt) in verify() reports.
+    ("checksum", "INTEGER"),
 )
+
+
+def _safe_text(text: str, limit: int = 200) -> str:
+    """Clip and ASCII-escape untrusted text destined for reports/SQLite."""
+    text = text.encode("ascii", "backslashreplace").decode("ascii")
+    if len(text) > limit:
+        text = text[:limit] + f"... ({len(text)} chars)"
+    return text
 
 
 class CrawlStore:
@@ -170,6 +205,9 @@ class CrawlStore:
         #: Orphan child rows skipped by the most recent
         #: :meth:`load_dataset` call, per table.
         self.last_orphan_counts: dict[str, int] = {}
+        #: Rows that failed to decode during the most recent
+        #: :meth:`load_dataset` / :meth:`load_visits` call, per table.
+        self.last_corrupt_counts: dict[str, int] = {}
 
     def _migrate(self) -> None:
         columns = {row[1] for row in
@@ -179,6 +217,16 @@ class CrawlStore:
                 self._conn.execute(
                     f"ALTER TABLE visits ADD COLUMN {name} {spec}")
         self._conn.commit()
+
+    def flush(self) -> None:
+        """Commit and checkpoint the WAL into the main database file.
+
+        Called on graceful shutdown so a subsequently copied/inspected
+        database file is complete even if the ``-wal`` sidecar is lost.
+        """
+        with self._lock:
+            self._conn.commit()
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
 
     def close(self) -> None:
         with self._lock:
@@ -194,15 +242,20 @@ class CrawlStore:
 
     def save_visit(self, visit: SiteVisit) -> None:
         """Persist one visit (incremental, mirroring C14).  Thread-safe."""
+        checksum = visit_checksum(visit)
         with self._lock:
             conn = self._conn
             conn.execute(
-                "INSERT OR REPLACE INTO visits VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                f"INSERT OR REPLACE INTO visits ({_VISIT_COLUMNS}, checksum) "
+                "VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
                 (visit.rank, visit.requested_url, visit.final_url,
                  int(visit.success), visit.failure,
                  visit.top_level_document_count, visit.skipped_lazy_iframes,
                  visit.iframe_load_failures, visit.duration_seconds,
-                 visit.retries, visit.error_detail))
+                 visit.retries, visit.error_detail, checksum))
+            # A freshly saved rank supersedes any quarantined wreckage.
+            conn.execute("DELETE FROM quarantine WHERE rank = ?",
+                         (visit.rank,))
             conn.execute("DELETE FROM frames WHERE rank = ?", (visit.rank,))
             conn.execute("DELETE FROM calls WHERE rank = ?", (visit.rank,))
             conn.execute("DELETE FROM scripts WHERE rank = ?", (visit.rank,))
@@ -251,39 +304,69 @@ class CrawlStore:
         Child rows whose rank has no ``visits`` row (a partially written or
         corrupt checkpoint) are skipped and counted in
         :attr:`last_orphan_counts` with a logged warning, so resuming from
-        an interrupted save never crashes.
+        an interrupted save never crashes.  Rows that fail to *decode*
+        (bit-flipped JSON, truncated values) are likewise skipped and
+        counted in :attr:`last_corrupt_counts` — run
+        ``repro verify-store --repair`` to quarantine them properly.
         """
         dataset = CrawlDataset()
         orphans: Counter = Counter()
+        corrupt: Counter = Counter()
         with self._lock:
             conn = self._conn
             for row in conn.execute(
                     f"SELECT {_VISIT_COLUMNS} FROM visits ORDER BY rank"):
-                dataset.visits.append(_visit_from_row(row))
+                try:
+                    dataset.visits.append(_visit_from_row(row))
+                except Exception:
+                    corrupt["visits"] += 1
             by_rank = {visit.rank: visit for visit in dataset.visits}
-            self._attach_children(by_rank, orphans)
+            self._attach_children(by_rank, orphans, corrupt=corrupt)
         self.last_orphan_counts = dict(orphans)
+        self.last_corrupt_counts = dict(corrupt)
         if _metrics.COUNTING:
             registry = _metrics.REGISTRY
             registry.counter("store.visits_loaded").inc(len(dataset.visits))
             registry.gauge("store.orphan_rows").set(sum(orphans.values()))
+            if corrupt:
+                registry.counter("store.corrupt_rows").inc(
+                    sum(corrupt.values()))
         if orphans:
             detail = ", ".join(f"{table}={count}" for table, count
                                in sorted(orphans.items()))
             logger.warning(
                 "skipped orphan rows without a visits entry (%s) in %s "
                 "— partially written checkpoint?", detail, self.path)
+        self._warn_corrupt(corrupt)
         return dataset
+
+    def _warn_corrupt(self, corrupt: Counter) -> None:
+        if not corrupt:
+            return
+        detail = ", ".join(f"{table}={count}" for table, count
+                           in sorted(corrupt.items()))
+        logger.warning(
+            "skipped rows that failed to decode (%s) in %s — run "
+            "`repro verify-store --repair` to quarantine them",
+            detail, self.path)
 
     def _attach_children(self, by_rank: dict[int, SiteVisit],
                          orphans: Counter,
-                         where: str = "", params: tuple = ()) -> None:
+                         where: str = "", params: tuple = (),
+                         corrupt: "Counter | None" = None,
+                         corrupt_ranks: "dict[int, str] | None" = None
+                         ) -> None:
         """Attach frame/call/script/prompt rows to their visits.
 
         ``ORDER BY rowid`` restores per-visit record order: ``save_visit``
         writes each visit's child rows contiguously, so rowid order within
         one rank equals insertion order even when chunks were saved
         out of rank order.
+
+        With ``corrupt`` given, rows that fail to decode are skipped and
+        counted per table instead of raising; ``corrupt_ranks`` (used by
+        :meth:`verify`) additionally records which rank each decode
+        failure belongs to.
         """
         conn = self._conn
         tables = (
@@ -306,7 +389,18 @@ class CrawlStore:
                 if visit is None:
                     orphans[table] += 1
                     continue
-                records_of(visit).append(from_row(row))
+                try:
+                    record = from_row(row)
+                except Exception as exc:
+                    if corrupt is None:
+                        raise
+                    corrupt[table] += 1
+                    if (corrupt_ranks is not None
+                            and row[0] not in corrupt_ranks):
+                        corrupt_ranks[row[0]] = _safe_text(
+                            f"{table}: {type(exc).__name__}: {exc}")
+                    continue
+                records_of(visit).append(record)
 
     def load_visits(self, ranks: "Iterable[int]") -> list[SiteVisit]:
         """Load only the given ranks — the targeted resume query.
@@ -318,6 +412,7 @@ class CrawlStore:
         wanted = sorted(set(ranks))
         by_rank: dict[int, SiteVisit] = {}
         orphans: Counter = Counter()
+        corrupt: Counter = Counter()
         with self._lock:
             conn = self._conn
             for start in range(0, len(wanted), _SQL_IN_CHUNK):
@@ -327,10 +422,19 @@ class CrawlStore:
                 for row in conn.execute(
                         f"SELECT {_VISIT_COLUMNS} FROM visits{where}",
                         chunk):
-                    by_rank[row[0]] = _visit_from_row(row)
-                self._attach_children(by_rank, orphans, where, tuple(chunk))
+                    try:
+                        by_rank[row[0]] = _visit_from_row(row)
+                    except Exception:
+                        corrupt["visits"] += 1
+                self._attach_children(by_rank, orphans, where, tuple(chunk),
+                                      corrupt=corrupt)
+        self.last_corrupt_counts = dict(corrupt)
         if _metrics.COUNTING:
             _metrics.REGISTRY.counter("store.visits_loaded").inc(len(by_rank))
+            if corrupt:
+                _metrics.REGISTRY.counter("store.corrupt_rows").inc(
+                    sum(corrupt.values()))
+        self._warn_corrupt(corrupt)
         return [by_rank[rank] for rank in wanted if rank in by_rank]
 
     # -- SQL-side aggregates ------------------------------------------------------
@@ -387,6 +491,128 @@ class CrawlStore:
                 "WHERE success = 0 GROUP BY failure").fetchall()
         return {failure: int(count) for failure, count in rows}
 
+    # -- integrity ---------------------------------------------------------------
+
+    def verify(self, *, repair: bool = False) -> VerifyReport:
+        """Recompute every visit checksum against the stored rows.
+
+        Returns a :class:`~repro.crawler.integrity.VerifyReport`.  Rows
+        written before the checksum column existed count as ``legacy``
+        (unverifiable, not corrupt).  With ``repair=True`` corrupt rows
+        are moved into the ``quarantine`` table — their raw values are
+        preserved there as a JSON payload for forensics — so subsequent
+        :meth:`load_dataset` calls see a clean store.
+        """
+        report = VerifyReport(path=str(self.path))
+        corrupt_ranks: dict[int, str] = {}
+        with self._lock:
+            conn = self._conn
+            row = conn.execute("SELECT COUNT(*) FROM quarantine").fetchone()
+            report.previously_quarantined = int(row[0])
+            by_rank: dict[int, SiteVisit] = {}
+            checksums: dict[int, "int | None"] = {}
+            for row in conn.execute(
+                    f"SELECT {_VISIT_COLUMNS}, checksum FROM visits "
+                    "ORDER BY rank"):
+                report.total_rows += 1
+                try:
+                    by_rank[row[0]] = _visit_from_row(row)
+                    checksums[row[0]] = row[-1]
+                except Exception as exc:
+                    corrupt_ranks[row[0]] = _safe_text(
+                        f"visits: {type(exc).__name__}: {exc}")
+            self._attach_children(by_rank, Counter(), corrupt=Counter(),
+                                  corrupt_ranks=corrupt_ranks)
+            for rank in sorted(by_rank):
+                detail = corrupt_ranks.get(rank)
+                if detail is not None:
+                    continue  # reported below, once, as a decode error
+                stored = checksums[rank]
+                if stored is None:
+                    report.legacy_rows += 1
+                    continue
+                actual = visit_checksum(by_rank[rank])
+                if actual == stored:
+                    report.verified_rows += 1
+                else:
+                    report.corrupt.append(CorruptRow(
+                        rank, CHECKSUM_MISMATCH,
+                        f"stored {stored}, recomputed {actual}"))
+            for rank, detail in corrupt_ranks.items():
+                report.corrupt.append(CorruptRow(rank, DECODE_ERROR, detail))
+            report.corrupt.sort(key=lambda bad: bad.rank)
+            if repair and report.corrupt:
+                for bad in report.corrupt:
+                    self._quarantine_rank(bad)
+                conn.commit()
+                report.quarantined = len(report.corrupt)
+        if _metrics.COUNTING:
+            registry = _metrics.REGISTRY
+            if report.corrupt:
+                registry.counter("store.corrupt_rows").inc(
+                    len(report.corrupt))
+            if report.quarantined:
+                registry.counter("store.quarantined_rows").inc(
+                    report.quarantined)
+        return report
+
+    def _quarantine_rank(self, bad: CorruptRow) -> None:
+        """Move one corrupt rank out of the live tables (caller commits)."""
+        conn = self._conn
+        payload: dict[str, list] = {}
+        for table in ("visits", "frames", "calls", "scripts", "prompts"):
+            try:
+                rows = conn.execute(
+                    f"SELECT * FROM {table} WHERE rank = ?",  # noqa: S608
+                    (bad.rank,)).fetchall()
+                payload[table] = [list(row) for row in rows]
+            except Exception:  # pragma: no cover - row too broken to read
+                payload[table] = []
+        try:
+            payload_json = json.dumps(payload, ensure_ascii=True,
+                                      default=repr)
+        except Exception:  # pragma: no cover - unserializable wreckage
+            payload_json = None
+        conn.execute(
+            "INSERT INTO quarantine (rank, reason, detail, payload) "
+            "VALUES (?,?,?,?)",
+            (bad.rank, bad.reason, _safe_text(bad.detail), payload_json))
+        for table in ("visits", "frames", "calls", "scripts", "prompts"):
+            conn.execute(f"DELETE FROM {table} WHERE rank = ?",  # noqa: S608
+                         (bad.rank,))
+
+    def quarantine_rows(self) -> list[tuple[int, str, str]]:
+        """``(rank, reason, detail)`` for every quarantined row."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT rank, reason, detail FROM quarantine ORDER BY rank"
+            ).fetchall()
+        return [(int(rank), reason, detail) for rank, reason, detail in rows]
+
+
+class JsonlImportError(ValueError):
+    """A JSONL import failed: a malformed line (in ``on_error="raise"``
+    mode) or a count-trailer mismatch indicating truncation."""
+
+
+#: Key of the final export line carrying the expected record count.
+_TRAILER_KEY = "__repro_jsonl_trailer__"
+
+#: Valid values for the importers' ``on_error`` argument.
+JSONL_ON_ERROR = ("raise", "skip")
+
+
+@dataclass
+class JsonlStats:
+    """Out-parameter for :func:`import_jsonl` / :func:`iter_jsonl`:
+    what happened during one import pass."""
+
+    imported: int = 0
+    skipped: int = 0
+    #: Count declared by the export trailer, or ``None`` for legacy
+    #: exports written before the trailer existed.
+    trailer_count: "int | None" = None
+
 
 def export_jsonl(visits: Iterable[SiteVisit], path: "str | Path") -> int:
     """Export visits as JSON lines; returns the number written.
@@ -394,33 +620,86 @@ def export_jsonl(visits: Iterable[SiteVisit], path: "str | Path") -> int:
     The export carries the *full* record — frames, calls, scripts with
     sources, prompts, durations, retry and error metadata — so
     :func:`import_jsonl` round-trips exactly what the SQLite store holds.
+
+    The file is written to a ``.tmp`` sibling and atomically renamed into
+    place (the same pattern the measurement cache uses), so a crash
+    mid-export never leaves a half-written file under the real name.  The
+    last line is a count trailer the importer verifies, so silent
+    truncation *after* a completed export is also detectable.
     """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with open(tmp, "w", encoding="utf-8") as handle:
         for visit in visits:
             handle.write(json.dumps(_visit_to_dict(visit)) + "\n")
             count += 1
+        handle.write(json.dumps({_TRAILER_KEY: {"count": count}}) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
     return count
 
 
-def import_jsonl(path: "str | Path") -> list[SiteVisit]:
-    """Inverse of :func:`export_jsonl`: rebuild the visit records."""
-    visits = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                visits.append(_visit_from_dict(json.loads(line)))
-    return visits
+def import_jsonl(path: "str | Path", *, on_error: str = "raise",
+                 stats: "JsonlStats | None" = None) -> list[SiteVisit]:
+    """Inverse of :func:`export_jsonl`: rebuild the visit records.
+
+    Args:
+        path: The JSONL file.
+        on_error: ``"raise"`` (default) raises :class:`JsonlImportError`
+            on the first malformed line or on a count-trailer mismatch;
+            ``"skip"`` drops malformed lines with a counted warning and
+            keeps going — the CLI import path uses this.
+        stats: Optional :class:`JsonlStats` filled in with
+            imported/skipped counts for caller-side reporting.
+    """
+    return list(iter_jsonl(path, on_error=on_error, stats=stats))
 
 
-def iter_jsonl(path: "str | Path") -> Iterator[SiteVisit]:
+def iter_jsonl(path: "str | Path", *, on_error: str = "raise",
+               stats: "JsonlStats | None" = None) -> Iterator[SiteVisit]:
     """Streaming variant of :func:`import_jsonl` for very large exports."""
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+    if on_error not in JSONL_ON_ERROR:
+        raise ValueError(
+            f"on_error must be one of {JSONL_ON_ERROR}, got {on_error!r}")
+    if stats is None:
+        stats = JsonlStats()
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                yield _visit_from_dict(json.loads(line))
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                if isinstance(data, dict) and _TRAILER_KEY in data:
+                    stats.trailer_count = int(data[_TRAILER_KEY]["count"])
+                    continue
+                visit = _visit_from_dict(data)
+            except Exception as exc:
+                if on_error == "raise":
+                    raise JsonlImportError(
+                        f"{path}:{lineno}: malformed record "
+                        f"({type(exc).__name__}: {_safe_text(str(exc))})"
+                    ) from exc
+                stats.skipped += 1
+                continue
+            stats.imported += 1
+            yield visit
+    if stats.skipped:
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("store.jsonl_skipped").inc(
+                stats.skipped)
+        logger.warning("skipped %d malformed JSONL line(s) in %s",
+                       stats.skipped, path)
+    if (stats.trailer_count is not None
+            and stats.trailer_count != stats.imported + stats.skipped):
+        message = (f"{path}: trailer declares {stats.trailer_count} "
+                   f"records but {stats.imported + stats.skipped} were "
+                   f"read — truncated export?")
+        if on_error == "raise":
+            raise JsonlImportError(message)
+        logger.warning("%s", message)
 
 
 def _visit_to_dict(visit: SiteVisit) -> dict:

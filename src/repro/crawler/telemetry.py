@@ -49,6 +49,14 @@ class TelemetrySnapshot:
     #: Execution backend of the run ("serial"/"thread"/"process"), empty
     #: when the pool did not report one.
     backend: str = ""
+    #: Guard interventions by kind (truncations, watchdog conversions,
+    #: breaker rejections — see :mod:`repro.crawler.guards`); empty when
+    #: no guards are configured.
+    guard_counts: dict[str, int] = field(default_factory=dict)
+    #: Whether the run was interrupted (signal or
+    #: :meth:`~repro.crawler.pool.CrawlerPool.request_stop`) before
+    #: covering every target.
+    interrupted: bool = False
 
     @property
     def sites_per_second(self) -> float:
@@ -87,6 +95,13 @@ class TelemetrySnapshot:
                 f"{taxonomy}={count}" for taxonomy, count
                 in sorted(self.failure_counts.items()))
             lines.append(f"failures    {failures}")
+        if self.guard_counts:
+            guards = ", ".join(
+                f"{kind}={count}" for kind, count
+                in sorted(self.guard_counts.items()))
+            lines.append(f"guards      {guards}")
+        if self.interrupted:
+            lines.append("interrupted yes — resume to finish the run")
         if self.visits_by_worker:
             workers = ", ".join(
                 f"{worker}={count}" for worker, count
@@ -128,6 +143,8 @@ class CrawlTelemetry:
     _backend: str = ""
     _failures: Counter = field(default_factory=Counter)
     _by_worker: Counter = field(default_factory=Counter)
+    _guard_events: Counter = field(default_factory=Counter)
+    _interrupted: bool = False
 
     def start(self, total: int, *, backend: str = "") -> None:
         """Begin (or restart) a run of ``total`` visits — the full run
@@ -144,6 +161,8 @@ class CrawlTelemetry:
             self._simulated_seconds = 0.0
             self._failures.clear()
             self._by_worker.clear()
+            self._guard_events.clear()
+            self._interrupted = False
             self._started_at = self.clock()
 
     def record_resumed(self, count: int) -> None:
@@ -178,6 +197,23 @@ class CrawlTelemetry:
             registry.histogram("crawl.simulated_seconds").observe(
                 visit.duration_seconds)
 
+    def record_interrupted(self) -> None:
+        """Note that the run stopped before covering every target."""
+        with self._lock:
+            self._interrupted = True
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("crawl.interrupted").inc()
+
+    def record_guard_event(self, kind: str, count: int = 1) -> None:
+        """Count guard interventions (:mod:`repro.crawler.guards` kinds).
+
+        The pool forwards per-visit guard events for in-process backends;
+        the process backend reports guard activity through ``repro.obs``
+        metrics instead (worker snapshots merge across processes).
+        """
+        with self._lock:
+            self._guard_events[kind] += count
+
     def snapshot(self) -> TelemetrySnapshot:
         with self._lock:
             elapsed = (self.clock() - self._started_at
@@ -196,6 +232,8 @@ class CrawlTelemetry:
                 failure_counts=dict(self._failures),
                 visits_by_worker=dict(self._by_worker),
                 backend=self._backend,
+                guard_counts=dict(self._guard_events),
+                interrupted=self._interrupted,
             )
 
     def render(self) -> str:

@@ -228,6 +228,84 @@ def time_observability(site_count: int, seed: int, *,
     }
 
 
+def time_guards(site_count: int, seed: int, *, workers: int = 4) -> dict:
+    """Cost of the hostile-input guard layer (DESIGN.md §4g), off and on.
+
+    Two crawls of the same web: guards off (the default) and on with
+    *generous* caps that never trigger — so the guarded dataset must be
+    byte-identical to the unguarded one.  The direct A/B timing is
+    recorded but noisy at bench scale, so the enforced gate uses the same
+    component-cost estimate as the observability gate: the per-fetch cost
+    of the guard wrapper is micro-timed on a warmed (memoized) response,
+    charged once per fetch the crawl performs, over the unguarded
+    runtime.
+    """
+    from repro.crawler.crawler import CrawlConfig
+    from repro.crawler.fetcher import SyntheticFetcher
+    from repro.crawler.guards import GuardedFetcher, ResourceGuards
+
+    guards = ResourceGuards(
+        max_header_bytes=1 << 20, max_script_bytes=1 << 22,
+        max_allow_attr_length=1 << 16, max_frames_per_visit=100_000,
+        watchdog_deadline_seconds=1e6, breaker_failure_threshold=1_000)
+    web = SyntheticWeb(site_count, seed=seed)
+    off_seconds, dataset_off = _timed(
+        lambda: CrawlerPool(web, workers=workers).run())
+    on_seconds, dataset_on = _timed(
+        lambda: CrawlerPool(web, workers=workers,
+                            config=CrawlConfig(guards=guards)).run())
+
+    # Guards are charged per fetch; count the fetches a serial sample
+    # performs (deterministic, identical in every backend).
+    class _CountingFetcher:
+        def __init__(self, inner: object) -> None:
+            self.inner = inner
+            self.count = 0
+
+        def fetch(self, url: str) -> object:
+            self.count += 1
+            return self.inner.fetch(url)
+
+    counting = _CountingFetcher(SyntheticFetcher(web))
+    sample = min(site_count, 200)
+    CrawlerPool(web, workers=1, backend="serial",
+                fetcher_factory=lambda: counting).run(range(sample))
+    fetches_per_site = counting.count / sample
+
+    # Micro-time the wrapper over a warmed response so the delta is the
+    # guard layer itself, not the synthetic network.
+    raw = SyntheticFetcher(web)
+    guarded = GuardedFetcher(SyntheticFetcher(web), guards)
+    url = next(u for u in (web.origin_for_rank(rank)
+                           for rank in range(site_count))
+               if _fetch_succeeds(raw, u))
+    guarded.fetch(url)
+    iterations = 2_000
+    raw_cost = _timed(lambda: [raw.fetch(url)
+                               for _ in range(iterations)])[0] / iterations
+    guarded_cost = _timed(lambda: [guarded.fetch(url) for _ in
+                                   range(iterations)])[0] / iterations
+    per_fetch = max(0.0, guarded_cost - raw_cost)
+    estimate = per_fetch * fetches_per_site * site_count / off_seconds
+    return {
+        "off_seconds": round(off_seconds, 4),
+        "on_seconds": round(on_seconds, 4),
+        "enabled_overhead_direct": round(on_seconds / off_seconds - 1.0, 4),
+        "fetches_per_site": round(fetches_per_site, 2),
+        "per_fetch_guard_seconds": per_fetch,
+        "guard_overhead_estimate": round(estimate, 6),
+        "datasets_identical": dataset_on.visits == dataset_off.visits,
+    }
+
+
+def _fetch_succeeds(fetcher: object, url: str) -> bool:
+    try:
+        fetcher.fetch(url)
+    except Exception:
+        return False
+    return True
+
+
 def time_cache(site_count: int, seed: int, cache_dir: Path) -> dict:
     """Cold crawl-and-store vs warm load of the measurement cache."""
     previous_env = os.environ.get("REPRO_CACHE_DIR")

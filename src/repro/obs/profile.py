@@ -107,6 +107,8 @@ def profile_pipeline(site_count: int, *, seed: int = 2024, workers: int = 4,
     Stages: **generate** (materialise every site spec), **crawl** (a
     :class:`~repro.crawler.pool.CrawlerPool` run with telemetry),
     **store** (persist to SQLite — a temp file unless ``store_path``),
+    **verify** (the integrity pass of ``repro verify-store`` over the rows
+    just written — DESIGN.md §4g),
     **index** (build the shared :class:`~repro.analysis.index.DatasetIndex`)
     and one stage per headline analysis.  With ``backend="process"`` the
     generate stage only warms the parent's cache — workers regenerate
@@ -164,6 +166,10 @@ def profile_pipeline(site_count: int, *, seed: int = 2024, workers: int = 4,
                 timed("store",
                       lambda: _persist(CrawlStore, store_path, dataset),
                       lambda n: f"{n} visits -> {Path(store_path).name}")
+                timed("verify",
+                      lambda: _verify(CrawlStore, store_path),
+                      lambda r: f"{r.verified_rows}/{r.total_rows} rows "
+                                f"checksummed, {len(r.corrupt)} corrupt")
                 index = timed("index", lambda: DatasetIndex(dataset),
                               lambda i: f"{i.website_count} visits indexed")
                 for name, analysis in (
@@ -188,6 +194,11 @@ def _persist(store_cls, path, dataset) -> int:
     with store_cls(path) as store:
         store.save_dataset(dataset)
     return dataset.attempted
+
+
+def _verify(store_cls, path):
+    with store_cls(path) as store:
+        return store.verify()
 
 
 def write_trace(path: "Path | str", *, chrome: bool = True) -> Path:

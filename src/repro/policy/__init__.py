@@ -28,6 +28,7 @@ from repro.policy.header import (
     ParsedPolicyHeader,
     parse_permissions_policy_header,
 )
+from repro.policy.issues import ParseIssue
 from repro.policy.linter import HeaderLinter, LintFinding, LintSeverity
 from repro.policy.origin import LOCAL_SCHEMES, Origin, site_of
 
@@ -42,6 +43,7 @@ __all__ = [
     "LOCAL_SCHEMES",
     "Origin",
     "ParsedPolicyHeader",
+    "ParseIssue",
     "PermissionsPolicyEngine",
     "PolicyDecision",
     "parse_allow_attribute",

@@ -22,6 +22,12 @@ from enum import Enum
 
 from repro.policy.allowlist import Allowlist
 from repro.policy.feature_policy import SerializedDirective, parse_serialized_policy
+from repro.policy.issues import (
+    INVALID_TOKEN,
+    PARSER_ERROR,
+    ParseIssue,
+    clip_detail,
+)
 from repro.policy.memo import interned
 
 
@@ -58,6 +64,9 @@ class AllowAttribute:
 
     raw: str
     entries: dict[str, AllowEntry] = field(default_factory=dict)
+    #: Lenient-mode only: issues the parse survived.  Empty for strict
+    #: parses (which drop malformed member tokens silently, like browsers).
+    issues: tuple[ParseIssue, ...] = ()
 
     @property
     def features(self) -> tuple[str, ...]:
@@ -100,17 +109,45 @@ def _classify(directive: SerializedDirective, allowlist: Allowlist
     return DelegationDirectiveKind.NONE
 
 
-@interned
-def parse_allow_attribute(raw: str) -> AllowAttribute:
+def parse_allow_attribute(raw: str, *, mode: str = "strict"
+                          ) -> AllowAttribute:
     """Parse an iframe ``allow`` attribute value.
 
     Directives without member tokens default to the ``src`` keyword.  Like
-    browsers, the parser is lenient: malformed member tokens are dropped,
-    repeated features merge their allowlists.
+    browsers, the parser is forgiving either way: malformed member tokens
+    are dropped, repeated features merge their allowlists.  ``mode=
+    "lenient"`` additionally guarantees no exception ever escapes (a
+    parser crash on hostile input degrades to an empty attribute) and
+    records dropped tokens as :class:`~repro.policy.issues.ParseIssue`\\ s.
 
     Results are interned by raw string (the parse is pure); treat the
     returned :class:`AllowAttribute` as read-only.
     """
+    if mode == "strict":
+        return _parse_allow_attribute_cached(raw)
+    if mode != "lenient":
+        raise ValueError(f"mode must be 'strict' or 'lenient', got {mode!r}")
+    try:
+        parsed = _parse_allow_attribute_cached(raw)
+    except Exception as exc:
+        return AllowAttribute(
+            raw=raw,
+            issues=(ParseIssue(
+                PARSER_ERROR,
+                clip_detail(f"{type(exc).__name__}: {exc}")),))
+    issues = tuple(
+        ParseIssue(INVALID_TOKEN, clip_detail(token), feature=entry.feature)
+        for entry in parsed.entries.values()
+        for token in entry.allowlist.invalid_tokens)
+    if not issues:
+        return parsed
+    # Fresh result: the interned strict object must stay issue-free.
+    return AllowAttribute(raw=raw, entries=dict(parsed.entries),
+                          issues=issues)
+
+
+@interned
+def _parse_allow_attribute_cached(raw: str) -> AllowAttribute:
     attribute = AllowAttribute(raw=raw)
     for directive in parse_serialized_policy(raw):
         allowlist = directive.allowlist
@@ -132,6 +169,12 @@ def parse_allow_attribute(raw: str) -> AllowAttribute:
             explicit=explicit,
         )
     return attribute
+
+
+# The public function mirrors the interned wrapper's cache surface so
+# callers (and tests) can keep poking `parse_allow_attribute.cache`.
+parse_allow_attribute.cache = _parse_allow_attribute_cached.cache
+parse_allow_attribute.cache_clear = _parse_allow_attribute_cached.cache_clear
 
 
 def serialize_allow_attribute(entries: dict[str, Allowlist]) -> str:

@@ -54,7 +54,6 @@ from repro.policy.feature_policy import (
     parse_feature_policy_header,
 )
 from repro.policy.header import (
-    HeaderParseError,
     ParsedPolicyHeader,
     parse_permissions_policy_header,
 )
@@ -120,8 +119,7 @@ class PolicyFrame:
         origin = Origin.parse(url)
         return cls(origin=origin, scheme=origin.scheme,
                    header=_parse_header_or_none(header),
-                   fp_header=(parse_feature_policy_header(fp_header)
-                              if fp_header is not None else None))
+                   fp_header=_parse_fp_header_or_none(fp_header))
 
     def child(self, url: str, *, allow: str | None = None,
               header: str | None = None,
@@ -142,11 +140,11 @@ class PolicyFrame:
                     else origin),
             scheme=origin.scheme,
             parent=self,
-            allow=parse_allow_attribute(allow) if allow is not None else None,
+            allow=(parse_allow_attribute(allow, mode="lenient")
+                   if allow is not None else None),
             src_origin=origin if not origin.opaque else None,
             header=_parse_header_or_none(header),
-            fp_header=(parse_feature_policy_header(fp_header)
-                       if fp_header is not None else None),
+            fp_header=_parse_fp_header_or_none(fp_header),
             sandboxed=sandboxed,
         )
 
@@ -159,7 +157,8 @@ class PolicyFrame:
             origin=Origin.opaque_origin(scheme),
             scheme=scheme,
             parent=self,
-            allow=parse_allow_attribute(allow) if allow is not None else None,
+            allow=(parse_allow_attribute(allow, mode="lenient")
+                   if allow is not None else None),
             src_origin=None,
         )
 
@@ -212,12 +211,20 @@ def sandbox_isolates(sandbox: str | None) -> bool:
 
 
 def _parse_header_or_none(raw: str | None) -> ParsedPolicyHeader | None:
+    """Parse a header the way the engine consumes it: leniently.  A header
+    the browser would drop — or any hostile garbage that would crash a
+    strict parse — becomes ``None`` (no policy), never an exception."""
     if raw is None:
         return None
-    try:
-        return parse_permissions_policy_header(raw)
-    except HeaderParseError:
+    parsed = parse_permissions_policy_header(raw, mode="lenient")
+    return None if parsed.dropped else parsed
+
+
+def _parse_fp_header_or_none(
+        raw: str | None) -> ParsedFeaturePolicyHeader | None:
+    if raw is None:
         return None
+    return parse_feature_policy_header(raw, mode="lenient")
 
 
 _MISSING = object()

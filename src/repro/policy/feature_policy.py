@@ -22,6 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.policy.allowlist import Allowlist
+from repro.policy.issues import (
+    INVALID_TOKEN,
+    PARSER_ERROR,
+    ParseIssue,
+    clip_detail,
+)
 from repro.policy.memo import interned
 from repro.policy.origin import Origin, OriginParseError
 
@@ -121,22 +127,55 @@ class ParsedFeaturePolicyHeader:
     raw: str
     directives: dict[str, Allowlist] = field(default_factory=dict)
     invalid_tokens: tuple[str, ...] = ()
+    #: Lenient-mode only: issues the parse survived (invalid member tokens,
+    #: or a swallowed parser crash).  Empty for strict parses.
+    issues: tuple[ParseIssue, ...] = ()
 
     @property
     def feature_count(self) -> int:
         return len(self.directives)
 
 
-@interned
-def parse_feature_policy_header(raw: str) -> ParsedFeaturePolicyHeader:
+def parse_feature_policy_header(
+        raw: str, *, mode: str = "strict") -> ParsedFeaturePolicyHeader:
     """Parse a legacy ``Feature-Policy`` header value.
 
     A directive without members defaults to ``'self'`` (unlike the ``allow``
     attribute where the default is ``'src'``).
 
+    The serialized grammar is already forgiving, so strict mode rarely
+    raises either — but lenient mode *guarantees* it never does (a parser
+    crash on hostile input degrades to an empty header with the crash
+    recorded in ``issues``) and surfaces invalid member tokens as
+    :class:`~repro.policy.issues.ParseIssue` records.
+
     Results are interned by raw string (the parse is pure); treat the
     returned header as read-only.
     """
+    if mode == "strict":
+        return _parse_feature_policy_cached(raw)
+    if mode != "lenient":
+        raise ValueError(f"mode must be 'strict' or 'lenient', got {mode!r}")
+    try:
+        parsed = _parse_feature_policy_cached(raw)
+    except Exception as exc:
+        return ParsedFeaturePolicyHeader(
+            raw=raw,
+            issues=(ParseIssue(
+                PARSER_ERROR,
+                clip_detail(f"{type(exc).__name__}: {exc}")),))
+    if not parsed.invalid_tokens:
+        return parsed
+    # Fresh result: the interned strict object must stay issue-free.
+    return ParsedFeaturePolicyHeader(
+        raw=raw, directives=dict(parsed.directives),
+        invalid_tokens=parsed.invalid_tokens,
+        issues=tuple(ParseIssue(INVALID_TOKEN, clip_detail(token))
+                     for token in parsed.invalid_tokens))
+
+
+@interned
+def _parse_feature_policy_cached(raw: str) -> ParsedFeaturePolicyHeader:
     parsed = parse_serialized_policy(raw)
     result = ParsedFeaturePolicyHeader(raw=raw)
     invalid: list[str] = []
@@ -150,3 +189,8 @@ def parse_feature_policy_header(raw: str) -> ParsedFeaturePolicyHeader:
         result.directives[directive.feature] = allowlist
     result.invalid_tokens = tuple(invalid)
     return result
+
+
+parse_feature_policy_header.cache = _parse_feature_policy_cached.cache
+parse_feature_policy_header.cache_clear = \
+    _parse_feature_policy_cached.cache_clear

@@ -22,6 +22,12 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.policy.allowlist import Allowlist
+from repro.policy.issues import (
+    HEADER_DROPPED,
+    PARSER_ERROR,
+    ParseIssue,
+    clip_detail,
+)
 from repro.policy.memo import interned
 from repro.policy.origin import Origin, OriginParseError
 from repro.policy.structured import (
@@ -78,6 +84,13 @@ class ParsedPolicyHeader:
     raw: str
     directives: dict[str, Allowlist] = field(default_factory=dict)
     diagnostics: list[DirectiveDiagnostic] = field(default_factory=list)
+    #: Lenient-mode only: what a strict parse would have raised (or any
+    #: other problem the lenient path absorbed).  Always empty for strict
+    #: parses, which raise instead.
+    issues: tuple[ParseIssue, ...] = ()
+    #: Lenient-mode only: the header was syntactically invalid and the
+    #: browser drops it entirely — ``directives`` is empty.
+    dropped: bool = False
 
     @property
     def feature_count(self) -> int:
@@ -163,9 +176,15 @@ def _detect_feature_policy_syntax(raw: str) -> bool:
     return False
 
 
+#: Valid values for the parsers' ``mode`` argument.
+PARSE_MODES = ("strict", "lenient")
+
+
 def parse_permissions_policy_header(
     raw: str,
     known_features: "frozenset[str] | set[str] | None" = None,
+    *,
+    mode: str = "strict",
 ) -> ParsedPolicyHeader:
     """Parse a ``Permissions-Policy`` header value.
 
@@ -174,6 +193,10 @@ def parse_permissions_policy_header(
         known_features: Feature names the registry recognises.  When given,
             unknown feature directives are flagged (but still applied, as
             Chromium does for forward compatibility).
+        mode: ``"strict"`` (default) raises on syntax errors exactly as
+            before; ``"lenient"`` never raises — a header a strict parse
+            would reject comes back empty with ``dropped=True`` and the
+            reason recorded in ``issues``.
 
     Returns:
         A :class:`ParsedPolicyHeader` with per-feature allowlists and
@@ -181,14 +204,31 @@ def parse_permissions_policy_header(
         (the parse is pure); treat the result as read-only.
 
     Raises:
-        HeaderParseError: on structured-field syntax errors; the caller must
-            treat the website as having **no** header (browser behaviour).
-            Errors are never cached — a bad header re-raises every call.
+        HeaderParseError: in strict mode, on structured-field syntax
+            errors; the caller must treat the website as having **no**
+            header (browser behaviour).  Errors are never cached — a bad
+            header re-raises every call.  Lenient mode never raises on any
+            string input.
     """
+    if mode not in PARSE_MODES:
+        raise ValueError(f"mode must be one of {PARSE_MODES}, got {mode!r}")
     if known_features is not None and not isinstance(known_features,
                                                      frozenset):
         known_features = frozenset(known_features)
-    return _parse_permissions_policy_cached(raw, known_features)
+    if mode == "strict":
+        return _parse_permissions_policy_cached(raw, known_features)
+    try:
+        return _parse_permissions_policy_cached(raw, known_features)
+    except HeaderParseError as exc:
+        return ParsedPolicyHeader(
+            raw=raw, dropped=True,
+            issues=(ParseIssue(HEADER_DROPPED, clip_detail(str(exc))),))
+    except Exception as exc:  # hostile input must never escape lenient mode
+        return ParsedPolicyHeader(
+            raw=raw, dropped=True,
+            issues=(ParseIssue(
+                PARSER_ERROR,
+                clip_detail(f"{type(exc).__name__}: {exc}")),))
 
 
 @interned
@@ -230,6 +270,13 @@ def _parse_permissions_policy_cached(
                 feature, DirectiveIssue.UNKNOWN_FEATURE))
         result.directives[feature] = allowlist
     return result
+
+
+# The public function mirrors the interned wrapper's cache surface so
+# callers (and tests) can keep poking `parse_permissions_policy_header.cache`.
+parse_permissions_policy_header.cache = _parse_permissions_policy_cached.cache
+parse_permissions_policy_header.cache_clear = \
+    _parse_permissions_policy_cached.cache_clear
 
 
 def serialize_permissions_policy(directives: dict[str, Allowlist]) -> str:

@@ -1,0 +1,55 @@
+"""Parse-issue records for the lenient policy parsers.
+
+The real web sends the parsers garbage — NUL bytes, megabyte headers,
+unbalanced quotes, unicode confusables — and a million-site crawl cannot
+afford a single raised exception in the parse layer.  Each parser
+therefore offers two modes:
+
+* **strict** (the default, unchanged behaviour): structured-field syntax
+  errors raise :class:`~repro.policy.header.HeaderParseError`, which is
+  what the linter and the browser-drop accounting need;
+* **lenient**: nothing ever raises; whatever went wrong is recorded as a
+  :class:`ParseIssue` on the returned (possibly empty) result, so hostile
+  input degrades into counted diagnostics instead of a crashed pipeline.
+
+:class:`ParseIssue` is deliberately minimal — a stable ``kind`` tag for
+aggregation plus free-form detail — and shared by all three grammars
+(``Permissions-Policy``, legacy ``Feature-Policy``, the iframe ``allow``
+attribute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Stable ``kind`` tags (aggregations key on these, so treat as API).
+HEADER_DROPPED = "header-dropped"
+PARSER_ERROR = "parser-error"
+INVALID_TOKEN = "invalid-token"
+
+
+@dataclass(frozen=True)
+class ParseIssue:
+    """One problem a lenient parse survived.
+
+    Attributes:
+        kind: Stable tag naming the issue class (``header-dropped``,
+            ``parser-error``, ``invalid-token``).
+        detail: Free-form context — the offending token, the original
+            exception message — truncated by the producer, never trusted
+            to be small.
+        feature: The feature directive the issue occurred in, when the
+            grammar got far enough to know it.
+    """
+
+    kind: str
+    detail: str = ""
+    feature: str = ""
+
+
+def clip_detail(text: str, limit: int = 200) -> str:
+    """Clip issue detail so a megabyte header cannot ride along inside
+    its own diagnostic."""
+    if len(text) <= limit:
+        return text
+    return text[:limit] + f"... ({len(text)} chars)"

@@ -1,0 +1,252 @@
+"""Adversarial corpus: hostile header/attribute/content generation.
+
+The paper's crawl met the real web, which serves garbage: headers with NUL
+bytes, megabyte header values, unbalanced quotes, unicode confusables that
+*look* like ``self`` but are not, and iframe chains nested absurdly deep.
+This module generates that hostility deterministically so the whole
+pipeline can be fuzzed reproducibly (DESIGN.md §4g):
+
+* :func:`hostile_values` — a seeded corpus of hostile header-value
+  strings, used directly by the parser property tests (lenient mode must
+  never raise on any of them; strict mode must raise exactly where it
+  always did);
+* :class:`HostileFetcher` — wraps any fetcher and deterministically
+  injects hostile policy headers, oversized ``allow`` attributes,
+  megabyte scripts and 100-deep local iframe chains into otherwise
+  normal responses.  Injection is a pure function of ``(seed, url)``,
+  and responses are mutated on *copies*, so serial, thread and process
+  crawls over the same hostile web stay byte-identical;
+* :class:`HostileFetcherSpec` — the picklable recipe that ships the
+  wrapper to process-backend workers.
+
+The corpus deliberately contains no lone UTF-16 surrogates: those cannot
+cross ``sqlite3`` parameter binding or strict JSON, and the point of the
+corpus is to exercise *our* hardening, not the standard library's
+refusal.  Every value here survives ``json.dumps(..., ensure_ascii=True)``
+and SQLite storage, which is exactly the boundary the pipeline guards.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.browser.dom import DocumentContent, IframeElement
+from repro.browser.page import Fetcher, FetchResponse
+from repro.crawler.backends import FetcherSpec
+from repro.crawler.fetcher import SyntheticFetcher
+from repro.synthweb.generator import SyntheticWeb
+
+#: Characters that render like policy keywords but are different code
+#: points (cyrillic es/ie, fullwidth asterisk, zero-width space …).
+_CONFUSABLES = "ѕеⅼf∗​﻿самera"
+
+_CONTROL = "\x00\x01\x08\x0b\x0c\x1b\x7f"
+
+
+def _garbage_token(rng: random.Random, length: int) -> str:
+    alphabet = ("abcdefghijklmnop=()*;,\"' \t" + _CONTROL + _CONFUSABLES
+                + "\U0001f600‮")
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+def _value_nul(rng: random.Random, size: int) -> str:
+    return f"camera=\x00(self), geo\x00location=*"
+
+
+def _value_megabyte(rng: random.Random, size: int) -> str:
+    origin = '"https://a%d.example" ' % rng.randrange(1000)
+    body = origin * (size // len(origin) + 1)
+    return f"geolocation=({body[:size]})"
+
+
+def _value_unbalanced(rng: random.Random, size: int) -> str:
+    return rng.choice([
+        'camera=("https://unclosed.example',
+        "microphone=((((((self",
+        'geolocation=(self "a" "b', "fullscreen=)(",
+        'camera="', "camera=(self))))",
+    ])
+
+
+def _value_confusable(rng: random.Random, size: int) -> str:
+    return rng.choice([
+        "camera=(ѕеⅼf)",               # cyrillic s/e + roman numeral l
+        "саmera=*",                     # cyrillic es/a in the feature name
+        "geolocation=(∗)",         # fullwidth-ish asterisk
+        "camera=(self​)",          # zero-width space inside keyword
+        "﻿camera=*",               # BOM prefix
+        "camera=(self‮)*=arema",   # RTL override
+    ])
+
+
+def _value_control(rng: random.Random, size: int) -> str:
+    return ("camera=(self)\r\nmicrophone=*"
+            if rng.random() < 0.5 else
+            "geo\tlocation\x0b=\x0c(self)\x1b[31m")
+
+
+def _value_nested(rng: random.Random, size: int) -> str:
+    depth = min(size, 2000)
+    return "camera=" + "(" * depth + "self" + ")" * depth
+
+
+def _value_huge_token(rng: random.Random, size: int) -> str:
+    return "x" * min(size, 100_000) + "=*"
+
+
+def _value_random(rng: random.Random, size: int) -> str:
+    return _garbage_token(rng, rng.randrange(1, 200))
+
+
+#: Strategy name → generator; names are stable so tests can freeze
+#: per-strategy expectations.
+STRATEGIES = {
+    "nul": _value_nul,
+    "megabyte": _value_megabyte,
+    "unbalanced": _value_unbalanced,
+    "confusable": _value_confusable,
+    "control": _value_control,
+    "nested": _value_nested,
+    "huge-token": _value_huge_token,
+    "random": _value_random,
+}
+
+
+def hostile_values(seed: int, count: int = 64, *,
+                   payload_bytes: int = 4096) -> list[str]:
+    """A deterministic corpus of ``count`` hostile header values.
+
+    Cycles through every strategy so even small corpora cover all of
+    them; ``payload_bytes`` sizes the oversized strategies (raise it to a
+    megabyte for the full fuzz-smoke drill).
+    """
+    names = sorted(STRATEGIES)
+    values = []
+    for index in range(count):
+        name = names[index % len(names)]
+        rng = random.Random(f"{seed}:hostile-value:{index}")
+        values.append(STRATEGIES[name](rng, payload_bytes))
+    return values
+
+
+@dataclass(frozen=True)
+class HostileConfig:
+    """Injection rates and sizes for :class:`HostileFetcher`.
+
+    Rates are per response / per element and rolled deterministically
+    from ``(seed, url)``; ``payload_bytes`` sizes the megabyte-class
+    payloads (default 64 KiB keeps test crawls fast — the CI fuzz-smoke
+    drill raises it).
+    """
+
+    seed: int = 0
+    header_rate: float = 0.4
+    fp_header_rate: float = 0.2
+    allow_rate: float = 0.3
+    script_rate: float = 0.15
+    deep_iframe_rate: float = 0.1
+    iframe_chain_depth: int = 100
+    payload_bytes: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        for name in ("header_rate", "fp_header_rate", "allow_rate",
+                     "script_rate", "deep_iframe_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.iframe_chain_depth < 1:
+            raise ValueError("iframe_chain_depth must be >= 1")
+        if self.payload_bytes < 1:
+            raise ValueError("payload_bytes must be >= 1")
+
+
+def deep_iframe_chain(depth: int) -> IframeElement:
+    """A srcdoc iframe nesting ``depth`` local documents — the classic
+    resource-exhaustion shape.  The loader's ``max_depth`` stops the
+    traversal; building the chain itself is cheap."""
+    content = DocumentContent()
+    for _ in range(depth):
+        content = DocumentContent(iframes=[IframeElement(
+            srcdoc="<iframe>", local_content=content)])
+    return IframeElement(srcdoc="<iframe>", local_content=content,
+                         element_id="hostile-deep-chain")
+
+
+class HostileFetcher:
+    """Deterministically injects hostile input over any fetcher.
+
+    Mutations are applied to copies of the fetched response — the inner
+    fetcher may serve shared, memoized content that other visits must see
+    pristine.  Real fetch failures propagate untouched; only successful
+    responses are made hostile, so the failure taxonomy stays comparable
+    with a clean crawl.
+    """
+
+    def __init__(self, inner: Fetcher,
+                 config: HostileConfig | None = None) -> None:
+        self.inner = inner
+        self.config = config if config is not None else HostileConfig()
+        #: Responses this fetcher made hostile (for test assertions).
+        self.injected = 0
+
+    def fetch(self, url: str) -> FetchResponse:
+        response = self.inner.fetch(url)
+        config = self.config
+        rng = random.Random(f"{config.seed}:hostile:{url}")
+        headers = None
+        if rng.random() < config.header_rate:
+            headers = dict(response.headers)
+            headers["Permissions-Policy"] = self._pick_value(rng)
+        if rng.random() < config.fp_header_rate:
+            headers = dict(response.headers) if headers is None else headers
+            headers["Feature-Policy"] = self._pick_value(rng)
+        new_iframes = None
+        content = response.content
+        for index, iframe in enumerate(content.iframes):
+            if rng.random() < config.allow_rate:
+                if new_iframes is None:
+                    new_iframes = list(content.iframes)
+                new_iframes[index] = replace(iframe,
+                                             allow=self._pick_value(rng))
+        if rng.random() < config.deep_iframe_rate:
+            if new_iframes is None:
+                new_iframes = list(content.iframes)
+            new_iframes.append(deep_iframe_chain(config.iframe_chain_depth))
+        new_scripts = None
+        for index, script in enumerate(content.scripts):
+            if rng.random() < config.script_rate:
+                if new_scripts is None:
+                    new_scripts = list(content.scripts)
+                pad = "/*" + "A" * config.payload_bytes + "*/"
+                new_scripts[index] = replace(script,
+                                             source=script.source + pad)
+        if headers is None and new_iframes is None and new_scripts is None:
+            return response
+        self.injected += 1
+        new_content = replace(
+            content,
+            scripts=new_scripts if new_scripts is not None
+            else list(content.scripts),
+            iframes=new_iframes if new_iframes is not None
+            else list(content.iframes))
+        return replace(response,
+                       headers=headers if headers is not None
+                       else dict(response.headers),
+                       content=new_content)
+
+    def _pick_value(self, rng: random.Random) -> str:
+        names = sorted(STRATEGIES)
+        name = names[rng.randrange(len(names))]
+        return STRATEGIES[name](rng, self.config.payload_bytes)
+
+
+@dataclass(frozen=True)
+class HostileFetcherSpec(FetcherSpec):
+    """Picklable recipe: hostile wrapper over the synthetic network, for
+    the process backend (and anywhere else a spec is preferred)."""
+
+    config: HostileConfig = HostileConfig()
+
+    def build(self, web: SyntheticWeb) -> Fetcher:
+        return HostileFetcher(SyntheticFetcher(web), self.config)

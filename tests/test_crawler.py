@@ -182,7 +182,10 @@ class TestStorage:
         count = export_jsonl(dataset.visits[:10], path)
         assert count == 10
         lines = path.read_text().strip().splitlines()
-        assert len(lines) == 10
+        # 10 records plus the count trailer; no leftover .tmp sibling.
+        assert len(lines) == 11
+        assert "__repro_jsonl_trailer__" in lines[-1]
+        assert not list(tmp_path.glob("*.tmp"))
 
 
 class TestSqlAggregates:

@@ -165,3 +165,76 @@ class TestCliExtensions:
         out = capsys.readouterr().out
         assert "livechatinc.com" in out
         assert "SUPPLY-CHAIN RISK" in out
+
+
+class TestHardeningCli:
+    """DESIGN.md §4g subcommands: verify-store, export/import-jsonl."""
+
+    def _crawl(self, tmp_path, capsys):
+        database = str(tmp_path / "h.sqlite")
+        assert main(["crawl", "--sites", "40", "--workers", "2",
+                     "--database", database]) == 0
+        capsys.readouterr()
+        return database
+
+    def test_verify_store_clean(self, tmp_path, capsys):
+        database = self._crawl(tmp_path, capsys)
+        assert main(["verify-store", "--database", database]) == 0
+        out = capsys.readouterr().out
+        assert "verifies clean" in out
+
+    def test_verify_store_corrupt_repair_cycle(self, tmp_path, capsys):
+        import sqlite3
+        database = self._crawl(tmp_path, capsys)
+        conn = sqlite3.connect(database)
+        conn.execute("UPDATE frames SET headers = '{x' WHERE rank = 3")
+        conn.commit()
+        conn.close()
+        # Detection fails the command; --repair quarantines and succeeds.
+        assert main(["verify-store", "--database", database]) == 1
+        assert "decode-error" in capsys.readouterr().out
+        assert main(["verify-store", "--database", database,
+                     "--repair"]) == 0
+        assert "moved to quarantine" in capsys.readouterr().out
+        assert main(["verify-store", "--database", database]) == 0
+        assert "already quarantined" in capsys.readouterr().out
+
+    def test_verify_store_json(self, tmp_path, capsys):
+        import json
+        database = self._crawl(tmp_path, capsys)
+        assert main(["verify-store", "--database", database,
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and report["total_rows"] == 40
+
+    def test_jsonl_round_trip_via_cli(self, tmp_path, capsys):
+        database = self._crawl(tmp_path, capsys)
+        out = str(tmp_path / "v.jsonl")
+        second = str(tmp_path / "h2.sqlite")
+        assert main(["export-jsonl", "--database", database,
+                     "--output", out]) == 0
+        assert "wrote 40 visits" in capsys.readouterr().out
+        assert main(["import-jsonl", "--input", out,
+                     "--database", second]) == 0
+        assert "imported 40 visits" in capsys.readouterr().out
+        from repro.crawler.storage import CrawlStore
+        with CrawlStore(database) as a, CrawlStore(second) as b:
+            assert a.load_dataset().visits == b.load_dataset().visits
+            assert b.verify().ok
+
+    def test_import_jsonl_skips_malformed_lines(self, tmp_path, capsys):
+        from pathlib import Path
+        database = self._crawl(tmp_path, capsys)
+        out = tmp_path / "v.jsonl"
+        assert main(["export-jsonl", "--database", database,
+                     "--output", str(out)]) == 0
+        capsys.readouterr()
+        lines = out.read_text(encoding="utf-8").splitlines()
+        lines[4] = "garbage"
+        out.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        second = str(tmp_path / "h3.sqlite")
+        assert main(["import-jsonl", "--input", str(out),
+                     "--database", second]) == 0
+        printed = capsys.readouterr().out
+        assert "imported 39 visits" in printed
+        assert "1 malformed line(s) skipped" in printed

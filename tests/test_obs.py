@@ -319,7 +319,7 @@ class TestProfiler:
     def test_stage_breakdown_and_render(self):
         profile = profile_pipeline(30, seed=7, workers=2, backend="serial")
         names = [stage.name for stage in profile.stages]
-        assert names == ["generate", "crawl", "store", "index",
+        assert names == ["generate", "crawl", "store", "verify", "index",
                          "analysis.usage", "analysis.delegation",
                          "analysis.headers", "analysis.overpermission"]
         assert profile.total_seconds > 0

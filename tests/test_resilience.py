@@ -495,3 +495,207 @@ class TestTaxonomyRegistry:
     def test_transient_subset(self):
         assert TRANSIENT_TAXONOMIES < set(EXCEPTION_BY_TAXONOMY)
         assert "unreachable" not in TRANSIENT_TAXONOMIES
+
+
+class TestGracefulShutdown:
+    """DESIGN.md §4g: SIGINT/SIGTERM mid-crawl flushes the checkpoint and
+    leaves a store that ``resume=True`` completes to a byte-identical
+    dataset, with the interruption visible in telemetry."""
+
+    RANKS = list(range(24))
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_sigterm_mid_crawl_then_resume(self, web, backend, tmp_path):
+        import os
+        import signal
+
+        baseline = CrawlerPool(web, workers=2).run(self.RANKS)
+        path = tmp_path / f"kill-{backend}.sqlite"
+        killed = False
+
+        def kill_once(done, total):
+            nonlocal killed
+            if not killed and done >= 2:
+                killed = True
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        telemetry = CrawlTelemetry()
+        with CrawlStore(path) as store:
+            pool = CrawlerPool(web, workers=2, backend=backend)
+            partial = pool.run(self.RANKS, kill_once, store=store,
+                               telemetry=telemetry, handle_signals=True)
+            assert pool.stop_requested
+            stored = store.stored_ranks()
+        # The run stopped early, checkpointed what finished, and said so.
+        assert killed
+        assert len(partial.visits) < len(self.RANKS)
+        assert stored == {visit.rank for visit in partial.visits}
+        snap = telemetry.snapshot()
+        assert snap.interrupted
+        assert "interrupted yes" in snap.render()
+        # The default handler is back once run() returns.
+        assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
+
+        with CrawlStore(path) as store:
+            resumed = CrawlerPool(web, workers=2, backend=backend).run(
+                self.RANKS, store=store, resume=True)
+        assert resumed.visits == baseline.visits
+
+    def test_request_stop_is_programmatic_equivalent(self, web, tmp_path):
+        telemetry = CrawlTelemetry()
+        path = tmp_path / "stop.sqlite"
+        with CrawlStore(path) as store:
+            pool = CrawlerPool(web, workers=1, backend="serial")
+
+            def stop_at(done, total):
+                if done == 3:
+                    pool.request_stop()
+
+            partial = pool.run(self.RANKS, stop_at, store=store,
+                               telemetry=telemetry)
+        assert len(partial.visits) == 3
+        assert telemetry.snapshot().interrupted
+        with CrawlStore(path) as store:
+            resumed = CrawlerPool(web, workers=1).run(
+                self.RANKS, store=store, resume=True)
+        assert resumed.visits == CrawlerPool(web).run(self.RANKS).visits
+
+    def test_stop_flag_clears_between_runs(self, web):
+        pool = CrawlerPool(web, workers=1, backend="serial")
+        pool.request_stop()
+        dataset = pool.run(range(3))
+        assert len(dataset.visits) == 3
+
+
+class TestQuarantine:
+    """Integrity verification: corrupt rows are counted and quarantined,
+    never fatal to load_dataset."""
+
+    def _store_with_visits(self, web, tmp_path, count=8):
+        path = tmp_path / "integrity.sqlite"
+        store = CrawlStore(path)
+        dataset = CrawlerPool(web, workers=1).run(range(count), store=store)
+        return store, dataset
+
+    def test_clean_store_verifies(self, web, tmp_path):
+        store, _ = self._store_with_visits(web, tmp_path)
+        with store:
+            report = store.verify()
+        assert report.ok
+        assert report.verified_rows == 8 and report.legacy_rows == 0
+        assert "0 corrupt" in report.render() or report.render()
+
+    def test_legacy_null_checksum_is_tolerated(self, web, tmp_path):
+        store, _ = self._store_with_visits(web, tmp_path)
+        with store:
+            store._conn.execute(
+                "UPDATE visits SET checksum = NULL WHERE rank = 2")
+            store._conn.commit()
+            report = store.verify()
+            loaded = store.load_dataset()
+        assert report.ok and report.legacy_rows == 1
+        assert len(loaded.visits) == 8
+
+    def test_corrupt_child_rows_counted_not_fatal(self, web, tmp_path,
+                                                  caplog):
+        store, dataset = self._store_with_visits(web, tmp_path)
+        with store:
+            store._conn.execute(
+                "UPDATE frames SET iframe_attributes = '[oops' "
+                "WHERE rank = 4 AND frame_id = 0")
+            store._conn.commit()
+            with caplog.at_level(logging.WARNING):
+                loaded = store.load_dataset()
+            assert store.last_corrupt_counts.get("frames", 0) >= 1
+            assert any("verify-store" in record.message
+                       for record in caplog.records)
+            # All eight visits survive; only the undecodable frame
+            # row is skipped.
+            assert {v.rank for v in loaded.visits} == set(range(8))
+            repaired = store.verify(repair=True)
+            assert [bad.rank for bad in repaired.corrupt] == [4]
+            assert store.quarantine_rows()[0][0] == 4
+            # Re-saving the visit clears the quarantine entry.
+            store.save_visit(dataset.visits[4])
+            assert store.quarantine_rows() == []
+            assert store.verify().ok
+
+    def test_quarantine_payload_preserves_raw_rows(self, web, tmp_path):
+        store, _ = self._store_with_visits(web, tmp_path)
+        with store:
+            store._conn.execute(
+                "UPDATE visits SET duration_seconds = duration_seconds + 1 "
+                "WHERE rank = 1")
+            store._conn.commit()
+            store.verify(repair=True)
+            rows = store._conn.execute(
+                "SELECT payload FROM quarantine WHERE rank = 1").fetchall()
+        assert len(rows) == 1
+        import json
+        payload = json.loads(rows[0][0])
+        assert payload["visits"][0][0] == 1  # rank column preserved
+
+
+class TestJsonlHardening:
+    def _export(self, web, tmp_path):
+        dataset = CrawlerPool(web, workers=1).run(range(5))
+        path = tmp_path / "visits.jsonl"
+        assert export_jsonl(dataset.visits, path) == 5
+        return dataset, path
+
+    def test_round_trip_with_trailer(self, web, tmp_path):
+        from repro.crawler.storage import JsonlStats
+
+        dataset, path = self._export(web, tmp_path)
+        stats = JsonlStats()
+        visits = import_jsonl(path, stats=stats)
+        assert visits == dataset.visits
+        assert stats.imported == 5 and stats.skipped == 0
+        assert stats.trailer_count == 5
+
+    def test_malformed_line_raises_by_default(self, web, tmp_path):
+        from repro.crawler.storage import JsonlImportError
+
+        _, path = self._export(web, tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[2] = '{"rank": 2, "requested_url": '  # truncated JSON
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JsonlImportError, match="malformed record"):
+            import_jsonl(path)
+
+    def test_malformed_line_skips_with_counted_warning(self, web, tmp_path,
+                                                       caplog):
+        from repro.crawler.storage import JsonlStats
+
+        dataset, path = self._export(web, tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[2] = "not json at all"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        stats = JsonlStats()
+        with caplog.at_level(logging.WARNING):
+            visits = import_jsonl(path, on_error="skip", stats=stats)
+        assert stats.imported == 4 and stats.skipped == 1
+        assert [v.rank for v in visits] == [0, 1, 3, 4]
+        assert any("skipped 1 malformed" in record.message
+                   for record in caplog.records)
+
+    def test_truncated_export_detected_by_trailer(self, web, tmp_path):
+        from repro.crawler.storage import JsonlImportError
+
+        _, path = self._export(web, tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        del lines[1]  # silently lose a record, keep the trailer
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JsonlImportError, match="truncated export"):
+            import_jsonl(path)
+        # skip mode downgrades the mismatch to a warning.
+        assert len(import_jsonl(path, on_error="skip")) == 4
+
+    def test_invalid_on_error_rejected(self, web, tmp_path):
+        _, path = self._export(web, tmp_path)
+        with pytest.raises(ValueError, match="on_error"):
+            import_jsonl(path, on_error="ignore")
+
+    def test_no_tmp_file_left_behind(self, web, tmp_path):
+        self._export(web, tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
