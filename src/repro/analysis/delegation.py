@@ -44,9 +44,6 @@ class DelegationAnalysis:
     def __init__(self,
                  visits: "Union[DatasetIndex, Iterable[SiteVisit]]") -> None:
         self._index = as_index(visits)
-        self._visits = self._index.visits
-        self.top_level_documents = self._index.top_level_documents
-        self.website_count = self._index.website_count
 
         #: site -> number of websites embedding it at least once (Table 3)
         self.embedded_site_websites: Counter[str] = Counter()
@@ -64,7 +61,21 @@ class DelegationAnalysis:
         self.sites_delegating_third_party = 0
         self.sites_with_external_embeds = 0
 
-        self._run()
+        # A streaming index feeds _aggregate_visit per visit instead.
+        if not self._index.streaming:
+            self._run()
+
+    @property
+    def _visits(self) -> list:
+        return self._index.visits
+
+    @property
+    def top_level_documents(self) -> int:
+        return self._index.top_level_documents
+
+    @property
+    def website_count(self) -> int:
+        return self._index.website_count
 
     # -- aggregation -----------------------------------------------------------------
 

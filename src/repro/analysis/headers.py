@@ -61,9 +61,6 @@ class HeaderAnalysis:
                  registry: PermissionRegistry | None = None) -> None:
         self._index = as_index(visits, registry)
         self._registry = self._index.registry
-        self._visits = self._index.visits
-        self.top_level_documents = self._index.top_level_documents
-        self.website_count = self._index.website_count
 
         self.non_local_docs = 0
         self.non_local_embedded_docs = 0
@@ -86,7 +83,21 @@ class HeaderAnalysis:
         self._header_sizes: list[int] = []
         self.valid_top_level_headers = 0
 
-        self._run()
+        # A streaming index feeds _aggregate_visit per visit instead.
+        if not self._index.streaming:
+            self._run()
+
+    @property
+    def _visits(self) -> list:
+        return self._index.visits
+
+    @property
+    def top_level_documents(self) -> int:
+        return self._index.top_level_documents
+
+    @property
+    def website_count(self) -> int:
+        return self._index.website_count
 
     # -- aggregation ----------------------------------------------------------------
 

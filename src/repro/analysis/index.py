@@ -132,14 +132,14 @@ class DatasetIndex:
             :data:`~repro.registry.features.DEFAULT_REGISTRY`.
     """
 
+    #: Whether this index streams visits instead of materializing them.
+    #: Analyses consult this to decide whether to run their aggregation
+    #: loop at construction time (see :class:`IncrementalIndex`).
+    streaming = False
+
     def __init__(self, source: "Union[Iterable[SiteVisit], object]", *,
                  registry: PermissionRegistry | None = None) -> None:
-        self.registry = registry if registry is not None else DEFAULT_REGISTRY
-        self._linter = HeaderLinter(self.registry)
-        self._lint_memo: dict[str, LintReport] = {}
-        self._origin_memo: dict[str, Origin | None] = {}
-        self._static_memo: dict[str, tuple[frozenset[str], bool]] = {}
-        self._party_memo: dict[tuple[str | None, str], Party] = {}
+        self._init_memos(registry)
 
         if hasattr(source, "successful"):
             visits = list(source.successful())
@@ -159,6 +159,14 @@ class DatasetIndex:
                                 ("static", self._static_memo),
                                 ("party", self._party_memo)):
                 registry.gauge(f"index.memo_size.{table}").set(len(memo))
+
+    def _init_memos(self, registry: PermissionRegistry | None) -> None:
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._linter = HeaderLinter(self.registry)
+        self._lint_memo: dict[str, LintReport] = {}
+        self._origin_memo: dict[str, Origin | None] = {}
+        self._static_memo: dict[str, tuple[frozenset[str], bool]] = {}
+        self._party_memo: dict[tuple[str | None, str], Party] = {}
 
     # -- memoized helpers (warmed during construction; read-only after) ------------
 
@@ -313,6 +321,54 @@ class DatasetIndex:
         vi.static_by_frame = static_by_frame
         vi.general_by_frame = general_by_frame
         return vi
+
+
+class IncrementalIndex(DatasetIndex):
+    """Streaming counterpart of :class:`DatasetIndex` for bounded memory.
+
+    Where :class:`DatasetIndex` materializes every visit and its
+    :class:`VisitIndex` up front, this index consumes visits one at a time
+    through :meth:`add` and retains only the memo tables and running
+    totals — a 100k-site store streamed through
+    :meth:`~repro.crawler.storage.CrawlStore.iter_visits` never becomes
+    resident.  :func:`repro.analysis.summary.summarize_streaming` drives
+    one cooperative pass: each :meth:`add` result is handed to every
+    analysis's ``_aggregate_visit`` before the next visit is read.
+
+    Analyses built on a streaming index skip their constructor-time
+    aggregation loop (:attr:`DatasetIndex.streaming` is their signal) and
+    read ``top_level_documents`` / ``website_count`` from the index at
+    property-access time, i.e. after the stream has drained.
+    """
+
+    streaming = True
+
+    def __init__(self, *, registry: PermissionRegistry | None = None) -> None:
+        self._init_memos(registry)
+        self.top_level_documents = 0
+        self.website_count = 0
+
+    def add(self, visit: SiteVisit) -> "VisitIndex | None":
+        """Index one visit; returns its :class:`VisitIndex`, or ``None``
+        for failed visits (which analyses never see, matching the
+        ``successful()`` filter of the materialized path)."""
+        if not visit.success:
+            return None
+        self.website_count += 1
+        self.top_level_documents += visit.top_level_document_count
+        return self._index_visit(visit)
+
+    @property
+    def visits(self) -> list[SiteVisit]:
+        raise TypeError(
+            "IncrementalIndex does not retain visits — stream them again "
+            "from the store (CrawlStore.iter_visits)")
+
+    @property
+    def visit_indexes(self) -> list[VisitIndex]:
+        raise TypeError(
+            "IncrementalIndex does not retain visit indexes — use add() "
+            "and aggregate per visit")
 
 
 def as_index(source: "Union[DatasetIndex, Iterable[SiteVisit], object]",

@@ -73,7 +73,6 @@ class OverPermissionAnalysis:
         self._index = as_index(visits, registry)
         self._registry = self._index.registry
         self.prevalence_threshold = prevalence_threshold
-        self._visits = self._index.visits
 
         self._occurrences: Counter[str] = Counter()
         self._delegated_occurrences: Counter[str] = Counter()
@@ -83,7 +82,13 @@ class OverPermissionAnalysis:
         self._delegating_websites: dict[tuple[str, str], set[int]] = \
             defaultdict(set)
 
-        self._run()
+        # A streaming index feeds _aggregate_visit per visit instead.
+        if not self._index.streaming:
+            self._run()
+
+    @property
+    def _visits(self) -> list:
+        return self._index.visits
 
     # -- aggregation --------------------------------------------------------------
 

@@ -8,18 +8,22 @@ EXPERIMENTS.md and the benchmark output.
 
 from __future__ import annotations
 
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.analysis.delegation import DelegationAnalysis
 from repro.analysis.headers import HeaderAnalysis
-from repro.analysis.index import DatasetIndex
+from repro.analysis.index import DatasetIndex, IncrementalIndex
 from repro.analysis.overpermission import OverPermissionAnalysis
 from repro.analysis.usage import UsageAnalysis
 from repro.crawler.pool import CrawlDataset
+from repro.crawler.records import SiteVisit
 from repro.obs.tracing import TRACER
 from repro.policy.allow_attr import DelegationDirectiveKind
 from repro.policy.allowlist import DirectiveClass
+from repro.registry.features import PermissionRegistry
 from repro.synthweb.distributions import PAPER
 
 
@@ -150,10 +154,7 @@ def summarize(dataset: CrawlDataset, *, parallel: bool = True,
             delegation = build("delegation", DelegationAnalysis)
             headers = build("headers", HeaderAnalysis)
             overpermission = build("overpermission", OverPermissionAnalysis)
-    adoption = headers.adoption()
-    class_shares = headers.top_level_class_shares()
-    directive_dist = delegation.directive_distribution()
-    return MeasurementSummary(
+    return _finish_summary(
         attempted_sites=dataset.attempted,
         successful_sites=dataset.successful_count,
         failure_summary=dataset.failure_summary(),
@@ -162,6 +163,119 @@ def summarize(dataset: CrawlDataset, *, parallel: bool = True,
         sites_with_iframes=dataset.sites_with_iframes(),
         local_embedded_share=dataset.local_embedded_share(),
         average_seconds_per_site=dataset.average_duration_seconds(),
+        usage=usage, delegation=delegation, headers=headers,
+        overpermission=overpermission)
+
+
+@dataclass
+class _DatasetTally:
+    """Streaming replacement for the dataset-level aggregates of
+    :class:`~repro.crawler.pool.CrawlDataset` that :func:`summarize` reads.
+
+    Every accumulator is additive per visit and visits arrive in rank
+    order, so each figure — including the floating-point duration sum —
+    is bit-identical to its materialized counterpart.
+    """
+
+    attempted: int = 0
+    successful: int = 0
+    failures: Counter = field(default_factory=Counter)
+    top_level_documents: int = 0
+    embedded_documents: int = 0
+    sites_with_iframes: int = 0
+    local_embedded: int = 0
+    duration_total: float = 0.0
+
+    def add(self, visit: SiteVisit) -> None:
+        self.attempted += 1
+        self.duration_total += visit.duration_seconds
+        if not visit.success:
+            self.failures[visit.failure] += 1
+            return
+        self.successful += 1
+        self.top_level_documents += visit.top_level_document_count
+        embedded = visit.embedded_frames()
+        self.embedded_documents += len(embedded)
+        if embedded:
+            self.sites_with_iframes += 1
+        for frame in embedded:
+            if frame.is_local:
+                self.local_embedded += 1
+
+    @property
+    def local_embedded_share(self) -> float:
+        return (self.local_embedded / self.embedded_documents
+                if self.embedded_documents else 0.0)
+
+    @property
+    def average_duration_seconds(self) -> float:
+        return self.duration_total / self.attempted if self.attempted else 0.0
+
+
+def summarize_streaming(visits: Iterable[SiteVisit], *,
+                        registry: PermissionRegistry | None = None
+                        ) -> MeasurementSummary:
+    """Bounded-memory :func:`summarize` over a visit stream.
+
+    Drives one cooperative pass: each visit (e.g. from
+    :meth:`~repro.crawler.storage.CrawlStore.iter_visits`) is indexed
+    incrementally (:class:`~repro.analysis.index.IncrementalIndex`) and
+    handed to all four analyses before the next one is read, so only one
+    visit plus the memo tables and running aggregates are ever resident.
+    The result is field-identical to ``summarize(dataset)`` over the same
+    visits in the same (rank) order — every aggregate is additive and the
+    float summation order is preserved.
+    """
+    index = IncrementalIndex(registry=registry)
+    usage = UsageAnalysis(index)
+    delegation = DelegationAnalysis(index)
+    headers = HeaderAnalysis(index)
+    overpermission = OverPermissionAnalysis(index)
+    tally = _DatasetTally()
+    with TRACER.span("analysis.summarize_streaming"):
+        for visit in visits:
+            tally.add(visit)
+            vi = index.add(visit)
+            if vi is None:
+                continue
+            usage._aggregate_visit(vi)
+            delegation._aggregate_visit(vi)
+            headers._aggregate_visit(vi)
+            overpermission._aggregate_visit(vi)
+    return _finish_summary(
+        attempted_sites=tally.attempted,
+        successful_sites=tally.successful,
+        failure_summary=dict(tally.failures),
+        top_level_documents=tally.top_level_documents,
+        embedded_documents=tally.embedded_documents,
+        sites_with_iframes=tally.sites_with_iframes,
+        local_embedded_share=tally.local_embedded_share,
+        average_seconds_per_site=tally.average_duration_seconds,
+        usage=usage, delegation=delegation, headers=headers,
+        overpermission=overpermission)
+
+
+def _finish_summary(*, attempted_sites: int, successful_sites: int,
+                    failure_summary: dict[str, int],
+                    top_level_documents: int, embedded_documents: int,
+                    sites_with_iframes: int, local_embedded_share: float,
+                    average_seconds_per_site: float,
+                    usage: UsageAnalysis, delegation: DelegationAnalysis,
+                    headers: HeaderAnalysis,
+                    overpermission: OverPermissionAnalysis
+                    ) -> MeasurementSummary:
+    adoption = headers.adoption()
+    class_shares = headers.top_level_class_shares()
+    directive_dist = delegation.directive_distribution()
+    return MeasurementSummary(
+        attempted_sites=attempted_sites,
+        successful_sites=successful_sites,
+        failure_summary=failure_summary,
+        top_level_documents=top_level_documents,
+        embedded_documents=embedded_documents,
+        sites_with_iframes=sites_with_iframes,
+        local_embedded_share=local_embedded_share,
+        average_seconds_per_site=average_seconds_per_site,
         share_any_invocation=usage.share_any_invocation,
         share_invocation_top=usage.share_invocation_top,
         share_invocation_embedded=usage.share_invocation_embedded,

@@ -121,13 +121,6 @@ class UsageAnalysis:
                  registry: PermissionRegistry | None = None) -> None:
         self._index = as_index(visits, registry)
         self._registry = self._index.registry
-        self._visits = self._index.visits
-        self.top_level_documents = self._index.top_level_documents
-        #: Denominator for "website" shares.  The paper reports percentages
-        #: relative to top-level documents; redirect hops of one visit share
-        #: identical behaviour, so per-visit counting over visits yields the
-        #: same ratios without double-counting machinery.
-        self.website_count = self._index.website_count
         self.invocation_stats: dict[str, ContextStats] = {}
         self.check_stats: dict[str, CheckStats] = {}
         self.static_stats: dict[str, StaticStats] = {}
@@ -151,7 +144,26 @@ class UsageAnalysis:
         self._embedded_invoking_third = 0
         self._permissions_checked_per_top_doc: list[int] = []
 
-        self._run()
+        # A streaming index feeds _aggregate_visit per visit instead
+        # (repro.analysis.summary.summarize_streaming drives the pass).
+        if not self._index.streaming:
+            self._run()
+
+    @property
+    def _visits(self) -> list:
+        return self._index.visits
+
+    @property
+    def top_level_documents(self) -> int:
+        return self._index.top_level_documents
+
+    @property
+    def website_count(self) -> int:
+        """Denominator for "website" shares.  The paper reports percentages
+        relative to top-level documents; redirect hops of one visit share
+        identical behaviour, so per-visit counting over visits yields the
+        same ratios without double-counting machinery."""
+        return self._index.website_count
 
     # -- aggregation ---------------------------------------------------------------
 

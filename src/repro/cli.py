@@ -4,8 +4,10 @@
 
 * ``crawl`` — run the measurement crawl over the synthetic web, persisting
   each visit to SQLite as it completes; ``--resume`` continues from the
-  checkpoint, ``--retries`` re-attempts transient failures, and
-  ``--progress`` streams crawl telemetry;
+  checkpoint, ``--retries`` re-attempts transient failures,
+  ``--progress`` streams crawl telemetry, and ``--shards N`` with
+  ``--no-collect`` runs paper-scale crawls in bounded memory;
+* ``merge-stores`` — merge shard crawl databases into one store;
 * ``telemetry`` — run a (optionally fault-injected) crawl and print the
   full telemetry report;
 * ``analyze`` — print the Section 4 headline comparison for a stored or
@@ -85,6 +87,15 @@ def _build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--database", default="crawl.sqlite")
     crawl.add_argument("--resume", action="store_true",
                        help="skip ranks already in the database checkpoint")
+    crawl.add_argument("--shards", type=int, default=1,
+                       help="partition the crawl into N contiguous shards, "
+                            "each persisted to a sidecar store and merged "
+                            "into --database as it completes (bounded "
+                            "memory; results identical to --shards 1)")
+    crawl.add_argument("--no-collect", action="store_true",
+                       help="do not keep visits in memory (the database is "
+                            "the output); required for crawls larger than "
+                            "RAM")
     crawl.add_argument("--retries", type=int, default=0,
                        help="max retries for transient failures")
     crawl.add_argument("--progress", action="store_true",
@@ -174,6 +185,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print the report as JSON (the CI artifact "
                              "format)")
 
+    merge = sub.add_parser(
+        "merge-stores",
+        help="merge shard crawl databases into one store in rank order "
+             "(checksums recomputed; verify-store afterwards for a clean "
+             "bill of health)")
+    merge.add_argument("shards", nargs="+",
+                       help="shard database files to merge, in order")
+    merge.add_argument("--into", required=True, metavar="DATABASE",
+                       help="target crawl database (created if missing)")
+
     ejsonl = sub.add_parser(
         "export-jsonl",
         help="export a crawl database as JSON lines (atomic write with a "
@@ -258,7 +279,9 @@ def main(argv: list[str] | None = None) -> int:
                 # instead of dying mid-write; --resume finishes the run.
                 dataset = pool.run(store=store, resume=args.resume,
                                    telemetry=telemetry, progress=progress,
-                                   handle_signals=True)
+                                   handle_signals=True,
+                                   shards=args.shards,
+                                   collect=not args.no_collect)
         if pool.stop_requested:
             print(f"crawl interrupted — checkpoint saved to "
                   f"{args.database}; rerun with --resume to finish")
@@ -266,13 +289,22 @@ def main(argv: list[str] | None = None) -> int:
             _write_trace(args.trace_out)
         if args.progress:
             print(telemetry.render())
-        failures = ", ".join(f"{k}={v}" for k, v
-                             in sorted(dataset.failure_summary().items()))
         snapshot = telemetry.snapshot()
+        if args.no_collect:
+            # The dataset was deliberately not kept in memory; telemetry
+            # carries the same per-visit accounting.
+            attempted, ok = snapshot.completed + snapshot.resumed, \
+                snapshot.succeeded
+            failure_counts = snapshot.failure_counts
+        else:
+            attempted, ok = dataset.attempted, dataset.successful_count
+            failure_counts = dataset.failure_summary()
+        failures = ", ".join(f"{k}={v}" for k, v
+                             in sorted(failure_counts.items()))
         resumed_note = f"; {snapshot.resumed} resumed" if snapshot.resumed \
             else ""
-        print(f"crawled {dataset.attempted} sites "
-              f"({dataset.successful_count} ok; {failures}{resumed_note}) "
+        print(f"crawled {attempted} sites "
+              f"({ok} ok; {failures}{resumed_note}) "
               f"via {pool.resolved_backend()} backend "
               f"at {snapshot.sites_per_second:.1f} sites/s "
               f"-> {args.database}")
@@ -326,10 +358,20 @@ def main(argv: list[str] | None = None) -> int:
               else report.render())
         return 0 if report.ok or args.repair else 1
 
+    if command == "merge-stores":
+        from repro.crawler.storage import merge_stores
+        count = merge_stores(args.into, args.shards)
+        print(f"merged {count} visits from {len(args.shards)} store(s) "
+              f"into {args.into}")
+        return 0
+
     if command == "export-jsonl":
         from repro.crawler.storage import export_jsonl
         with CrawlStore(args.database) as store:
-            count = export_jsonl(store.load_dataset().visits, args.output)
+            # iter_visits streams in rank order, so exports stay
+            # bounded-memory at any store size; the writer keeps the
+            # atomic tmp-rename + fsync + count-trailer contract.
+            count = export_jsonl(store.iter_visits(), args.output)
         print(f"wrote {count} visits to {args.output}")
         return 0
 
@@ -337,9 +379,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.crawler.storage import JsonlStats, iter_jsonl
         stats = JsonlStats()
         with CrawlStore(args.database) as store:
-            for visit in iter_jsonl(args.input, on_error="skip",
-                                    stats=stats):
-                store.save_visit(visit)
+            store.save_visits(iter_jsonl(args.input, on_error="skip",
+                                         stats=stats))
         skipped_note = (f" ({stats.skipped} malformed line(s) skipped)"
                         if stats.skipped else "")
         print(f"imported {stats.imported} visits into {args.database}"
@@ -348,12 +389,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if command == "analyze":
         if args.database:
+            from repro.analysis.summary import summarize_streaming
             with CrawlStore(args.database) as store:
-                dataset = store.load_dataset()
+                # One streaming pass: the store never has to fit in memory.
+                summary = summarize_streaming(store.iter_visits())
         else:
             web = SyntheticWeb(args.sites, seed=args.seed)
             dataset = CrawlerPool(web, workers=4).run()
-        summary = summarize(dataset)
+            summary = summarize(dataset)
         print(render_comparison(summary.compare_to_paper()))
         return 0
 

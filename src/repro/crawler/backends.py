@@ -219,13 +219,18 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
                        progress: Callable[[int, int], None] | None = None,
                        store: "CrawlStore | None" = None,
                        telemetry: "CrawlTelemetry | None" = None,
+                       collect: bool = True,
                        ) -> list[SiteVisit]:
     """Crawl ``targets`` across worker processes; returns visits rank-sorted.
 
     The parent does all persistence and telemetry: each finished chunk is
-    saved to ``store`` as a unit (checkpointing advances in chunk-sized
-    steps) and fed to ``telemetry`` visit by visit, so observability never
-    depends on worker scheduling and the dataset bytes match serial runs.
+    saved to ``store`` as a unit — one batched
+    :meth:`~repro.crawler.storage.CrawlStore.save_visits` call, so
+    checkpointing advances in chunk-sized steps without per-visit commit
+    overhead — and fed to ``telemetry`` visit by visit, so observability
+    never depends on worker scheduling and the dataset bytes match serial
+    runs.  With ``collect=False`` chunk visits are dropped after
+    persistence and an empty list is returned (bounded-memory mode).
     """
     if pool._custom_factory:
         raise ValueError(
@@ -282,13 +287,14 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
                 TRACER.ingest(result.spans, pid=f"chunk-{index:03d}")
             if result.metrics is not None:
                 _metrics.REGISTRY.merge(result.metrics)
-            for visit in chunk_visits:
-                if store is not None:
-                    store.save_visit(visit)
-                if telemetry is not None:
+            if store is not None:
+                store.save_visits(chunk_visits)
+            if telemetry is not None:
+                for visit in chunk_visits:
                     telemetry.record_visit(visit,
                                            worker=f"chunk-{index:03d}")
-            visits.extend(chunk_visits)
+            if collect:
+                visits.extend(chunk_visits)
             completed += len(chunk_visits)
             if progress is not None:
                 progress(completed, total)

@@ -8,12 +8,25 @@ is a pure function of (seed, rank).
 
 Resilience (this mirrors the paper's operational setup, Appendix A.2):
 
-* ``run(store=CrawlStore(...))`` persists every visit the moment it
-  completes (C14), from whichever worker thread finished it, so a crash
-  loses at most the in-flight visits;
+* ``run(store=CrawlStore(...))`` persists visits as they complete (C14),
+  from whichever worker thread finished them, batched through
+  :meth:`~repro.crawler.storage.CrawlStore.save_visits` in groups of
+  :data:`STORE_BATCH_SIZE` so the store stage stays a small share of the
+  crawl — a crash loses at most the current batch plus in-flight visits,
+  and every graceful-stop path flushes the batch first;
 * ``run(store=..., resume=True)`` queries the checkpoint for
   already-stored ranks and crawls only the remainder — the merged dataset
   is byte-identical to an uninterrupted run;
+* ``run(store=..., shards=N)`` partitions the rank list into N contiguous
+  shards, crawls each into its own sidecar SQLite store and merges every
+  completed shard back into the main store, deleting the sidecar — paper
+  scale crawls keep per-file size and write contention bounded while the
+  merged store stays byte-identical to an unsharded run (resume works
+  across shard boundaries: leftover shard files from a killed run are
+  merged before the remainder is computed);
+* ``run(store=..., collect=False)`` skips accumulating visits in memory —
+  the returned dataset is empty and the store is the output — so a 100k+
+  site crawl runs with bounded memory;
 * ``run(telemetry=CrawlTelemetry())`` streams per-worker visit counts,
   retry counts, the failure taxonomy and rolling throughput to the
   collector while the crawl is still going;
@@ -32,6 +45,7 @@ import threading
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.browser.page import Fetcher
@@ -211,6 +225,65 @@ class CrawlDataset:
 #: Valid values for ``CrawlerPool(backend=...)``.
 BACKENDS = ("auto", "serial", "thread", "process")
 
+#: Visits buffered per batched store write on the pool's hot path.  Large
+#: enough that per-commit overhead stops dominating the store stage, small
+#: enough that a hard crash loses only a sliver of checkpoint progress.
+STORE_BATCH_SIZE = 64
+
+
+def shard_store_path(path: Path, index: int) -> Path:
+    """The sidecar SQLite file a sharded run uses for shard ``index``."""
+    return path.with_name(f"{path.name}.shard-{index:03d}")
+
+
+def _delete_store_files(path: Path) -> None:
+    """Remove a shard store file and its WAL/SHM sidecars."""
+    for victim in (path, path.with_name(path.name + "-wal"),
+                   path.with_name(path.name + "-shm")):
+        with contextlib.suppress(FileNotFoundError):
+            victim.unlink()
+
+
+def _leftover_shard_paths(store_path: Path) -> list[Path]:
+    """Shard store files a previous (killed) sharded run left behind."""
+    return sorted(
+        candidate for candidate
+        in store_path.parent.glob(store_path.name + ".shard-*")
+        if not candidate.name.endswith(("-wal", "-shm")))
+
+
+class _StoreBatcher:
+    """Buffers completed visits and writes them in batched transactions.
+
+    Thread-safe: worker threads hand visits over under a small lock and
+    the full batch is written through
+    :meth:`~repro.crawler.storage.CrawlStore.save_visits` outside it (the
+    store has its own writer lock).  :meth:`flush` drains the remainder;
+    every pool exit path calls it, so graceful stops checkpoint everything
+    that completed.
+    """
+
+    def __init__(self, store: "CrawlStore",
+                 batch_size: int = STORE_BATCH_SIZE) -> None:
+        self._store = store
+        self._batch_size = batch_size
+        self._lock = threading.Lock()
+        self._buffer: list[SiteVisit] = []
+
+    def add(self, visit: SiteVisit) -> None:
+        with self._lock:
+            self._buffer.append(visit)
+            if len(self._buffer) < self._batch_size:
+                return
+            batch, self._buffer = self._buffer, []
+        self._store.save_visits(batch, chunk_size=self._batch_size)
+
+    def flush(self) -> None:
+        with self._lock:
+            batch, self._buffer = self._buffer, []
+        if batch:
+            self._store.save_visits(batch, chunk_size=self._batch_size)
+
 
 class _CrawlInterrupted(Exception):
     """Internal: a worker observed the pool's stop request.
@@ -293,7 +366,15 @@ class CrawlerPool:
         self.mp_context = mp_context
         self.config = config if config is not None else CrawlConfig()
         self.retry_policy = retry_policy
-        self._engine = engine
+        # One engine for the whole pool: policy evaluation is pure, so the
+        # engine's structural decision memo (keyed on chain shape, not frame
+        # identity) can be shared across visits and worker threads — the
+        # same widget chain on site N and site N+1 is one memo entry.  A
+        # fresh engine per visit would discard the memo each time.  Same
+        # thread-safety argument as repro.policy.memo: dict single-key ops
+        # are atomic and a lost race merely duplicates a pure computation.
+        self._engine = (engine if engine is not None
+                        else PermissionsPolicyEngine())
         #: Picklable fetcher recipe — the only fetcher customisation the
         #: process backend supports (closures don't cross processes).
         self.fetcher_spec = fetcher_spec
@@ -346,15 +427,34 @@ class CrawlerPool:
             resume: bool = False,
             telemetry: CrawlTelemetry | None = None,
             backend: str | None = None,
-            handle_signals: bool = False) -> CrawlDataset:
+            handle_signals: bool = False,
+            shards: int | None = None,
+            collect: bool = True) -> CrawlDataset:
         """Crawl the given ranks (default: the whole list) once each.
 
-        With ``store``, every visit is persisted the moment it completes
-        (the process backend persists per finished chunk); with
-        ``resume=True`` as well, ranks already in the store are loaded
-        back instead of re-crawled and the merged dataset equals an
-        uninterrupted run.  ``telemetry`` receives per-visit updates.
-        ``backend`` overrides the pool's configured backend for this run.
+        With ``store``, visits are persisted as they complete, batched
+        through :meth:`~repro.crawler.storage.CrawlStore.save_visits` (the
+        process backend persists per finished chunk); with ``resume=True``
+        as well, ranks already in the store are loaded back instead of
+        re-crawled and the merged dataset equals an uninterrupted run.
+        ``telemetry`` receives per-visit updates.  ``backend`` overrides
+        the pool's configured backend for this run.
+
+        With ``shards=N`` (N > 1; requires ``store``), the rank list is
+        partitioned into N contiguous shards, each crawled into a sidecar
+        shard store that is merged into ``store`` and deleted as it
+        completes.  The merged store is byte-identical to an unsharded run
+        (same visits, same checksums, read back in rank order), including
+        under ``resume=`` — a killed sharded run leaves shard files behind
+        and the next ``resume=True`` run merges them before computing the
+        remainder — and under fault injection, whose faults depend only on
+        (seed, url, attempt).
+
+        With ``collect=False`` (requires ``store``), completed visits are
+        *not* accumulated in memory: the returned dataset is empty and the
+        store is the run's output (stream it back with
+        :meth:`~repro.crawler.storage.CrawlStore.iter_visits`).  This is
+        how 100k+-site crawls keep peak RSS bounded.
 
         With ``handle_signals=True`` (the CLI's mode), SIGINT/SIGTERM
         request a graceful stop for the duration of the run: in-flight
@@ -365,80 +465,69 @@ class CrawlerPool:
         """
         if resume and store is None:
             raise ValueError("resume=True requires a store")
+        if not collect and store is None:
+            raise ValueError("collect=False requires a store")
+        shard_count = 1 if shards is None else int(shards)
+        if shard_count < 1:
+            raise ValueError(f"shards must be >= 1, got {shards!r}")
+        if shard_count > 1 and store is None:
+            raise ValueError("shards > 1 requires a store to merge into")
         chosen = self.resolved_backend(backend)
         self._stop.clear()
         targets = list(ranks if ranks is not None
                        else range(self.web.site_count))
+        guard = (_stop_on_signals(self) if handle_signals
+                 else contextlib.nullcontext())
+        with guard:
+            if shard_count > 1:
+                return self._run_sharded(
+                    shard_count, targets, progress, store=store,
+                    resume=resume, telemetry=telemetry, chosen=chosen,
+                    collect=collect)
+            return self._run_single(
+                targets, progress, store=store, resume=resume,
+                telemetry=telemetry, chosen=chosen, collect=collect)
+
+    def _resume_split(self, targets: list[int], store: "CrawlStore",
+                      collect: bool
+                      ) -> tuple[list[int], list[SiteVisit], int]:
+        """Split ``targets`` into (remaining, resumed visits, resumed
+        count).  With ``collect=False`` the resumed visits stay in the
+        store — only the count is computed."""
+        done = store.stored_ranks()
+        if not done:
+            return targets, [], 0
+        wanted = set(targets) & done
+        resumed = store.load_visits(sorted(wanted)) if collect else []
+        remaining = [rank for rank in targets if rank not in done]
+        return remaining, resumed, len(wanted)
+
+    def _run_single(self, targets: list[int],
+                    progress: Callable[[int, int], None] | None,
+                    *, store: "CrawlStore | None", resume: bool,
+                    telemetry: CrawlTelemetry | None, chosen: str,
+                    collect: bool) -> CrawlDataset:
         resumed: list[SiteVisit] = []
+        resumed_count = 0
         if resume:
-            done = store.stored_ranks()
-            if done:
-                wanted = set(targets) & done
-                resumed = store.load_visits(sorted(wanted))
-                targets = [rank for rank in targets if rank not in done]
+            targets, resumed, resumed_count = self._resume_split(
+                targets, store, collect)
         if telemetry is not None:
             # total covers the full run, so a resumed run still converges
             # to done (completed + resumed == total) instead of reporting
             # a non-empty queue forever.
-            telemetry.start(len(targets) + len(resumed), backend=chosen)
-            telemetry.record_resumed(len(resumed))
+            telemetry.start(len(targets) + resumed_count, backend=chosen)
+            telemetry.record_resumed(resumed_count)
         logger.info("crawl starting: %d targets (%d resumed), backend=%s, "
-                    "workers=%d", len(targets), len(resumed), chosen,
+                    "workers=%d", len(targets), resumed_count, chosen,
                     self.workers)
-
-        def visit_rank(rank: int) -> SiteVisit:
-            # One crawler (and one fetcher) per task keeps worker state
-            # independent, like the paper's per-site fresh (stateless)
-            # browser — and makes fault-injection state per-visit, so
-            # serial, parallel and resumed runs all see identical faults.
-            if self._stop.is_set():
-                raise _CrawlInterrupted(rank)
-            with TRACER.span("crawl.visit", rank=rank):
-                crawler = self._make_crawler()
-                visit = crawler.visit(self.web.origin_for_rank(rank),
-                                      rank=rank)
-            if store is not None:
-                store.save_visit(visit)
-            if telemetry is not None:
-                telemetry.record_visit(visit)
-                for event in crawler.guard_events:
-                    telemetry.record_guard_event(event.kind)
-            return visit
-
         dataset = CrawlDataset()
         dataset.visits.extend(resumed)
-        guard = (_stop_on_signals(self) if handle_signals
-                 else contextlib.nullcontext())
-        with guard, TRACER.span("crawl.run", backend=chosen,
-                                sites=len(targets), resumed=len(resumed),
-                                workers=self.workers):
-            if chosen == "process" and targets:
-                from repro.crawler.backends import crawl_in_processes
-                dataset.visits.extend(crawl_in_processes(
-                    self, targets, progress=progress, store=store,
-                    telemetry=telemetry))
-            elif chosen == "serial" or self.workers == 1:
-                for index, rank in enumerate(targets):
-                    if self._stop.is_set():
-                        break
-                    try:
-                        dataset.visits.append(visit_rank(rank))
-                    except _CrawlInterrupted:
-                        break
-                    if progress is not None:
-                        progress(index + 1, len(targets))
-            else:
-                with ThreadPoolExecutor(max_workers=self.workers) as executor:
-                    try:
-                        for index, visit in enumerate(
-                                executor.map(visit_rank, targets)):
-                            dataset.visits.append(visit)
-                            if progress is not None:
-                                progress(index + 1, len(targets))
-                    except _CrawlInterrupted:
-                        # Queued tasks unwind the same way as they are
-                        # scheduled; the executor exit just drains them.
-                        pass
+        with TRACER.span("crawl.run", backend=chosen, sites=len(targets),
+                         resumed=resumed_count, workers=self.workers):
+            dataset.visits.extend(self._crawl_targets(
+                targets, chosen=chosen, store=store, telemetry=telemetry,
+                progress=progress, collect=collect))
         dataset.visits.sort(key=lambda visit: visit.rank)
         if self._stop.is_set():
             if store is not None:
@@ -453,3 +542,154 @@ class CrawlerPool:
             logger.info("crawl finished: %d visits (%d ok)",
                         dataset.attempted, dataset.successful_count)
         return dataset
+
+    def _run_sharded(self, shards: int, targets: list[int],
+                     progress: Callable[[int, int], None] | None,
+                     *, store: "CrawlStore", resume: bool,
+                     telemetry: CrawlTelemetry | None, chosen: str,
+                     collect: bool) -> CrawlDataset:
+        from repro.crawler.backends import chunk_ranks
+        from repro.crawler.storage import CrawlStore
+
+        leftovers = _leftover_shard_paths(store.path)
+        if leftovers and resume:
+            # A killed sharded run left completed shards (or a partial
+            # one) behind; fold them into the checkpoint so the normal
+            # resume split sees their ranks as done.
+            for path in leftovers:
+                with CrawlStore(path) as shard:
+                    store.merge_from(shard)
+                _delete_store_files(path)
+            logger.info("merged %d leftover shard store(s) into %s",
+                        len(leftovers), store.path)
+        elif leftovers:
+            for path in leftovers:  # stale wreckage of a fresh run
+                _delete_store_files(path)
+        resumed: list[SiteVisit] = []
+        resumed_count = 0
+        if resume:
+            targets, resumed, resumed_count = self._resume_split(
+                targets, store, collect)
+        if telemetry is not None:
+            telemetry.start(len(targets) + resumed_count, backend=chosen)
+            telemetry.record_resumed(resumed_count)
+        chunks = chunk_ranks(targets, shards)
+        logger.info("sharded crawl starting: %d targets across %d shards "
+                    "(%d resumed), backend=%s, workers=%d", len(targets),
+                    len(chunks), resumed_count, chosen, self.workers)
+        dataset = CrawlDataset()
+        dataset.visits.extend(resumed)
+        completed_base = 0
+        with TRACER.span("crawl.run.sharded", backend=chosen,
+                         sites=len(targets), shards=len(chunks),
+                         resumed=resumed_count, workers=self.workers):
+            for index, chunk in enumerate(chunks):
+                if self._stop.is_set():
+                    break
+                shard_path = shard_store_path(store.path, index)
+                _delete_store_files(shard_path)
+                with TRACER.span("crawl.shard", shard=index,
+                                 ranks=len(chunk)):
+                    shard_progress = None
+                    if progress is not None:
+                        def shard_progress(done: int, _total: int,
+                                           base: int = completed_base
+                                           ) -> None:
+                            progress(base + done, len(targets))
+                    with CrawlStore(shard_path) as shard_store:
+                        visits = self._crawl_targets(
+                            chunk, chosen=chosen, store=shard_store,
+                            telemetry=telemetry, progress=shard_progress,
+                            collect=collect)
+                        shard_store.flush()
+                        # Merge even a partially crawled shard: graceful
+                        # stop checkpoints everything that completed.
+                        store.merge_from(shard_store)
+                    _delete_store_files(shard_path)
+                completed_base += len(chunk)
+                if collect:
+                    dataset.visits.extend(visits)
+        dataset.visits.sort(key=lambda visit: visit.rank)
+        store.flush()
+        if self._stop.is_set():
+            if telemetry is not None:
+                telemetry.record_interrupted()
+            logger.warning(
+                "sharded crawl interrupted after %d/%d visits — "
+                "checkpoint flushed; rerun with resume=True to finish",
+                dataset.attempted - len(resumed), len(targets))
+        else:
+            logger.info("sharded crawl finished: %d visits (%d ok)",
+                        dataset.attempted, dataset.successful_count)
+        return dataset
+
+    def _crawl_targets(self, targets: list[int], *, chosen: str,
+                       store: "CrawlStore | None",
+                       telemetry: CrawlTelemetry | None,
+                       progress: Callable[[int, int], None] | None,
+                       collect: bool) -> list[SiteVisit]:
+        """Crawl ``targets`` on the chosen backend, batching store writes.
+
+        Returns the completed visits (empty with ``collect=False``).  The
+        write batch is always flushed on the way out, including when a
+        stop request unwinds the backend loop.
+        """
+        batcher = _StoreBatcher(store) if store is not None else None
+        collected: list[SiteVisit] = []
+
+        def visit_rank(rank: int) -> SiteVisit:
+            # One crawler (and one fetcher) per task keeps worker state
+            # independent, like the paper's per-site fresh (stateless)
+            # browser — and makes fault-injection state per-visit, so
+            # serial, parallel and resumed runs all see identical faults.
+            if self._stop.is_set():
+                raise _CrawlInterrupted(rank)
+            with TRACER.span("crawl.visit", rank=rank):
+                crawler = self._make_crawler()
+                visit = crawler.visit(self.web.origin_for_rank(rank),
+                                      rank=rank)
+            if batcher is not None:
+                batcher.add(visit)
+            if telemetry is not None:
+                telemetry.record_visit(visit)
+                for event in crawler.guard_events:
+                    telemetry.record_guard_event(event.kind)
+            return visit
+
+        try:
+            if chosen == "process" and targets:
+                from repro.crawler.backends import crawl_in_processes
+                visits = crawl_in_processes(
+                    self, targets, progress=progress, store=store,
+                    telemetry=telemetry, collect=collect)
+                if collect:
+                    collected.extend(visits)
+            elif chosen == "serial" or self.workers == 1:
+                for index, rank in enumerate(targets):
+                    if self._stop.is_set():
+                        break
+                    try:
+                        visit = visit_rank(rank)
+                    except _CrawlInterrupted:
+                        break
+                    if collect:
+                        collected.append(visit)
+                    if progress is not None:
+                        progress(index + 1, len(targets))
+            else:
+                with ThreadPoolExecutor(max_workers=self.workers) as executor:
+                    try:
+                        for index, visit in enumerate(
+                                executor.map(visit_rank, targets)):
+                            if collect:
+                                collected.append(visit)
+                            if progress is not None:
+                                progress(index + 1, len(targets))
+                    except _CrawlInterrupted:
+                        # Queued tasks unwind the same way as they are
+                        # scheduled; the executor exit just drains them.
+                        pass
+        finally:
+            if batcher is not None:
+                batcher.flush()
+        return collected

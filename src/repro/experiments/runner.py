@@ -99,7 +99,7 @@ class ExperimentContext:
         return 1_000_000 / self.web.site_count
 
 
-_CACHE: dict[tuple[int, int], ExperimentContext] = {}
+_CACHE: dict[tuple[int, int, int], ExperimentContext] = {}
 _FINGERPRINT: str | None = None
 
 
@@ -146,8 +146,13 @@ def code_fingerprint() -> str:
     return _FINGERPRINT
 
 
-def _manifest(count: int, seed: int) -> dict:
+def _manifest(count: int, seed: int, shards: int = 1) -> dict:
+    # The shard layout is part of the cache key: sharded and unsharded
+    # runs are byte-identical by contract, but a cache entry must still
+    # record exactly how it was produced so a layout-specific regression
+    # can never masquerade as a clean cache hit for the other layout.
     return {"site_count": count, "seed": seed,
+            "shards": shards,
             "schema_version": SCHEMA_VERSION,
             "code_fingerprint": code_fingerprint()}
 
@@ -157,14 +162,15 @@ def _cache_paths(count: int, seed: int) -> tuple[Path, Path]:
     return base.with_suffix(".json"), base.with_suffix(".sqlite")
 
 
-def _load_cached(count: int, seed: int) -> CrawlDataset | None:
+def _load_cached(count: int, seed: int,
+                 shards: int = 1) -> CrawlDataset | None:
     """The cached dataset, or ``None`` on any miss or mismatch."""
     manifest_path, db_path = _cache_paths(count, seed)
     try:
         manifest = json.loads(manifest_path.read_text())
     except (OSError, ValueError):
         return None
-    if manifest != _manifest(count, seed) or not db_path.exists():
+    if manifest != _manifest(count, seed, shards) or not db_path.exists():
         return None
     try:
         with CrawlStore(db_path) as store:
@@ -176,7 +182,8 @@ def _load_cached(count: int, seed: int) -> CrawlDataset | None:
     return dataset
 
 
-def _store_cached(count: int, seed: int, dataset: CrawlDataset) -> None:
+def _store_cached(count: int, seed: int, dataset: CrawlDataset,
+                  shards: int = 1) -> None:
     """Best-effort write; the manifest lands last as completeness marker.
 
     Any filesystem *or* SQLite failure is swallowed (the measurement run
@@ -194,7 +201,7 @@ def _store_cached(count: int, seed: int, dataset: CrawlDataset) -> None:
             stale.unlink(missing_ok=True)
         with CrawlStore(db_path) as store:
             store.save_dataset(dataset)
-        tmp.write_text(json.dumps(_manifest(count, seed)))
+        tmp.write_text(json.dumps(_manifest(count, seed, shards)))
         tmp.replace(manifest_path)
     except (OSError, sqlite3.Error) as exc:
         logger.warning("measurement cache write failed, continuing without "
@@ -211,7 +218,8 @@ def run_measurement(site_count: int | None = None, *,
                     seed: int = DEFAULT_SEED,
                     workers: int = 4,
                     backend: str | None = None,
-                    use_cache: bool | None = None) -> ExperimentContext:
+                    use_cache: bool | None = None,
+                    shards: int | None = None) -> ExperimentContext:
     """Run (or reuse) the measurement crawl at the given scale.
 
     Lookup order: in-process cache, then the disk cache (when enabled and
@@ -223,32 +231,52 @@ def run_measurement(site_count: int | None = None, *,
     Note: all backends produce byte-identical datasets, so ``backend``
     only selects the execution strategy of a *fresh* crawl — it cannot
     change an already-cached result, and a cache hit ignores it.
+    ``shards`` likewise only shapes a fresh crawl (sharded runs are
+    byte-identical to unsharded by contract), but the layout is recorded
+    in the disk-cache manifest, so entries produced under different shard
+    layouts never collide.
     """
     count = site_count if site_count is not None else configured_site_count()
     cached = use_cache if use_cache is not None else cache_enabled()
-    key = (count, seed)
+    layout = shards if shards is not None else 1
+    if layout < 1:
+        raise ValueError("shards must be >= 1")
+    key = (count, seed, layout)
     if cached and key in _CACHE:
         if _metrics.COUNTING:
             _metrics.REGISTRY.counter("measurement_cache.memory_hits").inc()
         return _CACHE[key]
     with TRACER.span("experiment.run_measurement", sites=count, seed=seed):
         web = SyntheticWeb(count, seed=seed)
-        dataset = _load_cached(count, seed) if cached else None
+        dataset = _load_cached(count, seed, layout) if cached else None
         if _metrics.COUNTING and cached:
             name = ("measurement_cache.disk_hits" if dataset is not None
                     else "measurement_cache.disk_misses")
             _metrics.REGISTRY.counter(name).inc()
         if dataset is None:
             chosen = backend if backend is not None else configured_backend()
-            logger.info("measurement crawl: %d sites, seed %d, backend %s",
-                        count, seed, chosen)
-            dataset = CrawlerPool(web, workers=workers,
-                                  backend=chosen).run()
+            logger.info("measurement crawl: %d sites, seed %d, backend %s, "
+                        "%d shard(s)", count, seed, chosen, layout)
+            pool = CrawlerPool(web, workers=workers, backend=chosen)
+            if layout > 1:
+                dataset = _sharded_crawl(pool, layout)
+            else:
+                dataset = pool.run()
             if cached:
-                _store_cached(count, seed, dataset)
+                _store_cached(count, seed, dataset, layout)
         else:
             logger.info("measurement crawl: %d sites, seed %d — loaded "
                         "from disk cache", count, seed)
         ctx = ExperimentContext(web=web, dataset=dataset)
     _CACHE[key] = ctx
     return ctx
+
+
+def _sharded_crawl(pool: CrawlerPool, shards: int) -> CrawlDataset:
+    """Run the pool sharded through a scratch store (sharded runs need a
+    store to merge into; the scratch file is deleted afterwards)."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-sharded-") as scratch:
+        with CrawlStore(Path(scratch) / "crawl.sqlite") as store:
+            return pool.run(store=store, shards=shards)

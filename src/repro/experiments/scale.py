@@ -1,0 +1,294 @@
+"""Paper-scale harness behind ``benchmarks/bench_perf_scale.py``.
+
+The paper crawls ~1M sites; this module proves the pipeline holds up at
+that shape of workload: a sharded, store-backed crawl (``collect=False``)
+followed by a streamed export and a streaming summarize, each phase run in
+its **own spawn subprocess** so ``ru_maxrss`` yields a clean per-phase
+peak-RSS reading (the counter is monotonic per process, so phases sharing
+one process would mask each other).
+
+Measured per tier (default 10k and 100k sites; ``REPRO_SCALE_TIERS``
+overrides — CI smoke runs the 10k tier only):
+
+* crawl throughput (sites/s) and peak RSS with ``collect=False`` — the
+  bounded-memory contract;
+* the store stage's share of crawl wall time, read from the
+  ``store.write_seconds`` histogram that
+  :meth:`~repro.crawler.storage.CrawlStore.save_visits` feeds — gated at
+  :data:`STORE_SHARE_BOUND`;
+* streamed-export and streaming-summarize peak RSS (same bound).
+
+Two correctness gates ride along:
+
+* at the smallest tier, a second *unsharded* crawl is exported and its
+  SHA-256 must equal the sharded export's — the byte-identity contract;
+* the policy engine's structural decision memo must hit on more than
+  :data:`MEMO_RATE_BOUND` of explain decisions over a 500-site crawl,
+  with the streaming summary field-identical to the materialized one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import platform
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+DEFAULT_TIERS = (10_000, 100_000)
+DEFAULT_SHARDS = 4
+DEFAULT_SEED = 2024
+
+#: Peak-RSS ceiling for every phase subprocess.  A bounded-memory 100k
+#: crawl measures well under 200 MiB (the Python runtime plus the store
+#: batch plus the checkpoint rank set); the bound leaves generous headroom
+#: for interpreter/platform variance while still catching any return to
+#: accumulate-everything behaviour, which costs gigabytes at 100k.
+RSS_BOUND_BYTES = 512 * 1024 * 1024
+
+#: The store stage must stay a small share of crawl wall time — batched
+#: transactions, not per-visit commits.
+STORE_SHARE_BOUND = 0.25
+
+#: Structural memo hit-rate floor on the 500-site calibration crawl.
+MEMO_RATE_BOUND = 0.5
+MEMO_SITES = 500
+
+
+def configured_tiers() -> tuple[int, ...]:
+    value = os.environ.get("REPRO_SCALE_TIERS")
+    if not value:
+        return DEFAULT_TIERS
+    tiers = tuple(int(part) for part in value.split(",") if part.strip())
+    if not tiers or any(tier < 1 for tier in tiers):
+        raise ValueError(
+            f"REPRO_SCALE_TIERS must be positive site counts, got {value!r}")
+    return tiers
+
+
+def _peak_rss_bytes() -> int:
+    """This process's peak RSS so far.  ``ru_maxrss`` is KiB on Linux and
+    bytes on macOS."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Phase workers.  Module-level (picklable) and imported lazily inside, so a
+# spawn subprocess pays import cost *inside* its own RSS measurement and the
+# parent process never loads crawl state at all.
+
+
+def _crawl_worker(params: dict) -> dict:
+    """Sharded, store-backed crawl with ``collect=False``."""
+    from repro.crawler.pool import CrawlerPool
+    from repro.crawler.storage import CrawlStore
+    from repro.obs import metrics as _metrics
+    from repro.synthweb.generator import SyntheticWeb
+
+    _metrics.enable_metrics()  # feeds the store.write_seconds histogram
+    web = SyntheticWeb(params["site_count"], seed=params["seed"])
+    pool = CrawlerPool(web, workers=params["workers"],
+                       backend=params["backend"])
+    start = time.perf_counter()
+    with CrawlStore(Path(params["store_path"])) as store:
+        pool.run(store=store, shards=params["shards"], collect=False)
+    seconds = time.perf_counter() - start
+    histogram = (_metrics.REGISTRY.snapshot().get("histograms", {})
+                 .get("store.write_seconds", {}))
+    store_seconds = float(histogram.get("total", 0.0))
+    return {
+        "seconds": round(seconds, 4),
+        "sites_per_second": round(params["site_count"] / seconds, 1),
+        "store_seconds": round(store_seconds, 4),
+        "store_share": round(store_seconds / seconds, 4),
+        "store_writes": int(histogram.get("count", 0)),
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+def _export_worker(params: dict) -> dict:
+    """Stream the store out as JSONL; returns the export's SHA-256."""
+    from repro.crawler.storage import CrawlStore, export_jsonl
+
+    out_path = Path(params["out_path"])
+    start = time.perf_counter()
+    with CrawlStore(Path(params["store_path"])) as store:
+        written = export_jsonl(store.iter_visits(), out_path)
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": round(seconds, 4),
+        "visits": written,
+        "sha256": _sha256_file(out_path),
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+def _summarize_worker(params: dict) -> dict:
+    """Streaming summarize straight off the store."""
+    from repro.analysis.summary import summarize_streaming
+    from repro.crawler.storage import CrawlStore
+
+    start = time.perf_counter()
+    with CrawlStore(Path(params["store_path"])) as store:
+        summary = summarize_streaming(store.iter_visits())
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": round(seconds, 4),
+        "attempted": summary.attempted_sites,
+        "successful": summary.successful_sites,
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+def _memo_worker(params: dict) -> dict:
+    """Calibration crawl for the structural decision memo.
+
+    Runs in its own subprocess so the global metrics registry starts at
+    zero and the hit rate is exactly this crawl's.  Also checks the
+    streaming summary against the materialized one — the gate pairs the
+    perf claim with the field-identity claim.
+    """
+    from repro.analysis.summary import summarize, summarize_streaming
+    from repro.crawler.pool import CrawlerPool
+    from repro.obs import metrics as _metrics
+    from repro.synthweb.generator import SyntheticWeb
+
+    _metrics.enable_metrics()
+    web = SyntheticWeb(params["site_count"], seed=params["seed"])
+    dataset = CrawlerPool(web, workers=params["workers"],
+                          backend=params["backend"]).run()
+    counters = _metrics.REGISTRY.snapshot().get("counters", {})
+    hits = int(counters.get("policy.explain_memo_hits", 0))
+    misses = int(counters.get("policy.explain_memo_misses", 0))
+    total = hits + misses
+    materialized = summarize(dataset)
+    streamed = summarize_streaming(iter(dataset.visits))
+    return {
+        "site_count": params["site_count"],
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / total, 4) if total else 0.0,
+        "summaries_identical": materialized == streamed,
+    }
+
+
+def _run_phase(worker, params: dict) -> dict:
+    """Run one phase worker in a fresh spawn subprocess.
+
+    Spawn (not fork) so the child's ``ru_maxrss`` starts from a clean
+    interpreter baseline instead of inheriting the parent's peak.
+    """
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(1) as pool:
+        return pool.apply(worker, (params,))
+
+
+# ---------------------------------------------------------------------------
+# Document assembly.
+
+
+def measure_tier(site_count: int, *, seed: int = DEFAULT_SEED,
+                 workers: int = 4, shards: int = DEFAULT_SHARDS,
+                 backend: str = "thread",
+                 check_identity: bool = False) -> dict:
+    """Crawl → export → summarize one tier, each phase in a subprocess.
+
+    With ``check_identity``, a second unsharded crawl is run and its
+    export digest compared against the sharded one (only worth paying at
+    the smallest tier; the contract is layout-independent).
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-scale-") as scratch:
+        scratch_path = Path(scratch)
+        base = {"site_count": site_count, "seed": seed, "workers": workers,
+                "backend": backend}
+        store_path = scratch_path / "sharded.sqlite"
+        tier = {
+            "site_count": site_count,
+            "shards": shards,
+            "crawl": _run_phase(_crawl_worker, {
+                **base, "shards": shards, "store_path": str(store_path)}),
+            "export": _run_phase(_export_worker, {
+                "store_path": str(store_path),
+                "out_path": str(scratch_path / "sharded.jsonl")}),
+            "summarize": _run_phase(_summarize_worker, {
+                "store_path": str(store_path)}),
+        }
+        if check_identity:
+            flat_store = scratch_path / "unsharded.sqlite"
+            _run_phase(_crawl_worker, {
+                **base, "shards": 1, "store_path": str(flat_store)})
+            flat_export = _run_phase(_export_worker, {
+                "store_path": str(flat_store),
+                "out_path": str(scratch_path / "unsharded.jsonl")})
+            tier["identity"] = {
+                "unsharded_sha256": flat_export["sha256"],
+                "identical": (flat_export["sha256"]
+                              == tier["export"]["sha256"]),
+            }
+    return tier
+
+
+def check_gates(report: dict) -> dict:
+    """Evaluate every gate over an assembled report (recorded in the
+    document so the JSON is self-describing; the bench asserts them)."""
+    tiers = report["tiers"]
+    phases = [(tier["site_count"], phase, tier[phase]["peak_rss_bytes"])
+              for tier in tiers for phase in ("crawl", "export", "summarize")]
+    memo = report["memo"]
+    return {
+        "rss_bound_bytes": RSS_BOUND_BYTES,
+        "peak_rss_within_bound": all(rss < RSS_BOUND_BYTES
+                                     for _, _, rss in phases),
+        "worst_rss_bytes": max(rss for _, _, rss in phases),
+        "store_share_bound": STORE_SHARE_BOUND,
+        "store_share_within_bound": all(
+            tier["crawl"]["store_share"] <= STORE_SHARE_BOUND
+            for tier in tiers),
+        "worst_store_share": max(tier["crawl"]["store_share"]
+                                 for tier in tiers),
+        "sharded_identical_to_unsharded": all(
+            tier["identity"]["identical"] for tier in tiers
+            if "identity" in tier),
+        "memo_rate_bound": MEMO_RATE_BOUND,
+        "memo_rate_above_bound": memo["hit_rate"] > MEMO_RATE_BOUND,
+        "memo_summaries_identical": memo["summaries_identical"],
+    }
+
+
+def collect_scale(tiers: "tuple[int, ...] | None" = None, *,
+                  seed: int = DEFAULT_SEED, workers: int = 4,
+                  shards: int = DEFAULT_SHARDS,
+                  backend: str = "thread") -> dict:
+    """The full BENCH_scale.json document."""
+    chosen = tuple(tiers) if tiers is not None else configured_tiers()
+    smallest = min(chosen)
+    report = {
+        "seed": seed,
+        "workers": workers,
+        "shards": shards,
+        "backend": backend,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "tiers": [measure_tier(tier, seed=seed, workers=workers,
+                               shards=shards, backend=backend,
+                               check_identity=(tier == smallest))
+                  for tier in chosen],
+        "memo": _run_phase(_memo_worker, {
+            "site_count": MEMO_SITES, "seed": seed, "workers": workers,
+            "backend": backend}),
+    }
+    report["gates"] = check_gates(report)
+    return report

@@ -105,6 +105,7 @@ class PolicyFrame:
     sandboxed: bool = False
     _effective_origin: Origin | None = field(default=None, init=False,
                                              repr=False)
+    _chain_key: tuple | None = field(default=None, init=False, repr=False)
 
     # -- constructors ---------------------------------------------------------
 
@@ -266,6 +267,84 @@ class _IdentityKey:
         return isinstance(other, _IdentityKey) and self.obj is other.obj
 
 
+def _frame_chain_key(frame: PolicyFrame) -> tuple:
+    """Structural key of a frame's whole policy chain (root → frame).
+
+    Two frames with equal chain keys receive identical ``(enabled, reason)``
+    decisions for every feature, so the engine can share memo entries
+    *across* frame trees — e.g. the same widget chain on every crawled
+    website — instead of per frame object.  That soundness rests on three
+    properties of the evaluation:
+
+    - decisions depend only on each chain frame's scheme, sandbox flag,
+      declared policies (header / legacy header / ``allow`` attribute) and
+      the **same-origin relationships** among the origins involved, never
+      on an absolute origin value;
+    - ``same_origin`` is an equivalence relation (structural for tuple
+      origins, identity for opaque ones), so numbering origins by first
+      appearance in a fixed scan order preserves exactly the relation:
+      equal tokens ⇔ same-origin;
+    - reason strings are origin-free (the site-specific ``frame_origin``
+      field is rematerialized per call, not memoized).
+
+    The key is cached on the frame — frames are immutable policy snapshots.
+    """
+    cached = frame._chain_key
+    if cached is not None:
+        return cached
+    chain: list[PolicyFrame] = []
+    node: PolicyFrame | None = frame
+    while node is not None:
+        chain.append(node)
+        node = node.parent
+    chain.reverse()
+
+    tokens: dict[object, int] = {}
+
+    def token(origin: Origin | None) -> int | None:
+        if origin is None:
+            return None
+        # Opaque origins are same-origin by identity only; tuple origins by
+        # (scheme, host, port).  First-appearance numbering keeps tokens
+        # positional, so structurally identical chains over *different*
+        # absolute origins still collide (that is the whole point).
+        key: object = (_IdentityKey(origin) if origin.opaque
+                       else (origin.scheme, origin.host, origin.port))
+        index = tokens.get(key)
+        if index is None:
+            index = len(tokens)
+            tokens[key] = index
+        return index
+
+    def allowlist_key(allowlist: Allowlist) -> tuple:
+        return (allowlist.star, allowlist.self_, allowlist.src,
+                tuple(token(entry) for entry in allowlist.origins))
+
+    parts = []
+    for node in chain:
+        header = node.header
+        fp_header = node.fp_header
+        allow = node.allow
+        parts.append((
+            node.scheme,
+            node.sandboxed,
+            token(node.effective_policy_origin()),
+            token(node.src_origin),
+            None if header is None else tuple(
+                (feature, allowlist_key(allowlist))
+                for feature, allowlist in header.directives.items()),
+            None if fp_header is None else tuple(
+                (feature, allowlist_key(allowlist))
+                for feature, allowlist in fp_header.directives.items()),
+            None if allow is None else tuple(
+                (entry.feature, allowlist_key(entry.allowlist))
+                for entry in allow.entries.values()),
+        ))
+    key = tuple(parts)
+    frame._chain_key = key
+    return key
+
+
 @dataclass(frozen=True)
 class PolicyDecision:
     """Outcome of a policy evaluation with a human-readable reason chain."""
@@ -294,12 +373,19 @@ class PermissionsPolicyEngine:
                  *, local_scheme_bug: bool = True) -> None:
         self._registry = registry if registry is not None else DEFAULT_REGISTRY
         self._local_scheme_bug = local_scheme_bug
-        # Per-frame decision memo.  Frames are immutable policy snapshots
+        # Per-frame working cache.  Frames are immutable policy snapshots
         # (PolicyFrame docstring), so any (feature, origin) decision is
         # stable for a frame's lifetime; weak keys let caches die with
         # their documents instead of pinning every frame ever evaluated.
         self._frame_caches: "weakref.WeakKeyDictionary[PolicyFrame, dict]" = \
             weakref.WeakKeyDictionary()
+        # Cross-frame decision memo keyed on the structural chain key
+        # (:func:`_frame_chain_key`): identical policy chains on different
+        # websites share one entry.  Values are origin-free
+        # ``(enabled, reason)`` pairs; the PolicyDecision is rematerialized
+        # with the asking frame's own origin.
+        self._decision_memo: dict[tuple, tuple[bool, str]] = {}
+        self._features_memo: dict[tuple, tuple[str, ...]] = {}
 
     def __getstate__(self) -> dict:
         # WeakKeyDictionary cannot be pickled; the cache is pure memo state,
@@ -340,12 +426,38 @@ class PermissionsPolicyEngine:
         (defaulting to the frame's own effective origin)."""
         return self.explain(feature, frame, origin).enabled
 
+    #: Epoch bound for the structural memo — far above the chain diversity
+    #: of any real crawl, purely a hostile-input backstop.
+    _MEMO_MAX = 1 << 17
+
     def explain(self, feature: str, frame: PolicyFrame,
                 origin: Origin | None = None) -> PolicyDecision:
         """Like :meth:`is_enabled` but returns the decision with a reason."""
+        if origin is not None:
+            # Explicit query origins are rare (and frame-specific); they
+            # stay on the per-frame cache.
+            return self._explain_per_frame(feature, frame, origin)
+        memo = self._decision_memo
+        key = (_frame_chain_key(frame), feature)
+        cached = memo.get(key)
+        if cached is not None:
+            if _metrics.COUNTING:
+                _memo_counters()[0].inc()
+            enabled, reason = cached
+            return PolicyDecision(feature, enabled, reason,
+                                  frame.effective_policy_origin().serialize())
+        decision = self._explain(feature, frame, None)
+        if len(memo) >= self._MEMO_MAX:
+            memo.clear()
+        memo[key] = (decision.enabled, decision.reason)
+        if _metrics.COUNTING:
+            _memo_counters()[1].inc()
+        return decision
+
+    def _explain_per_frame(self, feature: str, frame: PolicyFrame,
+                           origin: Origin) -> PolicyDecision:
         cache = self._cache_for(frame)
-        key = ("explain", feature,
-               None if origin is None else self._origin_key(origin))
+        key = ("explain", feature, self._origin_key(origin))
         decision = cache.get(key)
         if decision is None:
             decision = self._explain(feature, frame, origin)
@@ -383,13 +495,22 @@ class PermissionsPolicyEngine:
         """All policy-controlled features enabled in ``frame`` — the list
         ``document.permissionsPolicy.allowedFeatures()`` returns, which the
         paper observes many scripts retrieving wholesale (Section 4.1.2)."""
-        cache = self._cache_for(frame)
-        features = cache.get("allowed_features")
+        memo = self._features_memo
+        key = _frame_chain_key(frame)
+        features = memo.get(key)
         if features is None:
+            # A miss fans out into one explain() per policy-controlled
+            # feature, and those count themselves (hit or miss each).
             features = tuple(
                 perm.name for perm in self._registry.policy_controlled()
                 if self.is_enabled(perm.name, frame))
-            cache["allowed_features"] = features
+            if len(memo) >= self._MEMO_MAX:
+                memo.clear()
+            memo[key] = features
+        elif _metrics.COUNTING:
+            # The memo counters count *decisions*: a hit here serves the
+            # whole per-feature fan-out from the memo in one lookup.
+            _memo_counters()[0].inc(len(self._registry.policy_controlled()))
         return features
 
     # -- evaluation -------------------------------------------------------------

@@ -236,13 +236,25 @@ class SyntheticWeb:
 
     # -- site generation ------------------------------------------------------------
 
+    #: Bound on the site-spec memo.  Specs are pure functions of
+    #: (seed, rank), so the cache is dropped wholesale when full (the same
+    #: epoch-clear idiom as the policy engine's decision memo — safe under
+    #: concurrent pool workers, a lost entry just regenerates).  Without a
+    #: bound the memo grows ~3 KB per visited site and quietly dominates
+    #: peak RSS on 100k+ crawls.
+    _SITE_CACHE_MAX = 4096
+
     def site(self, rank: int) -> SiteSpec:
         """The (cached) specification of the site at ``rank``."""
         if rank < 0 or rank >= self.site_count:
             raise IndexError(f"rank {rank} outside [0, {self.site_count})")
-        if rank not in self._site_cache:
-            self._site_cache[rank] = self._generate_site(rank)
-        return self._site_cache[rank]
+        cached = self._site_cache.get(rank)
+        if cached is None:
+            if len(self._site_cache) >= self._SITE_CACHE_MAX:
+                self._site_cache.clear()
+            cached = self._generate_site(rank)
+            self._site_cache[rank] = cached
+        return cached
 
     def _rng(self, purpose: str, key: object) -> random.Random:
         return random.Random(f"{self.seed}:{purpose}:{key}")

@@ -274,7 +274,7 @@ class TestMeasurementDiskCache:
         assert manifest_path.exists() and db_path.exists()
         manifest = json.loads(manifest_path.read_text())
         assert manifest == {
-            "site_count": 240, "seed": 9,
+            "site_count": 240, "seed": 9, "shards": 1,
             "schema_version": runner.SCHEMA_VERSION,
             "code_fingerprint": runner.code_fingerprint(),
         }
