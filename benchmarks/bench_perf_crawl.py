@@ -6,21 +6,26 @@ measurement cache — and writes ``BENCH_crawl.json`` at the repository root
 so the perf trajectory is tracked in-repo (CI uploads it as an artifact).
 
 Scale comes from ``REPRO_PERF_SITES`` (default 2,000; CI smoke uses 500).
-Enforcement: the process backend must not be slower than serial — but only
-on multi-core hosts, since on a single core the process backend pays fork
-and pickling overhead with nothing to parallelise against.  The
+Enforcement: the process backend must not be slower than serial on
+multi-core hosts, and must beat serial by >= 2x on a >= 4-core runner at
+>= 10k sites (the warm-worker-pool claim); gates the runner cannot
+evaluate are recorded under ``gates_skipped`` with the reason.  The
 observability layer must stay under 2 % estimated overhead when disabled
-and must not change the dataset when enabled (DESIGN.md §4f).
+and must not change the dataset when enabled (DESIGN.md §4f).  The
+process backend's realised adaptive chunk schedule is written to
+``BENCH_chunk_schedule.json`` (CI uploads it as an artifact).
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 from repro.experiments.perf import collect, write_report
 
 REPORT_PATH = Path(__file__).parent.parent / "BENCH_crawl.json"
+SCHEDULE_PATH = Path(__file__).parent.parent / "BENCH_chunk_schedule.json"
 PERF_SITES = int(os.environ.get("REPRO_PERF_SITES",
                                 os.environ.get("REPRO_SITES", "2000")))
 
@@ -42,11 +47,32 @@ def test_perf_crawl_report(benchmark):
     assert cache["warm_over_cold"] < 0.10, \
         f"warm cache hit took {cache['warm_over_cold']:.1%} of cold"
 
-    if (os.cpu_count() or 1) >= 2:
-        assert crawl["process"]["seconds"] <= crawl["serial"]["seconds"], (
-            f"process backend ({crawl['process']['seconds']}s) slower than "
-            f"serial ({crawl['serial']['seconds']}s) on a "
-            f"{os.cpu_count()}-core host")
+    # The process backend's autotuned chunk schedule is recorded and
+    # non-empty; write it out as the CI artifact.
+    schedule = crawl["process"]["chunk_schedule"]
+    assert schedule["sizes"], "process backend recorded no chunk schedule"
+    assert sum(schedule["sizes"]) == PERF_SITES
+    SCHEDULE_PATH.write_text(json.dumps({
+        "site_count": PERF_SITES,
+        "schedule": schedule,
+        "run_stats": crawl["process"]["run_stats"],
+    }, indent=2) + "\n")
+
+    # Backend-speedup gates: enforced when the runner can evaluate them,
+    # otherwise recorded as skipped (never silently dropped).
+    gates = report["gates"]
+    assert "gates_skipped" in report
+    skipped = {entry["gate"] for entry in report["gates_skipped"]}
+    for gate in ("process_not_slower_than_serial", "process_2x_serial"):
+        if gate in gates:
+            assert gates[gate], (
+                f"{gate} gate failed: process "
+                f"{crawl['process']['seconds']}s vs serial "
+                f"{crawl['serial']['seconds']}s on a "
+                f"{os.cpu_count()}-core host")
+        else:
+            assert gate in skipped, (
+                f"{gate} neither evaluated nor recorded as skipped")
 
     # Observability gates: disabled instrumentation must cost < 2 % of the
     # crawl (estimated from recorded hook counts × micro-timed per-hook
@@ -59,6 +85,15 @@ def test_perf_crawl_report(benchmark):
     assert obs["disabled_overhead_estimate"] < 0.02, (
         f"disabled observability overhead estimated at "
         f"{obs['disabled_overhead_estimate']:.2%} of the crawl (gate: 2%)")
+    # Both arms run best-of-N from cleared caches, so a warm-cache
+    # asymmetry can no longer report enabling instrumentation as a large
+    # speedup (the old single-pass A/B measured -18.7 %); anything beyond
+    # scheduler noise in the negative direction is a measurement bug.
+    assert obs["rounds"] >= 2
+    assert obs["enabled_overhead"] > -0.02, (
+        f"enabled observability measured {obs['enabled_overhead']:.2%} — "
+        "a negative overhead means the off/on arms were not warmed "
+        "symmetrically")
 
     # The embedded stage breakdown must cover the whole pipeline.
     stage_names = {stage["name"] for stage in report["stages"]["stages"]}

@@ -20,7 +20,16 @@ Enforced gates (also recorded under ``gates`` in the document):
   unsharded crawl's at the smallest tier;
 * the policy engine's structural decision memo hits on > 50 % of explain
   decisions over the 500-site calibration crawl, with the streaming
-  summary field-identical to the materialized one.
+  summary field-identical to the materialized one;
+* the process-parallel summarize produces a digest-identical summary on
+  every tier — and beats the serial pass at the largest tier when the
+  runner has cores;
+* on a >= 4-core runner, the warm process backend crawls the 10k tier at
+  least 2x faster than serial (the ``backend_race`` section).
+
+Gates that cannot be meaningfully evaluated on the runner (e.g. the 2x
+race on a single-core container) are recorded under ``gates_skipped``
+with the reason instead of silently passing.
 """
 
 from __future__ import annotations
@@ -56,6 +65,11 @@ def test_perf_scale_report(benchmark):
         assert tier["crawl"]["sites_per_second"] > 0
         assert tier["export"]["visits"] == tier["site_count"]
         assert tier["summarize"]["attempted"] == tier["site_count"]
+        parallel = tier["summarize_parallel"]
+        assert parallel["attempted"] == tier["site_count"]
+        assert parallel["identical_to_serial"], (
+            f"parallel summarize diverged from serial at "
+            f"{tier['site_count']} sites")
 
     identity = [tier["identity"] for tier in report["tiers"]
                 if "identity" in tier]
@@ -74,4 +88,15 @@ def test_perf_scale_report(benchmark):
     assert all(gates[key] for key in (
         "peak_rss_within_bound", "store_share_within_bound",
         "sharded_identical_to_unsharded", "memo_rate_above_bound",
-        "memo_summaries_identical"))
+        "memo_summaries_identical", "summarize_parallel_identical"))
+
+    # Runner-capability gates: enforced when present, recorded as skipped
+    # (with the reason) when the runner cannot evaluate them.
+    assert "gates_skipped" in report
+    skipped = {entry["gate"] for entry in report["gates_skipped"]}
+    for gate in ("process_2x_serial", "summarize_parallel_faster"):
+        if gate in gates:
+            assert gates[gate], f"{gate} gate failed: {report.get('backend_race')}"
+        else:
+            assert gate in skipped, (
+                f"{gate} neither evaluated nor recorded as skipped")

@@ -133,6 +133,50 @@ class DelegationAnalysis:
         if delegates_third_party:
             self.sites_delegating_third_party += 1
 
+    # -- process-parallel summarize support --------------------------------------
+
+    _PARTIAL_INTS = ("sites_delegating", "sites_delegating_external",
+                     "sites_delegating_third_party",
+                     "sites_with_external_embeds")
+
+    def _partial_state(self) -> dict:
+        """Picklable additive state for one aggregated rank span.  Plain
+        dicts, not the live defaultdicts: ``site_occurrences``' lambda
+        default factory does not pickle."""
+        return {
+            "embedded_site_websites": dict(self.embedded_site_websites),
+            "delegated_site_websites": dict(self.delegated_site_websites),
+            "site_occurrences": {site: list(pair) for site, pair
+                                 in self.site_occurrences.items()},
+            "permission_delegations": dict(self._permission_delegations),
+            "permission_websites": dict(self._permission_websites),
+            "directive_kinds": dict(self.directive_kinds),
+            "ints": {name: getattr(self, name)
+                     for name in self._PARTIAL_INTS},
+        }
+
+    def _merge_partial(self, state: dict) -> None:
+        """Fold one rank span's partial in (spans in rank order, so
+        Counter insertion order — and most_common tie-breaks — match a
+        serial pass)."""
+        for site, count in state["embedded_site_websites"].items():
+            self.embedded_site_websites[site] += count
+        for site, count in state["delegated_site_websites"].items():
+            self.delegated_site_websites[site] += count
+        for site, (occurrences, delegated) in \
+                state["site_occurrences"].items():
+            pair = self.site_occurrences[site]
+            pair[0] += occurrences
+            pair[1] += delegated
+        for permission, count in state["permission_delegations"].items():
+            self._permission_delegations[permission] += count
+        for permission, count in state["permission_websites"].items():
+            self._permission_websites[permission] += count
+        for kind, count in state["directive_kinds"].items():
+            self.directive_kinds[kind] += count
+        for name, value in state["ints"].items():
+            setattr(self, name, getattr(self, name) + value)
+
     # -- shares --------------------------------------------------------------------------
 
     def _share(self, count: int) -> float:

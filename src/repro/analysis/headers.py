@@ -183,6 +183,48 @@ class HeaderAnalysis:
             else:
                 self._embedded_class_counts[cls] += 1
 
+    # -- process-parallel summarize support ------------------------------------
+
+    _PARTIAL_INTS = (
+        "non_local_docs", "non_local_embedded_docs", "pp_top_level_docs",
+        "pp_embedded_docs", "fp_docs", "sites_with_both_headers",
+        "syntax_error_frames", "syntax_error_top_level_sites",
+        "syntax_error_embedded_sites", "semantic_issue_top_level_sites",
+        "semantic_issue_embedded_sites", "valid_top_level_headers")
+
+    def _partial_state(self) -> dict:
+        """Picklable additive state for one aggregated rank span."""
+        return {
+            "ints": {name: getattr(self, name)
+                     for name in self._PARTIAL_INTS},
+            "top_level_directives": {
+                feature: dict(row.counts)
+                for feature, row in self.top_level_directives.items()},
+            "embedded_class_counts": dict(self._embedded_class_counts),
+            "top_level_class_counts": dict(self._top_level_class_counts),
+            "powerful_top_level_class_counts": dict(
+                self._powerful_top_level_class_counts),
+            "header_sizes": list(self._header_sizes),
+        }
+
+    def _merge_partial(self, state: dict) -> None:
+        """Fold one rank span's partial in (spans in rank order)."""
+        for name, value in state["ints"].items():
+            setattr(self, name, getattr(self, name) + value)
+        for feature, counts in state["top_level_directives"].items():
+            row = self.top_level_directives.setdefault(
+                feature, DirectiveClassCounts(feature))
+            for cls, count in counts.items():
+                row.counts[cls] += count
+        for target, key in (
+                (self._embedded_class_counts, "embedded_class_counts"),
+                (self._top_level_class_counts, "top_level_class_counts"),
+                (self._powerful_top_level_class_counts,
+                 "powerful_top_level_class_counts")):
+            for cls, count in state[key].items():
+                target[cls] += count
+        self._header_sizes.extend(state["header_sizes"])
+
     # -- adoption (Figure 2) -------------------------------------------------------------
 
     def adoption(self) -> AdoptionFigures:

@@ -358,6 +358,15 @@ class IncrementalIndex(DatasetIndex):
         self.top_level_documents += visit.top_level_document_count
         return self._index_visit(visit)
 
+    def merge_partial(self, website_count: int,
+                      top_level_documents: int) -> None:
+        """Fold another span's running totals in — the process-parallel
+        summarize aggregates disjoint rank spans on worker-local indexes
+        and merges only these two counters (memo tables are pure caches
+        and need no merging)."""
+        self.website_count += website_count
+        self.top_level_documents += top_level_documents
+
     @property
     def visits(self) -> list[SiteVisit]:
         raise TypeError(

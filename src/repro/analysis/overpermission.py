@@ -133,6 +133,39 @@ class OverPermissionAnalysis:
             permissions, _general = self._index.static(script.source)
             self._activity[frame.site] |= permissions
 
+    # -- process-parallel summarize support ------------------------------------
+
+    def _partial_state(self) -> dict:
+        """Picklable additive state for one aggregated rank span (plain
+        dicts/sets, no defaultdict factories)."""
+        return {
+            "occurrences": dict(self._occurrences),
+            "delegated_occurrences": dict(self._delegated_occurrences),
+            "delegation_counts": {site: dict(counter) for site, counter
+                                  in self._delegation_counts.items()},
+            "activity": {site: set(permissions) for site, permissions
+                         in self._activity.items()},
+            "delegating_websites": {key: set(ranks) for key, ranks
+                                    in self._delegating_websites.items()},
+        }
+
+    def _merge_partial(self, state: dict) -> None:
+        """Fold one rank span's partial in (spans in rank order, so the
+        ``_delegation_counts`` insertion order that drives
+        :meth:`unused_delegations` row order matches a serial pass)."""
+        for site, count in state["occurrences"].items():
+            self._occurrences[site] += count
+        for site, count in state["delegated_occurrences"].items():
+            self._delegated_occurrences[site] += count
+        for site, counts in state["delegation_counts"].items():
+            mine = self._delegation_counts[site]
+            for permission, count in counts.items():
+                mine[permission] += count
+        for site, permissions in state["activity"].items():
+            self._activity[site] |= permissions
+        for key, ranks in state["delegating_websites"].items():
+            self._delegating_websites[key] |= ranks
+
     # -- results ---------------------------------------------------------------------
 
     def profile_for(self, site: str) -> WidgetDelegationProfile:

@@ -28,7 +28,7 @@ are re-exported here for backwards compatibility.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Iterable, Union
 
 from repro.analysis.index import (
@@ -294,6 +294,54 @@ class UsageAnalysis:
                 self.sites_static_embedded_only += 1
         if site_static or top_invoked or embedded_invoked:
             self.sites_any_functionality += 1
+
+    # -- process-parallel summarize support ------------------------------------
+    # A worker aggregates a contiguous rank span through _aggregate_visit,
+    # ships the additive state below, and the parent folds the spans back
+    # in rank order — so dict insertion order (and therefore every
+    # most_common/stable-sort tie-break downstream) matches a serial pass.
+
+    _PARTIAL_INTS = (
+        "sites_any_invocation", "sites_invocation_top",
+        "sites_invocation_embedded", "sites_any_static",
+        "sites_static_top_only", "sites_static_embedded_only",
+        "sites_any_functionality", "sites_any_status_check",
+        "sites_check_top", "sites_check_embedded",
+        "sites_feature_policy_api", "total_top_invoking_contexts",
+        "total_embedded_invoking_contexts", "_top_invoking_first",
+        "_top_invoking_third", "_embedded_invoking_first",
+        "_embedded_invoking_third")
+
+    def _partial_state(self) -> dict:
+        """Picklable additive state: everything ``_aggregate_visit``
+        writes, nothing derived."""
+        return {
+            "invocation_stats": self.invocation_stats,
+            "check_stats": self.check_stats,
+            "static_stats": self.static_stats,
+            "ints": {name: getattr(self, name)
+                     for name in self._PARTIAL_INTS},
+            "permissions_checked": list(
+                self._permissions_checked_per_top_doc),
+        }
+
+    def _merge_partial(self, state: dict) -> None:
+        """Fold one rank span's partial state in (spans in rank order)."""
+        for table_name, cls in (("invocation_stats", ContextStats),
+                                ("check_stats", CheckStats),
+                                ("static_stats", StaticStats)):
+            mine = getattr(self, table_name)
+            count_fields = [f.name for f in fields(cls)
+                            if f.name != "permission"]
+            for permission, theirs in state[table_name].items():
+                stats = self._stats_for(mine, cls, permission)
+                for name in count_fields:
+                    setattr(stats, name,
+                            getattr(stats, name) + getattr(theirs, name))
+        for name, value in state["ints"].items():
+            setattr(self, name, getattr(self, name) + value)
+        self._permissions_checked_per_top_doc.extend(
+            state["permissions_checked"])
 
     # -- shares (percentages relative to top-level documents) ----------------------
 

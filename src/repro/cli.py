@@ -142,6 +142,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="stored crawl to analyse (default: fresh run)")
     analyze.add_argument("--sites", type=int, default=5000)
     analyze.add_argument("--seed", type=int, default=2024)
+    analyze.add_argument("--workers", type=int, default=1,
+                         help="summarize worker processes; >1 fans rank "
+                              "spans of --database out to the warm process "
+                              "pool (requires --database)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -391,8 +395,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.database:
             from repro.analysis.summary import summarize_streaming
             with CrawlStore(args.database) as store:
-                # One streaming pass: the store never has to fit in memory.
-                summary = summarize_streaming(store.iter_visits())
+                # One streaming pass (or one per worker process with
+                # --workers >1): the store never has to fit in memory.
+                summary = summarize_streaming(store, workers=args.workers)
+        elif args.workers > 1:
+            print("error: --workers needs --database — parallel summarize "
+                  "streams rank spans from a stored crawl", file=sys.stderr)
+            return 2
         else:
             web = SyntheticWeb(args.sites, seed=args.seed)
             dataset = CrawlerPool(web, workers=4).run()

@@ -1,10 +1,38 @@
-"""Process-based crawl backend: contiguous rank chunks in worker processes.
+"""Process-based crawl backend: warm persistent workers crawling rank chunks.
 
 The paper ran 40 genuinely parallel crawlers; our crawl is pure-Python
 CPU-bound work, so the thread backend gains nothing from extra workers (the
 GIL serialises them).  This module delivers real parallelism: the rank list
-is sharded into contiguous chunks and each chunk is crawled by a worker
+is cut into contiguous chunks and each chunk is crawled by a worker
 *process* running an ordinary serial :class:`~repro.crawler.pool.CrawlerPool`.
+
+Three mechanisms keep the workers fast (OpenWPM-style crawlers win by
+keeping long-lived browser workers hot, not by per-task process churn):
+
+* **Warm worker state.**  Workers are long-lived: a module-level
+  :class:`ProcessPoolExecutor` persists across runs, and each worker keeps
+  its constructed :class:`~repro.synthweb.generator.SyntheticWeb` and serial
+  pool in process globals keyed by a fingerprint of the constructor
+  parameters.  A worker rebuilds the web only when the web actually
+  changes, instead of once per chunk; the pool initializer also pre-warms
+  the interned parser caches with one throwaway visit.
+
+* **Shard-local persistence.**  With ``store=``, chunk results no longer
+  ship full pickled :class:`~repro.crawler.records.SiteVisit` lists through
+  the result pipe: the worker writes its chunk into a private SQLite
+  sidecar (``<store>.wchunk-…``) via the batched
+  :meth:`~repro.crawler.storage.CrawlStore.save_visits` path and returns
+  only ranks, checksums and telemetry/observability deltas; the parent
+  folds the sidecar in with the ATTACH-based
+  :meth:`~repro.crawler.storage.CrawlStore.merge_from`.  ``collect=True``
+  additionally ships the visits as one protocol-5 pickle blob.
+
+* **Autotuned chunking.**  The first wave of chunks is small so the parent
+  can measure per-site cost from worker timings; later chunks grow toward
+  a target duration (:data:`TARGET_CHUNK_SECONDS`).  Chunk sizes never
+  affect dataset bytes — results merge in rank order — and the realised
+  schedule is recorded on the pool (``last_chunk_schedule``) so a rerun can
+  replay the exact partition via ``CrawlerPool(chunk_schedule=...)``.
 
 Sites are pure functions of ``(seed, rank)``, so a worker needs only the
 web's constructor parameters and its chunk of ranks — no dataset is pickled
@@ -20,12 +48,21 @@ the process backend and get a clear error instead of a pickling traceback.
 
 from __future__ import annotations
 
+import atexit
+import hashlib
+import itertools
 import logging
 import multiprocessing
+import os
 import pickle
 import signal
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, \
+    wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import suppress
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.browser.page import Fetcher
@@ -33,6 +70,7 @@ from repro.crawler.crawler import CrawlConfig
 from repro.crawler.fetcher import SyntheticFetcher
 from repro.crawler.records import SiteVisit
 from repro.crawler.resilience import FaultInjectingFetcher, RetryPolicy
+from repro.crawler.telemetry import ChunkTelemetry, CrawlTelemetry
 from repro.obs import metrics as _metrics
 from repro.obs.tracing import TRACER
 from repro.policy.engine import PermissionsPolicyEngine
@@ -42,14 +80,29 @@ from repro.synthweb.profiles import WidgetProfile
 if TYPE_CHECKING:  # pragma: no cover - import cycle: pool imports backends
     from repro.crawler.pool import CrawlerPool
     from repro.crawler.storage import CrawlStore
-    from repro.crawler.telemetry import CrawlTelemetry
 
 logger = logging.getLogger(__name__)
 
-#: Chunks per worker: more chunks than workers keeps all cores busy when
-#: chunk durations vary, while chunks stay large enough to amortise the
-#: per-chunk SyntheticWeb construction in the child.
+#: Legacy fixed-chunking factor: before the adaptive scheduler, runs were
+#: cut into exactly ``workers × CHUNKS_PER_WORKER`` chunks.  Kept exported
+#: — tests still use it to reproduce chunk-boundary layouts, and it bounds
+#: the fallback partition for tiny target lists.
 CHUNKS_PER_WORKER = 4
+
+#: First-wave chunk size.  Small enough that every worker reports a timing
+#: quickly (the scheduler's only cost model is measured sites/second), big
+#: enough to amortise one result-pipe round trip.
+INITIAL_CHUNK_SIZE = 16
+
+#: The scheduler grows chunks toward this duration: long enough to make
+#: per-chunk overhead (submit, result pipe, sidecar merge) negligible,
+#: short enough that stop requests and progress stay responsive.
+TARGET_CHUNK_SECONDS = 0.5
+
+#: Bounds on adaptive chunk sizes.  The cap also bounds worker memory:
+#: a chunk's visits are the only dataset state a worker holds at once.
+MIN_CHUNK_SIZE = 8
+MAX_CHUNK_SIZE = 4096
 
 
 class FetcherSpec:
@@ -122,9 +175,18 @@ def chunk_ranks(targets: Sequence[int], chunk_count: int) -> list[list[int]]:
     return chunks
 
 
+# ---------------------------------------------------------------------------
+# Warm worker state.
+
+
 @dataclass(frozen=True)
-class _ChunkJob:
-    """Everything a worker process needs to crawl one chunk."""
+class _WorkerRecipe:
+    """Constructor parameters for a worker's web and serial pool.
+
+    Shipped once through the executor initializer and once per chunk job
+    (the per-job copy covers executor reuse across runs whose parameters
+    changed — the worker rebuilds lazily on fingerprint mismatch).
+    """
 
     site_count: int
     seed: int
@@ -134,10 +196,167 @@ class _ChunkJob:
     engine: PermissionsPolicyEngine | None
     retry_policy: RetryPolicy | None
     fetcher_spec: FetcherSpec
+
+    def web_key(self) -> bytes:
+        """Pickle of the web-only parameters (the expensive half)."""
+        return pickle.dumps(
+            (self.site_count, self.seed, self.rates, self.profiles),
+            protocol=5)
+
+
+def _fingerprints(recipe: _WorkerRecipe, recipe_blob: bytes
+                  ) -> tuple[str, str]:
+    """(web fingerprint, pool fingerprint) — SHA-256 over the pickled
+    parameters.  Two-level so fault-injection runs over the same web reuse
+    the worker's constructed web and only rebuild the cheap pool."""
+    return (hashlib.sha256(recipe.web_key()).hexdigest(),
+            hashlib.sha256(recipe_blob).hexdigest())
+
+
+# Per-worker-process globals: (fingerprint, object) pairs.  ``fork`` workers
+# inherit the parent's values — the parent never calls _worker_pool in its
+# own process, so these start empty in every worker.
+_WORKER_WEB: "tuple[str, SyntheticWeb] | None" = None
+_WORKER_POOL: "tuple[str, CrawlerPool] | None" = None
+_WORKER_WEB_BUILDS = 0
+
+
+def _worker_pool(recipe: _WorkerRecipe, web_fp: str, pool_fp: str
+                 ) -> "CrawlerPool":
+    """The worker's warm serial pool, rebuilt only on fingerprint change."""
+    global _WORKER_WEB, _WORKER_POOL, _WORKER_WEB_BUILDS
+    from repro.crawler.pool import CrawlerPool
+
+    if _WORKER_WEB is None or _WORKER_WEB[0] != web_fp:
+        web = SyntheticWeb(recipe.site_count, seed=recipe.seed,
+                           rates=recipe.rates, profiles=recipe.profiles)
+        _WORKER_WEB = (web_fp, web)
+        _WORKER_WEB_BUILDS += 1
+        _WORKER_POOL = None
+    if _WORKER_POOL is None or _WORKER_POOL[0] != pool_fp:
+        pool = CrawlerPool(_WORKER_WEB[1], workers=1, backend="serial",
+                           config=recipe.config, engine=recipe.engine,
+                           retry_policy=recipe.retry_policy,
+                           fetcher_spec=recipe.fetcher_spec)
+        _WORKER_POOL = (pool_fp, pool)
+    return _WORKER_POOL[1]
+
+
+def _ignore_shutdown_signals() -> None:
+    """Workers shield themselves from SIGINT/SIGTERM: graceful shutdown is
+    the *parent's* job (it stops handing out chunks and checkpoints what
+    finished), and a signal delivered to the whole process group must not
+    kill a chunk mid-crawl when the parent is about to wind down cleanly.
+    """
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_IGN)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+
+def _prewarm(pool: "CrawlerPool") -> None:
+    """Crawl one throwaway site to pre-warm the interned parser caches and
+    the engine's structural memos before the first real chunk arrives.
+
+    The warm-up shares the real pool's engine but uses the plain synthetic
+    fetcher; fetchers (and fault-injection state) are per-visit, and memo
+    caches are semantically transparent, so the discarded visit cannot
+    perturb later chunk bytes.
+    """
+    from repro.crawler.pool import CrawlerPool
+
+    if pool.web.site_count < 1:
+        return
+    try:
+        CrawlerPool(pool.web, workers=1, backend="serial",
+                    config=pool.config, engine=pool._engine).run([0])
+    except Exception:  # pragma: no cover - warm-up is best-effort
+        logger.debug("worker warm-up crawl failed", exc_info=True)
+
+
+def _init_worker(recipe_blob: bytes, web_fp: str, pool_fp: str) -> None:
+    """Executor initializer: install signal shields and warm state.
+
+    Failures are swallowed — an initializer exception would wedge the
+    whole executor, whereas a cold worker merely rebuilds on first chunk
+    (and surfaces the real error there).
+    """
+    _ignore_shutdown_signals()
+    try:
+        recipe = pickle.loads(recipe_blob)
+        _prewarm(_worker_pool(recipe, web_fp, pool_fp))
+    except Exception:  # pragma: no cover - defensive
+        logger.exception("worker warm initialization failed")
+
+
+# ---------------------------------------------------------------------------
+# The persistent executor.  One per process, reused across runs (and by the
+# process-parallel summarize) so worker state stays warm; recreated only
+# when the worker count or start method changes.
+
+_WARM_EXECUTOR: "ProcessPoolExecutor | None" = None
+_WARM_KEY: "tuple[int, str] | None" = None
+
+
+def warm_executor(workers: int, start_method: str,
+                  initargs: "tuple | None" = None) -> ProcessPoolExecutor:
+    """The shared warm executor, created on first use.
+
+    ``initargs`` is only consulted when a new executor must be built; an
+    existing executor is reused as-is (its workers rebuild lazily from the
+    per-job recipe when parameters changed).
+    """
+    global _WARM_EXECUTOR, _WARM_KEY
+    key = (workers, start_method)
+    if _WARM_EXECUTOR is not None and _WARM_KEY != key:
+        shutdown_warm_pool()
+    if _WARM_EXECUTOR is None:
+        context = multiprocessing.get_context(start_method)
+        if initargs is None:
+            _WARM_EXECUTOR = ProcessPoolExecutor(
+                max_workers=workers, mp_context=context,
+                initializer=_ignore_shutdown_signals)
+        else:
+            _WARM_EXECUTOR = ProcessPoolExecutor(
+                max_workers=workers, mp_context=context,
+                initializer=_init_worker, initargs=initargs)
+        _WARM_KEY = key
+    return _WARM_EXECUTOR
+
+
+def shutdown_warm_pool() -> None:
+    """Tear the persistent executor down (tests, atexit, broken pools)."""
+    global _WARM_EXECUTOR, _WARM_KEY
+    if _WARM_EXECUTOR is not None:
+        _WARM_EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _WARM_EXECUTOR = None
+        _WARM_KEY = None
+
+
+atexit.register(shutdown_warm_pool)
+
+
+# ---------------------------------------------------------------------------
+# Chunk jobs and results.
+
+
+@dataclass(frozen=True)
+class _ChunkJob:
+    """Everything a worker process needs to crawl one chunk."""
+
+    recipe: _WorkerRecipe
+    web_fp: str
+    pool_fp: str
     ranks: tuple[int, ...]
     #: Position of this chunk in the run (names the worker "process" in
     #: traces and telemetry).
     chunk_index: int = 0
+    #: Sidecar database path for shard-local persistence; ``None`` ships
+    #: the visits through the result pipe instead.
+    shard_path: "str | None" = None
+    #: Whether the parent wants the visits back (protocol-5 pickle blob).
+    collect: bool = True
     #: Whether the parent has tracing / metric collection on; the worker
     #: mirrors that state and ships the deltas back.
     trace: bool = False
@@ -146,36 +365,45 @@ class _ChunkJob:
 
 @dataclass(frozen=True)
 class _ChunkResult:
-    """A crawled chunk plus the worker's observability deltas."""
+    """A crawled chunk's summary plus the worker's observability deltas."""
 
-    visits: list[SiteVisit]
+    chunk_index: int
+    ranks: tuple[int, ...]
+    #: Row checksums as stored in the sidecar (empty without a shard).
+    checksums: tuple[int, ...]
+    #: Protocol-5 pickle of ``list[SiteVisit]`` when the job collected,
+    #: else ``None`` (shard-local handoff ships no visit payload at all).
+    visits_blob: "bytes | None"
+    #: Sidecar path the worker wrote (parent merges and deletes it).
+    shard_path: "str | None"
+    #: Worker-local telemetry delta for the chunk.
+    telemetry: ChunkTelemetry
+    #: Wall seconds the worker spent crawling — the scheduler's cost input.
+    seconds: float
+    worker_pid: int
+    #: Cumulative webs constructed in this worker process (1 == fully warm).
+    web_builds: int
     #: Exported span dicts (:meth:`repro.obs.tracing.Tracer.export_spans`),
     #: only when the job asked for tracing.
     spans: tuple[dict, ...] = ()
     #: Worker metrics snapshot (:meth:`~repro.obs.metrics.MetricsRegistry
     #: .snapshot`), only when the job asked for counting.
-    metrics: dict | None = None
+    metrics: "dict | None" = None
 
 
 def _crawl_chunk(job: _ChunkJob) -> _ChunkResult:
-    """Worker entry point: rebuild the web, crawl the chunk serially.
+    """Worker entry point: crawl one chunk on the warm serial pool.
 
-    Observability state is process-global, and with the fork start method
-    (or a reused spawn worker) it carries over between chunks — so it is
-    set up per job and torn back down in ``finally``.
-
-    Workers shield themselves from SIGINT/SIGTERM: graceful shutdown is
-    the *parent's* job (it stops handing out chunks and checkpoints what
-    finished), and a signal delivered to the whole process group must not
-    kill a chunk mid-crawl when the parent is about to wind down cleanly.
+    Observability state is process-global and carries over between chunks
+    in a long-lived worker — so it is set up per job and torn back down in
+    ``finally``.  The chunk runs against a worker-local
+    :class:`~repro.crawler.telemetry.CrawlTelemetry`; its snapshot ships
+    back as a :class:`~repro.crawler.telemetry.ChunkTelemetry` delta (this
+    is also how guard events cross the process boundary).
     """
-    from repro.crawler.pool import CrawlerPool
+    from repro.crawler.storage import CrawlStore
 
-    for signum in (signal.SIGINT, signal.SIGTERM):
-        try:
-            signal.signal(signum, signal.SIG_IGN)
-        except (ValueError, OSError):  # pragma: no cover - non-main thread
-            pass
+    _ignore_shutdown_signals()
     if job.trace:
         TRACER.clear()
         TRACER.enabled = True
@@ -183,17 +411,32 @@ def _crawl_chunk(job: _ChunkJob) -> _ChunkResult:
         _metrics.REGISTRY.reset()
         _metrics.enable_metrics()
     try:
-        web = SyntheticWeb(job.site_count, seed=job.seed, rates=job.rates,
-                           profiles=job.profiles)
-        pool = CrawlerPool(web, workers=1, backend="serial",
-                           config=job.config, engine=job.engine,
-                           retry_policy=job.retry_policy,
-                           fetcher_spec=job.fetcher_spec)
+        pool = _worker_pool(job.recipe, job.web_fp, job.pool_fp)
+        local = CrawlTelemetry()
+        start = time.perf_counter()
         with TRACER.span("crawl.chunk", chunk=job.chunk_index,
                          ranks=len(job.ranks)):
-            visits = list(pool.run(job.ranks).visits)
+            visits = list(pool.run(job.ranks, telemetry=local).visits)
+        seconds = time.perf_counter() - start
+        checksums: tuple[int, ...] = ()
+        if job.shard_path is not None:
+            with CrawlStore(Path(job.shard_path)) as shard:
+                shard.save_visits(visits)
+                shard.flush()
+                checksums = tuple(
+                    checksum for _, checksum
+                    in sorted(shard.stored_checksums().items()))
         return _ChunkResult(
-            visits=visits,
+            chunk_index=job.chunk_index,
+            ranks=job.ranks,
+            checksums=checksums,
+            visits_blob=(pickle.dumps(visits, protocol=5)
+                         if job.collect else None),
+            shard_path=job.shard_path,
+            telemetry=ChunkTelemetry.from_snapshot(local.snapshot()),
+            seconds=seconds,
+            worker_pid=os.getpid(),
+            web_builds=_WORKER_WEB_BUILDS,
             spans=tuple(TRACER.export_spans()) if job.trace else (),
             metrics=_metrics.REGISTRY.snapshot() if job.count else None,
         )
@@ -206,7 +449,8 @@ def _crawl_chunk(job: _ChunkJob) -> _ChunkResult:
             _metrics.REGISTRY.reset()
 
 
-def _mp_context(name: str | None = None) -> multiprocessing.context.BaseContext:
+def _mp_context(name: "str | None" = None
+                ) -> multiprocessing.context.BaseContext:
     """Fork where available (cheap, shares the warmed interpreter), spawn
     otherwise (macOS/Windows)."""
     if name is None:
@@ -215,22 +459,109 @@ def _mp_context(name: str | None = None) -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context(name)
 
 
+# ---------------------------------------------------------------------------
+# Adaptive chunk scheduling.
+
+
+class _ChunkScheduler:
+    """Deterministic chunk-size planner.
+
+    Adaptive mode starts with :data:`INITIAL_CHUNK_SIZE` chunks to measure
+    per-site cost, then grows chunk sizes toward
+    :data:`TARGET_CHUNK_SECONDS` using the cumulative measured rate,
+    capped by a fair share of the remaining ranks so the tail stays
+    balanced across workers.  Replay mode consumes an explicit recorded
+    size list and reproduces the exact same partition.
+
+    Chunk sizes never affect dataset bytes (results merge in rank order),
+    so adaptivity cannot break determinism; the realised schedule is still
+    recorded so reruns and resumes can be audited chunk for chunk.
+    """
+
+    def __init__(self, total: int, workers: int,
+                 replay: "Sequence[int] | None" = None) -> None:
+        self.total = total
+        self.workers = max(1, workers)
+        self.replay = list(replay) if replay else None
+        self.sizes: list[int] = []
+        self.dispatched = 0
+        self._sites_done = 0
+        self._seconds_done = 0.0
+        # First-wave size: INITIAL_CHUNK_SIZE, but never coarser than the
+        # legacy fixed partition — tiny runs keep fine-grained chunks so
+        # stop requests still land with work left to skip.
+        fair_first = -(-total // (self.workers * CHUNKS_PER_WORKER))
+        self._first_wave = max(1, min(INITIAL_CHUNK_SIZE, fair_first))
+
+    def record(self, sites: int, seconds: float) -> None:
+        """Feed one finished chunk's measured cost back in."""
+        self._sites_done += sites
+        self._seconds_done += seconds
+
+    def next_size(self) -> int:
+        """Size of the next chunk to dispatch; 0 when targets are spent."""
+        remaining = self.total - self.dispatched
+        if remaining <= 0:
+            return 0
+        if self.replay is not None:
+            index = len(self.sizes)
+            size = (self.replay[index] if index < len(self.replay)
+                    else self.replay[-1])
+        elif self._sites_done == 0 or self._seconds_done <= 0.0:
+            size = self._first_wave
+        else:
+            rate = self._sites_done / self._seconds_done
+            goal = int(rate * TARGET_CHUNK_SECONDS)
+            fair = -(-remaining // self.workers)  # ceil: tail balance
+            size = min(max(MIN_CHUNK_SIZE, min(MAX_CHUNK_SIZE, goal)), fair)
+        size = max(1, min(size, remaining))
+        self.sizes.append(size)
+        self.dispatched += size
+        return size
+
+
+# Run tags make sidecar names unique across concurrent pools and across a
+# crashed run's leftovers (which the next run sweeps by glob anyway).
+_RUN_SEQUENCE = itertools.count()
+
+
+def _chunk_sidecar_path(store_path: Path, run_tag: str, index: int) -> Path:
+    """Worker sidecar path: ``<store>.wchunk-<tag>-NNNN``.  Distinct from
+    the ``.shard-NNN`` suffix so :meth:`CrawlerPool.run(shards=)` resume
+    logic never mistakes a chunk sidecar for a shard checkpoint."""
+    return store_path.with_name(
+        f"{store_path.name}.wchunk-{run_tag}-{index:04d}")
+
+
+def _sweep_chunk_sidecars(store_path: Path) -> None:
+    """Delete leftover ``.wchunk-*`` files (crashed or interrupted runs).
+    Their ranks never reached the main store, so the resume logic recrawls
+    them; keeping the files would only leak disk."""
+    for stale in store_path.parent.glob(store_path.name + ".wchunk-*"):
+        with suppress(FileNotFoundError, OSError):
+            stale.unlink()
+
+
 def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
-                       progress: Callable[[int, int], None] | None = None,
+                       progress: "Callable[[int, int], None] | None" = None,
                        store: "CrawlStore | None" = None,
                        telemetry: "CrawlTelemetry | None" = None,
                        collect: bool = True,
                        ) -> list[SiteVisit]:
-    """Crawl ``targets`` across worker processes; returns visits rank-sorted.
+    """Crawl ``targets`` across warm worker processes; returns visits
+    rank-sorted.
 
-    The parent does all persistence and telemetry: each finished chunk is
-    saved to ``store`` as a unit — one batched
-    :meth:`~repro.crawler.storage.CrawlStore.save_visits` call, so
-    checkpointing advances in chunk-sized steps without per-visit commit
-    overhead — and fed to ``telemetry`` visit by visit, so observability
-    never depends on worker scheduling and the dataset bytes match serial
-    runs.  With ``collect=False`` chunk visits are dropped after
-    persistence and an empty list is returned (bounded-memory mode).
+    Chunks are dispatched incrementally on the adaptive schedule (at most
+    ``workers + 1`` outstanding).  With ``store=``, each worker persists
+    its chunk shard-locally and the parent merges the sidecar — one
+    ATTACH merge per chunk, so checkpointing advances in chunk-sized steps
+    without visits ever crossing the result pipe.  Telemetry is applied as
+    per-chunk deltas under ``chunk-NNN`` worker names.  With
+    ``collect=False`` an empty list is returned (bounded-memory mode).
+
+    On a stop request the parent cancels queued chunks but drains running
+    ones (workers ignore signals), merging whatever they finish — the
+    checkpoint keeps every completed chunk.
     """
     if pool._custom_factory:
         raise ValueError(
@@ -240,63 +571,117 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
     if not targets:
         return []
     web = pool.web
-    chunks = chunk_ranks(targets, pool.workers * CHUNKS_PER_WORKER)
-    trace = TRACER.enabled
-    count = _metrics.COUNTING
-    jobs = [_ChunkJob(site_count=web.site_count, seed=web.seed,
-                      rates=web.rates, profiles=web.profiles,
-                      config=pool.config, engine=pool._engine,
-                      retry_policy=pool.retry_policy,
-                      fetcher_spec=pool.fetcher_spec
-                      if pool.fetcher_spec is not None
-                      else SyntheticFetcherSpec(),
-                      ranks=tuple(chunk), chunk_index=index,
-                      trace=trace, count=count)
-            for index, chunk in enumerate(chunks)]
+    recipe = _WorkerRecipe(
+        site_count=web.site_count, seed=web.seed, rates=web.rates,
+        profiles=web.profiles, config=pool.config, engine=pool._engine,
+        retry_policy=pool.retry_policy,
+        fetcher_spec=(pool.fetcher_spec if pool.fetcher_spec is not None
+                      else SyntheticFetcherSpec()))
     try:
-        pickle.dumps(jobs[0])
+        recipe_blob = pickle.dumps(recipe, protocol=5)
     except Exception as exc:
         raise ValueError(
             f"crawl parameters are not picklable for the process backend: "
             f"{exc}") from exc
+    web_fp, pool_fp = _fingerprints(recipe, recipe_blob)
+    trace = TRACER.enabled
+    count = _metrics.COUNTING
+    run_tag = f"{os.getpid():x}-{next(_RUN_SEQUENCE):x}"
+    if store is not None:
+        _sweep_chunk_sidecars(store.path)
 
+    start_method = _mp_context(pool.mp_context).get_start_method()
+    executor = warm_executor(pool.workers, start_method,
+                             initargs=(recipe_blob, web_fp, pool_fp))
+    scheduler = _ChunkScheduler(len(targets), pool.workers,
+                                replay=pool.chunk_schedule)
+    total = len(targets)
     visits: list[SiteVisit] = []
     completed = 0
-    total = len(targets)
-    workers = min(pool.workers, len(jobs))
-    with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=_mp_context(pool.mp_context)
-                             ) as executor:
-        futures = {executor.submit(_crawl_chunk, job): index
-                   for index, job in enumerate(jobs)}
-        for future in as_completed(futures):
-            if pool.stop_requested:
-                # Queued chunks are abandoned (they resume from the
-                # checkpoint later); running ones finish but their
-                # results are not awaited.  Everything already saved
-                # stays saved.
-                cancelled = sum(1 for f in futures if f.cancel())
+    next_target = 0
+    chunk_index = 0
+    pending: "set[Future]" = set()
+    web_builds_by_pid: dict[int, int] = {}
+    stopped = False
+
+    def submit_next() -> bool:
+        nonlocal next_target, chunk_index
+        size = scheduler.next_size()
+        if size <= 0:
+            return False
+        ranks = tuple(targets[next_target:next_target + size])
+        next_target += size
+        shard = (str(_chunk_sidecar_path(store.path, run_tag, chunk_index))
+                 if store is not None else None)
+        job = _ChunkJob(recipe=recipe, web_fp=web_fp, pool_fp=pool_fp,
+                        ranks=ranks, chunk_index=chunk_index,
+                        shard_path=shard, collect=collect,
+                        trace=trace, count=count)
+        pending.add(executor.submit(_crawl_chunk, job))
+        chunk_index += 1
+        return True
+
+    def ingest(result: _ChunkResult) -> None:
+        nonlocal completed
+        index = result.chunk_index
+        scheduler.record(len(result.ranks), result.seconds)
+        builds = web_builds_by_pid.get(result.worker_pid, 0)
+        web_builds_by_pid[result.worker_pid] = max(builds, result.web_builds)
+        if result.spans:
+            TRACER.ingest(result.spans, pid=f"chunk-{index:03d}")
+        if result.metrics is not None:
+            _metrics.REGISTRY.merge(result.metrics)
+        if result.shard_path is not None and store is not None:
+            from repro.crawler.pool import _delete_store_files
+            from repro.crawler.storage import CrawlStore
+            sidecar = Path(result.shard_path)
+            with CrawlStore(sidecar) as shard:
+                store.merge_from(shard)
+            _delete_store_files(sidecar)
+        if telemetry is not None:
+            telemetry.record_chunk(result.telemetry,
+                                   worker=f"chunk-{index:03d}")
+        if result.visits_blob is not None and collect:
+            visits.extend(pickle.loads(result.visits_blob))
+        completed += len(result.ranks)
+        if progress is not None:
+            progress(completed, total)
+
+    try:
+        while len(pending) < pool.workers and submit_next():
+            pass
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                ingest(future.result())
+            if pool.stop_requested and not stopped:
+                stopped = True
+                cancelled = {f for f in pending if f.cancel()}
+                pending -= cancelled
                 logger.warning(
-                    "crawl stop requested: cancelled %d queued chunks",
-                    cancelled)
-                break
-            index = futures[future]
-            result = future.result()
-            chunk_visits = result.visits
-            if result.spans:
-                TRACER.ingest(result.spans, pid=f"chunk-{index:03d}")
-            if result.metrics is not None:
-                _metrics.REGISTRY.merge(result.metrics)
-            if store is not None:
-                store.save_visits(chunk_visits)
-            if telemetry is not None:
-                for visit in chunk_visits:
-                    telemetry.record_visit(visit,
-                                           worker=f"chunk-{index:03d}")
-            if collect:
-                visits.extend(chunk_visits)
-            completed += len(chunk_visits)
-            if progress is not None:
-                progress(completed, total)
+                    "crawl stop requested: cancelled %d queued chunk(s), "
+                    "draining %d running", len(cancelled), len(pending))
+            if not stopped:
+                while len(pending) < pool.workers + 1 and submit_next():
+                    pass
+    except BrokenProcessPool:
+        # A worker died hard (OOM kill, segfault); the executor is
+        # unusable, so drop it — the next run builds a fresh warm pool.
+        shutdown_warm_pool()
+        raise
+
+    pool.last_chunk_schedule = {
+        "mode": "replay" if pool.chunk_schedule else "adaptive",
+        "target_chunk_seconds": TARGET_CHUNK_SECONDS,
+        "initial_chunk_size": INITIAL_CHUNK_SIZE,
+        "workers": pool.workers,
+        "total_sites": total,
+        "sizes": list(scheduler.sizes),
+    }
+    pool.last_run_stats = {
+        "worker_pids": sorted(web_builds_by_pid),
+        "web_builds_total": sum(web_builds_by_pid.values()),
+        "chunks": chunk_index,
+    }
     visits.sort(key=lambda visit: visit.rank)
     return visits

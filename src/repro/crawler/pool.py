@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import contextlib
 import logging
+import math
 import signal
 import threading
 from collections import Counter
@@ -201,9 +202,12 @@ class CrawlDataset:
         return self.top_level_document_count + self.embedded_document_count
 
     def average_duration_seconds(self) -> float:
+        # math.fsum: the exact (correctly rounded) sum, so materialized,
+        # streaming and process-parallel summaries agree bit-for-bit no
+        # matter how the visits were partitioned.
         if not self.visits:
             return 0.0
-        return (sum(visit.duration_seconds for visit in self.visits)
+        return (math.fsum(visit.duration_seconds for visit in self.visits)
                 / len(self.visits))
 
     def sites_with_iframes(self) -> int:
@@ -350,12 +354,20 @@ class CrawlerPool:
                  fetcher_factory: Callable[[], Fetcher] | None = None,
                  fetcher_spec: "FetcherSpec | None" = None,
                  backend: str = "auto",
-                 mp_context: str | None = None) -> None:
+                 mp_context: str | None = None,
+                 chunk_schedule: Sequence[int] | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, "
                              f"got {backend!r}")
+        if chunk_schedule is not None:
+            chunk_schedule = tuple(int(size) for size in chunk_schedule)
+            if not chunk_schedule or any(size < 1
+                                         for size in chunk_schedule):
+                raise ValueError(
+                    "chunk_schedule must be a non-empty sequence of "
+                    "positive chunk sizes")
         if fetcher_factory is not None and fetcher_spec is not None:
             raise ValueError("pass fetcher_factory or fetcher_spec, not both")
         self.web = web
@@ -390,6 +402,17 @@ class CrawlerPool:
             self.fetcher_factory = lambda: fetcher_spec.build(self.web)
         else:
             self.fetcher_factory = lambda: SyntheticFetcher(self.web)
+        #: Explicit chunk-size list for the process backend: replays a
+        #: previously recorded autotuner schedule instead of adapting
+        #: (``None`` = adaptive).  Chunk sizes never change dataset bytes;
+        #: replay exists so a run's partition can be reproduced exactly.
+        self.chunk_schedule = chunk_schedule
+        #: Realised chunk schedule of the most recent process-backend run
+        #: (``{"mode", "sizes", ...}``), ``None`` before any such run.
+        self.last_chunk_schedule: "dict | None" = None
+        #: Warm-worker stats of the most recent process-backend run
+        #: (worker pids, webs constructed, chunk count).
+        self.last_run_stats: "dict | None" = None
         self._stop = threading.Event()
 
     def request_stop(self) -> None:

@@ -409,6 +409,15 @@ class CrawlStore:
             return {row[0] for row in
                     self._conn.execute("SELECT rank FROM visits")}
 
+    def stored_checksums(self) -> "dict[int, int | None]":
+        """Stored row checksums by rank, in rank order (``None`` marks a
+        pre-checksum legacy row).  Cheap — no payload decoding — so the
+        process backend can report chunk checksums without re-encoding
+        every visit."""
+        with self._lock:
+            return {row[0]: row[1] for row in self._conn.execute(
+                "SELECT rank, checksum FROM visits ORDER BY rank")}
+
     def load_dataset(self) -> CrawlDataset:
         """Load everything back into dataset form.
 
@@ -513,9 +522,11 @@ class CrawlStore:
                     continue
                 records_of(visit).append(record)
 
-    def iter_visits(self, *, batch_size: int = _SQL_IN_CHUNK
+    def iter_visits(self, *, batch_size: int = _SQL_IN_CHUNK,
+                    min_rank: "int | None" = None,
+                    max_rank: "int | None" = None
                     ) -> Iterator[SiteVisit]:
-        """Stream every stored visit in rank order with bounded memory.
+        """Stream stored visits in rank order with bounded memory.
 
         Yields exactly what :meth:`load_dataset` would return, but only
         ``batch_size`` visits (plus their child rows) are resident at a
@@ -526,6 +537,10 @@ class CrawlStore:
         skipped and counted exactly as in :meth:`load_dataset`;
         :attr:`last_orphan_counts` / :attr:`last_corrupt_counts` are
         populated when the iterator is exhausted.
+
+        ``min_rank`` / ``max_rank`` bound the walk to an inclusive rank
+        span — the process-parallel summarize streams one contiguous span
+        per worker through this.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -536,15 +551,22 @@ class CrawlStore:
         while True:
             with self._lock:
                 conn = self._conn
-                if last_rank is None:
-                    rows = conn.execute(
-                        f"SELECT {_VISIT_COLUMNS} FROM visits "
-                        "ORDER BY rank LIMIT ?", (batch_size,)).fetchall()
-                else:
-                    rows = conn.execute(
-                        f"SELECT {_VISIT_COLUMNS} FROM visits "
-                        "WHERE rank > ? ORDER BY rank LIMIT ?",
-                        (last_rank, batch_size)).fetchall()
+                clauses: list[str] = []
+                params: list[int] = []
+                if last_rank is not None:
+                    clauses.append("rank > ?")
+                    params.append(last_rank)
+                elif min_rank is not None:
+                    clauses.append("rank >= ?")
+                    params.append(min_rank)
+                if max_rank is not None:
+                    clauses.append("rank <= ?")
+                    params.append(max_rank)
+                where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+                rows = conn.execute(
+                    f"SELECT {_VISIT_COLUMNS} FROM visits{where} "
+                    "ORDER BY rank LIMIT ?",
+                    (*params, batch_size)).fetchall()
                 if not rows:
                     break
                 last_rank = rows[-1][0]
@@ -655,7 +677,12 @@ class CrawlStore:
             finally:
                 conn.execute("DETACH DATABASE merge_src")
             if _metrics.COUNTING:
-                _metrics.REGISTRY.histogram("store.write_seconds").observe(
+                # Separate histogram from save_visits' store.write_seconds:
+                # with shard-local worker writes the row encoding happens in
+                # worker processes (overlapping crawl compute), so merge
+                # cost is the only store work on the parent's critical path
+                # and the scale harness accounts for the two separately.
+                _metrics.REGISTRY.histogram("store.merge_seconds").observe(
                     time.thread_time() - start)
         if _metrics.COUNTING and count:
             _metrics.REGISTRY.counter("store.visits_saved").inc(count)

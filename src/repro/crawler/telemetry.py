@@ -120,6 +120,36 @@ class TelemetrySnapshot:
         return line
 
 
+@dataclass(frozen=True)
+class ChunkTelemetry:
+    """Picklable telemetry delta for one process-backend chunk.
+
+    Workers run their chunk against a worker-local :class:`CrawlTelemetry`
+    and ship this summary back instead of per-visit records; the parent
+    folds it in with :meth:`CrawlTelemetry.record_chunk`.  Failure and
+    guard counts travel as sorted item tuples so the delta hashes/pickles
+    deterministically.
+    """
+
+    completed: int = 0
+    succeeded: int = 0
+    retries: int = 0
+    simulated_seconds: float = 0.0
+    failures: tuple[tuple[str, int], ...] = ()
+    guard_counts: tuple[tuple[str, int], ...] = ()
+
+    @classmethod
+    def from_snapshot(cls, snapshot: TelemetrySnapshot) -> "ChunkTelemetry":
+        return cls(
+            completed=snapshot.completed,
+            succeeded=snapshot.succeeded,
+            retries=snapshot.retries,
+            simulated_seconds=snapshot.simulated_seconds,
+            failures=tuple(sorted(snapshot.failure_counts.items())),
+            guard_counts=tuple(sorted(snapshot.guard_counts.items())),
+        )
+
+
 @dataclass
 class CrawlTelemetry:
     """Thread-safe telemetry collector for one pool run.
@@ -197,6 +227,27 @@ class CrawlTelemetry:
             registry.histogram("crawl.simulated_seconds").observe(
                 visit.duration_seconds)
 
+    def record_chunk(self, chunk: ChunkTelemetry, *, worker: str) -> None:
+        """Fold one process-backend chunk delta in under ``worker``.
+
+        Only the telemetry counters are updated: the worker's metric
+        increments (``crawl.visits`` etc.) arrive separately through the
+        merged :mod:`repro.obs.metrics` registry snapshot, so touching the
+        registry here would double-count them.
+        """
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = self.clock()
+            self._completed += chunk.completed
+            self._succeeded += chunk.succeeded
+            self._retries += chunk.retries
+            self._simulated_seconds += chunk.simulated_seconds
+            self._by_worker[worker] += chunk.completed
+            for taxonomy, count in chunk.failures:
+                self._failures[taxonomy] += count
+            for kind, count in chunk.guard_counts:
+                self._guard_events[kind] += count
+
     def record_interrupted(self) -> None:
         """Note that the run stopped before covering every target."""
         with self._lock:
@@ -208,8 +259,8 @@ class CrawlTelemetry:
         """Count guard interventions (:mod:`repro.crawler.guards` kinds).
 
         The pool forwards per-visit guard events for in-process backends;
-        the process backend reports guard activity through ``repro.obs``
-        metrics instead (worker snapshots merge across processes).
+        the process backend ships them back inside each chunk's
+        :class:`ChunkTelemetry` delta.
         """
         with self._lock:
             self._guard_events[kind] += count

@@ -52,7 +52,14 @@ def time_webgen(site_count: int, seed: int) -> dict:
 
 def time_crawl(site_count: int, seed: int, workers: int,
                backends: Sequence[str] = DEFAULT_BACKENDS) -> dict:
-    """Crawl the same web once per backend; verifies identical results."""
+    """Crawl the same web once per backend; verifies identical results.
+
+    The process backend's realised adaptive chunk schedule and warm-pool
+    stats are recorded alongside its timing (CI uploads the schedule as
+    an artifact via ``BENCH_chunk_schedule.json``).
+    """
+    from repro.crawler.backends import shutdown_warm_pool
+
     web = SyntheticWeb(site_count, seed=seed)
     timings: dict[str, dict] = {}
     reference_counts: tuple[int, int] | None = None
@@ -71,6 +78,10 @@ def time_crawl(site_count: int, seed: int, workers: int,
             "sites_per_second": round(site_count / seconds, 1),
             "workers": 1 if backend == "serial" else workers,
         }
+        if pool.last_chunk_schedule is not None:
+            timings[backend]["chunk_schedule"] = pool.last_chunk_schedule
+            timings[backend]["run_stats"] = pool.last_run_stats
+    shutdown_warm_pool()
     return timings
 
 
@@ -187,35 +198,52 @@ def _metric_increments(snapshot: dict) -> int:
 
 
 def time_observability(site_count: int, seed: int, *,
-                       workers: int = 4) -> dict:
+                       workers: int = 4, rounds: int = 3) -> dict:
     """Cost of the observability layer on the crawl, off and on.
 
-    Two runs of the same crawl: instrumentation off (the default) and on
-    (tracing + metrics).  The *enabled* overhead is measured directly; the
-    *disabled* overhead — the <2 % gate the benchmarks assert — cannot be
-    measured against a nonexistent uninstrumented build, so it is
-    estimated from the hook counts the enabled run recorded, charging
-    span sites and ``COUNTING``-gate sites their separately micro-timed
-    disabled costs, over the disabled runtime.  The
-    result also records that both runs produced equal datasets — the
-    never-changes-dataset-bytes invariant.
+    The same crawl runs ``rounds`` times per arm — instrumentation off
+    (the default) and on (tracing + metrics) — with the interned parser
+    caches cleared before *every* run so neither arm inherits the other's
+    warm caches (the original single-pass A/B ran "off" cold and "on"
+    warm, which reported a negative enabled overhead).  Each arm reports
+    its best-of-N wall clock: the work is deterministic, so the minimum
+    is the least-noise estimate and both minima land on equally warmed
+    engine memos.
+
+    The *enabled* overhead is measured directly; the *disabled* overhead
+    — the <2 % gate the benchmarks assert — cannot be measured against a
+    nonexistent uninstrumented build, so it is estimated from the hook
+    counts the enabled run recorded, charging span sites and
+    ``COUNTING``-gate sites their separately micro-timed disabled costs,
+    over the disabled runtime.  The result also records that both arms
+    produced equal datasets — the never-changes-dataset-bytes invariant.
     """
     from repro.crawler.telemetry import CrawlTelemetry
 
     web = SyntheticWeb(site_count, seed=seed)
     pool = CrawlerPool(web, workers=workers, backend="auto")
 
-    off_seconds, dataset_off = _timed(
-        lambda: pool.run(telemetry=CrawlTelemetry()))
-    with observed():
-        on_seconds, dataset_on = _timed(
+    off_seconds = float("inf")
+    on_seconds = float("inf")
+    span_count = 0
+    increments = 0
+    for _ in range(rounds):
+        clear_parser_caches()
+        seconds, dataset_off = _timed(
             lambda: pool.run(telemetry=CrawlTelemetry()))
-        span_count = TRACER.span_count()
-        increments = _metric_increments(REGISTRY.snapshot())
+        off_seconds = min(off_seconds, seconds)
+        clear_parser_caches()
+        with observed():
+            seconds, dataset_on = _timed(
+                lambda: pool.run(telemetry=CrawlTelemetry()))
+            span_count = TRACER.span_count()
+            increments = _metric_increments(REGISTRY.snapshot())
+        on_seconds = min(on_seconds, seconds)
 
     span_cost, gate_cost = _disabled_hook_costs()
     estimate = (span_count * span_cost + increments * gate_cost) / off_seconds
     return {
+        "rounds": rounds,
         "off_seconds": round(off_seconds, 4),
         "on_seconds": round(on_seconds, 4),
         "enabled_overhead": round(on_seconds / off_seconds - 1.0, 4),
@@ -332,6 +360,59 @@ def time_cache(site_count: int, seed: int, cache_dir: Path) -> dict:
     }
 
 
+#: The process-vs-serial 2x gate only means something with real cores and
+#: enough sites to amortise worker warm-up; below either threshold the
+#: gate is recorded under ``gates_skipped`` instead of silently passing.
+PROCESS_2X_MIN_CPUS = 4
+PROCESS_2X_MIN_SITES = 10_000
+PROCESS_SPEEDUP_BOUND = 2.0
+
+
+def check_crawl_gates(report: dict) -> "tuple[dict, list[dict]]":
+    """``(gates, gates_skipped)`` for a BENCH_crawl.json document.
+
+    Gates the runner cannot meaningfully evaluate (process speedups on a
+    single-core container) are listed in ``gates_skipped`` with the
+    reason, so a green report never hides an unexercised claim.
+    """
+    cpus = report.get("cpu_count") or 1
+    crawl = report["crawl"]
+    obs = report["observability"]
+    gates = {
+        "obs_datasets_identical": obs["datasets_identical"],
+        "disabled_obs_overhead_bound": 0.02,
+        "disabled_obs_overhead_under_bound":
+            obs["disabled_overhead_estimate"] < 0.02,
+    }
+    skipped: list[dict] = []
+    if "process" not in crawl or "serial" not in crawl:
+        skipped.append({"gate": "process_2x_serial",
+                        "reason": "process/serial backends not both timed"})
+        return gates, skipped
+    if cpus >= 2:
+        gates["process_not_slower_than_serial"] = (
+            crawl["process"]["seconds"] <= crawl["serial"]["seconds"])
+    else:
+        skipped.append({
+            "gate": "process_not_slower_than_serial",
+            "reason": f"single-core host (cpu_count={cpus}): the process "
+                      "backend has nothing to parallelise against"})
+    if cpus >= PROCESS_2X_MIN_CPUS and report["site_count"] >= \
+            PROCESS_2X_MIN_SITES:
+        speedup = round(crawl["serial"]["seconds"]
+                        / crawl["process"]["seconds"], 2)
+        gates["process_speedup_bound"] = PROCESS_SPEEDUP_BOUND
+        gates["process_speedup_vs_serial"] = speedup
+        gates["process_2x_serial"] = speedup >= PROCESS_SPEEDUP_BOUND
+    else:
+        skipped.append({
+            "gate": "process_2x_serial",
+            "reason": f"needs >= {PROCESS_2X_MIN_CPUS} CPUs (have {cpus}) "
+                      f"and >= {PROCESS_2X_MIN_SITES} sites (have "
+                      f"{report['site_count']})"})
+    return gates, skipped
+
+
 def collect(site_count: int, *, seed: int = runner.DEFAULT_SEED,
             workers: int = 4,
             backends: Sequence[str] = DEFAULT_BACKENDS,
@@ -341,7 +422,7 @@ def collect(site_count: int, *, seed: int = runner.DEFAULT_SEED,
 
     if cache_dir is None:
         cache_dir = Path(tempfile.mkdtemp(prefix="perm-odyssey-bench-"))
-    return {
+    report = {
         "site_count": site_count,
         "seed": seed,
         "cpu_count": os.cpu_count(),
@@ -355,6 +436,8 @@ def collect(site_count: int, *, seed: int = runner.DEFAULT_SEED,
                                             workers=workers),
         "stages": collect_stages(site_count, seed=seed, workers=workers),
     }
+    report["gates"], report["gates_skipped"] = check_crawl_gates(report)
+    return report
 
 
 def collect_stages(site_count: int, *, seed: int = runner.DEFAULT_SEED,

@@ -12,6 +12,7 @@ from repro.crawler.backends import (
     FaultInjectionSpec,
     SyntheticFetcherSpec,
     chunk_ranks,
+    shutdown_warm_pool,
 )
 from repro.crawler.pool import BACKENDS, CrawlDataset, CrawlerPool
 from repro.crawler.resilience import RetryPolicy
@@ -157,6 +158,117 @@ class TestBackendSelection:
         assert pickle.loads(pickle.dumps(spec)) == spec
         assert pickle.loads(pickle.dumps(SyntheticFetcherSpec())) \
             == SyntheticFetcherSpec()
+
+
+class TestWarmWorkers:
+    """The persistent worker pool: warm web reuse across chunks and runs,
+    the recorded adaptive schedule, replay determinism, and shard-local
+    sidecar hygiene."""
+
+    def test_workers_build_one_web_each_not_one_per_chunk(self, web):
+        shutdown_warm_pool()  # start from a cold executor
+        pool = CrawlerPool(web, workers=2, backend="process",
+                           chunk_schedule=[5])
+        pool.run()
+        stats = pool.last_run_stats
+        assert stats["chunks"] == SITES // 5
+        assert 1 <= len(stats["worker_pids"]) <= 2
+        # The reuse claim: webs built == worker processes, not chunks.
+        assert stats["web_builds_total"] == len(stats["worker_pids"])
+
+    def test_warm_pool_survives_across_runs(self, web):
+        shutdown_warm_pool()
+        first = CrawlerPool(web, workers=2, backend="process")
+        first.run()
+        second = CrawlerPool(web, workers=2, backend="process")
+        second.run()
+        # Same executor, same web fingerprint: no worker rebuilt anything.
+        assert second.last_run_stats["web_builds_total"] == \
+            len(second.last_run_stats["worker_pids"])
+        assert set(second.last_run_stats["worker_pids"]) <= \
+            set(first.last_run_stats["worker_pids"])
+
+    def test_adaptive_schedule_recorded_and_covers_run(self, web):
+        pool = CrawlerPool(web, workers=2, backend="process")
+        pool.run()
+        schedule = pool.last_chunk_schedule
+        assert schedule["mode"] == "adaptive"
+        assert schedule["sizes"] and sum(schedule["sizes"]) == SITES
+        assert schedule["total_sites"] == SITES
+
+    def test_replay_reproduces_partition_and_bytes(self, web, serial_dataset,
+                                                   tmp_path):
+        adaptive = CrawlerPool(web, workers=2, backend="process")
+        dataset = adaptive.run()
+        sizes = adaptive.last_chunk_schedule["sizes"]
+        replayed = CrawlerPool(web, workers=2, backend="process",
+                               chunk_schedule=sizes)
+        dataset_again = replayed.run()
+        assert replayed.last_chunk_schedule["mode"] == "replay"
+        assert replayed.last_chunk_schedule["sizes"] == sizes
+        assert dataset_bytes(dataset_again, tmp_path, "replayed") == \
+            dataset_bytes(dataset, tmp_path, "adaptive") == \
+            dataset_bytes(serial_dataset, tmp_path, "reference")
+
+    def test_chunk_schedule_validation(self, web):
+        with pytest.raises(ValueError, match="chunk_schedule"):
+            CrawlerPool(web, backend="process", chunk_schedule=[])
+        with pytest.raises(ValueError, match="chunk_schedule"):
+            CrawlerPool(web, backend="process", chunk_schedule=[4, 0])
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_shard_local_store_byte_identical(self, tmp_path, seed):
+        """collect=False shard-local handoff: the store a process crawl
+        writes through worker sidecars is byte-identical to a serial
+        crawl's, and no ``.wchunk-*`` sidecar survives the run."""
+        local_web = SyntheticWeb(40, seed=seed)
+        with CrawlStore(tmp_path / f"serial-{seed}.sqlite") as store:
+            CrawlerPool(local_web, workers=1, backend="serial").run(
+                store=store)
+            serial_bytes = _store_export_bytes(store, tmp_path)
+        with CrawlStore(tmp_path / f"proc-{seed}.sqlite") as store:
+            returned = CrawlerPool(local_web, workers=2,
+                                   backend="process").run(
+                store=store, collect=False)
+            process_bytes = _store_export_bytes(store, tmp_path)
+        assert returned.visits == []
+        assert process_bytes == serial_bytes
+        assert not list(tmp_path.glob(f"proc-{seed}.sqlite.wchunk-*"))
+
+    def test_stale_sidecars_swept_on_run_start(self, web, tmp_path):
+        db = tmp_path / "crawl.sqlite"
+        stale = tmp_path / "crawl.sqlite.wchunk-dead-0007"
+        with CrawlStore(db) as store:
+            stale.write_bytes(b"leftover from a crashed run")
+            CrawlerPool(web, workers=2, backend="process").run(
+                range(10), store=store)
+        assert not stale.exists()
+
+    def test_interrupted_adaptive_run_resumes_byte_identical(
+            self, web, serial_dataset, tmp_path):
+        """Kill-and-resume under the adaptive scheduler: whatever chunk
+        boundary the stop lands on, resume completes byte-identically."""
+        db = tmp_path / "adaptive.sqlite"
+        pool = CrawlerPool(web, workers=2, backend="process")
+
+        def stop_early(done: int, total: int) -> None:
+            if done >= 5:
+                pool.request_stop()
+
+        with CrawlStore(db) as store:
+            pool.run(store=store, progress=stop_early, collect=False)
+            interrupted = len(store.stored_ranks())
+            assert 0 < interrupted < SITES
+            resumed = CrawlerPool(web, workers=2, backend="process").run(
+                store=store, resume=True)
+        assert dataset_bytes(resumed, tmp_path, "resumed") == \
+            dataset_bytes(serial_dataset, tmp_path, "reference")
+
+
+def _store_export_bytes(store, tmp_path):
+    out = tmp_path / "store-export.jsonl"
+    export_jsonl(store.iter_visits(), out)
+    return out.read_bytes()
 
 
 class TestProcessTelemetry:

@@ -225,9 +225,57 @@ class TestStreamingSummary:
             streamed = summarize_streaming(store.iter_visits())
         assert streamed == summarize(dataset)
 
+    def test_streaming_accepts_store_directly(self, dataset, tmp_path):
+        with CrawlStore(tmp_path / "x.sqlite") as store:
+            store.save_visits(dataset.visits)
+            assert summarize_streaming(store) == summarize(dataset)
+
     def test_streaming_empty(self):
         summary = summarize_streaming(iter(()))
         assert summary.attempted_sites == 0
+
+
+class TestParallelSummary:
+    """Process-parallel summarize: field-identical to the serial pass,
+    store-only, with a serial fallback for stores too small to fan out."""
+
+    def test_parallel_equals_serial(self, dataset, tmp_path):
+        from repro.crawler.backends import shutdown_warm_pool
+
+        with CrawlStore(tmp_path / "x.sqlite") as store:
+            store.save_visits(dataset.visits)
+            serial = summarize_streaming(store)
+            parallel = summarize_streaming(store, workers=3)
+        shutdown_warm_pool()
+        assert parallel == serial
+        assert parallel == summarize(dataset)
+
+    def test_parallel_requires_store(self, dataset):
+        with pytest.raises(ValueError, match="CrawlStore"):
+            summarize_streaming(iter(dataset.visits), workers=2)
+
+    def test_small_store_falls_back_to_serial(self, dataset, tmp_path):
+        with CrawlStore(tmp_path / "tiny.sqlite") as store:
+            store.save_visits(dataset.visits[:3])
+            # 3 ranks cannot fill two spans per worker: serial fallback,
+            # identical result, no worker pool spun up.
+            summary = summarize_streaming(store, workers=8)
+        expected = summarize_streaming(iter(dataset.visits[:3]))
+        assert summary == expected
+
+    def test_parallel_with_observability_on(self, dataset, tmp_path):
+        from repro.crawler.backends import shutdown_warm_pool
+        from repro.obs import TRACER, observed
+
+        with CrawlStore(tmp_path / "x.sqlite") as store:
+            store.save_visits(dataset.visits)
+            plain = summarize_streaming(store)
+            with observed():
+                traced = summarize_streaming(store, workers=3)
+                spans = TRACER.span_count()
+        shutdown_warm_pool()
+        assert traced == plain
+        assert spans > 0
 
 
 def _random_tree(rng: random.Random) -> list[PolicyFrame]:
