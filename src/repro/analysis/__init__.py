@@ -20,12 +20,23 @@ every aggregate of the paper's Section 4 and 5:
 * :mod:`repro.analysis.fingerprinting` — the permission-list
   fingerprinting surface hypothesised in Section 4.1.1;
 * :mod:`repro.analysis.report` — text rendering and paper-vs-measured
-  comparison helpers.
+  comparison helpers;
+* :mod:`repro.analysis.drift` — longitudinal crawl diffs and the N-era
+  drift timeline (DESIGN.md §4i), rendered by
+  :mod:`repro.analysis.drift_report`.
 """
 
 from repro.analysis.categories import DelegationPurpose, purpose_clusters
 from repro.analysis.chains import NestedDelegationAnalysis, rebuild_policy_frames
 from repro.analysis.delegation import DelegationAnalysis
+from repro.analysis.drift import (
+    CrawlDiff,
+    DriftTimeline,
+    StoreMetrics,
+    build_timeline,
+    diff_stores,
+    profile_store,
+)
 from repro.analysis.index import DatasetIndex, VisitIndex, as_index
 from repro.analysis.fingerprinting import fingerprint_surface
 from repro.analysis.landing_bias import LandingBiasReport, measure_landing_bias
@@ -43,9 +54,11 @@ from repro.analysis.usage import UsageAnalysis
 from repro.analysis.violations import ViolationAnalysis
 
 __all__ = [
+    "CrawlDiff",
     "DatasetIndex",
     "DelegationAnalysis",
     "DelegationPurpose",
+    "DriftTimeline",
     "HeaderAnalysis",
     "VisitIndex",
     "MeasurementSummary",
@@ -55,14 +68,18 @@ __all__ = [
     "RankBucketAnalysis",
     "OverPermissionAnalysis",
     "Party",
+    "StoreMetrics",
     "UsageAnalysis",
     "ViolationAnalysis",
     "as_index",
+    "build_timeline",
     "classify_call_party",
+    "diff_stores",
     "evaluate_default_disallow_all",
     "fingerprint_surface",
     "local_scheme_attack_surface",
     "measure_landing_bias",
+    "profile_store",
     "purpose_clusters",
     "rebuild_policy_frames",
     "summarize",

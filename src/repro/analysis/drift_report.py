@@ -1,0 +1,310 @@
+"""Deterministic rendering for drift results: text tables + HTML.
+
+Text goes through :func:`repro.analysis.report.render_table` like every
+other report in the repo.  The HTML dashboard is zero-dependency — one
+self-contained document, inline CSS, no scripts — and **byte
+deterministic** for a fixed input: no timestamps, no environment
+sniffing, no unordered iteration, fixed float formatting.  The drift
+bench (``benchmarks/bench_perf_drift.py``) renders the same timeline in
+two separate subprocesses and gates on identical SHA-256.
+
+Every dynamic string (site names, failure reasons, feature names) is
+HTML-escaped: stores can hold hostile crawl data (DESIGN.md §4g) and the
+report must never become an injection vector.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.analysis.drift import (
+    DRIFT_METRICS,
+    CrawlDiff,
+    DriftTimeline,
+    SiteSignature,
+    StoreMetrics,
+)
+from repro.analysis.report import render_table
+from repro.obs.tracing import TRACER
+
+#: Metrics rendered as percentages (everything else is a count).
+PERCENT_METRICS = frozenset(
+    name for name in DRIFT_METRICS if name.endswith("_share"))
+
+#: Feature-mix rows shown per store in the HTML report.
+_MIX_ROWS = 8
+
+
+def _fmt_value(metric: str, value: float) -> str:
+    if metric in PERCENT_METRICS:
+        return f"{value:.2%}"
+    return f"{value:,.0f}"
+
+
+def _fmt_absolute(metric: str, value: float) -> str:
+    if metric in PERCENT_METRICS:
+        return f"{value:+.2%}"
+    return f"{value:+,.0f}"
+
+
+def _fmt_relative(value: "float | None") -> str:
+    return "n/a" if value is None else f"{value:+.1%}"
+
+
+def _signature_cell(signature: SiteSignature) -> str:
+    headers = []
+    if signature.has_pp_header:
+        headers.append("PP")
+    if signature.has_fp_header:
+        headers.append("FP")
+    status = "ok" if signature.success else \
+        f"failed({signature.failure or 'unknown'})"
+    features = ",".join(signature.delegated_features) or "-"
+    return f"{status} hdr={'+'.join(headers) or '-'} allow={features}"
+
+
+# ---------------------------------------------------------------------------
+# Text rendering.
+
+
+def render_timeline_text(timeline: DriftTimeline) -> str:
+    """The timeline as one monospace table (metrics × eras + total Δ)."""
+    rows = []
+    for series in timeline.series:
+        rows.append((
+            series.metric,
+            *(_fmt_value(series.metric, value) for value in series.values),
+            _fmt_absolute(series.metric, series.total_delta),
+        ))
+    return render_table(
+        ("metric", *timeline.labels, "Δ last-first"), rows,
+        title=f"drift timeline ({' → '.join(timeline.labels)})")
+
+
+def render_diff_text(diff: CrawlDiff, *, max_site_rows: int = 20) -> str:
+    """The diff as stacked tables: site sets, metric deltas, changes."""
+    sections = [render_table(
+        ("sites", "count"),
+        (("added", len(diff.added)),
+         ("removed", len(diff.removed)),
+         ("changed", len(diff.changed)),
+         ("unchanged", diff.unchanged_sites)),
+        title=(f"crawl diff: {diff.before.label} → {diff.after.label}"
+               + (" (identical)" if diff.is_empty else "")))]
+    sections.append(render_table(
+        ("metric", diff.before.label, diff.after.label, "Δ", "rel"),
+        ((delta.metric, _fmt_value(delta.metric, delta.before),
+          _fmt_value(delta.metric, delta.after),
+          _fmt_absolute(delta.metric, delta.absolute),
+          _fmt_relative(delta.relative))
+         for delta in diff.deltas),
+        title="aggregate deltas"))
+    if diff.changed:
+        shown = diff.changed[:max_site_rows]
+        rows = [(delta.site, delta.rank, ", ".join(delta.changed_fields),
+                 _signature_cell(delta.before), _signature_cell(delta.after))
+                for delta in shown]
+        title = f"changed sites (first {len(shown)} of {len(diff.changed)})"
+        sections.append(render_table(
+            ("site", "rank", "changed", "before", "after"), rows,
+            title=title))
+    return "\n\n".join(sections)
+
+
+# ---------------------------------------------------------------------------
+# HTML rendering.
+
+_CSS = """\
+body{margin:2rem auto;max-width:72rem;padding:0 1rem;
+font:14px/1.5 system-ui,-apple-system,'Segoe UI',sans-serif;
+color:#1a2330;background:#fff}
+h1{font-size:1.4rem;margin-bottom:.25rem}
+h2{font-size:1.05rem;margin-top:2rem;border-bottom:1px solid #d8dee6;
+padding-bottom:.25rem}
+p.sub{color:#5b6878;margin-top:0}
+table{border-collapse:collapse;width:100%;margin:.75rem 0}
+th,td{padding:.3rem .6rem;text-align:right;border-bottom:1px solid #e4e8ee;
+white-space:nowrap}
+th{color:#5b6878;font-weight:600}
+th:first-child,td:first-child{text-align:left}
+td.name{font-family:ui-monospace,SFMono-Regular,Menlo,monospace;
+font-size:13px}
+.delta-up{color:#0a7a3d;font-weight:600}
+.delta-down{color:#b42318;font-weight:600}
+.delta-flat{color:#5b6878}
+.bar{display:inline-block;height:.7rem;background:#3566b0;
+border-radius:2px;vertical-align:baseline}
+.bar-cell{width:12rem;text-align:left}
+.note{color:#5b6878;font-size:13px}
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _delta_class(value: float) -> str:
+    if value > 0:
+        return "delta-up"
+    if value < 0:
+        return "delta-down"
+    return "delta-flat"
+
+
+def _delta_cell(metric: str, value: float) -> str:
+    return (f'<td class="{_delta_class(value)}">'
+            f"{_esc(_fmt_absolute(metric, value))}</td>")
+
+
+def _bar_cell(value: float, scale: float) -> str:
+    width = 0.0 if scale <= 0 else min(100.0, 100.0 * value / scale)
+    return (f'<td class="bar-cell"><span class="bar" '
+            f'style="width:{width:.2f}%">&nbsp;</span></td>')
+
+
+def _document(title: str, body: "list[str]") -> str:
+    parts = [
+        "<!doctype html>",
+        '<html lang="en">',
+        "<head>",
+        '<meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head>",
+        "<body>",
+        *body,
+        "</body>",
+        "</html>",
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def _metrics_table(timeline: DriftTimeline) -> "list[str]":
+    out = ["<table>", "<tr><th>metric</th>"]
+    for label in timeline.labels:
+        out.append(f"<th>{_esc(label)}</th>")
+    out.append("<th>Δ last-first</th><th>trend</th></tr>")
+    for series in timeline.series:
+        scale = max(series.values) if series.values else 0.0
+        cells = [f'<td class="name">{_esc(series.metric)}</td>']
+        cells.extend(
+            f"<td>{_esc(_fmt_value(series.metric, value))}</td>"
+            for value in series.values)
+        cells.append(_delta_cell(series.metric, series.total_delta))
+        cells.append(_bar_cell(series.values[-1], scale))
+        out.append("<tr>" + "".join(cells) + "</tr>")
+    out.append("</table>")
+    return out
+
+
+def _mix_table(metrics: StoreMetrics) -> "list[str]":
+    rows = metrics.allow_feature_mix[:_MIX_ROWS]
+    if not rows:
+        return [f"<p class=\"note\">{_esc(metrics.label)}: "
+                "no external delegations</p>"]
+    out = [f"<h2>Delegated-feature mix — {_esc(metrics.label)}</h2>",
+           "<table>",
+           "<tr><th>feature</th><th>share of delegations</th>"
+           "<th></th></tr>"]
+    scale = rows[0][1]
+    for feature, share in rows:
+        out.append(
+            "<tr>"
+            f'<td class="name">{_esc(feature)}</td>'
+            f"<td>{_esc(f'{share:.2%}')}</td>"
+            f"{_bar_cell(share, scale)}"
+            "</tr>")
+    out.append("</table>")
+    return out
+
+
+def render_timeline_html(timeline: DriftTimeline, *,
+                         title: str = "Permissions drift report") -> str:
+    """The N-era drift dashboard as one self-contained HTML document."""
+    with TRACER.span("drift.render_html", kind="timeline",
+                     eras=len(timeline.labels)):
+        body = [
+            f"<h1>{_esc(title)}</h1>",
+            f'<p class="sub">{_esc(" → ".join(timeline.labels))} · '
+            f"{len(timeline.series)} metrics · counts are sites, "
+            "shares are top-level-document weighted</p>",
+            "<h2>Metric drift</h2>",
+            *_metrics_table(timeline),
+        ]
+        for metrics in timeline.metrics:
+            body.extend(_mix_table(metrics))
+        return _document(title, body)
+
+
+def _site_rows_html(title: str, rows: "list[str]",
+                    total: int, shown: int) -> "list[str]":
+    out = [f"<h2>{_esc(title)}</h2>"]
+    if shown < total:
+        out.append(f'<p class="note">showing first {shown} of {total}</p>')
+    out.extend(rows)
+    return out
+
+
+def render_diff_html(diff: CrawlDiff, *, title: str | None = None,
+                     max_site_rows: int = 50) -> str:
+    """One crawl diff as a self-contained HTML document."""
+    if title is None:
+        title = f"Crawl diff: {diff.before.label} → {diff.after.label}"
+    with TRACER.span("drift.render_html", kind="diff"):
+        body = [
+            f"<h1>{_esc(title)}</h1>",
+            f'<p class="sub">{len(diff.added):,} added · '
+            f"{len(diff.removed):,} removed · {len(diff.changed):,} "
+            f"changed · {diff.unchanged_sites:,} unchanged"
+            + (" — stores are identical" if diff.is_empty else "") + "</p>",
+            "<h2>Aggregate deltas</h2>",
+            "<table>",
+            f"<tr><th>metric</th><th>{_esc(diff.before.label)}</th>"
+            f"<th>{_esc(diff.after.label)}</th><th>Δ</th><th>rel</th></tr>",
+        ]
+        for delta in diff.deltas:
+            body.append(
+                "<tr>"
+                f'<td class="name">{_esc(delta.metric)}</td>'
+                f"<td>{_esc(_fmt_value(delta.metric, delta.before))}</td>"
+                f"<td>{_esc(_fmt_value(delta.metric, delta.after))}</td>"
+                f"{_delta_cell(delta.metric, delta.absolute)}"
+                f"<td>{_esc(_fmt_relative(delta.relative))}</td>"
+                "</tr>")
+        body.append("</table>")
+        if diff.changed:
+            shown = diff.changed[:max_site_rows]
+            rows = ["<table>",
+                    "<tr><th>site</th><th>rank</th><th>changed</th>"
+                    "<th>before</th><th>after</th></tr>"]
+            for delta in shown:
+                rows.append(
+                    "<tr>"
+                    f'<td class="name">{_esc(delta.site)}</td>'
+                    f"<td>{delta.rank:,}</td>"
+                    f"<td>{_esc(', '.join(delta.changed_fields))}</td>"
+                    f"<td>{_esc(_signature_cell(delta.before))}</td>"
+                    f"<td>{_esc(_signature_cell(delta.after))}</td>"
+                    "</tr>")
+            rows.append("</table>")
+            body.extend(_site_rows_html("Changed sites", rows,
+                                        len(diff.changed), len(shown)))
+        for name, signatures in (("Added sites", diff.added),
+                                 ("Removed sites", diff.removed)):
+            if not signatures:
+                continue
+            shown_sigs = signatures[:max_site_rows]
+            rows = ["<table>",
+                    "<tr><th>site</th><th>rank</th><th>signature</th></tr>"]
+            for signature in shown_sigs:
+                rows.append(
+                    "<tr>"
+                    f'<td class="name">{_esc(signature.site)}</td>'
+                    f"<td>{signature.rank:,}</td>"
+                    f"<td>{_esc(_signature_cell(signature))}</td>"
+                    "</tr>")
+            rows.append("</table>")
+            body.extend(_site_rows_html(name, rows, len(signatures),
+                                        len(shown_sigs)))
+        return _document(title, body)

@@ -8,6 +8,10 @@
   ``--progress`` streams crawl telemetry, and ``--shards N`` with
   ``--no-collect`` runs paper-scale crawls in bounded memory;
 * ``merge-stores`` — merge shard crawl databases into one store;
+* ``diff-stores`` — streamed per-site + aggregate diff of two stored
+  crawls (text, JSON or HTML);
+* ``drift-report`` — fold N stored crawls into a drift timeline and
+  render the fused report (DESIGN.md §4i);
 * ``telemetry`` — run a (optionally fault-injected) crawl and print the
   full telemetry report;
 * ``analyze`` — print the Section 4 headline comparison for a stored or
@@ -199,6 +203,39 @@ def _build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--into", required=True, metavar="DATABASE",
                        help="target crawl database (created if missing)")
 
+    diff = sub.add_parser(
+        "diff-stores",
+        help="diff two stored crawls: per-site added/removed/changed sets "
+             "plus aggregate metric deltas, streamed in rank order so "
+             "neither store is ever materialized (DESIGN.md §4i)")
+    diff.add_argument("before", help="older crawl database")
+    diff.add_argument("after", help="newer crawl database")
+    diff.add_argument("--labels", default=None, metavar="A,B",
+                      help="comma-separated labels (default: file stems)")
+    diff.add_argument("--json", action="store_true",
+                      help="print the field-stable JSON document instead "
+                           "of text tables")
+    diff.add_argument("--html", default=None, metavar="FILE",
+                      help="also write the self-contained HTML report "
+                           "(deterministic bytes for a fixed input)")
+    diff.add_argument("--max-site-rows", type=int, default=20,
+                      help="per-site rows listed per section (counts are "
+                           "always complete)")
+
+    drift = sub.add_parser(
+        "drift-report",
+        help="fold N stored crawls (oldest first) into a drift timeline "
+             "and render it as text, JSON or the HTML dashboard")
+    drift.add_argument("stores", nargs="+",
+                       help="crawl databases in chronological order")
+    drift.add_argument("--labels", default=None, metavar="A,B,...",
+                       help="comma-separated era labels (default: file "
+                            "stems)")
+    drift.add_argument("--json", action="store_true",
+                       help="print the timeline as JSON")
+    drift.add_argument("--html", default=None, metavar="FILE",
+                       help="also write the self-contained HTML dashboard")
+
     ejsonl = sub.add_parser(
         "export-jsonl",
         help="export a crawl database as JSON lines (atomic write with a "
@@ -244,6 +281,21 @@ def _build_parser() -> argparse.ArgumentParser:
              "(the paper's features.md, machine-readable)")
     export_registry.add_argument("--output", default="features.json")
     return parser
+
+
+def _parse_labels(raw: str | None, expected: int,
+                  paths: list[str]) -> tuple[str, ...]:
+    """``--labels a,b,...`` validated against the store count, defaulting
+    to the database file stems."""
+    if raw is None:
+        from pathlib import Path
+        return tuple(Path(path).stem for path in paths)
+    labels = tuple(part.strip() for part in raw.split(","))
+    if len(labels) != expected or not all(labels):
+        raise SystemExit(
+            f"error: --labels needs {expected} comma-separated names, "
+            f"got {raw!r}")
+    return labels
 
 
 def _write_trace(path: str) -> None:
@@ -367,6 +419,44 @@ def main(argv: list[str] | None = None) -> int:
         count = merge_stores(args.into, args.shards)
         print(f"merged {count} visits from {len(args.shards)} store(s) "
               f"into {args.into}")
+        return 0
+
+    if command == "diff-stores":
+        import json as _json
+
+        from repro.analysis.drift import diff_stores
+        from repro.analysis.drift_report import (render_diff_html,
+                                                 render_diff_text)
+        labels = _parse_labels(args.labels, 2, [args.before, args.after])
+        diff = diff_stores(args.before, args.after, labels=labels)
+        if args.html:
+            with open(args.html, "w", encoding="utf-8") as handle:
+                handle.write(render_diff_html(
+                    diff, max_site_rows=args.max_site_rows))
+            print(f"wrote {args.html}")
+        if args.json:
+            print(_json.dumps(diff.to_json(max_site_rows=args.max_site_rows),
+                              indent=2))
+        elif not args.html:
+            print(render_diff_text(diff, max_site_rows=args.max_site_rows))
+        return 0
+
+    if command == "drift-report":
+        import json as _json
+
+        from repro.analysis.drift import build_timeline
+        from repro.analysis.drift_report import (render_timeline_html,
+                                                 render_timeline_text)
+        labels = _parse_labels(args.labels, len(args.stores), args.stores)
+        timeline = build_timeline(args.stores, labels=labels)
+        if args.html:
+            with open(args.html, "w", encoding="utf-8") as handle:
+                handle.write(render_timeline_html(timeline))
+            print(f"wrote {args.html}")
+        if args.json:
+            print(_json.dumps(timeline.to_json(), indent=2))
+        elif not args.html:
+            print(render_timeline_text(timeline))
         return 0
 
     if command == "export-jsonl":

@@ -737,14 +737,42 @@ class CrawlStore:
         return int(row[0])
 
     def count_header_sites(self, header: str = "permissions-policy") -> int:
-        """Websites whose top-level document sends ``header``."""
-        pattern = f'%"{header}"%'
+        """Websites whose top-level document sends ``header``.
+
+        Matches on the JSON *keys* of the stored header map (names are
+        persisted lowercased).  A plain ``LIKE '%"name"%'`` would
+        false-positive whenever a hostile header *value* contains the
+        quoted header name — the PR 5 adversarial corpus produces exactly
+        that — so the substring match survives only as a prefilter in the
+        fallback path for SQLite builds without the JSON1 extension,
+        where each candidate row is re-checked against its parsed keys
+        (``json.dumps`` always emits the quoted key, so the prefilter is
+        provably a superset)."""
+        name = header.lower()
         with self._lock:
-            row = self._conn.execute(
-                "SELECT COUNT(*) FROM frames "
-                "WHERE parent_id IS NULL AND headers LIKE ?", (pattern,)
-            ).fetchone()
-        return int(row[0])
+            try:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM frames "
+                    "WHERE parent_id IS NULL AND EXISTS ("
+                    "SELECT 1 FROM json_each(frames.headers) "
+                    "WHERE json_each.key = ?)", (name,)
+                ).fetchone()
+                return int(row[0])
+            except sqlite3.OperationalError:
+                rows = self._conn.execute(
+                    "SELECT headers FROM frames "
+                    "WHERE parent_id IS NULL AND headers LIKE ?",
+                    (f'%"{name}"%',)
+                ).fetchall()
+        count = 0
+        for (raw,) in rows:
+            try:
+                parsed = json.loads(raw)
+            except (TypeError, ValueError):
+                continue
+            if isinstance(parsed, dict) and name in parsed:
+                count += 1
+        return count
 
     def count_delegating_sites(self) -> int:
         """Websites with at least one direct iframe carrying an allow

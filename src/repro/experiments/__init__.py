@@ -6,6 +6,7 @@ benchmark harness and the EXPERIMENTS.md generator both consume these, so
 the numbers in the docs and in ``pytest benchmarks/`` always agree.
 """
 
+from repro.experiments.drift_study import drift_study
 from repro.experiments.robustness import expected_noise_floor, seed_sweep
 from repro.experiments.runner import ExperimentContext, run_measurement
 from repro.experiments.tables import ALL_EXPERIMENTS, ExperimentResult
@@ -14,6 +15,7 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentContext",
     "ExperimentResult",
+    "drift_study",
     "expected_noise_floor",
     "run_measurement",
     "seed_sweep",

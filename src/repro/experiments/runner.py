@@ -32,7 +32,7 @@ import json
 import logging
 import os
 import sqlite3
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from functools import cached_property
 from pathlib import Path
 
@@ -46,6 +46,7 @@ from repro.crawler.pool import CrawlDataset, CrawlerPool
 from repro.crawler.storage import SCHEMA_VERSION, CrawlStore
 from repro.obs import metrics as _metrics
 from repro.obs.tracing import TRACER
+from repro.synthweb.distributions import GeneratorRates
 from repro.synthweb.generator import SyntheticWeb
 
 logger = logging.getLogger(__name__)
@@ -99,7 +100,7 @@ class ExperimentContext:
         return 1_000_000 / self.web.site_count
 
 
-_CACHE: dict[tuple[int, int, int], ExperimentContext] = {}
+_CACHE: dict[tuple[int, int, int, str], ExperimentContext] = {}
 _FINGERPRINT: str | None = None
 
 
@@ -146,31 +147,48 @@ def code_fingerprint() -> str:
     return _FINGERPRINT
 
 
-def _manifest(count: int, seed: int, shards: int = 1) -> dict:
+def _rates_variant(rates: GeneratorRates) -> str:
+    """A short, stable tag for non-default generator rates — used to name
+    the cache entry when the caller does not pass an explicit variant."""
+    payload = json.dumps(asdict(rates), sort_keys=True).encode()
+    return "rates-" + hashlib.sha256(payload).hexdigest()[:12]
+
+
+def _manifest(count: int, seed: int, shards: int = 1,
+              rates: GeneratorRates | None = None) -> dict:
     # The shard layout is part of the cache key: sharded and unsharded
     # runs are byte-identical by contract, but a cache entry must still
     # record exactly how it was produced so a layout-specific regression
     # can never masquerade as a clean cache hit for the other layout.
-    return {"site_count": count, "seed": seed,
-            "shards": shards,
-            "schema_version": SCHEMA_VERSION,
-            "code_fingerprint": code_fingerprint()}
+    manifest = {"site_count": count, "seed": seed,
+                "shards": shards,
+                "schema_version": SCHEMA_VERSION,
+                "code_fingerprint": code_fingerprint()}
+    if rates is not None:
+        # Non-default generator rates (era measurements) are part of the
+        # identity: two variants with colliding names must never alias.
+        manifest["rates"] = asdict(rates)
+    return manifest
 
 
-def _cache_paths(count: int, seed: int) -> tuple[Path, Path]:
-    base = cache_directory() / f"measurement-{count}-{seed}"
+def _cache_paths(count: int, seed: int,
+                 variant: str = "") -> tuple[Path, Path]:
+    suffix = f"-{variant}" if variant else ""
+    base = cache_directory() / f"measurement-{count}-{seed}{suffix}"
     return base.with_suffix(".json"), base.with_suffix(".sqlite")
 
 
-def _load_cached(count: int, seed: int,
-                 shards: int = 1) -> CrawlDataset | None:
+def _load_cached(count: int, seed: int, shards: int = 1,
+                 rates: GeneratorRates | None = None,
+                 variant: str = "") -> CrawlDataset | None:
     """The cached dataset, or ``None`` on any miss or mismatch."""
-    manifest_path, db_path = _cache_paths(count, seed)
+    manifest_path, db_path = _cache_paths(count, seed, variant)
     try:
         manifest = json.loads(manifest_path.read_text())
     except (OSError, ValueError):
         return None
-    if manifest != _manifest(count, seed, shards) or not db_path.exists():
+    if manifest != _manifest(count, seed, shards, rates) \
+            or not db_path.exists():
         return None
     try:
         with CrawlStore(db_path) as store:
@@ -183,7 +201,9 @@ def _load_cached(count: int, seed: int,
 
 
 def _store_cached(count: int, seed: int, dataset: CrawlDataset,
-                  shards: int = 1) -> None:
+                  shards: int = 1,
+                  rates: GeneratorRates | None = None,
+                  variant: str = "") -> None:
     """Best-effort write; the manifest lands last as completeness marker.
 
     Any filesystem *or* SQLite failure is swallowed (the measurement run
@@ -191,7 +211,7 @@ def _store_cached(count: int, seed: int, dataset: CrawlDataset,
     inside sqlite3 with ``sqlite3.OperationalError``, not ``OSError``); a
     half-written manifest tmp file is removed so nothing stale lingers.
     """
-    manifest_path, db_path = _cache_paths(count, seed)
+    manifest_path, db_path = _cache_paths(count, seed, variant)
     tmp = manifest_path.with_suffix(".json.tmp")
     try:
         db_path.parent.mkdir(parents=True, exist_ok=True)
@@ -201,7 +221,7 @@ def _store_cached(count: int, seed: int, dataset: CrawlDataset,
             stale.unlink(missing_ok=True)
         with CrawlStore(db_path) as store:
             store.save_dataset(dataset)
-        tmp.write_text(json.dumps(_manifest(count, seed, shards)))
+        tmp.write_text(json.dumps(_manifest(count, seed, shards, rates)))
         tmp.replace(manifest_path)
     except (OSError, sqlite3.Error) as exc:
         logger.warning("measurement cache write failed, continuing without "
@@ -219,7 +239,9 @@ def run_measurement(site_count: int | None = None, *,
                     workers: int = 4,
                     backend: str | None = None,
                     use_cache: bool | None = None,
-                    shards: int | None = None) -> ExperimentContext:
+                    shards: int | None = None,
+                    rates: GeneratorRates | None = None,
+                    variant: str | None = None) -> ExperimentContext:
     """Run (or reuse) the measurement crawl at the given scale.
 
     Lookup order: in-process cache, then the disk cache (when enabled and
@@ -235,20 +257,35 @@ def run_measurement(site_count: int | None = None, *,
     byte-identical to unsharded by contract), but the layout is recorded
     in the disk-cache manifest, so entries produced under different shard
     layouts never collide.
+
+    ``rates`` runs the crawl over a non-default generator configuration
+    (era measurements — :func:`repro.synthweb.eras.era_context`); such
+    runs get their own cache entries, named by ``variant`` (default: a
+    hash of the rates) and guarded by the rates recorded in the manifest,
+    so they can never alias the default measurement or each other.
     """
     count = site_count if site_count is not None else configured_site_count()
     cached = use_cache if use_cache is not None else cache_enabled()
     layout = shards if shards is not None else 1
     if layout < 1:
         raise ValueError("shards must be >= 1")
-    key = (count, seed, layout)
+    if variant is not None:
+        tag = variant
+        if not tag or not all(ch.isalnum() or ch in "-_" for ch in tag):
+            raise ValueError(
+                f"variant must be a non-empty [-_a-zA-Z0-9] tag, got {tag!r}")
+    else:
+        tag = _rates_variant(rates) if rates is not None else ""
+    key = (count, seed, layout, tag)
     if cached and key in _CACHE:
         if _metrics.COUNTING:
             _metrics.REGISTRY.counter("measurement_cache.memory_hits").inc()
         return _CACHE[key]
-    with TRACER.span("experiment.run_measurement", sites=count, seed=seed):
-        web = SyntheticWeb(count, seed=seed)
-        dataset = _load_cached(count, seed, layout) if cached else None
+    with TRACER.span("experiment.run_measurement", sites=count, seed=seed,
+                     variant=tag or "default"):
+        web = SyntheticWeb(count, seed=seed, rates=rates)
+        dataset = (_load_cached(count, seed, layout, rates, tag)
+                   if cached else None)
         if _metrics.COUNTING and cached:
             name = ("measurement_cache.disk_hits" if dataset is not None
                     else "measurement_cache.disk_misses")
@@ -256,17 +293,19 @@ def run_measurement(site_count: int | None = None, *,
         if dataset is None:
             chosen = backend if backend is not None else configured_backend()
             logger.info("measurement crawl: %d sites, seed %d, backend %s, "
-                        "%d shard(s)", count, seed, chosen, layout)
+                        "%d shard(s)%s", count, seed, chosen, layout,
+                        f", variant {tag}" if tag else "")
             pool = CrawlerPool(web, workers=workers, backend=chosen)
             if layout > 1:
                 dataset = _sharded_crawl(pool, layout)
             else:
                 dataset = pool.run()
             if cached:
-                _store_cached(count, seed, dataset, layout)
+                _store_cached(count, seed, dataset, layout, rates, tag)
         else:
-            logger.info("measurement crawl: %d sites, seed %d — loaded "
-                        "from disk cache", count, seed)
+            logger.info("measurement crawl: %d sites, seed %d%s — loaded "
+                        "from disk cache", count, seed,
+                        f", variant {tag}" if tag else "")
         ctx = ExperimentContext(web=web, dataset=dataset)
     _CACHE[key] = ctx
     return ctx

@@ -81,40 +81,83 @@ class EraComparison:
     pp_top_level_share: float
     fp_top_level_share: float
     sites_delegating_share: float
+    #: True union share of top frames sending *either* header, measured
+    #: from the visits.  ``None`` only for hand-built comparisons that
+    #: predate the field (JSON round-trips, older callers).
+    any_header_top_level_share: "float | None" = None
 
     @property
     def any_header_share(self) -> float:
-        # Approximation: overlap between the two headers is tiny (2,302
-        # sites of 1M in the paper).
+        """Share of top-level sites sending either header.
+
+        The measured union when available; otherwise falls back to the
+        historical approximation ``pp + fp`` — documented as such because
+        it double-counts dual-header sites (2,302 of 1M in the paper) and
+        can exceed 1.0 on heavily dual-headed inputs."""
+        if self.any_header_top_level_share is not None:
+            return self.any_header_top_level_share
         return self.pp_top_level_share + self.fp_top_level_share
 
 
-def measure_era(era: Era, site_count: int = 3000, *, seed: int = 2024,
-                workers: int = 4) -> EraComparison:
-    """Crawl one era's web and summarise its adoption numbers."""
-    from repro.analysis.delegation import DelegationAnalysis
-    from repro.analysis.headers import HeaderAnalysis
-    from repro.crawler.pool import CrawlerPool
-    from repro.synthweb.generator import SyntheticWeb
+def era_variant(era: Era) -> str:
+    """The measurement-cache variant tag for one era's crawl."""
+    return f"era{era.value}"
+
+
+def era_context(era: Era, site_count: int = 3000, *, seed: int = 2024,
+                workers: int = 4, backend: str | None = None,
+                use_cache: bool | None = None, shards: int | None = None):
+    """One era's measurement run as an
+    :class:`~repro.experiments.runner.ExperimentContext`.
+
+    Routed through :func:`~repro.experiments.runner.run_measurement`, so
+    era crawls get the full measurement stack — disk cache (per-era
+    variant entries), backend selection, sharding — instead of rebuilding
+    the web from scratch on every call."""
+    # Imported lazily: synthweb is a fingerprinted package and must not
+    # import the experiment layer at module load.
+    from repro.experiments.runner import run_measurement
 
     profile = rates_for_era(era)
-    web = SyntheticWeb(site_count, seed=seed, rates=profile.rates)
-    dataset = CrawlerPool(web, workers=workers).run()
-    visits = dataset.successful()
-    headers = HeaderAnalysis(visits)
-    delegation = DelegationAnalysis(visits)
-    fp_top = sum(1 for visit in visits
-                 if visit.top_frame.header("feature-policy") is not None)
+    return run_measurement(site_count, seed=seed, workers=workers,
+                           backend=backend, use_cache=use_cache,
+                           shards=shards, rates=profile.rates,
+                           variant=era_variant(era))
+
+
+def measure_era(era: Era, site_count: int = 3000, *, seed: int = 2024,
+                workers: int = 4,
+                use_cache: bool | None = None) -> EraComparison:
+    """Crawl (or cache-load) one era's web and summarise its adoption.
+
+    Byte-identical to the historical direct ``CrawlerPool(...).run()``
+    path (asserted in ``tests/test_eras.py``), but served through the
+    measurement cache so repeated transition curves reuse the stored
+    crawl instead of regenerating three webs."""
+    ctx = era_context(era, site_count, seed=seed, workers=workers,
+                      use_cache=use_cache)
+    visits = ctx.dataset.successful()
+    headers = ctx.headers
+    top_docs = max(1, headers.top_level_documents)
+    fp_top = any_top = 0
+    for visit in visits:
+        top = visit.top_frame
+        has_fp = top.header("feature-policy") is not None
+        fp_top += has_fp
+        any_top += has_fp or top.header("permissions-policy") is not None
     return EraComparison(
         era=era,
         pp_top_level_share=headers.adoption().pp_top_level_share,
-        fp_top_level_share=fp_top / max(1, headers.top_level_documents),
-        sites_delegating_share=delegation.share_sites_delegating,
+        fp_top_level_share=fp_top / top_docs,
+        sites_delegating_share=ctx.delegation.share_sites_delegating,
+        any_header_top_level_share=any_top / top_docs,
     )
 
 
 def transition_curve(site_count: int = 3000, *, seed: int = 2024,
-                     workers: int = 4) -> list[EraComparison]:
+                     workers: int = 4,
+                     use_cache: bool | None = None) -> list[EraComparison]:
     """Adoption measurements for the full 2020 → 2024 timeline."""
-    return [measure_era(era, site_count, seed=seed, workers=workers)
+    return [measure_era(era, site_count, seed=seed, workers=workers,
+                        use_cache=use_cache)
             for era in (Era.Y2020, Era.Y2022, Era.Y2024)]

@@ -225,3 +225,55 @@ class TestSqlAggregates:
         from repro.analysis.delegation import DelegationAnalysis
         analysis = DelegationAnalysis(dataset.successful())
         assert store.count_delegating_sites() >= analysis.sites_delegating
+
+    @staticmethod
+    def _visit_with_headers(rank, headers):
+        from repro.crawler.records import FrameRecord, SiteVisit
+        url = f"https://site-{rank}.example"
+        return SiteVisit(
+            rank=rank, requested_url=url, final_url=url, success=True,
+            frames=[FrameRecord(
+                frame_id=0, url=url, origin=url,
+                site=f"site-{rank}.example", parent_id=None, depth=0,
+                is_local=False, headers=headers, iframe_attributes=None)])
+
+    @pytest.fixture()
+    def hostile_store(self, tmp_path):
+        # One real Permissions-Policy sender, plus two sites whose header
+        # *values* embed the quoted key string — the exact shape that
+        # fooled the old LIKE-substring counter.
+        with CrawlStore(tmp_path / "hostile.sqlite") as store:
+            store.save_visits([
+                self._visit_with_headers(
+                    0, {"permissions-policy": "camera=()"}),
+                self._visit_with_headers(
+                    1, {"x-taunt": 'sends "permissions-policy" never'}),
+                self._visit_with_headers(
+                    2, {"server": '{"permissions-policy": "fake"}'}),
+            ])
+            yield store
+
+    def test_header_count_ignores_hostile_values(self, hostile_store):
+        assert hostile_store.count_header_sites() == 1
+
+    def test_header_count_fallback_without_json1(self, hostile_store):
+        """The LIKE-prefilter + json.loads fallback (no json_each) must
+        agree with the JSON1 path."""
+        import sqlite3
+
+        real = hostile_store._conn
+
+        class NoJson1:
+            def execute(self, sql, *params):
+                if "json_each" in sql:
+                    raise sqlite3.OperationalError("no such table: json_each")
+                return real.execute(sql, *params)
+
+            def __getattr__(self, name):
+                return getattr(real, name)
+
+        hostile_store._conn = NoJson1()
+        try:
+            assert hostile_store.count_header_sites() == 1
+        finally:
+            hostile_store._conn = real

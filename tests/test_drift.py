@@ -1,0 +1,408 @@
+"""Tests for the longitudinal drift engine (DESIGN.md §4i).
+
+The ISSUE-8 correctness matrix: self-diff empty across all three crawl
+backends, diff(A,B) the exact inverse of diff(B,A), streamed diff equal
+to a materialized-dataset reference diff field-by-field, deterministic
+timelines over seeds 1/2/3, deterministic + escaped HTML rendering, and
+the CLI wiring.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.drift import (
+    DRIFT_METRICS,
+    SIGNATURE_FIELDS,
+    CrawlDiff,
+    SiteDelta,
+    build_timeline,
+    diff_stores,
+    metric_deltas,
+    profile_store,
+    profile_visits,
+    site_signature,
+    timeline_from_metrics,
+)
+from repro.analysis.drift_report import (
+    render_diff_html,
+    render_diff_text,
+    render_timeline_html,
+    render_timeline_text,
+)
+from repro.crawler.pool import CrawlerPool
+from repro.crawler.storage import CrawlStore
+from repro.synthweb.eras import Era, rates_for_era
+from repro.synthweb.generator import SyntheticWeb
+
+SITES = 300
+SEED = 11
+
+
+def _era_dataset(era, *, sites=SITES, seed=SEED, backend="serial"):
+    web = SyntheticWeb(sites, seed=seed, rates=rates_for_era(era).rates)
+    return CrawlerPool(web, workers=2, backend=backend).run()
+
+
+def _save(path, visits):
+    with CrawlStore(path) as store:
+        store.save_visits(visits)
+    return path
+
+
+@pytest.fixture(scope="module")
+def era_datasets():
+    return {era: _era_dataset(era)
+            for era in (Era.Y2020, Era.Y2022, Era.Y2024)}
+
+
+@pytest.fixture(scope="module")
+def era_stores(era_datasets, tmp_path_factory):
+    root = tmp_path_factory.mktemp("drift-stores")
+    return {era: _save(root / f"era-{era.value}.sqlite", dataset.visits)
+            for era, dataset in era_datasets.items()}
+
+
+class TestSiteSignature:
+    def test_fields_are_the_changed_vocabulary(self):
+        signature = site_signature(_era_dataset(
+            Era.Y2024, sites=5).visits[0])
+        for name in SIGNATURE_FIELDS:
+            assert hasattr(signature, name)
+
+    def test_json_round_trip_is_field_stable(self, era_datasets):
+        signature = site_signature(era_datasets[Era.Y2024].visits[0])
+        payload = json.loads(json.dumps(signature.to_json()))
+        assert payload["rank"] == signature.rank
+        assert payload["site"] == signature.site
+        assert tuple(payload["delegated_features"]) \
+            == signature.delegated_features
+
+
+class TestSelfDiff:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_self_diff_empty_across_backends(self, backend, era_datasets,
+                                             era_stores, tmp_path):
+        dataset = _era_dataset(Era.Y2024, backend=backend)
+        path = _save(tmp_path / f"{backend}.sqlite", dataset.visits)
+        diff = diff_stores(path, path)
+        assert diff.is_empty
+        assert diff.unchanged_sites == SITES
+        assert diff.before == diff.after
+        # Backends are byte-identical, so a cross-backend diff against
+        # the serial store is empty too.
+        cross = diff_stores(era_stores[Era.Y2024], path)
+        assert cross.is_empty
+
+    def test_self_diff_metric_deltas_all_zero(self, era_stores):
+        diff = diff_stores(era_stores[Era.Y2020], era_stores[Era.Y2020])
+        for delta in diff.deltas:
+            assert delta.absolute == 0.0
+
+
+class TestInverse:
+    @pytest.fixture(scope="class")
+    def pair(self, era_datasets, tmp_path_factory):
+        root = tmp_path_factory.mktemp("inverse")
+        # A drops the first 20 ranks; B drops the last 50 — so both
+        # directions see added *and* removed sites, plus era-driven
+        # changes in the shared middle.
+        visits_a = [v for v in era_datasets[Era.Y2020].visits if v.rank >= 20]
+        visits_b = [v for v in era_datasets[Era.Y2024].visits if v.rank < 250]
+        return (_save(root / "a.sqlite", visits_a),
+                _save(root / "b.sqlite", visits_b))
+
+    def test_added_removed_are_exact_inverses(self, pair):
+        forward = diff_stores(*pair, labels=("a", "b"))
+        backward = diff_stores(pair[1], pair[0], labels=("b", "a"))
+        assert forward.added and forward.removed
+        assert forward.added == backward.removed
+        assert forward.removed == backward.added
+
+    def test_changed_swaps_before_and_after(self, pair):
+        forward = diff_stores(*pair, labels=("a", "b"))
+        backward = diff_stores(pair[1], pair[0], labels=("b", "a"))
+        assert forward.changed
+        assert len(forward.changed) == len(backward.changed)
+        for fwd, bwd in zip(forward.changed, backward.changed):
+            assert (fwd.rank, fwd.site) == (bwd.rank, bwd.site)
+            assert fwd.before == bwd.after
+            assert fwd.after == bwd.before
+            assert fwd.changed_fields == bwd.changed_fields
+        assert forward.unchanged_sites == backward.unchanged_sites
+
+    def test_profiles_swap(self, pair):
+        forward = diff_stores(*pair, labels=("a", "b"))
+        backward = diff_stores(pair[1], pair[0], labels=("b", "a"))
+        # Labels differ by construction, so compare the numbers:
+        for name in DRIFT_METRICS:
+            assert getattr(forward.before, name) \
+                == getattr(backward.after, name)
+            assert getattr(forward.after, name) \
+                == getattr(backward.before, name)
+
+
+class TestStreamedEqualsMaterialized:
+    def test_profile_store_equals_profile_visits(self, era_datasets,
+                                                 era_stores):
+        for era, dataset in era_datasets.items():
+            streamed = profile_store(era_stores[era], label="x")
+            materialized = profile_visits(dataset.visits, label="x")
+            assert streamed == materialized
+
+    def test_diff_matches_reference_field_by_field(self, era_datasets,
+                                                   era_stores):
+        streamed = diff_stores(era_stores[Era.Y2020],
+                               era_stores[Era.Y2024], labels=("a", "b"))
+
+        # Independent reference: materialize both datasets, build the
+        # signature maps by hand, classify rank by rank.
+        sig_a = {v.rank: site_signature(v)
+                 for v in era_datasets[Era.Y2020].visits}
+        sig_b = {v.rank: site_signature(v)
+                 for v in era_datasets[Era.Y2024].visits}
+        added, removed, changed, unchanged = [], [], [], 0
+        for rank in sorted(set(sig_a) | set(sig_b)):
+            if rank not in sig_a:
+                added.append(sig_b[rank])
+            elif rank not in sig_b:
+                removed.append(sig_a[rank])
+            elif sig_a[rank].site != sig_b[rank].site:
+                removed.append(sig_a[rank])
+                added.append(sig_b[rank])
+            elif sig_a[rank] == sig_b[rank]:
+                unchanged += 1
+            else:
+                fields = tuple(
+                    name for name in SIGNATURE_FIELDS
+                    if getattr(sig_a[rank], name)
+                    != getattr(sig_b[rank], name))
+                changed.append(SiteDelta(
+                    rank=rank, site=sig_a[rank].site, changed_fields=fields,
+                    before=sig_a[rank], after=sig_b[rank]))
+
+        assert streamed.added == tuple(added)
+        assert streamed.removed == tuple(removed)
+        assert streamed.changed == tuple(changed)
+        assert streamed.unchanged_sites == unchanged
+        assert streamed.before == profile_visits(
+            era_datasets[Era.Y2020].visits, label="a")
+        assert streamed.after == profile_visits(
+            era_datasets[Era.Y2024].visits, label="b")
+
+
+class TestMetricDeltas:
+    def test_relative_is_none_on_zero_baseline(self, era_stores):
+        diff = diff_stores(era_stores[Era.Y2020], era_stores[Era.Y2024])
+        by_name = {delta.metric: delta for delta in diff.deltas}
+        pp = by_name["pp_top_level_share"]
+        assert pp.before == 0.0 and pp.after > 0.0
+        assert pp.relative is None
+        assert pp.absolute == pp.after
+        count = by_name["attempted_sites"]
+        assert count.relative == 0.0 and count.absolute == 0.0
+
+    def test_every_drift_metric_is_a_store_metrics_field(self, era_stores):
+        metrics = profile_store(era_stores[Era.Y2024])
+        deltas = metric_deltas(metrics, metrics)
+        assert tuple(delta.metric for delta in deltas) == DRIFT_METRICS
+
+
+class TestTimeline:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_deltas_deterministic_across_rebuilds(self, seed,
+                                                  tmp_path_factory):
+        def build(root):
+            paths = []
+            for era in (Era.Y2020, Era.Y2024):
+                dataset = _era_dataset(era, sites=200, seed=seed)
+                paths.append(_save(root / f"{era.value}.sqlite",
+                                   dataset.visits))
+            return build_timeline(paths, labels=("2020", "2024"))
+
+        first = build(tmp_path_factory.mktemp(f"tl-{seed}-a"))
+        second = build(tmp_path_factory.mktemp(f"tl-{seed}-b"))
+        assert first == second
+        assert render_timeline_html(first) == render_timeline_html(second)
+
+    def test_series_math(self, era_stores):
+        timeline = build_timeline(
+            [era_stores[era]
+             for era in (Era.Y2020, Era.Y2022, Era.Y2024)],
+            labels=("2020", "2022", "2024"))
+        assert timeline.labels == ("2020", "2022", "2024")
+        for series in timeline.series:
+            assert len(series.values) == 3
+            assert len(series.absolute_deltas) == 2
+            for index, delta in enumerate(series.absolute_deltas):
+                assert delta == series.values[index + 1] \
+                    - series.values[index]
+            assert series.total_delta \
+                == series.values[-1] - series.values[0]
+        pp = timeline.series_for("pp_top_level_share")
+        assert pp.values[0] == 0.0
+        assert pp.relative_deltas[0] is None  # zero baseline
+        with pytest.raises(KeyError):
+            timeline.series_for("no_such_metric")
+
+    def test_rejects_degenerate_input(self, era_stores):
+        with pytest.raises(ValueError):
+            build_timeline([era_stores[Era.Y2024]])
+        with pytest.raises(ValueError):
+            build_timeline([era_stores[Era.Y2020],
+                            era_stores[Era.Y2024]], labels=("only-one",))
+
+    def test_from_precomputed_metrics(self, era_stores):
+        profiles = [profile_store(era_stores[era], label=era.value)
+                    for era in (Era.Y2020, Era.Y2024)]
+        timeline = timeline_from_metrics(profiles)
+        assert timeline.labels == ("2020", "2024")
+        assert json.dumps(timeline.to_json())
+
+
+class TestRendering:
+    def test_html_bytes_deterministic(self, era_stores):
+        diff = diff_stores(era_stores[Era.Y2020], era_stores[Era.Y2024],
+                           labels=("2020", "2024"))
+        assert render_diff_html(diff).encode() \
+            == render_diff_html(diff).encode()
+
+    def test_hostile_site_names_are_escaped(self):
+        from repro.analysis.drift import SiteSignature
+
+        base = profile_visits([], label="a")
+        before = SiteSignature(
+            rank=1, site='<script>"pwn"</script>', success=True,
+            failure=None, has_pp_header=False, has_fp_header=False,
+            delegated_features=("camera",), frames=1)
+        after = SiteSignature(
+            rank=1, site='<script>"pwn"</script>', success=True,
+            failure=None, has_pp_header=True, has_fp_header=False,
+            delegated_features=("camera",), frames=1)
+        diff = CrawlDiff(
+            before=base, after=profile_visits([], label="b"),
+            added=(), removed=(),
+            changed=(SiteDelta(rank=1, site=before.site,
+                               changed_fields=("has_pp_header",),
+                               before=before, after=after),),
+            unchanged_sites=0)
+        html = render_diff_html(diff)
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_text_renderers_cover_the_tables(self, era_stores):
+        diff = diff_stores(era_stores[Era.Y2020], era_stores[Era.Y2024],
+                           labels=("2020", "2024"))
+        text = render_diff_text(diff, max_site_rows=5)
+        assert "crawl diff: 2020 → 2024" in text
+        assert "aggregate deltas" in text
+        assert "pp_top_level_share" in text
+        timeline = build_timeline(
+            [era_stores[Era.Y2020], era_stores[Era.Y2024]],
+            labels=("2020", "2024"))
+        table = render_timeline_text(timeline)
+        assert "drift timeline" in table
+        assert "Δ last-first" in table
+
+
+class TestObservability:
+    def test_diff_emits_spans_and_counters(self, era_stores):
+        from repro.obs import REGISTRY, TRACER, observed
+
+        def names(span):
+            yield span.name
+            for child in span.children:
+                yield from names(child)
+
+        with observed():
+            diff = diff_stores(era_stores[Era.Y2020],
+                               era_stores[Era.Y2024])
+            render_timeline_html(build_timeline(
+                [era_stores[Era.Y2020], era_stores[Era.Y2024]]))
+            seen = [name for root in TRACER.roots for name in names(root)]
+            snapshot = REGISTRY.snapshot()
+        assert "drift.diff" in seen
+        assert "drift.profile" in seen
+        assert "drift.render_html" in seen
+        counters = snapshot["counters"]
+        assert counters["drift.sites_changed"] == len(diff.changed)
+        assert counters["drift.sites_unchanged"] == diff.unchanged_sites
+
+
+class TestCli:
+    def test_diff_stores_text_json_html(self, era_stores, tmp_path, capsys):
+        from repro.cli import main
+
+        before = str(era_stores[Era.Y2020])
+        after = str(era_stores[Era.Y2024])
+        assert main(["diff-stores", before, after,
+                     "--labels", "2020,2024"]) == 0
+        out = capsys.readouterr().out
+        assert "crawl diff: 2020 → 2024" in out
+
+        assert main(["diff-stores", before, after, "--json",
+                     "--max-site-rows", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["added_sites"] == 0
+        assert len(payload["changed"]) <= 3
+        assert payload["changed_sites"] >= len(payload["changed"])
+
+        html_path = tmp_path / "diff.html"
+        assert main(["diff-stores", before, after,
+                     "--html", str(html_path)]) == 0
+        assert html_path.read_text().startswith("<!doctype html>")
+
+    def test_drift_report_html_deterministic(self, era_stores, tmp_path,
+                                             capsys):
+        from repro.cli import main
+
+        stores = [str(era_stores[era])
+                  for era in (Era.Y2020, Era.Y2022, Era.Y2024)]
+        first = tmp_path / "first.html"
+        second = tmp_path / "second.html"
+        for path in (first, second):
+            assert main(["drift-report", *stores,
+                         "--labels", "2020,2022,2024",
+                         "--html", str(path)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_drift_report_text_and_labels(self, era_stores, capsys):
+        from repro.cli import main
+
+        stores = [str(era_stores[era])
+                  for era in (Era.Y2020, Era.Y2024)]
+        assert main(["drift-report", *stores]) == 0
+        out = capsys.readouterr().out
+        assert "era-2020" in out and "era-2024" in out  # file-stem labels
+        with pytest.raises(SystemExit):
+            main(["drift-report", *stores, "--labels", "too,many,labels"])
+
+
+class TestDriftStudy:
+    def test_three_era_study_reproduces_fig2_direction(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        from repro.experiments.drift_study import drift_study
+
+        # seed 9 is one of the small-scale seeds where the Fig. 2
+        # direction is resolvable at 400 sites (the era FP rates differ
+        # by only 10%, so tiny crawls can tie); the defaults (2,000+
+        # sites, seed 2024) resolve it — verified by the bench gates.
+        study = drift_study(400, seed=9, workers=2,
+                            directory=tmp_path / "stores")
+        assert study["fig2_pp_rises"]
+        assert study["fig2_fp_falls"]
+        pp = study["pp_top_level_share"]
+        assert pp[0] == 0.0 and pp[-1] > 0.0
+        assert study["diff_2020_2024"]["added"] == 0
+        assert study["diff_2020_2024"]["removed"] == 0
+        assert study["diff_2020_2024"]["changed"] > 0
+        assert len(study["html_sha256"]) == 64
+        # The stores are the only input past the crawl step: rebuilding
+        # the report from the kept store files reproduces the document.
+        timeline = build_timeline(study["store_paths"],
+                                  labels=tuple(study["labels"]))
+        assert timeline.to_json() == study["timeline"]

@@ -5,6 +5,8 @@ import pytest
 from repro.synthweb.eras import (
     Era,
     EraComparison,
+    era_context,
+    era_variant,
     measure_era,
     rates_for_era,
     transition_curve,
@@ -61,3 +63,113 @@ class TestTransitionCurve:
     def test_any_header_share(self):
         point = EraComparison(Era.Y2024, 0.04, 0.005, 0.12)
         assert point.any_header_share == pytest.approx(0.045)
+
+
+class TestAnyHeaderUnion:
+    """The `any_header_share` fix: a measured union, not pp + fp."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        from repro.experiments import runner
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        saved = dict(runner._CACHE)
+        runner._CACHE.clear()
+        yield
+        runner._CACHE.clear()
+        runner._CACHE.update(saved)
+
+    def test_union_bounded_by_sum_and_max(self):
+        point = measure_era(Era.Y2024, 500, seed=6, workers=2)
+        assert point.any_header_top_level_share is not None
+        assert point.any_header_share <= (
+            point.pp_top_level_share + point.fp_top_level_share)
+        assert point.any_header_share >= max(
+            point.pp_top_level_share, point.fp_top_level_share)
+
+    def test_union_matches_manual_count(self):
+        ctx = era_context(Era.Y2024, 500, seed=6, workers=2)
+        point = measure_era(Era.Y2024, 500, seed=6, workers=2)
+        union = sum(
+            1 for visit in ctx.dataset.successful()
+            if visit.top_frame.header("permissions-policy") is not None
+            or visit.top_frame.header("feature-policy") is not None)
+        top_docs = max(1, ctx.headers.top_level_documents)
+        assert point.any_header_top_level_share == union / top_docs
+
+    def test_fallback_keeps_legacy_sum(self):
+        # Hand-built comparisons without the measured field keep the
+        # historical approximation — documented as double-counting.
+        point = EraComparison(Era.Y2022, 0.02, 0.015, 0.1)
+        assert point.any_header_share == pytest.approx(0.035)
+
+
+class TestMeasureEraRewire:
+    """measure_era/transition_curve now route through run_measurement:
+    same bytes as the historical direct-crawl path, plus caching."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        from repro.experiments import runner
+        self.cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(self.cache_dir))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        saved = dict(runner._CACHE)
+        runner._CACHE.clear()
+        yield
+        runner._CACHE.clear()
+        runner._CACHE.update(saved)
+
+    def test_byte_identical_to_direct_crawl(self):
+        # The pre-rewire implementation, replicated verbatim.
+        from repro.analysis.delegation import DelegationAnalysis
+        from repro.analysis.headers import HeaderAnalysis
+        from repro.crawler.pool import CrawlerPool
+        from repro.synthweb.generator import SyntheticWeb
+
+        profile = rates_for_era(Era.Y2022)
+        web = SyntheticWeb(400, seed=3, rates=profile.rates)
+        dataset = CrawlerPool(web, workers=2).run()
+        visits = dataset.successful()
+        headers = HeaderAnalysis(visits)
+        delegation = DelegationAnalysis(visits)
+        fp_top = sum(1 for visit in visits
+                     if visit.top_frame.header("feature-policy") is not None)
+
+        point = measure_era(Era.Y2022, 400, seed=3, workers=2)
+        assert point.pp_top_level_share \
+            == headers.adoption().pp_top_level_share
+        assert point.fp_top_level_share \
+            == fp_top / max(1, headers.top_level_documents)
+        assert point.sites_delegating_share \
+            == delegation.share_sites_delegating
+
+    def test_disk_cache_round_trip_with_era_variant(self):
+        from repro.experiments import runner
+
+        first = measure_era(Era.Y2020, 300, seed=4, workers=2)
+        base = self.cache_dir / "measurement-300-4-era2020"
+        assert base.with_suffix(".json").exists()
+        assert base.with_suffix(".sqlite").exists()
+        # A cleared in-process cache forces the disk path; the loaded
+        # crawl must measure identically.
+        runner._CACHE.clear()
+        second = measure_era(Era.Y2020, 300, seed=4, workers=2)
+        assert first == second
+
+    def test_era_variants_do_not_collide(self):
+        # Same (count, seed) in two eras must hit different cache slots:
+        # 2020 has no Permissions-Policy at all, 2024 does.
+        old = measure_era(Era.Y2020, 300, seed=4, workers=2)
+        new = measure_era(Era.Y2024, 300, seed=4, workers=2)
+        assert old.pp_top_level_share == 0.0
+        assert new.pp_top_level_share > 0.0
+        assert era_variant(Era.Y2020) != era_variant(Era.Y2024)
+
+    def test_transition_curve_reuses_cached_eras(self):
+        from repro.experiments import runner
+
+        curve = transition_curve(300, seed=4, workers=2)
+        assert len(runner._CACHE) == 3
+        again = transition_curve(300, seed=4, workers=2)
+        assert curve == again
