@@ -280,6 +280,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dump the permission registry + support data as JSON "
              "(the paper's features.md, machine-readable)")
     export_registry.add_argument("--output", default="features.json")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the policy service (POST /evaluate, /generate-header, "
+             "/recommend; GET /registry) — DESIGN.md §4j")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8970,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--rps", type=float, default=50.0,
+                       help="per-client token-bucket refill rate")
+    serve.add_argument("--burst", type=int, default=100,
+                       help="per-client burst budget")
+    serve.add_argument("--cache-entries", type=int, default=1024,
+                       help="LRU response-cache capacity")
+
+    service_bench = sub.add_parser(
+        "service-bench",
+        help="load-test the policy service and write BENCH_service.json")
+    service_bench.add_argument("--clients", type=int, default=8)
+    service_bench.add_argument("--requests", type=int, default=120,
+                               help="requests per client")
+    service_bench.add_argument("--output", default="BENCH_service.json")
     return parser
 
 
@@ -602,6 +624,52 @@ def main(argv: list[str] | None = None) -> int:
             json.dump({"permissions": rows}, handle, indent=2)
         print(f"wrote {len(rows)} permissions to {args.output}")
         return 0
+
+    if command == "serve":
+        import asyncio
+
+        from repro.service.cache import ResponseCache
+        from repro.service.ratelimit import ClientRateLimiter, RateLimitConfig
+        from repro.service.server import PolicyService
+
+        service = PolicyService(
+            host=args.host, port=args.port,
+            cache=ResponseCache(args.cache_entries),
+            limiter=ClientRateLimiter(RateLimitConfig(
+                requests_per_second=args.rps, burst=args.burst)))
+
+        async def _serve() -> None:
+            await service.start()
+            print(f"policy service on http://{service.host}:{service.port} "
+                  "— POST /evaluate /generate-header /recommend, "
+                  "GET /registry /healthz /stats (Ctrl-C drains)",
+                  flush=True)
+            await service.run_forever()
+
+        asyncio.run(_serve())
+        print(f"drained after {service.request_count} requests")
+        return 0
+
+    if command == "service-bench":
+        import json
+
+        from repro.experiments.perf import write_report
+        from repro.experiments.service_bench import collect_service_bench
+
+        report = collect_service_bench(clients=args.clients,
+                                       requests_per_client=args.requests)
+        path = write_report(report, args.output)
+        load = report["load"]
+        print(f"{load['requests']} requests in {load['seconds']}s "
+              f"({load['requests_per_second']} req/s), p99 "
+              f"{load['p99_latency_seconds'] * 1000:.1f}ms, cache hit rate "
+              f"{report['cache']['hit_rate']:.2f}")
+        print(json.dumps(report["gates"], indent=2))
+        for entry in report["gates_skipped"]:
+            print(f"skipped {entry['gate']}: {entry['reason']}")
+        print(f"wrote {path}")
+        return 0 if all(v for v in report["gates"].values()
+                        if isinstance(v, bool)) else 1
 
     return 2  # pragma: no cover - argparse enforces choices
 

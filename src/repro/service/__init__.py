@@ -1,0 +1,36 @@
+"""Policy-as-a-service: the async HTTP layer over the developer tools.
+
+The paper ships its developer artifacts — registry site (Fig. 3), header
+generator (Fig. 4), least-privilege recommender (Section 6.3) — as web
+services; this package is our production-shaped equivalent (ROADMAP item
+1): a zero-dependency asyncio HTTP service exposing the existing library
+tools, with the core engine untouched.
+
+Routes: ``POST /evaluate``, ``POST /generate-header``,
+``POST /recommend``, ``GET /registry`` (plus ``GET /healthz`` and
+``GET /stats``).  See DESIGN.md §4j for the request path and docs/API.md
+for payload shapes.
+"""
+
+from repro.service.adapters import ToolAdapters
+from repro.service.cache import (
+    ResponseCache,
+    canonical_request_text,
+    request_key,
+)
+from repro.service.errors import ServiceError, error_from_exception
+from repro.service.ratelimit import ClientRateLimiter, RateLimitConfig
+from repro.service.server import PolicyService, ServiceThread
+
+__all__ = [
+    "ClientRateLimiter",
+    "PolicyService",
+    "RateLimitConfig",
+    "ResponseCache",
+    "ServiceError",
+    "ServiceThread",
+    "ToolAdapters",
+    "canonical_request_text",
+    "error_from_exception",
+    "request_key",
+]

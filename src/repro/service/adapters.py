@@ -1,0 +1,344 @@
+"""JSON ↔ library adapters for the four service routes.
+
+The core engine stays untouched (ROADMAP item 1's layering rule): each
+adapter validates a JSON payload, translates it into the existing library
+calls — :class:`~repro.policy.engine.PermissionsPolicyEngine`,
+:class:`~repro.tools.header_generator.HeaderGenerator`,
+:class:`~repro.tools.recommender.PolicyRecommender`,
+:class:`~repro.tools.support_site.SupportSiteReport` — and shapes the
+result back into plain JSON-serialisable dicts.  Library exceptions
+(``UnknownPermissionError``, ``HeaderParseError``, ``OriginParseError``,
+``ValueError``) propagate to the server loop, where
+:func:`~repro.service.errors.error_from_exception` maps them to
+structured 4xx responses naming the offending token.
+
+Adapters are synchronous and CPU-bound; the server runs them on the
+event-loop thread, which is the right call for a policy engine whose
+single-request latency is tens of microseconds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.crawler.fetcher import SyntheticFetcher
+from repro.policy.engine import PermissionsPolicyEngine, PolicyFrame
+from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
+from repro.service.errors import bad_request, not_found
+from repro.synthweb.generator import SyntheticWeb
+from repro.tools.header_generator import HeaderGenerator, HeaderPreset
+from repro.tools.recommender import PolicyRecommender
+from repro.tools.support_site import SupportSiteReport
+
+#: Caps keeping one request's work bounded (hostile-input contract).
+MAX_EVALUATE_REQUESTS = 256
+MAX_FRAMES_PER_REQUEST = 32
+MAX_FEATURES_PER_REQUEST = 256
+MAX_SYNTH_SITES = 200_000
+#: Distinct synthetic webs kept alive across /recommend calls.
+_SYNTH_WEB_SLOTS = 4
+
+
+def _require(payload: dict, key: str, kind: type, *,
+             where: str = "request") -> object:
+    value = payload.get(key)
+    if value is None:
+        raise bad_request(f"{where} is missing required field {key!r}",
+                          code="missing-field", token=key)
+    if not isinstance(value, kind):
+        raise bad_request(
+            f"{where} field {key!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}", code="invalid-field", token=key)
+    return value
+
+
+def _optional_str(payload: dict, key: str, *,
+                  where: str = "request") -> "str | None":
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise bad_request(f"{where} field {key!r} must be a string",
+                          code="invalid-field", token=key)
+    return value
+
+
+def _str_tuple(payload: dict, key: str, *, where: str = "request"
+               ) -> tuple:
+    value = payload.get(key, [])
+    if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value):
+        raise bad_request(f"{where} field {key!r} must be a list of strings",
+                          code="invalid-field", token=key)
+    return tuple(value)
+
+
+class ToolAdapters:
+    """The service's route handlers, minus all transport concerns."""
+
+    def __init__(self, *, registry: "PermissionRegistry | None" = None
+                 ) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._engine = PermissionsPolicyEngine(self._registry)
+        self._generator = HeaderGenerator()
+        self._support = SupportSiteReport()
+        self._webs: "OrderedDict[tuple, SyntheticWeb]" = OrderedDict()
+
+    # -- POST /evaluate -------------------------------------------------------
+
+    def evaluate(self, payload: dict) -> dict:
+        """Batch policy evaluation.
+
+        Payload shape::
+
+            {"requests": [{
+                "top_url": "https://example.com",
+                "header": "camera=(self)",        # optional
+                "fp_header": "camera 'self'",     # optional
+                "frames": [{"url": ..., "allow": ..., "header": ...,
+                            "sandbox": ...}, ...], # optional, nested chain
+                "features": ["camera", ...],       # optional, default: all
+            }, ...]}
+
+        Each ``frames`` entry nests inside the previous one, so the list
+        describes one ancestor chain; decisions are reported for the
+        deepest frame.
+        """
+        requests = _require(payload, "requests", list)
+        if len(requests) > MAX_EVALUATE_REQUESTS:
+            raise bad_request(
+                f"at most {MAX_EVALUATE_REQUESTS} evaluation requests per "
+                f"call, got {len(requests)}", code="batch-too-large")
+        results = []
+        for index, entry in enumerate(requests):
+            if not isinstance(entry, dict):
+                raise bad_request(
+                    f"requests[{index}] must be an object",
+                    code="invalid-field", token=f"requests[{index}]")
+            results.append(self._evaluate_one(entry, index))
+        return {"results": results}
+
+    def _evaluate_one(self, entry: dict, index: int) -> dict:
+        where = f"requests[{index}]"
+        top_url = _require(entry, "top_url", str, where=where)
+        frame = PolicyFrame.top(
+            top_url,
+            header=_optional_str(entry, "header", where=where),
+            fp_header=_optional_str(entry, "fp_header", where=where))
+        frames = entry.get("frames", [])
+        if not isinstance(frames, list):
+            raise bad_request(f"{where} field 'frames' must be a list",
+                              code="invalid-field", token="frames")
+        if len(frames) > MAX_FRAMES_PER_REQUEST:
+            raise bad_request(
+                f"{where} nests more than {MAX_FRAMES_PER_REQUEST} frames",
+                code="batch-too-large", token="frames")
+        for depth, spec in enumerate(frames):
+            if not isinstance(spec, dict):
+                raise bad_request(
+                    f"{where}.frames[{depth}] must be an object",
+                    code="invalid-field", token=f"frames[{depth}]")
+            child_where = f"{where}.frames[{depth}]"
+            frame = frame.child(
+                _require(spec, "url", str, where=child_where),
+                allow=_optional_str(spec, "allow", where=child_where),
+                header=_optional_str(spec, "header", where=child_where),
+                sandbox=_optional_str(spec, "sandbox", where=child_where))
+
+        features = _str_tuple(entry, "features", where=where)
+        if len(features) > MAX_FEATURES_PER_REQUEST:
+            raise bad_request(
+                f"{where} asks about more than "
+                f"{MAX_FEATURES_PER_REQUEST} features",
+                code="batch-too-large", token="features")
+        if not features:
+            return {
+                "top_url": top_url,
+                "frame_origin": frame.effective_policy_origin().serialize(),
+                "allowed_features": list(self._engine.allowed_features(frame)),
+            }
+        decisions = []
+        for feature in features:
+            # Unknown feature names raise UnknownPermissionError here and
+            # surface as a 400 naming the token.
+            self._registry.get(feature)
+            decision = self._engine.explain(feature, frame)
+            decisions.append({
+                "feature": decision.feature,
+                "enabled": decision.enabled,
+                "reason": decision.reason,
+            })
+        return {
+            "top_url": top_url,
+            "frame_origin": frame.effective_policy_origin().serialize(),
+            "decisions": decisions,
+        }
+
+    # -- POST /generate-header ------------------------------------------------
+
+    def generate_header(self, payload: dict) -> dict:
+        """Preset or custom header generation.
+
+        Payload: either ``{"preset": "disable-all" | "disable-powerful"}``
+        or the custom form ``{"disable": [...], "self_only": [...],
+        "allow_origins": {perm: [origin, ...]}, "disable_rest": bool}``.
+        """
+        preset_name = _optional_str(payload, "preset")
+        if preset_name is not None:
+            try:
+                preset = HeaderPreset(preset_name)
+            except ValueError:
+                raise bad_request(
+                    f"unknown preset {preset_name!r}; expected one of "
+                    f"{[p.value for p in HeaderPreset]}",
+                    code="unknown-preset", token=preset_name) from None
+            header = self._generator.generate_preset(preset)
+        else:
+            allow_origins = payload.get("allow_origins")
+            if allow_origins is not None:
+                if not isinstance(allow_origins, dict) or not all(
+                        isinstance(k, str) and isinstance(v, list)
+                        and all(isinstance(o, str) for o in v)
+                        for k, v in allow_origins.items()):
+                    raise bad_request(
+                        "'allow_origins' must map permission names to "
+                        "lists of origin strings", code="invalid-field",
+                        token="allow_origins")
+                allow_origins = {k: tuple(v) for k, v in allow_origins.items()}
+            disable_rest = payload.get("disable_rest", True)
+            if not isinstance(disable_rest, bool):
+                raise bad_request("'disable_rest' must be a boolean",
+                                  code="invalid-field", token="disable_rest")
+            header = self._generator.generate_custom(
+                disable=_str_tuple(payload, "disable"),
+                self_only=_str_tuple(payload, "self_only"),
+                allow_origins=allow_origins,
+                disable_rest=disable_rest)
+        return {
+            "header": header,
+            "complete": self._generator.is_complete(header),
+            "covered": sorted(
+                name for name, covered
+                in self._generator.coverage(header).items() if covered),
+        }
+
+    # -- POST /recommend ------------------------------------------------------
+
+    def recommend(self, payload: dict) -> dict:
+        """Least-privilege recommendation over a synthetic or stored visit.
+
+        Synthetic form: ``{"rank": 7, "sites": 3000, "seed": 2024,
+        "interact": true}`` — visits site ``rank`` of a deterministic
+        synthetic web.  Stored form: ``{"database": "crawl.sqlite",
+        "rank": 7}`` — recommends from the stored visit record.
+        """
+        database = _optional_str(payload, "database")
+        rank = payload.get("rank", 0)
+        if not isinstance(rank, int) or isinstance(rank, bool) or rank < 0:
+            raise bad_request("'rank' must be a non-negative integer",
+                              code="invalid-field", token="rank")
+        interact = payload.get("interact", True)
+        if not isinstance(interact, bool):
+            raise bad_request("'interact' must be a boolean",
+                              code="invalid-field", token="interact")
+
+        if database is not None:
+            recommendation = self._recommend_stored(database, rank, interact)
+        else:
+            recommendation = self._recommend_synthetic(payload, rank,
+                                                       interact)
+        return {
+            "url": recommendation.url,
+            "observed_top_level": list(recommendation.observed_top_level),
+            "observed_embedded": {
+                origin: list(perms) for origin, perms
+                in sorted(recommendation.observed_embedded.items())},
+            "suggested_header": recommendation.suggested_header,
+            "current_header": recommendation.current_header,
+            "header_over_grants": list(recommendation.header_over_grants),
+            "is_over_permissioned": recommendation.is_over_permissioned,
+            "delegations": [{
+                "iframe_src": s.iframe_src,
+                "observed_permissions": list(s.observed_permissions),
+                "suggested_allow": s.suggested_allow,
+                "current_allow": s.current_allow,
+                "over_granted": list(s.over_granted),
+            } for s in recommendation.delegation_suggestions],
+        }
+
+    def _web(self, sites: int, seed: int) -> SyntheticWeb:
+        key = (sites, seed)
+        web = self._webs.get(key)
+        if web is None:
+            web = SyntheticWeb(sites, seed=seed)
+            self._webs[key] = web
+        self._webs.move_to_end(key)
+        while len(self._webs) > _SYNTH_WEB_SLOTS:
+            self._webs.popitem(last=False)
+        return web
+
+    def _recommend_synthetic(self, payload: dict, rank: int,
+                             interact: bool):
+        sites = payload.get("sites", 1000)
+        seed = payload.get("seed", 2024)
+        for name, value in (("sites", sites), ("seed", seed)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise bad_request(f"{name!r} must be an integer",
+                                  code="invalid-field", token=name)
+        if not 0 < sites <= MAX_SYNTH_SITES:
+            raise bad_request(
+                f"'sites' must be in 1..{MAX_SYNTH_SITES}",
+                code="invalid-field", token="sites")
+        if rank >= sites:
+            raise not_found(f"rank {rank} is outside the {sites}-site web",
+                            token=str(rank))
+        web = self._web(sites, seed)
+        recommender = PolicyRecommender(SyntheticFetcher(web),
+                                        interact=interact,
+                                        registry=self._registry)
+        return recommender.recommend(web.origin_for_rank(rank))
+
+    def _recommend_stored(self, database: str, rank: int, interact: bool):
+        from pathlib import Path
+
+        from repro.crawler.storage import CrawlStore
+
+        if not Path(database).is_file():
+            raise not_found(f"no crawl store at {database!r}",
+                            token=database)
+        try:
+            store = CrawlStore(database)
+        except Exception as exc:
+            raise bad_request(f"cannot open store {database!r}: {exc}",
+                              code="invalid-store", token=database) from exc
+        try:
+            visits = store.load_visits([rank])
+        finally:
+            store.close()
+        if not visits:
+            raise not_found(
+                f"no visit with rank {rank} in {database!r}",
+                token=str(rank))
+        recommender = PolicyRecommender(_NoFetch(), interact=interact,
+                                        registry=self._registry)
+        return recommender.recommend_from_visit(visits[0])
+
+    # -- GET /registry --------------------------------------------------------
+
+    def registry_view(self, query: dict) -> dict:
+        """The support matrix as JSON; ``?permission=name`` selects one."""
+        rows = self._support.rows()
+        wanted = query.get("permission")
+        if wanted is not None:
+            rows = [row for row in rows if row["permission"] == wanted]
+            if not rows:
+                raise not_found(f"unknown permission {wanted!r}",
+                                token=wanted)
+        return {"permissions": rows, "summary": self._support.summary_counts()}
+
+
+class _NoFetch:
+    """Fetcher stub for stored-visit recommendations (never fetches)."""
+
+    def fetch(self, url: str):
+        raise ValueError(f"stored-visit recommendation cannot fetch {url!r}")

@@ -1,0 +1,137 @@
+"""LRU response cache keyed on *canonical* request text.
+
+Two requests that mean the same thing should hit the same cache slot even
+when their policy text differs cosmetically (``camera=()`` vs
+``camera=()  ``, attribute whitespace, directive order produced by a
+different serializer).  So before hashing, every policy-bearing field in
+the request payload is round-tripped through the strict parser and the
+canonical serializer:
+
+* ``header`` / ``fp_header`` / ``current_header`` values go through
+  :func:`parse_permissions_policy_header` →
+  :func:`serialize_permissions_policy`;
+* ``allow`` values go through :func:`parse_allow_attribute` →
+  :func:`serialize_allow_attribute`.
+
+Text the strict parser rejects is kept verbatim — those requests produce
+4xx responses, and error responses are never cached (the server only
+stores status-200 bodies), so a hostile header cannot poison a slot.
+
+The cache stores the response *body bytes*, which together with the
+deterministic renderer in :mod:`repro.service.http` gives byte-identical
+responses for identical canonical requests — the gate in
+``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+
+from repro.policy.allow_attr import (
+    parse_allow_attribute,
+    serialize_allow_attribute,
+)
+from repro.policy.header import (
+    parse_permissions_policy_header,
+    serialize_permissions_policy,
+)
+
+#: Payload keys holding ``Permissions-Policy`` header text.
+_HEADER_KEYS = frozenset({"header", "fp_header", "current_header"})
+#: Payload keys holding iframe ``allow`` attribute text.
+_ALLOW_KEYS = frozenset({"allow"})
+
+
+def _canonical_header(raw: str) -> str:
+    try:
+        parsed = parse_permissions_policy_header(raw)
+    except Exception:
+        return raw
+    return serialize_permissions_policy(parsed.directives)
+
+
+def _canonical_allow(raw: str) -> str:
+    try:
+        parsed = parse_allow_attribute(raw)
+        return serialize_allow_attribute({
+            name: entry.allowlist
+            for name, entry in parsed.entries.items()})
+    except Exception:
+        return raw
+
+
+def _canonicalize(node: object, key: "str | None" = None) -> object:
+    if isinstance(node, dict):
+        return {k: _canonicalize(v, k) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_canonicalize(item, key) for item in node]
+    if isinstance(node, str) and key in _HEADER_KEYS:
+        return _canonical_header(node)
+    if isinstance(node, str) and key in _ALLOW_KEYS:
+        return _canonical_allow(node)
+    return node
+
+
+def canonical_request_text(method: str, path: str, payload: dict) -> str:
+    """The normal form a request is cached under."""
+    document = {
+        "method": method.upper(),
+        "path": path,
+        "payload": _canonicalize(payload),
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def request_key(method: str, path: str, payload: dict) -> str:
+    """Stable digest of the canonical request text."""
+    text = canonical_request_text(method, path, payload)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResponseCache:
+    """Bounded LRU of ``key → response body bytes`` with hit accounting."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> "bytes | None":
+        body = self._entries.get(key)
+        if body is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return body
+
+    def put(self, key: str, body: bytes) -> None:
+        self._entries[key] = body
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 6),
+        }

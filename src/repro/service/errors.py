@@ -1,0 +1,92 @@
+"""Structured service errors: every failure is a 4xx/5xx JSON document.
+
+The service's hostile-input contract (DESIGN.md §4j) is that no request —
+malformed HTTP, oversized body, unknown permission token, unparseable
+policy text — ever produces a traceback on the wire.  Everything becomes a
+:class:`ServiceError` rendered as::
+
+    {"error": {"code": "unknown-permission", "message": "...", "token": "warp-drive"}}
+
+``token`` names the offending input fragment when one exists (the
+permission name, the origin text, the clipped header value), so a client
+can point at exactly what to fix.
+
+:func:`error_from_exception` is the single mapping from library exceptions
+to wire errors; the server applies it around every adapter call so new
+error paths in :mod:`repro.tools` cannot leak 500s by accident.
+"""
+
+from __future__ import annotations
+
+from repro.policy.header import HeaderParseError
+from repro.policy.issues import clip_detail
+from repro.policy.origin import OriginParseError
+from repro.registry.features import UnknownPermissionError
+
+#: Reason phrases for the statuses the service emits.
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class ServiceError(Exception):
+    """A request failure with a wire-ready status, code and message."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 *, token: "str | None" = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.token = token
+
+    def to_json(self) -> dict:
+        error: dict = {"code": self.code, "message": clip_detail(self.message)}
+        if self.token is not None:
+            error["token"] = clip_detail(self.token)
+        return {"error": error}
+
+
+def bad_request(message: str, *, code: str = "bad-request",
+                token: "str | None" = None) -> ServiceError:
+    return ServiceError(400, code, message, token=token)
+
+
+def not_found(message: str, *, token: "str | None" = None) -> ServiceError:
+    return ServiceError(404, "not-found", message, token=token)
+
+
+def error_from_exception(exc: Exception) -> ServiceError:
+    """Map a library exception to its structured 4xx/5xx form.
+
+    The offending token is named whenever the exception carries one:
+    :class:`UnknownPermissionError` keeps the permission name,
+    :class:`HeaderParseError` the (clipped) raw header, and
+    :class:`OriginParseError` the origin text.  Anything unrecognised
+    becomes a token-free 500 — type name only, never a traceback.
+    """
+    if isinstance(exc, ServiceError):
+        return exc
+    if isinstance(exc, UnknownPermissionError):
+        return ServiceError(400, "unknown-permission", str(exc),
+                            token=exc.name)
+    if isinstance(exc, HeaderParseError):
+        return ServiceError(400, "invalid-header",
+                            f"header rejected: {exc}", token=exc.raw)
+    if isinstance(exc, OriginParseError):
+        # The message already names the unparseable origin text.
+        return ServiceError(400, "invalid-origin", str(exc))
+    if isinstance(exc, (TypeError, ValueError, KeyError)):
+        return ServiceError(400, "invalid-request",
+                            f"{type(exc).__name__}: {exc}")
+    return ServiceError(500, "internal-error",
+                        f"unexpected {type(exc).__name__}")

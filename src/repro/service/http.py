@@ -1,0 +1,202 @@
+"""Minimal HTTP/1.1 over asyncio streams — the service's only transport.
+
+Zero dependencies by design: the whole parser is "read a request line,
+read headers, read ``Content-Length`` body bytes", with every limit
+enforced *before* the bytes are buffered (DESIGN.md §4j).  Anything the
+parser dislikes raises a :class:`~repro.service.errors.ServiceError`
+that the connection loop renders as a structured JSON error — a hostile
+peer can get a 4xx, never a traceback and never unbounded memory.
+
+Deliberate omissions, all answered with structured errors rather than
+guessed at: chunked transfer encoding (501), request lines/headers above
+:data:`MAX_HEADER_BLOCK_BYTES` (431), bodies above the service's
+configured cap (413).  ``Expect: 100-continue`` is honoured so plain
+``curl`` uploads work.
+
+Responses carry no ``Date`` header and use deterministic field order, so
+a response's bytes are a pure function of its (status, body, close)
+triple — the property the LRU cache and the byte-identity gate in
+``BENCH_service.json`` rely on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.service.errors import STATUS_REASONS, ServiceError, bad_request
+
+#: Cap on the request line + header block (bytes) — hostile-input guard.
+MAX_HEADER_BLOCK_BYTES = 16 * 1024
+
+#: Cap on a single header line (bytes); ``readline`` needs a hard limit or
+#: a peer can stream an unterminated line forever.
+_MAX_LINE_BYTES = 8 * 1024
+
+#: Methods the service understands at the transport level.
+_KNOWN_METHODS = frozenset({
+    "GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "PATCH"})
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers and raw body."""
+
+    method: str
+    path: str
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def wants_close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+    def json(self) -> dict:
+        """The body as a JSON object (empty body → ``{}``).
+
+        Raises:
+            ServiceError: 400 when the body is not valid JSON or not an
+                object — lenient-parse contract, never a traceback.
+        """
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise bad_request(f"request body is not valid JSON: {exc}",
+                              code="invalid-json") from exc
+        if not isinstance(payload, dict):
+            raise bad_request(
+                "request body must be a JSON object",
+                code="invalid-json",
+                token=type(payload).__name__)
+        return payload
+
+
+async def _read_line(reader: asyncio.StreamReader, budget: int) -> bytes:
+    """One CRLF-terminated line within ``budget`` bytes."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError from exc
+        raise bad_request("truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ServiceError(431, "headers-too-large",
+                           "request line or header exceeds the line "
+                           f"limit ({_MAX_LINE_BYTES} bytes)") from exc
+    if len(line) > budget:
+        raise ServiceError(431, "headers-too-large",
+                           "request header block exceeds "
+                           f"{MAX_HEADER_BLOCK_BYTES} bytes")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader: asyncio.StreamReader, *,
+                       max_body_bytes: int) -> "HttpRequest | None":
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean EOF before any request byte (the peer
+    closed an idle keep-alive connection).  Every malformed or oversized
+    input raises a :class:`ServiceError` carrying the right 4xx.
+    """
+    try:
+        request_line = await _read_line(reader, MAX_HEADER_BLOCK_BYTES)
+    except EOFError:
+        return None
+    if not request_line:
+        return None
+    try:
+        text = request_line.decode("ascii")
+        method, target, version = text.split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        raise bad_request("malformed request line") from None
+    if method.upper() not in _KNOWN_METHODS:
+        raise bad_request(f"unknown method {method!r}", token=method[:32])
+    if not version.startswith("HTTP/1."):
+        raise bad_request(f"unsupported protocol {version!r}",
+                          token=version[:32])
+
+    headers: dict = {}
+    budget = MAX_HEADER_BLOCK_BYTES - len(request_line)
+    while True:
+        line = await _read_line(reader, budget)
+        budget -= len(line) + 2
+        if budget < 0:
+            raise ServiceError(431, "headers-too-large",
+                               "request header block exceeds "
+                               f"{MAX_HEADER_BLOCK_BYTES} bytes")
+        if not line:
+            break
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise bad_request("malformed header line")
+        try:
+            headers[name.decode("ascii").strip().lower()] = \
+                value.decode("latin-1").strip()
+        except UnicodeDecodeError:
+            raise bad_request("malformed header name") from None
+
+    if "transfer-encoding" in headers:
+        raise ServiceError(501, "not-implemented",
+                           "chunked transfer encoding is not supported; "
+                           "send Content-Length")
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise bad_request("malformed Content-Length",
+                              token=raw_length[:32]) from None
+        if length < 0:
+            raise bad_request("negative Content-Length", token=raw_length)
+        if length > max_body_bytes:
+            raise ServiceError(
+                413, "payload-too-large",
+                f"request body of {length} bytes exceeds the "
+                f"{max_body_bytes}-byte limit")
+        if headers.get("expect", "").lower() == "100-continue":
+            # The writer half lives with the caller; signalling continue
+            # is done there (see PolicyService._connection).  We just
+            # record the expectation.
+            pass
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise bad_request("request body shorter than "
+                                  "Content-Length") from exc
+
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+    return HttpRequest(method=method.upper(), path=parts.path or "/",
+                       query=query, headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes, *,
+                    content_type: str = "application/json",
+                    close: bool = False,
+                    extra_headers: tuple = ()) -> bytes:
+    """Serialize a response; deterministic bytes for fixed inputs."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body
+
+
+def encode_json(document: dict) -> bytes:
+    """The service's canonical JSON encoding: sorted keys, compact
+    separators, trailing newline — byte-stable for a fixed document."""
+    return (json.dumps(document, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")

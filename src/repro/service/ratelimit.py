@@ -1,0 +1,116 @@
+"""Per-client rate limiting built on the crawler's ``CircuitBreaker``.
+
+Two layers compose (DESIGN.md §4j):
+
+1. a **token bucket** per client decides whether this request is within
+   budget (``requests_per_second`` refill, ``burst`` capacity, injectable
+   clock — ``requests_per_second=0`` never refills, which makes limiter
+   behaviour a pure function of the call sequence for tests);
+2. the crawler's per-origin :class:`~repro.crawler.guards.CircuitBreaker`
+   — reused verbatim, with client keys in place of origins — turns
+   *sustained* over-budget behaviour into an OPEN circuit that
+   short-circuits requests without even consulting the bucket, and
+   deterministically lets every ``cooldown_attempts``-th rejected request
+   through as a half-open probe.  A within-budget probe closes the
+   circuit; an over-budget probe re-opens it.
+
+The breaker gives the service the same deterministic open/half-open
+schedule the crawler already trusts (no clocks, replayable), so the
+rate-limit tests assert exact state sequences rather than sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.crawler.guards import CircuitBreaker
+from repro.obs import metrics as _metrics
+
+
+@dataclass(frozen=True)
+class RateLimitConfig:
+    """Rate-limiter knobs; defaults sized for a single service process."""
+
+    #: Bucket refill rate; ``0`` disables refill (deterministic mode).
+    requests_per_second: float = 50.0
+    #: Bucket capacity — requests a client may burst before throttling.
+    burst: int = 100
+    #: Consecutive over-budget requests before the circuit opens.
+    failure_threshold: int = 3
+    #: Every Nth request to an open circuit becomes a half-open probe.
+    cooldown_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.requests_per_second < 0:
+            raise ValueError("requests_per_second must be >= 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+class ClientRateLimiter:
+    """Admission control: one token bucket + breaker circuit per client."""
+
+    def __init__(self, config: "RateLimitConfig | None" = None, *,
+                 clock=time.monotonic) -> None:
+        self.config = config if config is not None else RateLimitConfig()
+        self._clock = clock
+        self._breaker = CircuitBreaker(
+            failure_threshold=self.config.failure_threshold,
+            cooldown_attempts=self.config.cooldown_attempts)
+        self._tokens: dict[str, float] = {}
+        self._refilled_at: dict[str, float] = {}
+        #: Requests refused (over budget or short-circuited).
+        self.rejected = 0
+        #: Requests admitted.
+        self.admitted = 0
+
+    def _take_token(self, client: str) -> bool:
+        now = self._clock()
+        tokens = self._tokens.get(client)
+        if tokens is None:
+            tokens = float(self.config.burst)
+        else:
+            elapsed = max(0.0, now - self._refilled_at[client])
+            tokens = min(float(self.config.burst),
+                         tokens + elapsed * self.config.requests_per_second)
+        self._refilled_at[client] = now
+        if tokens >= 1.0:
+            self._tokens[client] = tokens - 1.0
+            return True
+        self._tokens[client] = tokens
+        return False
+
+    def admit(self, client: str) -> bool:
+        """Whether this client's request may proceed.
+
+        The breaker is consulted first: an OPEN circuit rejects without
+        spending a token, except for its scheduled half-open probes, whose
+        bucket outcome closes or re-opens the circuit.
+        """
+        if not self._breaker.allow(client):
+            self.rejected += 1
+            if _metrics.COUNTING:
+                _metrics.REGISTRY.counter("service.rate_limited").inc()
+            return False
+        if self._take_token(client):
+            self._breaker.record_success(client)
+            self.admitted += 1
+            return True
+        self._breaker.record_failure(client, transient=False)
+        self.rejected += 1
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("service.rate_limited").inc()
+        return False
+
+    def state(self, client: str) -> str:
+        """The breaker state for a client (``closed``/``open``/``half-open``)."""
+        return self._breaker.state(client)
+
+    def stats(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "open_clients": self._breaker.open_origins(),
+            "circuits_opened": self._breaker.opened_count,
+        }

@@ -1,0 +1,395 @@
+"""The asyncio policy service: routing, caching, limiting, drain.
+
+One :class:`PolicyService` owns the whole request path (DESIGN.md §4j)::
+
+    accept → rate limit → parse → cache lookup → adapter → cache fill → write
+
+Per request: a ``service.request`` tracing span and counters from
+:mod:`repro.obs` (off by default, like everywhere else), the LRU
+:class:`~repro.service.cache.ResponseCache` consulted only for *cacheable*
+routes and filled only with status-200 bodies, and
+:func:`~repro.service.errors.error_from_exception` wrapped around the
+adapter call so any library exception becomes structured 4xx/5xx JSON.
+
+Shutdown mirrors the crawler pool's protocol
+(``crawler/pool.py::_stop_on_signals``): SIGINT/SIGTERM set a drain
+event; the listener stops accepting, in-flight requests finish, idle
+keep-alive connections are closed, and the previous signal handlers are
+restored.  :class:`ServiceThread` hosts the same loop in a background
+thread for tests, the bench harness and the CLI's in-process mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import signal
+import threading
+
+from repro.obs import metrics as _metrics
+from repro.obs import span
+from repro.service.adapters import ToolAdapters
+from repro.service.cache import ResponseCache, request_key
+from repro.service.errors import (
+    ServiceError,
+    error_from_exception,
+    not_found,
+)
+from repro.service.http import (
+    HttpRequest,
+    encode_json,
+    read_request,
+    render_response,
+)
+from repro.service.ratelimit import ClientRateLimiter, RateLimitConfig
+
+logger = logging.getLogger(__name__)
+
+#: Default cap on request bodies (bytes).
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+
+class _Connection:
+    """Book-keeping for one client connection during drain."""
+
+    __slots__ = ("writer", "busy")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.busy = False
+
+
+class PolicyService:
+    """The HTTP service over the developer tools."""
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 adapters: "ToolAdapters | None" = None,
+                 cache: "ResponseCache | None" = None,
+                 limiter: "ClientRateLimiter | None" = None,
+                 rate_limit: "RateLimitConfig | None" = None,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES) -> None:
+        self.host = host
+        self.port = port
+        self.adapters = adapters if adapters is not None else ToolAdapters()
+        self.cache = cache if cache is not None else ResponseCache()
+        self.limiter = (limiter if limiter is not None
+                        else ClientRateLimiter(rate_limit))
+        self.max_body_bytes = max_body_bytes
+        self._server: "asyncio.AbstractServer | None" = None
+        self._connections: set[_Connection] = set()
+        self._draining = asyncio.Event()
+        self._drain_task: "asyncio.Task | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        #: Requests answered (any status), 429 short-circuits included.
+        self.request_count = 0
+        #: Requests rejected by the rate limiter.
+        self.rate_limited_count = 0
+        #: Responses with a 4xx/5xx status.
+        self.error_count = 0
+        # method → path → (handler, cacheable).  Handlers take the parsed
+        # HttpRequest and return the response document.
+        self._routes: dict = {"GET": {}, "POST": {}}
+        self.add_route("POST", "/evaluate",
+                       lambda req: self.adapters.evaluate(req.json()))
+        self.add_route("POST", "/generate-header",
+                       lambda req: self.adapters.generate_header(req.json()))
+        self.add_route("POST", "/recommend",
+                       lambda req: self.adapters.recommend(req.json()))
+        self.add_route("GET", "/registry",
+                       lambda req: self.adapters.registry_view(req.query))
+        # Operational endpoints: never cached, never rate limited.
+        self.add_route("GET", "/healthz", lambda req: {"status": "ok"},
+                       cacheable=False, limited=False)
+        self.add_route("GET", "/stats", lambda req: self.stats(),
+                       cacheable=False, limited=False)
+
+    # -- routing --------------------------------------------------------------
+
+    def add_route(self, method: str, path: str, handler, *,
+                  cacheable: bool = True, limited: bool = True) -> None:
+        """Register/replace a route (tests add slow routes for drain)."""
+        self._routes.setdefault(method.upper(), {})[path] = (
+            handler, cacheable, limited)
+
+    def stats(self) -> dict:
+        return {
+            "requests": self.request_count,
+            "errors": self.error_count,
+            "rate_limited": self.rate_limited_count,
+            "cache": self.cache.stats(),
+            "limiter": self.limiter.stats(),
+            "draining": self._draining.is_set(),
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves the ephemeral port."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("policy service listening on %s:%d", self.host, self.port)
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight requests, close idle peers.
+
+        Idempotent: concurrent callers all await the same drain task.
+        """
+        await self._ensure_drain_task(asyncio.get_running_loop())
+
+    def _ensure_drain_task(self, loop: asyncio.AbstractEventLoop
+                           ) -> "asyncio.Task":
+        if self._drain_task is None:
+            self._drain_task = loop.create_task(self._drain_impl())
+        return self._drain_task
+
+    async def _drain_impl(self) -> None:
+        self._draining.set()
+        if self._server is not None:
+            self._server.close()
+        # Idle keep-alive connections are parked in read_request(); nudge
+        # them closed so their handler tasks unwind.  Busy connections
+        # finish their in-flight response first (the per-connection loop
+        # re-checks the drain flag before the next read).
+        for connection in list(self._connections):
+            if not connection.busy:
+                connection.writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        while any(c.busy for c in self._connections):
+            await asyncio.sleep(0.005)
+        for connection in list(self._connections):
+            connection.writer.close()
+        logger.info("policy service drained (%d requests served)",
+                    self.request_count)
+
+    def request_drain(self) -> None:
+        """Thread-safe drain trigger (signal handlers, ServiceThread)."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(self._ensure_drain_task, loop)
+
+    async def run_forever(self, *, handle_signals: bool = True) -> None:
+        """Serve until drained; optionally wire SIGINT/SIGTERM to drain.
+
+        Mirrors the crawler pool's shutdown protocol: handlers only set
+        the drain in motion, in-flight work completes, and the previous
+        handlers are restored on the way out.
+        """
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        installed: list = []
+        if handle_signals and threading.current_thread() \
+                is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(
+                        signum, self._on_signal, signum)
+                except (ValueError, OSError, NotImplementedError):
+                    continue
+                installed.append(signum)
+        try:
+            await self._draining.wait()
+            await self.drain()
+        finally:
+            for signum in installed:
+                with contextlib.suppress(ValueError, OSError):
+                    loop.remove_signal_handler(signum)
+
+    def _on_signal(self, signum: int) -> None:
+        logger.warning("received signal %d — draining in-flight requests",
+                       signum)
+        self.request_drain()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _connection(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        peer = writer.get_extra_info("peername")
+        peer_host = peer[0] if isinstance(peer, tuple) else "local"
+        try:
+            while not self._draining.is_set():
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self.max_body_bytes)
+                except ServiceError as exc:
+                    connection.busy = True
+                    await self._write(writer, exc.status,
+                                      encode_json(exc.to_json()), close=True)
+                    self.request_count += 1
+                    self.error_count += 1
+                    return
+                except (ConnectionError, asyncio.CancelledError):
+                    return
+                if request is None:
+                    return
+                connection.busy = True
+                close = await self._respond(writer, request, peer_host)
+                connection.busy = False
+                if close:
+                    return
+        finally:
+            self._connections.discard(connection)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _respond(self, writer: asyncio.StreamWriter,
+                       request: HttpRequest, peer_host: str) -> bool:
+        """Handle one parsed request; returns whether to close after."""
+        close = request.wants_close or self._draining.is_set()
+        self.request_count += 1
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("service.requests").inc()
+
+        handlers = self._routes.get(request.method, {})
+        entry = handlers.get(request.path)
+        if entry is None:
+            known_elsewhere = any(
+                request.path in paths for paths in self._routes.values())
+            error = (ServiceError(405, "method-not-allowed",
+                                  f"{request.method} is not supported on "
+                                  f"{request.path}")
+                     if known_elsewhere else
+                     not_found(f"no route {request.path!r}",
+                               token=request.path))
+            self.error_count += 1
+            await self._write(writer, error.status,
+                              encode_json(error.to_json()), close=close)
+            return close
+        handler, cacheable, limited = entry
+
+        client = request.headers.get("x-client-id", peer_host)
+        if limited and not self.limiter.admit(client):
+            self.rate_limited_count += 1
+            self.error_count += 1
+            error = ServiceError(
+                429, "rate-limited",
+                f"client {client!r} is over budget; retry later",
+                token=client)
+            await self._write(writer, error.status,
+                              encode_json(error.to_json()), close=close)
+            return close
+
+        with span("service.request", method=request.method,
+                  path=request.path):
+            status, body = self._execute(request, handler, cacheable)
+        if request.headers.get("expect", "").lower() == "100-continue":
+            # The body was already consumed by read_request; acknowledging
+            # after the fact keeps plain curl clients happy.
+            pass
+        if status >= 400:
+            self.error_count += 1
+            if _metrics.COUNTING:
+                _metrics.REGISTRY.counter("service.errors").inc()
+        await self._write(writer, status, body, close=close)
+        return close
+
+    def _execute(self, request: HttpRequest, handler,
+                 cacheable: bool) -> tuple:
+        """Run the adapter under the cache; only 200 bodies are stored."""
+        key = None
+        if cacheable:
+            try:
+                payload = request.json() if request.body else {}
+            except ServiceError as exc:
+                return exc.status, encode_json(exc.to_json())
+            key = request_key(request.method, request.path,
+                              {"payload": payload, "query": request.query})
+            cached = self.cache.get(key)
+            if cached is not None:
+                if _metrics.COUNTING:
+                    _metrics.REGISTRY.counter("service.cache_hits").inc()
+                return 200, cached
+        try:
+            document = handler(request)
+        except Exception as exc:
+            error = error_from_exception(exc)
+            if error.status >= 500:
+                logger.exception("service handler failed on %s %s",
+                                 request.method, request.path)
+            return error.status, encode_json(error.to_json())
+        body = encode_json(document)
+        if key is not None:
+            self.cache.put(key, body)
+        return 200, body
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter, status: int,
+                     body: bytes, *, close: bool) -> None:
+        with contextlib.suppress(ConnectionError):
+            writer.write(render_response(status, body, close=close))
+            await writer.drain()
+
+
+class ServiceThread:
+    """Hosts a :class:`PolicyService` event loop in a background thread.
+
+    The harness for everything that wants a live server without owning
+    the main thread: tests, the load bench, and ``serve`` smoke checks.
+    Use as a context manager; exiting drains the service and joins the
+    thread.
+    """
+
+    def __init__(self, service: "PolicyService | None" = None, **kwargs
+                 ) -> None:
+        self.service = service if service is not None \
+            else PolicyService(**kwargs)
+        self._thread: "threading.Thread | None" = None
+        self._started = threading.Event()
+        self._startup_error: "BaseException | None" = None
+
+    @property
+    def address(self) -> tuple:
+        return (self.service.host, self.service.port)
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=self._run, name="policy-service", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") \
+                from self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("service did not start within 10s")
+        return self
+
+    def stop(self) -> None:
+        self.service.request_drain()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        async def serve() -> None:
+            try:
+                await self.service.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                raise
+            finally:
+                self._started.set()
+            await self.service.run_forever(handle_signals=False)
+
+        try:
+            asyncio.run(serve())
+        except BaseException:
+            if not self._started.is_set():
+                self._started.set()
+            else:
+                raise

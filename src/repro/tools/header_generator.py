@@ -76,19 +76,42 @@ class HeaderGenerator:
         Raises:
             UnknownPermissionError: for permissions the registry does not
                 know.
+            ValueError: when a permission appears in more than one of the
+                ``disable`` / ``self_only`` / ``allow_origins`` buckets —
+                the request is contradictory, and silently letting the
+                last bucket win would hand out a header the caller did
+                not ask for.
         """
         registry = self.matrix.registry
+        buckets = {
+            "disable": tuple(registry.get(name).name for name in disable),
+            "self_only": tuple(registry.get(name).name
+                               for name in self_only),
+            "allow_origins": tuple(registry.get(name).name
+                                   for name in (allow_origins or {})),
+        }
+        seen: dict[str, str] = {}
+        for bucket, names in buckets.items():
+            for name in names:
+                if name in seen and seen[name] != bucket:
+                    raise ValueError(
+                        f"permission {name!r} appears in both "
+                        f"{seen[name]!r} and {bucket!r}; each permission "
+                        "may be listed in only one bucket")
+                if name in seen:
+                    raise ValueError(
+                        f"permission {name!r} is listed twice in "
+                        f"{bucket!r}")
+                seen[name] = bucket
         directives: dict[str, Allowlist] = {}
-        for name in disable:
-            registry.get(name)
+        for name in buckets["disable"]:
             directives[name] = Allowlist.nobody()
-        for name in self_only:
-            registry.get(name)
+        for name in buckets["self_only"]:
             directives[name] = Allowlist.self_only()
         for name, origins in (allow_origins or {}).items():
-            registry.get(name)
             parsed = tuple(Origin.parse(origin) for origin in origins)
-            directives[name] = Allowlist.of(*parsed, self_=True)
+            directives[registry.get(name).name] = Allowlist.of(
+                *parsed, self_=True)
         if disable_rest:
             for perm in self._supported_permissions():
                 directives.setdefault(perm.name, Allowlist.nobody())

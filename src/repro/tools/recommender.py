@@ -37,6 +37,12 @@ from repro.policy.origin import Origin, OriginParseError
 from repro.registry.features import DEFAULT_REGISTRY, PermissionRegistry
 from repro.registry.support import SupportMatrix, default_support_matrix
 
+#: Over-grant markers for deployed configuration the strict parser rejects.
+#: Angle brackets keep them outside the permission-name grammar, so they
+#: can never collide with a real feature.
+UNPARSEABLE_HEADER = "<unparseable-header>"
+UNPARSEABLE_ALLOW = "<unparseable-allow>"
+
 
 @dataclass
 class DelegationSuggestion:
@@ -171,18 +177,30 @@ class PolicyRecommender:
                             top_permissions: tuple[str, ...],
                             embedded: dict[str, tuple[str, ...]]
                             ) -> tuple[str, ...]:
-        """Permissions the deployed header leaves broader than needed."""
+        """Permissions the deployed header leaves broader than needed.
+
+        A header the strict parser rejects is one the browser drops
+        *wholesale* — every supported permission reverts to its default
+        allowlist, which is strictly broader than the least-privilege
+        ideal.  That is itself an over-grant: the diff falls back to the
+        lenient parser for whatever it can salvage and adds the
+        :data:`UNPARSEABLE_HEADER` marker instead of crashing (or, worse,
+        silently reporting the site as tight).
+        """
         if current is None:
             return ()
+        over: set[str] = set()
         try:
             parsed = parse_permissions_policy_header(current)
-        except HeaderParseError:
-            return ()
+        except (HeaderParseError, OriginParseError):
+            parsed = parse_permissions_policy_header(current, mode="lenient")
+            over.add(UNPARSEABLE_HEADER)
         needed = set(top_permissions)
         for permissions in embedded.values():
             needed.update(permissions)
-        over = [feature for feature, allowlist in parsed.directives.items()
-                if feature not in needed and not allowlist.is_empty]
+        over.update(
+            feature for feature, allowlist in parsed.directives.items()
+            if feature not in needed and not allowlist.is_empty)
         return tuple(sorted(over))
 
     def _suggest_delegation(self, frame, activity) -> DelegationSuggestion:
@@ -196,12 +214,21 @@ class PolicyRecommender:
         suggested = "; ".join(used)
         over: tuple[str, ...] = ()
         if current:
-            delegated = parse_allow_attribute(current).delegated_features
-            over = tuple(sorted(
-                f for f in delegated
+            # Hostile `allow` text must not crash the recommendation: fall
+            # back to the lenient parser and flag the attribute itself as
+            # an over-grant (the browser's interpretation of text we can't
+            # strictly parse is not something to vouch for).
+            markers: set[str] = set()
+            try:
+                parsed_allow = parse_allow_attribute(current)
+            except Exception:
+                parsed_allow = parse_allow_attribute(current, mode="lenient")
+                markers.add(UNPARSEABLE_ALLOW)
+            over = tuple(sorted(set(
+                f for f in parsed_allow.delegated_features
                 if f not in used
                 and (perm := self._registry.maybe(f)) is not None
-                and perm.instrumented))
+                and perm.instrumented) | markers))
         return DelegationSuggestion(
             iframe_src=(frame.iframe_attributes or {}).get("src", frame.url),
             observed_permissions=used,
