@@ -100,6 +100,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="do not keep visits in memory (the database is "
                             "the output); required for crawls larger than "
                             "RAM")
+    crawl.add_argument("--max-pool-rebuilds", type=int, default=0,
+                       metavar="N",
+                       help="supervise the process backend: rebuild a "
+                            "crashed/hung worker pool up to N times, "
+                            "requeue lost chunks and quarantine "
+                            "poison-visit ranks instead of dying "
+                            "(0 = off; requires --backend process)")
     crawl.add_argument("--retries", type=int, default=0,
                        help="max retries for transient failures")
     crawl.add_argument("--progress", action="store_true",
@@ -359,10 +366,21 @@ def main(argv: list[str] | None = None) -> int:
                                    telemetry=telemetry, progress=progress,
                                    handle_signals=True,
                                    shards=args.shards,
-                                   collect=not args.no_collect)
+                                   collect=not args.no_collect,
+                                   max_pool_rebuilds=args.max_pool_rebuilds)
         if pool.stop_requested:
             print(f"crawl interrupted — checkpoint saved to "
                   f"{args.database}; rerun with --resume to finish")
+        sup_stats = pool.last_supervisor_stats
+        if sup_stats is not None and (sup_stats["rebuilds"]
+                                      or sup_stats["quarantined_ranks"]):
+            quarantined = ", ".join(
+                str(rank) for rank in sup_stats["quarantined_ranks"])
+            print(f"supervisor: {sup_stats['rebuilds']} pool rebuild(s) "
+                  f"({sup_stats['watchdog_hangs']} from the hang "
+                  f"watchdog), {sup_stats['requeued_ranks']} rank(s) "
+                  f"requeued, quarantined poison-visit rank(s): "
+                  f"[{quarantined}]")
         if args.trace_out:
             _write_trace(args.trace_out)
         if args.progress:

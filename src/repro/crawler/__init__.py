@@ -12,6 +12,11 @@
   checkpoint/resume;
 * :mod:`repro.crawler.backends` — the process backend (contiguous rank
   chunks in worker processes) and picklable fetcher specs;
+* :mod:`repro.crawler.supervisor` — self-healing supervision of the
+  process backend: pool rebuilds, poison-visit quarantine, the chunk
+  hang watchdog;
+* :mod:`repro.crawler.chaos` — deterministic fault injection into
+  worker processes for supervision drills;
 * :mod:`repro.crawler.resilience` — retry policy + deterministic fault
   injection;
 * :mod:`repro.crawler.telemetry` — the thread-safe crawl telemetry
@@ -26,6 +31,7 @@ from repro.crawler.backends import (
     SyntheticFetcherSpec,
     chunk_ranks,
 )
+from repro.crawler.chaos import ChaosPolicy
 from repro.crawler.crawler import CrawlConfig, Crawler
 from repro.crawler.errors import (
     CrawlError,
@@ -51,10 +57,15 @@ from repro.crawler.resilience import (
     RetryPolicy,
 )
 from repro.crawler.storage import CrawlStore
+from repro.crawler.supervisor import (
+    PoolCrashError,
+    SupervisorConfig,
+)
 from repro.crawler.telemetry import CrawlTelemetry, TelemetrySnapshot
 
 __all__ = [
     "CallRecord",
+    "ChaosPolicy",
     "CrawlConfig",
     "CrawlDataset",
     "CrawlError",
@@ -74,9 +85,11 @@ __all__ = [
     "InteractiveCrawler",
     "LoadTimeoutError",
     "MinorCrawlerError",
+    "PoolCrashError",
     "RetryPolicy",
     "ScriptSourceRecord",
     "SiteVisit",
+    "SupervisorConfig",
     "SyntheticFetcher",
     "SyntheticFetcherSpec",
     "TelemetrySnapshot",

@@ -56,9 +56,11 @@ import multiprocessing
 import os
 import pickle
 import signal
+import sqlite3
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, \
-    wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, \
+    ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import suppress
 from dataclasses import dataclass
@@ -66,10 +68,13 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.browser.page import Fetcher
+from repro.crawler.chaos import ChaosPolicy
 from repro.crawler.crawler import CrawlConfig
 from repro.crawler.fetcher import SyntheticFetcher
 from repro.crawler.records import SiteVisit
 from repro.crawler.resilience import FaultInjectingFetcher, RetryPolicy
+from repro.crawler.supervisor import POISON_VISIT, ChunkSupervisor, \
+    PoolCrashError, SupervisorConfig
 from repro.crawler.telemetry import ChunkTelemetry, CrawlTelemetry
 from repro.obs import metrics as _metrics
 from repro.obs.tracing import TRACER
@@ -361,6 +366,9 @@ class _ChunkJob:
     #: mirrors that state and ships the deltas back.
     trace: bool = False
     count: bool = False
+    #: Deterministic failure injection (chaos drills); consulted at chunk
+    #: pickup before any visit runs.
+    chaos: "ChaosPolicy | None" = None
 
 
 @dataclass(frozen=True)
@@ -412,6 +420,8 @@ def _crawl_chunk(job: _ChunkJob) -> _ChunkResult:
         _metrics.enable_metrics()
     try:
         pool = _worker_pool(job.recipe, job.web_fp, job.pool_fp)
+        if job.chaos is not None:
+            job.chaos.on_chunk(job.ranks)
         local = CrawlTelemetry()
         start = time.perf_counter()
         with TRACER.span("crawl.chunk", chunk=job.chunk_index,
@@ -498,6 +508,14 @@ class _ChunkScheduler:
         self._sites_done += sites
         self._seconds_done += seconds
 
+    def observed_rate(self) -> "float | None":
+        """Measured sites/second so far (``None`` before any chunk
+        finishes) — also what the supervisor's watchdog derives chunk
+        deadlines from."""
+        if self._sites_done == 0 or self._seconds_done <= 0.0:
+            return None
+        return self._sites_done / self._seconds_done
+
     def next_size(self) -> int:
         """Size of the next chunk to dispatch; 0 when targets are spent."""
         remaining = self.total - self.dispatched
@@ -542,11 +560,31 @@ def _sweep_chunk_sidecars(store_path: Path) -> None:
             stale.unlink()
 
 
+def _kill_executor_workers(executor: ProcessPoolExecutor) -> None:
+    """SIGKILL every worker process of ``executor``.
+
+    The watchdog's only lever: ``ProcessPoolExecutor`` cannot cancel a
+    running future, so a hung chunk is evicted by killing its (and,
+    unavoidably, its siblings') workers — which breaks the pool and
+    funnels the hang through the one crash-recovery path.  Reaches into
+    ``executor._processes`` (stable since 3.7); if that private map ever
+    vanishes the kill degrades to a no-op and recovery proceeds by
+    abandoning the futures instead.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    kill_signal = getattr(signal, "SIGKILL", signal.SIGTERM)
+    for pid in list(processes):
+        with suppress(ProcessLookupError, OSError):
+            os.kill(pid, kill_signal)
+
+
 def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
                        progress: "Callable[[int, int], None] | None" = None,
                        store: "CrawlStore | None" = None,
                        telemetry: "CrawlTelemetry | None" = None,
                        collect: bool = True,
+                       supervisor: "SupervisorConfig | None" = None,
+                       chaos: "ChaosPolicy | None" = None,
                        ) -> list[SiteVisit]:
     """Crawl ``targets`` across warm worker processes; returns visits
     rank-sorted.
@@ -562,6 +600,15 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
     On a stop request the parent cancels queued chunks but drains running
     ones (workers ignore signals), merging whatever they finish — the
     checkpoint keeps every completed chunk.
+
+    With ``supervisor=`` (a :class:`SupervisorConfig`), worker crashes,
+    hung chunks and flaky sidecar merges are survived instead of fatal:
+    the pool is rebuilt within the crash budget, lost chunks are replayed
+    byte-identically, repeat offenders are bisected down to the poison
+    rank and quarantined (DESIGN.md §4k).  Without it, behaviour is
+    exactly the pre-supervision backend: a ``BrokenProcessPool`` tears
+    the warm pool down, sweeps leftover sidecars and re-raises.
+    ``chaos=`` injects deterministic failures (drills and tests).
     """
     if pool._custom_factory:
         raise ValueError(
@@ -595,31 +642,116 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
                              initargs=(recipe_blob, web_fp, pool_fp))
     scheduler = _ChunkScheduler(len(targets), pool.workers,
                                 replay=pool.chunk_schedule)
+    sup = (ChunkSupervisor(supervisor) if supervisor is not None else None)
+    pool.last_supervisor_stats = None
     total = len(targets)
     visits: list[SiteVisit] = []
     completed = 0
+    quarantined_count = 0
     next_target = 0
     chunk_index = 0
     pending: "set[Future]" = set()
+    #: Future → job, for crash attribution and requeue.  Only maintained
+    #: under supervision, so the unsupervised hot path is unchanged.
+    jobs: "dict[Future, _ChunkJob]" = {}
+    #: Rank tuples the supervisor wants resubmitted, drained before the
+    #: scheduler hands out fresh chunks.
+    requeued: "deque[tuple[int, ...]]" = deque()
+    #: Rank tuples to probe in isolation (pipeline drained first, one at
+    #: a time) so a crash attributes guilt exactly.
+    probation: "deque[tuple[int, ...]]" = deque()
+    #: The probation chunk currently running alone, if any.
+    probe_job: "_ChunkJob | None" = None
     web_builds_by_pid: dict[int, int] = {}
     stopped = False
 
-    def submit_next() -> bool:
-        nonlocal next_target, chunk_index
-        size = scheduler.next_size()
-        if size <= 0:
-            return False
-        ranks = tuple(targets[next_target:next_target + size])
-        next_target += size
+    def submit_ranks(ranks: "tuple[int, ...]", *,
+                     probe: bool = False) -> None:
+        nonlocal chunk_index, probe_job
         shard = (str(_chunk_sidecar_path(store.path, run_tag, chunk_index))
                  if store is not None else None)
         job = _ChunkJob(recipe=recipe, web_fp=web_fp, pool_fp=pool_fp,
                         ranks=ranks, chunk_index=chunk_index,
                         shard_path=shard, collect=collect,
-                        trace=trace, count=count)
-        pending.add(executor.submit(_crawl_chunk, job))
+                        trace=trace, count=count, chaos=chaos)
         chunk_index += 1
+        try:
+            future = executor.submit(_crawl_chunk, job)
+        except BrokenProcessPool:
+            # The pool broke while idle; keep the ranks and let the
+            # recovery path rebuild before they are resubmitted.
+            (probation if probe else requeued).appendleft(ranks)
+            raise
+        pending.add(future)
+        if probe:
+            probe_job = job
+        if sup is not None:
+            jobs[future] = job
+            sup.note_submitted(job.chunk_index)
+
+    def submit_next() -> bool:
+        nonlocal next_target
+        if requeued:
+            submit_ranks(requeued.popleft())
+            return True
+        size = scheduler.next_size()
+        if size <= 0:
+            return False
+        ranks = tuple(targets[next_target:next_target + size])
+        next_target += size
+        submit_ranks(ranks)
         return True
+
+    def apply_plan(plan) -> None:
+        nonlocal quarantined_count
+        requeued.extend(plan.requeue)
+        probation.extend(plan.probation)
+        for rank, detail in plan.quarantine:
+            logger.error("quarantining poison rank %d (%s)", rank, detail)
+            if store is not None:
+                store.quarantine_rank(rank, reason=POISON_VISIT,
+                                      detail=detail)
+            if telemetry is not None:
+                telemetry.record_quarantined(rank, detail=detail)
+            quarantined_count += 1
+        if plan.quarantine and progress is not None:
+            progress(completed + quarantined_count, total)
+
+    def merge_sidecar(result: _ChunkResult) -> bool:
+        """Fold the chunk sidecar in; ``False`` = chunk lost (requeued)."""
+        from repro.crawler.pool import _delete_store_files
+        from repro.crawler.storage import CrawlStore
+        sidecar = Path(result.shard_path)
+        attempts = sup.config.merge_attempts if sup is not None else 1
+        failure: "sqlite3.OperationalError | None" = None
+        for attempt in range(attempts):
+            try:
+                if chaos is not None:
+                    chaos.before_merge(result.ranks)
+                with CrawlStore(sidecar) as shard:
+                    store.merge_from(shard)
+                _delete_store_files(sidecar)
+                return True
+            except sqlite3.OperationalError as exc:
+                failure = exc
+                if attempt + 1 < attempts:
+                    sup.note_merge_retry()
+                    logger.warning(
+                        "chunk %03d sidecar merge failed (attempt %d/%d), "
+                        "retrying: %s", result.chunk_index, attempt + 1,
+                        attempts, exc)
+        _delete_store_files(sidecar)
+        if sup is None:
+            raise failure
+        # The sidecar is gone but sites are pure (seed, rank) functions:
+        # recrawl the chunk through the strike machinery (quarantines it
+        # if the merge keeps dying on the same ranks).  No rebuild cost —
+        # the worker pool is healthy.
+        logger.error("chunk %03d merge failed after %d attempt(s); "
+                     "requeueing ranks: %s", result.chunk_index, attempts,
+                     failure)
+        apply_plan(sup.on_merge_failure(result.ranks, detail=str(failure)))
+        return False
 
     def ingest(result: _ChunkResult) -> None:
         nonlocal completed
@@ -632,12 +764,8 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
         if result.metrics is not None:
             _metrics.REGISTRY.merge(result.metrics)
         if result.shard_path is not None and store is not None:
-            from repro.crawler.pool import _delete_store_files
-            from repro.crawler.storage import CrawlStore
-            sidecar = Path(result.shard_path)
-            with CrawlStore(sidecar) as shard:
-                store.merge_from(shard)
-            _delete_store_files(sidecar)
+            if not merge_sidecar(result):
+                return  # requeued — nothing completed for this chunk yet
         if telemetry is not None:
             telemetry.record_chunk(result.telemetry,
                                    worker=f"chunk-{index:03d}")
@@ -645,31 +773,188 @@ def crawl_in_processes(pool: "CrawlerPool", targets: Sequence[int], *,
             visits.extend(pickle.loads(result.visits_blob))
         completed += len(result.ranks)
         if progress is not None:
-            progress(completed, total)
+            progress(completed + quarantined_count, total)
+
+    def finish_probe(result: "_ChunkResult") -> None:
+        """A probation chunk ran alone and came back: it is innocent."""
+        nonlocal probe_job
+        if probe_job is not None and result.chunk_index == probe_job.chunk_index:
+            sup.exonerate(probe_job.ranks)
+            probe_job = None
+
+    def recover_from_crash(crashed: "list[Future]", *, cause: str,
+                           suspects: "list[tuple[int, ...]] | None" = None,
+                           ) -> None:
+        """Supervised ``BrokenProcessPool`` handling: ingest what finished,
+        sweep the wreckage, rebuild the pool, requeue the rest."""
+        nonlocal executor, probe_job
+        lost_jobs = [jobs.pop(f) for f in crashed if f in jobs]
+        # Everything still outstanding is doomed (the executor is broken)
+        # — but a chunk whose result landed just before the break is a
+        # survivor, so harvest results one last time before requeueing.
+        survivors: list[_ChunkResult] = []
+        done, rest = wait(pending, timeout=0)
+        for future in done:
+            try:
+                survivors.append(future.result())
+                jobs.pop(future, None)
+            except (Exception, CancelledError):
+                job = jobs.pop(future, None)
+                if job is not None:
+                    lost_jobs.append(job)
+        for future in rest:
+            if not future.cancel() and future.done():
+                with suppress(Exception, CancelledError):
+                    survivors.append(future.result())
+                    jobs.pop(future, None)
+                    continue
+            job = jobs.pop(future, None)
+            if job is not None:
+                lost_jobs.append(job)
+        pending.clear()
+        for result in survivors:
+            sup.note_finished(result.chunk_index)
+            finish_probe(result)
+            ingest(result)
+        # A probe that went down with the pool ran *alone* by
+        # construction, so its guilt is proven — quarantine/bisect it
+        # directly instead of striking possible bystanders.
+        certain = False
+        if probe_job is not None:
+            if any(job.chunk_index == probe_job.chunk_index
+                   for job in lost_jobs):
+                certain = True
+                suspects = [probe_job.ranks]
+            probe_job = None
+        with TRACER.span("supervisor.rebuild", cause=cause,
+                         chunks_lost=len(lost_jobs)):
+            # A broken pool can still hold live workers (e.g. one sleeping
+            # in a hung visit while another died); executor teardown
+            # *joins* them, so make sure they are dead first or the
+            # rebuild would block until the hang ended of its own accord.
+            _kill_executor_workers(executor)
+            shutdown_warm_pool()
+            if store is not None:
+                # Crashed workers leave half-written sidecars; replays
+                # write fresh ones, so sweep the wreckage now (not just at
+                # the next run's start).
+                _sweep_chunk_sidecars(store.path)
+            for job in lost_jobs:
+                sup.note_finished(job.chunk_index)
+            lost = [job.ranks for job in lost_jobs]
+            logger.error(
+                "worker pool crash (%s): lost %d in-flight chunk(s), "
+                "rebuild %d/%d", cause, len(lost), sup.rebuilds + 1,
+                sup.config.max_pool_rebuilds)
+            apply_plan(sup.on_pool_crash(lost, cause=cause,
+                                         suspects=suspects,
+                                         certain=certain))
+            executor = warm_executor(pool.workers, start_method,
+                                     initargs=(recipe_blob, web_fp, pool_fp))
+
+    def check_watchdog() -> None:
+        sizes = {jobs[f].chunk_index: len(jobs[f].ranks)
+                 for f in pending if f in jobs}
+        late = set(sup.overdue(sizes, scheduler.observed_rate()))
+        if not late:
+            return
+        suspects = [jobs[f].ranks for f in pending
+                    if f in jobs and jobs[f].chunk_index in late]
+        logger.error(
+            "watchdog: chunk(s) %s exceeded their deadline — killing "
+            "workers to recycle the pool", sorted(late))
+        _kill_executor_workers(executor)
+        recover_from_crash([], cause="hang", suspects=suspects)
+
+    def top_up(limit: int) -> None:
+        while len(pending) < limit:
+            if probe_job is not None:
+                return  # isolation in progress: nothing else flies
+            if probation:
+                if pending:
+                    return  # drain the pipeline before isolating
+                try:
+                    submit_ranks(probation.popleft(), probe=True)
+                except BrokenProcessPool:
+                    recover_from_crash([], cause="worker-crash")
+                    continue
+                return  # exactly one probe in flight
+            try:
+                if not submit_next():
+                    return
+            except BrokenProcessPool:
+                if sup is None:
+                    raise
+                recover_from_crash([], cause="worker-crash")
 
     try:
-        while len(pending) < pool.workers and submit_next():
-            pass
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        top_up(pool.workers)
+        while pending or requeued or probation:
+            if not pending:
+                if stopped:
+                    break  # interrupted: requeues stay uncrawled (resume)
+                # Possible after a recovery whose requeues have not been
+                # resubmitted yet (e.g. the budget-spending crash happened
+                # during top-up).
+                top_up(pool.workers + 1)
+                if not pending:
+                    break
+            timeout = (sup.config.watchdog_poll_seconds
+                       if sup is not None and sup.config.watchdog_enabled
+                       else None)
+            done, pending = wait(pending, timeout=timeout,
+                                 return_when=FIRST_COMPLETED)
+            crashed: list[Future] = []
             for future in done:
-                ingest(future.result())
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    if sup is None:
+                        raise
+                    crashed.append(future)
+                    continue
+                if sup is not None:
+                    jobs.pop(future, None)
+                    sup.note_finished(result.chunk_index)
+                    finish_probe(result)
+                ingest(result)
+            if crashed:
+                recover_from_crash(crashed, cause="worker-crash")
+            elif sup is not None and not done and pending:
+                check_watchdog()
             if pool.stop_requested and not stopped:
                 stopped = True
+                requeued.clear()
+                probation.clear()
                 cancelled = {f for f in pending if f.cancel()}
                 pending -= cancelled
+                for future in cancelled:
+                    jobs.pop(future, None)
                 logger.warning(
                     "crawl stop requested: cancelled %d queued chunk(s), "
                     "draining %d running", len(cancelled), len(pending))
             if not stopped:
-                while len(pending) < pool.workers + 1 and submit_next():
-                    pass
+                top_up(pool.workers + 1)
     except BrokenProcessPool:
-        # A worker died hard (OOM kill, segfault); the executor is
-        # unusable, so drop it — the next run builds a fresh warm pool.
+        # Unsupervised: a worker died hard (OOM kill, segfault); the
+        # executor is unusable, so drop it — the next run builds a fresh
+        # warm pool — and sweep the crashed workers' sidecar files rather
+        # than leaking them until that run starts.
         shutdown_warm_pool()
+        if store is not None:
+            _sweep_chunk_sidecars(store.path)
+        raise
+    except PoolCrashError:
+        pool.last_supervisor_stats = sup.stats()
         raise
 
+    if sup is not None:
+        pool.last_supervisor_stats = sup.stats()
+        if store is not None and sup.rebuilds:
+            # A worker surviving a torn-down pool can flush its sidecar
+            # *after* the rebuild-time sweep; its chunk was requeued and
+            # merged from a fresh sidecar, so the stray file is garbage.
+            _sweep_chunk_sidecars(store.path)
     pool.last_chunk_schedule = {
         "mode": "replay" if pool.chunk_schedule else "adaptive",
         "target_chunk_seconds": TARGET_CHUNK_SECONDS,

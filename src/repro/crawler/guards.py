@@ -212,6 +212,12 @@ class CircuitBreaker:
             circuit.state = OPEN
             circuit.rejected_since_open = 0
 
+    def forget(self, origin: str) -> None:
+        """Drop an origin's circuit entirely (it re-registers closed on
+        next use).  Lets long-lived owners — e.g. the service rate
+        limiter evicting idle clients — bound the breaker's memory."""
+        self._circuits.pop(origin, None)
+
     def open_origins(self) -> list[str]:
         return sorted(origin for origin, circuit in self._circuits.items()
                       if circuit.state == OPEN)

@@ -61,7 +61,9 @@ from repro.synthweb.generator import SyntheticWeb
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: storage imports pool
     from repro.crawler.backends import FetcherSpec
+    from repro.crawler.chaos import ChaosPolicy
     from repro.crawler.storage import CrawlStore
+    from repro.crawler.supervisor import SupervisorConfig
 
 logger = logging.getLogger(__name__)
 
@@ -413,6 +415,12 @@ class CrawlerPool:
         #: Warm-worker stats of the most recent process-backend run
         #: (worker pids, webs constructed, chunk count).
         self.last_run_stats: "dict | None" = None
+        #: Supervision summary of the most recent supervised
+        #: process-backend run (rebuilds, requeues, bisections,
+        #: quarantined ranks — see
+        #: :meth:`repro.crawler.supervisor.ChunkSupervisor.stats`);
+        #: ``None`` for unsupervised runs.
+        self.last_supervisor_stats: "dict | None" = None
         self._stop = threading.Event()
 
     def request_stop(self) -> None:
@@ -452,7 +460,10 @@ class CrawlerPool:
             backend: str | None = None,
             handle_signals: bool = False,
             shards: int | None = None,
-            collect: bool = True) -> CrawlDataset:
+            collect: bool = True,
+            max_pool_rebuilds: int = 0,
+            supervisor: "SupervisorConfig | None" = None,
+            chaos: "ChaosPolicy | None" = None) -> CrawlDataset:
         """Crawl the given ranks (default: the whole list) once each.
 
         With ``store``, visits are persisted as they complete, batched
@@ -485,6 +496,21 @@ class CrawlerPool:
         and the partial dataset is returned — ``resume=True`` on the same
         store later completes it to a byte-identical dataset.
         :meth:`request_stop` does the same programmatically.
+
+        With ``max_pool_rebuilds=N`` (N > 0; process backend only), the
+        run is supervised: a crashed or hung worker pool is rebuilt up to
+        N times, lost chunks are requeued, and a visit that repeatedly
+        kills workers is bisected down to its rank and quarantined as
+        ``poison-visit`` instead of sinking the run (see
+        :mod:`repro.crawler.supervisor`).  Pass ``supervisor=`` a full
+        :class:`~repro.crawler.supervisor.SupervisorConfig` to tune the
+        watchdog and strike thresholds — a non-zero ``max_pool_rebuilds``
+        then overrides the config's budget.  ``chaos=`` injects
+        deterministic faults for drills
+        (:class:`~repro.crawler.chaos.ChaosPolicy`).  Supervision never
+        changes dataset bytes: requeued chunks replay the same pure
+        (seed, rank) visits, and a sharded run supervises each shard with
+        a fresh budget.
         """
         if resume and store is None:
             raise ValueError("resume=True requires a store")
@@ -496,6 +522,27 @@ class CrawlerPool:
         if shard_count > 1 and store is None:
             raise ValueError("shards > 1 requires a store to merge into")
         chosen = self.resolved_backend(backend)
+        if max_pool_rebuilds < 0:
+            raise ValueError(f"max_pool_rebuilds must be >= 0, "
+                             f"got {max_pool_rebuilds!r}")
+        if max_pool_rebuilds > 0:
+            from repro.crawler.supervisor import SupervisorConfig
+            if supervisor is None:
+                supervisor = SupervisorConfig(
+                    max_pool_rebuilds=max_pool_rebuilds)
+            else:
+                import dataclasses
+                supervisor = dataclasses.replace(
+                    supervisor, max_pool_rebuilds=max_pool_rebuilds)
+        if supervisor is not None and chosen != "process":
+            raise ValueError("supervision (max_pool_rebuilds/supervisor) "
+                             "requires the process backend, "
+                             f"got {chosen!r}")
+        if chaos is not None and chosen != "process":
+            # Chaos injections run inside worker *processes*; on an
+            # in-process backend os._exit would kill the caller.
+            raise ValueError("chaos injection requires the process "
+                             f"backend, got {chosen!r}")
         self._stop.clear()
         targets = list(ranks if ranks is not None
                        else range(self.web.site_count))
@@ -506,10 +553,11 @@ class CrawlerPool:
                 return self._run_sharded(
                     shard_count, targets, progress, store=store,
                     resume=resume, telemetry=telemetry, chosen=chosen,
-                    collect=collect)
+                    collect=collect, supervisor=supervisor, chaos=chaos)
             return self._run_single(
                 targets, progress, store=store, resume=resume,
-                telemetry=telemetry, chosen=chosen, collect=collect)
+                telemetry=telemetry, chosen=chosen, collect=collect,
+                supervisor=supervisor, chaos=chaos)
 
     def _resume_split(self, targets: list[int], store: "CrawlStore",
                       collect: bool
@@ -529,7 +577,9 @@ class CrawlerPool:
                     progress: Callable[[int, int], None] | None,
                     *, store: "CrawlStore | None", resume: bool,
                     telemetry: CrawlTelemetry | None, chosen: str,
-                    collect: bool) -> CrawlDataset:
+                    collect: bool,
+                    supervisor: "SupervisorConfig | None" = None,
+                    chaos: "ChaosPolicy | None" = None) -> CrawlDataset:
         resumed: list[SiteVisit] = []
         resumed_count = 0
         if resume:
@@ -550,7 +600,8 @@ class CrawlerPool:
                          resumed=resumed_count, workers=self.workers):
             dataset.visits.extend(self._crawl_targets(
                 targets, chosen=chosen, store=store, telemetry=telemetry,
-                progress=progress, collect=collect))
+                progress=progress, collect=collect,
+                supervisor=supervisor, chaos=chaos))
         dataset.visits.sort(key=lambda visit: visit.rank)
         if self._stop.is_set():
             if store is not None:
@@ -570,7 +621,9 @@ class CrawlerPool:
                      progress: Callable[[int, int], None] | None,
                      *, store: "CrawlStore", resume: bool,
                      telemetry: CrawlTelemetry | None, chosen: str,
-                     collect: bool) -> CrawlDataset:
+                     collect: bool,
+                     supervisor: "SupervisorConfig | None" = None,
+                     chaos: "ChaosPolicy | None" = None) -> CrawlDataset:
         from repro.crawler.backends import chunk_ranks
         from repro.crawler.storage import CrawlStore
 
@@ -623,7 +676,8 @@ class CrawlerPool:
                         visits = self._crawl_targets(
                             chunk, chosen=chosen, store=shard_store,
                             telemetry=telemetry, progress=shard_progress,
-                            collect=collect)
+                            collect=collect, supervisor=supervisor,
+                            chaos=chaos)
                         shard_store.flush()
                         # Merge even a partially crawled shard: graceful
                         # stop checkpoints everything that completed.
@@ -650,7 +704,10 @@ class CrawlerPool:
                        store: "CrawlStore | None",
                        telemetry: CrawlTelemetry | None,
                        progress: Callable[[int, int], None] | None,
-                       collect: bool) -> list[SiteVisit]:
+                       collect: bool,
+                       supervisor: "SupervisorConfig | None" = None,
+                       chaos: "ChaosPolicy | None" = None
+                       ) -> list[SiteVisit]:
         """Crawl ``targets`` on the chosen backend, batching store writes.
 
         Returns the completed visits (empty with ``collect=False``).  The
@@ -684,7 +741,8 @@ class CrawlerPool:
                 from repro.crawler.backends import crawl_in_processes
                 visits = crawl_in_processes(
                     self, targets, progress=progress, store=store,
-                    telemetry=telemetry, collect=collect)
+                    telemetry=telemetry, collect=collect,
+                    supervisor=supervisor, chaos=chaos)
                 if collect:
                     collected.extend(visits)
             elif chosen == "serial" or self.workers == 1:

@@ -895,6 +895,34 @@ class CrawlStore:
             conn.execute(f"DELETE FROM {table} WHERE rank = ?",  # noqa: S608
                          (bad.rank,))
 
+    def quarantine_rank(self, rank: int, *, reason: str,
+                        detail: str = "") -> None:
+        """Quarantine a rank directly (no corrupt row required).
+
+        The crawl supervisor's poison-visit path: a rank whose visit
+        repeatedly kills or hangs worker processes is recorded here —
+        same table and semantics as :meth:`verify`'s repair quarantine —
+        and any live rows it may have are dropped, so the dataset equals
+        a crawl that never attempted the rank.  A later
+        :meth:`save_visit` of the rank supersedes the entry, like any
+        other quarantined rank.  Thread-safe.
+        """
+        with self._lock:
+            conn = self._conn
+            conn.execute("DELETE FROM quarantine WHERE rank = ?", (rank,))
+            conn.execute(
+                "INSERT INTO quarantine (rank, reason, detail, payload) "
+                "VALUES (?,?,?,?)",
+                (rank, reason, _safe_text(detail), None))
+            for table in ("visits", "frames", "calls", "scripts",
+                          "prompts"):
+                conn.execute(
+                    f"DELETE FROM {table} WHERE rank = ?",  # noqa: S608
+                    (rank,))
+            conn.commit()
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("store.quarantined_rows").inc()
+
     def quarantine_rows(self) -> list[tuple[int, str, str]]:
         """``(rank, reason, detail)`` for every quarantined row."""
         with self._lock:

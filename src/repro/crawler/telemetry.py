@@ -57,6 +57,11 @@ class TelemetrySnapshot:
     #: :meth:`~repro.crawler.pool.CrawlerPool.request_stop`) before
     #: covering every target.
     interrupted: bool = False
+    #: Ranks the supervisor quarantined as ``poison-visit`` (their visits
+    #: repeatedly killed or hung worker processes); they count toward
+    #: :attr:`done` — the run covered them by *excluding* them — but
+    #: never toward :attr:`completed`.
+    quarantined_ranks: tuple[int, ...] = ()
 
     @property
     def sites_per_second(self) -> float:
@@ -73,9 +78,15 @@ class TelemetrySnapshot:
         return self.simulated_seconds / self.completed
 
     @property
+    def quarantined(self) -> int:
+        return len(self.quarantined_ranks)
+
+    @property
     def done(self) -> bool:
-        """Whether crawled plus checkpoint-restored visits cover the run."""
-        return self.completed + self.resumed >= self.total
+        """Whether crawled, checkpoint-restored and quarantined visits
+        cover the run."""
+        return (self.completed + self.resumed + self.quarantined
+                >= self.total)
 
     def render(self) -> str:
         """Human-readable multi-line report."""
@@ -100,6 +111,11 @@ class TelemetrySnapshot:
                 f"{kind}={count}" for kind, count
                 in sorted(self.guard_counts.items()))
             lines.append(f"guards      {guards}")
+        if self.quarantined_ranks:
+            ranks = ", ".join(str(rank)
+                              for rank in self.quarantined_ranks)
+            lines.append(f"quarantined {self.quarantined} poison-visit "
+                         f"rank(s): {ranks}")
         if self.interrupted:
             lines.append("interrupted yes — resume to finish the run")
         if self.visits_by_worker:
@@ -175,6 +191,7 @@ class CrawlTelemetry:
     _by_worker: Counter = field(default_factory=Counter)
     _guard_events: Counter = field(default_factory=Counter)
     _interrupted: bool = False
+    _quarantined: list[int] = field(default_factory=list)
 
     def start(self, total: int, *, backend: str = "") -> None:
         """Begin (or restart) a run of ``total`` visits — the full run
@@ -193,6 +210,7 @@ class CrawlTelemetry:
             self._by_worker.clear()
             self._guard_events.clear()
             self._interrupted = False
+            self._quarantined.clear()
             self._started_at = self.clock()
 
     def record_resumed(self, count: int) -> None:
@@ -255,6 +273,14 @@ class CrawlTelemetry:
         if _metrics.COUNTING:
             _metrics.REGISTRY.counter("crawl.interrupted").inc()
 
+    def record_quarantined(self, rank: int, *, detail: str = "") -> None:
+        """Note a rank the supervisor quarantined as ``poison-visit``
+        (its visit repeatedly killed or hung worker processes)."""
+        with self._lock:
+            self._quarantined.append(rank)
+        if _metrics.COUNTING:
+            _metrics.REGISTRY.counter("crawl.quarantined").inc()
+
     def record_guard_event(self, kind: str, count: int = 1) -> None:
         """Count guard interventions (:mod:`repro.crawler.guards` kinds).
 
@@ -277,7 +303,7 @@ class CrawlTelemetry:
                 failed=self._completed - self._succeeded,
                 retries=self._retries,
                 queue_depth=max(0, self._total - self._completed
-                                - self._resumed),
+                                - self._resumed - len(self._quarantined)),
                 elapsed_seconds=elapsed,
                 simulated_seconds=self._simulated_seconds,
                 failure_counts=dict(self._failures),
@@ -285,6 +311,7 @@ class CrawlTelemetry:
                 backend=self._backend,
                 guard_counts=dict(self._guard_events),
                 interrupted=self._interrupted,
+                quarantined_ranks=tuple(sorted(self._quarantined)),
             )
 
     def render(self) -> str:

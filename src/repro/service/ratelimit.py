@@ -17,6 +17,11 @@ Two layers compose (DESIGN.md §4j):
 The breaker gives the service the same deterministic open/half-open
 schedule the crawler already trusts (no clocks, replayable), so the
 rate-limit tests assert exact state sequences rather than sleeping.
+
+Per-client state is bounded: past ``max_clients`` tracked clients, the
+least-recently-refilled one is evicted (bucket, timestamp and breaker
+circuit), so an open client population cannot grow the limiter's memory
+without bound.
 """
 
 from __future__ import annotations
@@ -40,12 +45,18 @@ class RateLimitConfig:
     failure_threshold: int = 3
     #: Every Nth request to an open circuit becomes a half-open probe.
     cooldown_attempts: int = 2
+    #: Clients tracked at once; the least-recently-seen client's bucket
+    #: and circuit are evicted past this, so an open client population
+    #: (one key per caller) cannot grow the limiter without bound.
+    max_clients: int = 4096
 
     def __post_init__(self) -> None:
         if self.requests_per_second < 0:
             raise ValueError("requests_per_second must be >= 0")
         if self.burst < 1:
             raise ValueError("burst must be >= 1")
+        if self.max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
 
 
 class ClientRateLimiter:
@@ -64,6 +75,28 @@ class ClientRateLimiter:
         self.rejected = 0
         #: Requests admitted.
         self.admitted = 0
+        #: Idle clients evicted to stay under ``max_clients``.
+        self.evicted = 0
+
+    def _evict_stale(self) -> None:
+        """Drop least-recently-refilled clients past ``max_clients``.
+
+        Bounds the per-client dicts (and the breaker's circuits) against
+        an open client population.  An evicted client restarts with a
+        full bucket and a closed circuit on its next request — the cap
+        should be sized well above the concurrent client count, where
+        only clients idle long enough to have refilled to a full bucket
+        anyway are evicted.
+        """
+        while len(self._refilled_at) > self.config.max_clients:
+            victim = min(self._refilled_at,
+                         key=self._refilled_at.__getitem__)
+            del self._refilled_at[victim]
+            self._tokens.pop(victim, None)
+            self._breaker.forget(victim)
+            self.evicted += 1
+            if _metrics.COUNTING:
+                _metrics.REGISTRY.counter("service.clients_evicted").inc()
 
     def _take_token(self, client: str) -> bool:
         now = self._clock()
@@ -75,6 +108,7 @@ class ClientRateLimiter:
             tokens = min(float(self.config.burst),
                          tokens + elapsed * self.config.requests_per_second)
         self._refilled_at[client] = now
+        self._evict_stale()
         if tokens >= 1.0:
             self._tokens[client] = tokens - 1.0
             return True
@@ -113,4 +147,6 @@ class ClientRateLimiter:
             "rejected": self.rejected,
             "open_clients": self._breaker.open_origins(),
             "circuits_opened": self._breaker.opened_count,
+            "tracked_clients": len(self._refilled_at),
+            "evicted_clients": self.evicted,
         }

@@ -566,6 +566,56 @@ class TestGracefulShutdown:
         dataset = pool.run(range(3))
         assert len(dataset.visits) == 3
 
+    @pytest.mark.parametrize("sig_name", ["SIGINT", "SIGTERM"])
+    def test_signal_with_queued_and_running_process_chunks(
+            self, web, sig_name, tmp_path):
+        """A stop mid-process-crawl cancels *queued* chunks and drains
+        *running* ones: the checkpoint holds exactly the drained chunks'
+        ranks, nothing from a cancelled chunk, and resume completes
+        byte-identically."""
+        import glob
+        import os
+        import signal
+
+        ranks = list(range(32))
+        baseline = CrawlerPool(web, workers=2).run(ranks)
+        # 16 two-rank chunks on 2 workers guarantees a deep queue: when
+        # the signal lands, at most 2 chunks run and the rest are queued.
+        pool = CrawlerPool(web, workers=2, backend="process",
+                           chunk_schedule=[2] * 16)
+        path = tmp_path / f"chunked-{sig_name}.sqlite"
+        fired = False
+
+        def kill_once(done, total):
+            nonlocal fired
+            if not fired and done >= 2:
+                fired = True
+                os.kill(os.getpid(), signal.Signals[sig_name])
+
+        telemetry = CrawlTelemetry()
+        with CrawlStore(path) as store:
+            partial = pool.run(ranks, kill_once, store=store,
+                               telemetry=telemetry, handle_signals=True)
+            stored = store.stored_ranks()
+        assert fired and pool.stop_requested
+        # Something finished, but the cancelled queue never ran: the
+        # store holds whole 2-rank chunks only, and strictly fewer than
+        # all of them.
+        assert 0 < len(stored) < len(ranks)
+        assert stored == {visit.rank for visit in partial.visits}
+        for start in range(0, len(ranks), 2):
+            chunk = {start, start + 1}
+            assert chunk <= stored or not (chunk & stored)
+        assert telemetry.snapshot().interrupted
+        # Drained-not-cancelled chunks were merged, not abandoned as
+        # sidecar files.
+        assert not glob.glob(str(tmp_path / "*.wchunk-*"))
+
+        with CrawlStore(path) as store:
+            resumed = CrawlerPool(web, workers=2, backend="process").run(
+                ranks, store=store, resume=True)
+        assert resumed.visits == baseline.visits
+
 
 class TestQuarantine:
     """Integrity verification: corrupt rows are counted and quarantined,

@@ -367,6 +367,62 @@ class TestRateLimiting:
             failure_threshold=3, cooldown_attempts=2))
         assert decisions == [repeat.admit("k") for _ in range(12)]
 
+    def test_max_clients_bounds_tracked_state(self):
+        clock = [0.0]
+        limiter = ClientRateLimiter(
+            RateLimitConfig(requests_per_second=1.0, burst=2,
+                            max_clients=5),
+            clock=lambda: clock[0])
+        for index in range(50):
+            clock[0] = float(index)
+            assert limiter.admit(f"client-{index}")
+        stats = limiter.stats()
+        assert stats["tracked_clients"] == 5
+        assert stats["evicted_clients"] == 45
+        # Survivors are the most recently refilled clients.
+        assert set(limiter._refilled_at) == {
+            f"client-{index}" for index in range(45, 50)}
+        assert set(limiter._tokens) == set(limiter._refilled_at)
+
+    def test_eviction_drops_least_recently_refilled_first(self):
+        clock = [0.0]
+        limiter = ClientRateLimiter(
+            RateLimitConfig(requests_per_second=0.0, burst=4,
+                            max_clients=2),
+            clock=lambda: clock[0])
+        clock[0] = 1.0
+        limiter.admit("old")
+        clock[0] = 2.0
+        limiter.admit("mid")
+        clock[0] = 3.0
+        limiter.admit("old")       # refreshes "old": "mid" is now oldest
+        clock[0] = 4.0
+        limiter.admit("new")       # cap hit — evicts "mid", not "old"
+        assert set(limiter._refilled_at) == {"old", "new"}
+        assert limiter.evicted == 1
+        # The active client is never its own victim.
+        clock[0] = 5.0
+        limiter.admit("newer")
+        assert "newer" in limiter._refilled_at
+
+    def test_eviction_forgets_the_breaker_circuit(self):
+        limiter = ClientRateLimiter(RateLimitConfig(
+            requests_per_second=0.0, burst=1,
+            failure_threshold=1, cooldown_attempts=2, max_clients=1))
+        limiter.admit("hammer")
+        assert not limiter.admit("hammer")     # opens the circuit
+        assert limiter.state("hammer") == "open"
+        limiter.admit("other")                 # evicts "hammer" entirely
+        # The evicted client restarts closed with a full bucket: no
+        # half-open probe schedule survives eviction.
+        assert limiter.state("hammer") == "closed"
+        assert limiter.admit("hammer")
+        assert limiter.stats()["open_clients"] == []
+
+    def test_max_clients_validation(self):
+        with pytest.raises(ValueError, match="max_clients"):
+            RateLimitConfig(max_clients=0)
+
 
 class TestConcurrency:
     def test_responses_independent_of_interleaving(self):
